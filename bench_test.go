@@ -1,0 +1,490 @@
+// Benchmarks regenerating every table/figure of the paper's evaluation
+// (§IV), one benchmark per figure, plus ablation benches for the design
+// choices called out in DESIGN.md and micro-benchmarks of the hot
+// substrate paths.
+//
+// The figure benches run reduced-scale variants of the experiments (the
+// full-scale numbers are produced by cmd/enviromic-figures and recorded
+// in EXPERIMENTS.md); each reports its headline result via
+// b.ReportMetric, so `go test -bench . -benchmem` prints the same
+// quantities the paper plots.
+package enviromic_test
+
+import (
+	"testing"
+	"time"
+
+	"enviromic/internal/acoustics"
+	"enviromic/internal/core"
+	"enviromic/internal/experiments"
+	"enviromic/internal/flash"
+	"enviromic/internal/geometry"
+	"enviromic/internal/group"
+	"enviromic/internal/metrics"
+	"enviromic/internal/mote"
+	"enviromic/internal/netstack"
+	"enviromic/internal/radio"
+	"enviromic/internal/sim"
+	"enviromic/internal/storage"
+	"enviromic/internal/task"
+	"enviromic/internal/workload"
+)
+
+// ---------------------------------------------------------------------
+// Figure benches.
+// ---------------------------------------------------------------------
+
+func BenchmarkFig03SamplingJitter(b *testing.B) {
+	var long, short float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig3(int64(i+1), 150)
+		long, short = 0, 0
+		for _, iv := range res.Sending {
+			switch iv {
+			case 16:
+				long++
+			case 9:
+				short++
+			}
+		}
+	}
+	b.ReportMetric(long, "long16j/trace")
+	b.ReportMetric(short, "short9j/trace")
+}
+
+func BenchmarkFig06MissVsDta(b *testing.B) {
+	opts := experiments.Fig6Opts{
+		Seed:    1,
+		Runs:    2,
+		DtaMS:   []int{10, 70, 130},
+		TrcList: []time.Duration{time.Second},
+	}
+	var res experiments.Fig6Result
+	for i := 0; i < b.N; i++ {
+		opts.Seed = int64(i + 1)
+		res = experiments.Fig6(opts)
+	}
+	b.ReportMetric(res.Mean[0][0], "miss@dta10ms")
+	b.ReportMetric(res.Mean[0][1], "miss@dta70ms")
+	b.ReportMetric(res.Mean[0][2], "miss@dta130ms")
+}
+
+func BenchmarkFig07TaskTimeline(b *testing.B) {
+	var res experiments.Fig7Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig7(int64(i + 1))
+	}
+	nodes := map[int]bool{}
+	for _, t := range res.Tasks {
+		nodes[t.Node] = true
+	}
+	b.ReportMetric(float64(len(res.Tasks)), "tasks")
+	b.ReportMetric(float64(len(nodes)), "recorders")
+}
+
+func BenchmarkFig08VoiceStitch(b *testing.B) {
+	var res experiments.Fig8Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig8(int64(i + 1))
+	}
+	b.ReportMetric(res.EnvelopeCorr, "envelope-corr")
+	b.ReportMetric(res.Coverage, "coverage")
+}
+
+// indoorQuick runs the reduced §IV-B experiment once per benchmark run
+// and reports the figure's headline metric.
+func indoorQuick(b *testing.B, report func(res experiments.IndoorResult)) {
+	b.Helper()
+	var res experiments.IndoorResult
+	for i := 0; i < b.N; i++ {
+		opts := experiments.QuickIndoorOpts()
+		opts.Seed = int64(i + 1)
+		res = experiments.Indoor(opts)
+	}
+	report(res)
+}
+
+func lastVal(s experiments.Series, name string) float64 {
+	c := s.Curves[name]
+	return c[len(c)-1]
+}
+
+func BenchmarkFig10MissRatio(b *testing.B) {
+	indoorQuick(b, func(res experiments.IndoorResult) {
+		b.ReportMetric(lastVal(res.Miss, "baseline"), "miss-baseline")
+		b.ReportMetric(lastVal(res.Miss, "coop-only"), "miss-coop")
+		b.ReportMetric(lastVal(res.Miss, "lb-beta2"), "miss-lb2")
+	})
+}
+
+func BenchmarkFig11Redundancy(b *testing.B) {
+	indoorQuick(b, func(res experiments.IndoorResult) {
+		b.ReportMetric(lastVal(res.Redundancy, "baseline"), "red-baseline")
+		b.ReportMetric(lastVal(res.Redundancy, "coop-only"), "red-coop")
+		b.ReportMetric(lastVal(res.Redundancy, "lb-beta2"), "red-lb2")
+	})
+}
+
+func BenchmarkFig12Messages(b *testing.B) {
+	indoorQuick(b, func(res experiments.IndoorResult) {
+		b.ReportMetric(lastVal(res.Messages, "coop-only"), "msgs-coop")
+		b.ReportMetric(lastVal(res.Messages, "lb-beta2"), "msgs-lb2")
+		b.ReportMetric(lastVal(res.Messages, "lb-beta4"), "msgs-lb4")
+	})
+}
+
+func BenchmarkFig13StorageContour(b *testing.B) {
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		opts := experiments.QuickIndoorOpts()
+		opts.Seed = int64(i + 1)
+		net := experiments.RunIndoor(experiments.IndoorSetting{
+			Name: "lb-beta2", Mode: core.ModeFull, BetaMax: 2,
+		}, opts)
+		h := experiments.HeatmapAt(net, sim.At(opts.Duration), false)
+		if max := h.Max(); max > 0 {
+			spread = h.Total() / (max * float64(h.Cols*h.Rows))
+		}
+	}
+	// Evenness of the spatial spread: 1.0 = perfectly uniform.
+	b.ReportMetric(spread, "evenness")
+}
+
+func BenchmarkFig14OverheadContour(b *testing.B) {
+	var corr float64
+	for i := 0; i < b.N; i++ {
+		opts := experiments.QuickIndoorOpts()
+		opts.Seed = int64(i + 1)
+		net := experiments.RunIndoor(experiments.IndoorSetting{
+			Name: "lb-beta2", Mode: core.ModeFull, BetaMax: 2,
+		}, opts)
+		hs := experiments.HeatmapAt(net, sim.At(opts.Duration), false)
+		ho := experiments.HeatmapAt(net, sim.At(opts.Duration), true)
+		corr = heatmapCorr(hs, ho)
+	}
+	// The paper observes message counts correlate with storage occupancy.
+	b.ReportMetric(corr, "storage-overhead-corr")
+}
+
+func heatmapCorr(a, c *geometry.Heatmap) float64 {
+	var sa, sc, saa, scc, sac, n float64
+	for row := 0; row < a.Rows; row++ {
+		for col := 0; col < a.Cols; col++ {
+			x, y := a.Cell(col, row), c.Cell(col, row)
+			sa += x
+			sc += y
+			saa += x * x
+			scc += y * y
+			sac += x * y
+			n++
+		}
+	}
+	num := sac - sa*sc/n
+	den := (saa - sa*sa/n) * (scc - sc*sc/n)
+	if den <= 0 {
+		return 0
+	}
+	return num / sqrt(den)
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 40; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+func forestQuick(b *testing.B) experiments.ForestResult {
+	b.Helper()
+	var res experiments.ForestResult
+	for i := 0; i < b.N; i++ {
+		opts := experiments.QuickForestOpts()
+		opts.Seed = int64(i + 1)
+		res = experiments.Forest(opts)
+	}
+	return res
+}
+
+func BenchmarkFig16OutdoorTimeline(b *testing.B) {
+	res := forestQuick(b)
+	total := 0.0
+	peak := 0.0
+	for _, v := range res.PerMinute {
+		total += v
+		if v > peak {
+			peak = v
+		}
+	}
+	b.ReportMetric(total, "recorded-s")
+	b.ReportMetric(peak, "peak-s/min")
+}
+
+func BenchmarkFig17OutdoorContour(b *testing.B) {
+	res := forestQuick(b)
+	b.ReportMetric(float64(len(res.BytesByNode)), "recording-nodes")
+	b.ReportMetric(res.BytesByNode[res.HottestNode], "hottest-bytes")
+}
+
+func BenchmarkFig18Migration(b *testing.B) {
+	res := forestQuick(b)
+	total := 0
+	for _, n := range res.MigratedFromHottest {
+		total += n
+	}
+	b.ReportMetric(float64(total), "migrated-chunks")
+	b.ReportMetric(float64(len(res.MigratedFromHottest)), "holder-nodes")
+}
+
+// ---------------------------------------------------------------------
+// Ablation benches (design choices from DESIGN.md §5).
+// ---------------------------------------------------------------------
+
+// BenchmarkAblationPrelude compares short-event coverage with and without
+// the prelude optimization.
+func BenchmarkAblationPrelude(b *testing.B) {
+	run := func(seed int64, prelude time.Duration) float64 {
+		grid := geometry.Grid{Cols: 4, Rows: 1, Pitch: 1}
+		field := acoustics.NewField(1)
+		field.AddSource(acoustics.StaticSource(1, grid.PointAt(1, 0), sim.At(2*time.Second),
+			800*time.Millisecond, 3, acoustics.VoiceTone))
+		gcfg := group.DefaultConfig()
+		gcfg.Prelude = prelude
+		net := core.NewGridNetwork(core.Config{
+			Seed: seed, Mode: core.ModeCooperative, CommRange: 10, Group: &gcfg,
+		}, field, grid)
+		net.Run(sim.At(10 * time.Second))
+		return net.Collector.MissRatioAt(sim.At(10 * time.Second))
+	}
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		with = run(int64(i+1), time.Second)
+		without = run(int64(i+1), 0)
+	}
+	b.ReportMetric(with, "miss-with-prelude")
+	b.ReportMetric(without, "miss-without")
+}
+
+// BenchmarkAblationSelection compares TTL-first vs signal-first recorder
+// selection on a mobile event (coverage of the crossing).
+func BenchmarkAblationSelection(b *testing.B) {
+	run := func(seed int64, bySignal bool) float64 {
+		grid := workload.IndoorGrid()
+		field := acoustics.NewField(1)
+		src := workload.AddMobileCrossing(field, grid, 1, sim.At(2*time.Second))
+		gcfg := group.DefaultConfig()
+		gcfg.SelectBySignal = bySignal
+		net := core.NewGridNetwork(core.Config{
+			Seed: seed, Mode: core.ModeCooperative, CommRange: 3.5 * grid.Pitch,
+			LossProb: 0.05, Group: &gcfg,
+		}, field, grid)
+		net.Run(src.End.Add(3 * time.Second))
+		return net.Collector.MissRatioAt(src.End.Add(2 * time.Second))
+	}
+	var ttlFirst, sigFirst float64
+	for i := 0; i < b.N; i++ {
+		ttlFirst = run(int64(i+1), false)
+		sigFirst = run(int64(i+1), true)
+	}
+	b.ReportMetric(ttlFirst, "miss-ttl-first")
+	b.ReportMetric(sigFirst, "miss-signal-first")
+}
+
+// BenchmarkAblationBetaSchedule compares the TTL-linear β schedule with a
+// fixed β = βmax.
+func BenchmarkAblationBetaSchedule(b *testing.B) {
+	run := func(seed int64, fixed bool) float64 {
+		opts := experiments.QuickIndoorOpts()
+		opts.Seed = seed
+		scfg := storage.DefaultConfig(2)
+		if fixed {
+			scfg.BetaRefTTL = time.Nanosecond // β pinned at βmax
+		}
+		grid := workload.IndoorGrid()
+		field := acoustics.NewField(1)
+		field.DetectProb = opts.DetectProb
+		pcfg := workload.DefaultPoisson(grid)
+		pcfg.Until = opts.Duration
+		workload.GeneratePoisson(field, grid, pcfg)
+		net := core.NewGridNetwork(core.Config{
+			Seed: seed, Mode: core.ModeFull, BetaMax: 2, CommRange: 6 * grid.Pitch,
+			LossProb: 0.05, FlashBlocks: opts.FlashBlocks, Storage: &scfg,
+		}, field, grid)
+		net.Run(sim.At(opts.Duration))
+		return net.Collector.MissRatioAt(sim.At(opts.Duration))
+	}
+	var linear, fixed float64
+	for i := 0; i < b.N; i++ {
+		linear = run(int64(i+1), false)
+		fixed = run(int64(i+1), true)
+	}
+	b.ReportMetric(linear, "miss-linear-beta")
+	b.ReportMetric(fixed, "miss-fixed-beta")
+}
+
+// ---------------------------------------------------------------------
+// Substrate micro-benchmarks.
+// ---------------------------------------------------------------------
+
+func BenchmarkFlashEnqueueDequeue(b *testing.B) {
+	st := flash.NewStore(2048)
+	c := &flash.Chunk{File: 1, Data: make([]byte, flash.PayloadSize)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if st.Free() == 0 {
+			if _, err := st.DequeueHead(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := st.Enqueue(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChunkMarshal(b *testing.B) {
+	c := &flash.Chunk{File: 1, Origin: 3, Seq: 9, Start: 1, End: 2,
+		Data: make([]byte, flash.PayloadSize)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err := c.Marshal()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := flash.UnmarshalChunk(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIntervalSetUnion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var s metrics.IntervalSet
+		for j := 0; j < 200; j++ {
+			at := sim.Time(j*7919%1000) * sim.Time(time.Millisecond)
+			s.Add(at, at+sim.Time(50*time.Millisecond))
+		}
+		_ = s.Union()
+	}
+}
+
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	s := sim.NewScheduler(1)
+	n := 0
+	var reschedule func()
+	reschedule = func() {
+		n++
+		if n < b.N {
+			s.After(time.Microsecond, "bench", reschedule)
+		}
+	}
+	s.After(time.Microsecond, "bench", reschedule)
+	b.ResetTimer()
+	s.RunAll()
+}
+
+func BenchmarkAcousticSignalSynthesis(b *testing.B) {
+	field := acoustics.NewField(1)
+	field.NoiseAmp = 0.1
+	field.AddSource(acoustics.StaticSource(1, geometry.Point{X: 1}, 0, time.Hour, 5, acoustics.VoiceSpeech))
+	field.AddSource(acoustics.StaticSource(2, geometry.Point{X: 2}, 0, time.Hour, 5, acoustics.VoiceTone))
+	p := geometry.Point{X: 0.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = field.SignalAt(0, p, sim.Time(i)*sim.Time(time.Microsecond)*366)
+	}
+}
+
+func BenchmarkMoteCapture1s(b *testing.B) {
+	s := sim.NewScheduler(1)
+	field := acoustics.NewField(1)
+	field.AddSource(acoustics.StaticSource(1, geometry.Point{X: 1}, 0, time.Hour, 5, acoustics.VoiceTone))
+	m := coreTestNet(s, field)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.CaptureSamples(0, sim.At(time.Second))
+	}
+}
+
+// coreTestNet builds a single synthesizing mote for the capture bench.
+func coreTestNet(s *sim.Scheduler, field *acoustics.Field) *mote.Mote {
+	rn := radio.NewNetwork(s, radio.DefaultConfig(4))
+	return mote.New(0, geometry.Point{}, s, field, rn, mote.Config{SynthesizeAudio: true, FlashBlocks: 8})
+}
+
+// BenchmarkAblationPiggyback measures the frame savings of the
+// neighborhood broadcast module's piggybacking (§III-A): delay-tolerant
+// payloads ride on urgent traffic instead of flying alone.
+func BenchmarkAblationPiggyback(b *testing.B) {
+	run := func(piggyback bool) uint64 {
+		s := sim.NewScheduler(1)
+		rcfg := radio.DefaultConfig(5)
+		rcfg.LossProb = 0
+		net := radio.NewNetwork(s, rcfg)
+		stacks := make([]*netstack.Stack, 4)
+		for i := range stacks {
+			stacks[i] = netstack.NewStack(net.Join(i, geometry.Point{X: float64(i)}), s)
+			if !piggyback {
+				stacks[i].MaxPiggyback = 0
+			}
+		}
+		// A busy period: every node emits urgent control traffic at 2 Hz
+		// and delay-tolerant state at 1 Hz, for a virtual minute.
+		for i, st := range stacks {
+			st := st
+			sim.NewTicker(s, 500*time.Millisecond, "urgent", func() {
+				st.SendUrgent(radio.Broadcast, benchPayload{kind: "ctl", size: 9})
+			})
+			sim.NewTicker(s, time.Second, "state", func() {
+				st.SendDelayTolerant(benchPayload{kind: "state", size: 6})
+			})
+			_ = i
+		}
+		s.Run(sim.At(time.Minute))
+		return net.Stats().TotalFrames
+	}
+	var with, without uint64
+	for i := 0; i < b.N; i++ {
+		with = run(true)
+		without = run(false)
+	}
+	b.ReportMetric(float64(with), "frames-piggyback")
+	b.ReportMetric(float64(without), "frames-no-piggyback")
+}
+
+type benchPayload struct {
+	kind string
+	size int
+}
+
+func (p benchPayload) Kind() string { return p.kind }
+func (p benchPayload) Size() int    { return p.size }
+
+// BenchmarkAblationOverhearing quantifies the duplicate-recording
+// suppression of the TASK_REJECT optimization under loss.
+func BenchmarkAblationOverhearing(b *testing.B) {
+	run := func(seed int64, disable bool) float64 {
+		grid := geometry.Grid{Cols: 4, Rows: 1, Pitch: 1}
+		field := acoustics.NewField(1)
+		field.AddSource(acoustics.StaticSource(1, grid.PointAt(1, 0), sim.At(time.Second),
+			15*time.Second, 3, acoustics.VoiceTone))
+		tcfg := task.DefaultConfig()
+		tcfg.DisableOverhearing = disable
+		net := core.NewGridNetwork(core.Config{
+			Seed: seed, Mode: core.ModeCooperative, CommRange: 10,
+			LossProb: 0.25, Task: &tcfg,
+		}, field, grid)
+		net.Run(sim.At(18 * time.Second))
+		return net.Collector.RedundancyRatioAt(sim.At(18*time.Second), mote.DefaultSampleRate)
+	}
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		with = run(int64(i+1), false)
+		without = run(int64(i+1), true)
+	}
+	b.ReportMetric(with, "redundancy-with-reject")
+	b.ReportMetric(without, "redundancy-ablated")
+}

@@ -1,0 +1,253 @@
+// Command enviromic-figures regenerates every figure of the paper's
+// evaluation section (§IV) from the simulated testbed and prints the data
+// series (and ASCII renderings) to stdout.
+//
+// Usage:
+//
+//	enviromic-figures            # all figures at paper scale
+//	enviromic-figures -fig 10    # one figure
+//	enviromic-figures -quick     # reduced-scale smoke run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"enviromic/internal/experiments"
+	"enviromic/internal/render"
+	"enviromic/internal/sim"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number to regenerate (0 = all; one of 3,6,7,8,10,11,12,13,14,16,17,18)")
+	quick := flag.Bool("quick", false, "reduced-scale run (minutes of virtual time instead of hours)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	ablations := flag.Bool("ablations", false, "run the design-choice ablations instead of figures")
+	flag.Parse()
+
+	if *ablations {
+		var out strings.Builder
+		header(&out, "Ablations — DESIGN.md §5 design choices")
+		fmt.Fprintf(&out, "%-38s %12s %12s  %s\n", "knob", "with", "without", "unit")
+		for _, row := range experiments.Ablations(*seed) {
+			fmt.Fprintf(&out, "%-38s %12.3f %12.3f  %s\n    %s\n",
+				row.Name, row.With, row.Without, row.Unit, row.Comment)
+		}
+		fmt.Print(out.String())
+		return
+	}
+
+	want := func(n int) bool { return *fig == 0 || *fig == n }
+	var out strings.Builder
+
+	if want(3) {
+		fig3(&out, *seed)
+	}
+	if want(6) {
+		fig6(&out, *seed, *quick)
+	}
+	if want(7) {
+		fig7(&out, *seed)
+	}
+	if want(8) {
+		fig8(&out, *seed)
+	}
+	if want(10) || want(11) || want(12) || want(13) || want(14) {
+		indoor(&out, *seed, *quick, want)
+	}
+	if want(16) || want(17) || want(18) {
+		forest(&out, *seed, *quick, want)
+	}
+	fmt.Print(out.String())
+	if out.Len() == 0 {
+		fmt.Fprintln(os.Stderr, "nothing selected: -fig must be one of 3,6,7,8,10,11,12,13,14,16,17,18")
+		os.Exit(2)
+	}
+}
+
+func header(out *strings.Builder, title string) {
+	fmt.Fprintf(out, "\n======== %s ========\n", title)
+}
+
+func fig3(out *strings.Builder, seed int64) {
+	header(out, "Fig 3 — sampling interval vs radio activity (jiffies)")
+	res := experiments.Fig3(seed, 150)
+	xs := make([]float64, len(res.Quiet))
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	render.Chart(out, xs, map[string][]float64{"(a) no comm": res.Quiet}, 72, 8, "interval")
+	render.Chart(out, xs, map[string][]float64{"(b) sending": res.Sending}, 72, 8, "interval")
+	render.Chart(out, xs, map[string][]float64{"(c) receiving": res.Receiving}, 72, 8, "interval")
+}
+
+func fig6(out *strings.Builder, seed int64, quick bool) {
+	header(out, "Fig 6 — recording miss ratio vs expected task assignment delay")
+	opts := experiments.DefaultFig6Opts()
+	opts.Seed = seed
+	if quick {
+		opts.Runs = 3
+	}
+	res := experiments.Fig6(opts)
+	fmt.Fprintf(out, "%8s", "Dta(ms)")
+	for _, trc := range opts.TrcList {
+		fmt.Fprintf(out, "  Trc=%-4.1fs (±90%%CI)", trc.Seconds())
+	}
+	out.WriteByte('\n')
+	for di, dta := range opts.DtaMS {
+		fmt.Fprintf(out, "%8d", dta)
+		for ti := range opts.TrcList {
+			fmt.Fprintf(out, "  %6.3f (±%5.3f)  ", res.Mean[ti][di], res.CI90[ti][di])
+		}
+		out.WriteByte('\n')
+	}
+}
+
+func fig7(out *strings.Builder, seed int64) {
+	header(out, "Fig 7 — one instance of recording a mobile acoustic object")
+	res := experiments.Fig7(seed)
+	spans := make([]render.Span, len(res.Tasks))
+	for i, t := range res.Tasks {
+		spans[i] = render.Span{Node: t.Node, Start: t.Start, End: t.End}
+	}
+	fmt.Fprintf(out, "event: %.1fs .. %.1fs\n", res.EventStart.Seconds(), res.EventEnd.Seconds())
+	render.TimelineChart(out, spans, res.EventStart.Add(-time.Second), res.EventEnd.Add(2*time.Second), 72)
+}
+
+func fig8(out *strings.Builder, seed int64) {
+	header(out, "Fig 8 — voice of a moving human: reference vs EnviroMic")
+	res := experiments.Fig8(seed)
+	fmt.Fprintf(out, "stitched coverage: %.1f%%   envelope correlation: %.3f\n",
+		res.Coverage*100, res.EnvelopeCorr)
+	window := 512
+	envRef := envelopeSeries(res.Reference, window)
+	envSt := envelopeSeries(res.Stitched, window)
+	xs := make([]float64, len(envRef))
+	for i := range xs {
+		xs[i] = float64(i*window) / res.SampleRate
+	}
+	render.Chart(out, xs, map[string][]float64{"reference": envRef}, 72, 8, "(a) handheld mote envelope")
+	if len(envSt) > len(xs) {
+		envSt = envSt[:len(xs)]
+	}
+	render.Chart(out, xs[:len(envSt)], map[string][]float64{"enviromic": envSt}, 72, 8, "(b) EnviroMic stitched envelope")
+}
+
+func envelopeSeries(samples []byte, window int) []float64 {
+	if len(samples) == 0 {
+		return nil
+	}
+	n := (len(samples) + window - 1) / window
+	out := make([]float64, n)
+	for wi := 0; wi < n; wi++ {
+		lo, hi := wi*window, (wi+1)*window
+		if hi > len(samples) {
+			hi = len(samples)
+		}
+		var acc float64
+		for _, b := range samples[lo:hi] {
+			d := float64(b) - 128
+			acc += d * d
+		}
+		out[wi] = acc / float64(hi-lo)
+	}
+	return out
+}
+
+func indoor(out *strings.Builder, seed int64, quick bool, want func(int) bool) {
+	opts := experiments.DefaultIndoorOpts()
+	opts.Seed = seed
+	if quick {
+		opts = experiments.QuickIndoorOpts()
+		opts.Seed = seed
+	}
+	res := experiments.Indoor(opts)
+	xs := make([]float64, len(res.Miss.Times))
+	for i, t := range res.Miss.Times {
+		xs[i] = t.Seconds()
+	}
+	if want(10) {
+		header(out, "Fig 10 — recording miss ratio over time")
+		render.Table(out, res.Miss.Times, res.Miss.Curves, "%.3f")
+		render.Chart(out, xs, res.Miss.Curves, 72, 12, "miss ratio")
+	}
+	if want(11) {
+		header(out, "Fig 11 — recording redundancy ratio over time")
+		render.Table(out, res.Redundancy.Times, res.Redundancy.Curves, "%.3f")
+		render.Chart(out, xs, res.Redundancy.Curves, 72, 12, "redundancy ratio")
+	}
+	if want(12) {
+		header(out, "Fig 12 — control messages over time")
+		render.Table(out, res.Messages.Times, res.Messages.Curves, "%.0f")
+		render.Chart(out, xs, res.Messages.Curves, 72, 12, "messages")
+	}
+	if want(13) {
+		header(out, "Fig 13 — spatial distribution of storage occupancy (bytes), lb-beta2")
+		net := res.Networks["lb-beta2"]
+		for _, frac := range []float64{1.0 / 3, 2.0 / 3, 1.0} {
+			at := sim.At(time.Duration(float64(opts.Duration) * frac))
+			fmt.Fprintf(out, "t = %.0fs:\n", at.Seconds())
+			render.Heatmap(out, experiments.HeatmapAt(net, at, false), "bytes")
+		}
+	}
+	if want(14) {
+		header(out, "Fig 14 — spatial distribution of load transfer overhead (frames), lb-beta2")
+		net := res.Networks["lb-beta2"]
+		for _, frac := range []float64{1.0 / 3, 2.0 / 3, 1.0} {
+			at := sim.At(time.Duration(float64(opts.Duration) * frac))
+			fmt.Fprintf(out, "t = %.0fs:\n", at.Seconds())
+			render.Heatmap(out, experiments.HeatmapAt(net, at, true), "frames")
+		}
+	}
+}
+
+func forest(out *strings.Builder, seed int64, quick bool, want func(int) bool) {
+	opts := experiments.DefaultForestOpts()
+	opts.Seed = seed
+	if quick {
+		opts = experiments.QuickForestOpts()
+		opts.Seed = seed
+	}
+	res := experiments.Forest(opts)
+	if want(16) {
+		header(out, "Fig 16 — amount of acoustic event data over time (s/minute)")
+		// Bucket to 5-minute bars for readability at paper scale.
+		per := res.PerMinute
+		step := 5
+		if quick {
+			step = 1
+		}
+		var bars []float64
+		for i := 0; i < len(per); i += step {
+			s := 0.0
+			for j := i; j < i+step && j < len(per); j++ {
+				s += per[j]
+			}
+			bars = append(bars, s)
+		}
+		render.Histogram(out, bars, func(i int) string {
+			return fmt.Sprintf("%dm", i*step)
+		}, 50)
+	}
+	if want(17) {
+		header(out, "Fig 17 — acoustic data volume by location (bytes)")
+		hm := res.Net.Collector.StorageHeatmapAt(sim.At(opts.Duration), 6, 6)
+		render.Heatmap(out, hm, "bytes (stored, post-balancing)")
+		// Recorded-at-origin volumes show the hot-spots before balancing.
+		fmt.Fprintf(out, "hottest recorder: node %d\n", res.HottestNode)
+	}
+	if want(18) {
+		header(out, "Fig 18 — data migrated from the hottest node to the network")
+		fmt.Fprintf(out, "origin: node %d at %v\n", res.HottestNode, res.Positions[res.HottestNode])
+		total := 0
+		for holder, chunks := range res.MigratedFromHottest {
+			fmt.Fprintf(out, "  node %2d at %-18v holds %4d chunks (%d bytes)\n",
+				holder, res.Positions[holder], chunks, chunks*256)
+			total += chunks
+		}
+		fmt.Fprintf(out, "  total migrated chunks resident elsewhere: %d\n", total)
+	}
+}

@@ -1,0 +1,255 @@
+// Package enviromic is a Go reproduction of "EnviroMic: Towards
+// Cooperative Storage and Retrieval in Audio Sensor Networks" (Luo, Cao,
+// Huang, Abdelzaher, Stankovic, Ward — ICDCS 2007): a distributed
+// acoustic monitoring, storage, and trace-retrieval system for
+// disconnected sensor networks, running on a deterministic discrete-event
+// simulation of a MicaZ-class mote deployment.
+//
+// The package is a facade over the internal modules. A typical session:
+//
+//	field := enviromic.NewField(1.0)
+//	grid := enviromic.Grid{Cols: 8, Rows: 6, Pitch: 2}
+//	enviromic.AddStaticSource(field, 1, grid.PointAt(2, 2), enviromic.At(5*time.Second),
+//	    10*time.Second, 40, enviromic.VoiceTone)
+//	net := enviromic.NewGridNetwork(enviromic.Config{
+//	    Seed: 1, Mode: enviromic.ModeFull, CommRange: 8, BetaMax: 2,
+//	}, field, grid)
+//	net.Run(enviromic.At(60 * time.Second))
+//	files := enviromic.Collect(net, enviromic.Query{All: true})
+//
+// Subsystems (paper section in parentheses):
+//
+//   - cooperative recording: leader election, SENSING membership, task
+//     assignment with the Trc/Dta seamless-rotation scheme (§II-A);
+//   - distributed storage balancing on TTL comparisons (§II-B);
+//   - data retrieval: offline reassembly, one-hop mule queries, and a
+//     spanning-tree convergecast (§II-C);
+//   - the full substrate: discrete-event kernel, acoustic field, radio
+//     with overhearing and loss, ADC timing with radio-induced jitter,
+//     block flash with EEPROM checkpoints, FTSP-style time sync.
+package enviromic
+
+import (
+	"io"
+	"time"
+
+	"enviromic/internal/acoustics"
+	"enviromic/internal/core"
+	"enviromic/internal/flash"
+	"enviromic/internal/geometry"
+	"enviromic/internal/group"
+	"enviromic/internal/metrics"
+	"enviromic/internal/retrieval"
+	"enviromic/internal/sim"
+	"enviromic/internal/storage"
+	"enviromic/internal/task"
+	"enviromic/internal/trace"
+	"enviromic/internal/wav"
+	"enviromic/internal/workload"
+)
+
+// Core simulation types.
+type (
+	// Time is virtual time in nanoseconds since simulation start.
+	Time = sim.Time
+	// Point is a deployment-plane position.
+	Point = geometry.Point
+	// Grid is a regular deployment layout.
+	Grid = geometry.Grid
+	// Path is a piecewise-linear trajectory for mobile sources.
+	Path = geometry.Path
+
+	// Field is the acoustic environment: sources plus noise floor.
+	Field = acoustics.Field
+	// Source is one acoustic emitter.
+	Source = acoustics.Source
+	// SourceID identifies a ground-truth source.
+	SourceID = acoustics.SourceID
+	// VoiceKind selects a synthesized waveform family.
+	VoiceKind = acoustics.VoiceKind
+
+	// Config parameterizes a network build.
+	Config = core.Config
+	// Mode selects independent / cooperative / full operation.
+	Mode = core.Mode
+	// Network is a complete simulated deployment.
+	Network = core.Network
+	// Node is one assembled mote.
+	Node = core.Node
+
+	// GroupConfig tunes group management (§II-A.1).
+	GroupConfig = group.Config
+	// TaskConfig tunes task assignment (§II-A.2).
+	TaskConfig = task.Config
+	// StorageConfig tunes the storage balancer (§II-B).
+	StorageConfig = storage.Config
+
+	// Chunk is the stored/migrated/retrieved data unit.
+	Chunk = flash.Chunk
+	// FileID identifies a distributed event file.
+	FileID = flash.FileID
+
+	// Query selects chunks for retrieval.
+	Query = retrieval.Query
+	// File is a reassembled distributed recording.
+	File = retrieval.File
+	// Mule is the in-field collector.
+	Mule = retrieval.Mule
+	// Collector accumulates evaluation metrics for a run.
+	Collector = metrics.Collector
+)
+
+// Operating modes.
+const (
+	ModeIndependent = core.ModeIndependent
+	ModeCooperative = core.ModeCooperative
+	ModeFull        = core.ModeFull
+)
+
+// Waveform families.
+const (
+	VoiceTone   = acoustics.VoiceTone
+	VoiceRumble = acoustics.VoiceRumble
+	VoiceSpeech = acoustics.VoiceSpeech
+)
+
+// DefaultSampleRate is the paper's 2.730 kHz acoustic sampling rate.
+const DefaultSampleRate = 2730.0
+
+// At converts a duration-from-start to a simulation Time.
+func At(d time.Duration) Time { return sim.At(d) }
+
+// NewField returns an acoustic field with the given detection threshold.
+func NewField(threshold float64) *Field { return acoustics.NewField(threshold) }
+
+// AddStaticSource adds a stationary source to the field and returns it.
+func AddStaticSource(f *Field, id SourceID, p Point, start Time, dur time.Duration, loudness float64, voice VoiceKind) *Source {
+	s := acoustics.StaticSource(id, p, start, dur, loudness, voice)
+	f.AddSource(s)
+	return s
+}
+
+// AddMobileSource adds a source moving from a to b over the active
+// interval and returns it.
+func AddMobileSource(f *Field, id SourceID, a, b Point, start Time, dur time.Duration, loudness float64, voice VoiceKind) *Source {
+	s := acoustics.MobileSource(id, a, b, start, dur, loudness, voice)
+	f.AddSource(s)
+	return s
+}
+
+// LoudnessForRange returns the loudness that makes a source audible out
+// to range r at the given detection threshold.
+func LoudnessForRange(r, threshold float64) float64 {
+	return acoustics.LoudnessForRange(r, threshold)
+}
+
+// NewNetwork deploys motes at arbitrary positions.
+func NewNetwork(cfg Config, field *Field, positions []Point) *Network {
+	return core.NewNetwork(cfg, field, positions)
+}
+
+// NewGridNetwork deploys motes on a regular grid.
+func NewGridNetwork(cfg Config, field *Field, grid Grid) *Network {
+	return core.NewGridNetwork(cfg, field, grid)
+}
+
+// DefaultGroupConfig, DefaultTaskConfig and DefaultStorageConfig expose
+// the paper-calibrated module defaults for customization.
+func DefaultGroupConfig() GroupConfig { return group.DefaultConfig() }
+
+// DefaultTaskConfig returns the task-management defaults (Trc = 1 s,
+// Dta = 70 ms — the values §IV-A settles on).
+func DefaultTaskConfig() TaskConfig { return task.DefaultConfig() }
+
+// DefaultStorageConfig returns balancer defaults for the given βmax.
+func DefaultStorageConfig(betaMax float64) StorageConfig { return storage.DefaultConfig(betaMax) }
+
+// Collect reassembles the network's current flash contents offline — the
+// "physically collect the motes" retrieval path the paper's users
+// actually exercised.
+func Collect(n *Network, q Query) map[FileID]*File {
+	return retrieval.Reassemble(n.Holdings(), q)
+}
+
+// NewMule joins an in-field collector to the network's radio at pos. Use
+// an ID above all mote IDs.
+func NewMule(n *Network, id int, pos Point) *Mule {
+	return retrieval.NewMule(id, pos, n.Radio, n.Sched)
+}
+
+// Stitch renders a reassembled file into a continuous 8-bit sample
+// stream at the given rate, silence-filling gaps.
+func Stitch(f *File, rate float64) []byte { return trace.Stitch(f, rate) }
+
+// EnvelopeCorrelation compares two sample streams at envelope
+// granularity (Fig 8's similarity measure).
+func EnvelopeCorrelation(a, b []byte, window int) float64 {
+	return trace.EnvelopeCorrelation(a, b, window)
+}
+
+// Segment is a detected sound event in a stitched stream (basestation
+// post-processing, §II).
+type Segment = trace.Segment
+
+// SegmentConfig tunes DetectSegments.
+type SegmentConfig = trace.SegmentConfig
+
+// DetectSegments finds sound events in an 8-bit sample stream by
+// envelope thresholding — the offline analysis the paper expects
+// basestations to run over retrieved files.
+func DetectSegments(samples []byte, cfg SegmentConfig) []Segment {
+	return trace.Segments(samples, cfg)
+}
+
+// WriteWAV exports a sample stream as an 8-bit mono WAV.
+func WriteWAV(w io.Writer, samples []byte, sampleRate int) error {
+	return wav.Write(w, samples, sampleRate)
+}
+
+// IndoorGrid returns the paper's 48-mote indoor testbed layout.
+func IndoorGrid() Grid { return workload.IndoorGrid() }
+
+// ForestPositions returns the 36-mote outdoor deployment layout (§IV-C).
+func ForestPositions(seed int64) []Point { return workload.ForestPositions(seed) }
+
+// Workload generators for the paper's evaluation scenarios.
+type (
+	// PoissonConfig parameterizes the §IV-B controlled event process.
+	PoissonConfig = workload.PoissonConfig
+	// ForestConfig parameterizes the §IV-C outdoor soundscape.
+	ForestConfig = workload.ForestConfig
+)
+
+// DefaultPoisson returns the §IV-B workload parameters for a grid.
+func DefaultPoisson(grid Grid) PoissonConfig { return workload.DefaultPoisson(grid) }
+
+// GeneratePoissonEvents populates the field with the §IV-B event process,
+// returning the number of events.
+func GeneratePoissonEvents(field *Field, grid Grid, cfg PoissonConfig) int {
+	return workload.GeneratePoisson(field, grid, cfg)
+}
+
+// DefaultForest returns the §IV-C outdoor schedule parameters.
+func DefaultForest() ForestConfig { return workload.DefaultForest() }
+
+// GenerateForestSoundscape populates the field with the outdoor scenario
+// (road traffic, trail wildlife, activity spikes), returning the number
+// of sources.
+func GenerateForestSoundscape(field *Field, cfg ForestConfig) int {
+	return workload.GenerateForest(field, cfg)
+}
+
+// NearestNodes returns the k grid node indices closest to p (used to
+// restrict event audibility the way §IV-B does).
+func NearestNodes(grid Grid, p Point, k int) []int { return workload.NearestNodes(grid, p, k) }
+
+// Reassemble groups arbitrary per-node chunk holdings into files (the
+// offline retrieval path for collections not taken from a live Network).
+func Reassemble(holdings map[int][]*Chunk, q Query) map[FileID]*File {
+	return retrieval.Reassemble(holdings, q)
+}
+
+// SummarizeFiles computes collection-wide statistics.
+func SummarizeFiles(files map[FileID]*File, gapTolerance time.Duration) retrieval.Summary {
+	return retrieval.Summarize(files, gapTolerance)
+}

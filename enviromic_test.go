@@ -1,0 +1,229 @@
+// Tests of the public facade: everything a downstream user touches goes
+// through the root package, so these double as executable documentation.
+package enviromic_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"enviromic"
+)
+
+// scenario builds the quickstart-style network used by several tests.
+func scenario(t *testing.T, mode enviromic.Mode) (*enviromic.Network, *enviromic.Source) {
+	t.Helper()
+	field := enviromic.NewField(1.0)
+	grid := enviromic.Grid{Cols: 4, Rows: 3, Pitch: 2}
+	loud := enviromic.LoudnessForRange(2*grid.Pitch, 1.0)
+	src := enviromic.AddStaticSource(field, 1, grid.PointAt(1, 1),
+		enviromic.At(5*time.Second), 10*time.Second, loud, enviromic.VoiceTone)
+	net := enviromic.NewGridNetwork(enviromic.Config{
+		Seed:      1,
+		Mode:      mode,
+		CommRange: 5 * grid.Pitch,
+		BetaMax:   2,
+	}, field, grid)
+	return net, src
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	net, src := scenario(t, enviromic.ModeFull)
+	net.Run(enviromic.At(time.Minute))
+
+	if len(net.Collector.Recordings) == 0 {
+		t.Fatal("nothing recorded")
+	}
+	miss := net.Collector.MissRatioAt(enviromic.At(time.Minute))
+	if miss > 0.25 {
+		t.Errorf("miss ratio %.3f too high for an easy scenario", miss)
+	}
+	files := enviromic.Collect(net, enviromic.Query{All: true})
+	if len(files) == 0 {
+		t.Fatal("no files retrieved")
+	}
+	sum := enviromic.SummarizeFiles(files, 500*time.Millisecond)
+	if sum.Bytes == 0 || sum.TotalLength <= 0 {
+		t.Errorf("summary = %+v", sum)
+	}
+	// The single event produced a file covering most of its duration.
+	var best *enviromic.File
+	for _, f := range files {
+		if best == nil || f.Bytes() > best.Bytes() {
+			best = f
+		}
+	}
+	covered := best.Duration().Seconds()
+	if covered < 0.7*src.End.Sub(src.Start).Seconds() {
+		t.Errorf("best file covers %.1fs of a 10s event", covered)
+	}
+}
+
+func TestFacadeStitchAndWAV(t *testing.T) {
+	field := enviromic.NewField(1.0)
+	grid := enviromic.Grid{Cols: 3, Rows: 2, Pitch: 2}
+	loud := enviromic.LoudnessForRange(2*grid.Pitch, 1.0)
+	enviromic.AddStaticSource(field, 1, grid.PointAt(1, 0),
+		enviromic.At(3*time.Second), 6*time.Second, loud, enviromic.VoiceSpeech)
+	net := enviromic.NewGridNetwork(enviromic.Config{
+		Seed:            2,
+		Mode:            enviromic.ModeCooperative,
+		CommRange:       5 * grid.Pitch,
+		SynthesizeAudio: true,
+	}, field, grid)
+	net.Run(enviromic.At(20 * time.Second))
+
+	files := enviromic.Collect(net, enviromic.Query{All: true})
+	var best *enviromic.File
+	for _, f := range files {
+		if best == nil || f.Bytes() > best.Bytes() {
+			best = f
+		}
+	}
+	if best == nil {
+		t.Fatal("nothing retrieved")
+	}
+	samples := enviromic.Stitch(best, enviromic.DefaultSampleRate)
+	if len(samples) == 0 {
+		t.Fatal("empty stitch")
+	}
+	var buf bytes.Buffer
+	if err := enviromic.WriteWAV(&buf, samples, int(enviromic.DefaultSampleRate)); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 44+len(samples) {
+		t.Errorf("wav size %d", buf.Len())
+	}
+	// Self-similarity sanity for the exported helper.
+	if corr := enviromic.EnvelopeCorrelation(samples, samples, 256); corr < 0.999 {
+		t.Errorf("self correlation = %v", corr)
+	}
+}
+
+func TestFacadeMuleRetrieval(t *testing.T) {
+	net, _ := scenario(t, enviromic.ModeFull)
+	net.Run(enviromic.At(time.Minute))
+	physical := enviromic.Collect(net, enviromic.Query{All: true})
+
+	mule := enviromic.NewMule(net, 500, enviromic.Point{X: 3, Y: 2})
+	mule.Ask(enviromic.Query{All: true})
+	net.Sched.Run(net.Sched.Now().Add(30 * time.Second))
+	muleFiles := mule.Files()
+	if len(muleFiles) != len(physical) {
+		t.Errorf("mule retrieved %d files, physical %d", len(muleFiles), len(physical))
+	}
+}
+
+func TestFacadeModesOrdering(t *testing.T) {
+	// The headline claim: coordination reduces redundancy vs independent
+	// recording. (The storage-capacity effect needs longer runs; it is
+	// covered by the experiments package.)
+	indep, _ := scenario(t, enviromic.ModeIndependent)
+	indep.Run(enviromic.At(time.Minute))
+	coop, _ := scenario(t, enviromic.ModeCooperative)
+	coop.Run(enviromic.At(time.Minute))
+
+	at := enviromic.At(time.Minute)
+	ri := indep.Collector.RedundancyRatioAt(at, enviromic.DefaultSampleRate)
+	rc := coop.Collector.RedundancyRatioAt(at, enviromic.DefaultSampleRate)
+	if rc >= ri {
+		t.Errorf("cooperative redundancy %.3f not below independent %.3f", rc, ri)
+	}
+}
+
+func TestFacadeWorkloadGenerators(t *testing.T) {
+	grid := enviromic.IndoorGrid()
+	field := enviromic.NewField(1.0)
+	cfg := enviromic.DefaultPoisson(grid)
+	cfg.Until = 10 * time.Minute
+	if n := enviromic.GeneratePoissonEvents(field, grid, cfg); n == 0 {
+		t.Error("no Poisson events generated")
+	}
+	f2 := enviromic.NewField(1.0)
+	fcfg := enviromic.DefaultForest()
+	fcfg.Duration = 30 * time.Minute
+	if n := enviromic.GenerateForestSoundscape(f2, fcfg); n == 0 {
+		t.Error("no forest sources generated")
+	}
+	if len(enviromic.ForestPositions(1)) != 36 {
+		t.Error("forest positions != 36")
+	}
+	if got := enviromic.NearestNodes(grid, grid.PointAt(0, 0), 4); len(got) != 4 {
+		t.Errorf("NearestNodes = %v", got)
+	}
+}
+
+func TestFacadeDefaults(t *testing.T) {
+	g := enviromic.DefaultGroupConfig()
+	if g.PollInterval <= 0 {
+		t.Error("group defaults empty")
+	}
+	tc := enviromic.DefaultTaskConfig()
+	if tc.Trc != time.Second || tc.Dta != 70*time.Millisecond {
+		t.Errorf("task defaults = Trc %v Dta %v (paper: 1s, 70ms)", tc.Trc, tc.Dta)
+	}
+	sc := enviromic.DefaultStorageConfig(3)
+	if sc.BetaMax != 3 {
+		t.Errorf("storage defaults BetaMax = %v", sc.BetaMax)
+	}
+}
+
+func TestFacadeReassembleStandalone(t *testing.T) {
+	// Reassemble works on holdings not taken from a live network (e.g.
+	// loaded from disk images).
+	holdings := map[int][]*enviromic.Chunk{
+		0: {{File: 9, Origin: 0, Seq: 0, Start: enviromic.At(time.Second), End: enviromic.At(2 * time.Second), Data: []byte{1}}},
+		1: {{File: 9, Origin: 1, Seq: 0, Start: enviromic.At(2 * time.Second), End: enviromic.At(3 * time.Second), Data: []byte{2}}},
+	}
+	files := enviromic.Reassemble(holdings, enviromic.Query{All: true})
+	if len(files) != 1 || len(files[9].Chunks) != 2 {
+		t.Errorf("reassemble = %v", files)
+	}
+}
+
+func TestFacadeDutyCycleAndEnvelopeDetection(t *testing.T) {
+	field := enviromic.NewField(1.0)
+	field.NoiseAmp = 0.5
+	grid := enviromic.Grid{Cols: 3, Rows: 2, Pitch: 2}
+	enviromic.AddStaticSource(field, 1, enviromic.Point{X: 2, Y: 1},
+		enviromic.At(10*time.Second), 15*time.Second, 20, enviromic.VoiceTone)
+	net := enviromic.NewGridNetwork(enviromic.Config{
+		Seed:              9,
+		Mode:              enviromic.ModeCooperative,
+		CommRange:         10,
+		DutyCycle:         0.7,
+		DutyPeriod:        5 * time.Second,
+		EnvelopeDetection: true,
+	}, field, grid)
+	net.Run(enviromic.At(40 * time.Second))
+	if len(net.Collector.Recordings) == 0 {
+		t.Error("duty-cycled envelope-detecting network recorded nothing")
+	}
+}
+
+func TestFacadeSegmentsOnStitchedAudio(t *testing.T) {
+	field := enviromic.NewField(1.0)
+	grid := enviromic.Grid{Cols: 3, Rows: 2, Pitch: 2}
+	loud := enviromic.LoudnessForRange(2*grid.Pitch, 1.0)
+	enviromic.AddStaticSource(field, 1, grid.PointAt(1, 0),
+		enviromic.At(3*time.Second), 5*time.Second, loud, enviromic.VoiceTone)
+	net := enviromic.NewGridNetwork(enviromic.Config{
+		Seed: 2, Mode: enviromic.ModeCooperative, CommRange: 10, SynthesizeAudio: true,
+	}, field, grid)
+	net.Run(enviromic.At(15 * time.Second))
+	files := enviromic.Collect(net, enviromic.Query{All: true})
+	var best *enviromic.File
+	for _, f := range files {
+		if best == nil || f.Bytes() > best.Bytes() {
+			best = f
+		}
+	}
+	if best == nil {
+		t.Fatal("nothing recorded")
+	}
+	samples := enviromic.Stitch(best, enviromic.DefaultSampleRate)
+	segs := enviromic.DetectSegments(samples, enviromic.SegmentConfig{})
+	if len(segs) == 0 {
+		t.Error("no segments detected in a recorded tone")
+	}
+}

@@ -1,0 +1,82 @@
+// Vehicle surveillance: the paper's motivating military scenario — a
+// target vehicle crosses the monitored field; the group follows it with
+// leader handoffs, recording one continuous file as it moves. The example
+// verifies file continuity across handoffs and exports the stitched
+// engine audio as a WAV.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"enviromic"
+)
+
+func main() {
+	field := enviromic.NewField(1.0)
+	grid := enviromic.IndoorGrid() // 8×6, 2 ft pitch
+
+	// A vehicle rumbles across the middle row at one grid length per
+	// second, audible about one grid length away, then a second pass in
+	// the opposite direction two minutes later.
+	loud := enviromic.LoudnessForRange(1.2*grid.Pitch, 1.0)
+	v1 := enviromic.AddMobileSource(field, 1,
+		grid.PointAt(0, 3), grid.PointAt(7, 3),
+		enviromic.At(5*time.Second), 14*time.Second, loud, enviromic.VoiceRumble)
+	v2 := enviromic.AddMobileSource(field, 2,
+		grid.PointAt(7, 2), grid.PointAt(0, 2),
+		enviromic.At(2*time.Minute), 14*time.Second, loud, enviromic.VoiceRumble)
+
+	net := enviromic.NewGridNetwork(enviromic.Config{
+		Seed:            7,
+		Mode:            enviromic.ModeCooperative,
+		CommRange:       3.5 * grid.Pitch,
+		LossProb:        0.05,
+		SynthesizeAudio: true, // we want to listen to the result
+	}, field, grid)
+	net.Run(enviromic.At(3 * time.Minute))
+
+	files := enviromic.Collect(net, enviromic.Query{All: true})
+	fmt.Printf("passes: %d    files retrieved: %d\n", 2, len(files))
+	for id, f := range files {
+		fmt.Printf("  file %d: %5.1fs..%5.1fs  recorders %v  gaps %d\n",
+			id, f.Start().Seconds(), f.End().Seconds(), f.Origins(),
+			len(f.Gaps(500*time.Millisecond)))
+	}
+
+	// Track reconstruction: order of recorders approximates the vehicle's
+	// trajectory (each recorder is the node nearest the vehicle during
+	// its task).
+	fmt.Println("\ntrack from recorder sequence (pass 1):")
+	for _, r := range net.Collector.Recordings {
+		if r.Start >= v1.Start && r.Start < v1.End {
+			col, row := grid.Cell(r.Node)
+			fmt.Printf("  t=%5.1fs  node %2d at column %d, row %d\n",
+				r.Start.Seconds(), r.Node, col, row)
+		}
+	}
+
+	missAt := func(end enviromic.Time) float64 { return net.Collector.MissRatioAt(end) }
+	fmt.Printf("\ncoverage: miss ratio %.3f (both passes, incl. election startup)\n",
+		missAt(enviromic.At(3*time.Minute)))
+	_ = v2
+
+	// Export the first pass's stitched audio.
+	var best *enviromic.File
+	for _, f := range files {
+		if f.Start() < enviromic.At(time.Minute) && (best == nil || f.Bytes() > best.Bytes()) {
+			best = f
+		}
+	}
+	if best != nil {
+		samples := enviromic.Stitch(best, enviromic.DefaultSampleRate)
+		out, err := os.Create("vehicle.wav")
+		if err == nil {
+			defer out.Close()
+			if err := enviromic.WriteWAV(out, samples, int(enviromic.DefaultSampleRate)); err == nil {
+				fmt.Printf("wrote vehicle.wav (%.1fs)\n", float64(len(samples))/enviromic.DefaultSampleRate)
+			}
+		}
+	}
+}

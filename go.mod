@@ -1,0 +1,3 @@
+module enviromic
+
+go 1.22

@@ -1,0 +1,367 @@
+// Package acoustics models the sound environment EnviroMic records:
+// point acoustic sources (static or mobile), inverse-distance propagation,
+// a background-noise floor, sound-activated detection with a running
+// background average (paper §II), and deterministic waveform synthesis so
+// recordings can be stitched and compared against ground truth (Fig 8).
+//
+// The paper used real sound (voice, vehicles, bird song). We substitute a
+// synthetic field because group formation and storage behaviour depend only
+// on *who can hear what, when* and on a reconstructable sample stream —
+// both of which the synthetic field provides deterministically.
+package acoustics
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"enviromic/internal/geometry"
+	"enviromic/internal/sim"
+)
+
+// SourceID identifies an acoustic source within a scenario. It is distinct
+// from the event/file IDs that EnviroMic assigns at run time: sources are
+// ground truth, file IDs are what the protocol manages to infer.
+type SourceID int
+
+// Source is one acoustic emitter: a bird, a vehicle, a walking speaker, a
+// laptop playing clips in the testbed. A source is active on [Start, End)
+// and moves along Path (a single-waypoint path models a static source).
+type Source struct {
+	ID    SourceID
+	Path  *geometry.Path
+	Start sim.Time
+	End   sim.Time
+	// Loudness is the signal amplitude at distance 1 (in deployment
+	// units). Amplitude decays as Loudness/d.
+	Loudness float64
+	// Voice selects the synthesized waveform family; see Waveform.
+	Voice VoiceKind
+	// Whitelist, when non-nil, restricts audibility to the listed
+	// listener IDs regardless of distance. The paper's §IV-B experiment
+	// restricts each event to exactly four hearers; this knob reproduces
+	// that control without distorting the propagation model.
+	Whitelist map[int]bool
+}
+
+// VoiceKind selects a synthesized waveform family.
+type VoiceKind int
+
+// Voice kinds cover the paper's workloads: tonal bird song, broadband
+// vehicle rumble, and speech-like syllabic bursts.
+const (
+	VoiceTone VoiceKind = iota + 1
+	VoiceRumble
+	VoiceSpeech
+)
+
+// String implements fmt.Stringer.
+func (v VoiceKind) String() string {
+	switch v {
+	case VoiceTone:
+		return "tone"
+	case VoiceRumble:
+		return "rumble"
+	case VoiceSpeech:
+		return "speech"
+	default:
+		return fmt.Sprintf("VoiceKind(%d)", int(v))
+	}
+}
+
+// ActiveAt reports whether the source is emitting at time t.
+func (s *Source) ActiveAt(t sim.Time) bool { return t >= s.Start && t < s.End }
+
+// PositionAt returns the source position at time t. The path's own clock
+// starts at the source's Start time.
+func (s *Source) PositionAt(t sim.Time) geometry.Point {
+	return s.Path.At(t.Sub(s.Start).Seconds())
+}
+
+// refDist prevents the 1/d law from diverging at the source itself.
+const refDist = 0.25
+
+// AmplitudeAt returns the signal envelope amplitude this source produces
+// at listener position p at time t (zero when inactive).
+func (s *Source) AmplitudeAt(p geometry.Point, t sim.Time) float64 {
+	if !s.ActiveAt(t) {
+		return 0
+	}
+	d := s.PositionAt(t).Dist(p)
+	if d < refDist {
+		d = refDist
+	}
+	return s.Loudness / d
+}
+
+// SensingRange returns the distance at which the source's amplitude falls
+// to threshold: the effective acoustic range of a microphone with that
+// detection threshold.
+func (s *Source) SensingRange(threshold float64) float64 {
+	if threshold <= 0 {
+		panic("acoustics: non-positive threshold")
+	}
+	return s.Loudness / threshold
+}
+
+// LoudnessForRange returns the Loudness that makes a source audible out to
+// exactly r at the given detection threshold. The indoor experiments tune
+// volume so the sensing range is about one grid length (§IV-A); this is
+// the corresponding inverse.
+func LoudnessForRange(r, threshold float64) float64 {
+	if r <= 0 || threshold <= 0 {
+		panic("acoustics: non-positive range or threshold")
+	}
+	return r * threshold
+}
+
+// Waveform returns the source's normalized instantaneous signal in [-1, 1]
+// at time t seconds *into the source's activity*. It is deterministic in
+// (SourceID, Voice, t) so that a recording stitched from chunks made by
+// different motes reproduces the same waveform the reference mote heard.
+func (s *Source) Waveform(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	// Per-source detuning so two sources never produce identical signals.
+	det := 1 + 0.07*float64(s.ID%13)
+	switch s.Voice {
+	case VoiceRumble:
+		// Low-frequency beating pair plus a slow growl envelope.
+		env := 0.75 + 0.25*math.Sin(2*math.Pi*1.3*t*det)
+		return env * 0.5 * (math.Sin(2*math.Pi*38*det*t) + math.Sin(2*math.Pi*47*det*t))
+	case VoiceSpeech:
+		// Syllabic bursts: a ~4 Hz on/off envelope over a formant-ish sum.
+		syll := math.Sin(2 * math.Pi * 3.7 * t * det)
+		env := 0.0
+		if syll > -0.2 {
+			env = 0.6 + 0.4*syll
+		}
+		carrier := 0.6*math.Sin(2*math.Pi*210*det*t) + 0.4*math.Sin(2*math.Pi*640*det*t)
+		return env * carrier
+	default: // VoiceTone and unset
+		// Chirp-like tonal call with vibrato, typical of bird song.
+		vib := 1 + 0.01*math.Sin(2*math.Pi*6*t)
+		return 0.9 * math.Sin(2*math.Pi*520*det*t*vib)
+	}
+}
+
+// Field is the complete sound environment for one scenario: a set of
+// sources plus an ambient noise floor.
+type Field struct {
+	// Threshold is the detection amplitude: a source is audible where its
+	// envelope exceeds it. It doubles as the "sufficient margin over
+	// background noise" from §II.
+	Threshold float64
+	// NoiseAmp is the RMS amplitude of ambient noise mixed into samples.
+	NoiseAmp float64
+	// DetectProb is the per-poll probability that an audible source is
+	// actually noticed by a listener. The paper observes that "individual
+	// nodes may not detect the event reliably" (the baseline redundancy
+	// ratio stabilizes near 0.5 rather than the ideal 0.75 for this
+	// reason), so imperfect detection is part of the model. 0 means 1.0.
+	DetectProb float64
+
+	sources []*Source
+}
+
+// NewField returns a field with the given detection threshold and no
+// sources.
+func NewField(threshold float64) *Field {
+	if threshold <= 0 {
+		panic("acoustics: non-positive detection threshold")
+	}
+	return &Field{Threshold: threshold}
+}
+
+// AddSource registers a source. Sources may overlap in time and space.
+func (f *Field) AddSource(s *Source) {
+	if s.Path == nil {
+		panic("acoustics: source without a path")
+	}
+	if s.End <= s.Start {
+		panic(fmt.Sprintf("acoustics: source %d has empty active interval", s.ID))
+	}
+	if s.Loudness <= 0 {
+		panic(fmt.Sprintf("acoustics: source %d has non-positive loudness", s.ID))
+	}
+	f.sources = append(f.sources, s)
+}
+
+// Sources returns all registered sources (shared slice; callers must not
+// mutate).
+func (f *Field) Sources() []*Source { return f.sources }
+
+// audibleTo reports whether src is audible to listener at p,t ignoring
+// detection probability.
+func (f *Field) audibleTo(listener int, src *Source, p geometry.Point, t sim.Time) bool {
+	if src.Whitelist != nil && !src.Whitelist[listener] {
+		return false
+	}
+	return src.AmplitudeAt(p, t) >= f.Threshold
+}
+
+// AudibleSources returns the sources whose signal reaches the listener at
+// position p above the detection threshold at time t.
+func (f *Field) AudibleSources(listener int, p geometry.Point, t sim.Time) []*Source {
+	var out []*Source
+	for _, s := range f.sources {
+		if f.audibleTo(listener, s, p, t) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Audible reports whether any source is audible to the listener.
+func (f *Field) Audible(listener int, p geometry.Point, t sim.Time) bool {
+	for _, s := range f.sources {
+		if f.audibleTo(listener, s, p, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// LoudestSource returns the audible source with the highest amplitude at
+// the listener, or nil when silent. Group management uses it to associate
+// detections with a dominant event.
+func (f *Field) LoudestSource(listener int, p geometry.Point, t sim.Time) *Source {
+	var best *Source
+	bestAmp := 0.0
+	for _, s := range f.sources {
+		if !f.audibleTo(listener, s, p, t) {
+			continue
+		}
+		if a := s.AmplitudeAt(p, t); a > bestAmp {
+			best, bestAmp = s, a
+		}
+	}
+	return best
+}
+
+// SignalAt returns the mixed, attenuated instantaneous signal (plus
+// deterministic ambient noise) at listener position p at time t. The
+// result is in arbitrary pressure units; Quantize converts it to the
+// 8-bit ADC scale used by the motes.
+func (f *Field) SignalAt(listener int, p geometry.Point, t sim.Time) float64 {
+	sig := 0.0
+	for _, s := range f.sources {
+		if s.Whitelist != nil && !s.Whitelist[listener] {
+			continue
+		}
+		amp := s.AmplitudeAt(p, t)
+		if amp <= 0 {
+			continue
+		}
+		sig += amp * s.Waveform(t.Sub(s.Start).Seconds())
+	}
+	if f.NoiseAmp > 0 {
+		sig += f.NoiseAmp * noise(uint64(listener), uint64(t))
+	}
+	return sig
+}
+
+// Quantize maps a pressure-unit signal to the mote's 8-bit unsigned ADC
+// scale (0..255, silence at 128), saturating at full scale. fullScale is
+// the amplitude mapped to ±127 counts.
+func Quantize(sig, fullScale float64) uint8 {
+	if fullScale <= 0 {
+		panic("acoustics: non-positive full scale")
+	}
+	v := 128 + 127*sig/fullScale
+	if v < 0 {
+		v = 0
+	}
+	if v > 255 {
+		v = 255
+	}
+	return uint8(math.Round(v))
+}
+
+// noise returns a deterministic pseudo-random value in [-1, 1] keyed by
+// (listener, time). Using a hash instead of the run's rand.Rand keeps
+// sample values independent of protocol event ordering.
+func noise(listener, t uint64) float64 {
+	x := listener*0x9E3779B97F4A7C15 + t
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x)/float64(math.MaxUint64)*2 - 1
+}
+
+// Detector implements sound-activated recording (§II): it keeps a slow
+// exponentially-weighted running average of background level and reports a
+// detection when the observed level exceeds that average by Margin. The
+// background estimate is only updated from quiet observations so loud
+// events do not drag the floor upward.
+type Detector struct {
+	// Alpha is the EWMA weight for background updates (0 < Alpha <= 1).
+	Alpha float64
+	// Margin is the detection factor over background (e.g. 3.0).
+	Margin float64
+
+	background  float64
+	initialized bool
+}
+
+// NewDetector returns a detector with the given EWMA weight and margin.
+func NewDetector(alpha, margin float64) *Detector {
+	if alpha <= 0 || alpha > 1 {
+		panic("acoustics: detector alpha outside (0,1]")
+	}
+	if margin <= 1 {
+		panic("acoustics: detector margin must exceed 1")
+	}
+	return &Detector{Alpha: alpha, Margin: margin}
+}
+
+// Observe feeds one envelope measurement and reports whether it
+// constitutes a detection.
+func (d *Detector) Observe(level float64) bool {
+	if level < 0 {
+		level = -level
+	}
+	if !d.initialized {
+		d.background = level
+		d.initialized = true
+		return false
+	}
+	if level > d.background*d.Margin {
+		return true
+	}
+	d.background = d.background*(1-d.Alpha) + level*d.Alpha
+	return false
+}
+
+// Background returns the current background estimate.
+func (d *Detector) Background() float64 { return d.background }
+
+// SourceBuilder helpers ------------------------------------------------
+
+// StaticSource builds a source that stays at p for the given interval.
+func StaticSource(id SourceID, p geometry.Point, start sim.Time, dur time.Duration, loudness float64, voice VoiceKind) *Source {
+	return &Source{
+		ID:       id,
+		Path:     geometry.NewPath(geometry.PathPoint{T: 0, P: p}),
+		Start:    start,
+		End:      start.Add(dur),
+		Loudness: loudness,
+		Voice:    voice,
+	}
+}
+
+// MobileSource builds a source that moves from a to b at constant speed
+// over the active interval.
+func MobileSource(id SourceID, a, b geometry.Point, start sim.Time, dur time.Duration, loudness float64, voice VoiceKind) *Source {
+	return &Source{
+		ID:       id,
+		Path:     geometry.LinePath(a, b, dur.Seconds()),
+		Start:    start,
+		End:      start.Add(dur),
+		Loudness: loudness,
+		Voice:    voice,
+	}
+}

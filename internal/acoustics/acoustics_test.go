@@ -1,0 +1,367 @@
+package acoustics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"enviromic/internal/geometry"
+	"enviromic/internal/sim"
+)
+
+func testSource() *Source {
+	return StaticSource(1, geometry.Point{X: 5, Y: 5}, sim.At(time.Second), 4*time.Second, 10, VoiceTone)
+}
+
+func TestSourceActiveInterval(t *testing.T) {
+	s := testSource()
+	tests := []struct {
+		at   sim.Time
+		want bool
+	}{
+		{0, false},
+		{sim.At(time.Second), true},
+		{sim.At(3 * time.Second), true},
+		{sim.At(5 * time.Second), false}, // End is exclusive
+		{sim.At(6 * time.Second), false},
+	}
+	for _, tt := range tests {
+		if got := s.ActiveAt(tt.at); got != tt.want {
+			t.Errorf("ActiveAt(%v) = %v, want %v", tt.at, got, tt.want)
+		}
+	}
+}
+
+func TestAmplitudeInverseDistance(t *testing.T) {
+	s := testSource()
+	at := sim.At(2 * time.Second)
+	a1 := s.AmplitudeAt(geometry.Point{X: 6, Y: 5}, at) // distance 1
+	a2 := s.AmplitudeAt(geometry.Point{X: 7, Y: 5}, at) // distance 2
+	if math.Abs(a1-10) > 1e-9 {
+		t.Errorf("amplitude at d=1: %v, want 10", a1)
+	}
+	if math.Abs(a2-5) > 1e-9 {
+		t.Errorf("amplitude at d=2: %v, want 5", a2)
+	}
+	if got := s.AmplitudeAt(geometry.Point{X: 6, Y: 5}, 0); got != 0 {
+		t.Errorf("inactive source amplitude = %v, want 0", got)
+	}
+}
+
+func TestAmplitudeClampsNearSource(t *testing.T) {
+	s := testSource()
+	at := sim.At(2 * time.Second)
+	atSrc := s.AmplitudeAt(geometry.Point{X: 5, Y: 5}, at)
+	near := s.AmplitudeAt(geometry.Point{X: 5.01, Y: 5}, at)
+	if math.IsInf(atSrc, 1) || atSrc != near {
+		t.Errorf("amplitude should clamp at refDist: at-source %v, near %v", atSrc, near)
+	}
+}
+
+func TestSensingRangeInvertsLoudnessForRange(t *testing.T) {
+	const threshold = 2.5
+	for _, r := range []float64{0.5, 1, 2, 7.3} {
+		l := LoudnessForRange(r, threshold)
+		s := StaticSource(1, geometry.Point{}, 0, time.Second, l, VoiceTone)
+		if got := s.SensingRange(threshold); math.Abs(got-r) > 1e-9 {
+			t.Errorf("SensingRange(LoudnessForRange(%v)) = %v", r, got)
+		}
+	}
+}
+
+func TestMobileSourcePosition(t *testing.T) {
+	s := MobileSource(2, geometry.Point{X: 0, Y: 0}, geometry.Point{X: 9, Y: 0},
+		sim.At(time.Second), 9*time.Second, 5, VoiceRumble)
+	tests := []struct {
+		at    sim.Time
+		wantX float64
+	}{
+		{sim.At(time.Second), 0},
+		{sim.At(5500 * time.Millisecond), 4.5},
+		{sim.At(10 * time.Second), 9},
+	}
+	for _, tt := range tests {
+		got := s.PositionAt(tt.at)
+		if math.Abs(got.X-tt.wantX) > 1e-9 || got.Y != 0 {
+			t.Errorf("PositionAt(%v) = %v, want X=%v", tt.at, got, tt.wantX)
+		}
+	}
+}
+
+func TestFieldAudibility(t *testing.T) {
+	f := NewField(2.0)
+	f.AddSource(testSource()) // loudness 10 at (5,5) → audible within d=5
+	at := sim.At(2 * time.Second)
+	if !f.Audible(0, geometry.Point{X: 5, Y: 9}, at) { // d=4
+		t.Error("listener at d=4 should hear (range 5)")
+	}
+	if f.Audible(0, geometry.Point{X: 5, Y: 11}, at) { // d=6
+		t.Error("listener at d=6 should not hear (range 5)")
+	}
+	if f.Audible(0, geometry.Point{X: 5, Y: 9}, sim.At(10*time.Second)) {
+		t.Error("inactive source should not be audible")
+	}
+}
+
+func TestFieldWhitelistRestrictsAudibility(t *testing.T) {
+	f := NewField(2.0)
+	s := testSource()
+	s.Whitelist = map[int]bool{3: true, 7: true}
+	f.AddSource(s)
+	at := sim.At(2 * time.Second)
+	p := geometry.Point{X: 5, Y: 6} // well within range
+	if !f.Audible(3, p, at) || !f.Audible(7, p, at) {
+		t.Error("whitelisted listeners should hear")
+	}
+	if f.Audible(0, p, at) {
+		t.Error("non-whitelisted listener should not hear")
+	}
+	if got := f.SignalAt(0, p, at); got != 0 {
+		t.Errorf("non-whitelisted listener signal = %v, want 0", got)
+	}
+}
+
+func TestLoudestSource(t *testing.T) {
+	f := NewField(1.0)
+	quiet := StaticSource(1, geometry.Point{X: 0, Y: 0}, 0, time.Second, 3, VoiceTone)
+	loud := StaticSource(2, geometry.Point{X: 0, Y: 1}, 0, time.Second, 8, VoiceTone)
+	f.AddSource(quiet)
+	f.AddSource(loud)
+	got := f.LoudestSource(0, geometry.Point{X: 0, Y: 0.5}, sim.At(time.Millisecond))
+	if got == nil || got.ID != 2 {
+		t.Fatalf("LoudestSource = %v, want source 2", got)
+	}
+	if f.LoudestSource(0, geometry.Point{X: 100, Y: 100}, sim.At(time.Millisecond)) != nil {
+		t.Error("distant listener should hear nothing")
+	}
+}
+
+func TestAudibleSourcesReturnsAll(t *testing.T) {
+	f := NewField(1.0)
+	f.AddSource(StaticSource(1, geometry.Point{X: 0, Y: 0}, 0, time.Second, 5, VoiceTone))
+	f.AddSource(StaticSource(2, geometry.Point{X: 1, Y: 0}, 0, time.Second, 5, VoiceTone))
+	f.AddSource(StaticSource(3, geometry.Point{X: 50, Y: 0}, 0, time.Second, 5, VoiceTone))
+	got := f.AudibleSources(0, geometry.Point{X: 0.5, Y: 0}, sim.At(time.Millisecond))
+	if len(got) != 2 {
+		t.Fatalf("AudibleSources = %d sources, want 2", len(got))
+	}
+}
+
+func TestFieldValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewField(0) },
+		func() { NewField(1).AddSource(&Source{Path: nil, End: 1, Loudness: 1}) },
+		func() {
+			NewField(1).AddSource(&Source{
+				Path: geometry.NewPath(geometry.PathPoint{}), Start: 5, End: 5, Loudness: 1,
+			})
+		},
+		func() {
+			NewField(1).AddSource(&Source{
+				Path: geometry.NewPath(geometry.PathPoint{}), End: 5, Loudness: 0,
+			})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid field construction did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestWaveformDeterministicAndBounded(t *testing.T) {
+	for _, voice := range []VoiceKind{VoiceTone, VoiceRumble, VoiceSpeech} {
+		s := &Source{ID: 4, Voice: voice}
+		s2 := &Source{ID: 4, Voice: voice}
+		for i := 0; i < 1000; i++ {
+			tt := float64(i) / 997.0
+			a, b := s.Waveform(tt), s2.Waveform(tt)
+			if a != b {
+				t.Fatalf("%v waveform not deterministic at t=%v", voice, tt)
+			}
+			if a < -1.0001 || a > 1.0001 {
+				t.Fatalf("%v waveform out of range at t=%v: %v", voice, tt, a)
+			}
+		}
+		if s.Waveform(-1) != 0 {
+			t.Errorf("%v waveform before start should be 0", voice)
+		}
+	}
+}
+
+func TestWaveformDiffersAcrossSources(t *testing.T) {
+	a := &Source{ID: 1, Voice: VoiceTone}
+	b := &Source{ID: 2, Voice: VoiceTone}
+	same := true
+	for i := 1; i < 100; i++ {
+		tt := float64(i) / 101
+		if math.Abs(a.Waveform(tt)-b.Waveform(tt)) > 1e-6 {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different source IDs produced identical waveforms")
+	}
+}
+
+func TestSignalAtMixesSources(t *testing.T) {
+	f := NewField(0.5)
+	f.AddSource(testSource())
+	at := sim.At(2 * time.Second)
+	p := geometry.Point{X: 6, Y: 5}
+	// Signal should equal amplitude × waveform with no noise configured.
+	want := 10 * f.sources[0].Waveform(1.0)
+	if got := f.SignalAt(0, p, at); math.Abs(got-want) > 1e-9 {
+		t.Errorf("SignalAt = %v, want %v", got, want)
+	}
+}
+
+func TestSignalNoiseDeterministicPerListener(t *testing.T) {
+	f := NewField(0.5)
+	f.NoiseAmp = 0.2
+	at := sim.At(time.Second)
+	p := geometry.Point{}
+	a1 := f.SignalAt(1, p, at)
+	a2 := f.SignalAt(1, p, at)
+	b := f.SignalAt(2, p, at)
+	if a1 != a2 {
+		t.Error("noise not deterministic for same (listener, t)")
+	}
+	if a1 == b {
+		t.Error("noise identical across listeners (suspicious)")
+	}
+	if math.Abs(a1) > 0.2 {
+		t.Errorf("noise-only signal %v exceeds NoiseAmp", a1)
+	}
+}
+
+func TestQuantize(t *testing.T) {
+	tests := []struct {
+		sig  float64
+		want uint8
+	}{
+		{0, 128},
+		{1, 255},
+		{-1, 1},
+		{2, 255},   // saturates high
+		{-2, 0},    // saturates low
+		{0.5, 192}, // 128 + 63.5 rounds to 192
+	}
+	for _, tt := range tests {
+		if got := Quantize(tt.sig, 1); got != tt.want {
+			t.Errorf("Quantize(%v) = %d, want %d", tt.sig, got, tt.want)
+		}
+	}
+}
+
+func TestDetectorTriggersOnLoudSound(t *testing.T) {
+	d := NewDetector(0.05, 3)
+	// Feed ambient ~1.0 to establish background.
+	for i := 0; i < 100; i++ {
+		if d.Observe(1.0) && i > 0 {
+			t.Fatal("ambient level triggered detection")
+		}
+	}
+	if math.Abs(d.Background()-1.0) > 1e-6 {
+		t.Errorf("background = %v, want ~1", d.Background())
+	}
+	if !d.Observe(5.0) {
+		t.Error("5x background did not trigger")
+	}
+	// Loud observation must not raise the background.
+	if math.Abs(d.Background()-1.0) > 1e-6 {
+		t.Errorf("background rose on detection: %v", d.Background())
+	}
+	if d.Observe(2.0) {
+		t.Error("2x background should be below margin 3")
+	}
+}
+
+func TestDetectorTracksSlowBackgroundShift(t *testing.T) {
+	d := NewDetector(0.2, 3)
+	for i := 0; i < 200; i++ {
+		d.Observe(1.0)
+	}
+	// Background creeps up toward a louder but sub-margin ambient.
+	for i := 0; i < 200; i++ {
+		d.Observe(2.5)
+	}
+	if d.Background() < 2.0 {
+		t.Errorf("background did not track shift: %v", d.Background())
+	}
+	if d.Observe(5.0) {
+		t.Error("5.0 should be under margin with background ~2.5")
+	}
+	if !d.Observe(9.0) {
+		t.Error("9.0 should trigger with background ~2.5")
+	}
+}
+
+func TestDetectorValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewDetector(0, 3) },
+		func() { NewDetector(1.5, 3) },
+		func() { NewDetector(0.1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid detector did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestVoiceKindString(t *testing.T) {
+	if VoiceTone.String() != "tone" || VoiceRumble.String() != "rumble" ||
+		VoiceSpeech.String() != "speech" {
+		t.Error("VoiceKind.String mismatch")
+	}
+	if VoiceKind(99).String() != "VoiceKind(99)" {
+		t.Error("unknown VoiceKind string")
+	}
+}
+
+// Property: amplitude is monotonically non-increasing with distance.
+func TestQuickAmplitudeMonotone(t *testing.T) {
+	s := testSource()
+	at := sim.At(2 * time.Second)
+	f := func(d1, d2 uint8) bool {
+		a, b := float64(d1)/4, float64(d2)/4
+		if a > b {
+			a, b = b, a
+		}
+		pa := geometry.Point{X: 5 + a, Y: 5}
+		pb := geometry.Point{X: 5 + b, Y: 5}
+		return s.AmplitudeAt(pa, at) >= s.AmplitudeAt(pb, at)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Quantize always lands in [0,255] and is monotone in the signal.
+func TestQuickQuantizeMonotone(t *testing.T) {
+	f := func(a, b int16) bool {
+		x, y := float64(a)/8192, float64(b)/8192
+		qa, qb := Quantize(x, 1), Quantize(y, 1)
+		if x <= y && qa > qb {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(4))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

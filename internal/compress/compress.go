@@ -1,0 +1,178 @@
+// Package compress implements the lightweight audio compression the paper
+// points to as an easy integration (§V, citing Sadler & Martonosi's
+// energy-constrained compression): delta encoding of the 8-bit sample
+// stream followed by run-length encoding of small-delta runs. Acoustic
+// samples are strongly correlated sample-to-sample, so deltas concentrate
+// near zero; silence and steady tones collapse dramatically, while
+// white-noise-like input degrades gracefully (bounded expansion).
+//
+// The storage balancer can apply it to chunks in transit, cutting on-air
+// bytes — the dominant energy cost of load balancing.
+package compress
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Encoding format: a stream of ops.
+//
+//	0x00 n d   — run: n (1-255) repetitions of delta d
+//	0x01 n ... — literal: n (1-255) raw delta bytes follow
+//	0x02 n ... — packed: n (1-255) deltas in [−8, 7], two per byte
+//	             (delta+8 in each nibble, high nibble first)
+//
+// Deltas are sample[i] − sample[i−1] (mod 256); the first sample is
+// emitted verbatim as the stream header.
+
+// ErrCorrupt reports an undecodable stream.
+var ErrCorrupt = errors.New("compress: corrupt stream")
+
+// Encode compresses an 8-bit sample stream. Empty input encodes to an
+// empty stream.
+func Encode(samples []byte) []byte {
+	if len(samples) == 0 {
+		return nil
+	}
+	// Delta transform.
+	deltas := make([]byte, len(samples)-1)
+	prev := samples[0]
+	for i := 1; i < len(samples); i++ {
+		deltas[i-1] = samples[i] - prev
+		prev = samples[i]
+	}
+	out := []byte{samples[0]}
+	i := 0
+	small := func(d byte) bool { return d <= 7 || d >= 248 } // [−8, 7] mod 256
+	runLen := func(at int) int {
+		run := 1
+		for at+run < len(deltas) && deltas[at+run] == deltas[at] && run < 255 {
+			run++
+		}
+		return run
+	}
+	for i < len(deltas) {
+		if run := runLen(i); run >= 3 {
+			out = append(out, 0x00, byte(run), deltas[i])
+			i += run
+			continue
+		}
+		// Small-delta segment: pack two deltas per byte. Worth it from 4
+		// deltas (2 bytes payload + 2 header vs 4 literal + 2 header).
+		if small(deltas[i]) {
+			start := i
+			for i < len(deltas) && i-start < 255 && small(deltas[i]) && runLen(i) < 8 {
+				i++
+			}
+			if i-start >= 4 {
+				seg := deltas[start:i]
+				out = append(out, 0x02, byte(len(seg)))
+				for j := 0; j < len(seg); j += 2 {
+					b := (seg[j] + 8) << 4
+					if j+1 < len(seg) {
+						b |= (seg[j+1] + 8) & 0x0F
+					}
+					out = append(out, b)
+				}
+				continue
+			}
+			i = start // too short to be worth packing; fall through
+		}
+		// Literal segment up to the next worthwhile run or packable span.
+		start := i
+		for i < len(deltas) && i-start < 255 {
+			if runLen(i) >= 3 {
+				break
+			}
+			if small(deltas[i]) {
+				// Probe whether a packable span starts here.
+				k := i
+				for k < len(deltas) && k-i < 255 && small(deltas[k]) && runLen(k) < 8 {
+					k++
+				}
+				if k-i >= 4 {
+					break
+				}
+			}
+			i++
+		}
+		if i == start {
+			i++ // guarantee progress
+		}
+		seg := deltas[start:i]
+		out = append(out, 0x01, byte(len(seg)))
+		out = append(out, seg...)
+	}
+	return out
+}
+
+// Decode reverses Encode.
+func Decode(stream []byte) ([]byte, error) {
+	if len(stream) == 0 {
+		return nil, nil
+	}
+	out := []byte{stream[0]}
+	prev := stream[0]
+	i := 1
+	for i < len(stream) {
+		if i+1 >= len(stream) {
+			return nil, fmt.Errorf("%w: truncated op at %d", ErrCorrupt, i)
+		}
+		op, n := stream[i], int(stream[i+1])
+		i += 2
+		if n == 0 {
+			return nil, fmt.Errorf("%w: zero-length op at %d", ErrCorrupt, i-2)
+		}
+		switch op {
+		case 0x00:
+			if i >= len(stream) {
+				return nil, fmt.Errorf("%w: truncated run at %d", ErrCorrupt, i)
+			}
+			d := stream[i]
+			i++
+			for j := 0; j < n; j++ {
+				prev += d
+				out = append(out, prev)
+			}
+		case 0x01:
+			if i+n > len(stream) {
+				return nil, fmt.Errorf("%w: truncated literal at %d", ErrCorrupt, i)
+			}
+			for _, d := range stream[i : i+n] {
+				prev += d
+				out = append(out, prev)
+			}
+			i += n
+		case 0x02:
+			nb := (n + 1) / 2
+			if i+nb > len(stream) {
+				return nil, fmt.Errorf("%w: truncated packed segment at %d", ErrCorrupt, i)
+			}
+			for j := 0; j < n; j++ {
+				b := stream[i+j/2]
+				var nib byte
+				if j%2 == 0 {
+					nib = b >> 4
+				} else {
+					nib = b & 0x0F
+				}
+				prev += nib - 8
+				out = append(out, prev)
+			}
+			i += nb
+		default:
+			return nil, fmt.Errorf("%w: unknown op 0x%02x at %d", ErrCorrupt, op, i-2)
+		}
+	}
+	return out, nil
+}
+
+// Ratio returns compressed/original size for a sample stream (1.0 means
+// no gain; values slightly above 1.0 are possible on incompressible
+// input).
+func Ratio(samples []byte) float64 {
+	if len(samples) == 0 {
+		return 1
+	}
+	return float64(len(Encode(samples))) / float64(len(samples))
+}

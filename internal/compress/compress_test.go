@@ -1,0 +1,102 @@
+package compress
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripBasic(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{128},
+		{128, 128},
+		{1, 2, 3, 4, 5},
+		bytes.Repeat([]byte{128}, 1000), // silence
+		{10, 250, 3, 0, 255, 128},
+	}
+	for i, in := range cases {
+		enc := Encode(in)
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !bytes.Equal(dec, in) {
+			t.Errorf("case %d: round trip mismatch", i)
+		}
+	}
+}
+
+func TestSilenceCompressesHard(t *testing.T) {
+	silence := bytes.Repeat([]byte{128}, 226)
+	if r := Ratio(silence); r > 0.05 {
+		t.Errorf("silence ratio = %.3f, want < 0.05", r)
+	}
+}
+
+func TestToneCompresses(t *testing.T) {
+	// A quantized sine: small deltas, many short runs.
+	tone := make([]byte, 2048)
+	for i := range tone {
+		tone[i] = byte(128 + 100*math.Sin(float64(i)*0.05))
+	}
+	if r := Ratio(tone); r > 0.8 {
+		t.Errorf("slow tone ratio = %.3f, want < 0.8", r)
+	}
+}
+
+func TestNoiseBoundedExpansion(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	noise := make([]byte, 4096)
+	rng.Read(noise)
+	if r := Ratio(noise); r > 1.05 {
+		t.Errorf("noise ratio = %.3f, want <= ~1.05 (bounded expansion)", r)
+	}
+}
+
+func TestDecodeRejectsCorrupt(t *testing.T) {
+	bad := [][]byte{
+		{128, 0x00},          // truncated op
+		{128, 0x00, 5},       // run missing delta
+		{128, 0x01, 4, 1, 2}, // literal too short
+		{128, 0x03, 1, 1},    // unknown op
+		{128, 0x02, 4, 1},    // truncated packed segment
+		{128, 0x01, 0},       // zero-length op
+	}
+	for i, s := range bad {
+		if _, err := Decode(s); err == nil {
+			t.Errorf("corrupt stream %d accepted", i)
+		}
+	}
+}
+
+// Property: Decode(Encode(x)) == x for arbitrary input.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(in []byte) bool {
+		dec, err := Decode(Encode(in))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(dec, in)
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: expansion is bounded (never more than ~2 bytes overhead per
+// 255-byte literal segment plus the header).
+func TestQuickBoundedSize(t *testing.T) {
+	f := func(in []byte) bool {
+		enc := Encode(in)
+		bound := len(in) + 2*(len(in)/255+2)
+		return len(enc) <= bound
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(13))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

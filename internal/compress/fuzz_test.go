@@ -1,0 +1,48 @@
+package compress
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary streams to the decoder: it must never panic
+// and must reject or decode deterministically.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{128})
+	f.Add([]byte{128, 0x00, 5, 1})
+	f.Add([]byte{128, 0x01, 2, 7, 9})
+	f.Add([]byte{128, 0x02, 4, 0x18, 0x7F})
+	f.Add(Encode([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}))
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		out, err := Decode(stream)
+		if err != nil {
+			return
+		}
+		// A valid stream must re-encode to something that decodes to the
+		// same samples (canonical round trip through the data).
+		back, err2 := Decode(Encode(out))
+		if err2 != nil {
+			t.Fatalf("re-encode of decoded data failed: %v", err2)
+		}
+		if !bytes.Equal(back, out) {
+			t.Fatal("re-encode round trip mismatch")
+		}
+	})
+}
+
+// FuzzEncodeRoundTrip checks Decode(Encode(x)) == x for arbitrary inputs.
+func FuzzEncodeRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{128, 128, 128, 128})
+	f.Add([]byte{0, 255, 0, 255})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		out, err := Decode(Encode(in))
+		if err != nil {
+			t.Fatalf("round trip error: %v", err)
+		}
+		if !bytes.Equal(out, in) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}

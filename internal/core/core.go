@@ -1,0 +1,489 @@
+// Package core assembles the EnviroMic node from its modules — mote,
+// radio stack, time sync, group management, task assignment, storage
+// balancing — and builds whole networks in one of three operating modes
+// used by the paper's evaluation (§IV-B):
+//
+//   - ModeIndependent: the uncoordinated baseline. Every node records on
+//     its own upon detecting an event; no radio traffic at all.
+//   - ModeCooperative: cooperative recording (groups + task assignment)
+//     but no storage balancing.
+//   - ModeFull: cooperative recording plus TTL-based distributed storage
+//     balancing.
+//
+// A metrics.Collector is wired into every probe point, and a periodic
+// sampler snapshots storage occupancy, duplicate counts, and radio
+// counters for the time-series figures.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"enviromic/internal/acoustics"
+	"enviromic/internal/flash"
+	"enviromic/internal/geometry"
+	"enviromic/internal/group"
+	"enviromic/internal/metrics"
+	"enviromic/internal/mote"
+	"enviromic/internal/netstack"
+	"enviromic/internal/radio"
+	"enviromic/internal/retrieval"
+	"enviromic/internal/sim"
+	"enviromic/internal/storage"
+	"enviromic/internal/task"
+	"enviromic/internal/timesync"
+)
+
+// Mode selects the operating mode.
+type Mode int
+
+// Operating modes (§IV-B baselines and full system).
+const (
+	ModeIndependent Mode = iota + 1
+	ModeCooperative
+	ModeFull
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeIndependent:
+		return "independent"
+	case ModeCooperative:
+		return "cooperative"
+	case ModeFull:
+		return "full"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config parameterizes a network. Zero values select the paper's
+// defaults.
+type Config struct {
+	// Seed drives all randomness for the run.
+	Seed int64
+	// Mode selects the operating mode; defaults to ModeFull.
+	Mode Mode
+	// CommRange is the radio range in deployment units (must be set).
+	CommRange float64
+	// LossProb is the per-receiver frame loss probability.
+	LossProb float64
+	// DetectThreshold is the acoustic detection amplitude (must match
+	// the field's threshold); defaults to 1.
+	DetectThreshold float64
+	// FlashBlocks per mote; defaults to flash.DefaultBlocks.
+	FlashBlocks int
+	// SampleRate in Hz; defaults to mote.DefaultSampleRate (2.730 kHz).
+	SampleRate float64
+	// SynthesizeAudio evaluates the acoustic field per sample (needed
+	// only for waveform experiments).
+	SynthesizeAudio bool
+	// BetaMax is the storage-balancing threshold ceiling (ModeFull).
+	BetaMax float64
+	// Group, Task, Storage override module configs; zero values use the
+	// module defaults.
+	Group   *group.Config
+	Task    *task.Config
+	Storage *storage.Config
+	// MaxClockDriftPPM draws each mote's oscillator drift uniformly from
+	// [−max, +max]; 0 disables drift.
+	MaxClockDriftPPM float64
+	// TimeSync enables the FTSP module; without it nodes stamp chunks
+	// with their (possibly drifting) raw clocks.
+	TimeSync bool
+	// SamplePeriod is the metrics snapshot cadence; defaults to 60 s.
+	SamplePeriod time.Duration
+	// CompressMigrations applies in-transit delta/RLE compression to
+	// chunks moved by the storage balancer (§V's suggested integration).
+	CompressMigrations bool
+	// EnvelopeDetection switches acoustic detection from the geometric
+	// audibility test to the paper's sound-activated scheme (§II): a
+	// per-node running average of the background envelope, with a
+	// detection when the signal exceeds it by DetectionMargin. Use with a
+	// field that has a non-zero NoiseAmp so the background is realistic.
+	EnvelopeDetection bool
+	// DetectionMargin is the §II "sufficient margin" factor (default 3).
+	DetectionMargin float64
+	// DutyCycle, when in (0,1), puts each node to sleep for the
+	// complementary fraction of DutyPeriod (radio off, detection
+	// suspended), with per-node phase stagger. §II-B argues the TTL
+	// bookkeeping is oblivious to duty-cycling; this knob lets tests and
+	// ablations verify it. 0 disables.
+	DutyCycle float64
+	// DutyPeriod is the duty cycle's period (default 10 s).
+	DutyPeriod time.Duration
+	// TaskProbe and GroupProbe are optional user observer callbacks,
+	// invoked in addition to the network's own metrics wiring.
+	TaskProbe task.Probe
+	// GroupProbe observes group-management events.
+	GroupProbe group.Probe
+	// Energy overrides the battery model template; nil uses defaults.
+	Energy func() *mote.Energy
+}
+
+func (c *Config) applyDefaults() {
+	if c.Mode == 0 {
+		c.Mode = ModeFull
+	}
+	if c.CommRange <= 0 {
+		panic("core: CommRange must be positive")
+	}
+	if c.DetectThreshold == 0 {
+		c.DetectThreshold = 1
+	}
+	if c.BetaMax == 0 {
+		c.BetaMax = 2
+	}
+	if c.SamplePeriod == 0 {
+		c.SamplePeriod = time.Minute
+	}
+	if c.DutyCycle < 0 || c.DutyCycle > 1 {
+		panic(fmt.Sprintf("core: DutyCycle %v outside [0,1]", c.DutyCycle))
+	}
+	if c.DutyPeriod == 0 {
+		c.DutyPeriod = 10 * time.Second
+	}
+	if c.DetectionMargin == 0 {
+		c.DetectionMargin = 3
+	}
+}
+
+// Node is one assembled EnviroMic mote.
+type Node struct {
+	ID  int
+	Pos geometry.Point
+
+	Mote      *mote.Mote
+	Stack     *netstack.Stack
+	Bulk      *netstack.Bulk
+	Clock     *timesync.Clock
+	Sync      *timesync.Sync
+	Tasks     *task.Service
+	Group     *group.Manager
+	Balancer  *storage.Balancer
+	Responder *retrieval.Responder
+
+	indep *independentRecorder
+	duty  *dutyCycler
+}
+
+// Network is a complete simulated deployment.
+type Network struct {
+	Sched     *sim.Scheduler
+	Field     *acoustics.Field
+	Radio     *radio.Network
+	Nodes     []*Node
+	Collector *metrics.Collector
+
+	cfg     Config
+	sampler *sim.Ticker
+}
+
+// NewGridNetwork deploys nodes on a regular grid (the indoor testbed).
+func NewGridNetwork(cfg Config, field *acoustics.Field, grid geometry.Grid) *Network {
+	return NewNetwork(cfg, field, grid.Points())
+}
+
+// NewNetwork deploys nodes at arbitrary positions (the forest).
+func NewNetwork(cfg Config, field *acoustics.Field, positions []geometry.Point) *Network {
+	cfg.applyDefaults()
+	if len(positions) == 0 {
+		panic("core: no node positions")
+	}
+	sched := sim.NewScheduler(cfg.Seed)
+	rcfg := radio.DefaultConfig(cfg.CommRange)
+	rcfg.LossProb = cfg.LossProb
+	rnet := radio.NewNetwork(sched, rcfg)
+
+	posByID := make(map[int]geometry.Point, len(positions))
+	for i, p := range positions {
+		posByID[i] = p
+	}
+	collector := metrics.NewCollector(field, posByID)
+
+	n := &Network{
+		Sched:     sched,
+		Field:     field,
+		Radio:     rnet,
+		Collector: collector,
+		cfg:       cfg,
+	}
+	for i, pos := range positions {
+		n.Nodes = append(n.Nodes, n.buildNode(i, pos))
+	}
+	return n
+}
+
+func (n *Network) buildNode(id int, pos geometry.Point) *Node {
+	cfg := n.cfg
+	m := mote.New(id, pos, n.Sched, n.Field, n.Radio, mote.Config{
+		SampleRate:      cfg.SampleRate,
+		FlashBlocks:     cfg.FlashBlocks,
+		SynthesizeAudio: cfg.SynthesizeAudio,
+		Energy:          n.newEnergy(),
+	})
+	node := &Node{ID: id, Pos: pos, Mote: m}
+
+	node.Clock = &timesync.Clock{}
+	if cfg.MaxClockDriftPPM > 0 {
+		node.Clock.DriftPPM = (n.Sched.Rand().Float64()*2 - 1) * cfg.MaxClockDriftPPM
+		node.Clock.Offset = time.Duration(n.Sched.Rand().Int63n(int64(100 * time.Millisecond)))
+	}
+
+	sensor := &nodeSensor{net: n, m: m, node: node}
+	if cfg.EnvelopeDetection {
+		sensor.detector = acoustics.NewDetector(0.05, cfg.DetectionMargin)
+		// Seed the background with the ambient noise floor so the first
+		// polls do not misread silence as an event.
+		sensor.detector.Observe(n.Field.NoiseAmp)
+	}
+
+	if cfg.Mode == ModeIndependent {
+		// The baseline does not even power a protocol stack.
+		node.indep = newIndependentRecorder(n, node, sensor)
+		return node
+	}
+
+	node.Stack = netstack.NewStack(m.Endpoint, n.Sched)
+	node.Bulk = netstack.NewBulk(node.Stack, n.Sched)
+	node.Bulk.Compress = cfg.CompressMigrations
+
+	var ts task.TimeSource
+	if cfg.TimeSync {
+		node.Sync = timesync.New(id, node.Clock, n.Sched, node.Stack, timesync.DefaultConfig())
+		node.Stack.Register(timesync.Beacon{}.Kind(), func(from, to int, p radio.Payload) {
+			if b, ok := p.(timesync.Beacon); ok {
+				node.Sync.HandleBeacon(b)
+			}
+		})
+		ts = node.Sync
+	} else {
+		ts = perfectTime{n.Sched}
+	}
+
+	tcfg := task.DefaultConfig()
+	if cfg.Task != nil {
+		tcfg = *cfg.Task
+	}
+	userTP := cfg.TaskProbe
+	node.Tasks = task.NewService(id, node.Stack, n.Sched, m, ts, tcfg, task.Probe{
+		OnAssign:      userTP.OnAssign,
+		OnReject:      userTP.OnReject,
+		OnRecordStart: userTP.OnRecordStart,
+		OnRecordEnd: func(nid int, file flash.FileID, start, end sim.Time, stored, total int) {
+			n.onRecordEnd(node, file, start, end, stored, total)
+			if userTP.OnRecordEnd != nil {
+				userTP.OnRecordEnd(nid, file, start, end, stored, total)
+			}
+		},
+	})
+	node.Tasks.SetBusyCheck(func() bool { return node.Bulk.InFlight() > 0 })
+	// Hearing is raw audibility (not the probabilistic detection draw):
+	// the question is whether recording would capture the event at all.
+	node.Tasks.SetHearingCheck(func() bool { return m.Audible(n.Sched.Now()) })
+
+	gcfg := group.DefaultConfig()
+	if cfg.Group != nil {
+		gcfg = *cfg.Group
+	}
+	var ttlSrc group.TTLSource
+	if cfg.Mode == ModeFull {
+		scfg := storage.DefaultConfig(cfg.BetaMax)
+		if cfg.Storage != nil {
+			scfg = *cfg.Storage
+		}
+		node.Balancer = storage.NewBalancer(id, node.Stack, node.Bulk, n.Sched, m.Store, m.Energy, scfg, storage.Probe{
+			OnMigrateOut: func(from, to, chunks int, at sim.Time) {
+				n.Collector.AddMigration(metrics.Migration{From: from, To: to, Chunks: chunks, At: at})
+			},
+			OnOverflow: func(nid int, at sim.Time) { n.Collector.AddOverflow(at) },
+		})
+		ttlSrc = node.Balancer
+	}
+	// Retrieval responder: answers mule queries and relays spanning-tree
+	// convergecasts on the retrieval traffic class (the balancer keeps
+	// the balancing class).
+	node.Responder = retrieval.NewResponder(id, node.Stack, node.Bulk, n.Sched, m.Store)
+
+	userGP := cfg.GroupProbe
+	node.Group = group.NewManager(id, node.Stack, n.Sched, sensor, ttlSrc, node.Tasks, m, gcfg, group.Probe{
+		OnElected:     userGP.OnElected,
+		OnHandoff:     userGP.OnHandoff,
+		OnResign:      userGP.OnResign,
+		OnPreludeKeep: userGP.OnPreludeKeep,
+		OnHearingChanged: func(nid int, hearing bool, at sim.Time) {
+			if node.Sync != nil {
+				node.Sync.SetActive(hearing)
+			}
+			if userGP.OnHearingChanged != nil {
+				userGP.OnHearingChanged(nid, hearing, at)
+			}
+		},
+		OnPreludeStored: func(nid int, file flash.FileID, start, end sim.Time, stored, total int) {
+			n.onRecordEnd(node, file, start, end, stored, total)
+			if userGP.OnPreludeStored != nil {
+				userGP.OnPreludeStored(nid, file, start, end, stored, total)
+			}
+		},
+	})
+	return node
+}
+
+func (n *Network) newEnergy() *mote.Energy {
+	if n.cfg.Energy != nil {
+		return n.cfg.Energy()
+	}
+	return mote.DefaultEnergy()
+}
+
+// onRecordEnd funnels every completed recording into the collector and
+// the balancer's acquisition rate.
+func (n *Network) onRecordEnd(node *Node, file flash.FileID, start, end sim.Time, stored, total int) {
+	frac := 0.0
+	if total > 0 {
+		frac = float64(stored) / float64(total)
+	}
+	n.Collector.AddRecording(metrics.Recording{
+		Node: node.ID, File: file, Start: start, End: end, StoredFrac: frac,
+	})
+	if node.Balancer != nil {
+		node.Balancer.OnAcquired(stored * flash.BlockSize)
+	}
+	if stored < total {
+		n.Collector.AddOverflow(end)
+	}
+}
+
+// Start launches every node's modules and the metrics sampler.
+func (n *Network) Start() {
+	for _, node := range n.Nodes {
+		if n.cfg.DutyCycle > 0 && n.cfg.DutyCycle < 1 {
+			node.duty = newDutyCycler(n, node, n.cfg.DutyPeriod, n.cfg.DutyCycle)
+			node.duty.start()
+		}
+		if node.indep != nil {
+			node.indep.start()
+			continue
+		}
+		if node.Sync != nil {
+			node.Sync.Start()
+		}
+		node.Group.Start()
+		if node.Balancer != nil {
+			node.Balancer.Start()
+		}
+	}
+	n.sampler = sim.NewTicker(n.Sched, n.cfg.SamplePeriod, "core.sample", n.takeSample)
+}
+
+// Run starts (if needed) and executes the simulation until the given
+// time, then takes a final sample.
+func (n *Network) Run(until sim.Time) {
+	if n.sampler == nil {
+		n.Start()
+	}
+	n.Sched.Run(until)
+	n.takeSample()
+}
+
+func (n *Network) takeSample() {
+	stored := make(map[int]int, len(n.Nodes))
+	for _, node := range n.Nodes {
+		stored[node.ID] = node.Mote.Store.BytesUsed()
+	}
+	st := n.Radio.Stats()
+	kinds := make(map[string]uint64, len(st.TxByKind))
+	for k, v := range st.TxByKind {
+		kinds[k] = v
+	}
+	byNode := make(map[int]uint64, len(st.TxByNode))
+	for k, v := range st.TxByNode {
+		byNode[k] = v
+	}
+	n.Collector.AddSample(metrics.Sample{
+		At:              n.Sched.Now(),
+		StoredBytes:     stored,
+		DuplicateChunks: metrics.CountDuplicates(n.Holdings()),
+		TxByKind:        kinds,
+		TxByNode:        byNode,
+	})
+}
+
+// Holdings returns every node's current flash contents.
+func (n *Network) Holdings() map[int][]*flash.Chunk {
+	out := make(map[int][]*flash.Chunk, len(n.Nodes))
+	for _, node := range n.Nodes {
+		out[node.ID] = node.Mote.Store.Chunks()
+	}
+	return out
+}
+
+// TotalStoredBytes sums flash occupancy across the network.
+func (n *Network) TotalStoredBytes() int {
+	t := 0
+	for _, node := range n.Nodes {
+		t += node.Mote.Store.BytesUsed()
+	}
+	return t
+}
+
+// Kill fails a node completely (failure injection).
+func (n *Network) Kill(id int) {
+	node := n.Nodes[id]
+	if node.indep != nil {
+		node.indep.stop()
+	}
+	if node.Group != nil {
+		node.Group.Stop()
+	}
+	if node.Balancer != nil {
+		node.Balancer.Stop()
+	}
+	if node.Sync != nil {
+		node.Sync.Stop()
+	}
+	node.Mote.Kill()
+}
+
+// Config returns the network configuration (after defaulting).
+func (n *Network) Config() Config { return n.cfg }
+
+// perfectTime is the TimeSource used when FTSP is disabled.
+type perfectTime struct{ s *sim.Scheduler }
+
+func (p perfectTime) GlobalTime() sim.Time       { return p.s.Now() }
+func (p perfectTime) LocalNow() sim.Time         { return p.s.Now() }
+func (p perfectTime) AddReference(_, _ sim.Time) {}
+
+// nodeSensor implements group.Sensor over the mote, with the field's
+// imperfect detection probability applied per poll (§IV-B notes nodes
+// "may not detect the event reliably").
+type nodeSensor struct {
+	net      *Network
+	m        *mote.Mote
+	node     *Node
+	detector *acoustics.Detector
+}
+
+func (s *nodeSensor) Detect(at sim.Time) bool {
+	if s.node != nil && s.node.duty != nil && s.node.duty.Sleeping() {
+		return false // the ADC is powered down
+	}
+	if s.detector != nil {
+		// Sound-activated recording (§II): compare the instantaneous
+		// envelope (plus ambient noise) against the running background
+		// average.
+		level := s.m.SenseEnvelope(at) + s.net.Field.NoiseAmp
+		return s.detector.Observe(level)
+	}
+	if !s.m.Audible(at) {
+		return false
+	}
+	if p := s.net.Field.DetectProb; p > 0 && p < 1 {
+		return s.net.Sched.Rand().Float64() < p
+	}
+	return true
+}
+
+func (s *nodeSensor) Signal(at sim.Time) float64 { return s.m.SenseEnvelope(at) }

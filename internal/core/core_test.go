@@ -1,0 +1,487 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"enviromic/internal/acoustics"
+	"enviromic/internal/geometry"
+	"enviromic/internal/retrieval"
+	"enviromic/internal/sim"
+)
+
+// poissonEvents injects events at two fixed spots, each audible to an
+// explicit 4-node whitelist, mimicking the §IV-B indoor workload at a
+// reduced scale.
+func poissonEvents(field *acoustics.Field, seed int64, until time.Duration, meanGap, minDur, maxDur time.Duration, whitelists [][]int) {
+	rng := sim.NewScheduler(seed).Rand() // derive a standalone deterministic stream
+	var id acoustics.SourceID
+	t := time.Duration(0)
+	spots := []geometry.Point{{X: 1, Y: 1}, {X: 5, Y: 2}}
+	for {
+		gap := time.Duration(rng.ExpFloat64() * float64(meanGap))
+		t += gap
+		if t >= until {
+			return
+		}
+		dur := minDur + time.Duration(rng.Int63n(int64(maxDur-minDur)))
+		id++
+		which := int(id) % len(spots)
+		src := acoustics.StaticSource(id, spots[which], sim.At(t), dur, 100, acoustics.VoiceTone)
+		src.Whitelist = map[int]bool{}
+		for _, n := range whitelists[which] {
+			src.Whitelist[n] = true
+		}
+		field.AddSource(src)
+	}
+}
+
+// smallScenario returns a configured 8-node network with Poisson events
+// restricted to two 4-node groups, tiny flash, and the given mode.
+func smallScenario(t *testing.T, mode Mode, betaMax float64, dur time.Duration) *Network {
+	t.Helper()
+	// 16 nodes; only 8 ever hear events, the other 8 are quiet storage
+	// reserve (the paper's 48-node grid has the same hot/quiet split at a
+	// larger scale).
+	field := acoustics.NewField(1.0)
+	whitelists := [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}}
+	poissonEvents(field, 77, dur, 20*time.Second, 3*time.Second, 7*time.Second, whitelists)
+	grid := geometry.Grid{Cols: 4, Rows: 4, Pitch: 2}
+	cfg := Config{
+		Seed:         42,
+		Mode:         mode,
+		CommRange:    20, // everyone within one hop
+		LossProb:     0.02,
+		FlashBlocks:  96, // tiny flash so storage saturates mid-run
+		BetaMax:      betaMax,
+		SamplePeriod: 30 * time.Second,
+	}
+	return NewGridNetwork(cfg, field, grid)
+}
+
+func TestModeString(t *testing.T) {
+	if ModeIndependent.String() != "independent" || ModeCooperative.String() != "cooperative" ||
+		ModeFull.String() != "full" || Mode(9).String() != "Mode(9)" {
+		t.Error("Mode.String mismatch")
+	}
+}
+
+func TestIndependentBaselineRecordsWithoutTraffic(t *testing.T) {
+	n := smallScenario(t, ModeIndependent, 2, 4*time.Minute)
+	n.Run(sim.At(5 * time.Minute))
+	if len(n.Collector.Recordings) == 0 {
+		t.Fatal("baseline recorded nothing")
+	}
+	if got := n.Radio.Stats().TotalFrames; got != 0 {
+		t.Errorf("baseline sent %d frames, want 0", got)
+	}
+	if n.TotalStoredBytes() == 0 {
+		t.Error("baseline stored nothing")
+	}
+}
+
+func TestCooperativeReducesRedundancyVsBaseline(t *testing.T) {
+	dur := 6 * time.Minute
+	base := smallScenario(t, ModeIndependent, 2, dur)
+	base.Run(sim.At(dur + time.Minute))
+	coop := smallScenario(t, ModeCooperative, 2, dur)
+	coop.Run(sim.At(dur + time.Minute))
+
+	at := sim.At(dur)
+	rBase := base.Collector.RedundancyRatioAt(at, 2730)
+	rCoop := coop.Collector.RedundancyRatioAt(at, 2730)
+	if rBase <= rCoop {
+		t.Errorf("baseline redundancy %.3f not above cooperative %.3f", rBase, rCoop)
+	}
+	// The paper's baseline stabilizes near 0.5 with 4 hearers.
+	if rBase < 0.25 {
+		t.Errorf("baseline redundancy %.3f implausibly low", rBase)
+	}
+	if rCoop > 0.25 {
+		t.Errorf("cooperative redundancy %.3f too high", rCoop)
+	}
+}
+
+func TestBalancingReducesMissVsCooperative(t *testing.T) {
+	// Long enough that the 4 hearers' tiny flashes overflow; balancing
+	// must shift data to the quiet nodes and keep recording.
+	dur := 20 * time.Minute
+	coop := smallScenario(t, ModeCooperative, 2, dur)
+	coop.Run(sim.At(dur))
+	full := smallScenario(t, ModeFull, 2, dur)
+	full.Run(sim.At(dur))
+
+	at := sim.At(dur)
+	missCoop := coop.Collector.MissRatioAt(at)
+	missFull := full.Collector.MissRatioAt(at)
+	if missFull >= missCoop {
+		t.Errorf("full-mode miss %.3f not below cooperative %.3f", missFull, missCoop)
+	}
+	if len(full.Collector.Migrations) == 0 {
+		t.Error("full mode never migrated data")
+	}
+	// Balancing must actually use the quiet nodes' flash.
+	quietBytes := 0
+	for _, node := range full.Nodes {
+		used := node.Mote.Store.BytesUsed()
+		// Nodes that never hear an event only hold migrated data... all
+		// nodes hear here; instead check total stored exceeds coop's.
+		quietBytes += used
+	}
+	if quietBytes <= coop.TotalStoredBytes() {
+		t.Errorf("full mode stored %d bytes <= cooperative %d", quietBytes, coop.TotalStoredBytes())
+	}
+}
+
+func TestFullModeSendsMoreMessagesThanCooperative(t *testing.T) {
+	dur := 10 * time.Minute
+	coop := smallScenario(t, ModeCooperative, 2, dur)
+	coop.Run(sim.At(dur))
+	full := smallScenario(t, ModeFull, 2, dur)
+	full.Run(sim.At(dur))
+	at := sim.At(dur)
+	if full.Collector.MessageCountAt(at) <= coop.Collector.MessageCountAt(at) {
+		t.Errorf("full-mode messages (%d) not above cooperative (%d)",
+			full.Collector.MessageCountAt(at), coop.Collector.MessageCountAt(at))
+	}
+}
+
+func TestSamplesAreTaken(t *testing.T) {
+	n := smallScenario(t, ModeFull, 2, 3*time.Minute)
+	n.Run(sim.At(3 * time.Minute))
+	// 30 s cadence over 180 s plus the final sample.
+	if got := len(n.Collector.Samples); got < 6 {
+		t.Errorf("only %d samples taken", got)
+	}
+	last := n.Collector.Samples[len(n.Collector.Samples)-1]
+	if len(last.StoredBytes) != 16 {
+		t.Errorf("sample covers %d nodes, want 16", len(last.StoredBytes))
+	}
+}
+
+func TestKillStopsANode(t *testing.T) {
+	n := smallScenario(t, ModeFull, 2, 5*time.Minute)
+	n.Start()
+	n.Sched.Run(sim.At(time.Minute))
+	n.Kill(0)
+	n.Sched.Run(sim.At(5 * time.Minute))
+	// Node 0 must have recorded nothing after the kill.
+	killAt := sim.At(time.Minute)
+	for _, r := range n.Collector.Recordings {
+		if r.Node == 0 && r.Start > killAt {
+			t.Errorf("dead node recorded at %v", r.Start)
+		}
+	}
+	if n.Nodes[0].Mote.Alive() {
+		t.Error("node still alive after Kill")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() (int, int, uint64) {
+		n := smallScenario(t, ModeFull, 2, 5*time.Minute)
+		n.Run(sim.At(5 * time.Minute))
+		return len(n.Collector.Recordings), n.TotalStoredBytes(), n.Radio.Stats().TotalFrames
+	}
+	a1, b1, c1 := run()
+	a2, b2, c2 := run()
+	if a1 != a2 || b1 != b2 || c1 != c2 {
+		t.Errorf("identical configs diverged: (%d,%d,%d) vs (%d,%d,%d)", a1, b1, c1, a2, b2, c2)
+	}
+}
+
+func TestTimeSyncIntegration(t *testing.T) {
+	field := acoustics.NewField(1.0)
+	field.AddSource(acoustics.StaticSource(1, geometry.Point{X: 2, Y: 0}, sim.At(30*time.Second), 20*time.Second, 100, acoustics.VoiceTone))
+	cfg := Config{
+		Seed:             5,
+		Mode:             ModeCooperative,
+		CommRange:        20,
+		FlashBlocks:      512,
+		TimeSync:         true,
+		MaxClockDriftPPM: 50,
+	}
+	n := NewNetwork(cfg, field, []geometry.Point{{X: 0}, {X: 2}, {X: 4}})
+	n.Run(sim.At(2 * time.Minute))
+	for _, node := range n.Nodes {
+		if node.Sync == nil {
+			t.Fatal("sync module missing")
+		}
+	}
+	// All nodes converge on node 0 as sync root.
+	for _, node := range n.Nodes {
+		if node.Sync.Root() != 0 {
+			t.Errorf("node %d sync root = %d", node.ID, node.Sync.Root())
+		}
+	}
+	// Recorded chunk timestamps must be close to true time despite the
+	// drifting clocks: every stamped chunk start must fall inside (a
+	// slightly widened) true recording interval of its origin node.
+	if len(n.Collector.Recordings) == 0 {
+		t.Fatal("nothing recorded")
+	}
+	const tol = 150 * time.Millisecond
+	for _, chunks := range n.Holdings() {
+		for _, c := range chunks {
+			ok := false
+			for _, r := range n.Collector.Recordings {
+				if r.Node != int(c.Origin) {
+					continue
+				}
+				if c.Start >= r.Start.Add(-tol) && c.Start <= r.End.Add(tol) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("chunk stamped %v (origin %d) matches no true recording interval",
+					c.Start, c.Origin)
+			}
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	field := acoustics.NewField(1.0)
+	for _, fn := range []func(){
+		func() { NewNetwork(Config{}, field, []geometry.Point{{}}) }, // no comm range
+		func() { NewNetwork(Config{CommRange: 1}, field, nil) },      // no nodes
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid network accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCrashRecoveryPreservesData(t *testing.T) {
+	// A mote loses power mid-run; its flash (with the EEPROM-checkpointed
+	// queue pointers) survives and its data is retrievable after physical
+	// collection (§III-B.3).
+	n := smallScenario(t, ModeCooperative, 2, 4*time.Minute)
+	n.Start()
+	n.Sched.Run(sim.At(3 * time.Minute))
+	// Pick the node with the most data and crash it.
+	victim := n.Nodes[0]
+	for _, node := range n.Nodes {
+		if node.Mote.Store.Len() > victim.Mote.Store.Len() {
+			victim = node
+		}
+	}
+	before := victim.Mote.Store.Len()
+	if before == 0 {
+		t.Skip("no data recorded on any node (scenario too quiet)")
+	}
+	n.Kill(victim.ID)
+	victim.Mote.Store.Crash()
+	n.Sched.Run(sim.At(4 * time.Minute))
+
+	recovered, err := victim.Mote.Store.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The periodic checkpoint (every 16 mutations) bounds the loss.
+	if recovered < before-16 {
+		t.Errorf("recovered %d chunks of %d (checkpoint loss bound exceeded)", recovered, before)
+	}
+	// Recovered chunks participate in reassembly like any others.
+	files := retrieval.Reassemble(n.Holdings(), retrieval.Query{All: true})
+	found := false
+	for _, f := range files {
+		for _, c := range f.Chunks {
+			if int(c.Origin) == victim.ID {
+				found = true
+			}
+		}
+	}
+	if !found && recovered > 0 {
+		t.Error("recovered data absent from reassembly")
+	}
+}
+
+func TestCompressedMigrationsReduceAirBytes(t *testing.T) {
+	run := func(compress bool) uint64 {
+		field := acoustics.NewField(1.0)
+		whitelists := [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}}
+		poissonEvents(field, 77, 8*time.Minute, 20*time.Second, 3*time.Second, 7*time.Second, whitelists)
+		grid := geometry.Grid{Cols: 4, Rows: 4, Pitch: 2}
+		net := NewGridNetwork(Config{
+			Seed: 42, Mode: ModeFull, CommRange: 20, FlashBlocks: 96,
+			BetaMax: 2, CompressMigrations: compress,
+		}, field, grid)
+		net.Run(sim.At(8 * time.Minute))
+		return net.Radio.Stats().TotalBytes
+	}
+	plain, compressed := run(false), run(true)
+	// Placeholder sample payloads are highly compressible; air bytes must
+	// drop noticeably when migrations dominate traffic.
+	if compressed >= plain {
+		t.Errorf("compression did not reduce air bytes: %d vs %d", compressed, plain)
+	}
+}
+
+func TestDutyCyclingTradesCoverageForEnergy(t *testing.T) {
+	run := func(duty float64) (miss float64, drain float64) {
+		field := acoustics.NewField(1.0)
+		whitelists := [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}}
+		poissonEvents(field, 77, 8*time.Minute, 20*time.Second, 3*time.Second, 7*time.Second, whitelists)
+		grid := geometry.Grid{Cols: 4, Rows: 4, Pitch: 2}
+		net := NewGridNetwork(Config{
+			Seed: 42, Mode: ModeCooperative, CommRange: 20,
+			FlashBlocks: 512, DutyCycle: duty, DutyPeriod: 8 * time.Second,
+		}, field, grid)
+		net.Run(sim.At(8 * time.Minute))
+		var total float64
+		for _, node := range net.Nodes {
+			total += node.Mote.Energy.CapacityJ - node.Mote.Energy.Remaining(net.Sched.Now())
+		}
+		return net.Collector.MissRatioAt(sim.At(8 * time.Minute)), total
+	}
+	missOn, drainOn := run(0) // 0 disables duty cycling: always awake
+	missHalf, drainHalf := run(0.5)
+	if missHalf <= missOn {
+		t.Errorf("50%% duty cycle did not raise miss ratio: %.3f vs %.3f", missHalf, missOn)
+	}
+	// Radio-off time cuts the non-idle drain (the idle floor dominates at
+	// this scale, so just require a reduction, not a factor).
+	if drainHalf >= drainOn {
+		t.Errorf("duty cycling did not save energy: %.1f vs %.1f J", drainHalf, drainOn)
+	}
+	// But the network still records: events have several hearers and the
+	// staggered phases keep some awake.
+	if missHalf > 0.9 {
+		t.Errorf("duty-cycled network recorded almost nothing: miss %.3f", missHalf)
+	}
+}
+
+func TestDutyCycleValidation(t *testing.T) {
+	field := acoustics.NewField(1.0)
+	defer func() {
+		if recover() == nil {
+			t.Error("DutyCycle > 1 accepted")
+		}
+	}()
+	NewNetwork(Config{CommRange: 1, DutyCycle: 1.5}, field, []geometry.Point{{}})
+}
+
+func TestRandomNodeFailuresDoNotStopTheNetwork(t *testing.T) {
+	// Kill a quarter of the nodes at random times; the survivors must
+	// keep electing, recording, and balancing, and the run must stay
+	// panic-free.
+	n := smallScenario(t, ModeFull, 2, 15*time.Minute)
+	n.Start()
+	killAt := []time.Duration{2 * time.Minute, 5 * time.Minute, 8 * time.Minute, 11 * time.Minute}
+	victims := []int{1, 5, 9, 13}
+	for i, at := range killAt {
+		id := victims[i]
+		n.Sched.At(sim.At(at), "kill", func() { n.Kill(id) })
+	}
+	n.Sched.Run(sim.At(15 * time.Minute))
+
+	// Recording continued after the last kill.
+	late := 0
+	for _, r := range n.Collector.Recordings {
+		if r.Start > sim.At(12*time.Minute) {
+			late++
+		}
+	}
+	if late == 0 {
+		t.Error("no recordings after the last node failure")
+	}
+	// Dead nodes recorded nothing past their deaths.
+	for i, at := range killAt {
+		for _, r := range n.Collector.Recordings {
+			if r.Node == victims[i] && r.Start > sim.At(at)+sim.Time(2*time.Second) {
+				t.Errorf("dead node %d recorded at %v (killed at %v)", victims[i], r.Start, at)
+			}
+		}
+	}
+	// The dead nodes' flash is still readable for post-collection
+	// reassembly (they are part of Holdings).
+	holdings := n.Holdings()
+	if len(holdings) != len(n.Nodes) {
+		t.Errorf("holdings covers %d nodes, want %d", len(holdings), len(n.Nodes))
+	}
+}
+
+func TestMuleGapReRequestFullCycle(t *testing.T) {
+	// One-hop collection with a range-limited mule misses far nodes; a
+	// spanning-tree round with the gap re-request completes the files.
+	field := acoustics.NewField(1.0)
+	grid := geometry.Grid{Cols: 6, Rows: 1, Pitch: 2}
+	loud := acoustics.LoudnessForRange(12, 1.0) // everyone hears
+	field.AddSource(acoustics.StaticSource(1, grid.PointAt(2, 0), sim.At(2*time.Second),
+		12*time.Second, loud, acoustics.VoiceTone))
+	net := NewGridNetwork(Config{
+		Seed: 4, Mode: ModeCooperative, CommRange: 4.5, // two-hop chain
+	}, field, grid)
+	net.Run(sim.At(30 * time.Second))
+
+	phys := retrieval.Reassemble(net.Holdings(), retrieval.Query{All: true})
+	var want int
+	for _, f := range phys {
+		want += len(f.Chunks)
+	}
+	if want == 0 {
+		t.Skip("nothing recorded")
+	}
+
+	mule := retrieval.NewMule(900, grid.PointAt(0, 0), net.Radio, net.Sched)
+	mule.Flood(retrieval.Query{All: true}, 1)
+	net.Sched.Run(net.Sched.Now().Add(time.Minute))
+	if len(mule.Collected) < want {
+		// Gap re-request: flood the missing file IDs again.
+		q := mule.MissingFiles(500 * time.Millisecond)
+		if len(q.Files) > 0 {
+			mule.Flood(q, 2)
+			net.Sched.Run(net.Sched.Now().Add(time.Minute))
+		}
+	}
+	if len(mule.Collected) < want*9/10 {
+		t.Errorf("mule collected %d of %d chunks after gap re-request", len(mule.Collected), want)
+	}
+}
+
+func TestEnvelopeDetectionRecordsOnlyLoudEvents(t *testing.T) {
+	// §II sound-activated recording: with a noisy background and the
+	// running-average detector, a loud event triggers recording while a
+	// sub-margin one does not.
+	field := acoustics.NewField(1.0)
+	field.NoiseAmp = 1.0
+	grid := geometry.Grid{Cols: 3, Rows: 1, Pitch: 2}
+	// The source sits 3 units from the nearest mote (off the grid line),
+	// so no node benefits from the near-field clamp.
+	srcPos := geometry.Point{X: 2, Y: 3}
+	// Quiet source: envelope ~1x noise floor at the nearest node — total
+	// level ~2x background, below the 3x margin.
+	field.AddSource(acoustics.StaticSource(1, srcPos, sim.At(10*time.Second),
+		8*time.Second, 3, acoustics.VoiceTone))
+	// Loud source later: envelope ~10x noise floor.
+	field.AddSource(acoustics.StaticSource(2, srcPos, sim.At(40*time.Second),
+		8*time.Second, 30, acoustics.VoiceTone))
+	net := NewGridNetwork(Config{
+		Seed: 3, Mode: ModeCooperative, CommRange: 10,
+		EnvelopeDetection: true, DetectionMargin: 3,
+	}, field, grid)
+	net.Run(sim.At(60 * time.Second))
+
+	var quietRecs, loudRecs int
+	for _, r := range net.Collector.Recordings {
+		switch {
+		case r.Start < sim.At(30*time.Second):
+			quietRecs++
+		case r.Start >= sim.At(39*time.Second):
+			loudRecs++
+		}
+	}
+	if quietRecs != 0 {
+		t.Errorf("sub-margin event triggered %d recordings", quietRecs)
+	}
+	if loudRecs == 0 {
+		t.Error("loud event never recorded under envelope detection")
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"enviromic/internal/sim"
+)
+
+// dutyCycler puts a node to sleep periodically (§II-B discusses
+// duty-cycling: while asleep neither flash nor energy is consumed, so
+// both TTLs stretch by the same factor and the bottleneck decision is
+// unaffected). Sleep phases are staggered across nodes so some neighbors
+// are always awake.
+//
+// Sleeping means: the radio is off and acoustic polling is suspended (the
+// group manager's sensor reports silence). A node that is mid-recording
+// postpones its sleep until the task completes — powering down the ADC
+// mid-task would corrupt the chunk.
+type dutyCycler struct {
+	net    *Network
+	node   *Node
+	period time.Duration
+	awake  time.Duration
+
+	sleeping bool
+	ticker   *sim.Ticker
+}
+
+// newDutyCycler configures a node to be awake for awakeFraction of each
+// period, with a per-node phase offset.
+func newDutyCycler(net *Network, node *Node, period time.Duration, awakeFraction float64) *dutyCycler {
+	if awakeFraction <= 0 || awakeFraction > 1 {
+		panic(fmt.Sprintf("core: duty cycle fraction %v outside (0,1]", awakeFraction))
+	}
+	if period <= 0 {
+		panic("core: non-positive duty period")
+	}
+	return &dutyCycler{
+		net:    net,
+		node:   node,
+		period: period,
+		awake:  time.Duration(float64(period) * awakeFraction),
+	}
+}
+
+func (d *dutyCycler) start() {
+	if d.awake >= d.period {
+		return // always on
+	}
+	// Stagger: node i's cycle starts i/n of a period later.
+	phase := time.Duration(int64(d.period) * int64(d.node.ID%8) / 8)
+	d.net.Sched.After(d.awake+phase, fmt.Sprintf("core.sleep.%d", d.node.ID), d.trySleep)
+}
+
+// Sleeping reports whether the node is currently in its sleep phase.
+func (d *dutyCycler) Sleeping() bool { return d.sleeping }
+
+func (d *dutyCycler) trySleep() {
+	if !d.node.Mote.Alive() {
+		return
+	}
+	if d.node.Tasks != nil && (d.node.Tasks.Recording() || d.node.Tasks.Leading()) {
+		// Finish the job first; check again shortly.
+		d.net.Sched.After(200*time.Millisecond, fmt.Sprintf("core.sleepretry.%d", d.node.ID), d.trySleep)
+		return
+	}
+	if d.node.Bulk != nil && d.node.Bulk.InFlight() > 0 {
+		d.net.Sched.After(200*time.Millisecond, fmt.Sprintf("core.sleepretry.%d", d.node.ID), d.trySleep)
+		return
+	}
+	d.sleeping = true
+	if d.node.Stack != nil {
+		d.node.Stack.Endpoint().SetRadio(false)
+	} else {
+		d.node.Mote.Endpoint.SetRadio(false)
+	}
+	d.net.Sched.After(d.period-d.awake, fmt.Sprintf("core.wake.%d", d.node.ID), d.wake)
+}
+
+func (d *dutyCycler) wake() {
+	d.sleeping = false
+	if !d.node.Mote.Alive() {
+		return
+	}
+	if d.node.Stack != nil {
+		d.node.Stack.Endpoint().SetRadio(true)
+		d.node.Stack.RadioRestored()
+	} else {
+		d.node.Mote.Endpoint.SetRadio(true)
+	}
+	d.net.Sched.After(d.awake, fmt.Sprintf("core.sleep.%d", d.node.ID), d.trySleep)
+}

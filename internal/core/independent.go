@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"enviromic/internal/flash"
+	"enviromic/internal/sim"
+	"enviromic/internal/task"
+)
+
+// independentRecorder is the §IV-B baseline: each node records a Trc-long
+// clip on its own whenever it detects an acoustic event, with no
+// coordination and no radio traffic. After a clip it re-polls; because
+// detection is imperfect, it "may or may not detect the event again even
+// if the event persists" — the effect the paper cites for the baseline's
+// ~0.5 redundancy ratio.
+type independentRecorder struct {
+	net    *Network
+	node   *Node
+	sensor *nodeSensor
+
+	pollInterval time.Duration
+	trc          time.Duration
+
+	ticker     *sim.Ticker
+	recording  bool
+	fileSerial uint32
+	seq        uint32
+	curFile    flash.FileID
+}
+
+func newIndependentRecorder(n *Network, node *Node, sensor *nodeSensor) *independentRecorder {
+	tcfg := task.DefaultConfig()
+	if n.cfg.Task != nil {
+		tcfg = *n.cfg.Task
+	}
+	pollInterval := 100 * time.Millisecond
+	if n.cfg.Group != nil {
+		pollInterval = n.cfg.Group.PollInterval
+	}
+	return &independentRecorder{
+		net:          n,
+		node:         node,
+		sensor:       sensor,
+		pollInterval: pollInterval,
+		trc:          tcfg.Trc,
+	}
+}
+
+func (r *independentRecorder) start() {
+	r.ticker = sim.NewTicker(r.net.Sched, r.pollInterval,
+		fmt.Sprintf("core.indep.%d", r.node.ID), r.poll)
+}
+
+func (r *independentRecorder) stop() {
+	if r.ticker != nil {
+		r.ticker.Stop()
+	}
+}
+
+func (r *independentRecorder) poll() {
+	if r.recording || !r.node.Mote.Alive() {
+		return
+	}
+	now := r.net.Sched.Now()
+	if !r.sensor.Detect(now) {
+		// A silence gap ends the local "file": the next detection is a
+		// new clip.
+		r.curFile = 0
+		return
+	}
+	r.recording = true
+	if r.curFile == 0 {
+		r.fileSerial++
+		r.curFile = flash.FileID(uint32(r.node.ID+1)<<16 | r.fileSerial&0xFFFF)
+		r.seq = 0
+	}
+	start := now
+	r.net.Sched.After(r.trc, fmt.Sprintf("core.indep.rec.%d", r.node.ID), func() {
+		end := r.net.Sched.Now()
+		samples := r.node.Mote.CaptureSamples(start, end)
+		chunks := flash.SplitSamples(r.curFile, int32(r.node.ID), r.seq, start, end, samples)
+		r.seq += uint32(len(chunks))
+		stored := r.node.Mote.StoreChunks(chunks)
+		r.recording = false
+		r.net.onRecordEnd(r.node, r.curFile, start, end, stored, len(chunks))
+	})
+}

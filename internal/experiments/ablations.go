@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"time"
+
+	"enviromic/internal/acoustics"
+	"enviromic/internal/core"
+	"enviromic/internal/geometry"
+	"enviromic/internal/group"
+	"enviromic/internal/mote"
+	"enviromic/internal/netstack"
+	"enviromic/internal/radio"
+	"enviromic/internal/sim"
+	"enviromic/internal/task"
+	"enviromic/internal/workload"
+)
+
+// AblationRow is one design-choice comparison.
+type AblationRow struct {
+	Name    string
+	With    float64
+	Without float64
+	Unit    string
+	Comment string
+}
+
+// Ablations runs the DESIGN.md §5 design-choice comparisons at reduced
+// scale and returns one row per knob. Used by `enviromic-figures
+// -ablations` and mirrored by the Ablation* benchmarks.
+func Ablations(seed int64) []AblationRow {
+	var rows []AblationRow
+
+	// Prelude: coverage of a short (0.8 s) event.
+	preludeRun := func(prelude time.Duration) float64 {
+		grid := geometry.Grid{Cols: 4, Rows: 1, Pitch: 1}
+		field := acoustics.NewField(1)
+		field.AddSource(acoustics.StaticSource(1, grid.PointAt(1, 0), sim.At(2*time.Second),
+			800*time.Millisecond, 3, acoustics.VoiceTone))
+		gcfg := group.DefaultConfig()
+		gcfg.Prelude = prelude
+		net := core.NewGridNetwork(core.Config{
+			Seed: seed, Mode: core.ModeCooperative, CommRange: 10, Group: &gcfg,
+		}, field, grid)
+		net.Run(sim.At(10 * time.Second))
+		return net.Collector.MissRatioAt(sim.At(10 * time.Second))
+	}
+	rows = append(rows, AblationRow{
+		Name: "prelude (0.8s event)", With: preludeRun(time.Second), Without: preludeRun(0),
+		Unit: "miss ratio", Comment: "short events survive election latency only with the prelude",
+	})
+
+	// Overhearing REJECT: redundancy under loss.
+	overhearRun := func(disable bool) float64 {
+		grid := geometry.Grid{Cols: 4, Rows: 1, Pitch: 1}
+		field := acoustics.NewField(1)
+		field.AddSource(acoustics.StaticSource(1, grid.PointAt(1, 0), sim.At(time.Second),
+			15*time.Second, 3, acoustics.VoiceTone))
+		tcfg := task.DefaultConfig()
+		tcfg.DisableOverhearing = disable
+		net := core.NewGridNetwork(core.Config{
+			Seed: seed, Mode: core.ModeCooperative, CommRange: 10,
+			LossProb: 0.25, Task: &tcfg,
+		}, field, grid)
+		net.Run(sim.At(18 * time.Second))
+		return net.Collector.RedundancyRatioAt(sim.At(18*time.Second), mote.DefaultSampleRate)
+	}
+	rows = append(rows, AblationRow{
+		Name: "overhearing REJECT (25% loss)", With: overhearRun(false), Without: overhearRun(true),
+		Unit: "redundancy ratio", Comment: "lost CONFIRMs duplicate recorders unless overheard confirms reject",
+	})
+
+	// Piggybacking: frames for a fixed mixed control load.
+	piggyRun := func(on bool) float64 {
+		s := sim.NewScheduler(seed)
+		rcfg := radio.DefaultConfig(5)
+		rcfg.LossProb = 0
+		net := radio.NewNetwork(s, rcfg)
+		for i := 0; i < 4; i++ {
+			st := netstack.NewStack(net.Join(i, geometry.Point{X: float64(i)}), s)
+			if !on {
+				st.MaxPiggyback = 0
+			}
+			sim.NewTicker(s, 500*time.Millisecond, "urgent", func() {
+				st.SendUrgent(radio.Broadcast, ablationPayload{kind: "ctl", size: 9})
+			})
+			sim.NewTicker(s, time.Second, "state", func() {
+				st.SendDelayTolerant(ablationPayload{kind: "state", size: 6})
+			})
+		}
+		s.Run(sim.At(time.Minute))
+		return float64(net.Stats().TotalFrames)
+	}
+	rows = append(rows, AblationRow{
+		Name: "piggybacking", With: piggyRun(true), Without: piggyRun(false),
+		Unit: "frames/minute", Comment: "delay-tolerant state rides on control frames",
+	})
+
+	// Recorder selection policy on a mobile event.
+	selRun := func(bySignal bool) float64 {
+		grid := workload.IndoorGrid()
+		field := acoustics.NewField(1)
+		src := workload.AddMobileCrossing(field, grid, 1, sim.At(2*time.Second))
+		gcfg := group.DefaultConfig()
+		gcfg.SelectBySignal = bySignal
+		net := core.NewGridNetwork(core.Config{
+			Seed: seed, Mode: core.ModeCooperative, CommRange: 3.5 * grid.Pitch,
+			LossProb: 0.05, Group: &gcfg,
+		}, field, grid)
+		net.Run(src.End.Add(3 * time.Second))
+		return net.Collector.MissRatioAt(src.End.Add(2 * time.Second))
+	}
+	rows = append(rows, AblationRow{
+		Name: "selection: signal-first vs TTL-first", With: selRun(true), Without: selRun(false),
+		Unit: "miss ratio", Comment: "equal-TTL groups fall back to signal either way",
+	})
+	return rows
+}
+
+type ablationPayload struct {
+	kind string
+	size int
+}
+
+func (p ablationPayload) Kind() string { return p.kind }
+func (p ablationPayload) Size() int    { return p.size }

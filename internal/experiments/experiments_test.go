@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"enviromic/internal/sim"
+)
+
+func TestFig3Shape(t *testing.T) {
+	res := Fig3(1, 150)
+	if len(res.Quiet) != 150 || len(res.Sending) != 150 || len(res.Receiving) != 150 {
+		t.Fatalf("trace lengths %d/%d/%d", len(res.Quiet), len(res.Sending), len(res.Receiving))
+	}
+	for i, iv := range res.Quiet {
+		if iv != 10 {
+			t.Fatalf("quiet interval %d = %v, want exactly 10 jiffies", i, iv)
+		}
+	}
+	// Radio-active traces jitter between 9 and 16 (with some nominal 10s
+	// between packets), matching Fig 3(b)/(c).
+	counts := map[float64]int{}
+	for _, iv := range res.Sending {
+		counts[iv]++
+	}
+	if counts[16] == 0 || counts[9] == 0 {
+		t.Errorf("sending trace lacks the 9/16 jitter: %v", counts)
+	}
+	for iv := range counts {
+		if iv != 9 && iv != 10 && iv != 16 {
+			t.Errorf("unexpected interval %v jiffies", iv)
+		}
+	}
+}
+
+func TestFig6ShapeReduced(t *testing.T) {
+	opts := Fig6Opts{
+		Seed:    1,
+		Runs:    4,
+		DtaMS:   []int{10, 70, 130},
+		TrcList: []time.Duration{time.Second},
+	}
+	res := Fig6(opts)
+	if len(res.Mean) != 1 || len(res.Mean[0]) != 3 {
+		t.Fatalf("result shape %dx%d", len(res.Mean), len(res.Mean[0]))
+	}
+	small, knee, large := res.Mean[0][0], res.Mean[0][1], res.Mean[0][2]
+	// The curve decreases and levels: Dta=10ms suffers reassignment gaps;
+	// by 70ms only the startup election miss remains (~0.7s/9s ≈ 8%).
+	if small <= knee {
+		t.Errorf("miss at Dta=10ms (%.3f) not above Dta=70ms (%.3f)", small, knee)
+	}
+	if knee < 0.02 || knee > 0.20 {
+		t.Errorf("miss at Dta=70ms = %.3f, want startup-dominated ~0.08", knee)
+	}
+	if large > knee+0.05 {
+		t.Errorf("miss at Dta=130ms (%.3f) should stay level vs 70ms (%.3f)", large, knee)
+	}
+}
+
+func TestFig7TimelineRotatesSeamlessly(t *testing.T) {
+	res := Fig7(5)
+	if len(res.Tasks) < 6 {
+		t.Fatalf("only %d tasks for a 9s event", len(res.Tasks))
+	}
+	nodes := map[int]bool{}
+	for _, task := range res.Tasks {
+		nodes[task.Node] = true
+	}
+	if len(nodes) < 3 {
+		t.Errorf("recording rotated over only %d nodes", len(nodes))
+	}
+	// Not all 48 nodes record (Fig 7's point).
+	if len(nodes) > 20 {
+		t.Errorf("%d nodes recorded; cooperative assignment should use few", len(nodes))
+	}
+	// The initial election gap exists, then coverage is near-continuous.
+	first := res.Tasks[0].Start
+	for _, task := range res.Tasks {
+		if task.Start < first {
+			first = task.Start
+		}
+	}
+	startupGap := first.Sub(res.EventStart)
+	if startupGap <= 0 || startupGap > 1500*time.Millisecond {
+		t.Errorf("startup gap = %v, want (0, 1.5s] (paper: ~0.7s)", startupGap)
+	}
+}
+
+func TestFig8StitchedResemblesReference(t *testing.T) {
+	res := Fig8(3)
+	if len(res.Stitched) == 0 || len(res.Reference) == 0 {
+		t.Fatal("empty streams")
+	}
+	if res.Coverage < 0.6 {
+		t.Errorf("stitched coverage = %.2f, want > 0.6", res.Coverage)
+	}
+	// The stitched stream carries the recorders' 1/d amplitude modulation
+	// that the handheld reference lacks (visible in the paper's own
+	// Fig 8), so the correlation is strong but not near 1.
+	if res.EnvelopeCorr < 0.4 {
+		t.Errorf("envelope correlation = %.2f, want > 0.4 (Fig 8 visual similarity)", res.EnvelopeCorr)
+	}
+}
+
+func TestIndoorOrderingsReduced(t *testing.T) {
+	res := Indoor(QuickIndoorOpts())
+	end := res.Miss.Times[len(res.Miss.Times)-1]
+	_ = end
+	last := func(s Series, name string) float64 {
+		c := s.Curves[name]
+		return c[len(c)-1]
+	}
+	// Fig 10 orderings: balancing beats cooperative-only beats nothing;
+	// βmax=2 is the most aggressive and best.
+	missBase := last(res.Miss, "baseline")
+	missCoop := last(res.Miss, "coop-only")
+	missB2 := last(res.Miss, "lb-beta2")
+	missB4 := last(res.Miss, "lb-beta4")
+	if missB2 >= missCoop {
+		t.Errorf("lb-beta2 miss %.3f not below coop-only %.3f", missB2, missCoop)
+	}
+	if missB2 >= missBase {
+		t.Errorf("lb-beta2 miss %.3f not below baseline %.3f", missB2, missBase)
+	}
+	if missB4 > missCoop {
+		t.Errorf("lb-beta4 miss %.3f above coop-only %.3f", missB4, missCoop)
+	}
+	// Fig 11: the uncoordinated baseline has by far the highest
+	// redundancy (paper: ~0.5).
+	redBase := last(res.Redundancy, "baseline")
+	redCoop := last(res.Redundancy, "coop-only")
+	if redBase <= redCoop {
+		t.Errorf("baseline redundancy %.3f not above coop-only %.3f", redBase, redCoop)
+	}
+	if redBase < 0.2 {
+		t.Errorf("baseline redundancy %.3f implausibly low (paper ~0.5)", redBase)
+	}
+	// Fig 12: balancing costs control messages; baseline sends none.
+	msgB2 := last(res.Messages, "lb-beta2")
+	msgCoop := last(res.Messages, "coop-only")
+	if msgB2 <= msgCoop {
+		t.Errorf("lb-beta2 messages %.0f not above coop-only %.0f", msgB2, msgCoop)
+	}
+	if got := last(res.Messages, "baseline"); got != 0 {
+		t.Errorf("baseline sent %v messages, want 0", got)
+	}
+	// Message growth is roughly monotone over time (Fig 12's linearity).
+	msgs := res.Messages.Curves["lb-beta2"]
+	for i := 1; i < len(msgs); i++ {
+		if msgs[i] < msgs[i-1] {
+			t.Errorf("cumulative message count decreased at %d", i)
+		}
+	}
+}
+
+func TestIndoorHeatmapsReduced(t *testing.T) {
+	opts := QuickIndoorOpts()
+	net := RunIndoor(IndoorSetting{Name: "lb-beta2", Mode: 3, BetaMax: 2}, opts)
+	h := HeatmapAt(net, sim.At(opts.Duration), false)
+	if h.Total() <= 0 {
+		t.Error("storage heatmap empty")
+	}
+	ho := HeatmapAt(net, sim.At(opts.Duration), true)
+	if ho.Total() <= 0 {
+		t.Error("overhead heatmap empty")
+	}
+}
+
+func TestForestReduced(t *testing.T) {
+	res := Forest(QuickForestOpts())
+	if len(res.PerMinute) < 19 {
+		t.Fatalf("per-minute series has %d buckets", len(res.PerMinute))
+	}
+	total := 0.0
+	for _, v := range res.PerMinute {
+		total += v
+	}
+	if total <= 0 {
+		t.Fatal("forest recorded nothing")
+	}
+	if res.HottestNode < 0 {
+		t.Fatal("no hottest node identified")
+	}
+	if len(res.BytesByNode) == 0 {
+		t.Error("no per-node volumes")
+	}
+}
+
+func TestMeanCI90(t *testing.T) {
+	m, ci := meanCI90([]float64{1, 1, 1, 1})
+	if m != 1 || ci != 0 {
+		t.Errorf("constant series: mean=%v ci=%v", m, ci)
+	}
+	m, ci = meanCI90(nil)
+	if m != 0 || ci != 0 {
+		t.Errorf("empty series: mean=%v ci=%v", m, ci)
+	}
+	m, ci = meanCI90([]float64{0, 2})
+	if m != 1 || ci <= 0 {
+		t.Errorf("spread series: mean=%v ci=%v", m, ci)
+	}
+}
+
+func TestEnergyCostOfBalancingIsNegligible(t *testing.T) {
+	res := EnergyCost(QuickIndoorOpts())
+	if res.MeanDrainFull <= 0 || res.MeanDrainCoop <= 0 {
+		t.Fatalf("drains = %+v", res)
+	}
+	// §IV-B: "the lifetime reduction due to such load balancing should be
+	// below one hour" of a week — well under 1% of capacity.
+	if res.LifetimeReductionFraction > 0.01 {
+		t.Errorf("balancing consumed %.3f%% of battery capacity, want < 1%%",
+			res.LifetimeReductionFraction*100)
+	}
+	if res.ExtraFraction < 0 {
+		t.Errorf("full mode drained less than cooperative: %+v", res)
+	}
+}

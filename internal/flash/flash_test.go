@@ -1,0 +1,434 @@
+package flash
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"enviromic/internal/sim"
+)
+
+func mkChunk(file FileID, seq uint32, n int) *Chunk {
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte(seq + uint32(i))
+	}
+	return &Chunk{
+		File: file, Origin: 7, Seq: seq,
+		Start: sim.At(time.Duration(seq) * time.Second),
+		End:   sim.At(time.Duration(seq+1) * time.Second),
+		Data:  data,
+	}
+}
+
+func TestChunkMarshalRoundTrip(t *testing.T) {
+	c := mkChunk(42, 3, 100)
+	buf, err := c.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != BlockSize {
+		t.Fatalf("marshalled size %d, want %d", len(buf), BlockSize)
+	}
+	got, err := UnmarshalChunk(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.File != c.File || got.Origin != c.Origin || got.Seq != c.Seq ||
+		got.Start != c.Start || got.End != c.End {
+		t.Errorf("metadata mismatch: %+v vs %+v", got, c)
+	}
+	if string(got.Data) != string(c.Data) {
+		t.Error("payload mismatch")
+	}
+}
+
+func TestChunkMarshalFullPayload(t *testing.T) {
+	c := mkChunk(1, 1, PayloadSize)
+	buf, err := c.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalChunk(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Data) != PayloadSize {
+		t.Errorf("payload length %d, want %d", len(got.Data), PayloadSize)
+	}
+}
+
+func TestChunkMarshalOversizedFails(t *testing.T) {
+	c := mkChunk(1, 1, PayloadSize+1)
+	if _, err := c.Marshal(); !errors.Is(err, ErrPayloadTooLarge) {
+		t.Errorf("got %v, want ErrPayloadTooLarge", err)
+	}
+}
+
+func TestUnmarshalRejectsBadInput(t *testing.T) {
+	if _, err := UnmarshalChunk(make([]byte, 10)); err == nil {
+		t.Error("short buffer accepted")
+	}
+	buf := make([]byte, BlockSize)
+	buf[28] = 0xFF // payload length 0xFF00 > PayloadSize
+	buf[29] = 0x00
+	if _, err := UnmarshalChunk(buf); err == nil {
+		t.Error("corrupt length accepted")
+	}
+}
+
+func TestChunkClone(t *testing.T) {
+	c := mkChunk(1, 1, 8)
+	cp := c.Clone()
+	cp.Data[0] = 0xEE
+	if c.Data[0] == 0xEE {
+		t.Error("Clone shares payload")
+	}
+}
+
+func TestStoreFIFO(t *testing.T) {
+	s := NewStore(4)
+	for i := uint32(0); i < 3; i++ {
+		if err := s.Enqueue(mkChunk(1, i, 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 3 || s.Free() != 1 {
+		t.Fatalf("Len/Free = %d/%d", s.Len(), s.Free())
+	}
+	for i := uint32(0); i < 3; i++ {
+		c, err := s.DequeueHead()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Seq != i {
+			t.Errorf("dequeue order: got seq %d, want %d", c.Seq, i)
+		}
+	}
+	if _, err := s.DequeueHead(); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty dequeue: %v", err)
+	}
+}
+
+func TestStoreFullRejects(t *testing.T) {
+	s := NewStore(2)
+	if err := s.Enqueue(mkChunk(1, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Enqueue(mkChunk(1, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Enqueue(mkChunk(1, 2, 1)); !errors.Is(err, ErrFull) {
+		t.Errorf("overfull enqueue: %v", err)
+	}
+	if s.Len() != 2 {
+		t.Errorf("failed enqueue mutated store: Len=%d", s.Len())
+	}
+}
+
+func TestStoreEnqueueOversizedRejected(t *testing.T) {
+	s := NewStore(2)
+	if err := s.Enqueue(mkChunk(1, 0, PayloadSize+1)); !errors.Is(err, ErrPayloadTooLarge) {
+		t.Errorf("oversized enqueue: %v", err)
+	}
+	if s.Len() != 0 {
+		t.Error("failed enqueue consumed a block")
+	}
+}
+
+func TestStoreWrapAround(t *testing.T) {
+	s := NewStore(3)
+	seq := uint32(0)
+	// Fill, drain one, refill — several laps around the ring.
+	for lap := 0; lap < 5; lap++ {
+		for s.Free() > 0 {
+			if err := s.Enqueue(mkChunk(1, seq, 5)); err != nil {
+				t.Fatal(err)
+			}
+			seq++
+		}
+		c, err := s.DequeueHead()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := seq - 3
+		if c.Seq != want {
+			t.Fatalf("lap %d: head seq %d, want %d", lap, c.Seq, want)
+		}
+	}
+}
+
+func TestStoreWearLevelling(t *testing.T) {
+	s := NewStore(8)
+	for i := uint32(0); i < 100; i++ {
+		if err := s.Enqueue(mkChunk(1, i, 4)); err != nil {
+			t.Fatal(err)
+		}
+		if s.Free() == 0 {
+			if _, err := s.DequeueHead(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if spread := s.WearSpread(); spread > 1 {
+		t.Errorf("wear spread = %d, want <= 1", spread)
+	}
+	if s.TotalWrites() != 100 {
+		t.Errorf("TotalWrites = %d, want 100", s.TotalWrites())
+	}
+}
+
+func TestStoreChunksOrder(t *testing.T) {
+	s := NewStore(4)
+	// Wrap the ring so head != 0.
+	for i := uint32(0); i < 4; i++ {
+		_ = s.Enqueue(mkChunk(1, i, 2))
+	}
+	_, _ = s.DequeueHead()
+	_, _ = s.DequeueHead()
+	_ = s.Enqueue(mkChunk(1, 4, 2))
+	got := s.Chunks()
+	want := []uint32{2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("Chunks len %d, want %d", len(got), len(want))
+	}
+	for i, c := range got {
+		if c.Seq != want[i] {
+			t.Errorf("Chunks[%d].Seq = %d, want %d", i, c.Seq, want[i])
+		}
+	}
+}
+
+func TestStoreBytesAccounting(t *testing.T) {
+	s := NewStore(10)
+	_ = s.Enqueue(mkChunk(1, 0, 1)) // even a 1-byte payload takes a block
+	if s.BytesUsed() != BlockSize {
+		t.Errorf("BytesUsed = %d, want %d", s.BytesUsed(), BlockSize)
+	}
+	if s.BytesFree() != 9*BlockSize {
+		t.Errorf("BytesFree = %d, want %d", s.BytesFree(), 9*BlockSize)
+	}
+}
+
+func TestStorePeekHead(t *testing.T) {
+	s := NewStore(2)
+	if _, err := s.PeekHead(); !errors.Is(err, ErrEmpty) {
+		t.Errorf("peek empty: %v", err)
+	}
+	_ = s.Enqueue(mkChunk(1, 9, 2))
+	c, err := s.PeekHead()
+	if err != nil || c.Seq != 9 {
+		t.Errorf("PeekHead = %v, %v", c, err)
+	}
+	if s.Len() != 1 {
+		t.Error("PeekHead removed the chunk")
+	}
+}
+
+func TestCrashRecoverAtCheckpoint(t *testing.T) {
+	s := NewStore(16)
+	s.CheckpointEvery = 4
+	for i := uint32(0); i < 8; i++ { // exactly two checkpoint periods
+		_ = s.Enqueue(mkChunk(1, i, 2))
+	}
+	s.Crash()
+	if s.Len() != 0 {
+		t.Fatal("crash did not clear volatile state")
+	}
+	n, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 8 {
+		t.Errorf("recovered %d chunks, want 8", n)
+	}
+	got := s.Chunks()
+	for i, c := range got {
+		if c.Seq != uint32(i) {
+			t.Errorf("recovered order broken at %d: seq %d", i, c.Seq)
+		}
+	}
+}
+
+func TestCrashLosesPostCheckpointWrites(t *testing.T) {
+	s := NewStore(16)
+	s.CheckpointEvery = 100 // only the initial (empty) checkpoint exists
+	for i := uint32(0); i < 5; i++ {
+		_ = s.Enqueue(mkChunk(1, i, 2))
+	}
+	s.Checkpoint() // explicit save at 5 chunks
+	for i := uint32(5); i < 8; i++ {
+		_ = s.Enqueue(mkChunk(1, i, 2))
+	}
+	s.Crash()
+	n, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The three post-checkpoint chunks are outside the recovered window.
+	if n != 5 {
+		t.Errorf("recovered %d chunks, want 5", n)
+	}
+}
+
+func TestRecoverCompactsDequeuedSlots(t *testing.T) {
+	s := NewStore(8)
+	s.CheckpointEvery = 1000
+	for i := uint32(0); i < 4; i++ {
+		_ = s.Enqueue(mkChunk(1, i, 2))
+	}
+	s.Checkpoint()
+	// Dequeue two after the checkpoint: their slots are nil but the
+	// checkpointed window still covers them.
+	_, _ = s.DequeueHead()
+	_, _ = s.DequeueHead()
+	s.Crash()
+	n, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("recovered %d chunks, want 2 surviving", n)
+	}
+	for _, c := range s.Chunks() {
+		if c == nil {
+			t.Fatal("nil chunk in recovered queue")
+		}
+	}
+}
+
+func TestSplitSamplesSegmentsAndTimestamps(t *testing.T) {
+	total := PayloadSize*2 + 50
+	samples := make([]byte, total)
+	for i := range samples {
+		samples[i] = byte(i)
+	}
+	start, end := sim.At(10*time.Second), sim.At(12*time.Second)
+	chunks := SplitSamples(7, 3, 100, start, end, samples)
+	if len(chunks) != 3 {
+		t.Fatalf("got %d chunks, want 3", len(chunks))
+	}
+	if chunks[0].Seq != 100 || chunks[2].Seq != 102 {
+		t.Errorf("sequence numbers: %d..%d", chunks[0].Seq, chunks[2].Seq)
+	}
+	if chunks[0].Start != start {
+		t.Errorf("first chunk starts at %v, want %v", chunks[0].Start, start)
+	}
+	if chunks[2].End != end {
+		t.Errorf("last chunk ends at %v, want %v", chunks[2].End, end)
+	}
+	// Contiguity: each chunk starts where the previous ended.
+	for i := 1; i < len(chunks); i++ {
+		if chunks[i].Start != chunks[i-1].End {
+			t.Errorf("gap between chunk %d and %d: %v vs %v",
+				i-1, i, chunks[i-1].End, chunks[i].Start)
+		}
+	}
+	// Payload reassembly matches the input.
+	var joined []byte
+	for _, c := range chunks {
+		joined = append(joined, c.Data...)
+	}
+	if string(joined) != string(samples) {
+		t.Error("reassembled payload differs from input")
+	}
+}
+
+func TestSplitSamplesEmpty(t *testing.T) {
+	if got := SplitSamples(1, 1, 0, 0, 0, nil); got != nil {
+		t.Errorf("empty input produced %d chunks", len(got))
+	}
+}
+
+func TestNewStoreValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-block store did not panic")
+		}
+	}()
+	NewStore(0)
+}
+
+// Property: any sequence of enqueue/dequeue operations preserves FIFO
+// order and exact occupancy accounting.
+func TestQuickStoreFIFOInvariant(t *testing.T) {
+	f := func(ops []bool) bool {
+		s := NewStore(8)
+		var model []uint32
+		seq := uint32(0)
+		for _, enq := range ops {
+			if enq {
+				err := s.Enqueue(mkChunk(1, seq, 1))
+				if len(model) == 8 {
+					if !errors.Is(err, ErrFull) {
+						return false
+					}
+				} else {
+					if err != nil {
+						return false
+					}
+					model = append(model, seq)
+				}
+				seq++
+			} else {
+				c, err := s.DequeueHead()
+				if len(model) == 0 {
+					if !errors.Is(err, ErrEmpty) {
+						return false
+					}
+				} else {
+					if err != nil || c.Seq != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			}
+			if s.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(21))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: marshal/unmarshal is the identity on valid chunks.
+func TestQuickMarshalRoundTrip(t *testing.T) {
+	f := func(file uint32, origin int32, seq uint32, start, end int64, data []byte) bool {
+		if len(data) > PayloadSize {
+			data = data[:PayloadSize]
+		}
+		c := &Chunk{
+			File: FileID(file), Origin: origin, Seq: seq,
+			Start: sim.Time(start), End: sim.Time(end),
+			Data: data,
+		}
+		buf, err := c.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalChunk(buf)
+		if err != nil {
+			return false
+		}
+		if got.File != c.File || got.Origin != c.Origin || got.Seq != c.Seq ||
+			got.Start != c.Start || got.End != c.End || len(got.Data) != len(data) {
+			return false
+		}
+		for i := range data {
+			if got.Data[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(33))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

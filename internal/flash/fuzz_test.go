@@ -1,0 +1,29 @@
+package flash
+
+import "testing"
+
+// FuzzUnmarshalChunk feeds arbitrary block images to the decoder: it must
+// never panic, and accepted blocks must re-marshal losslessly.
+func FuzzUnmarshalChunk(f *testing.F) {
+	valid, _ := (&Chunk{File: 3, Origin: 2, Seq: 1, Start: 10, End: 20, Data: []byte{1, 2, 3}}).Marshal()
+	f.Add(valid)
+	f.Add(make([]byte, BlockSize))
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		c, err := UnmarshalChunk(buf)
+		if err != nil {
+			return
+		}
+		out, err := c.Marshal()
+		if err != nil {
+			t.Fatalf("accepted chunk fails to marshal: %v", err)
+		}
+		back, err := UnmarshalChunk(out)
+		if err != nil {
+			t.Fatalf("remarshalled block rejected: %v", err)
+		}
+		if back.File != c.File || back.Seq != c.Seq || len(back.Data) != len(c.Data) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}

@@ -1,0 +1,228 @@
+// Package geometry provides the small amount of 2-D spatial math EnviroMic
+// needs: points, distances, piecewise-linear motion paths, grid
+// deployments, and spatial binning used to render the paper's contour
+// figures (Figs 13, 14, 17).
+package geometry
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a position in the deployment plane. Units are whatever the
+// scenario chooses (the indoor testbed uses feet with a 2 ft grid pitch).
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Hypot(dx, dy)
+}
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p − q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by k.
+func (p Point) Scale(k float64) Point { return Point{p.X * k, p.Y * k} }
+
+// Norm returns the distance from the origin.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Lerp linearly interpolates from p to q; f=0 gives p, f=1 gives q.
+func (p Point) Lerp(q Point, f float64) Point {
+	return Point{p.X + (q.X-p.X)*f, p.Y + (q.Y-p.Y)*f}
+}
+
+// String formats the point with two decimals.
+func (p Point) String() string { return fmt.Sprintf("(%.2f, %.2f)", p.X, p.Y) }
+
+// Grid describes a regular Cols×Rows deployment with a fixed pitch,
+// matching the paper's 8×6 indoor testbed with 2 ft spacing.
+type Grid struct {
+	Cols, Rows int
+	Pitch      float64
+	Origin     Point
+}
+
+// NumNodes returns Cols*Rows.
+func (g Grid) NumNodes() int { return g.Cols * g.Rows }
+
+// PointAt returns the position of grid cell (col, row). It panics on
+// out-of-range indices: deployments are constructed once and an index bug
+// should fail loudly.
+func (g Grid) PointAt(col, row int) Point {
+	if col < 0 || col >= g.Cols || row < 0 || row >= g.Rows {
+		panic(fmt.Sprintf("geometry: grid index (%d,%d) outside %dx%d", col, row, g.Cols, g.Rows))
+	}
+	return Point{g.Origin.X + float64(col)*g.Pitch, g.Origin.Y + float64(row)*g.Pitch}
+}
+
+// Index maps (col, row) to a linear node index in row-major order.
+func (g Grid) Index(col, row int) int {
+	if col < 0 || col >= g.Cols || row < 0 || row >= g.Rows {
+		panic(fmt.Sprintf("geometry: grid index (%d,%d) outside %dx%d", col, row, g.Cols, g.Rows))
+	}
+	return row*g.Cols + col
+}
+
+// Cell inverts Index.
+func (g Grid) Cell(index int) (col, row int) {
+	if index < 0 || index >= g.NumNodes() {
+		panic(fmt.Sprintf("geometry: linear index %d outside %dx%d", index, g.Cols, g.Rows))
+	}
+	return index % g.Cols, index / g.Cols
+}
+
+// Points returns all node positions in row-major order.
+func (g Grid) Points() []Point {
+	pts := make([]Point, 0, g.NumNodes())
+	for row := 0; row < g.Rows; row++ {
+		for col := 0; col < g.Cols; col++ {
+			pts = append(pts, g.PointAt(col, row))
+		}
+	}
+	return pts
+}
+
+// Path is a piecewise-linear trajectory through waypoints at given times.
+// It models the paper's mobile acoustic sources (the cart in Fig 6-7, the
+// walking speaker in Fig 8).
+type Path struct {
+	waypoints []PathPoint
+}
+
+// PathPoint is one waypoint of a Path: be at P at time T (seconds from the
+// path's own epoch).
+type PathPoint struct {
+	T float64
+	P Point
+}
+
+// NewPath builds a path from waypoints. Waypoints must be in strictly
+// increasing time order and there must be at least one.
+func NewPath(pts ...PathPoint) *Path {
+	if len(pts) == 0 {
+		panic("geometry: path needs at least one waypoint")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].T <= pts[i-1].T {
+			panic(fmt.Sprintf("geometry: path waypoints out of order at %d (%v then %v)",
+				i, pts[i-1].T, pts[i].T))
+		}
+	}
+	cp := make([]PathPoint, len(pts))
+	copy(cp, pts)
+	return &Path{waypoints: cp}
+}
+
+// LinePath builds a constant-speed path from a to b over dur seconds.
+func LinePath(a, b Point, dur float64) *Path {
+	return NewPath(PathPoint{0, a}, PathPoint{dur, b})
+}
+
+// At returns the position at time t (seconds). Before the first waypoint
+// the path is pinned at its start; after the last, at its end.
+func (p *Path) At(t float64) Point {
+	w := p.waypoints
+	if t <= w[0].T {
+		return w[0].P
+	}
+	last := w[len(w)-1]
+	if t >= last.T {
+		return last.P
+	}
+	// Linear scan: paths have a handful of waypoints.
+	for i := 1; i < len(w); i++ {
+		if t <= w[i].T {
+			f := (t - w[i-1].T) / (w[i].T - w[i-1].T)
+			return w[i-1].P.Lerp(w[i].P, f)
+		}
+	}
+	return last.P
+}
+
+// Start and End return the path's temporal extent in seconds.
+func (p *Path) Start() float64 { return p.waypoints[0].T }
+
+// End returns the time of the final waypoint.
+func (p *Path) End() float64 { return p.waypoints[len(p.waypoints)-1].T }
+
+// Heatmap accumulates per-cell scalar totals over a bounding box, used to
+// produce the spatial-distribution contour figures.
+type Heatmap struct {
+	MinX, MinY   float64
+	CellW, CellH float64
+	Cols, Rows   int
+	cells        []float64
+}
+
+// NewHeatmap covers [minX,maxX]×[minY,maxY] with cols×rows cells.
+func NewHeatmap(minX, minY, maxX, maxY float64, cols, rows int) *Heatmap {
+	if cols <= 0 || rows <= 0 {
+		panic("geometry: heatmap needs positive dimensions")
+	}
+	if maxX <= minX || maxY <= minY {
+		panic("geometry: heatmap needs a non-empty bounding box")
+	}
+	return &Heatmap{
+		MinX: minX, MinY: minY,
+		CellW: (maxX - minX) / float64(cols),
+		CellH: (maxY - minY) / float64(rows),
+		Cols:  cols, Rows: rows,
+		cells: make([]float64, cols*rows),
+	}
+}
+
+// Add accumulates v at position p. Points outside the box clamp to the
+// border cell, which is the right behaviour for nodes sitting exactly on
+// the deployment boundary.
+func (h *Heatmap) Add(p Point, v float64) {
+	col := int((p.X - h.MinX) / h.CellW)
+	row := int((p.Y - h.MinY) / h.CellH)
+	if col < 0 {
+		col = 0
+	}
+	if col >= h.Cols {
+		col = h.Cols - 1
+	}
+	if row < 0 {
+		row = 0
+	}
+	if row >= h.Rows {
+		row = h.Rows - 1
+	}
+	h.cells[row*h.Cols+col] += v
+}
+
+// Cell returns the accumulated value of cell (col, row).
+func (h *Heatmap) Cell(col, row int) float64 {
+	if col < 0 || col >= h.Cols || row < 0 || row >= h.Rows {
+		panic(fmt.Sprintf("geometry: heatmap cell (%d,%d) outside %dx%d", col, row, h.Cols, h.Rows))
+	}
+	return h.cells[row*h.Cols+col]
+}
+
+// Max returns the largest cell value (0 for an empty map).
+func (h *Heatmap) Max() float64 {
+	m := 0.0
+	for _, v := range h.cells {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Total returns the sum over all cells.
+func (h *Heatmap) Total() float64 {
+	t := 0.0
+	for _, v := range h.cells {
+		t += v
+	}
+	return t
+}

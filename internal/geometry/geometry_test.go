@@ -1,0 +1,274 @@
+package geometry
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPointDist(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q Point
+		want float64
+	}{
+		{"same point", Point{1, 2}, Point{1, 2}, 0},
+		{"unit x", Point{0, 0}, Point{1, 0}, 1},
+		{"3-4-5", Point{0, 0}, Point{3, 4}, 5},
+		{"negative coords", Point{-1, -1}, Point{2, 3}, 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.Dist(tt.q); !almostEq(got, tt.want) {
+				t.Errorf("Dist = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPointArithmetic(t *testing.T) {
+	p, q := Point{1, 2}, Point{3, -4}
+	if got := p.Add(q); got != (Point{4, -2}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != (Point{-2, 6}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != (Point{2, 4}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := (Point{3, 4}).Norm(); !almostEq(got, 5) {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := p.String(); got != "(1.00, 2.00)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestPointLerp(t *testing.T) {
+	a, b := Point{0, 0}, Point{10, 20}
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+	if got := a.Lerp(b, 0.5); got != (Point{5, 10}) {
+		t.Errorf("Lerp(0.5) = %v", got)
+	}
+}
+
+func TestGridLayout(t *testing.T) {
+	g := Grid{Cols: 8, Rows: 6, Pitch: 2}
+	if g.NumNodes() != 48 {
+		t.Fatalf("NumNodes = %d, want 48", g.NumNodes())
+	}
+	if got := g.PointAt(0, 0); got != (Point{0, 0}) {
+		t.Errorf("PointAt(0,0) = %v", got)
+	}
+	if got := g.PointAt(7, 5); got != (Point{14, 10}) {
+		t.Errorf("PointAt(7,5) = %v", got)
+	}
+	if got := g.Index(7, 5); got != 47 {
+		t.Errorf("Index(7,5) = %d", got)
+	}
+	col, row := g.Cell(47)
+	if col != 7 || row != 5 {
+		t.Errorf("Cell(47) = (%d,%d)", col, row)
+	}
+	pts := g.Points()
+	if len(pts) != 48 {
+		t.Fatalf("Points() len = %d", len(pts))
+	}
+	if pts[g.Index(3, 2)] != g.PointAt(3, 2) {
+		t.Error("Points() order disagrees with Index()")
+	}
+}
+
+func TestGridIndexCellRoundTrip(t *testing.T) {
+	g := Grid{Cols: 7, Rows: 4, Pitch: 1}
+	for i := 0; i < g.NumNodes(); i++ {
+		col, row := g.Cell(i)
+		if g.Index(col, row) != i {
+			t.Fatalf("round trip failed at %d", i)
+		}
+	}
+}
+
+func TestGridPanicsOutOfRange(t *testing.T) {
+	g := Grid{Cols: 2, Rows: 2, Pitch: 1}
+	for _, fn := range []func(){
+		func() { g.PointAt(2, 0) },
+		func() { g.PointAt(0, -1) },
+		func() { g.Index(-1, 0) },
+		func() { g.Cell(4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range access did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestGridWithOrigin(t *testing.T) {
+	g := Grid{Cols: 2, Rows: 2, Pitch: 3, Origin: Point{10, 20}}
+	if got := g.PointAt(1, 1); got != (Point{13, 23}) {
+		t.Errorf("PointAt with origin = %v", got)
+	}
+}
+
+func TestPathInterpolation(t *testing.T) {
+	p := NewPath(
+		PathPoint{0, Point{0, 0}},
+		PathPoint{10, Point{10, 0}},
+		PathPoint{20, Point{10, 10}},
+	)
+	tests := []struct {
+		t    float64
+		want Point
+	}{
+		{-5, Point{0, 0}}, // pinned before start
+		{0, Point{0, 0}},
+		{5, Point{5, 0}},   // mid first leg
+		{10, Point{10, 0}}, // waypoint
+		{15, Point{10, 5}}, // mid second leg
+		{20, Point{10, 10}},
+		{99, Point{10, 10}}, // pinned after end
+	}
+	for _, tt := range tests {
+		got := p.At(tt.t)
+		if !almostEq(got.X, tt.want.X) || !almostEq(got.Y, tt.want.Y) {
+			t.Errorf("At(%v) = %v, want %v", tt.t, got, tt.want)
+		}
+	}
+	if p.Start() != 0 || p.End() != 20 {
+		t.Errorf("Start/End = %v/%v", p.Start(), p.End())
+	}
+}
+
+func TestLinePathConstantSpeed(t *testing.T) {
+	p := LinePath(Point{0, 0}, Point{9, 0}, 9)
+	for i := 0; i <= 9; i++ {
+		got := p.At(float64(i))
+		if !almostEq(got.X, float64(i)) {
+			t.Errorf("At(%d).X = %v", i, got.X)
+		}
+	}
+}
+
+func TestPathValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewPath() },
+		func() { NewPath(PathPoint{1, Point{}}, PathPoint{1, Point{}}) },
+		func() { NewPath(PathPoint{2, Point{}}, PathPoint{1, Point{}}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid path did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHeatmapAccumulation(t *testing.T) {
+	h := NewHeatmap(0, 0, 10, 10, 2, 2)
+	h.Add(Point{2, 2}, 5) // cell (0,0)
+	h.Add(Point{7, 2}, 3) // cell (1,0)
+	h.Add(Point{2, 8}, 1) // cell (0,1)
+	h.Add(Point{2, 2}, 5) // cell (0,0) again
+	if got := h.Cell(0, 0); got != 10 {
+		t.Errorf("Cell(0,0) = %v, want 10", got)
+	}
+	if got := h.Cell(1, 0); got != 3 {
+		t.Errorf("Cell(1,0) = %v, want 3", got)
+	}
+	if got := h.Max(); got != 10 {
+		t.Errorf("Max = %v", got)
+	}
+	if got := h.Total(); got != 14 {
+		t.Errorf("Total = %v", got)
+	}
+}
+
+func TestHeatmapClampsBoundary(t *testing.T) {
+	h := NewHeatmap(0, 0, 10, 10, 2, 2)
+	h.Add(Point{-5, -5}, 1) // clamps to (0,0)
+	h.Add(Point{15, 15}, 2) // clamps to (1,1)
+	h.Add(Point{10, 10}, 4) // exactly max corner clamps to (1,1)
+	if got := h.Cell(0, 0); got != 1 {
+		t.Errorf("underflow clamp: Cell(0,0) = %v", got)
+	}
+	if got := h.Cell(1, 1); got != 6 {
+		t.Errorf("overflow clamp: Cell(1,1) = %v", got)
+	}
+}
+
+func TestHeatmapValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHeatmap(0, 0, 10, 10, 0, 2) },
+		func() { NewHeatmap(0, 0, 0, 10, 2, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid heatmap did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: distance is symmetric and satisfies the triangle inequality.
+func TestQuickDistMetricProperties(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy int16) bool {
+		a := Point{float64(ax), float64(ay)}
+		b := Point{float64(bx), float64(by)}
+		c := Point{float64(cx), float64(cy)}
+		if !almostEq(a.Dist(b), b.Dist(a)) {
+			return false
+		}
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(5))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Path.At always returns a point within the bounding box of its
+// waypoints (linear interpolation cannot overshoot).
+func TestQuickPathStaysInBounds(t *testing.T) {
+	f := func(xs [4]int8, queries [8]uint8) bool {
+		pts := make([]PathPoint, len(xs))
+		minX, maxX := math.Inf(1), math.Inf(-1)
+		for i, x := range xs {
+			p := Point{float64(x), float64(-x)}
+			pts[i] = PathPoint{float64(i * 10), p}
+			minX = math.Min(minX, p.X)
+			maxX = math.Max(maxX, p.X)
+		}
+		path := NewPath(pts...)
+		for _, q := range queries {
+			p := path.At(float64(q) / 4)
+			if p.X < minX-1e-9 || p.X > maxX+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(9))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,721 @@
+package group
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"enviromic/internal/acoustics"
+	"enviromic/internal/flash"
+	"enviromic/internal/geometry"
+	"enviromic/internal/netstack"
+	"enviromic/internal/radio"
+	"enviromic/internal/sim"
+	"enviromic/internal/task"
+)
+
+// ---- test rig ----------------------------------------------------------
+
+// identityTime is a TimeSource with a perfect clock.
+type identityTime struct{ s *sim.Scheduler }
+
+func (t identityTime) GlobalTime() sim.Time       { return t.s.Now() }
+func (t identityTime) LocalNow() sim.Time         { return t.s.Now() }
+func (t identityTime) AddReference(_, _ sim.Time) {}
+
+// fieldSensor adapts an acoustics.Field to the Sensor interface.
+type fieldSensor struct {
+	id    int
+	pos   geometry.Point
+	field *acoustics.Field
+}
+
+func (f fieldSensor) Detect(at sim.Time) bool { return f.field.Audible(f.id, f.pos, at) }
+func (f fieldSensor) Signal(at sim.Time) float64 {
+	total := 0.0
+	for _, s := range f.field.AudibleSources(f.id, f.pos, at) {
+		total += s.AmplitudeAt(f.pos, at)
+	}
+	return total
+}
+
+// recDevice records capture intervals and stores chunks.
+type recDevice struct {
+	store     *flash.Store
+	intervals []struct{ start, end sim.Time }
+}
+
+func (d *recDevice) CaptureSamples(start, end sim.Time) []byte {
+	d.intervals = append(d.intervals, struct{ start, end sim.Time }{start, end})
+	n := int(end.Sub(start).Seconds() * 2730)
+	return make([]byte, n)
+}
+
+func (d *recDevice) StoreChunks(chunks []*flash.Chunk) int {
+	n := 0
+	for _, c := range chunks {
+		if d.store.Enqueue(c) != nil {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+type node struct {
+	id    int
+	pos   geometry.Point
+	stack *netstack.Stack
+	tasks *task.Service
+	mgr   *Manager
+	dev   *recDevice
+}
+
+type rig struct {
+	sched *sim.Scheduler
+	field *acoustics.Field
+	net   *radio.Network
+	nodes []*node
+
+	// aggregated probe data
+	elected   []int
+	resigns   []int
+	records   []recordEvt
+	preludeTo []int
+}
+
+type recordEvt struct {
+	node       int
+	file       flash.FileID
+	start, end sim.Time
+}
+
+type rigOpts struct {
+	seed      int64
+	loss      float64
+	commRange float64
+	groupCfg  func(*Config)
+	taskCfg   func(*task.Config)
+}
+
+func buildRig(positions []geometry.Point, o rigOpts) *rig {
+	if o.commRange == 0 {
+		o.commRange = 3
+	}
+	if o.seed == 0 {
+		o.seed = 1
+	}
+	r := &rig{
+		sched: sim.NewScheduler(o.seed),
+		field: acoustics.NewField(1.0),
+	}
+	rcfg := radio.DefaultConfig(o.commRange)
+	rcfg.LossProb = o.loss
+	r.net = radio.NewNetwork(r.sched, rcfg)
+	gcfg := DefaultConfig()
+	if o.groupCfg != nil {
+		o.groupCfg(&gcfg)
+	}
+	tcfg := task.DefaultConfig()
+	if o.taskCfg != nil {
+		o.taskCfg(&tcfg)
+	}
+	for i, pos := range positions {
+		i := i
+		ep := r.net.Join(i, pos)
+		st := netstack.NewStack(ep, r.sched)
+		dev := &recDevice{store: flash.NewStore(2048)}
+		probe := task.Probe{
+			OnRecordEnd: func(nid int, file flash.FileID, start, end sim.Time, stored, total int) {
+				r.records = append(r.records, recordEvt{node: nid, file: file, start: start, end: end})
+			},
+		}
+		ts := task.NewService(i, st, r.sched, dev, identityTime{r.sched}, tcfg, probe)
+		gprobe := Probe{
+			OnElected:     func(nid int, file flash.FileID, at sim.Time) { r.elected = append(r.elected, nid) },
+			OnResign:      func(nid int, file flash.FileID, at sim.Time) { r.resigns = append(r.resigns, nid) },
+			OnPreludeKeep: func(keeper int, file flash.FileID, at sim.Time) { r.preludeTo = append(r.preludeTo, keeper) },
+		}
+		mgr := NewManager(i, st, r.sched, fieldSensor{i, pos, r.field}, nil, ts, dev, gcfg, gprobe)
+		r.nodes = append(r.nodes, &node{id: i, pos: pos, stack: st, tasks: ts, mgr: mgr, dev: dev})
+	}
+	for _, n := range r.nodes {
+		n.mgr.Start()
+	}
+	return r
+}
+
+func line(n int, pitch float64) []geometry.Point {
+	pts := make([]geometry.Point, n)
+	for i := range pts {
+		pts[i] = geometry.Point{X: float64(i) * pitch}
+	}
+	return pts
+}
+
+// leaders returns the nodes currently believing they lead.
+func (r *rig) leaders() []int {
+	var out []int
+	for _, n := range r.nodes {
+		if n.tasks.Leading() {
+			out = append(out, n.id)
+		}
+	}
+	return out
+}
+
+// coverage returns the union of recorded time in [from, to] across all
+// nodes, plus the total (with overlap) recorded time.
+func (r *rig) coverage(from, to sim.Time) (union, total time.Duration) {
+	type iv struct{ s, e sim.Time }
+	var ivs []iv
+	for _, rec := range r.records {
+		s, e := rec.start, rec.end
+		if s < from {
+			s = from
+		}
+		if e > to {
+			e = to
+		}
+		if e > s {
+			ivs = append(ivs, iv{s, e})
+			total += e.Sub(s)
+		}
+	}
+	// Merge intervals (insertion sort by start; test scale is tiny).
+	for i := 1; i < len(ivs); i++ {
+		for j := i; j > 0 && ivs[j].s < ivs[j-1].s; j-- {
+			ivs[j], ivs[j-1] = ivs[j-1], ivs[j]
+		}
+	}
+	var curS, curE sim.Time
+	first := true
+	for _, v := range ivs {
+		if first {
+			curS, curE = v.s, v.e
+			first = false
+			continue
+		}
+		if v.s <= curE {
+			if v.e > curE {
+				curE = v.e
+			}
+			continue
+		}
+		union += curE.Sub(curS)
+		curS, curE = v.s, v.e
+	}
+	if !first {
+		union += curE.Sub(curS)
+	}
+	return union, total
+}
+
+// ---- tests --------------------------------------------------------------
+
+func TestSingleLeaderElectedAmongHearers(t *testing.T) {
+	// 4 nodes in a line, all within comm range; a static source audible
+	// to the first three only.
+	r := buildRig(line(4, 1), rigOpts{commRange: 10})
+	src := acoustics.StaticSource(1, geometry.Point{X: 1}, sim.At(time.Second), 8*time.Second, 1.6, acoustics.VoiceTone)
+	r.field.AddSource(src) // range 1.6: audible at x=0,1,2 (d<=1.6), not x=3
+	r.sched.Run(sim.At(4 * time.Second))
+
+	if got := len(r.leaders()); got != 1 {
+		t.Fatalf("leaders = %v, want exactly 1", r.leaders())
+	}
+	lead := r.leaders()[0]
+	if lead == 3 {
+		t.Errorf("node 3 cannot hear the event yet leads")
+	}
+	if len(r.elected) != 1 {
+		t.Errorf("elections fired %d times, want 1", len(r.elected))
+	}
+	// The two non-leader hearers appear in the leader's member table.
+	if got := r.nodes[lead].mgr.MemberCount(); got != 2 {
+		t.Errorf("leader sees %d members, want 2", got)
+	}
+}
+
+func TestRecordingRotatesAmongMembers(t *testing.T) {
+	r := buildRig(line(4, 1), rigOpts{commRange: 10})
+	src := acoustics.StaticSource(1, geometry.Point{X: 1}, sim.At(time.Second), 12*time.Second, 2.1, acoustics.VoiceTone)
+	r.field.AddSource(src) // audible at x=0..3
+	r.sched.Run(sim.At(14 * time.Second))
+
+	if len(r.records) < 8 {
+		t.Fatalf("only %d recording tasks in 12s of event", len(r.records))
+	}
+	recorders := map[int]bool{}
+	var files = map[flash.FileID]bool{}
+	for _, rec := range r.records {
+		recorders[rec.node] = true
+		files[rec.file] = true
+	}
+	if len(recorders) < 2 {
+		t.Errorf("recording never rotated: only nodes %v recorded", recorders)
+	}
+	if len(files) != 1 {
+		t.Errorf("a single continuous event produced %d file IDs, want 1", len(files))
+	}
+	// Coverage: after the startup gap the recording should be nearly
+	// continuous, and redundancy (total − union) should be small.
+	union, total := r.coverage(src.Start, src.End)
+	dur := src.End.Sub(src.Start)
+	missRatio := 1 - union.Seconds()/dur.Seconds()
+	if missRatio > 0.25 {
+		t.Errorf("miss ratio %.2f too high (startup should cost ~0.7s/12s)", missRatio)
+	}
+	redundancy := total.Seconds() - union.Seconds()
+	if redundancy > 0.2*union.Seconds() {
+		t.Errorf("redundant recording %.2fs vs union %.2fs", redundancy, union.Seconds())
+	}
+}
+
+func TestStartupDelayMatchesPaper(t *testing.T) {
+	// The paper measures first election + first assignment ≈ 0.7 s on
+	// average. Check the mean over several seeds is in a sane band.
+	var totalDelay float64
+	const runs = 10
+	for seed := int64(1); seed <= runs; seed++ {
+		r := buildRig(line(4, 1), rigOpts{commRange: 10, seed: seed})
+		start := sim.At(time.Second)
+		src := acoustics.StaticSource(1, geometry.Point{X: 1}, start, 8*time.Second, 2.1, acoustics.VoiceTone)
+		r.field.AddSource(src)
+		r.sched.Run(sim.At(9 * time.Second))
+		if len(r.records) == 0 {
+			t.Fatalf("seed %d: nothing recorded", seed)
+		}
+		first := r.records[0].start
+		for _, rec := range r.records {
+			if rec.start < first {
+				first = rec.start
+			}
+		}
+		totalDelay += first.Sub(start).Seconds()
+	}
+	mean := totalDelay / runs
+	if mean < 0.45 || mean > 0.95 {
+		t.Errorf("mean startup delay %.2fs outside [0.45, 0.95] (paper: ~0.7s)", mean)
+	}
+}
+
+func TestLeaderResignsWhenEventEnds(t *testing.T) {
+	r := buildRig(line(3, 1), rigOpts{commRange: 10})
+	src := acoustics.StaticSource(1, geometry.Point{X: 1}, sim.At(time.Second), 4*time.Second, 2.1, acoustics.VoiceTone)
+	r.field.AddSource(src)
+	r.sched.Run(sim.At(10 * time.Second))
+	if got := len(r.leaders()); got != 0 {
+		t.Errorf("leaders after event ended = %v, want none", r.leaders())
+	}
+	if len(r.resigns) == 0 {
+		t.Error("no RESIGN was issued")
+	}
+	for _, n := range r.nodes {
+		if n.mgr.Hearing() {
+			t.Errorf("node %d still hearing after event end", n.id)
+		}
+	}
+}
+
+func TestLeaderHandoffPreservesFileID(t *testing.T) {
+	// A mobile source crosses a 10-node line; leadership must hand off
+	// and all chunks must share one file ID.
+	r := buildRig(line(10, 1), rigOpts{commRange: 3.5})
+	src := acoustics.MobileSource(1, geometry.Point{X: 0}, geometry.Point{X: 9},
+		sim.At(time.Second), 9*time.Second, 1.3, acoustics.VoiceTone)
+	r.field.AddSource(src)
+	r.sched.Run(sim.At(12 * time.Second))
+
+	if len(r.resigns) == 0 {
+		t.Fatal("mobile source produced no leader handoff")
+	}
+	files := map[flash.FileID]bool{}
+	recorders := map[int]bool{}
+	for _, rec := range r.records {
+		files[rec.file] = true
+		recorders[rec.node] = true
+	}
+	if len(files) != 1 {
+		t.Errorf("handoff broke file continuity: %d file IDs", len(files))
+	}
+	if len(recorders) < 3 {
+		t.Errorf("mobile event recorded by only %v", recorders)
+	}
+	union, _ := r.coverage(src.Start, src.End)
+	miss := 1 - union.Seconds()/src.End.Sub(src.Start).Seconds()
+	if miss > 0.30 {
+		t.Errorf("mobile-event miss ratio %.2f too high", miss)
+	}
+}
+
+func TestLeaderDeathTriggersReElection(t *testing.T) {
+	r := buildRig(line(3, 1), rigOpts{commRange: 10})
+	src := acoustics.StaticSource(1, geometry.Point{X: 1}, sim.At(time.Second), 20*time.Second, 2.1, acoustics.VoiceTone)
+	r.field.AddSource(src)
+	r.sched.Run(sim.At(4 * time.Second))
+	lead := r.leaders()
+	if len(lead) != 1 {
+		t.Fatalf("leaders = %v", lead)
+	}
+	// Kill the leader outright: no RESIGN is sent.
+	dead := r.nodes[lead[0]]
+	dead.mgr.Stop()
+	dead.stack.Endpoint().Kill()
+	r.sched.Run(sim.At(12 * time.Second))
+	after := r.leaders()
+	if len(after) != 1 || after[0] == dead.id {
+		t.Fatalf("no failover leader: %v", after)
+	}
+	// Recording continued after the failover window.
+	var late int
+	for _, rec := range r.records {
+		if rec.start > sim.At(8*time.Second) {
+			late++
+		}
+	}
+	if late == 0 {
+		t.Error("no recordings after leader death")
+	}
+}
+
+func TestRejectSuppressesDuplicateRecorders(t *testing.T) {
+	// Under heavy loss, lost TASK_CONFIRMs make the leader reassign a
+	// task someone is already recording; the overhearing REJECT (Fig 1)
+	// suppresses much of the resulting duplication. Compare aggregate
+	// overlap with the optimization on vs ablated, across seeds.
+	run := func(disable bool) (overlap, union float64) {
+		for seed := int64(1); seed <= 6; seed++ {
+			r := buildRig(line(4, 1), rigOpts{
+				commRange: 10, loss: 0.25, seed: seed,
+				taskCfg: func(c *task.Config) { c.DisableOverhearing = disable },
+			})
+			src := acoustics.StaticSource(1, geometry.Point{X: 1}, sim.At(time.Second), 15*time.Second, 2.1, acoustics.VoiceTone)
+			r.field.AddSource(src)
+			r.sched.Run(sim.At(17 * time.Second))
+			u, tot := r.coverage(src.Start, src.End)
+			union += u.Seconds()
+			overlap += tot.Seconds() - u.Seconds()
+		}
+		return overlap, union
+	}
+	withOpt, union := run(false)
+	withoutOpt, _ := run(true)
+	if union == 0 {
+		t.Fatal("nothing recorded under loss")
+	}
+	if withOpt >= withoutOpt {
+		t.Errorf("overhearing optimization did not reduce duplication: %.2fs with vs %.2fs without",
+			withOpt, withoutOpt)
+	}
+}
+
+func TestPreludeKeeperPersistsOpening(t *testing.T) {
+	r := buildRig(line(3, 1), rigOpts{commRange: 10, groupCfg: func(c *Config) {
+		c.Prelude = time.Second
+	}})
+	src := acoustics.StaticSource(1, geometry.Point{X: 1}, sim.At(time.Second), 10*time.Second, 2.1, acoustics.VoiceTone)
+	r.field.AddSource(src)
+	r.sched.Run(sim.At(12 * time.Second))
+
+	if len(r.preludeTo) != 1 {
+		t.Fatalf("prelude keep decisions = %d, want 1", len(r.preludeTo))
+	}
+	keeper := r.preludeTo[0]
+	// The keeper must hold seq-0 chunks whose interval covers the event
+	// opening (before any task recording could have started).
+	var earliest sim.Time = 1 << 62
+	for _, rec := range r.records {
+		if rec.start < earliest {
+			earliest = rec.start
+		}
+	}
+	found := false
+	for _, c := range r.nodes[keeper].dev.store.Chunks() {
+		if c.Seq >= 1<<20 && c.Start < earliest { // prelude sequence band
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("prelude keeper stored no opening chunk predating task recordings")
+	}
+	// Exactly one node holds the prelude (others erased theirs).
+	holders := 0
+	for _, n := range r.nodes {
+		for _, c := range n.dev.store.Chunks() {
+			if c.Start < src.Start.Add(500*time.Millisecond) && c.End > src.Start {
+				holders++
+				break
+			}
+		}
+	}
+	if holders != 1 {
+		t.Errorf("%d nodes hold prelude data, want 1", holders)
+	}
+}
+
+func TestShortEventCapturedByPrelude(t *testing.T) {
+	// A 0.8 s event ends before election completes; without the prelude
+	// it would be lost entirely.
+	r := buildRig(line(3, 1), rigOpts{commRange: 10, groupCfg: func(c *Config) {
+		c.Prelude = time.Second
+	}})
+	src := acoustics.StaticSource(1, geometry.Point{X: 1}, sim.At(time.Second), 800*time.Millisecond, 2.1, acoustics.VoiceTone)
+	r.field.AddSource(src)
+	r.sched.Run(sim.At(8 * time.Second))
+	stored := 0
+	for _, n := range r.nodes {
+		stored += n.dev.store.Len()
+	}
+	if stored == 0 {
+		t.Error("short event completely lost despite prelude")
+	}
+}
+
+func TestTwoSeparatedEventsGetTwoLeadersAndFiles(t *testing.T) {
+	// Two sources far apart with a short comm range: independent groups.
+	pts := append(line(3, 1), geometry.Point{X: 30}, geometry.Point{X: 31}, geometry.Point{X: 32})
+	r := buildRig(pts, rigOpts{commRange: 4})
+	r.field.AddSource(acoustics.StaticSource(1, geometry.Point{X: 1}, sim.At(time.Second), 6*time.Second, 2.1, acoustics.VoiceTone))
+	r.field.AddSource(acoustics.StaticSource(2, geometry.Point{X: 31}, sim.At(time.Second), 6*time.Second, 2.1, acoustics.VoiceTone))
+	r.sched.Run(sim.At(5 * time.Second))
+	if got := len(r.leaders()); got != 2 {
+		t.Fatalf("leaders = %v, want 2 (one per region)", r.leaders())
+	}
+	r.sched.Run(sim.At(10 * time.Second))
+	files := map[flash.FileID]bool{}
+	for _, rec := range r.records {
+		files[rec.file] = true
+	}
+	if len(files) != 2 {
+		t.Errorf("got %d file IDs, want 2", len(files))
+	}
+}
+
+func TestLoneHearerSelfRecords(t *testing.T) {
+	// Only one node can hear: it must lead and record itself.
+	r := buildRig(line(3, 5), rigOpts{commRange: 20})
+	src := acoustics.StaticSource(1, geometry.Point{X: 0}, sim.At(time.Second), 6*time.Second, 1.5, acoustics.VoiceTone)
+	r.field.AddSource(src) // range 1.5 < pitch 5: only node 0 hears
+	r.sched.Run(sim.At(9 * time.Second))
+	if len(r.records) == 0 {
+		t.Fatal("lone hearer never recorded")
+	}
+	for _, rec := range r.records {
+		if rec.node != 0 {
+			t.Errorf("node %d recorded but cannot hear", rec.node)
+		}
+	}
+}
+
+func TestConcurrentLeaderCollisionResolvesToLowerID(t *testing.T) {
+	// Force simultaneous announcements by pinning the back-off window
+	// tiny; collisions then resolve deterministically to the lower ID.
+	for seed := int64(1); seed <= 5; seed++ {
+		r := buildRig(line(3, 1), rigOpts{
+			commRange: 10,
+			seed:      seed,
+			groupCfg: func(c *Config) {
+				c.ElectBackoffMin = 0
+				c.ElectBackoffMax = time.Millisecond
+			},
+		})
+		src := acoustics.StaticSource(1, geometry.Point{X: 1}, sim.At(time.Second), 10*time.Second, 2.1, acoustics.VoiceTone)
+		r.field.AddSource(src)
+		r.sched.Run(sim.At(6 * time.Second))
+		l := r.leaders()
+		if len(l) != 1 {
+			t.Fatalf("seed %d: leaders = %v after collision, want 1", seed, l)
+		}
+	}
+}
+
+func TestNoActivityNoTraffic(t *testing.T) {
+	// A silent field should generate no frames at all from group/task.
+	r := buildRig(line(5, 1), rigOpts{commRange: 10})
+	r.sched.Run(sim.At(30 * time.Second))
+	if got := r.net.Stats().TotalFrames; got != 0 {
+		t.Errorf("%d frames sent in a silent network", got)
+	}
+	if len(r.records) != 0 {
+		t.Errorf("recordings without events: %d", len(r.records))
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{PollInterval: time.Second, SenseInterval: time.Second, MemberTimeout: time.Second,
+			ElectBackoffMax: time.Second, HandoffBackoffMax: time.Second, SilencePolls: 0,
+			LeaderTimeout: 2 * time.Second},
+		{PollInterval: time.Second, SenseInterval: time.Second, MemberTimeout: time.Second,
+			ElectBackoffMax: time.Second, HandoffBackoffMax: time.Second, SilencePolls: 1,
+			LeaderTimeout: time.Second},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bad config %d accepted", i)
+				}
+			}()
+			cfg.validate()
+		}()
+	}
+}
+
+func TestDeterministicAcrossIdenticalRuns(t *testing.T) {
+	run := func() string {
+		r := buildRig(line(6, 1), rigOpts{commRange: 5, seed: 99, loss: 0.1})
+		r.field.AddSource(acoustics.MobileSource(1, geometry.Point{X: 0}, geometry.Point{X: 5},
+			sim.At(time.Second), 5*time.Second, 1.3, acoustics.VoiceTone))
+		r.sched.Run(sim.At(8 * time.Second))
+		sig := ""
+		for _, rec := range r.records {
+			sig += fmt.Sprintf("%d:%d:%d;", rec.node, rec.file, rec.start)
+		}
+		return sig
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("identical runs diverged:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestZeroSignalSensingRemovesMember(t *testing.T) {
+	r := buildRig(line(3, 1), rigOpts{commRange: 10})
+	src := acoustics.StaticSource(1, geometry.Point{X: 1}, sim.At(time.Second), 10*time.Second, 2.1, acoustics.VoiceTone)
+	r.field.AddSource(src)
+	r.sched.Run(sim.At(3 * time.Second))
+	lead := r.leaders()
+	if len(lead) != 1 {
+		t.Fatalf("leaders = %v", lead)
+	}
+	mgr := r.nodes[lead[0]].mgr
+	before := mgr.MemberCount()
+	if before == 0 {
+		t.Fatal("no members")
+	}
+	// Inject a zero-signal SENSING from one member.
+	var memberID int
+	for id := range mgr.members {
+		if id != mgr.id {
+			memberID = id
+			break
+		}
+	}
+	mgr.handleSensing(memberID, -1, Sensing{Signal: 0})
+	if got := mgr.MemberCount(); got != before-1 {
+		t.Errorf("member count after zero-signal = %d, want %d", got, before-1)
+	}
+}
+
+func TestOrphanPreludeSingleKeeper(t *testing.T) {
+	// Event so short no election can complete; the orphan-claim protocol
+	// must leave exactly one prelude keeper per neighborhood.
+	keepers := 0
+	for seed := int64(1); seed <= 5; seed++ {
+		r := buildRig(line(3, 1), rigOpts{
+			commRange: 10, seed: seed,
+			groupCfg: func(c *Config) { c.Prelude = time.Second },
+		})
+		src := acoustics.StaticSource(1, geometry.Point{X: 1}, sim.At(time.Second), 600*time.Millisecond, 2.1, acoustics.VoiceTone)
+		r.field.AddSource(src)
+		r.sched.Run(sim.At(8 * time.Second))
+		holders := 0
+		for _, n := range r.nodes {
+			if n.dev.store.Len() > 0 {
+				holders++
+			}
+		}
+		if holders > 1 {
+			t.Errorf("seed %d: %d prelude holders, want <= 1", seed, holders)
+		}
+		keepers += holders
+	}
+	if keepers == 0 {
+		t.Error("orphaned prelude never persisted across seeds")
+	}
+}
+
+func TestHundredNodeScale(t *testing.T) {
+	// 100 nodes, three concurrent events in distinct regions: elections
+	// stay local and every region records, within a modest event budget.
+	var pts []geometry.Point
+	for row := 0; row < 10; row++ {
+		for col := 0; col < 10; col++ {
+			pts = append(pts, geometry.Point{X: float64(col) * 2, Y: float64(row) * 2})
+		}
+	}
+	r := buildRig(pts, rigOpts{commRange: 7})
+	spots := []geometry.Point{{X: 2, Y: 2}, {X: 16, Y: 4}, {X: 8, Y: 16}}
+	for i, p := range spots {
+		r.field.AddSource(acoustics.StaticSource(acoustics.SourceID(i+1), p,
+			sim.At(time.Second), 10*time.Second, 4.2, acoustics.VoiceTone))
+	}
+	r.sched.SetEventLimit(3_000_000)
+	r.sched.Run(sim.At(14 * time.Second))
+
+	files := map[flash.FileID]bool{}
+	for _, rec := range r.records {
+		files[rec.file] = true
+	}
+	if len(files) < 3 {
+		t.Errorf("three separated events produced %d files, want >= 3", len(files))
+	}
+	// Each region achieved reasonable coverage: the three events run in
+	// parallel, so the aggregate (overlap-counted) recorded time is the
+	// right measure — 30 s of event time across the regions.
+	_, total := r.coverage(sim.At(time.Second), sim.At(11*time.Second))
+	if total < 20*time.Second {
+		t.Errorf("total recorded %v across 3 parallel events, want >= 20s of 30s", total)
+	}
+}
+
+// Property: BestRecorder never returns the leader itself or an excluded
+// or expired member, and with equal TTLs it prefers fresher/stronger
+// signals.
+func TestQuickBestRecorderContract(t *testing.T) {
+	f := func(ttls [6]uint8, sigs [6]uint8, ages [6]uint8, exclMask uint8) bool {
+		r := buildRig(line(7, 1), rigOpts{commRange: 10})
+		mgr := r.nodes[0].mgr
+		now := sim.At(time.Minute)
+		r.sched.Run(now)
+		exclude := map[int]bool{}
+		for i := 0; i < 6; i++ {
+			id := i + 1
+			age := time.Duration(ages[i]) * 10 * time.Millisecond
+			mgr.members[id] = &member{
+				lastHeard: now.Add(-age),
+				ttl:       uint32(ttls[i]),
+				signal:    float64(sigs[i]),
+			}
+			if exclMask&(1<<i) != 0 {
+				exclude[id] = true
+			}
+		}
+		mgr.members[0] = &member{lastHeard: now, ttl: 255, signal: 255} // self
+		id, ok := mgr.BestRecorder(exclude)
+		if !ok {
+			// Acceptable only if every candidate is excluded or expired.
+			for i := 0; i < 6; i++ {
+				age := time.Duration(ages[i]) * 10 * time.Millisecond
+				if !exclude[i+1] && age <= mgr.cfg.MemberTimeout {
+					return false
+				}
+			}
+			return true
+		}
+		if id == 0 || exclude[id] {
+			return false
+		}
+		age := now.Sub(mgr.members[id].lastHeard)
+		return age <= mgr.cfg.MemberTimeout
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(29))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

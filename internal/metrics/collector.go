@@ -1,0 +1,345 @@
+package metrics
+
+import (
+	"time"
+
+	"enviromic/internal/acoustics"
+	"enviromic/internal/flash"
+	"enviromic/internal/geometry"
+	"enviromic/internal/sim"
+)
+
+// Recording is one completed recording task as the metrics layer sees it:
+// who recorded, under which file, over which (true) time span, and what
+// fraction of the captured data actually fit into flash.
+type Recording struct {
+	Node       int
+	File       flash.FileID
+	Start, End sim.Time
+	// StoredFrac is storedChunks/totalChunks for the task; data dropped
+	// on a full flash shortens the *effective* recording from the tail.
+	StoredFrac float64
+}
+
+// Effective returns the stored part of the recording (the tail is what
+// gets dropped when flash fills mid-task).
+func (r Recording) Effective() Interval {
+	dur := time.Duration(float64(r.End.Sub(r.Start)) * r.StoredFrac)
+	return Interval{r.Start, r.Start.Add(dur)}
+}
+
+// Migration is one acknowledged chunk batch moved between neighbors.
+type Migration struct {
+	From, To int
+	Chunks   int
+	At       sim.Time
+}
+
+// Sample is one periodic snapshot of network-wide state, taken by the
+// node layer.
+type Sample struct {
+	At sim.Time
+	// StoredBytes per node ID (flash occupancy at block granularity).
+	StoredBytes map[int]int
+	// DuplicateChunks counts chunks whose (file, origin, seq) identity is
+	// stored on more than one node (each extra copy counts once).
+	DuplicateChunks int
+	// TxByKind is a cumulative copy of the radio's per-kind frame+payload
+	// counts at the sample instant.
+	TxByKind map[string]uint64
+	// TxByNode is the cumulative per-node transmitted frame count.
+	TxByNode map[int]uint64
+}
+
+// Collector accumulates ground truth and observations for one run.
+type Collector struct {
+	field     *acoustics.Field
+	positions map[int]geometry.Point
+
+	Recordings []Recording
+	Migrations []Migration
+	Samples    []Sample
+	Overflows  []sim.Time
+}
+
+// NewCollector builds a collector with the run's ground truth: the
+// acoustic field (for event attribution) and node positions (for spatial
+// figures).
+func NewCollector(field *acoustics.Field, positions map[int]geometry.Point) *Collector {
+	return &Collector{field: field, positions: positions}
+}
+
+// AddRecording logs a completed recording task.
+func (c *Collector) AddRecording(r Recording) { c.Recordings = append(c.Recordings, r) }
+
+// AddMigration logs an acknowledged migration batch.
+func (c *Collector) AddMigration(m Migration) { c.Migrations = append(c.Migrations, m) }
+
+// AddSample logs a periodic snapshot.
+func (c *Collector) AddSample(s Sample) { c.Samples = append(c.Samples, s) }
+
+// AddOverflow logs a storage-overflow data drop.
+func (c *Collector) AddOverflow(at sim.Time) { c.Overflows = append(c.Overflows, at) }
+
+// attributed reports whether recording r plausibly captured event src:
+// the recorder could hear the source at some probe instant within their
+// temporal overlap.
+func (c *Collector) attributed(r Recording, src *acoustics.Source) bool {
+	lo, hi := r.Start, r.End
+	if src.Start > lo {
+		lo = src.Start
+	}
+	if src.End < hi {
+		hi = src.End
+	}
+	if hi <= lo {
+		return false
+	}
+	pos, ok := c.positions[r.Node]
+	if !ok {
+		return false
+	}
+	// Probe a few instants across the overlap: mobile sources may be
+	// audible for only part of it.
+	span := hi.Sub(lo)
+	for i := 0; i <= 4; i++ {
+		at := lo.Add(span * time.Duration(i) / 4)
+		if at == src.End {
+			at-- // End is exclusive
+		}
+		for _, s := range c.field.AudibleSources(r.Node, pos, at) {
+			if s == src {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// eventCoverage returns, for each source active before t, the union and
+// total of effective attributed recording time clipped to the event's
+// span (and to t).
+func (c *Collector) eventCoverage(t sim.Time) (union, total, eventTime time.Duration) {
+	for _, src := range c.field.Sources() {
+		if src.Start >= t {
+			continue
+		}
+		hi := src.End
+		if hi > t {
+			hi = t
+		}
+		eventTime += hi.Sub(src.Start)
+		var set IntervalSet
+		for _, r := range c.Recordings {
+			if !c.attributed(r, src) {
+				continue
+			}
+			eff := r.Effective().Clip(src.Start, hi)
+			set.Add(eff.Start, eff.End)
+		}
+		union += set.Union()
+		total += set.Total()
+	}
+	return union, total, eventTime
+}
+
+// MissRatioAt returns the cumulative recording miss ratio at time t: the
+// fraction of event time (over all events so far) not covered by any
+// stored recording (Figs 6 and 10).
+func (c *Collector) MissRatioAt(t sim.Time) float64 {
+	union, _, eventTime := c.eventCoverage(t)
+	if eventTime <= 0 {
+		return 0
+	}
+	return 1 - float64(union)/float64(eventTime)
+}
+
+// RedundancyRatioAt returns the cumulative recording redundancy ratio at
+// time t: redundant recording time (overlapping coverage of the same
+// event) plus duplicated migrated chunks, over all recording (Fig 11).
+// dupBytes is taken from the latest sample at or before t.
+func (c *Collector) RedundancyRatioAt(t sim.Time, bytesPerSecond float64) float64 {
+	union, total, _ := c.eventCoverage(t)
+	overlapBytes := (total - union).Seconds() * bytesPerSecond
+	totalBytes := total.Seconds() * bytesPerSecond
+	dupBytes := float64(c.duplicateChunksAt(t) * flash.BlockSize)
+	denom := totalBytes
+	if denom <= 0 {
+		return 0
+	}
+	return (overlapBytes + dupBytes) / denom
+}
+
+func (c *Collector) duplicateChunksAt(t sim.Time) int {
+	dups := 0
+	for _, s := range c.Samples {
+		if s.At <= t {
+			dups = s.DuplicateChunks
+		}
+	}
+	return dups
+}
+
+// MessageCountAt returns the cumulative control-message count at time t
+// (task assignment + load transfer + group management payloads), from the
+// latest sample at or before t (Fig 12). Kinds with prefix "timesync" are
+// excluded: the paper's count covers task and load-balancing traffic.
+func (c *Collector) MessageCountAt(t sim.Time) uint64 {
+	var best *Sample
+	for i := range c.Samples {
+		if c.Samples[i].At <= t {
+			best = &c.Samples[i]
+		}
+	}
+	if best == nil {
+		return 0
+	}
+	var n uint64
+	for kind, cnt := range best.TxByKind {
+		if kind == "timesync" {
+			continue
+		}
+		n += cnt
+	}
+	return n
+}
+
+// StorageHeatmapAt bins per-node stored bytes into a spatial heatmap from
+// the latest sample at or before t (Fig 13 / Fig 17).
+func (c *Collector) StorageHeatmapAt(t sim.Time, cols, rows int) *geometry.Heatmap {
+	var best *Sample
+	for i := range c.Samples {
+		if c.Samples[i].At <= t {
+			best = &c.Samples[i]
+		}
+	}
+	minX, minY, maxX, maxY := bounds(c.positions)
+	h := geometry.NewHeatmap(minX, minY, maxX+1e-9, maxY+1e-9, cols, rows)
+	if best == nil {
+		return h
+	}
+	for id, bytes := range best.StoredBytes {
+		if pos, ok := c.positions[id]; ok {
+			h.Add(pos, float64(bytes))
+		}
+	}
+	return h
+}
+
+// OverheadHeatmapAt bins per-node transmitted frame counts spatially from
+// the latest sample at or before t (Fig 14).
+func (c *Collector) OverheadHeatmapAt(t sim.Time, cols, rows int) *geometry.Heatmap {
+	var best *Sample
+	for i := range c.Samples {
+		if c.Samples[i].At <= t {
+			best = &c.Samples[i]
+		}
+	}
+	minX, minY, maxX, maxY := bounds(c.positions)
+	h := geometry.NewHeatmap(minX, minY, maxX+1e-9, maxY+1e-9, cols, rows)
+	if best == nil {
+		return h
+	}
+	for id, frames := range best.TxByNode {
+		if pos, ok := c.positions[id]; ok {
+			h.Add(pos, float64(frames))
+		}
+	}
+	return h
+}
+
+// RecordedSecondsPerBucket returns, for consecutive buckets of length
+// `bucket` starting at 0, the total effective recorded seconds whose
+// recording started in that bucket (Fig 16's seconds-per-minute plot).
+func (c *Collector) RecordedSecondsPerBucket(until sim.Time, bucket time.Duration) []float64 {
+	n := int(until.Duration()/bucket) + 1
+	out := make([]float64, n)
+	for _, r := range c.Recordings {
+		idx := int(r.Start.Duration() / bucket)
+		if idx >= 0 && idx < n {
+			out[idx] += r.Effective().Dur().Seconds()
+		}
+	}
+	return out
+}
+
+// RecordedBytesByNode sums effective recorded bytes per recorder node
+// (Fig 17's per-location data volume).
+func (c *Collector) RecordedBytesByNode(bytesPerSecond float64) map[int]float64 {
+	out := make(map[int]float64)
+	for _, r := range c.Recordings {
+		out[r.Node] += r.Effective().Dur().Seconds() * bytesPerSecond
+	}
+	return out
+}
+
+// MigratedFromNode returns, for the given origin node, the number of
+// chunk-batches' chunks it pushed directly to each first-hop destination
+// (Fig 18 uses final placement; see HoldersByOrigin for that).
+func (c *Collector) MigratedFromNode(origin int) map[int]int {
+	out := make(map[int]int)
+	for _, m := range c.Migrations {
+		if m.From == origin {
+			out[m.To] += m.Chunks
+		}
+	}
+	return out
+}
+
+func bounds(pos map[int]geometry.Point) (minX, minY, maxX, maxY float64) {
+	first := true
+	for _, p := range pos {
+		if first {
+			minX, maxX, minY, maxY = p.X, p.X, p.Y, p.Y
+			first = false
+			continue
+		}
+		if p.X < minX {
+			minX = p.X
+		}
+		if p.X > maxX {
+			maxX = p.X
+		}
+		if p.Y < minY {
+			minY = p.Y
+		}
+		if p.Y > maxY {
+			maxY = p.Y
+		}
+	}
+	if first {
+		return 0, 0, 1, 1
+	}
+	if maxX == minX {
+		maxX++
+	}
+	if maxY == minY {
+		maxY++
+	}
+	return minX, minY, maxX, maxY
+}
+
+// CountDuplicates computes the duplicated-chunk count across the given
+// per-node chunk holdings: for every (file, origin, seq) identity, each
+// copy beyond the first counts once. The node layer calls this when
+// taking samples, and retrieval analysis reuses it.
+func CountDuplicates(holdings map[int][]*flash.Chunk) int {
+	type key struct {
+		file   flash.FileID
+		origin int32
+		seq    uint32
+	}
+	seen := make(map[key]int)
+	for _, chunks := range holdings {
+		for _, c := range chunks {
+			seen[key{c.File, c.Origin, c.Seq}]++
+		}
+	}
+	dups := 0
+	for _, n := range seen {
+		if n > 1 {
+			dups += n - 1
+		}
+	}
+	return dups
+}

@@ -1,0 +1,143 @@
+// Package metrics computes the paper's evaluation metrics: recording miss
+// ratio (Figs 6, 10), recording redundancy ratio (Fig 11), control-message
+// counts (Figs 12, 14), and storage-occupancy distributions (Figs 13, 17,
+// 18). It is pure bookkeeping over data reported by the protocol probes —
+// it never touches the radio or the motes directly, so the same collector
+// serves every operating mode including the uncoordinated baseline.
+package metrics
+
+import (
+	"time"
+
+	"enviromic/internal/sim"
+)
+
+// Interval is a half-open time interval [Start, End).
+type Interval struct {
+	Start, End sim.Time
+}
+
+// Dur returns the interval length (0 for inverted intervals).
+func (iv Interval) Dur() time.Duration {
+	if iv.End <= iv.Start {
+		return 0
+	}
+	return iv.End.Sub(iv.Start)
+}
+
+// Clip returns the intersection with [lo, hi).
+func (iv Interval) Clip(lo, hi sim.Time) Interval {
+	if iv.Start < lo {
+		iv.Start = lo
+	}
+	if iv.End > hi {
+		iv.End = hi
+	}
+	return iv
+}
+
+// IntervalSet maintains a set of intervals and answers union/total
+// queries. The zero value is an empty set ready to use.
+type IntervalSet struct {
+	ivs []Interval
+}
+
+// Add inserts [start, end); empty or inverted input is ignored.
+func (s *IntervalSet) Add(start, end sim.Time) {
+	if end <= start {
+		return
+	}
+	s.ivs = append(s.ivs, Interval{start, end})
+}
+
+// Len returns the number of raw (unmerged) intervals added.
+func (s *IntervalSet) Len() int { return len(s.ivs) }
+
+// Total returns the summed length of the raw intervals (overlap counted
+// multiply).
+func (s *IntervalSet) Total() time.Duration {
+	var t time.Duration
+	for _, iv := range s.ivs {
+		t += iv.Dur()
+	}
+	return t
+}
+
+// merged returns the sorted union of the raw intervals.
+func (s *IntervalSet) merged() []Interval {
+	if len(s.ivs) == 0 {
+		return nil
+	}
+	sorted := make([]Interval, len(s.ivs))
+	copy(sorted, s.ivs)
+	// Insertion sort: sets in this codebase hold at most a few thousand
+	// intervals and are merged rarely; avoid importing sort for a value
+	// type comparator predating slices.SortFunc idioms.
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j].Start < sorted[j-1].Start; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	out := []Interval{sorted[0]}
+	for _, iv := range sorted[1:] {
+		last := &out[len(out)-1]
+		if iv.Start <= last.End {
+			if iv.End > last.End {
+				last.End = iv.End
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+// Union returns the total length of the union of all intervals.
+func (s *IntervalSet) Union() time.Duration {
+	var t time.Duration
+	for _, iv := range s.merged() {
+		t += iv.Dur()
+	}
+	return t
+}
+
+// UnionWithin returns the length of the union intersected with [lo, hi).
+func (s *IntervalSet) UnionWithin(lo, hi sim.Time) time.Duration {
+	var t time.Duration
+	for _, iv := range s.merged() {
+		t += iv.Clip(lo, hi).Dur()
+	}
+	return t
+}
+
+// TotalWithin returns the raw (overlap-counted) length within [lo, hi).
+func (s *IntervalSet) TotalWithin(lo, hi sim.Time) time.Duration {
+	var t time.Duration
+	for _, iv := range s.ivs {
+		t += iv.Clip(lo, hi).Dur()
+	}
+	return t
+}
+
+// Gaps returns the maximal sub-intervals of [lo, hi) not covered by the
+// set.
+func (s *IntervalSet) Gaps(lo, hi sim.Time) []Interval {
+	var gaps []Interval
+	cursor := lo
+	for _, iv := range s.merged() {
+		c := iv.Clip(lo, hi)
+		if c.Dur() == 0 {
+			continue
+		}
+		if c.Start > cursor {
+			gaps = append(gaps, Interval{cursor, c.Start})
+		}
+		if c.End > cursor {
+			cursor = c.End
+		}
+	}
+	if cursor < hi {
+		gaps = append(gaps, Interval{cursor, hi})
+	}
+	return gaps
+}

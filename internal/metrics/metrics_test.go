@@ -1,0 +1,308 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"enviromic/internal/acoustics"
+	"enviromic/internal/flash"
+	"enviromic/internal/geometry"
+	"enviromic/internal/sim"
+)
+
+func at(s float64) sim.Time { return sim.Time(s * float64(time.Second)) }
+
+func TestIntervalSetUnionMergesOverlaps(t *testing.T) {
+	var s IntervalSet
+	s.Add(at(0), at(2))
+	s.Add(at(1), at(3)) // overlaps
+	s.Add(at(5), at(6)) // disjoint
+	s.Add(at(3), at(4)) // adjacent to [0,3)
+	if got := s.Union(); got != 5*time.Second {
+		t.Errorf("Union = %v, want 5s", got)
+	}
+	if got := s.Total(); got != 6*time.Second {
+		t.Errorf("Total = %v, want 6s", got)
+	}
+	if s.Len() != 4 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestIntervalSetIgnoresEmpty(t *testing.T) {
+	var s IntervalSet
+	s.Add(at(2), at(2))
+	s.Add(at(3), at(1))
+	if s.Len() != 0 || s.Union() != 0 {
+		t.Error("empty/inverted intervals were stored")
+	}
+}
+
+func TestIntervalSetWithin(t *testing.T) {
+	var s IntervalSet
+	s.Add(at(0), at(10))
+	s.Add(at(5), at(15))
+	if got := s.UnionWithin(at(8), at(12)); got != 4*time.Second {
+		t.Errorf("UnionWithin = %v, want 4s", got)
+	}
+	if got := s.TotalWithin(at(8), at(12)); got != 6*time.Second {
+		t.Errorf("TotalWithin = %v, want 6s (both intervals clip to 2+4)", got)
+	}
+}
+
+func TestIntervalSetGaps(t *testing.T) {
+	var s IntervalSet
+	s.Add(at(2), at(4))
+	s.Add(at(6), at(8))
+	gaps := s.Gaps(at(0), at(10))
+	want := []Interval{{at(0), at(2)}, {at(4), at(6)}, {at(8), at(10)}}
+	if len(gaps) != len(want) {
+		t.Fatalf("gaps = %v", gaps)
+	}
+	for i := range want {
+		if gaps[i] != want[i] {
+			t.Errorf("gap %d = %v, want %v", i, gaps[i], want[i])
+		}
+	}
+	var empty IntervalSet
+	g := empty.Gaps(at(0), at(5))
+	if len(g) != 1 || g[0].Dur() != 5*time.Second {
+		t.Errorf("empty-set gaps = %v", g)
+	}
+}
+
+// Property: Union <= Total, and Union <= span when all intervals clipped.
+func TestQuickIntervalSetInvariants(t *testing.T) {
+	f := func(pairs [][2]uint16) bool {
+		var s IntervalSet
+		for _, p := range pairs {
+			a, b := sim.Time(p[0])*sim.Time(time.Millisecond), sim.Time(p[1])*sim.Time(time.Millisecond)
+			if a > b {
+				a, b = b, a
+			}
+			s.Add(a, b)
+		}
+		if s.Union() > s.Total() {
+			return false
+		}
+		span := sim.Time(65536) * sim.Time(time.Millisecond)
+		if s.UnionWithin(0, span) > span.Duration() {
+			return false
+		}
+		// Gaps + union must tile the window exactly.
+		var gapTotal time.Duration
+		for _, g := range s.Gaps(0, span) {
+			gapTotal += g.Dur()
+		}
+		return gapTotal+s.UnionWithin(0, span) == span.Duration()
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecordingEffective(t *testing.T) {
+	r := Recording{Node: 1, Start: at(10), End: at(12), StoredFrac: 0.5}
+	eff := r.Effective()
+	if eff.Start != at(10) || eff.End != at(11) {
+		t.Errorf("Effective = %v", eff)
+	}
+}
+
+// collectorRig builds a field with one whitelisted event heard by nodes
+// 0 and 1.
+func collectorRig() (*Collector, *acoustics.Source) {
+	field := acoustics.NewField(1.0)
+	src := acoustics.StaticSource(1, geometry.Point{X: 0.5}, at(10), 10*time.Second, 5, acoustics.VoiceTone)
+	field.AddSource(src)
+	pos := map[int]geometry.Point{
+		0: {X: 0}, 1: {X: 1}, 2: {X: 100},
+	}
+	return NewCollector(field, pos), src
+}
+
+func TestMissRatioFullCoverage(t *testing.T) {
+	c, _ := collectorRig()
+	c.AddRecording(Recording{Node: 0, File: 1, Start: at(10), End: at(20), StoredFrac: 1})
+	if got := c.MissRatioAt(at(30)); got != 0 {
+		t.Errorf("miss with full coverage = %v, want 0", got)
+	}
+}
+
+func TestMissRatioPartialCoverage(t *testing.T) {
+	c, _ := collectorRig()
+	// Covers [12,17) of the 10 s event: 50% missed.
+	c.AddRecording(Recording{Node: 0, File: 1, Start: at(12), End: at(17), StoredFrac: 1})
+	if got := c.MissRatioAt(at(30)); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("miss = %v, want 0.5", got)
+	}
+}
+
+func TestMissRatioCountsOnlyStoredFraction(t *testing.T) {
+	c, _ := collectorRig()
+	// Recorded the whole event but only half fit in flash.
+	c.AddRecording(Recording{Node: 0, File: 1, Start: at(10), End: at(20), StoredFrac: 0.5})
+	if got := c.MissRatioAt(at(30)); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("miss = %v, want 0.5", got)
+	}
+}
+
+func TestMissRatioIgnoresUnattributedRecordings(t *testing.T) {
+	c, _ := collectorRig()
+	// Node 2 is far away: its "recording" cannot be of this event.
+	c.AddRecording(Recording{Node: 2, File: 9, Start: at(10), End: at(20), StoredFrac: 1})
+	if got := c.MissRatioAt(at(30)); got != 1 {
+		t.Errorf("miss = %v, want 1 (no attributed coverage)", got)
+	}
+}
+
+func TestMissRatioCumulativeOverTime(t *testing.T) {
+	c, _ := collectorRig()
+	c.AddRecording(Recording{Node: 0, File: 1, Start: at(10), End: at(15), StoredFrac: 1})
+	// At t=15, event ran 5 s, all covered.
+	if got := c.MissRatioAt(at(15)); got != 0 {
+		t.Errorf("miss at 15s = %v, want 0", got)
+	}
+	// At t=20, event ran 10 s, 5 covered.
+	if got := c.MissRatioAt(at(20)); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("miss at 20s = %v, want 0.5", got)
+	}
+	// Before the event there is nothing to miss.
+	if got := c.MissRatioAt(at(5)); got != 0 {
+		t.Errorf("miss before event = %v, want 0", got)
+	}
+}
+
+func TestRedundancyFromOverlap(t *testing.T) {
+	c, _ := collectorRig()
+	// Two nodes recorded the same 10 s event entirely: half the recorded
+	// time is redundant.
+	c.AddRecording(Recording{Node: 0, File: 1, Start: at(10), End: at(20), StoredFrac: 1})
+	c.AddRecording(Recording{Node: 1, File: 1, Start: at(10), End: at(20), StoredFrac: 1})
+	if got := c.RedundancyRatioAt(at(30), 2730); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("redundancy = %v, want 0.5", got)
+	}
+}
+
+func TestRedundancyIncludesDuplicateChunks(t *testing.T) {
+	c, _ := collectorRig()
+	c.AddRecording(Recording{Node: 0, File: 1, Start: at(10), End: at(20), StoredFrac: 1})
+	// 10 s × 2730 B/s = 27300 recorded bytes; 10 duplicated blocks.
+	c.AddSample(Sample{At: at(25), DuplicateChunks: 10})
+	want := float64(10*flash.BlockSize) / 27300.0
+	if got := c.RedundancyRatioAt(at(30), 2730); math.Abs(got-want) > 1e-9 {
+		t.Errorf("redundancy = %v, want %v", got, want)
+	}
+	// Before the sample, no duplicates known.
+	if got := c.RedundancyRatioAt(at(20), 2730); got != 0 {
+		t.Errorf("redundancy before sample = %v, want 0", got)
+	}
+}
+
+func TestMessageCountFromSamples(t *testing.T) {
+	c, _ := collectorRig()
+	c.AddSample(Sample{At: at(10), TxByKind: map[string]uint64{"task.request": 5, "timesync": 99}})
+	c.AddSample(Sample{At: at(20), TxByKind: map[string]uint64{"task.request": 9, "bulk.data": 3, "timesync": 200}})
+	if got := c.MessageCountAt(at(15)); got != 5 {
+		t.Errorf("count at 15s = %d, want 5 (timesync excluded)", got)
+	}
+	if got := c.MessageCountAt(at(25)); got != 12 {
+		t.Errorf("count at 25s = %d, want 12", got)
+	}
+	if got := c.MessageCountAt(at(5)); got != 0 {
+		t.Errorf("count before samples = %d, want 0", got)
+	}
+}
+
+func TestStorageHeatmap(t *testing.T) {
+	c, _ := collectorRig()
+	c.AddSample(Sample{At: at(10), StoredBytes: map[int]int{0: 1000, 1: 500}})
+	h := c.StorageHeatmapAt(at(15), 2, 1)
+	if got := h.Total(); got != 1500 {
+		t.Errorf("heatmap total = %v, want 1500", got)
+	}
+}
+
+func TestOverheadHeatmap(t *testing.T) {
+	c, _ := collectorRig()
+	c.AddSample(Sample{At: at(10), TxByNode: map[int]uint64{0: 7, 1: 3}})
+	h := c.OverheadHeatmapAt(at(15), 2, 1)
+	if got := h.Total(); got != 10 {
+		t.Errorf("overhead total = %v, want 10", got)
+	}
+}
+
+func TestRecordedSecondsPerBucket(t *testing.T) {
+	c, _ := collectorRig()
+	c.AddRecording(Recording{Node: 0, Start: at(30), End: at(32), StoredFrac: 1})
+	c.AddRecording(Recording{Node: 0, Start: at(31), End: at(33), StoredFrac: 0.5})
+	c.AddRecording(Recording{Node: 0, Start: at(90), End: at(95), StoredFrac: 1})
+	buckets := c.RecordedSecondsPerBucket(at(120), time.Minute)
+	if len(buckets) != 3 {
+		t.Fatalf("buckets = %d", len(buckets))
+	}
+	if math.Abs(buckets[0]-3) > 1e-9 {
+		t.Errorf("bucket 0 = %v, want 3", buckets[0])
+	}
+	if math.Abs(buckets[1]-5) > 1e-9 {
+		t.Errorf("bucket 1 = %v, want 5", buckets[1])
+	}
+}
+
+func TestRecordedBytesByNode(t *testing.T) {
+	c, _ := collectorRig()
+	c.AddRecording(Recording{Node: 0, Start: at(10), End: at(12), StoredFrac: 1})
+	c.AddRecording(Recording{Node: 1, Start: at(10), End: at(11), StoredFrac: 1})
+	got := c.RecordedBytesByNode(1000)
+	if got[0] != 2000 || got[1] != 1000 {
+		t.Errorf("bytes by node = %v", got)
+	}
+}
+
+func TestMigratedFromNode(t *testing.T) {
+	c, _ := collectorRig()
+	c.AddMigration(Migration{From: 5, To: 6, Chunks: 10, At: at(10)})
+	c.AddMigration(Migration{From: 5, To: 7, Chunks: 4, At: at(20)})
+	c.AddMigration(Migration{From: 6, To: 7, Chunks: 2, At: at(30)})
+	got := c.MigratedFromNode(5)
+	if got[6] != 10 || got[7] != 4 || len(got) != 2 {
+		t.Errorf("MigratedFromNode = %v", got)
+	}
+}
+
+func TestCountDuplicates(t *testing.T) {
+	mk := func(file flash.FileID, origin int32, seq uint32) *flash.Chunk {
+		return &flash.Chunk{File: file, Origin: origin, Seq: seq}
+	}
+	holdings := map[int][]*flash.Chunk{
+		0: {mk(1, 0, 0), mk(1, 0, 1)},
+		1: {mk(1, 0, 1), mk(1, 0, 2)},              // seq 1 duplicated
+		2: {mk(1, 0, 1), mk(2, 0, 1), mk(1, 5, 1)}, // seq 1 triplicated; others unique
+	}
+	if got := CountDuplicates(holdings); got != 2 {
+		t.Errorf("duplicates = %d, want 2", got)
+	}
+	if got := CountDuplicates(nil); got != 0 {
+		t.Errorf("duplicates of nil = %d", got)
+	}
+}
+
+func TestAttributionProbesMobileSources(t *testing.T) {
+	field := acoustics.NewField(1.0)
+	// Source moves from x=0 to x=100 over 100 s; loudness 2 → range 2.
+	src := acoustics.MobileSource(1, geometry.Point{X: 0}, geometry.Point{X: 100},
+		at(0), 100*time.Second, 2, acoustics.VoiceTone)
+	field.AddSource(src)
+	pos := map[int]geometry.Point{0: {X: 50}}
+	c := NewCollector(field, pos)
+	// Node 0 records [45,55): the source passes x=50 at t=50 — audible
+	// only within [48,52] — the probe points must catch it.
+	c.AddRecording(Recording{Node: 0, Start: at(45), End: at(55), StoredFrac: 1})
+	if got := c.MissRatioAt(at(100)); got >= 1 {
+		t.Errorf("mobile attribution failed: miss = %v", got)
+	}
+}

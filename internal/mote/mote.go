@@ -1,0 +1,185 @@
+// Package mote models the sensing device underneath the EnviroMic
+// protocols: an 8-bit ADC sampling a microphone at ~2.73 kHz, a CPU too
+// slow to sample and talk at once (Fig 3), a 0.5 MB block flash, and a
+// battery. The protocol packages see a Mote through small, explicit
+// methods — capture samples, sense the envelope, account energy — so the
+// same protocol code would port to real hardware.
+package mote
+
+import (
+	"fmt"
+	"time"
+
+	"enviromic/internal/acoustics"
+	"enviromic/internal/flash"
+	"enviromic/internal/geometry"
+	"enviromic/internal/radio"
+	"enviromic/internal/sim"
+)
+
+// DefaultSampleRate is the acoustic sampling frequency used throughout
+// the paper's evaluation (§IV): 2.730 kHz.
+const DefaultSampleRate = 2730.0
+
+// Config parameterizes a Mote.
+type Config struct {
+	// SampleRate in Hz; defaults to DefaultSampleRate.
+	SampleRate float64
+	// FullScale is the pressure amplitude mapped to ADC full scale.
+	FullScale float64
+	// FlashBlocks is the local store capacity; defaults to
+	// flash.DefaultBlocks (0.5 MB).
+	FlashBlocks int
+	// Energy overrides the battery model; nil uses DefaultEnergy.
+	Energy *Energy
+	// SynthesizeAudio controls whether CaptureSamples evaluates the
+	// acoustic field per sample (needed for waveform experiments such as
+	// Fig 8) or fills payloads with a cheap deterministic pattern
+	// (sufficient for storage/protocol experiments, and much faster for
+	// the hour-scale runs of Figs 10–18).
+	SynthesizeAudio bool
+}
+
+// Mote is one deployed sensing device.
+type Mote struct {
+	ID  int
+	Pos geometry.Point
+
+	Sched    *sim.Scheduler
+	Field    *acoustics.Field
+	Store    *flash.Store
+	Energy   *Energy
+	Endpoint *radio.Endpoint
+	Sampler  *Sampler
+
+	cfg  Config
+	dead bool
+}
+
+// New builds a mote, joins it to the radio network, and wires radio
+// activity into both the energy model and the sampler's contention model.
+func New(id int, pos geometry.Point, sched *sim.Scheduler, field *acoustics.Field, net *radio.Network, cfg Config) *Mote {
+	if cfg.SampleRate == 0 {
+		cfg.SampleRate = DefaultSampleRate
+	}
+	if cfg.SampleRate <= 0 {
+		panic(fmt.Sprintf("mote: invalid sample rate %v", cfg.SampleRate))
+	}
+	if cfg.FullScale == 0 {
+		cfg.FullScale = 8
+	}
+	if cfg.FlashBlocks == 0 {
+		cfg.FlashBlocks = flash.DefaultBlocks
+	}
+	energy := cfg.Energy
+	if energy == nil {
+		energy = DefaultEnergy()
+	}
+	m := &Mote{
+		ID:      id,
+		Pos:     pos,
+		Sched:   sched,
+		Field:   field,
+		Store:   flash.NewStore(cfg.FlashBlocks),
+		Energy:  energy,
+		Sampler: NewSampler(sched),
+		cfg:     cfg,
+	}
+	m.Endpoint = net.Join(id, pos)
+	m.Endpoint.SetActivityListener(m)
+	return m
+}
+
+// Config returns the mote's configuration.
+func (m *Mote) Config() Config { return m.cfg }
+
+// RadioActivity implements radio.ActivityListener: radio work drains the
+// battery and stalls the sampler.
+func (m *Mote) RadioActivity(_ radio.ActivityKind, dur time.Duration) {
+	m.Energy.DrainRadio(dur)
+	m.Sampler.RadioBusy(dur)
+}
+
+// SenseEnvelope returns the instantaneous signal envelope at the mote:
+// the sum of audible source amplitudes. This is what the detector's
+// running-average comparison consumes.
+func (m *Mote) SenseEnvelope(at sim.Time) float64 {
+	total := 0.0
+	for _, s := range m.Field.AudibleSources(m.ID, m.Pos, at) {
+		total += s.AmplitudeAt(m.Pos, at)
+	}
+	return total
+}
+
+// Audible reports whether any source is currently audible to this mote.
+func (m *Mote) Audible(at sim.Time) bool {
+	return m.Field.Audible(m.ID, m.Pos, at)
+}
+
+// LoudestSource returns the dominant audible source, or nil.
+func (m *Mote) LoudestSource(at sim.Time) *acoustics.Source {
+	return m.Field.LoudestSource(m.ID, m.Pos, at)
+}
+
+// SampleCount returns the number of ADC samples spanning [start, end).
+func (m *Mote) SampleCount(start, end sim.Time) int {
+	if end <= start {
+		return 0
+	}
+	return int(end.Sub(start).Seconds() * m.cfg.SampleRate)
+}
+
+// CaptureSamples returns the quantized ADC stream the mote would record
+// over [start, end). With SynthesizeAudio the acoustic field is evaluated
+// at every sample instant; otherwise a deterministic placeholder pattern
+// of the correct length is produced (the storage experiments only care
+// about volume). Sampling energy is drained either way.
+func (m *Mote) CaptureSamples(start, end sim.Time) []byte {
+	n := m.SampleCount(start, end)
+	if n == 0 {
+		return nil
+	}
+	m.Energy.DrainSample(end.Sub(start))
+	out := make([]byte, n)
+	if m.cfg.SynthesizeAudio {
+		period := 1.0 / m.cfg.SampleRate
+		for i := range out {
+			at := start.Add(time.Duration(float64(i) * period * float64(time.Second)))
+			out[i] = acoustics.Quantize(m.Field.SignalAt(m.ID, m.Pos, at), m.cfg.FullScale)
+		}
+		return out
+	}
+	for i := range out {
+		// Cheap deterministic filler carrying mote identity and position
+		// in the stream, so tests can still detect misordered stitching.
+		out[i] = byte(m.ID)<<4 ^ byte(i)
+	}
+	return out
+}
+
+// StoreChunks enqueues chunks into local flash, draining write energy.
+// It returns the number of chunks stored; the remainder were dropped
+// because flash is full (a recording miss the metrics layer will see as
+// lost data).
+func (m *Mote) StoreChunks(chunks []*flash.Chunk) int {
+	stored := 0
+	for _, c := range chunks {
+		if err := m.Store.Enqueue(c); err != nil {
+			break
+		}
+		stored++
+	}
+	m.Energy.DrainFlashWrites(stored)
+	return stored
+}
+
+// Kill fails the mote permanently: radio dead, sampler stopped. Flash
+// contents survive for post-collection retrieval (§III-B.3).
+func (m *Mote) Kill() {
+	m.dead = true
+	m.Endpoint.Kill()
+	m.Sampler.Stop()
+}
+
+// Alive reports whether the mote is functional.
+func (m *Mote) Alive() bool { return m.dead == false && !m.Energy.Depleted(m.Sched.Now()) }

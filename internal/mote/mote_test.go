@@ -1,0 +1,298 @@
+package mote
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"enviromic/internal/acoustics"
+	"enviromic/internal/flash"
+	"enviromic/internal/geometry"
+	"enviromic/internal/radio"
+	"enviromic/internal/sim"
+)
+
+func testRig(synth bool) (*sim.Scheduler, *acoustics.Field, *radio.Network, *Mote) {
+	s := sim.NewScheduler(1)
+	f := acoustics.NewField(1.0)
+	cfg := radio.DefaultConfig(4)
+	cfg.LossProb = 0
+	n := radio.NewNetwork(s, cfg)
+	m := New(0, geometry.Point{}, s, f, n, Config{SynthesizeAudio: synth, FlashBlocks: 64})
+	return s, f, n, m
+}
+
+func TestSamplerFixedIntervalWhenQuiet(t *testing.T) {
+	s := sim.NewScheduler(1)
+	sp := NewSampler(s)
+	var fires []sim.Time
+	sp.Start(func(at sim.Time) { fires = append(fires, at) })
+	s.Run(sim.At(200 * sim.Jiffy))
+	sp.Stop()
+	if len(fires) < 15 {
+		t.Fatalf("only %d samples", len(fires))
+	}
+	for i := 1; i < len(fires); i++ {
+		if got := fires[i].Sub(fires[i-1]); got != 10*sim.Jiffy {
+			t.Fatalf("quiet interval %d = %v, want 10 jiffies", i, got)
+		}
+	}
+}
+
+func TestSamplerJittersUnderRadioActivity(t *testing.T) {
+	s := sim.NewScheduler(1)
+	sp := NewSampler(s)
+	var fires []sim.Time
+	sp.Start(func(at sim.Time) { fires = append(fires, at) })
+	// Keep the radio busy for a long stretch starting after a few clean
+	// samples.
+	s.At(sim.At(50*sim.Jiffy), "busy", func() { sp.RadioBusy(100 * sim.Jiffy) })
+	s.Run(sim.At(300 * sim.Jiffy))
+	sp.Stop()
+
+	var intervals []time.Duration
+	for i := 1; i < len(fires); i++ {
+		intervals = append(intervals, fires[i].Sub(fires[i-1]))
+	}
+	long, short, nominal := 0, 0, 0
+	for _, iv := range intervals {
+		switch iv {
+		case 16 * sim.Jiffy:
+			long++
+		case 9 * sim.Jiffy:
+			short++
+		case 10 * sim.Jiffy:
+			nominal++
+		default:
+			t.Fatalf("unexpected interval %v (want 9, 10 or 16 jiffies)", iv)
+		}
+	}
+	if long == 0 || short == 0 {
+		t.Errorf("busy window produced no jitter: long=%d short=%d", long, short)
+	}
+	if long != short {
+		t.Errorf("long and short intervals should alternate: %d vs %d", long, short)
+	}
+	if nominal == 0 {
+		t.Error("quiet periods produced no nominal intervals")
+	}
+}
+
+func TestSamplerStopAndRestart(t *testing.T) {
+	s := sim.NewScheduler(1)
+	sp := NewSampler(s)
+	n := 0
+	sp.Start(func(sim.Time) { n++ })
+	s.Run(sim.At(25 * sim.Jiffy))
+	sp.Stop()
+	if sp.Running() {
+		t.Error("Running() after Stop")
+	}
+	s.Run(sim.At(100 * sim.Jiffy))
+	if n != 2 {
+		t.Errorf("samples after stop: %d, want 2", n)
+	}
+	sp.Start(func(sim.Time) { n++ })
+	s.Run(sim.At(150 * sim.Jiffy))
+	if n < 5 {
+		t.Errorf("restart did not resume sampling: %d", n)
+	}
+}
+
+func TestSamplerDoubleStartPanics(t *testing.T) {
+	s := sim.NewScheduler(1)
+	sp := NewSampler(s)
+	sp.Start(func(sim.Time) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("double Start did not panic")
+		}
+	}()
+	sp.Start(func(sim.Time) {})
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	e := &Energy{CapacityJ: 100, IdleW: 1, RadioW: 10, SampleW: 2, FlashWriteJ: 0.5, RadioThroughput: 1000}
+	at := sim.At(10 * time.Second)
+	if got := e.Remaining(at); got != 90 {
+		t.Errorf("idle-only remaining = %v, want 90", got)
+	}
+	e.DrainRadio(2 * time.Second)  // 20 J
+	e.DrainSample(5 * time.Second) // 10 J
+	e.DrainFlashWrites(4)          // 2 J
+	if got := e.Remaining(at); got != 58 {
+		t.Errorf("remaining = %v, want 58", got)
+	}
+	if e.Depleted(at) {
+		t.Error("Depleted too early")
+	}
+	if !e.Depleted(sim.At(100 * time.Second)) {
+		t.Error("not depleted after capacity exhausted")
+	}
+}
+
+func TestEnergyDrainRate(t *testing.T) {
+	e := &Energy{CapacityJ: 100, IdleW: 1, RadioW: 10, RadioThroughput: 1000}
+	if got := e.DrainRateAt(0); got != 1 {
+		t.Errorf("idle drain = %v, want 1", got)
+	}
+	if got := e.DrainRateAt(500); got != 6 { // 50% duty × 10 W + idle
+		t.Errorf("half-duty drain = %v, want 6", got)
+	}
+	if got := e.DrainRateAt(5000); got != 11 { // duty clamps at 1
+		t.Errorf("over-duty drain = %v, want 11", got)
+	}
+}
+
+func TestEnergyTTL(t *testing.T) {
+	e := &Energy{CapacityJ: 100, IdleW: 1, RadioW: 10, RadioThroughput: 1000}
+	got := e.TTLEnergy(0, 0)
+	if got != 100*time.Second {
+		t.Errorf("TTLEnergy idle = %v, want 100s", got)
+	}
+	got = e.TTLEnergy(0, 500)
+	if math.Abs(got.Seconds()-100.0/6) > 1e-6 {
+		t.Errorf("TTLEnergy at 500 B/s = %v, want %.2fs", got, 100.0/6)
+	}
+}
+
+func TestMoteSenseEnvelopeAndAudibility(t *testing.T) {
+	s, f, _, m := testRig(false)
+	f.AddSource(acoustics.StaticSource(1, geometry.Point{X: 2}, 0, 10*time.Second, 6, acoustics.VoiceTone))
+	at := sim.At(time.Second)
+	_ = s
+	if !m.Audible(at) {
+		t.Fatal("source at d=2 with loudness 6 (range 6) should be audible")
+	}
+	if got := m.SenseEnvelope(at); math.Abs(got-3) > 1e-9 {
+		t.Errorf("envelope = %v, want 3", got)
+	}
+	if src := m.LoudestSource(at); src == nil || src.ID != 1 {
+		t.Errorf("LoudestSource = %v", src)
+	}
+	if m.Audible(sim.At(20 * time.Second)) {
+		t.Error("expired source still audible")
+	}
+}
+
+func TestMoteSampleCount(t *testing.T) {
+	_, _, _, m := testRig(false)
+	n := m.SampleCount(0, sim.At(time.Second))
+	if n != int(DefaultSampleRate) {
+		t.Errorf("SampleCount(1s) = %d, want %d", n, int(DefaultSampleRate))
+	}
+	if m.SampleCount(sim.At(time.Second), 0) != 0 {
+		t.Error("inverted interval should count 0")
+	}
+}
+
+func TestMoteCaptureSynthesized(t *testing.T) {
+	s, f, _, m := testRig(true)
+	_ = s
+	f.AddSource(acoustics.StaticSource(3, geometry.Point{X: 1}, 0, 10*time.Second, 5, acoustics.VoiceTone))
+	buf := m.CaptureSamples(sim.At(time.Second), sim.At(1100*time.Millisecond))
+	if len(buf) != 273 {
+		t.Fatalf("captured %d samples, want 273", len(buf))
+	}
+	// The signal must actually vary (a real waveform, not a constant).
+	varied := false
+	for _, b := range buf {
+		if b != buf[0] {
+			varied = true
+			break
+		}
+	}
+	if !varied {
+		t.Error("synthesized capture is constant")
+	}
+	// Deterministic across identical motes.
+	buf2 := m.CaptureSamples(sim.At(time.Second), sim.At(1100*time.Millisecond))
+	for i := range buf {
+		if buf[i] != buf2[i] {
+			t.Fatal("capture not deterministic")
+		}
+	}
+}
+
+func TestMoteCapturePlaceholder(t *testing.T) {
+	_, _, _, m := testRig(false)
+	buf := m.CaptureSamples(0, sim.At(100*time.Millisecond))
+	if len(buf) != 273 {
+		t.Fatalf("captured %d samples, want 273", len(buf))
+	}
+	if m.CaptureSamples(0, 0) != nil {
+		t.Error("empty capture should be nil")
+	}
+}
+
+func TestMoteStoreChunks(t *testing.T) {
+	_, _, _, m := testRig(false)
+	chunks := flash.SplitSamples(1, 0, 0, 0, sim.At(time.Second), make([]byte, flash.PayloadSize*3))
+	if got := m.StoreChunks(chunks); got != 3 {
+		t.Errorf("stored %d chunks, want 3", got)
+	}
+	if m.Store.Len() != 3 {
+		t.Errorf("store Len = %d", m.Store.Len())
+	}
+}
+
+func TestMoteStoreChunksStopsWhenFull(t *testing.T) {
+	_, _, _, m := testRig(false) // 64 blocks
+	big := flash.SplitSamples(1, 0, 0, 0, sim.At(time.Minute), make([]byte, flash.PayloadSize*100))
+	if got := m.StoreChunks(big); got != 64 {
+		t.Errorf("stored %d chunks into 64-block flash, want 64", got)
+	}
+}
+
+func TestMoteRadioActivityDrainsAndStallsSampler(t *testing.T) {
+	s, _, n, m := testRig(false)
+	// A second mote transmits; mote 0 receives and pays CPU+energy.
+	m2 := New(1, geometry.Point{X: 1}, s, m.Field, n, Config{FlashBlocks: 8})
+	_ = m2
+	before := m.Energy.Remaining(0)
+	m.RadioActivity(radio.ActivityRx, time.Second)
+	if got := m.Energy.Remaining(0); got >= before {
+		t.Error("radio activity did not drain energy")
+	}
+	if !m.Sampler.Busy() {
+		t.Error("radio activity did not stall the sampler")
+	}
+}
+
+func TestMoteKill(t *testing.T) {
+	_, _, _, m := testRig(false)
+	if !m.Alive() {
+		t.Fatal("fresh mote not alive")
+	}
+	m.Kill()
+	if m.Alive() {
+		t.Error("Alive() after Kill")
+	}
+	if m.Endpoint.Alive() {
+		t.Error("endpoint alive after Kill")
+	}
+}
+
+func TestMoteEnergyDepletionMeansDead(t *testing.T) {
+	s := sim.NewScheduler(1)
+	f := acoustics.NewField(1.0)
+	n := radio.NewNetwork(s, radio.DefaultConfig(4))
+	e := &Energy{CapacityJ: 1, IdleW: 1, RadioW: 1, RadioThroughput: 100}
+	m := New(0, geometry.Point{}, s, f, n, Config{Energy: e, FlashBlocks: 8})
+	s.Run(sim.At(2 * time.Second)) // idle drain exceeds capacity
+	if m.Alive() {
+		t.Error("mote alive with depleted battery")
+	}
+}
+
+func TestMoteConfigValidation(t *testing.T) {
+	s := sim.NewScheduler(1)
+	f := acoustics.NewField(1.0)
+	n := radio.NewNetwork(s, radio.DefaultConfig(4))
+	defer func() {
+		if recover() == nil {
+			t.Error("negative sample rate did not panic")
+		}
+	}()
+	New(5, geometry.Point{}, s, f, n, Config{SampleRate: -1})
+}

@@ -1,0 +1,113 @@
+package mote
+
+import (
+	"time"
+
+	"enviromic/internal/sim"
+)
+
+// Sampler reproduces the MicaZ ADC timing behaviour measured in Fig 3:
+// with the radio quiet, samples fire at the nominal interval exactly;
+// while the radio stack is processing packets (either direction — the
+// radio layer consumes CPU cycles whenever activity is detected, even if
+// the application ignores the packet), the observed interval jitters
+// between a stretched value and a shortened catch-up value.
+//
+// The model is phenomenological, matching the published measurement
+// directly: a sample that falls inside a radio-busy window is displaced
+// late by ContentionDelay (interrupt backlog), and the next sample fires
+// early by CatchUp as the timer interrupt catches back up; sustained
+// radio activity therefore alternates long/short intervals (with the
+// paper's constants, 16 ↔ 9 jiffies around the 10-jiffy nominal).
+type Sampler struct {
+	// Interval is the nominal sampling period (paper: 10 jiffies).
+	Interval time.Duration
+	// ContentionDelay stretches a busy-window sample (paper: +6 jiffies,
+	// observed interval 16 jiffies).
+	ContentionDelay time.Duration
+	// CatchUp shortens the interval after a displaced sample (paper: −1
+	// jiffy, observed interval 9 jiffies).
+	CatchUp time.Duration
+
+	sched     *sim.Scheduler
+	busyUntil sim.Time
+	running   bool
+	timer     *sim.Timer
+	displaced bool
+	onSample  func(at sim.Time)
+}
+
+// NewSampler returns a sampler with the paper's measured constants.
+func NewSampler(s *sim.Scheduler) *Sampler {
+	return &Sampler{
+		Interval:        10 * sim.Jiffy,
+		ContentionDelay: 6 * sim.Jiffy,
+		CatchUp:         1 * sim.Jiffy,
+		sched:           s,
+	}
+}
+
+// RadioBusy extends the CPU-busy window by dur from now. The mote feeds
+// radio activity (TX and RX) in here.
+func (sp *Sampler) RadioBusy(dur time.Duration) {
+	until := sp.sched.Now().Add(dur)
+	if until > sp.busyUntil {
+		sp.busyUntil = until
+	}
+}
+
+// Busy reports whether the CPU is inside a radio-busy window.
+func (sp *Sampler) Busy() bool { return sp.sched.Now() < sp.busyUntil }
+
+// Start begins sampling, invoking onSample at each (possibly jittered)
+// sample instant. The first sample fires one interval from now. Starting
+// an already-running sampler panics.
+func (sp *Sampler) Start(onSample func(at sim.Time)) {
+	if sp.running {
+		panic("mote: sampler already running")
+	}
+	if sp.Interval <= 0 {
+		panic("mote: sampler interval must be positive")
+	}
+	if sp.ContentionDelay < 0 || sp.CatchUp < 0 || sp.CatchUp >= sp.Interval {
+		panic("mote: sampler jitter constants out of range")
+	}
+	sp.running = true
+	sp.onSample = onSample
+	sp.displaced = false
+	sp.schedule(sp.Interval)
+}
+
+// Stop halts sampling.
+func (sp *Sampler) Stop() {
+	sp.running = false
+	if sp.timer != nil {
+		sp.timer.Cancel()
+	}
+}
+
+// Running reports whether the sampler is active.
+func (sp *Sampler) Running() bool { return sp.running }
+
+func (sp *Sampler) schedule(d time.Duration) {
+	sp.timer = sp.sched.After(d, "mote.sample", func() {
+		if !sp.running {
+			return
+		}
+		next := sp.Interval
+		switch {
+		case sp.displaced:
+			// Catch-up interval after a displaced sample (Fig 3: 9 jiffies).
+			next = sp.Interval - sp.CatchUp
+			sp.displaced = false
+		case sp.Busy():
+			// Displaced sample (Fig 3: 16 jiffies).
+			next = sp.Interval + sp.ContentionDelay
+			sp.displaced = true
+		}
+		sp.onSample(sp.sched.Now())
+		if sp.running {
+			sp.schedule(next)
+		}
+	})
+}

@@ -1,0 +1,292 @@
+package netstack
+
+import (
+	"fmt"
+	"time"
+
+	"enviromic/internal/compress"
+	"enviromic/internal/flash"
+	"enviromic/internal/radio"
+	"enviromic/internal/sim"
+)
+
+// Bulk payload kinds, visible in the control-message accounting.
+const (
+	KindBulkData = "bulk.data"
+	KindBulkAck  = "bulk.ack"
+)
+
+// Class distinguishes what a bulk session carries: storage-balancing
+// migrations are *moves* (the receiver keeps the chunk), retrieval
+// convergecasts are *reads* (the receiver forwards toward the sink).
+// Without the distinction a retrieval relay would swallow concurrent
+// balancing traffic and delete it from the network.
+type Class uint8
+
+// Bulk traffic classes.
+const (
+	ClassBalance Class = iota
+	ClassRetrieval
+)
+
+// BulkData carries one flash chunk of a transfer session.
+type BulkData struct {
+	Session uint32
+	Seq     uint32
+	Last    bool
+	Class   Class
+	// Compressed marks the chunk payload as delta/RLE-compressed for
+	// transit (§V's compression integration); the receiver restores it
+	// before storing.
+	Compressed bool
+	Chunk      *flash.Chunk
+}
+
+// Kind implements radio.Payload.
+func (BulkData) Kind() string { return KindBulkData }
+
+// Size implements radio.Payload: session/seq/flags/class + the chunk
+// header and its (possibly compressed) payload. On-air size shrinks with
+// compression, which is the point — radio bytes are the energy cost of
+// load balancing.
+func (d BulkData) Size() int {
+	n := 11 + 30 // framing + chunk metadata header
+	if d.Chunk != nil {
+		n += len(d.Chunk.Data)
+	}
+	return n
+}
+
+// BulkAck acknowledges (or refuses) one BulkData.
+type BulkAck struct {
+	Session uint32
+	Seq     uint32
+	Accept  bool
+}
+
+// Kind implements radio.Payload.
+func (BulkAck) Kind() string { return KindBulkAck }
+
+// Size implements radio.Payload.
+func (BulkAck) Size() int { return 9 }
+
+// AcceptFunc decides whether this node stores an incoming chunk; it
+// returns false when local flash cannot take it (the sender keeps the
+// chunk). The storage layer supplies it.
+type AcceptFunc func(from int, c *flash.Chunk) bool
+
+// DoneFunc reports a finished send session: acked chunks were delivered,
+// failed chunks were not acknowledged and remain the sender's
+// responsibility. Note the paper's caveat (§IV-B): an acked chunk whose
+// ACK was lost is retried and may end up stored twice — duplication is a
+// property of the medium the redundancy metric will observe.
+type DoneFunc func(acked int, failed []*flash.Chunk)
+
+// Bulk is the reliable local bulk-transfer component (§III-A). One
+// instance per node; sessions run sequentially per destination.
+type Bulk struct {
+	stack *Stack
+	sched *sim.Scheduler
+
+	// AckTimeout is the per-chunk retransmission timeout.
+	AckTimeout time.Duration
+	// MaxRetries bounds retransmissions per chunk before the session
+	// aborts.
+	MaxRetries int
+	// Compress applies in-transit delta/RLE compression to chunk
+	// payloads, trading a little CPU for radio bytes (§V).
+	Compress bool
+
+	accept          AcceptFunc
+	acceptRetrieval AcceptFunc
+	nextSession     uint32
+	sessions        map[uint32]*sendSession
+	seenRecv        map[recvKey]bool
+}
+
+type recvKey struct {
+	from    int
+	session uint32
+	seq     uint32
+}
+
+type sendSession struct {
+	id      uint32
+	to      int
+	class   Class
+	chunks  []*flash.Chunk
+	next    int
+	retries int
+	acked   int
+	failed  []*flash.Chunk
+	done    DoneFunc
+	timer   *sim.Timer
+}
+
+// NewBulk attaches a bulk-transfer service to a stack. accept may be nil
+// until SetAccept is called; receiving data with no acceptor refuses it.
+func NewBulk(stack *Stack, sched *sim.Scheduler) *Bulk {
+	b := &Bulk{
+		stack:      stack,
+		sched:      sched,
+		AckTimeout: 150 * time.Millisecond,
+		MaxRetries: 3,
+		sessions:   make(map[uint32]*sendSession),
+		seenRecv:   make(map[recvKey]bool),
+	}
+	stack.Register(KindBulkData, b.handleData)
+	stack.Register(KindBulkAck, b.handleAck)
+	return b
+}
+
+// SetAccept installs the receiver-side acceptor for balancing-class
+// chunks (the storage balancer's "keep this").
+func (b *Bulk) SetAccept(fn AcceptFunc) { b.accept = fn }
+
+// SetRetrievalAccept installs the acceptor for retrieval-class chunks
+// (the retrieval responder's "relay toward the sink" / the mule's
+// "collect").
+func (b *Bulk) SetRetrievalAccept(fn AcceptFunc) { b.acceptRetrieval = fn }
+
+// InFlight reports the number of open send sessions.
+func (b *Bulk) InFlight() int { return len(b.sessions) }
+
+// SendChunks transfers balancing-class chunks to neighbor `to`, invoking
+// done when the session completes or aborts. An empty chunk list
+// completes immediately.
+func (b *Bulk) SendChunks(to int, chunks []*flash.Chunk, done DoneFunc) {
+	b.send(to, ClassBalance, chunks, done)
+}
+
+// SendRetrieval transfers retrieval-class chunks (query responses and
+// convergecast relays).
+func (b *Bulk) SendRetrieval(to int, chunks []*flash.Chunk, done DoneFunc) {
+	b.send(to, ClassRetrieval, chunks, done)
+}
+
+func (b *Bulk) send(to int, class Class, chunks []*flash.Chunk, done DoneFunc) {
+	if len(chunks) == 0 {
+		if done != nil {
+			done(0, nil)
+		}
+		return
+	}
+	b.nextSession++
+	ss := &sendSession{id: b.nextSession, to: to, class: class, chunks: chunks, done: done}
+	b.sessions[ss.id] = ss
+	b.sendCurrent(ss)
+}
+
+func (b *Bulk) sendCurrent(ss *sendSession) {
+	c := ss.chunks[ss.next].Clone()
+	compressed := false
+	if b.Compress {
+		if enc := compress.Encode(c.Data); len(enc) < len(c.Data) {
+			c.Data = enc
+			compressed = true
+		}
+	}
+	b.stack.SendUrgent(ss.to, BulkData{
+		Session:    ss.id,
+		Seq:        uint32(ss.next),
+		Last:       ss.next == len(ss.chunks)-1,
+		Class:      ss.class,
+		Compressed: compressed,
+		Chunk:      c,
+	})
+	ss.timer = b.sched.After(b.AckTimeout, fmt.Sprintf("bulk.timeout.%d", ss.id), func() {
+		b.onTimeout(ss)
+	})
+}
+
+func (b *Bulk) onTimeout(ss *sendSession) {
+	if _, open := b.sessions[ss.id]; !open {
+		return
+	}
+	ss.retries++
+	if ss.retries <= b.MaxRetries {
+		b.sendCurrent(ss)
+		return
+	}
+	// Chunk undeliverable: abort the session, returning this and all
+	// remaining chunks to the caller.
+	ss.failed = append(ss.failed, ss.chunks[ss.next:]...)
+	b.finish(ss)
+}
+
+func (b *Bulk) finish(ss *sendSession) {
+	if ss.timer != nil {
+		ss.timer.Cancel()
+	}
+	delete(b.sessions, ss.id)
+	if ss.done != nil {
+		ss.done(ss.acked, ss.failed)
+	}
+}
+
+func (b *Bulk) handleAck(from, to int, p radio.Payload) {
+	if to != b.stack.ep.ID() {
+		return // overheard someone else's ack
+	}
+	ack, ok := p.(BulkAck)
+	if !ok {
+		return
+	}
+	ss, open := b.sessions[ack.Session]
+	if !open || from != ss.to || ack.Seq != uint32(ss.next) {
+		return
+	}
+	if ss.timer != nil {
+		ss.timer.Cancel()
+	}
+	if !ack.Accept {
+		// Receiver refused (flash full): keep the rest locally.
+		ss.failed = append(ss.failed, ss.chunks[ss.next:]...)
+		b.finish(ss)
+		return
+	}
+	ss.acked++
+	ss.retries = 0
+	ss.next++
+	if ss.next == len(ss.chunks) {
+		b.finish(ss)
+		return
+	}
+	b.sendCurrent(ss)
+}
+
+func (b *Bulk) handleData(from, to int, p radio.Payload) {
+	if to != b.stack.ep.ID() {
+		return // overheard a transfer between other nodes
+	}
+	d, ok := p.(BulkData)
+	if !ok {
+		return
+	}
+	key := recvKey{from: from, session: d.Session, seq: d.Seq}
+	if b.seenRecv[key] {
+		// Duplicate (our ACK was lost): re-ack without re-storing.
+		b.stack.SendUrgent(from, BulkAck{Session: d.Session, Seq: d.Seq, Accept: true})
+		return
+	}
+	chunk := d.Chunk
+	if d.Compressed {
+		data, err := compress.Decode(chunk.Data)
+		if err != nil {
+			// Undecodable payload: refuse so the sender keeps the chunk.
+			b.stack.SendUrgent(from, BulkAck{Session: d.Session, Seq: d.Seq, Accept: false})
+			return
+		}
+		chunk = chunk.Clone()
+		chunk.Data = data
+	}
+	acceptor := b.accept
+	if d.Class == ClassRetrieval {
+		acceptor = b.acceptRetrieval
+	}
+	accepted := acceptor != nil && acceptor(from, chunk)
+	if accepted {
+		b.seenRecv[key] = true
+	}
+	b.stack.SendUrgent(from, BulkAck{Session: d.Session, Seq: d.Seq, Accept: accepted})
+}

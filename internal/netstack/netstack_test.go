@@ -1,0 +1,440 @@
+package netstack
+
+import (
+	"testing"
+	"time"
+
+	"enviromic/internal/flash"
+	"enviromic/internal/geometry"
+	"enviromic/internal/radio"
+	"enviromic/internal/sim"
+)
+
+type testPayload struct {
+	kind string
+	size int
+	tag  int
+}
+
+func (p testPayload) Kind() string { return p.kind }
+func (p testPayload) Size() int    { return p.size }
+
+func rig(seed int64, loss float64) (*sim.Scheduler, *radio.Network) {
+	s := sim.NewScheduler(seed)
+	cfg := radio.DefaultConfig(5)
+	cfg.LossProb = loss
+	return s, radio.NewNetwork(s, cfg)
+}
+
+type recvLog struct {
+	got []struct {
+		from, to int
+		p        radio.Payload
+	}
+}
+
+func (r *recvLog) handler() Handler {
+	return func(from, to int, p radio.Payload) {
+		r.got = append(r.got, struct {
+			from, to int
+			p        radio.Payload
+		}{from, to, p})
+	}
+}
+
+func TestStackDispatchByKind(t *testing.T) {
+	s, net := rig(1, 0)
+	a := NewStack(net.Join(0, geometry.Point{}), s)
+	b := NewStack(net.Join(1, geometry.Point{X: 1}), s)
+	var sensing, task recvLog
+	b.Register("sensing", sensing.handler())
+	b.Register("task", task.handler())
+	a.SendUrgent(radio.Broadcast, testPayload{kind: "sensing", size: 4})
+	a.SendUrgent(1, testPayload{kind: "task", size: 8})
+	a.SendUrgent(radio.Broadcast, testPayload{kind: "unknown", size: 1})
+	s.RunAll()
+	if len(sensing.got) != 1 || len(task.got) != 1 {
+		t.Fatalf("dispatch counts sensing=%d task=%d", len(sensing.got), len(task.got))
+	}
+	if task.got[0].to != 1 || task.got[0].from != 0 {
+		t.Errorf("task from/to = %d/%d", task.got[0].from, task.got[0].to)
+	}
+}
+
+func TestStackDuplicateRegisterPanics(t *testing.T) {
+	s, net := rig(1, 0)
+	a := NewStack(net.Join(0, geometry.Point{}), s)
+	a.Register("x", func(int, int, radio.Payload) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	a.Register("x", func(int, int, radio.Payload) {})
+}
+
+func TestPiggybackRidesOnUrgentSend(t *testing.T) {
+	s, net := rig(1, 0)
+	a := NewStack(net.Join(0, geometry.Point{}), s)
+	b := NewStack(net.Join(1, geometry.Point{X: 1}), s)
+	var ttl recvLog
+	b.Register("ttl", ttl.handler())
+	a.SendDelayTolerant(testPayload{kind: "ttl", size: 6})
+	a.SendUrgent(radio.Broadcast, testPayload{kind: "task", size: 8})
+	s.Run(sim.At(100 * time.Millisecond)) // well before FlushAfter
+	if len(ttl.got) != 1 {
+		t.Fatalf("piggybacked payload not delivered: got %d", len(ttl.got))
+	}
+	if net.Stats().TotalFrames != 1 {
+		t.Errorf("TotalFrames = %d, want 1 (piggyback must not add a frame)",
+			net.Stats().TotalFrames)
+	}
+	if a.PendingDelayTolerant() != 0 {
+		t.Error("pending queue not drained")
+	}
+}
+
+func TestDelayTolerantFlushesAloneAfterTimeout(t *testing.T) {
+	s, net := rig(1, 0)
+	a := NewStack(net.Join(0, geometry.Point{}), s)
+	b := NewStack(net.Join(1, geometry.Point{X: 1}), s)
+	var ttl recvLog
+	b.Register("ttl", ttl.handler())
+	a.SendDelayTolerant(testPayload{kind: "ttl", size: 6})
+	s.Run(sim.At(a.FlushAfter + 50*time.Millisecond))
+	if len(ttl.got) != 1 {
+		t.Fatalf("standalone flush did not deliver: got %d", len(ttl.got))
+	}
+}
+
+func TestPiggybackRespectsByteBudget(t *testing.T) {
+	s, net := rig(1, 0)
+	a := NewStack(net.Join(0, geometry.Point{}), s)
+	b := NewStack(net.Join(1, geometry.Point{X: 1}), s)
+	a.MaxPiggyback = 10
+	var ttl recvLog
+	b.Register("ttl", ttl.handler())
+	a.SendDelayTolerant(testPayload{kind: "ttl", size: 6, tag: 1})
+	a.SendDelayTolerant(testPayload{kind: "ttl", size: 6, tag: 2}) // exceeds budget
+	a.SendUrgent(radio.Broadcast, testPayload{kind: "task", size: 8})
+	s.Run(sim.At(50 * time.Millisecond))
+	if len(ttl.got) != 1 {
+		t.Fatalf("delivered %d ttl payloads early, want 1 (budget)", len(ttl.got))
+	}
+	if a.PendingDelayTolerant() != 1 {
+		t.Errorf("pending = %d, want 1", a.PendingDelayTolerant())
+	}
+	// The leftover flushes by itself later.
+	s.Run(sim.At(5 * time.Second))
+	if len(ttl.got) != 2 {
+		t.Errorf("leftover payload never flushed: got %d", len(ttl.got))
+	}
+}
+
+func TestHeldUrgentSendsOnRadioRestore(t *testing.T) {
+	s, net := rig(1, 0)
+	a := NewStack(net.Join(0, geometry.Point{}), s)
+	b := NewStack(net.Join(1, geometry.Point{X: 1}), s)
+	var task recvLog
+	b.Register("task", task.handler())
+	a.Endpoint().SetRadio(false)
+	a.SendUrgent(1, testPayload{kind: "task", size: 8})
+	s.Run(sim.At(time.Second))
+	if len(task.got) != 0 {
+		t.Fatal("send leaked while radio off")
+	}
+	a.Endpoint().SetRadio(true)
+	a.RadioRestored()
+	s.Run(sim.At(2 * time.Second))
+	if len(task.got) != 1 {
+		t.Errorf("held send not released: got %d", len(task.got))
+	}
+}
+
+// bulkRig builds two nodes with bulk transfer and a store on the receiver.
+func bulkRig(t *testing.T, seed int64, loss float64, recvBlocks int) (*sim.Scheduler, *Bulk, *Bulk, *flash.Store, *radio.Network) {
+	t.Helper()
+	s, net := rig(seed, loss)
+	sa := NewStack(net.Join(0, geometry.Point{}), s)
+	sb := NewStack(net.Join(1, geometry.Point{X: 1}), s)
+	ba := NewBulk(sa, s)
+	bb := NewBulk(sb, s)
+	store := flash.NewStore(recvBlocks)
+	bb.SetAccept(func(from int, c *flash.Chunk) bool {
+		return store.Enqueue(c) == nil
+	})
+	return s, ba, bb, store, net
+}
+
+func mkChunks(n int) []*flash.Chunk {
+	out := make([]*flash.Chunk, n)
+	for i := range out {
+		out[i] = &flash.Chunk{
+			File: 1, Origin: 0, Seq: uint32(i),
+			Start: sim.At(time.Duration(i) * time.Second),
+			End:   sim.At(time.Duration(i+1) * time.Second),
+			Data:  []byte{byte(i)},
+		}
+	}
+	return out
+}
+
+func TestBulkTransferLossless(t *testing.T) {
+	s, ba, _, store, _ := bulkRig(t, 1, 0, 16)
+	var acked int
+	var failed []*flash.Chunk
+	ba.SendChunks(1, mkChunks(5), func(a int, f []*flash.Chunk) {
+		acked, failed = a, f
+	})
+	s.RunAll()
+	if acked != 5 || len(failed) != 0 {
+		t.Fatalf("acked=%d failed=%d, want 5/0", acked, len(failed))
+	}
+	if store.Len() != 5 {
+		t.Errorf("receiver stored %d chunks, want 5", store.Len())
+	}
+	for i, c := range store.Chunks() {
+		if c.Seq != uint32(i) {
+			t.Errorf("chunk order broken at %d: seq %d", i, c.Seq)
+		}
+	}
+	if ba.InFlight() != 0 {
+		t.Error("session not closed")
+	}
+}
+
+func TestBulkTransferEmptySession(t *testing.T) {
+	s, ba, _, _, _ := bulkRig(t, 1, 0, 4)
+	called := false
+	ba.SendChunks(1, nil, func(a int, f []*flash.Chunk) {
+		called = a == 0 && f == nil
+	})
+	s.RunAll()
+	if !called {
+		t.Error("empty session did not complete immediately")
+	}
+}
+
+func TestBulkTransferSurvivesPacketLoss(t *testing.T) {
+	// 20% loss: retransmissions must still deliver everything.
+	s, ba, _, store, _ := bulkRig(t, 7, 0.20, 64)
+	var acked int
+	var failed []*flash.Chunk
+	ba.SendChunks(1, mkChunks(20), func(a int, f []*flash.Chunk) {
+		acked, failed = a, f
+	})
+	s.RunAll()
+	if acked+len(failed) != 20 {
+		t.Fatalf("accounting broken: acked=%d failed=%d", acked, len(failed))
+	}
+	// With 3 retries at 20% loss, per-chunk failure odds are tiny; the
+	// overwhelming majority must arrive.
+	if acked < 18 {
+		t.Errorf("only %d/20 chunks delivered under 20%% loss", acked)
+	}
+	if store.Len() < acked {
+		t.Errorf("store has %d chunks but %d were acked", store.Len(), acked)
+	}
+}
+
+func TestBulkTransferNoDuplicateStoresOnAckLoss(t *testing.T) {
+	// Even when ACKs are lost and data is retransmitted, the receiver
+	// dedupes by (session, seq): every stored chunk is unique.
+	s, ba, _, store, _ := bulkRig(t, 11, 0.30, 128)
+	done := false
+	ba.SendChunks(1, mkChunks(30), func(a int, f []*flash.Chunk) { done = true })
+	s.RunAll()
+	if !done {
+		t.Fatal("session never finished")
+	}
+	seen := map[uint32]int{}
+	for _, c := range store.Chunks() {
+		seen[c.Seq]++
+	}
+	for seq, n := range seen {
+		if n > 1 {
+			t.Errorf("chunk %d stored %d times", seq, n)
+		}
+	}
+}
+
+func TestBulkTransferReceiverRefusal(t *testing.T) {
+	// Receiver flash holds 3 blocks; a 10-chunk session must deliver 3
+	// and return the rest as failed.
+	s, ba, _, store, _ := bulkRig(t, 1, 0, 3)
+	var acked int
+	var failed []*flash.Chunk
+	ba.SendChunks(1, mkChunks(10), func(a int, f []*flash.Chunk) {
+		acked, failed = a, f
+	})
+	s.RunAll()
+	if acked != 3 {
+		t.Errorf("acked = %d, want 3", acked)
+	}
+	if len(failed) != 7 {
+		t.Errorf("failed = %d, want 7", len(failed))
+	}
+	if store.Len() != 3 {
+		t.Errorf("store = %d, want 3", store.Len())
+	}
+}
+
+func TestBulkTransferAbortsWhenReceiverSilent(t *testing.T) {
+	s, net := rig(1, 0)
+	sa := NewStack(net.Join(0, geometry.Point{}), s)
+	sb := NewStack(net.Join(1, geometry.Point{X: 1}), s)
+	ba := NewBulk(sa, s)
+	_ = NewBulk(sb, s) // receiver exists but its radio is off (recording)
+	sb.Endpoint().SetRadio(false)
+	var acked int
+	var failed []*flash.Chunk
+	ba.SendChunks(1, mkChunks(4), func(a int, f []*flash.Chunk) {
+		acked, failed = a, f
+	})
+	s.RunAll()
+	if acked != 0 || len(failed) != 4 {
+		t.Errorf("acked=%d failed=%d, want 0/4", acked, len(failed))
+	}
+	if ba.InFlight() != 0 {
+		t.Error("aborted session still open")
+	}
+}
+
+func TestBulkThirdPartyDoesNotStoreOverheardChunks(t *testing.T) {
+	s, net := rig(1, 0)
+	sa := NewStack(net.Join(0, geometry.Point{}), s)
+	sb := NewStack(net.Join(1, geometry.Point{X: 1}), s)
+	sc := NewStack(net.Join(2, geometry.Point{X: 2}), s)
+	ba := NewBulk(sa, s)
+	bb := NewBulk(sb, s)
+	bc := NewBulk(sc, s)
+	storeB := flash.NewStore(16)
+	storeC := flash.NewStore(16)
+	bb.SetAccept(func(int, *flash.Chunk) bool { return storeB.Enqueue(mkChunks(1)[0]) == nil })
+	bc.SetAccept(func(int, *flash.Chunk) bool { return storeC.Enqueue(mkChunks(1)[0]) == nil })
+	ba.SendChunks(1, mkChunks(3), nil)
+	s.RunAll()
+	if storeB.Len() != 3 {
+		t.Errorf("addressee stored %d, want 3", storeB.Len())
+	}
+	if storeC.Len() != 0 {
+		t.Errorf("bystander stored %d overheard chunks, want 0", storeC.Len())
+	}
+}
+
+func TestBulkSenderChunksAreCloned(t *testing.T) {
+	// The sender transmits clones: mutating the original after send must
+	// not corrupt what the receiver stores.
+	s, ba, _, store, _ := bulkRig(t, 1, 0, 4)
+	chunks := mkChunks(1)
+	ba.SendChunks(1, chunks, nil)
+	chunks[0].Data[0] = 0xFF
+	s.RunAll()
+	if got := store.Chunks()[0].Data[0]; got == 0xFF {
+		t.Error("receiver stored aliased payload")
+	}
+}
+
+func TestBulkCompressionReducesAirBytes(t *testing.T) {
+	run := func(compressOn bool) uint64 {
+		s, net := rig(1, 0)
+		sa := NewStack(net.Join(0, geometry.Point{}), s)
+		sb := NewStack(net.Join(1, geometry.Point{X: 1}), s)
+		ba := NewBulk(sa, s)
+		ba.Compress = compressOn
+		bb := NewBulk(sb, s)
+		store := flash.NewStore(64)
+		bb.SetAccept(func(from int, c *flash.Chunk) bool { return store.Enqueue(c) == nil })
+		// Compressible payloads: silence with a brief click.
+		chunks := make([]*flash.Chunk, 8)
+		for i := range chunks {
+			data := make([]byte, flash.PayloadSize)
+			for j := range data {
+				data[j] = 128
+			}
+			data[10] = 140
+			chunks[i] = &flash.Chunk{File: 1, Seq: uint32(i), Data: data}
+		}
+		var acked int
+		ba.SendChunks(1, chunks, func(a int, f []*flash.Chunk) { acked = a })
+		s.RunAll()
+		if acked != 8 {
+			t.Fatalf("acked %d, want 8", acked)
+		}
+		// The receiver must hold the ORIGINAL payloads.
+		for _, c := range store.Chunks() {
+			if len(c.Data) != flash.PayloadSize || c.Data[10] != 140 || c.Data[11] != 128 {
+				t.Fatal("decompressed payload corrupted")
+			}
+		}
+		return net.Stats().TotalBytes
+	}
+	plain, compressed := run(false), run(true)
+	if compressed >= plain {
+		t.Errorf("compression did not reduce air bytes: %d vs %d", compressed, plain)
+	}
+	if compressed > plain/2 {
+		t.Errorf("near-silence should compress > 2x: %d vs %d", compressed, plain)
+	}
+}
+
+func TestBulkCompressionSkipsIncompressible(t *testing.T) {
+	s, net := rig(9, 0)
+	sa := NewStack(net.Join(0, geometry.Point{}), s)
+	sb := NewStack(net.Join(1, geometry.Point{X: 1}), s)
+	ba := NewBulk(sa, s)
+	ba.Compress = true
+	bb := NewBulk(sb, s)
+	store := flash.NewStore(8)
+	bb.SetAccept(func(from int, c *flash.Chunk) bool { return store.Enqueue(c) == nil })
+	data := make([]byte, flash.PayloadSize)
+	for j := range data {
+		data[j] = byte(j*7919 + j*j*31) // noisy
+	}
+	var acked int
+	ba.SendChunks(1, []*flash.Chunk{{File: 1, Data: data}}, func(a int, f []*flash.Chunk) { acked = a })
+	s.RunAll()
+	if acked != 1 {
+		t.Fatalf("acked %d", acked)
+	}
+	got := store.Chunks()[0].Data
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatal("incompressible payload corrupted")
+		}
+	}
+	_ = net
+}
+
+func TestBulkClassRouting(t *testing.T) {
+	// Balance-class chunks go to the balance acceptor; retrieval-class to
+	// the retrieval acceptor; a missing acceptor refuses its class.
+	s, net := rig(1, 0)
+	sa := NewStack(net.Join(0, geometry.Point{}), s)
+	sb := NewStack(net.Join(1, geometry.Point{X: 1}), s)
+	ba := NewBulk(sa, s)
+	bb := NewBulk(sb, s)
+	var balance, retrieval int
+	bb.SetAccept(func(int, *flash.Chunk) bool { balance++; return true })
+	bb.SetRetrievalAccept(func(int, *flash.Chunk) bool { retrieval++; return true })
+
+	var balAcked, retAcked int
+	ba.SendChunks(1, mkChunks(2), func(a int, _ []*flash.Chunk) { balAcked = a })
+	ba.SendRetrieval(1, mkChunks(3), func(a int, _ []*flash.Chunk) { retAcked = a })
+	s.RunAll()
+	if balance != 2 || retrieval != 3 {
+		t.Errorf("acceptor routing: balance=%d retrieval=%d, want 2/3", balance, retrieval)
+	}
+	if balAcked != 2 || retAcked != 3 {
+		t.Errorf("acks: balance=%d retrieval=%d", balAcked, retAcked)
+	}
+
+	// No retrieval acceptor → retrieval chunks refused, balance unaffected.
+	bb.SetRetrievalAccept(nil)
+	var failed []*flash.Chunk
+	ba.SendRetrieval(1, mkChunks(2), func(a int, f []*flash.Chunk) { failed = f })
+	s.RunAll()
+	if len(failed) != 2 {
+		t.Errorf("retrieval without acceptor: %d failed, want 2", len(failed))
+	}
+}

@@ -1,0 +1,159 @@
+// Package netstack implements the communication services of §III-A: a
+// neighborhood broadcast module that piggybacks delay-tolerant payloads
+// (time-sync beacons, TTL state) onto delay-sensitive control traffic
+// (task management), and a reliable local bulk-transfer component used by
+// the storage balancer to move recorded chunks between neighbors.
+package netstack
+
+import (
+	"fmt"
+	"time"
+
+	"enviromic/internal/radio"
+	"enviromic/internal/sim"
+)
+
+// Handler consumes one payload delivered to this node. from is the
+// sender; to is the frame's addressee (a node ID or radio.Broadcast), so
+// modules can implement overhearing logic.
+type Handler func(from, to int, p radio.Payload)
+
+// Stack is one node's neighborhood broadcast service. It multiplexes
+// module payloads onto radio frames, piggybacks queued delay-tolerant
+// payloads onto outgoing traffic, and dispatches received payloads
+// (primary and piggybacked alike) to per-kind handlers.
+type Stack struct {
+	ep    *radio.Endpoint
+	sched *sim.Scheduler
+
+	// MaxPiggyback caps extra payload bytes bundled per frame.
+	MaxPiggyback int
+	// FlushAfter bounds how long a delay-tolerant payload may wait for a
+	// ride before being sent in its own frame.
+	FlushAfter time.Duration
+
+	handlers   map[string]Handler
+	pending    []radio.Payload
+	flushTimer *sim.Timer
+	// heldUrgent queues urgent sends issued while the radio is off
+	// (e.g. a module timer firing during a recording task); they are
+	// transmitted when RadioRestored is called.
+	heldUrgent []held
+}
+
+type held struct {
+	to int
+	p  radio.Payload
+}
+
+// NewStack wires a stack onto a radio endpoint, installing itself as the
+// endpoint's frame handler.
+func NewStack(ep *radio.Endpoint, sched *sim.Scheduler) *Stack {
+	s := &Stack{
+		ep:           ep,
+		sched:        sched,
+		MaxPiggyback: 64,
+		FlushAfter:   2 * time.Second,
+		handlers:     make(map[string]Handler),
+	}
+	ep.SetHandler(radio.HandlerFunc(s.handleFrame))
+	return s
+}
+
+// Endpoint returns the underlying radio endpoint.
+func (s *Stack) Endpoint() *radio.Endpoint { return s.ep }
+
+// Register installs the handler for a payload kind. Registering a kind
+// twice panics: module wiring is static and a duplicate indicates a bug.
+func (s *Stack) Register(kind string, h Handler) {
+	if _, dup := s.handlers[kind]; dup {
+		panic(fmt.Sprintf("netstack: duplicate handler for kind %q", kind))
+	}
+	s.handlers[kind] = h
+}
+
+func (s *Stack) handleFrame(f *radio.Frame) {
+	s.dispatch(f.From, f.To, f.Payload)
+	for _, p := range f.Piggyback {
+		// Piggybacked payloads are logically broadcast regardless of the
+		// carrier frame's addressee.
+		s.dispatch(f.From, radio.Broadcast, p)
+	}
+}
+
+func (s *Stack) dispatch(from, to int, p radio.Payload) {
+	if h, ok := s.handlers[p.Kind()]; ok {
+		h(from, to, p)
+	}
+}
+
+// SendUrgent transmits p immediately (to a node ID or radio.Broadcast),
+// bundling as many queued delay-tolerant payloads as fit. If the radio is
+// off, the send is held and goes out at RadioRestored.
+func (s *Stack) SendUrgent(to int, p radio.Payload) {
+	if !s.ep.RadioOn() {
+		s.heldUrgent = append(s.heldUrgent, held{to: to, p: p})
+		return
+	}
+	ride := s.takePiggyback()
+	s.ep.Send(to, p, ride...)
+}
+
+// SendDelayTolerant queues p to ride on the next outgoing frame, or to be
+// flushed on its own after FlushAfter.
+func (s *Stack) SendDelayTolerant(p radio.Payload) {
+	s.pending = append(s.pending, p)
+	if s.flushTimer == nil || !s.flushTimer.Pending() {
+		s.flushTimer = s.sched.After(s.FlushAfter, "netstack.flush", s.Flush)
+	}
+}
+
+// Flush transmits all queued delay-tolerant payloads now (no-op when the
+// queue is empty or the radio is off — they will flush on restore).
+func (s *Stack) Flush() {
+	if len(s.pending) == 0 || !s.ep.RadioOn() {
+		return
+	}
+	first := s.pending[0]
+	s.pending = s.pending[1:]
+	ride := s.takePiggyback()
+	s.ep.Send(radio.Broadcast, first, ride...)
+	if len(s.pending) > 0 {
+		// More than fits in one frame: keep flushing.
+		s.flushTimer = s.sched.After(time.Millisecond, "netstack.flush", s.Flush)
+	}
+}
+
+// takePiggyback removes queued payloads up to the byte budget.
+func (s *Stack) takePiggyback() []radio.Payload {
+	if len(s.pending) == 0 {
+		return nil
+	}
+	var ride []radio.Payload
+	budget := s.MaxPiggyback
+	rest := s.pending[:0]
+	for _, p := range s.pending {
+		if p.Size() <= budget && len(ride) < 4 {
+			ride = append(ride, p)
+			budget -= p.Size()
+		} else {
+			rest = append(rest, p)
+		}
+	}
+	s.pending = rest
+	return ride
+}
+
+// PendingDelayTolerant returns the queue length (for tests and metrics).
+func (s *Stack) PendingDelayTolerant() int { return len(s.pending) }
+
+// RadioRestored releases held urgent sends and flushes the queue. The
+// node layer calls it after turning the radio back on post-recording.
+func (s *Stack) RadioRestored() {
+	heldSends := s.heldUrgent
+	s.heldUrgent = nil
+	for _, h := range heldSends {
+		s.SendUrgent(h.to, h.p)
+	}
+	s.Flush()
+}

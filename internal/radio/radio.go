@@ -1,0 +1,316 @@
+// Package radio models the motes' broadcast radio at the fidelity the
+// EnviroMic protocols observe: single-hop broadcast within a communication
+// range, independent per-receiver packet loss, transmission delay
+// proportional to frame size, promiscuous overhearing (every frame in
+// range is delivered to every powered-on radio regardless of addressee),
+// and an explicit power switch — recorders turn the radio off entirely
+// during a recording task because packet processing corrupts high-rate
+// sampling (§III-B.1).
+package radio
+
+import (
+	"fmt"
+	"time"
+
+	"enviromic/internal/geometry"
+	"enviromic/internal/sim"
+)
+
+// Broadcast is the addressee value meaning "all neighbors".
+const Broadcast = -1
+
+// Payload is a protocol message body. Kind discriminates message types for
+// the control-overhead accounting in Figs 12/14; Size is the payload's
+// on-air length in bytes, used for delay and energy.
+type Payload interface {
+	Kind() string
+	Size() int
+}
+
+// Frame is one on-air transmission as seen by a receiver.
+type Frame struct {
+	From int
+	// To is a node ID or Broadcast. Frames are delivered to every
+	// powered-on radio in range regardless of To: upper layers use
+	// overhearing deliberately (§II-A.2).
+	To      int
+	Payload Payload
+	// Piggyback carries extra delay-tolerant payloads bundled by the
+	// neighborhood broadcast layer (§III-A).
+	Piggyback []Payload
+	// SentAt is the transmission start time.
+	SentAt sim.Time
+}
+
+// TotalSize returns the frame's on-air size including piggybacked
+// payloads and a fixed MAC header.
+func (f *Frame) TotalSize() int {
+	const macHeader = 11 // 802.15.4-ish overhead
+	n := macHeader + f.Payload.Size()
+	for _, p := range f.Piggyback {
+		n += p.Size()
+	}
+	return n
+}
+
+// Handler receives frames delivered to an endpoint.
+type Handler interface {
+	HandleFrame(f *Frame)
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(f *Frame)
+
+// HandleFrame implements Handler.
+func (fn HandlerFunc) HandleFrame(f *Frame) { fn(f) }
+
+// ActivityListener is notified of radio activity on an endpoint. The mote
+// model uses it to inject CPU-contention jitter into the ADC sampler
+// (Fig 3): both transmitting and receiving steal cycles, and reception
+// steals them even when the application layer ignores the packet.
+type ActivityListener interface {
+	RadioActivity(kind ActivityKind, dur time.Duration)
+}
+
+// ActivityKind distinguishes transmit from receive work.
+type ActivityKind int
+
+// Radio activity kinds.
+const (
+	ActivityTx ActivityKind = iota + 1
+	ActivityRx
+)
+
+// Config holds network-wide radio parameters.
+type Config struct {
+	// CommRange is the broadcast radius in deployment units. The paper
+	// recommends a communication range larger than the sensing range so
+	// one-hop election suppresses most redundancy (§II-A.1).
+	CommRange float64
+	// LossProb is the independent per-receiver frame loss probability.
+	LossProb float64
+	// ByteTime is the on-air time per byte (250 kbps 802.15.4 ≈ 32 µs).
+	ByteTime time.Duration
+	// TurnaroundDelay is fixed per-frame MAC/backoff latency.
+	TurnaroundDelay time.Duration
+}
+
+// DefaultConfig mirrors a MicaZ-class mote running the 2006-era TinyOS
+// stack. The 25 ms turnaround is OS/MAC queueing plus CSMA back-off, not
+// raw CC2420 latency; it is calibrated so a TASK_REQUEST/TASK_CONFIRM
+// exchange costs ~50 ms — the reason the paper's expected task assignment
+// delay Dta needs to be ~70 ms (Fig 6).
+func DefaultConfig(commRange float64) Config {
+	return Config{
+		CommRange:       commRange,
+		LossProb:        0.05,
+		ByteTime:        32 * time.Microsecond,
+		TurnaroundDelay: 25 * time.Millisecond,
+	}
+}
+
+// Network is the shared medium connecting all endpoints of one scenario.
+type Network struct {
+	cfg   Config
+	sched *sim.Scheduler
+	eps   map[int]*Endpoint
+	stats Stats
+}
+
+// Stats aggregates transmission counts for the overhead figures.
+type Stats struct {
+	// TxByKind counts transmitted frames by payload kind (piggybacked
+	// payloads count as their own kind but not as frames).
+	TxByKind map[string]uint64
+	// TxByNode counts transmitted frames per sender.
+	TxByNode map[int]uint64
+	// TxByNodeKind counts (sender, kind) pairs, including piggybacked
+	// payloads.
+	TxByNodeKind map[int]map[string]uint64
+	// Delivered and Lost count per-receiver delivery outcomes.
+	Delivered, Lost uint64
+	// DroppedRadioOff counts frames that found the receiver's radio off.
+	DroppedRadioOff uint64
+	// TotalFrames counts physical transmissions.
+	TotalFrames uint64
+	// TotalBytes counts on-air bytes.
+	TotalBytes uint64
+}
+
+// NewNetwork creates an empty network on the given scheduler.
+func NewNetwork(s *sim.Scheduler, cfg Config) *Network {
+	if cfg.CommRange <= 0 {
+		panic("radio: non-positive communication range")
+	}
+	if cfg.LossProb < 0 || cfg.LossProb >= 1 {
+		panic(fmt.Sprintf("radio: loss probability %v outside [0,1)", cfg.LossProb))
+	}
+	return &Network{
+		cfg:   cfg,
+		sched: s,
+		eps:   make(map[int]*Endpoint),
+		stats: Stats{
+			TxByKind:     make(map[string]uint64),
+			TxByNode:     make(map[int]uint64),
+			TxByNodeKind: make(map[int]map[string]uint64),
+		},
+	}
+}
+
+// Stats returns a snapshot view of the accumulated counters. The maps are
+// shared; callers must not mutate them.
+func (n *Network) Stats() *Stats { return &n.stats }
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Join registers a new endpoint at a fixed position. Node IDs must be
+// unique and non-negative (Broadcast is reserved).
+func (n *Network) Join(id int, pos geometry.Point) *Endpoint {
+	if id < 0 {
+		panic(fmt.Sprintf("radio: invalid node ID %d", id))
+	}
+	if _, dup := n.eps[id]; dup {
+		panic(fmt.Sprintf("radio: duplicate node ID %d", id))
+	}
+	ep := &Endpoint{id: id, pos: pos, net: n, on: true}
+	n.eps[id] = ep
+	return ep
+}
+
+// Neighbors returns the IDs of nodes within communication range of id
+// (excluding itself), regardless of power state.
+func (n *Network) Neighbors(id int) []int {
+	self, ok := n.eps[id]
+	if !ok {
+		panic(fmt.Sprintf("radio: unknown node %d", id))
+	}
+	var out []int
+	for other, ep := range n.eps {
+		if other != id && self.pos.Dist(ep.pos) <= n.cfg.CommRange {
+			out = append(out, other)
+		}
+	}
+	return out
+}
+
+// Endpoint is one node's attachment to the medium.
+type Endpoint struct {
+	id       int
+	pos      geometry.Point
+	net      *Network
+	on       bool
+	handler  Handler
+	listener ActivityListener
+	dead     bool
+}
+
+// ID returns the node ID.
+func (e *Endpoint) ID() int { return e.id }
+
+// Pos returns the node position.
+func (e *Endpoint) Pos() geometry.Point { return e.pos }
+
+// SetPos relocates the endpoint. Motes are fixed after deployment; this
+// exists for the data mule, which physically moves between query stops.
+func (e *Endpoint) SetPos(p geometry.Point) { e.pos = p }
+
+// SetHandler installs the frame receiver. Installing nil silences the
+// endpoint (frames still consume RX activity — the radio hardware
+// processes them either way).
+func (e *Endpoint) SetHandler(h Handler) { e.handler = h }
+
+// SetActivityListener installs the CPU-contention hook.
+func (e *Endpoint) SetActivityListener(l ActivityListener) { e.listener = l }
+
+// SetRadio switches the transceiver. While off, the endpoint neither
+// receives nor may transmit.
+func (e *Endpoint) SetRadio(on bool) { e.on = on }
+
+// RadioOn reports the power state.
+func (e *Endpoint) RadioOn() bool { return e.on && !e.dead }
+
+// Kill permanently disables the endpoint (node failure injection).
+func (e *Endpoint) Kill() { e.dead = true }
+
+// Alive reports whether the endpoint is functional.
+func (e *Endpoint) Alive() bool { return !e.dead }
+
+// Send transmits a frame. to is a node ID or Broadcast; the frame is
+// physically delivered to every powered-on endpoint in range either way.
+// Sending with the radio off or from a dead node panics — that is a
+// protocol-layer bug, not an environmental condition.
+func (e *Endpoint) Send(to int, payload Payload, piggyback ...Payload) {
+	if e.dead {
+		panic(fmt.Sprintf("radio: node %d is dead and cannot transmit", e.id))
+	}
+	if !e.on {
+		panic(fmt.Sprintf("radio: node %d transmitting with radio off", e.id))
+	}
+	f := &Frame{From: e.id, To: to, Payload: payload, Piggyback: piggyback, SentAt: e.net.sched.Now()}
+	n := e.net
+	airTime := n.cfg.TurnaroundDelay + time.Duration(f.TotalSize())*n.cfg.ByteTime
+
+	n.stats.TotalFrames++
+	n.stats.TotalBytes += uint64(f.TotalSize())
+	n.stats.TxByKind[payload.Kind()]++
+	n.stats.TxByNode[e.id]++
+	nk := n.stats.TxByNodeKind[e.id]
+	if nk == nil {
+		nk = make(map[string]uint64)
+		n.stats.TxByNodeKind[e.id] = nk
+	}
+	nk[payload.Kind()]++
+	for _, p := range f.Piggyback {
+		n.stats.TxByKind[p.Kind()]++
+		nk[p.Kind()]++
+	}
+
+	if e.listener != nil {
+		e.listener.RadioActivity(ActivityTx, airTime)
+	}
+
+	// Deterministic receiver iteration: map order would break
+	// reproducibility, so walk IDs in ascending order.
+	ids := make([]int, 0, len(n.eps))
+	for id := range n.eps {
+		if id != e.id {
+			ids = append(ids, id)
+		}
+	}
+	sortInts(ids)
+	for _, id := range ids {
+		rx := n.eps[id]
+		if e.pos.Dist(rx.pos) > n.cfg.CommRange {
+			continue
+		}
+		lost := n.cfg.LossProb > 0 && n.sched.Rand().Float64() < n.cfg.LossProb
+		n.sched.After(airTime, "radio.deliver:"+payload.Kind(), func() {
+			if !rx.RadioOn() {
+				n.stats.DroppedRadioOff++
+				return
+			}
+			if lost {
+				n.stats.Lost++
+				return
+			}
+			n.stats.Delivered++
+			if rx.listener != nil {
+				rx.listener.RadioActivity(ActivityRx, time.Duration(f.TotalSize())*n.cfg.ByteTime)
+			}
+			if rx.handler != nil {
+				rx.handler.HandleFrame(f)
+			}
+		})
+	}
+}
+
+func sortInts(a []int) {
+	// Insertion sort: neighbor lists are small and this avoids pulling in
+	// sort for a hot path with 5-20 entries.
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

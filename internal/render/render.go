@@ -1,0 +1,191 @@
+// Package render draws the experiment outputs as plain text: numbered
+// series tables, ASCII line charts, grid heatmaps (the contour figures),
+// and Gantt-style task timelines. It keeps the cmd binaries small and
+// consistent.
+package render
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"enviromic/internal/geometry"
+	"enviromic/internal/sim"
+)
+
+// Table prints named curves sampled at common times, one row per time.
+func Table(w *strings.Builder, times []sim.Time, curves map[string][]float64, valueFmt string) {
+	names := make([]string, 0, len(curves))
+	for name := range curves {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "%10s", "t(s)")
+	for _, name := range names {
+		fmt.Fprintf(w, " %12s", name)
+	}
+	w.WriteByte('\n')
+	for i, t := range times {
+		fmt.Fprintf(w, "%10.0f", t.Seconds())
+		for _, name := range names {
+			fmt.Fprintf(w, " %12s", fmt.Sprintf(valueFmt, curves[name][i]))
+		}
+		w.WriteByte('\n')
+	}
+}
+
+// Chart draws an ASCII line chart of one or more named curves over a
+// shared x axis. Each curve gets a distinct glyph.
+func Chart(w *strings.Builder, xs []float64, curves map[string][]float64, width, height int, yLabel string) {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	names := make([]string, 0, len(curves))
+	for name := range curves {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, c := range curves {
+		for _, v := range c {
+			minY = math.Min(minY, v)
+			maxY = math.Max(maxY, v)
+		}
+	}
+	if math.IsInf(minY, 1) {
+		return
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	minX, maxX := xs[0], xs[len(xs)-1]
+	if maxX == minX {
+		maxX = minX + 1
+	}
+
+	canvas := make([][]byte, height)
+	for r := range canvas {
+		canvas[r] = []byte(strings.Repeat(" ", width))
+	}
+	for ci, name := range names {
+		g := glyphs[ci%len(glyphs)]
+		c := curves[name]
+		for i, v := range c {
+			if i >= len(xs) {
+				break
+			}
+			col := int((xs[i] - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((v-minY)/(maxY-minY)*float64(height-1))
+			if row >= 0 && row < height && col >= 0 && col < width {
+				canvas[row][col] = g
+			}
+		}
+	}
+	fmt.Fprintf(w, "%s  (y: %.3g .. %.3g)\n", yLabel, minY, maxY)
+	for _, row := range canvas {
+		fmt.Fprintf(w, "  |%s|\n", string(row))
+	}
+	fmt.Fprintf(w, "   x: %.3g .. %.3g\n", minX, maxX)
+	for ci, name := range names {
+		fmt.Fprintf(w, "   %c = %s\n", glyphs[ci%len(glyphs)], name)
+	}
+}
+
+// Heatmap prints a cols×rows heatmap as shaded cells plus the raw values.
+func Heatmap(w *strings.Builder, h *geometry.Heatmap, unit string) {
+	shades := []byte(" .:-=+*#%@")
+	max := h.Max()
+	fmt.Fprintf(w, "max cell = %.0f %s\n", max, unit)
+	for row := h.Rows - 1; row >= 0; row-- {
+		w.WriteString("  ")
+		for col := 0; col < h.Cols; col++ {
+			v := h.Cell(col, row)
+			idx := 0
+			if max > 0 {
+				idx = int(v / max * float64(len(shades)-1))
+			}
+			w.WriteByte(shades[idx])
+			w.WriteByte(shades[idx]) // double width for aspect ratio
+		}
+		w.WriteByte('\n')
+	}
+	for row := h.Rows - 1; row >= 0; row-- {
+		w.WriteString("  ")
+		for col := 0; col < h.Cols; col++ {
+			fmt.Fprintf(w, "%9.0f", h.Cell(col, row))
+		}
+		w.WriteByte('\n')
+	}
+}
+
+// Timeline draws per-node recording spans (Fig 7) as a Gantt chart.
+type Span struct {
+	Node       int
+	Start, End sim.Time
+}
+
+// TimelineChart renders spans between from and to across `width` columns.
+func TimelineChart(w *strings.Builder, spans []Span, from, to sim.Time, width int) {
+	if width < 20 {
+		width = 60
+	}
+	nodes := map[int][]Span{}
+	var ids []int
+	for _, s := range spans {
+		if _, seen := nodes[s.Node]; !seen {
+			ids = append(ids, s.Node)
+		}
+		nodes[s.Node] = append(nodes[s.Node], s)
+	}
+	sort.Ints(ids)
+	span := to.Sub(from).Seconds()
+	if span <= 0 {
+		return
+	}
+	col := func(t sim.Time) int {
+		c := int(t.Sub(from).Seconds() / span * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	fmt.Fprintf(w, "  node  %-*s\n", width, fmt.Sprintf("%.1fs .. %.1fs", from.Seconds(), to.Seconds()))
+	for _, id := range ids {
+		line := []byte(strings.Repeat(".", width))
+		for _, s := range nodes[id] {
+			for c := col(s.Start); c <= col(s.End); c++ {
+				line[c] = '#'
+			}
+		}
+		fmt.Fprintf(w, "  %4d  %s\n", id, string(line))
+	}
+}
+
+// Histogram prints value-per-bucket bars (Fig 16).
+func Histogram(w *strings.Builder, values []float64, bucketLabel func(i int) string, maxBar int) {
+	if maxBar <= 0 {
+		maxBar = 50
+	}
+	max := 0.0
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	for i, v := range values {
+		bar := int(v / max * float64(maxBar))
+		fmt.Fprintf(w, "  %8s %6.1f |%s\n", bucketLabel(i), v, strings.Repeat("#", bar))
+	}
+}

@@ -1,0 +1,128 @@
+package render
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"enviromic/internal/geometry"
+	"enviromic/internal/sim"
+)
+
+func TestTableLaysOutCurves(t *testing.T) {
+	var b strings.Builder
+	times := []sim.Time{sim.At(time.Second), sim.At(2 * time.Second)}
+	Table(&b, times, map[string][]float64{
+		"beta": {0.5, 0.75},
+		"alfa": {0.1, 0.2},
+	}, "%.2f")
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns sorted by name: alfa before beta.
+	if !strings.Contains(lines[0], "alfa") || strings.Index(lines[0], "alfa") > strings.Index(lines[0], "beta") {
+		t.Errorf("header ordering wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "0.10") || !strings.Contains(lines[1], "0.50") {
+		t.Errorf("row values missing: %q", lines[1])
+	}
+}
+
+func TestChartRendersAllCurves(t *testing.T) {
+	var b strings.Builder
+	xs := []float64{0, 1, 2, 3}
+	Chart(&b, xs, map[string][]float64{
+		"up":   {0, 1, 2, 3},
+		"down": {3, 2, 1, 0},
+	}, 40, 6, "value")
+	out := b.String()
+	if !strings.Contains(out, "* = down") || !strings.Contains(out, "o = up") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "value") {
+		t.Error("y label missing")
+	}
+	// Both glyphs appear on the canvas.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("curve glyphs missing")
+	}
+}
+
+func TestChartDegenerateInputs(t *testing.T) {
+	var b strings.Builder
+	Chart(&b, []float64{0}, map[string][]float64{}, 10, 3, "x") // no curves
+	Chart(&b, []float64{5}, map[string][]float64{"flat": {7}}, 10, 3, "x")
+	if !strings.Contains(b.String(), "flat") {
+		t.Error("single-point curve not rendered")
+	}
+}
+
+func TestHeatmapShadesAndValues(t *testing.T) {
+	h := geometry.NewHeatmap(0, 0, 2, 2, 2, 2)
+	h.Add(geometry.Point{X: 0.5, Y: 0.5}, 100)
+	h.Add(geometry.Point{X: 1.5, Y: 1.5}, 50)
+	var b strings.Builder
+	Heatmap(&b, h, "bytes")
+	out := b.String()
+	if !strings.Contains(out, "max cell = 100 bytes") {
+		t.Errorf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "@@") {
+		t.Error("hottest cell not at full shade")
+	}
+	if !strings.Contains(out, "100") || !strings.Contains(out, "50") {
+		t.Error("raw values missing")
+	}
+}
+
+func TestTimelineChart(t *testing.T) {
+	spans := []Span{
+		{Node: 3, Start: sim.At(time.Second), End: sim.At(2 * time.Second)},
+		{Node: 1, Start: sim.At(2 * time.Second), End: sim.At(3 * time.Second)},
+		{Node: 3, Start: sim.At(4 * time.Second), End: sim.At(5 * time.Second)},
+	}
+	var b strings.Builder
+	TimelineChart(&b, spans, 0, sim.At(6*time.Second), 60)
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // header + 2 node rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Rows sorted by node ID; both contain bars.
+	if !strings.Contains(lines[1], "1") || !strings.Contains(lines[1], "#") {
+		t.Errorf("node 1 row wrong: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "3") || strings.Count(lines[2], "#") < 10 {
+		t.Errorf("node 3 row wrong: %q", lines[2])
+	}
+	// Degenerate window renders nothing.
+	var e strings.Builder
+	TimelineChart(&e, spans, sim.At(time.Second), sim.At(time.Second), 60)
+	if e.Len() != 0 {
+		t.Error("zero-span timeline rendered output")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var b strings.Builder
+	Histogram(&b, []float64{0, 5, 10}, func(i int) string { return "b" }, 10)
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if strings.Count(lines[2], "#") != 10 {
+		t.Errorf("max bar wrong: %q", lines[2])
+	}
+	if strings.Count(lines[1], "#") != 5 {
+		t.Errorf("half bar wrong: %q", lines[1])
+	}
+	if strings.Contains(lines[0], "#") {
+		t.Errorf("zero bar wrong: %q", lines[0])
+	}
+	// All-zero input must not divide by zero.
+	var z strings.Builder
+	Histogram(&z, []float64{0, 0}, func(int) string { return "z" }, 10)
+}

@@ -1,0 +1,281 @@
+package retrieval
+
+import (
+	"fmt"
+	"time"
+
+	"enviromic/internal/flash"
+	"enviromic/internal/geometry"
+	"enviromic/internal/netstack"
+	"enviromic/internal/radio"
+	"enviromic/internal/sim"
+)
+
+// Payload kinds.
+const (
+	KindQuery = "retr.query"
+	KindFlood = "retr.flood"
+)
+
+// QueryMsg is the single-hop retrieval request: nodes in range answer
+// with their matching chunks over the bulk transfer (§II-C's final,
+// single-hop design).
+type QueryMsg struct {
+	Q       Query
+	ReplyTo int
+}
+
+// Kind implements radio.Payload.
+func (QueryMsg) Kind() string { return KindQuery }
+
+// Size implements radio.Payload: range (16) + small filter sets + sink.
+func (q QueryMsg) Size() int { return 20 + 4*len(q.Q.Origins) + 4*len(q.Q.Files) }
+
+// FloodMsg is the spanning-tree variant: the query floods the network;
+// each node remembers its tree parent (the neighbor it first heard the
+// flood from) and convergecasts matching chunks toward the sink hop by
+// hop.
+type FloodMsg struct {
+	Q     Query
+	Round uint32
+	Sink  int
+	Depth uint8
+}
+
+// Kind implements radio.Payload.
+func (FloodMsg) Kind() string { return KindFlood }
+
+// Size implements radio.Payload.
+func (f FloodMsg) Size() int { return 26 + 4*len(f.Q.Origins) + 4*len(f.Q.Files) }
+
+// Responder answers retrieval queries from a node's local store. It is
+// installed on every EnviroMic node; it never removes chunks (retrieval
+// is a read — the flash survives until physical collection).
+type Responder struct {
+	id    int
+	stack *netstack.Stack
+	bulk  *netstack.Bulk
+	sched *sim.Scheduler
+	store *flash.Store
+
+	// ResponseDelayPerNode staggers replies so dozens of stores do not
+	// dogpile the sink at once.
+	ResponseDelayPerNode time.Duration
+
+	// RelayWindow is how long after a flood a node keeps treating
+	// incoming bulk chunks as convergecast traffic to forward up the
+	// tree (rather than storage-balancing data to keep).
+	RelayWindow time.Duration
+
+	// Spanning-tree state.
+	round       uint32
+	parent      int
+	depth       uint8
+	activeUntil sim.Time
+	pending     []*flash.Chunk
+	flushArmed  bool
+}
+
+// NewResponder wires a responder onto the node's stack, installing its
+// relay logic as the bulk service's retrieval-class acceptor.
+func NewResponder(id int, stack *netstack.Stack, bulk *netstack.Bulk, sched *sim.Scheduler, store *flash.Store) *Responder {
+	r := &Responder{
+		id:                   id,
+		stack:                stack,
+		bulk:                 bulk,
+		sched:                sched,
+		store:                store,
+		ResponseDelayPerNode: 150 * time.Millisecond,
+		RelayWindow:          30 * time.Second,
+		parent:               -1,
+	}
+	stack.Register(KindQuery, r.handleQuery)
+	stack.Register(KindFlood, r.handleFlood)
+	bulk.SetRetrievalAccept(r.relayAccept)
+	return r
+}
+
+func (r *Responder) matching(q Query) []*flash.Chunk {
+	var out []*flash.Chunk
+	for _, c := range r.store.Chunks() {
+		if q.Matches(c) {
+			out = append(out, c.Clone())
+		}
+	}
+	return out
+}
+
+func (r *Responder) handleQuery(from, to int, p radio.Payload) {
+	msg, ok := p.(QueryMsg)
+	if !ok {
+		return
+	}
+	chunks := r.matching(msg.Q)
+	if len(chunks) == 0 {
+		return
+	}
+	delay := time.Duration(r.id%16+1) * r.ResponseDelayPerNode
+	r.sched.After(delay, fmt.Sprintf("retr.reply.%d", r.id), func() {
+		r.bulk.SendRetrieval(msg.ReplyTo, chunks, nil)
+	})
+}
+
+func (r *Responder) handleFlood(from, to int, p radio.Payload) {
+	msg, ok := p.(FloodMsg)
+	if !ok || msg.Round <= r.round {
+		return // already part of this round's tree
+	}
+	r.round = msg.Round
+	r.parent = from
+	r.depth = msg.Depth + 1
+	r.activeUntil = r.sched.Now().Add(r.RelayWindow)
+	// Re-flood one hop deeper.
+	fwd := msg
+	fwd.Depth = r.depth
+	r.stack.SendUrgent(radio.Broadcast, fwd)
+	// Convergecast: ship matching chunks to the parent, staggered by
+	// depth so leaves drain first and relays forward coherently.
+	chunks := r.matching(msg.Q)
+	if len(chunks) == 0 {
+		return
+	}
+	delay := time.Duration(r.id%16+1)*r.ResponseDelayPerNode +
+		time.Duration(r.depth)*50*time.Millisecond
+	parent := r.parent
+	r.sched.After(delay, fmt.Sprintf("retr.converge.%d", r.id), func() {
+		r.bulk.SendRetrieval(parent, chunks, nil)
+	})
+}
+
+// Parent returns the current spanning-tree parent (-1 when none); for
+// tests and diagnostics.
+func (r *Responder) Parent() int { return r.parent }
+
+// Relaying reports whether a convergecast round is active, i.e. incoming
+// retrieval chunks should be forwarded toward the sink.
+func (r *Responder) Relaying() bool {
+	return r.parent >= 0 && r.sched.Now() < r.activeUntil
+}
+
+// relayAccept is the bulk retrieval-class acceptor: chunks from tree
+// children are buffered briefly and forwarded to the parent. Outside an
+// active round the chunk is refused (the child keeps and may retry on
+// the next round).
+func (r *Responder) relayAccept(from int, c *flash.Chunk) bool {
+	if !r.Relaying() {
+		return false
+	}
+	r.pending = append(r.pending, c.Clone())
+	if !r.flushArmed {
+		r.flushArmed = true
+		r.sched.After(100*time.Millisecond, fmt.Sprintf("retr.relay.%d", r.id), func() {
+			r.flushArmed = false
+			batch := r.pending
+			r.pending = nil
+			if len(batch) == 0 || r.parent < 0 {
+				return
+			}
+			r.bulk.SendRetrieval(r.parent, batch, nil)
+		})
+	}
+	return true
+}
+
+// Mule is the in-field collector: a basestation-class device brought to
+// the deployment (or the researcher's lab bench) that issues a one-hop
+// query and gathers the replies.
+type Mule struct {
+	ID    int
+	stack *netstack.Stack
+	bulk  *netstack.Bulk
+	sched *sim.Scheduler
+
+	// Collected accumulates received chunks, deduplicated on arrival.
+	Collected []*flash.Chunk
+	seen      map[chunkKey]bool
+}
+
+type chunkKey struct {
+	file   flash.FileID
+	origin int32
+	seq    uint32
+}
+
+// NewMule joins the radio network at the given position. The mule's ID
+// must be unique in the network (use a value above all mote IDs).
+func NewMule(id int, pos geometry.Point, net *radio.Network, sched *sim.Scheduler) *Mule {
+	ep := net.Join(id, pos)
+	st := netstack.NewStack(ep, sched)
+	m := &Mule{
+		ID:    id,
+		stack: st,
+		bulk:  netstack.NewBulk(st, sched),
+		sched: sched,
+		seen:  make(map[chunkKey]bool),
+	}
+	m.bulk.SetRetrievalAccept(func(from int, c *flash.Chunk) bool {
+		k := chunkKey{c.File, c.Origin, c.Seq}
+		if m.seen[k] {
+			return true // accept but drop silently: already have it
+		}
+		m.seen[k] = true
+		m.Collected = append(m.Collected, c)
+		return true
+	})
+	return m
+}
+
+// Ask broadcasts a one-hop query; replies accumulate in Collected.
+func (m *Mule) Ask(q Query) {
+	m.stack.SendUrgent(radio.Broadcast, QueryMsg{Q: q, ReplyTo: m.ID})
+}
+
+// Flood launches a spanning-tree retrieval round rooted at the mule.
+func (m *Mule) Flood(q Query, round uint32) {
+	m.stack.SendUrgent(radio.Broadcast, FloodMsg{Q: q, Round: round, Sink: m.ID, Depth: 0})
+}
+
+// MissingFiles inspects the collection and returns, for files with gaps
+// larger than tolerance, the gap re-request query the paper describes
+// ("if gaps are observed in retrieved files, their IDs are flooded until
+// all parts are retrieved").
+func (m *Mule) MissingFiles(tolerance time.Duration) Query {
+	files := Reassemble(map[int][]*flash.Chunk{0: m.Collected}, Query{All: true})
+	ids := make(map[flash.FileID]bool)
+	for id, f := range files {
+		if len(f.Gaps(tolerance)) > 0 {
+			ids[id] = true
+		}
+	}
+	return Query{Files: ids}
+}
+
+// Files reassembles everything collected so far.
+func (m *Mule) Files() map[flash.FileID]*File {
+	return Reassemble(map[int][]*flash.Chunk{0: m.Collected}, Query{All: true})
+}
+
+// Tour drives the mule along waypoints, issuing a one-hop query at each
+// stop and dwelling there to collect replies — the paper's "occasionally
+// sending data mules into the field" retrieval mode. It returns the
+// number of chunks newly collected during the tour.
+func (m *Mule) Tour(sched *sim.Scheduler, stops []geometry.Point, dwell time.Duration, q Query) int {
+	if dwell <= 0 {
+		panic("retrieval: non-positive dwell time")
+	}
+	before := len(m.Collected)
+	for _, stop := range stops {
+		m.moveTo(stop)
+		m.Ask(q)
+		sched.Run(sched.Now().Add(dwell))
+	}
+	return len(m.Collected) - before
+}
+
+// moveTo relocates the mule's radio endpoint. The radio model keys range
+// checks on endpoint positions at delivery time, so re-joining under a
+// fresh ID is unnecessary — but endpoints are fixed-position by design,
+// so the mule carries its own position and rejoins the medium.
+func (m *Mule) moveTo(p geometry.Point) {
+	m.stack.Endpoint().SetPos(p)
+}

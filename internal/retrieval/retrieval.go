@@ -1,0 +1,218 @@
+// Package retrieval implements EnviroMic's data retrieval subsystem
+// (§II-C). The paper's final design is deliberately simple: data is
+// usually retrieved exactly once, when the experiment ends and the motes
+// are physically collected — the user acts as the data mule. This package
+// provides that offline path (Reassemble over collected flash contents),
+// the protocol path the paper describes for in-field collection — a
+// single-hop query broadcast answered over the reliable bulk transfer,
+// with gap detection and re-request — and the multihop spanning-tree
+// variant the authors considered (flood the query, convergecast chunks
+// toward the sink).
+package retrieval
+
+import (
+	"fmt"
+	"time"
+
+	"enviromic/internal/flash"
+	"enviromic/internal/sim"
+)
+
+// Query selects chunks by time range, recording origin, and file ID. Nil
+// / zero fields match everything, so the common "retrieve all files"
+// query is the zero value with All set.
+type Query struct {
+	// All short-circuits matching: every chunk matches.
+	All bool
+	// From/To bound the chunk time range (inclusive overlap); both zero
+	// means unbounded.
+	From, To sim.Time
+	// Origins restricts to chunks recorded by the listed nodes.
+	Origins map[int32]bool
+	// Files restricts to the listed file IDs (used for gap re-requests).
+	Files map[flash.FileID]bool
+}
+
+// Matches reports whether the chunk satisfies the query.
+func (q Query) Matches(c *flash.Chunk) bool {
+	if q.All {
+		return true
+	}
+	if q.From != 0 || q.To != 0 {
+		if q.To != 0 && c.Start >= q.To {
+			return false
+		}
+		if c.End <= q.From {
+			return false
+		}
+	}
+	if len(q.Origins) > 0 && !q.Origins[c.Origin] {
+		return false
+	}
+	if len(q.Files) > 0 && !q.Files[c.File] {
+		return false
+	}
+	return true
+}
+
+// File is one reassembled distributed file: all chunks of one event,
+// possibly recorded by several motes and stored on yet other motes.
+type File struct {
+	ID     flash.FileID
+	Chunks []*flash.Chunk // sorted by Start then Origin/Seq, deduplicated
+}
+
+// Start returns the earliest chunk start.
+func (f *File) Start() sim.Time {
+	if len(f.Chunks) == 0 {
+		return 0
+	}
+	return f.Chunks[0].Start
+}
+
+// End returns the latest chunk end.
+func (f *File) End() sim.Time {
+	var end sim.Time
+	for _, c := range f.Chunks {
+		if c.End > end {
+			end = c.End
+		}
+	}
+	return end
+}
+
+// Duration returns End − Start.
+func (f *File) Duration() time.Duration { return f.End().Sub(f.Start()) }
+
+// Bytes returns the total payload size.
+func (f *File) Bytes() int {
+	n := 0
+	for _, c := range f.Chunks {
+		n += len(c.Data)
+	}
+	return n
+}
+
+// Gap is an uncovered stretch inside a file's time span.
+type Gap struct {
+	Start, End sim.Time
+}
+
+// Gaps returns uncovered stretches longer than tolerance between the
+// file's first and last chunk.
+func (f *File) Gaps(tolerance time.Duration) []Gap {
+	if len(f.Chunks) == 0 {
+		return nil
+	}
+	var gaps []Gap
+	cursor := f.Chunks[0].End
+	for _, c := range f.Chunks[1:] {
+		if c.Start.Sub(cursor) > tolerance {
+			gaps = append(gaps, Gap{cursor, c.Start})
+		}
+		if c.End > cursor {
+			cursor = c.End
+		}
+	}
+	return gaps
+}
+
+// Origins returns the set of recorder nodes contributing to the file.
+func (f *File) Origins() []int32 {
+	seen := map[int32]bool{}
+	var out []int32
+	for _, c := range f.Chunks {
+		if !seen[c.Origin] {
+			seen[c.Origin] = true
+			out = append(out, c.Origin)
+		}
+	}
+	return out
+}
+
+// Reassemble groups chunks into files: sorted by start time (then origin,
+// then sequence) with exact duplicates — the same (origin, seq) stored on
+// two motes after an ACK-loss retransmission — removed.
+func Reassemble(holdings map[int][]*flash.Chunk, q Query) map[flash.FileID]*File {
+	type key struct {
+		origin int32
+		seq    uint32
+	}
+	perFile := make(map[flash.FileID]map[key]*flash.Chunk)
+	for _, chunks := range holdings {
+		for _, c := range chunks {
+			if c == nil || !q.Matches(c) {
+				continue
+			}
+			m := perFile[c.File]
+			if m == nil {
+				m = make(map[key]*flash.Chunk)
+				perFile[c.File] = m
+			}
+			k := key{c.Origin, c.Seq}
+			if _, dup := m[k]; !dup {
+				m[k] = c
+			}
+		}
+	}
+	out := make(map[flash.FileID]*File, len(perFile))
+	for id, m := range perFile {
+		f := &File{ID: id, Chunks: make([]*flash.Chunk, 0, len(m))}
+		for _, c := range m {
+			f.Chunks = append(f.Chunks, c)
+		}
+		sortChunks(f.Chunks)
+		out[id] = f
+	}
+	return out
+}
+
+// sortChunks orders by (Start, Origin, Seq) — time-major so stitching
+// across recorder handoffs is direct.
+func sortChunks(cs []*flash.Chunk) {
+	less := func(a, b *flash.Chunk) bool {
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Origin != b.Origin {
+			return a.Origin < b.Origin
+		}
+		return a.Seq < b.Seq
+	}
+	// Shell-ish insertion sort is fine for per-file chunk counts (tens to
+	// a few thousand); retrieval is a once-per-experiment operation.
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && less(cs[j], cs[j-1]); j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}
+
+// Summary describes a reassembled collection for display.
+type Summary struct {
+	Files       int
+	Chunks      int
+	Bytes       int
+	GapCount    int
+	TotalLength time.Duration
+}
+
+// Summarize computes collection-wide statistics with the given gap
+// tolerance.
+func Summarize(files map[flash.FileID]*File, tolerance time.Duration) Summary {
+	var s Summary
+	for _, f := range files {
+		s.Files++
+		s.Chunks += len(f.Chunks)
+		s.Bytes += f.Bytes()
+		s.GapCount += len(f.Gaps(tolerance))
+		s.TotalLength += f.Duration()
+	}
+	return s
+}
+
+// String implements fmt.Stringer.
+func (s Summary) String() string {
+	return fmt.Sprintf("%d files, %d chunks, %d bytes, %v total audio, %d gaps",
+		s.Files, s.Chunks, s.Bytes, s.TotalLength, s.GapCount)
+}

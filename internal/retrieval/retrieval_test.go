@@ -1,0 +1,319 @@
+package retrieval
+
+import (
+	"testing"
+	"time"
+
+	"enviromic/internal/flash"
+	"enviromic/internal/geometry"
+	"enviromic/internal/netstack"
+	"enviromic/internal/radio"
+	"enviromic/internal/sim"
+)
+
+func mkChunk(file flash.FileID, origin int32, seq uint32, startSec, endSec float64) *flash.Chunk {
+	return &flash.Chunk{
+		File: file, Origin: origin, Seq: seq,
+		Start: sim.Time(startSec * float64(time.Second)),
+		End:   sim.Time(endSec * float64(time.Second)),
+		Data:  []byte{byte(file), byte(origin), byte(seq)},
+	}
+}
+
+func TestQueryMatching(t *testing.T) {
+	c := mkChunk(7, 3, 2, 10, 11)
+	tests := []struct {
+		name string
+		q    Query
+		want bool
+	}{
+		{"all", Query{All: true}, true},
+		{"zero query matches", Query{}, true},
+		{"time overlap", Query{From: sim.Time(10500 * int64(time.Millisecond)), To: sim.Time(12 * int64(time.Second))}, true},
+		{"time before", Query{From: sim.Time(11 * int64(time.Second)), To: sim.Time(20 * int64(time.Second))}, false},
+		{"time after", Query{From: sim.Time(1 * int64(time.Second)), To: sim.Time(10 * int64(time.Second))}, false},
+		{"origin match", Query{Origins: map[int32]bool{3: true}}, true},
+		{"origin mismatch", Query{Origins: map[int32]bool{4: true}}, false},
+		{"file match", Query{Files: map[flash.FileID]bool{7: true}}, true},
+		{"file mismatch", Query{Files: map[flash.FileID]bool{8: true}}, false},
+		{"combined", Query{Origins: map[int32]bool{3: true}, Files: map[flash.FileID]bool{8: true}}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.q.Matches(c); got != tt.want {
+				t.Errorf("Matches = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestReassembleGroupsAndSorts(t *testing.T) {
+	holdings := map[int][]*flash.Chunk{
+		0: {mkChunk(1, 0, 1, 11, 12), mkChunk(2, 0, 0, 50, 51)},
+		1: {mkChunk(1, 1, 0, 12, 13)},
+		2: {mkChunk(1, 0, 0, 10, 11)},
+	}
+	files := Reassemble(holdings, Query{All: true})
+	if len(files) != 2 {
+		t.Fatalf("got %d files, want 2", len(files))
+	}
+	f := files[1]
+	if len(f.Chunks) != 3 {
+		t.Fatalf("file 1 has %d chunks, want 3", len(f.Chunks))
+	}
+	for i := 1; i < len(f.Chunks); i++ {
+		if f.Chunks[i].Start < f.Chunks[i-1].Start {
+			t.Error("chunks not time-sorted")
+		}
+	}
+	if f.Start() != sim.Time(10*int64(time.Second)) || f.End() != sim.Time(13*int64(time.Second)) {
+		t.Errorf("file span = %v..%v", f.Start(), f.End())
+	}
+	if f.Duration() != 3*time.Second {
+		t.Errorf("Duration = %v", f.Duration())
+	}
+	if f.Bytes() != 9 {
+		t.Errorf("Bytes = %d", f.Bytes())
+	}
+	origins := f.Origins()
+	if len(origins) != 2 {
+		t.Errorf("Origins = %v", origins)
+	}
+}
+
+func TestReassembleDeduplicates(t *testing.T) {
+	// The same (origin, seq) chunk stored on two nodes (migration dup).
+	holdings := map[int][]*flash.Chunk{
+		0: {mkChunk(1, 0, 0, 10, 11)},
+		1: {mkChunk(1, 0, 0, 10, 11)},
+	}
+	files := Reassemble(holdings, Query{All: true})
+	if got := len(files[1].Chunks); got != 1 {
+		t.Errorf("deduplicated chunks = %d, want 1", got)
+	}
+}
+
+func TestReassembleAppliesQuery(t *testing.T) {
+	holdings := map[int][]*flash.Chunk{
+		0: {mkChunk(1, 0, 0, 10, 11), mkChunk(2, 1, 0, 20, 21)},
+	}
+	files := Reassemble(holdings, Query{Origins: map[int32]bool{1: true}})
+	if len(files) != 1 || files[2] == nil {
+		t.Fatalf("query filter failed: %v", files)
+	}
+}
+
+func TestFileGaps(t *testing.T) {
+	f := &File{ID: 1, Chunks: []*flash.Chunk{
+		mkChunk(1, 0, 0, 10, 11),
+		mkChunk(1, 0, 1, 11, 12),
+		mkChunk(1, 1, 0, 14, 15), // 2 s gap
+	}}
+	gaps := f.Gaps(100 * time.Millisecond)
+	if len(gaps) != 1 {
+		t.Fatalf("gaps = %v", gaps)
+	}
+	if gaps[0].Start != sim.Time(12*int64(time.Second)) || gaps[0].End != sim.Time(14*int64(time.Second)) {
+		t.Errorf("gap = %+v", gaps[0])
+	}
+	// A generous tolerance hides the gap.
+	if got := f.Gaps(3 * time.Second); len(got) != 0 {
+		t.Errorf("tolerant gaps = %v", got)
+	}
+	var empty File
+	if empty.Gaps(0) != nil {
+		t.Error("empty file has gaps")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	holdings := map[int][]*flash.Chunk{
+		0: {mkChunk(1, 0, 0, 10, 11), mkChunk(1, 0, 1, 13, 14), mkChunk(2, 1, 0, 20, 22)},
+	}
+	files := Reassemble(holdings, Query{All: true})
+	s := Summarize(files, 100*time.Millisecond)
+	if s.Files != 2 || s.Chunks != 3 || s.GapCount != 1 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty summary string")
+	}
+}
+
+// protocol rig: three motes with stores + a mule.
+type protoRig struct {
+	sched  *sim.Scheduler
+	net    *radio.Network
+	stores []*flash.Store
+	resp   []*Responder
+	mule   *Mule
+}
+
+func newProtoRig(t *testing.T, commRange float64, positions []geometry.Point) *protoRig {
+	t.Helper()
+	r := &protoRig{sched: sim.NewScheduler(31)}
+	cfg := radio.DefaultConfig(commRange)
+	cfg.LossProb = 0
+	r.net = radio.NewNetwork(r.sched, cfg)
+	for i, pos := range positions {
+		st := netstack.NewStack(r.net.Join(i, pos), r.sched)
+		bu := netstack.NewBulk(st, r.sched)
+		store := flash.NewStore(256)
+		resp := NewResponder(i, st, bu, r.sched, store)
+		r.stores = append(r.stores, store)
+		r.resp = append(r.resp, resp)
+	}
+	r.mule = NewMule(100, positions[0], r.net, r.sched)
+	return r
+}
+
+func TestOneHopMuleCollection(t *testing.T) {
+	r := newProtoRig(t, 10, []geometry.Point{{X: 0}, {X: 1}, {X: 2}})
+	_ = r.stores[0].Enqueue(mkChunk(1, 0, 0, 10, 11))
+	_ = r.stores[1].Enqueue(mkChunk(1, 1, 1, 11, 12))
+	_ = r.stores[2].Enqueue(mkChunk(2, 2, 0, 30, 31))
+	r.mule.Ask(Query{All: true})
+	r.sched.RunAll()
+	if len(r.mule.Collected) != 3 {
+		t.Fatalf("mule collected %d chunks, want 3", len(r.mule.Collected))
+	}
+	files := r.mule.Files()
+	if len(files) != 2 {
+		t.Errorf("mule reassembled %d files, want 2", len(files))
+	}
+	// Stores are unchanged: retrieval is a read.
+	for i, st := range r.stores {
+		if st.Len() != 1 {
+			t.Errorf("store %d drained by retrieval", i)
+		}
+	}
+}
+
+func TestOneHopQueryFilters(t *testing.T) {
+	r := newProtoRig(t, 10, []geometry.Point{{X: 0}, {X: 1}})
+	_ = r.stores[0].Enqueue(mkChunk(1, 0, 0, 10, 11))
+	_ = r.stores[1].Enqueue(mkChunk(2, 1, 0, 100, 101))
+	r.mule.Ask(Query{From: 0, To: sim.Time(50 * int64(time.Second))})
+	r.sched.RunAll()
+	if len(r.mule.Collected) != 1 || r.mule.Collected[0].File != 1 {
+		t.Errorf("time-filtered collection = %v", r.mule.Collected)
+	}
+}
+
+func TestOneHopDoesNotReachFarNodes(t *testing.T) {
+	r := newProtoRig(t, 1.5, []geometry.Point{{X: 0}, {X: 1}, {X: 10}})
+	_ = r.stores[1].Enqueue(mkChunk(1, 1, 0, 10, 11))
+	_ = r.stores[2].Enqueue(mkChunk(2, 2, 0, 10, 11))
+	r.mule.Ask(Query{All: true})
+	r.sched.RunAll()
+	if len(r.mule.Collected) != 1 {
+		t.Errorf("collected %d chunks, want only the in-range node's 1", len(r.mule.Collected))
+	}
+}
+
+func TestSpanningTreeReachesMultiHop(t *testing.T) {
+	// Chain: mule at x=0; nodes at 1,2,3 with range 1.5 — node at x=3 is
+	// two hops from the mule and must deliver via relays.
+	r := newProtoRig(t, 1.5, []geometry.Point{{X: 1}, {X: 2}, {X: 3}})
+	_ = r.stores[2].Enqueue(mkChunk(5, 2, 0, 10, 11))
+	_ = r.stores[2].Enqueue(mkChunk(5, 2, 1, 11, 12))
+	r.mule.Flood(Query{All: true}, 1)
+	r.sched.Run(sim.At(time.Minute))
+	if len(r.mule.Collected) != 2 {
+		t.Fatalf("spanning tree delivered %d chunks, want 2", len(r.mule.Collected))
+	}
+	// Tree structure: node 0 parents to the mule; node 2 to node 1.
+	if r.resp[0].Parent() != 100 {
+		t.Errorf("node 0 parent = %d, want mule(100)", r.resp[0].Parent())
+	}
+	if r.resp[2].Parent() != 1 {
+		t.Errorf("node 2 parent = %d, want 1", r.resp[2].Parent())
+	}
+}
+
+func TestFloodRoundsAreIdempotent(t *testing.T) {
+	r := newProtoRig(t, 10, []geometry.Point{{X: 1}, {X: 2}})
+	_ = r.stores[0].Enqueue(mkChunk(1, 0, 0, 10, 11))
+	r.mule.Flood(Query{All: true}, 1)
+	r.sched.Run(sim.At(30 * time.Second))
+	got := len(r.mule.Collected)
+	// Re-flooding the same round number is ignored by responders.
+	r.mule.Flood(Query{All: true}, 1)
+	r.sched.Run(sim.At(60 * time.Second))
+	if len(r.mule.Collected) != got {
+		t.Errorf("stale flood round re-triggered responses")
+	}
+	// A new round collects again (mule dedupes, so count stays).
+	r.mule.Flood(Query{All: true}, 2)
+	r.sched.Run(sim.At(90 * time.Second))
+	if len(r.mule.Collected) != got {
+		t.Errorf("mule failed to dedupe repeat collection")
+	}
+}
+
+func TestGapReRequest(t *testing.T) {
+	r := newProtoRig(t, 10, []geometry.Point{{X: 0}, {X: 1}})
+	// Node 0 has the head of file 1, node 1 the tail (with a hole we can
+	// see until the second query).
+	_ = r.stores[0].Enqueue(mkChunk(1, 0, 0, 10, 11))
+	_ = r.stores[1].Enqueue(mkChunk(1, 0, 2, 14, 15))
+	r.mule.Ask(Query{From: 0, To: sim.Time(12 * int64(time.Second))})
+	r.sched.RunAll()
+	missing := r.mule.MissingFiles(500 * time.Millisecond)
+	// Only the head was fetched; the file has no *visible* gap yet with
+	// one chunk, so instead fetch everything and check gap detection on
+	// the full file.
+	r.mule.Ask(Query{All: true})
+	r.sched.RunAll()
+	missing = r.mule.MissingFiles(500 * time.Millisecond)
+	if !missing.Files[1] {
+		t.Errorf("gap in file 1 not detected: %v", missing.Files)
+	}
+}
+
+func TestMuleDeduplicatesAcrossResponders(t *testing.T) {
+	// Two stores hold the same chunk (post-migration duplicate): the mule
+	// keeps one.
+	r := newProtoRig(t, 10, []geometry.Point{{X: 0}, {X: 1}})
+	_ = r.stores[0].Enqueue(mkChunk(1, 0, 0, 10, 11))
+	_ = r.stores[1].Enqueue(mkChunk(1, 0, 0, 10, 11))
+	r.mule.Ask(Query{All: true})
+	r.sched.RunAll()
+	if len(r.mule.Collected) != 1 {
+		t.Errorf("mule kept %d copies, want 1", len(r.mule.Collected))
+	}
+}
+
+func TestMuleTourCollectsAcrossThePlain(t *testing.T) {
+	// Nodes spread over 30 units with a 3-unit radio: no single stop can
+	// reach everyone one-hop; a tour along the line can.
+	positions := []geometry.Point{{X: 0}, {X: 10}, {X: 20}, {X: 30}}
+	r := newProtoRig(t, 3, positions)
+	for i := range positions {
+		_ = r.stores[i].Enqueue(mkChunk(flash.FileID(i+1), int32(i), 0, float64(i*10), float64(i*10+1)))
+	}
+	// Parked mule: reaches only node 0 (mule was joined at positions[0]).
+	r.mule.Ask(Query{All: true})
+	r.sched.Run(r.sched.Now().Add(10 * time.Second))
+	if len(r.mule.Collected) != 1 {
+		t.Fatalf("parked mule collected %d, want 1", len(r.mule.Collected))
+	}
+	// Touring mule: visits each cluster.
+	got := r.mule.Tour(r.sched, positions, 10*time.Second, Query{All: true})
+	if got != 3 {
+		t.Errorf("tour newly collected %d chunks, want the remaining 3", got)
+	}
+	if len(r.mule.Collected) != 4 {
+		t.Errorf("total collected %d, want 4", len(r.mule.Collected))
+	}
+}
+
+func TestMuleTourValidation(t *testing.T) {
+	r := newProtoRig(t, 3, []geometry.Point{{X: 0}})
+	defer func() {
+		if recover() == nil {
+			t.Error("zero dwell accepted")
+		}
+	}()
+	r.mule.Tour(r.sched, []geometry.Point{{X: 0}}, 0, Query{All: true})
+}

@@ -1,0 +1,43 @@
+package sim
+
+import (
+	"time"
+)
+
+// RunRealtime executes events like Run but paces them against the wall
+// clock so a human can watch the protocol unfold: with scale = 1 virtual
+// time tracks real time; scale = 60 runs a virtual minute per real second.
+// sleep is injectable for tests; pass nil for time.Sleep.
+//
+// The simulation stays exactly as deterministic as Run — pacing changes
+// when callbacks execute in the real world, never their virtual order or
+// timing — so a live demo and a batch run of the same seed produce
+// identical traces.
+func (s *Scheduler) RunRealtime(until Time, scale float64, sleep func(time.Duration)) uint64 {
+	if scale <= 0 {
+		panic("sim: RunRealtime scale must be positive")
+	}
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	s.stopped = false
+	var n uint64
+	for !s.stopped {
+		next, ok := s.NextEventTime()
+		if !ok || next > until {
+			break
+		}
+		if wait := next.Sub(s.now); wait > 0 {
+			sleep(time.Duration(float64(wait) / scale))
+		}
+		// Execute every event at this instant before sleeping again.
+		n += s.Run(next)
+	}
+	if s.now < until {
+		if wait := until.Sub(s.now); wait > 0 {
+			sleep(time.Duration(float64(wait) / scale))
+		}
+		s.now = until
+	}
+	return n
+}

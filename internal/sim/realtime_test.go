@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunRealtimePacesSleeps(t *testing.T) {
+	s := NewScheduler(1)
+	var fired []Time
+	for _, at := range []time.Duration{100 * time.Millisecond, 300 * time.Millisecond, 350 * time.Millisecond} {
+		at := at
+		s.At(At(at), "e", func() { fired = append(fired, s.Now()) })
+	}
+	var slept []time.Duration
+	n := s.RunRealtime(At(500*time.Millisecond), 10, func(d time.Duration) {
+		slept = append(slept, d)
+	})
+	if n != 3 {
+		t.Fatalf("executed %d events, want 3", n)
+	}
+	// Virtual gaps 100,200,50,150ms at scale 10 → sleeps 10,20,5,15ms.
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond,
+		5 * time.Millisecond, 15 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Errorf("sleep %d = %v, want %v", i, slept[i], want[i])
+		}
+	}
+	if s.Now() != At(500*time.Millisecond) {
+		t.Errorf("clock at %v, want 500ms", s.Now())
+	}
+}
+
+func TestRunRealtimeMatchesBatchTrace(t *testing.T) {
+	run := func(realtime bool) []Time {
+		s := NewScheduler(9)
+		var fired []Time
+		var loop func()
+		n := 0
+		loop = func() {
+			fired = append(fired, s.Now())
+			n++
+			if n < 50 {
+				d := time.Duration(s.Rand().Intn(900)+100) * time.Microsecond
+				s.After(d, "loop", loop)
+			}
+		}
+		s.After(time.Millisecond, "loop", loop)
+		if realtime {
+			s.RunRealtime(At(time.Second), 1000, func(time.Duration) {})
+		} else {
+			s.Run(At(time.Second))
+		}
+		return fired
+	}
+	batch, live := run(false), run(true)
+	if len(batch) != len(live) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(batch), len(live))
+	}
+	for i := range batch {
+		if batch[i] != live[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, batch[i], live[i])
+		}
+	}
+}
+
+func TestRunRealtimeSimultaneousEventsOneSleep(t *testing.T) {
+	s := NewScheduler(1)
+	count := 0
+	for i := 0; i < 5; i++ {
+		s.At(At(time.Millisecond), "same", func() { count++ })
+	}
+	sleeps := 0
+	s.RunRealtime(At(2*time.Millisecond), 1, func(time.Duration) { sleeps++ })
+	if count != 5 {
+		t.Errorf("executed %d, want 5", count)
+	}
+	// One sleep to reach the instant, one to reach `until`.
+	if sleeps != 2 {
+		t.Errorf("slept %d times, want 2", sleeps)
+	}
+}
+
+func TestRunRealtimeInvalidScalePanics(t *testing.T) {
+	s := NewScheduler(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("zero scale did not panic")
+		}
+	}()
+	s.RunRealtime(At(time.Second), 0, func(time.Duration) {})
+}
+
+func TestRunRealtimeWallClockSmoke(t *testing.T) {
+	// With the default sleeper at a huge scale, a short virtual run
+	// finishes quickly in real time.
+	s := NewScheduler(1)
+	done := false
+	s.At(At(10*time.Second), "end", func() { done = true })
+	start := time.Now()
+	s.RunRealtime(At(10*time.Second), 1e6, nil)
+	if !done {
+		t.Error("event did not run")
+	}
+	if time.Since(start) > time.Second {
+		t.Error("realtime run took too long at scale 1e6")
+	}
+}

@@ -1,0 +1,250 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All EnviroMic protocol logic runs on top of a Scheduler: modules schedule
+// callbacks at virtual times, and the scheduler executes them in strict
+// (time, sequence) order. Determinism is a design requirement — every
+// experiment in the paper reproduction is a pure function of (scenario,
+// seed) — so the kernel never consults wall-clock time and all randomness
+// flows from a single seeded source owned by the run.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is an absolute virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Jiffy is the MicaZ clock granularity used throughout the paper:
+// 1 jiffy = 1/32768 s.
+const Jiffy = time.Second / 32768
+
+// Add returns the time d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t−u.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+// Duration converts t to the duration elapsed since simulation start.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// String formats the time as seconds with millisecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.3fs", t.Seconds()) }
+
+// At constructs a Time from a duration since simulation start.
+func At(d time.Duration) Time { return Time(d) }
+
+// Timer is a handle to a scheduled callback. The zero value is not useful;
+// timers are produced by Scheduler.At and Scheduler.After.
+type Timer struct {
+	ev *event
+}
+
+// Cancel prevents the callback from firing. Cancelling an already-fired or
+// already-cancelled timer is a no-op. It reports whether the timer was
+// still pending.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.fired {
+		return false
+	}
+	t.ev.cancelled = true
+	return true
+}
+
+// Pending reports whether the callback has neither fired nor been
+// cancelled.
+func (t *Timer) Pending() bool {
+	return t != nil && t.ev != nil && !t.ev.cancelled && !t.ev.fired
+}
+
+type event struct {
+	at        Time
+	seq       uint64
+	name      string
+	fn        func()
+	cancelled bool
+	fired     bool
+	index     int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Scheduler is the discrete-event executor. It is not safe for concurrent
+// use: the simulation is single-threaded by design so that runs are
+// reproducible.
+type Scheduler struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	rng     *rand.Rand
+	stopped bool
+	// executed counts callbacks run, for diagnostics and runaway detection.
+	executed uint64
+	// maxEvents aborts runaway simulations; 0 means no limit.
+	maxEvents uint64
+}
+
+// NewScheduler returns a scheduler whose randomness is derived entirely
+// from seed.
+func NewScheduler(seed int64) *Scheduler {
+	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Rand exposes the run's random source. All protocol randomness (election
+// back-offs, packet loss draws, workload sampling) must come from here.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// Executed returns the number of callbacks run so far.
+func (s *Scheduler) Executed() uint64 { return s.executed }
+
+// SetEventLimit aborts Run with a panic after n callbacks, as a guard
+// against protocol livelock in tests. n = 0 disables the limit.
+func (s *Scheduler) SetEventLimit(n uint64) { s.maxEvents = n }
+
+// At schedules fn at absolute time t. Scheduling in the past is an error
+// that panics: protocol code that computes a past deadline is buggy, and
+// silently clamping would mask it.
+func (s *Scheduler) At(t Time, name string, fn func()) *Timer {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %v before now %v", name, t, s.now))
+	}
+	ev := &event{at: t, seq: s.seq, name: name, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn d after the current time. Negative d panics.
+func (s *Scheduler) After(d time.Duration, name string, fn func()) *Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v for %q", d, name))
+	}
+	return s.At(s.now.Add(d), name, fn)
+}
+
+// Stop makes the current Run return after the in-flight callback.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Run executes events in order until the queue is exhausted or the next
+// event would fire after `until`. The clock is left at `until` (or at the
+// last event time if that is later than the clock but the queue drained
+// early). It returns the number of callbacks executed by this call.
+func (s *Scheduler) Run(until Time) uint64 {
+	s.stopped = false
+	var n uint64
+	for len(s.queue) > 0 && !s.stopped {
+		next := s.queue[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&s.queue)
+		if next.cancelled {
+			continue
+		}
+		s.now = next.at
+		next.fired = true
+		next.fn()
+		s.executed++
+		n++
+		if s.maxEvents > 0 && s.executed > s.maxEvents {
+			panic(fmt.Sprintf("sim: event limit %d exceeded (last event %q at %v)",
+				s.maxEvents, next.name, next.at))
+		}
+	}
+	if s.now < until {
+		s.now = until
+	}
+	return n
+}
+
+// RunAll executes every pending event regardless of time. It is intended
+// for draining a simulation at the end of a scenario.
+func (s *Scheduler) RunAll() uint64 {
+	s.stopped = false
+	var n uint64
+	for len(s.queue) > 0 && !s.stopped {
+		next := heap.Pop(&s.queue).(*event)
+		if next.cancelled {
+			continue
+		}
+		s.now = next.at
+		next.fired = true
+		next.fn()
+		s.executed++
+		n++
+		if s.maxEvents > 0 && s.executed > s.maxEvents {
+			panic(fmt.Sprintf("sim: event limit %d exceeded (last event %q at %v)",
+				s.maxEvents, next.name, next.at))
+		}
+	}
+	return n
+}
+
+// Pending returns the number of queued (non-cancelled) events.
+func (s *Scheduler) Pending() int {
+	n := 0
+	for _, ev := range s.queue {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// NextEventTime returns the time of the earliest pending event, and false
+// if the queue is empty.
+func (s *Scheduler) NextEventTime() (Time, bool) {
+	for _, ev := range s.queue {
+		if !ev.cancelled {
+			// The heap root is the earliest, but cancelled events may sit at
+			// the root; scan is O(n) worst case yet only used in tests.
+			best := ev.at
+			for _, e := range s.queue {
+				if !e.cancelled && e.at < best {
+					best = e.at
+				}
+			}
+			return best, true
+		}
+	}
+	return 0, false
+}

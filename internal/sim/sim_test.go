@@ -1,0 +1,358 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSchedulerRunsInTimeOrder(t *testing.T) {
+	s := NewScheduler(1)
+	var got []int
+	s.At(At(30*time.Millisecond), "c", func() { got = append(got, 3) })
+	s.At(At(10*time.Millisecond), "a", func() { got = append(got, 1) })
+	s.At(At(20*time.Millisecond), "b", func() { got = append(got, 2) })
+	s.Run(At(time.Second))
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("executed %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d: got %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSchedulerTieBreaksBySequence(t *testing.T) {
+	s := NewScheduler(1)
+	var got []int
+	at := At(5 * time.Millisecond)
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(at, "tie", func() { got = append(got, i) })
+	}
+	s.Run(At(time.Second))
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-broken order incorrect at %d: got %v", i, got)
+		}
+	}
+}
+
+func TestSchedulerClockAdvancesToUntil(t *testing.T) {
+	s := NewScheduler(1)
+	s.Run(At(3 * time.Second))
+	if got := s.Now(); got != At(3*time.Second) {
+		t.Errorf("Now() = %v, want 3s", got)
+	}
+}
+
+func TestSchedulerDoesNotRunFutureEvents(t *testing.T) {
+	s := NewScheduler(1)
+	ran := false
+	s.At(At(2*time.Second), "late", func() { ran = true })
+	s.Run(At(time.Second))
+	if ran {
+		t.Error("event after `until` ran")
+	}
+	s.Run(At(3 * time.Second))
+	if !ran {
+		t.Error("event did not run on second Run")
+	}
+}
+
+func TestSchedulerPastSchedulingPanics(t *testing.T) {
+	s := NewScheduler(1)
+	s.At(At(time.Second), "advance", func() {})
+	s.Run(At(time.Second))
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past did not panic")
+		}
+	}()
+	s.At(At(time.Millisecond), "past", func() {})
+}
+
+func TestSchedulerNegativeAfterPanics(t *testing.T) {
+	s := NewScheduler(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative After did not panic")
+		}
+	}()
+	s.After(-time.Millisecond, "neg", func() {})
+}
+
+func TestTimerCancel(t *testing.T) {
+	s := NewScheduler(1)
+	ran := false
+	tm := s.After(10*time.Millisecond, "x", func() { ran = true })
+	if !tm.Pending() {
+		t.Error("timer should be pending before firing")
+	}
+	if !tm.Cancel() {
+		t.Error("first Cancel should report true")
+	}
+	if tm.Cancel() {
+		t.Error("second Cancel should report false")
+	}
+	s.Run(At(time.Second))
+	if ran {
+		t.Error("cancelled timer fired")
+	}
+	if tm.Pending() {
+		t.Error("cancelled timer should not be pending")
+	}
+}
+
+func TestTimerCancelAfterFire(t *testing.T) {
+	s := NewScheduler(1)
+	tm := s.After(time.Millisecond, "x", func() {})
+	s.Run(At(time.Second))
+	if tm.Cancel() {
+		t.Error("Cancel after fire should report false")
+	}
+}
+
+func TestSchedulerStop(t *testing.T) {
+	s := NewScheduler(1)
+	count := 0
+	for i := 1; i <= 5; i++ {
+		s.At(At(time.Duration(i)*time.Millisecond), "n", func() {
+			count++
+			if count == 2 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run(At(time.Second))
+	if count != 2 {
+		t.Errorf("Stop did not halt the loop: ran %d events", count)
+	}
+}
+
+func TestSchedulerEventsScheduledDuringRun(t *testing.T) {
+	s := NewScheduler(1)
+	var order []string
+	s.After(time.Millisecond, "outer", func() {
+		order = append(order, "outer")
+		s.After(time.Millisecond, "inner", func() {
+			order = append(order, "inner")
+		})
+	})
+	s.Run(At(time.Second))
+	if len(order) != 2 || order[0] != "outer" || order[1] != "inner" {
+		t.Errorf("nested scheduling order = %v", order)
+	}
+}
+
+func TestSchedulerEventLimit(t *testing.T) {
+	s := NewScheduler(1)
+	s.SetEventLimit(10)
+	var loop func()
+	loop = func() { s.After(time.Microsecond, "loop", loop) }
+	s.After(time.Microsecond, "loop", loop)
+	defer func() {
+		if recover() == nil {
+			t.Error("runaway loop did not trip the event limit")
+		}
+	}()
+	s.Run(At(time.Hour))
+}
+
+func TestSchedulerDeterminismAcrossRuns(t *testing.T) {
+	run := func(seed int64) []int64 {
+		s := NewScheduler(seed)
+		var fired []int64
+		var schedule func()
+		n := 0
+		schedule = func() {
+			n++
+			if n > 200 {
+				return
+			}
+			d := time.Duration(s.Rand().Intn(1000)+1) * time.Microsecond
+			s.After(d, "rnd", func() {
+				fired = append(fired, int64(s.Now()))
+				schedule()
+			})
+		}
+		schedule()
+		s.Run(At(time.Second))
+		return fired
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("different event counts for same seed: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at event %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces (suspicious)")
+	}
+}
+
+func TestRunAllDrainsQueue(t *testing.T) {
+	s := NewScheduler(1)
+	count := 0
+	s.At(At(time.Hour), "far", func() { count++ })
+	s.At(At(time.Minute), "near", func() { count++ })
+	if n := s.RunAll(); n != 2 {
+		t.Errorf("RunAll executed %d, want 2", n)
+	}
+	if count != 2 {
+		t.Errorf("count = %d, want 2", count)
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending() = %d after RunAll", s.Pending())
+	}
+}
+
+func TestNextEventTime(t *testing.T) {
+	s := NewScheduler(1)
+	if _, ok := s.NextEventTime(); ok {
+		t.Error("empty queue should report no next event")
+	}
+	tm := s.At(At(time.Minute), "a", func() {})
+	s.At(At(time.Hour), "b", func() {})
+	if at, ok := s.NextEventTime(); !ok || at != At(time.Minute) {
+		t.Errorf("NextEventTime = %v,%v; want 60s,true", at, ok)
+	}
+	tm.Cancel()
+	if at, ok := s.NextEventTime(); !ok || at != At(time.Hour) {
+		t.Errorf("after cancel NextEventTime = %v,%v; want 3600s,true", at, ok)
+	}
+}
+
+func TestTickerFiresAtPeriod(t *testing.T) {
+	s := NewScheduler(1)
+	var at []Time
+	tk := NewTicker(s, 100*time.Millisecond, "tick", func() {
+		at = append(at, s.Now())
+	})
+	s.Run(At(550 * time.Millisecond))
+	tk.Stop()
+	if len(at) != 5 {
+		t.Fatalf("ticker fired %d times, want 5", len(at))
+	}
+	for i, got := range at {
+		want := At(time.Duration(i+1) * 100 * time.Millisecond)
+		if got != want {
+			t.Errorf("tick %d at %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestTickerStopPreventsFurtherTicks(t *testing.T) {
+	s := NewScheduler(1)
+	n := 0
+	var tk *Ticker
+	tk = NewTicker(s, 10*time.Millisecond, "tick", func() {
+		n++
+		if n == 3 {
+			tk.Stop()
+		}
+	})
+	s.Run(At(time.Second))
+	if n != 3 {
+		t.Errorf("ticker fired %d times after Stop, want 3", n)
+	}
+	if !tk.Stopped() {
+		t.Error("Stopped() = false after Stop")
+	}
+	tk.Stop() // idempotent
+}
+
+func TestTickerReset(t *testing.T) {
+	s := NewScheduler(1)
+	var at []Time
+	tk := NewTicker(s, time.Second, "tick", func() { at = append(at, s.Now()) })
+	s.Run(At(500 * time.Millisecond))
+	tk.Reset(100 * time.Millisecond)
+	s.Run(At(750 * time.Millisecond))
+	tk.Stop()
+	if len(at) != 2 {
+		t.Fatalf("after reset ticker fired %d times, want 2: %v", len(at), at)
+	}
+	if at[0] != At(600*time.Millisecond) || at[1] != At(700*time.Millisecond) {
+		t.Errorf("reset tick times = %v", at)
+	}
+}
+
+func TestTickerNonPositivePeriodPanics(t *testing.T) {
+	s := NewScheduler(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("zero period did not panic")
+		}
+	}()
+	NewTicker(s, 0, "bad", func() {})
+}
+
+func TestTimeHelpers(t *testing.T) {
+	tm := At(1500 * time.Millisecond)
+	if got := tm.Seconds(); got != 1.5 {
+		t.Errorf("Seconds() = %v, want 1.5", got)
+	}
+	if got := tm.Add(500 * time.Millisecond); got != At(2*time.Second) {
+		t.Errorf("Add = %v, want 2s", got)
+	}
+	if got := tm.Sub(At(time.Second)); got != 500*time.Millisecond {
+		t.Errorf("Sub = %v, want 500ms", got)
+	}
+	if got := tm.String(); got != "1.500s" {
+		t.Errorf("String() = %q", got)
+	}
+	if Jiffy != time.Second/32768 {
+		t.Errorf("Jiffy = %v", Jiffy)
+	}
+}
+
+// Property: for any set of delays, events fire in non-decreasing time order
+// and every non-cancelled event fires exactly once.
+func TestQuickSchedulerOrdering(t *testing.T) {
+	f := func(delaysMS []uint16) bool {
+		if len(delaysMS) == 0 {
+			return true
+		}
+		if len(delaysMS) > 300 {
+			delaysMS = delaysMS[:300]
+		}
+		s := NewScheduler(7)
+		var fired []Time
+		for _, d := range delaysMS {
+			s.After(time.Duration(d)*time.Millisecond, "q", func() {
+				fired = append(fired, s.Now())
+			})
+		}
+		s.RunAll()
+		if len(fired) != len(delaysMS) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Ticker repeatedly invokes a callback at a fixed virtual-time period.
+// Unlike time.Ticker there is no channel: the callback runs inline in the
+// event loop. The zero value is not useful; use NewTicker.
+type Ticker struct {
+	sched   *Scheduler
+	period  time.Duration
+	name    string
+	fn      func()
+	timer   *Timer
+	stopped bool
+}
+
+// NewTicker schedules fn every period, with the first invocation one
+// period from now. A non-positive period panics.
+func NewTicker(s *Scheduler, period time.Duration, name string, fn func()) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: non-positive ticker period %v for %q", period, name))
+	}
+	t := &Ticker{sched: s, period: period, name: name, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.timer = t.sched.After(t.period, t.name, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future invocations. The callback never runs after Stop
+// returns. Stopping twice is a no-op.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	if t.timer != nil {
+		t.timer.Cancel()
+	}
+}
+
+// Reset changes the period and restarts the ticker relative to now.
+func (t *Ticker) Reset(period time.Duration) {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: non-positive ticker period %v for %q", period, t.name))
+	}
+	if t.timer != nil {
+		t.timer.Cancel()
+	}
+	t.period = period
+	t.stopped = false
+	t.arm()
+}
+
+// Stopped reports whether Stop has been called.
+func (t *Ticker) Stopped() bool { return t.stopped }

@@ -1,0 +1,382 @@
+// Package storage implements EnviroMic's distributed storage balancing
+// (§II-B). Each node tracks a time-to-live: TTLstorage = C(t)/R(t), the
+// time until local flash saturates at the EWMA data acquisition rate, and
+// TTLenergy = E(t)/D(R(t)), the time until the battery dies if data keeps
+// being moved out at that rate. Nodes advertise their TTL to neighbors
+// (piggybacked on other traffic); when a neighbor's TTL exceeds the local
+// TTL by a factor βi — which varies linearly between 1 and βmax with the
+// local TTL, so nodes grow more sensitive to imbalance as they fill up —
+// and storage (not energy) is the bottleneck, chunks migrate from the
+// head of the local circular queue to that neighbor over the reliable
+// bulk transfer. Received data counts into the receiver's acquisition
+// rate, so hot-spot data cascades outward hop by hop (Fig 18).
+package storage
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"enviromic/internal/flash"
+	"enviromic/internal/netstack"
+	"enviromic/internal/radio"
+	"enviromic/internal/sim"
+)
+
+// KindTTL is the TTL advertisement payload kind.
+const KindTTL = "storage.ttl"
+
+// TTLUpdate advertises a node's storage TTL to its neighborhood.
+type TTLUpdate struct {
+	// Seconds is the advertised TTLstorage, saturated at MaxTTLSeconds.
+	Seconds uint32
+}
+
+// Kind implements radio.Payload.
+func (TTLUpdate) Kind() string { return KindTTL }
+
+// Size implements radio.Payload.
+func (TTLUpdate) Size() int { return 4 }
+
+// MaxTTLSeconds caps advertised TTLs; a node with a (near-)zero data rate
+// has an effectively infinite TTL.
+const MaxTTLSeconds = math.MaxUint32 / 4
+
+// EnergyView abstracts the battery model for the TTLenergy computation.
+type EnergyView interface {
+	// TTLEnergy returns the time until energy death if the node moves
+	// data out at the given rate (bytes/s) from now on.
+	TTLEnergy(now sim.Time, rate float64) time.Duration
+}
+
+// Probe carries optional observer callbacks.
+type Probe struct {
+	// OnMigrateOut fires when a batch of chunks is acknowledged by a
+	// neighbor (bytes counts payload at block granularity).
+	OnMigrateOut func(from, to int, chunks int, at sim.Time)
+	// OnMigrateIn fires when a chunk is accepted from a neighbor.
+	OnMigrateIn func(from, to int, c *flash.Chunk, at sim.Time)
+	// OnOverflow fires when recorded data had to be dropped upstream
+	// (reported by the node layer, counted here for convenience).
+	OnOverflow func(node int, at sim.Time)
+}
+
+// Config holds balancer parameters.
+type Config struct {
+	// Alpha is the EWMA weight for the acquisition-rate estimate (§II-B).
+	Alpha float64
+	// BetaMax is the imbalance threshold ceiling; βi varies linearly
+	// between 1 and BetaMax with the current TTL (§II-B). The paper
+	// evaluates 2, 3 and 4.
+	BetaMax float64
+	// BetaRefTTL is the TTL at (or above) which βi reaches BetaMax; at
+	// TTL 0, βi is 1 (maximally sensitive).
+	BetaRefTTL time.Duration
+	// UpdatePeriod is how often the rate estimate is refreshed and the
+	// TTL advertised.
+	UpdatePeriod time.Duration
+	// CheckPeriod is how often the migration condition is evaluated.
+	CheckPeriod time.Duration
+	// NeighborTimeout expires stale neighbor TTL entries.
+	NeighborTimeout time.Duration
+	// BatchChunks bounds chunks per bulk-transfer session.
+	BatchChunks int
+	// InitialRate seeds R(0); the paper notes it can be zero or
+	// Exp(R_event)/N and matters little in the long run.
+	InitialRate float64
+}
+
+// DefaultConfig mirrors the paper's indoor evaluation scale.
+func DefaultConfig(betaMax float64) Config {
+	return Config{
+		Alpha:           0.25,
+		BetaMax:         betaMax,
+		BetaRefTTL:      10 * time.Minute,
+		UpdatePeriod:    5 * time.Second,
+		CheckPeriod:     2 * time.Second,
+		NeighborTimeout: 30 * time.Second,
+		BatchChunks:     32,
+		InitialRate:     0,
+	}
+}
+
+func (c Config) validate() {
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		panic("storage: Alpha outside (0,1]")
+	}
+	if c.BetaMax < 1 {
+		panic("storage: BetaMax must be >= 1")
+	}
+	if c.BetaRefTTL <= 0 || c.UpdatePeriod <= 0 || c.CheckPeriod <= 0 || c.NeighborTimeout <= 0 {
+		panic("storage: non-positive period")
+	}
+	if c.BatchChunks <= 0 {
+		panic("storage: BatchChunks must be positive")
+	}
+	if c.InitialRate < 0 {
+		panic("storage: negative InitialRate")
+	}
+}
+
+type neighborTTL struct {
+	seconds  uint32
+	lastSeen sim.Time
+}
+
+// Balancer is one node's storage-balancing module.
+type Balancer struct {
+	cfg    Config
+	id     int
+	stack  *netstack.Stack
+	bulk   *netstack.Bulk
+	sched  *sim.Scheduler
+	store  *flash.Store
+	energy EnergyView
+	probe  Probe
+
+	rate         float64 // EWMA bytes/s
+	bytesAcq     int     // bytes acquired since last update
+	lastUpdateAt sim.Time
+	neighbors    map[int]neighborTTL
+	transferring bool
+	started      bool
+
+	updateTicker *sim.Ticker
+	checkTicker  *sim.Ticker
+
+	// Counters for metrics.
+	MigratedOutChunks, MigratedInChunks uint64
+	FailedChunks                        uint64
+}
+
+// NewBalancer wires a balancer onto the node's stack and bulk transfer.
+// It installs itself as the bulk service's acceptor.
+func NewBalancer(id int, stack *netstack.Stack, bulk *netstack.Bulk, sched *sim.Scheduler, store *flash.Store, energy EnergyView, cfg Config, probe Probe) *Balancer {
+	cfg.validate()
+	b := &Balancer{
+		cfg:       cfg,
+		id:        id,
+		stack:     stack,
+		bulk:      bulk,
+		sched:     sched,
+		store:     store,
+		energy:    energy,
+		probe:     probe,
+		rate:      cfg.InitialRate,
+		neighbors: make(map[int]neighborTTL),
+	}
+	stack.Register(KindTTL, b.handleTTL)
+	bulk.SetAccept(b.Accept)
+	return b
+}
+
+// Start begins periodic rate updates and migration checks.
+func (b *Balancer) Start() {
+	if b.started {
+		panic(fmt.Sprintf("storage: balancer %d already started", b.id))
+	}
+	b.started = true
+	b.lastUpdateAt = b.sched.Now()
+	b.updateTicker = sim.NewTicker(b.sched, b.cfg.UpdatePeriod, fmt.Sprintf("storage.update.%d", b.id), b.update)
+	b.checkTicker = sim.NewTicker(b.sched, b.cfg.CheckPeriod, fmt.Sprintf("storage.check.%d", b.id), b.check)
+}
+
+// Stop halts the balancer.
+func (b *Balancer) Stop() {
+	if b.updateTicker != nil {
+		b.updateTicker.Stop()
+	}
+	if b.checkTicker != nil {
+		b.checkTicker.Stop()
+	}
+	b.started = false
+}
+
+// OnAcquired records locally-produced data (the node layer calls it after
+// each recording task): it feeds the EWMA acquisition rate.
+func (b *Balancer) OnAcquired(bytes int) { b.bytesAcq += bytes }
+
+// Rate returns the current EWMA acquisition rate in bytes/s.
+func (b *Balancer) Rate() float64 { return b.rate }
+
+// TTLStorage returns C(t)/R(t) at now. The rate is floored at one byte
+// per second: a node that records nothing still has a finite TTL that
+// shrinks as migrated data fills it, which is what lets hot-spot data
+// cascade outward through quiet regions (a full quiet node advertises a
+// small TTL and pushes onward) without feeding received bytes back into
+// the rate estimate — that feedback loop makes chunks circulate forever.
+func (b *Balancer) TTLStorage(now sim.Time) time.Duration {
+	free := float64(b.store.BytesFree())
+	rate := b.rate
+	if rate < 1 {
+		rate = 1
+	}
+	secs := free / rate
+	if secs > MaxTTLSeconds {
+		secs = MaxTTLSeconds
+	}
+	return time.Duration(secs * float64(time.Second))
+}
+
+// TTLSeconds implements group.TTLSource: the bottleneck TTL in seconds,
+// for SENSING-borne recorder selection.
+func (b *Balancer) TTLSeconds(now sim.Time) uint32 {
+	t := b.TTLStorage(now)
+	if b.energy != nil {
+		if te := b.energy.TTLEnergy(now, b.rate); te < t {
+			t = te
+		}
+	}
+	secs := t / time.Second
+	if secs > MaxTTLSeconds {
+		secs = MaxTTLSeconds
+	}
+	return uint32(secs)
+}
+
+// Beta returns βi for the current TTL: linear from 1 (TTL 0) to BetaMax
+// (TTL >= BetaRefTTL).
+func (b *Balancer) Beta(now sim.Time) float64 {
+	ttl := b.TTLStorage(now)
+	f := float64(ttl) / float64(b.cfg.BetaRefTTL)
+	if f > 1 {
+		f = 1
+	}
+	return 1 + (b.cfg.BetaMax-1)*f
+}
+
+// update refreshes the EWMA rate and advertises the TTL (delay-tolerant:
+// it piggybacks on whatever control traffic flows next).
+func (b *Balancer) update() {
+	now := b.sched.Now()
+	interval := now.Sub(b.lastUpdateAt).Seconds()
+	if interval > 0 {
+		r := float64(b.bytesAcq) / interval
+		b.rate = b.rate*(1-b.cfg.Alpha) + r*b.cfg.Alpha
+	}
+	b.bytesAcq = 0
+	b.lastUpdateAt = now
+	if !b.stack.Endpoint().RadioOn() {
+		return // recording; skip this round's advertisement
+	}
+	b.stack.SendDelayTolerant(TTLUpdate{Seconds: b.ttlAdvert(now)})
+}
+
+func (b *Balancer) ttlAdvert(now sim.Time) uint32 {
+	secs := b.TTLStorage(now) / time.Second
+	if secs > MaxTTLSeconds {
+		secs = MaxTTLSeconds
+	}
+	return uint32(secs)
+}
+
+func (b *Balancer) handleTTL(from, to int, p radio.Payload) {
+	u, ok := p.(TTLUpdate)
+	if !ok {
+		return
+	}
+	b.neighbors[from] = neighborTTL{seconds: u.Seconds, lastSeen: b.sched.Now()}
+}
+
+// check evaluates the migration condition (§II-B, condition (1)).
+func (b *Balancer) check() {
+	now := b.sched.Now()
+	if b.transferring || b.store.Len() == 0 || !b.stack.Endpoint().RadioOn() {
+		return
+	}
+	// Energy gate: balance only while storage is the bottleneck.
+	ttlS := b.TTLStorage(now)
+	if b.energy != nil && b.energy.TTLEnergy(now, b.rate) <= ttlS {
+		return
+	}
+	// Richest live neighbor.
+	target, targetTTL := -1, uint32(0)
+	for id, n := range b.neighbors {
+		if now.Sub(n.lastSeen) > b.cfg.NeighborTimeout {
+			continue
+		}
+		if n.seconds > targetTTL || (n.seconds == targetTTL && (target < 0 || id < target)) {
+			target, targetTTL = id, n.seconds
+		}
+	}
+	if target < 0 {
+		return
+	}
+	myTTL := float64(ttlS) / float64(time.Second)
+	if myTTL <= 0 {
+		myTTL = 0.001
+	}
+	if float64(targetTTL)/myTTL <= b.Beta(now) {
+		return
+	}
+	// Move a batch from the queue head (wear levelling, §III-B.3).
+	n := b.cfg.BatchChunks
+	if n > b.store.Len() {
+		n = b.store.Len()
+	}
+	chunks := make([]*flash.Chunk, 0, n)
+	for i := 0; i < n; i++ {
+		c, err := b.store.DequeueHead()
+		if err != nil {
+			break
+		}
+		chunks = append(chunks, c)
+	}
+	if len(chunks) == 0 {
+		return
+	}
+	b.transferring = true
+	to := target
+	b.bulk.SendChunks(to, chunks, func(acked int, failed []*flash.Chunk) {
+		b.transferring = false
+		b.MigratedOutChunks += uint64(acked)
+		b.FailedChunks += uint64(len(failed))
+		if len(failed) > 0 {
+			// The neighbor refused or went silent: its advertised TTL is
+			// stale. Zero the cached value so we stop pushing there until
+			// it advertises again — without this, mutually-full nodes
+			// thrash chunks back and forth on stale optimism.
+			if n, ok := b.neighbors[to]; ok {
+				n.seconds = 0
+				b.neighbors[to] = n
+			}
+		}
+		// Unacknowledged chunks return home (they may nevertheless have
+		// been stored remotely if only the ACK was lost — the incidental
+		// duplication the paper observes at low βmax).
+		for _, c := range failed {
+			if b.store.Enqueue(c) != nil {
+				// Flash refilled meanwhile: the chunk is lost.
+				if b.probe.OnOverflow != nil {
+					b.probe.OnOverflow(b.id, b.sched.Now())
+				}
+			}
+		}
+		if acked > 0 && b.probe.OnMigrateOut != nil {
+			b.probe.OnMigrateOut(b.id, to, acked, b.sched.Now())
+		}
+	})
+}
+
+// Accept is the bulk-transfer acceptor for balancing-class chunks.
+// Received bytes deliberately do NOT feed the acquisition-rate estimate
+// (the paper defines R(t) as *recorded* data): the receiving node's TTL
+// still drops because its free space C(t) shrinks, which is what lets
+// hot-spot data travel multiple hops (Fig 18).
+func (b *Balancer) Accept(from int, c *flash.Chunk) bool {
+	if b.transferring {
+		// Our own outgoing session is in flight: its chunks may come back
+		// if the transfer fails, and the space we freed for them must not
+		// be given away to a crossing transfer — that is exactly how data
+		// gets lost when two full nodes push at each other.
+		return false
+	}
+	if err := b.store.Enqueue(c); err != nil {
+		return false
+	}
+	b.MigratedInChunks++
+	if b.probe.OnMigrateIn != nil {
+		b.probe.OnMigrateIn(from, b.id, c, b.sched.Now())
+	}
+	return true
+}

@@ -1,0 +1,307 @@
+package storage
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"enviromic/internal/flash"
+	"enviromic/internal/geometry"
+	"enviromic/internal/netstack"
+	"enviromic/internal/radio"
+	"enviromic/internal/sim"
+)
+
+// fixedEnergy reports a constant energy TTL.
+type fixedEnergy struct{ ttl time.Duration }
+
+func (f fixedEnergy) TTLEnergy(sim.Time, float64) time.Duration { return f.ttl }
+
+type balNode struct {
+	stack *netstack.Stack
+	bulk  *netstack.Bulk
+	store *flash.Store
+	bal   *Balancer
+}
+
+func balRig(t *testing.T, n int, blocks int, cfg Config, energy EnergyView) (*sim.Scheduler, []*balNode) {
+	t.Helper()
+	s := sim.NewScheduler(17)
+	rcfg := radio.DefaultConfig(2.5)
+	rcfg.LossProb = 0
+	net := radio.NewNetwork(s, rcfg)
+	nodes := make([]*balNode, n)
+	for i := 0; i < n; i++ {
+		st := netstack.NewStack(net.Join(i, geometry.Point{X: float64(i)}), s)
+		bu := netstack.NewBulk(st, s)
+		store := flash.NewStore(blocks)
+		bal := NewBalancer(i, st, bu, s, store, energy, cfg, Probe{})
+		bal.Start()
+		nodes[i] = &balNode{stack: st, bulk: bu, store: store, bal: bal}
+	}
+	return s, nodes
+}
+
+func fill(store *flash.Store, n int, origin int32) {
+	for i := 0; i < n; i++ {
+		_ = store.Enqueue(&flash.Chunk{
+			File: 1, Origin: origin, Seq: uint32(i),
+			Start: sim.At(time.Duration(i) * time.Second),
+			End:   sim.At(time.Duration(i+1) * time.Second),
+			Data:  []byte{1},
+		})
+	}
+}
+
+func TestEWMARateTracksAcquisition(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.UpdatePeriod = time.Second
+	cfg.Alpha = 0.5
+	s, nodes := balRig(t, 1, 64, cfg, nil)
+	// Feed a steady 1000 B/s.
+	sim.NewTicker(s, time.Second, "feed", func() { nodes[0].bal.OnAcquired(1000) })
+	s.Run(sim.At(20 * time.Second))
+	if r := nodes[0].bal.Rate(); math.Abs(r-1000) > 50 {
+		t.Errorf("EWMA rate = %v, want ~1000", r)
+	}
+}
+
+func TestTTLStorageComputation(t *testing.T) {
+	cfg := DefaultConfig(2)
+	s, nodes := balRig(t, 1, 100, cfg, nil)
+	b := nodes[0].bal
+	// Zero rate floors at 1 B/s: TTL equals free bytes in seconds.
+	if got := b.TTLStorage(s.Now()); got != time.Duration(100*flash.BlockSize)*time.Second {
+		t.Errorf("zero-rate TTL = %v, want %v", got, 100*flash.BlockSize)
+	}
+	b.rate = float64(flash.BlockSize) // one block per second
+	fill(nodes[0].store, 40, 0)       // 60 free blocks
+	want := 60 * time.Second
+	if got := b.TTLStorage(s.Now()); got != want {
+		t.Errorf("TTL = %v, want %v", got, want)
+	}
+}
+
+func TestBetaScalesLinearlyWithTTL(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.BetaRefTTL = 100 * time.Second
+	s, nodes := balRig(t, 1, 100, cfg, nil)
+	b := nodes[0].bal
+	b.rate = float64(flash.BlockSize)
+	// 100 free blocks → TTL 100 s ≥ ref → βmax.
+	if got := b.Beta(s.Now()); got != 4 {
+		t.Errorf("beta at full TTL = %v, want 4", got)
+	}
+	fill(nodes[0].store, 50, 0) // TTL 50 s → halfway
+	if got := b.Beta(s.Now()); math.Abs(got-2.5) > 1e-9 {
+		t.Errorf("beta at half TTL = %v, want 2.5", got)
+	}
+	fill(nodes[0].store, 50, 0) // TTL 0 → β = 1
+	if got := b.Beta(s.Now()); got != 1 {
+		t.Errorf("beta at zero TTL = %v, want 1", got)
+	}
+}
+
+func TestMigrationFromLoadedToEmptyNeighbor(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.UpdatePeriod = time.Second
+	cfg.CheckPeriod = time.Second
+	s, nodes := balRig(t, 2, 128, cfg, nil)
+	// Node 0 is nearly full and acquiring; node 1 idle and empty.
+	fill(nodes[0].store, 120, 0)
+	nodes[0].bal.OnAcquired(120 * flash.BlockSize)
+	s.Run(sim.At(60 * time.Second))
+	if nodes[1].store.Len() == 0 {
+		t.Fatal("no chunks migrated to the empty neighbor")
+	}
+	if nodes[0].store.Len() >= 120 {
+		t.Error("loaded node did not shed data")
+	}
+	if nodes[0].bal.MigratedOutChunks == 0 || nodes[1].bal.MigratedInChunks == 0 {
+		t.Error("migration counters not updated")
+	}
+}
+
+func TestNoMigrationWhenBalanced(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.UpdatePeriod = time.Second
+	cfg.CheckPeriod = time.Second
+	s, nodes := balRig(t, 2, 128, cfg, nil)
+	// Both nodes equally loaded with the same rate.
+	for _, n := range nodes {
+		fill(n.store, 60, 0)
+		n.bal.OnAcquired(60 * flash.BlockSize)
+	}
+	s.Run(sim.At(60 * time.Second))
+	if nodes[0].bal.MigratedOutChunks != 0 || nodes[1].bal.MigratedOutChunks != 0 {
+		t.Errorf("balanced nodes migrated anyway: %d / %d",
+			nodes[0].bal.MigratedOutChunks, nodes[1].bal.MigratedOutChunks)
+	}
+}
+
+func TestEnergyBottleneckBlocksMigration(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.UpdatePeriod = time.Second
+	cfg.CheckPeriod = time.Second
+	// Energy TTL of 1 s stays below the storage TTL (~ tens of seconds
+	// at this load): never migrate.
+	s, nodes := balRig(t, 2, 128, cfg, fixedEnergy{ttl: time.Second})
+	fill(nodes[0].store, 40, 0)
+	sim.NewTicker(s, time.Second, "feed", func() { nodes[0].bal.OnAcquired(flash.BlockSize) })
+	s.Run(sim.At(60 * time.Second))
+	if nodes[0].bal.MigratedOutChunks != 0 {
+		t.Error("migration happened despite energy being the bottleneck")
+	}
+}
+
+func TestLowerBetaMaxMigratesMore(t *testing.T) {
+	// Deterministic threshold check: the neighbor's TTL exceeds ours by
+	// 2.5×, sitting between βmax=2 (migrates) and βmax=4 (does not). The
+	// tickers are stopped so the injected rate is not decayed away.
+	run := func(betaMax float64) uint64 {
+		cfg := DefaultConfig(betaMax)
+		cfg.BetaRefTTL = 50 * time.Second // our TTL (100 s) ≥ ref → β = βmax
+		s, nodes := balRig(t, 2, 256, cfg, nil)
+		nodes[0].bal.Stop()
+		nodes[1].bal.Stop()
+		fill(nodes[0].store, 156, 0)                 // 100 free blocks
+		nodes[0].bal.rate = float64(flash.BlockSize) // TTL = 100 s
+		nodes[0].bal.neighbors[1] = neighborTTL{seconds: 250, lastSeen: s.Now()}
+		nodes[0].bal.check()
+		s.RunAll()
+		return nodes[0].bal.MigratedOutChunks
+	}
+	low, high := run(2), run(4)
+	if high != 0 {
+		t.Errorf("βmax=4 migrated %d chunks at ratio 2.5, want 0", high)
+	}
+	if low == 0 {
+		t.Error("βmax=2 did not migrate at ratio 2.5")
+	}
+}
+
+func TestCascadingMigration(t *testing.T) {
+	// A chain 0-1-2 with comm range 2.5 and pitch 1: all within range...
+	// use a longer chain where 0 and 3 are out of range, so hot data from
+	// 0 must cascade through 1/2.
+	cfg := DefaultConfig(2)
+	cfg.UpdatePeriod = time.Second
+	cfg.CheckPeriod = time.Second
+	cfg.BatchChunks = 16
+	s := sim.NewScheduler(23)
+	rcfg := radio.DefaultConfig(1.5) // only adjacent nodes connected
+	rcfg.LossProb = 0
+	net := radio.NewNetwork(s, rcfg)
+	var nodes []*balNode
+	for i := 0; i < 4; i++ {
+		st := netstack.NewStack(net.Join(i, geometry.Point{X: float64(i)}), s)
+		bu := netstack.NewBulk(st, s)
+		store := flash.NewStore(128)
+		bal := NewBalancer(i, st, bu, s, store, nil, cfg, Probe{})
+		bal.Start()
+		nodes = append(nodes, &balNode{stack: st, bulk: bu, store: store, bal: bal})
+	}
+	fill(nodes[0].store, 120, 0)
+	nodes[0].bal.OnAcquired(120 * flash.BlockSize)
+	s.Run(sim.At(10 * time.Minute))
+	// Chunks originated at node 0 must have reached node 2 or 3 (beyond
+	// node 0's radio range) via cascading.
+	far := 0
+	for _, n := range nodes[2:] {
+		for _, c := range n.store.Chunks() {
+			if c.Origin == 0 {
+				far++
+			}
+		}
+	}
+	if far == 0 {
+		t.Error("no chunks cascaded beyond the hot node's neighborhood")
+	}
+}
+
+func TestRecordingNodeSkipsBalancing(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.UpdatePeriod = time.Second
+	cfg.CheckPeriod = time.Second
+	s, nodes := balRig(t, 2, 128, cfg, nil)
+	fill(nodes[0].store, 120, 0)
+	nodes[0].bal.OnAcquired(120 * flash.BlockSize)
+	nodes[0].stack.Endpoint().SetRadio(false) // recording
+	s.Run(sim.At(30 * time.Second))
+	if nodes[0].bal.MigratedOutChunks != 0 {
+		t.Error("node migrated data while its radio was off")
+	}
+	nodes[0].stack.Endpoint().SetRadio(true)
+	nodes[0].stack.RadioRestored()
+	s.Run(sim.At(90 * time.Second))
+	if nodes[0].bal.MigratedOutChunks == 0 {
+		t.Error("migration did not resume after recording")
+	}
+}
+
+func TestTTLSecondsUsesBottleneck(t *testing.T) {
+	cfg := DefaultConfig(2)
+	s, nodes := balRig(t, 1, 100, cfg, fixedEnergy{ttl: 42 * time.Second})
+	b := nodes[0].bal
+	b.rate = float64(flash.BlockSize) // storage TTL = 100 s > energy 42 s
+	if got := b.TTLSeconds(s.Now()); got != 42 {
+		t.Errorf("TTLSeconds = %d, want 42 (energy bottleneck)", got)
+	}
+}
+
+func TestFailedTransferReturnsChunksHome(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.UpdatePeriod = time.Second
+	cfg.CheckPeriod = time.Second
+	s, nodes := balRig(t, 2, 128, cfg, nil)
+	fill(nodes[0].store, 100, 0)
+	nodes[0].bal.OnAcquired(100 * flash.BlockSize)
+	// Pretend node 1 advertised a huge TTL, then goes deaf before any
+	// transfer: all chunks must come home.
+	nodes[0].bal.neighbors[1] = neighborTTL{seconds: MaxTTLSeconds, lastSeen: s.Now()}
+	nodes[1].stack.Endpoint().SetRadio(false)
+	s.Run(sim.At(20 * time.Second))
+	// Stop the tickers and drain the in-flight session before asserting.
+	nodes[0].bal.Stop()
+	nodes[1].bal.Stop()
+	s.RunAll()
+	if nodes[0].store.Len() != 100 {
+		t.Errorf("store has %d chunks after failed transfers, want 100", nodes[0].store.Len())
+	}
+	if nodes[0].bal.FailedChunks == 0 {
+		t.Error("failed transfer not counted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	muts := []func(*Config){
+		func(c *Config) { c.Alpha = 0 },
+		func(c *Config) { c.Alpha = 1.5 },
+		func(c *Config) { c.BetaMax = 0.5 },
+		func(c *Config) { c.BetaRefTTL = 0 },
+		func(c *Config) { c.UpdatePeriod = 0 },
+		func(c *Config) { c.CheckPeriod = 0 },
+		func(c *Config) { c.NeighborTimeout = 0 },
+		func(c *Config) { c.BatchChunks = 0 },
+		func(c *Config) { c.InitialRate = -1 },
+	}
+	for i, m := range muts {
+		cfg := DefaultConfig(2)
+		m(&cfg)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("mutation %d accepted", i)
+				}
+			}()
+			cfg.validate()
+		}()
+	}
+}
+
+func TestTTLUpdatePayloadContract(t *testing.T) {
+	var u TTLUpdate
+	if u.Kind() != KindTTL || u.Size() != 4 {
+		t.Errorf("TTLUpdate contract: kind %q size %d", u.Kind(), u.Size())
+	}
+}

@@ -1,0 +1,608 @@
+// Package task implements EnviroMic's recording task management
+// (§II-A.2, §III-B.2). A group leader periodically selects the most
+// suitable member and assigns it a fixed-length recording task with a
+// TASK_REQUEST; the member answers TASK_CONFIRM and records with its radio
+// off, or TASK_REJECT if it overheard another member's confirmation (the
+// overhearing optimization of Fig 1). To make consecutive tasks seamless,
+// the leader initiates each assignment Dta — the expected task assignment
+// delay — before the previous task ends (Fig 4).
+//
+// One Service instance runs per node and plays both roles: the leader-side
+// assigner when group management promotes the node, and the recorder side
+// always.
+package task
+
+import (
+	"fmt"
+	"time"
+
+	"enviromic/internal/flash"
+	"enviromic/internal/netstack"
+	"enviromic/internal/radio"
+	"enviromic/internal/sim"
+)
+
+// Payload kinds (control-overhead accounting keys).
+const (
+	KindRequest = "task.request"
+	KindConfirm = "task.confirm"
+	KindReject  = "task.reject"
+)
+
+// Request is the leader's TASK_REQUEST.
+type Request struct {
+	File flash.FileID
+	Dur  time.Duration
+	// LeaderTime is the leader's global-time estimate at transmission;
+	// recorders use it as an extra time-sync reference (§III-A).
+	LeaderTime sim.Time
+	// Copies is the controlled-redundancy factor (§VI): how many members
+	// should record this task in parallel. Members use it to decide when
+	// overheard confirmations justify a REJECT.
+	Copies uint8
+}
+
+// Kind implements radio.Payload.
+func (Request) Kind() string { return KindRequest }
+
+// Size implements radio.Payload.
+func (Request) Size() int { return 17 }
+
+// Confirm is the recorder's TASK_CONFIRM.
+type Confirm struct {
+	File flash.FileID
+	Dur  time.Duration
+}
+
+// Kind implements radio.Payload.
+func (Confirm) Kind() string { return KindConfirm }
+
+// Size implements radio.Payload.
+func (Confirm) Size() int { return 8 }
+
+// Reject is TASK_REJECT: "someone else already confirmed this round".
+type Reject struct {
+	File flash.FileID
+}
+
+// Kind implements radio.Payload.
+func (Reject) Kind() string { return KindReject }
+
+// Size implements radio.Payload.
+func (Reject) Size() int { return 4 }
+
+// Device abstracts the mote functions the recorder needs.
+type Device interface {
+	// CaptureSamples returns the ADC stream over [start, end) of true
+	// simulation time.
+	CaptureSamples(start, end sim.Time) []byte
+	// StoreChunks persists chunks to local flash, returning how many fit.
+	StoreChunks(chunks []*flash.Chunk) int
+}
+
+// TimeSource abstracts the time-sync module.
+type TimeSource interface {
+	GlobalTime() sim.Time
+	LocalNow() sim.Time
+	AddReference(local, global sim.Time)
+}
+
+// MemberView is how the assigner sees group membership; the group manager
+// implements it. BestRecorder returns the most suitable member for the
+// next recording task — the paper suggests the member with the highest
+// time-to-live or the best signal reception — excluding the given IDs
+// (already tried this round).
+type MemberView interface {
+	BestRecorder(exclude map[int]bool) (id int, ok bool)
+	MemberCount() int
+}
+
+// Probe carries optional observer callbacks for the metrics layer. All
+// fields may be nil. Times are true simulation times.
+type Probe struct {
+	OnAssign      func(leader, recorder int, file flash.FileID, at sim.Time)
+	OnReject      func(leader, rejecter int, file flash.FileID, at sim.Time)
+	OnRecordStart func(node int, file flash.FileID, at sim.Time)
+	OnRecordEnd   func(node int, file flash.FileID, start, end sim.Time, storedChunks, totalChunks int)
+}
+
+// Config holds task-management parameters.
+type Config struct {
+	// Trc is the recording task period (§IV-A settles on 1.0 s).
+	Trc time.Duration
+	// Dta is the expected task assignment delay: how far before the end
+	// of the current task the leader starts assigning the next one
+	// (§IV-A settles on 70 ms).
+	Dta time.Duration
+	// ConfirmTimeout is how long the leader waits for TASK_CONFIRM before
+	// selecting another member.
+	ConfirmTimeout time.Duration
+	// RejectWindow is how recently a member must have overheard a
+	// TASK_CONFIRM to answer a REQUEST with TASK_REJECT (Fig 1). It must
+	// cover one assignment round (a few confirm timeouts) but stay well
+	// under Trc − Dta, or members would wrongly reject the *next* round's
+	// legitimate request.
+	RejectWindow time.Duration
+	// AllowSelfRecord lets a leader with no other members record the task
+	// itself (required for sparse deployments where a single mote hears
+	// the event).
+	AllowSelfRecord bool
+	// MinLeadAge delays the first self-recording after election so that
+	// freshly-announced leaders hear at least the first SENSING round
+	// before concluding they are alone.
+	MinLeadAge time.Duration
+	// SelfRecordListen is the radio-on listening gap between consecutive
+	// self-recorded tasks; without it a lone leader's radio would be off
+	// essentially always and it could never discover newly-arrived
+	// members (or a colliding leader).
+	SelfRecordListen time.Duration
+	// DisableOverhearing turns off the TASK_REJECT overhearing
+	// optimization of Fig 1 (ablation knob): members then always answer
+	// requests with CONFIRM, so a lost CONFIRM reliably produces a
+	// duplicate recorder.
+	DisableOverhearing bool
+	// Copies is the controlled-redundancy factor the paper leaves as
+	// future work (§VI): each task is recorded by this many members in
+	// parallel, so a lost or defunct mote does not lose the event.
+	// Defaults to 1 (no redundancy).
+	Copies int
+}
+
+// DefaultConfig uses the values the paper's evaluation settles on.
+func DefaultConfig() Config {
+	return Config{
+		Trc:              time.Second,
+		Dta:              70 * time.Millisecond,
+		ConfirmTimeout:   60 * time.Millisecond,
+		RejectWindow:     100 * time.Millisecond,
+		AllowSelfRecord:  true,
+		MinLeadAge:       150 * time.Millisecond,
+		SelfRecordListen: 200 * time.Millisecond,
+	}
+}
+
+func (c Config) validate() {
+	if c.Trc <= 0 {
+		panic("task: Trc must be positive")
+	}
+	if c.Dta < 0 || c.Dta >= c.Trc {
+		panic(fmt.Sprintf("task: Dta %v outside [0, Trc)", c.Dta))
+	}
+	if c.ConfirmTimeout <= 0 || c.ConfirmTimeout > c.Dta {
+		panic(fmt.Sprintf("task: ConfirmTimeout %v outside (0, Dta]", c.ConfirmTimeout))
+	}
+	if c.RejectWindow <= 0 || c.RejectWindow >= c.Trc-c.Dta {
+		panic(fmt.Sprintf("task: RejectWindow %v outside (0, Trc-Dta)", c.RejectWindow))
+	}
+	if c.MinLeadAge < 0 || c.SelfRecordListen < 0 {
+		panic("task: negative self-record timing")
+	}
+	if c.Copies < 0 {
+		panic("task: negative Copies")
+	}
+}
+
+type confirmSeen struct {
+	file flash.FileID
+	at   sim.Time
+}
+
+// Service is one node's task-management module.
+type Service struct {
+	cfg   Config
+	id    int
+	stack *netstack.Stack
+	sched *sim.Scheduler
+	dev   Device
+	ts    TimeSource
+	view  MemberView
+	probe Probe
+
+	// Leader role.
+	leading        bool
+	leadSince      sim.Time
+	file           flash.FileID
+	assignTimer    *sim.Timer
+	confirmTimer   *sim.Timer
+	pending        int // member awaiting confirm, -1 when none
+	tried          map[int]bool
+	roundConfirmed int // confirms collected this round (controlled redundancy)
+	nextAssignAt   sim.Time
+
+	// Recorder role.
+	recording      bool
+	recEndTimer    *sim.Timer
+	recFile        flash.FileID
+	recStart       sim.Time
+	recStartG      sim.Time // global-estimate start stamp
+	lastConfirm    flash.FileID
+	lastConfirmAt  sim.Time
+	haveConfirm    bool
+	recentConfirms []confirmSeen
+	seqByFile      map[flash.FileID]uint32
+	onDone         func()
+	busy           func() bool
+	hearing        func() bool
+	onPeerLeader   func(from int) bool
+	// curRecorder / curTaskEnd track the member believed to be recording
+	// right now, so the next round neither reassigns it (its radio is
+	// off) nor lets the leader self-record on top of it.
+	curRecorder int
+	curTaskEnd  sim.Time
+}
+
+// NewService wires a task service onto the node's stack. view may be set
+// later via SetView (the group manager is constructed afterwards).
+func NewService(id int, stack *netstack.Stack, sched *sim.Scheduler, dev Device, ts TimeSource, cfg Config, probe Probe) *Service {
+	cfg.validate()
+	s := &Service{
+		cfg:         cfg,
+		id:          id,
+		stack:       stack,
+		sched:       sched,
+		dev:         dev,
+		ts:          ts,
+		probe:       probe,
+		pending:     -1,
+		curRecorder: -1,
+		seqByFile:   make(map[flash.FileID]uint32),
+	}
+	stack.Register(KindRequest, s.handleRequest)
+	stack.Register(KindConfirm, s.handleConfirm)
+	stack.Register(KindReject, s.handleReject)
+	return s
+}
+
+// SetView installs the membership view (called by the group manager).
+func (s *Service) SetView(v MemberView) { s.view = v }
+
+// SetOnRecordingDone installs a callback invoked after each recording task
+// completes (the group manager resumes sensing there).
+func (s *Service) SetOnRecordingDone(fn func()) { s.onDone = fn }
+
+// SetBusyCheck installs a predicate that blocks new recording tasks while
+// the node is otherwise engaged on the radio (e.g. a storage-balancing
+// bulk transfer in flight): powering the radio down mid-session would
+// abort the transfer and risk losing the in-flight chunks. An ignored
+// REQUEST simply times out at the leader, which picks another member.
+func (s *Service) SetBusyCheck(fn func() bool) { s.busy = fn }
+
+// SetHearingCheck installs a predicate for "can this node hear the event
+// right now". A member that can no longer hear the (moving) source
+// silently declines TASK_REQUESTs — recording silence helps nobody — and
+// the leader reassigns after its confirm timeout.
+func (s *Service) SetHearingCheck(fn func() bool) { s.hearing = fn }
+
+// SetOnPeerLeader installs the leadership-collision resolver: it fires
+// when a node that believes itself leader of a file receives a
+// TASK_REQUEST for that same file from another node (a concurrent leader
+// elected while our radio was off). The callback resolves the collision
+// (group management defers to the lower ID) and reports whether this node
+// should proceed to handle the request as an ordinary member.
+func (s *Service) SetOnPeerLeader(fn func(from int) bool) { s.onPeerLeader = fn }
+
+// Recording reports whether a recording task is in progress on this node.
+func (s *Service) Recording() bool { return s.recording }
+
+// Leading reports whether this node is currently assigning tasks.
+func (s *Service) Leading() bool { return s.leading }
+
+// File returns the file ID being led (zero when not leading).
+func (s *Service) File() flash.FileID {
+	if !s.leading {
+		return 0
+	}
+	return s.file
+}
+
+// StartLeading begins the assignment loop for file, with the first
+// assignment round at firstAssignAt (a handoff passes the resigning
+// leader's scheduled time; a fresh election passes the current time).
+func (s *Service) StartLeading(file flash.FileID, firstAssignAt sim.Time) {
+	if s.view == nil {
+		panic("task: StartLeading before SetView")
+	}
+	if s.leading {
+		panic(fmt.Sprintf("task: node %d already leading file %d", s.id, s.file))
+	}
+	s.leading = true
+	s.file = file
+	s.leadSince = s.sched.Now()
+	s.tried = make(map[int]bool)
+	if now := s.sched.Now(); firstAssignAt < now {
+		firstAssignAt = now
+	}
+	s.scheduleAssign(firstAssignAt)
+}
+
+// StopLeading halts the assignment loop and returns the scheduled next
+// assignment time, which the group manager embeds in its RESIGN message
+// so the successor continues seamlessly (Fig 5).
+func (s *Service) StopLeading() (next sim.Time) {
+	if !s.leading {
+		return s.sched.Now()
+	}
+	s.leading = false
+	if s.assignTimer != nil {
+		s.assignTimer.Cancel()
+	}
+	if s.confirmTimer != nil {
+		s.confirmTimer.Cancel()
+	}
+	s.pending = -1
+	next = s.nextAssignAt
+	if now := s.sched.Now(); next < now {
+		next = now
+	}
+	return next
+}
+
+func (s *Service) scheduleAssign(at sim.Time) {
+	s.nextAssignAt = at
+	if now := s.sched.Now(); at < now {
+		at = now
+	}
+	s.assignTimer = s.sched.At(at, fmt.Sprintf("task.assign.%d", s.id), func() {
+		s.tried = make(map[int]bool)
+		s.roundConfirmed = 0
+		s.assignRound()
+	})
+}
+
+// assignRound selects a member and sends TASK_REQUEST, or falls back to
+// recording locally when the leader is alone.
+func (s *Service) assignRound() {
+	if !s.leading {
+		return
+	}
+	if s.recording {
+		// Leader is mid self-recording; the round re-arms at its end.
+		return
+	}
+	now := s.sched.Now()
+	exclude := s.tried
+	if s.curRecorder >= 0 && now < s.curTaskEnd && !exclude[s.curRecorder] {
+		// The current task's recorder has its radio off until curTaskEnd;
+		// asking it is pointless.
+		exclude = make(map[int]bool, len(s.tried)+1)
+		for id := range s.tried {
+			exclude[id] = true
+		}
+		exclude[s.curRecorder] = true
+	}
+	member, ok := s.view.BestRecorder(exclude)
+	if !ok {
+		if s.cfg.AllowSelfRecord && now >= s.curTaskEnd {
+			// No usable member and no recording in flight: the leader
+			// covers the task itself (it hears the event, or it would
+			// have resigned).
+			if s.busy != nil && s.busy() {
+				// Mid bulk-transfer: recording now would abort it.
+				s.scheduleAssign(now.Add(s.cfg.Dta))
+				return
+			}
+			if age := now.Sub(s.leadSince); age < s.cfg.MinLeadAge {
+				// Too early to conclude we are alone: the first SENSING
+				// round may still be in flight. Retry shortly.
+				s.scheduleAssign(now.Add(s.cfg.MinLeadAge - age))
+				return
+			}
+			if s.hearing != nil && !s.hearing() {
+				// The source has drifted out of our own range too; wait
+				// for the group layer to resign rather than record noise.
+				s.scheduleAssign(now.Add(s.cfg.Dta))
+				return
+			}
+			if s.probe.OnAssign != nil {
+				s.probe.OnAssign(s.id, s.id, s.file, now)
+			}
+			s.startRecording(s.file, s.cfg.Trc)
+			return
+		}
+		// A recording is still in flight (or self-recording is off):
+		// retry a short interval later rather than skipping a whole task
+		// period.
+		s.scheduleAssign(now.Add(s.cfg.Dta))
+		return
+	}
+	s.tried[member] = true
+	s.pending = member
+	s.stack.SendUrgent(member, Request{
+		File: s.file, Dur: s.cfg.Trc, LeaderTime: s.ts.GlobalTime(),
+		Copies: uint8(s.copies()),
+	})
+	s.confirmTimer = s.sched.After(s.cfg.ConfirmTimeout, fmt.Sprintf("task.confirmwait.%d", s.id), func() {
+		// Either the REQUEST or the CONFIRM was lost: try someone else
+		// immediately (§II-A.2).
+		s.pending = -1
+		s.assignRound()
+	})
+}
+
+// confirmsWithin counts overheard confirmations for a file within the
+// trailing window.
+func (s *Service) confirmsWithin(file flash.FileID, window time.Duration) int {
+	now := s.sched.Now()
+	n := 0
+	for _, cs := range s.recentConfirms {
+		if cs.file == file && now.Sub(cs.at) < window {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Service) copies() int {
+	if s.cfg.Copies < 1 {
+		return 1
+	}
+	return s.cfg.Copies
+}
+
+// roundDone is invoked when the leader learns the round's task is covered
+// (CONFIRM or REJECT): the next assignment is scheduled Trc − Dta away.
+func (s *Service) roundDone() {
+	if s.confirmTimer != nil {
+		s.confirmTimer.Cancel()
+	}
+	s.pending = -1
+	s.scheduleAssign(s.sched.Now().Add(s.cfg.Trc - s.cfg.Dta))
+}
+
+func (s *Service) handleConfirm(from, to int, p radio.Payload) {
+	c, ok := p.(Confirm)
+	if !ok {
+		return
+	}
+	// Recorder-side overhearing: remember who confirmed what, so a later
+	// duplicate REQUEST can be rejected (Fig 1).
+	s.lastConfirm = c.File
+	s.lastConfirmAt = s.sched.Now()
+	s.haveConfirm = true
+	s.recentConfirms = append(s.recentConfirms, confirmSeen{file: c.File, at: s.sched.Now()})
+	if len(s.recentConfirms) > 16 {
+		s.recentConfirms = s.recentConfirms[len(s.recentConfirms)-16:]
+	}
+
+	// Leader side: our pending member answered.
+	if s.leading && to == s.id && from == s.pending && c.File == s.file {
+		s.curRecorder = from
+		s.curTaskEnd = s.sched.Now().Add(c.Dur)
+		s.roundConfirmed++
+		if s.roundConfirmed < s.copies() {
+			// Controlled redundancy: keep assigning until the requested
+			// number of members record this task in parallel.
+			if s.confirmTimer != nil {
+				s.confirmTimer.Cancel()
+			}
+			s.pending = -1
+			s.assignRound()
+			return
+		}
+		s.roundDone()
+	}
+}
+
+func (s *Service) handleReject(from, to int, p radio.Payload) {
+	r, ok := p.(Reject)
+	if !ok {
+		return
+	}
+	if s.leading && to == s.id && from == s.pending && r.File == s.file {
+		if s.probe.OnReject != nil {
+			s.probe.OnReject(s.id, from, r.File, s.sched.Now())
+		}
+		// A REJECT proves some member is already recording this round:
+		// the assignment is done (overhearing optimization). We do not
+		// know who records, only until roughly when.
+		s.curRecorder = -1
+		s.curTaskEnd = s.sched.Now().Add(s.cfg.Trc - s.cfg.Dta)
+		s.roundDone()
+	}
+}
+
+func (s *Service) handleRequest(from, to int, p radio.Payload) {
+	req, ok := p.(Request)
+	if !ok || to != s.id {
+		return
+	}
+	if s.leading && req.File == s.file && from != s.id && s.onPeerLeader != nil {
+		// A competing leader for the same event is assigning tasks: two
+		// elections happened (e.g. while we recorded with the radio off).
+		if !s.onPeerLeader(from) {
+			return // we keep the role; the peer will hear our re-announcement
+		}
+		// We deferred; fall through and serve the request as a member.
+	}
+	if s.recording {
+		// Should not happen (radio is off while recording) but guard for
+		// the instant between scheduling and power-down.
+		return
+	}
+	if s.busy != nil && s.busy() {
+		// Mid bulk-transfer: stay silent; the leader will reassign.
+		return
+	}
+	if s.hearing != nil && !s.hearing() {
+		// The source moved out of our sensing range since our last
+		// SENSING: decline so a node that still hears it records instead.
+		return
+	}
+	// Extra synchronization from the leader's timestamp (§III-A).
+	s.ts.AddReference(s.ts.LocalNow(), req.LeaderTime)
+
+	// Overhearing optimization (Fig 1): if we heard enough TASK_CONFIRMs
+	// for this file within the current assignment round (one normally,
+	// req.Copies with controlled redundancy), the task is already covered
+	// — reject so the leader stops reassigning. The window must not reach
+	// back into the previous round, or we would reject the next task's
+	// legitimate request.
+	need := int(req.Copies)
+	if need < 1 {
+		need = 1
+	}
+	if !s.cfg.DisableOverhearing &&
+		s.confirmsWithin(req.File, s.cfg.RejectWindow) >= need {
+		s.stack.SendUrgent(from, Reject{File: req.File})
+		return
+	}
+	s.stack.SendUrgent(from, Confirm{File: req.File, Dur: req.Dur})
+	if s.probe.OnAssign != nil {
+		s.probe.OnAssign(from, s.id, req.File, s.sched.Now())
+	}
+	s.startRecording(req.File, req.Dur)
+}
+
+// startRecording switches the radio off and records for dur, then stores
+// the captured chunks and restores the radio (§III-B.1).
+func (s *Service) startRecording(file flash.FileID, dur time.Duration) {
+	if s.recording {
+		panic(fmt.Sprintf("task: node %d double recording", s.id))
+	}
+	s.recording = true
+	s.recFile = file
+	s.recStart = s.sched.Now()
+	s.recStartG = s.ts.GlobalTime()
+	s.stack.Endpoint().SetRadio(false)
+	if s.probe.OnRecordStart != nil {
+		s.probe.OnRecordStart(s.id, file, s.recStart)
+	}
+	if s.leading {
+		s.curRecorder = s.id
+		s.curTaskEnd = s.recStart.Add(dur)
+	}
+	s.recEndTimer = s.sched.After(dur, fmt.Sprintf("task.recend.%d", s.id), s.finishRecording)
+}
+
+func (s *Service) finishRecording() {
+	end := s.sched.Now()
+	samples := s.dev.CaptureSamples(s.recStart, end)
+	endG := s.recStartG.Add(end.Sub(s.recStart))
+	seq := s.seqByFile[s.recFile]
+	chunks := flash.SplitSamples(s.recFile, int32(s.id), seq, s.recStartG, endG, samples)
+	s.seqByFile[s.recFile] = seq + uint32(len(chunks))
+	stored := s.dev.StoreChunks(chunks)
+	s.recording = false
+	s.stack.Endpoint().SetRadio(true)
+	s.stack.RadioRestored()
+	if s.probe.OnRecordEnd != nil {
+		s.probe.OnRecordEnd(s.id, s.recFile, s.recStart, end, stored, len(chunks))
+	}
+	if s.leading {
+		// A self-recording leader resumes assigning — after a listening
+		// gap when still apparently alone, so arriving members' SENSING
+		// (and any colliding leader's announcements) can be heard.
+		next := s.sched.Now()
+		if s.view.MemberCount() == 0 {
+			// Jittered: two colliding leaders that both self-record would
+			// otherwise phase-lock, each deaf whenever the other announces.
+			listen := s.cfg.SelfRecordListen
+			listen += time.Duration(s.sched.Rand().Int63n(int64(listen) + 1))
+			next = next.Add(listen)
+		}
+		s.scheduleAssign(next)
+	}
+	if s.onDone != nil {
+		s.onDone()
+	}
+}

@@ -1,0 +1,279 @@
+// Package timesync implements the paper's time-stamping module: an
+// FTSP-adapted flooding time synchronization protocol (§III-A). Each mote
+// has a drifting hardware clock; a root (the lowest node ID heard) floods
+// periodic beacons carrying the global time estimate; receivers collect
+// (local, global) reference pairs and fit offset and skew by linear
+// regression. Two power optimizations from the paper are included: the
+// beacon rate is reduced when acoustic events are rare, and recorders are
+// further synchronized by the references embedded in the leader's task
+// assignment messages (AddReference).
+package timesync
+
+import (
+	"fmt"
+	"time"
+
+	"enviromic/internal/radio"
+	"enviromic/internal/sim"
+)
+
+// Clock is a mote's hardware oscillator: a linear distortion of global
+// time. Real motes never see global time; in the simulation the
+// distortion is computed from it.
+type Clock struct {
+	// DriftPPM is the frequency error in parts per million.
+	DriftPPM float64
+	// Offset is the power-on phase error.
+	Offset time.Duration
+}
+
+// Local converts true global time to this clock's reading.
+func (c *Clock) Local(global sim.Time) sim.Time {
+	return sim.Time(float64(global)*(1+c.DriftPPM*1e-6)) + sim.Time(c.Offset)
+}
+
+// Beacon is the sync flood payload.
+type Beacon struct {
+	Root int
+	Seq  uint32
+	// Global is the sender's estimate of global time at transmission.
+	Global sim.Time
+}
+
+// Kind implements radio.Payload.
+func (Beacon) Kind() string { return "timesync" }
+
+// Size implements radio.Payload: root (2) + seq (4) + global (8).
+func (Beacon) Size() int { return 14 }
+
+// Transport lets the sync module send beacons without owning the radio;
+// the node layer wires it into the neighborhood broadcaster so beacons
+// piggyback on other traffic when possible.
+type Transport interface {
+	SendDelayTolerant(p radio.Payload)
+}
+
+// Config holds protocol timing parameters.
+type Config struct {
+	// BasePeriod is the beacon period while the network is active.
+	BasePeriod time.Duration
+	// IdlePeriod is the stretched period when events are rare (the
+	// paper's power optimization).
+	IdlePeriod time.Duration
+	// MaxReferences bounds the regression table per node.
+	MaxReferences int
+	// RootTimeout declares the root dead when no beacon with its ID has
+	// arrived for this long, restarting election.
+	RootTimeout time.Duration
+}
+
+// DefaultConfig mirrors typical FTSP deployments scaled to the testbed.
+func DefaultConfig() Config {
+	return Config{
+		BasePeriod:    10 * time.Second,
+		IdlePeriod:    60 * time.Second,
+		MaxReferences: 8,
+		RootTimeout:   45 * time.Second,
+	}
+}
+
+// Sync is one node's synchronization state machine.
+type Sync struct {
+	id    int
+	clock *Clock
+	sched *sim.Scheduler
+	tr    Transport
+	cfg   Config
+
+	root        int
+	seq         uint32 // highest sequence seen (or issued, when root)
+	lastRootMsg sim.Time
+	refs        []refPoint
+	a, b        float64 // global ≈ a·local + b
+	haveFit     bool
+	active      bool
+	ticker      *sim.Ticker
+}
+
+type refPoint struct {
+	local, global sim.Time
+}
+
+// New creates a sync instance. Every node initially considers itself
+// root; lower IDs win as beacons propagate (FTSP election).
+func New(id int, clock *Clock, sched *sim.Scheduler, tr Transport, cfg Config) *Sync {
+	if cfg.BasePeriod <= 0 || cfg.IdlePeriod < cfg.BasePeriod {
+		panic("timesync: invalid beacon periods")
+	}
+	if cfg.MaxReferences < 2 {
+		panic("timesync: need at least 2 reference slots")
+	}
+	s := &Sync{id: id, clock: clock, sched: sched, tr: tr, cfg: cfg, root: id}
+	return s
+}
+
+// Start begins beaconing.
+func (s *Sync) Start() {
+	if s.ticker != nil {
+		panic("timesync: already started")
+	}
+	s.ticker = sim.NewTicker(s.sched, s.period(), fmt.Sprintf("timesync.beacon.%d", s.id), s.tick)
+}
+
+// Stop halts beaconing.
+func (s *Sync) Stop() {
+	if s.ticker != nil {
+		s.ticker.Stop()
+		s.ticker = nil
+	}
+}
+
+// SetActive switches between the base and idle beacon rates. The node
+// layer calls it when acoustic activity starts and ends.
+func (s *Sync) SetActive(active bool) {
+	if s.active == active {
+		return
+	}
+	s.active = active
+	if s.ticker != nil {
+		s.ticker.Reset(s.period())
+	}
+}
+
+func (s *Sync) period() time.Duration {
+	if s.active {
+		return s.cfg.BasePeriod
+	}
+	return s.cfg.IdlePeriod
+}
+
+func (s *Sync) tick() {
+	now := s.sched.Now()
+	// The root is presumed dead only after several silent rounds of the
+	// *current* beacon period: a fixed timeout shorter than the idle
+	// period would declare a healthy root dead every idle tick.
+	timeout := s.cfg.RootTimeout
+	if min := 3 * s.period(); timeout < min {
+		timeout = min
+	}
+	if s.root != s.id && now.Sub(s.lastRootMsg) > timeout {
+		// Root presumed dead: claim the role (a surviving lower ID will
+		// reclaim it on its next beacon).
+		s.root = s.id
+	}
+	if s.root == s.id {
+		s.seq++
+		s.tr.SendDelayTolerant(Beacon{Root: s.id, Seq: s.seq, Global: s.GlobalTime()})
+		return
+	}
+	if s.haveFit {
+		// Re-flood the newest round with our own estimate so deeper nodes
+		// synchronize too.
+		s.tr.SendDelayTolerant(Beacon{Root: s.root, Seq: s.seq, Global: s.GlobalTime()})
+	}
+}
+
+// HandleBeacon processes a received beacon. The node layer calls it from
+// its frame dispatcher.
+func (s *Sync) HandleBeacon(b Beacon) {
+	now := s.sched.Now()
+	switch {
+	case b.Root < s.root:
+		// Better root: adopt and reset references (they described a
+		// different timebase only if we were our own root; keep them
+		// otherwise — the global timebase is the same network-wide).
+		if s.root == s.id {
+			s.refs = nil
+			s.haveFit = false
+		}
+		s.root = b.Root
+		s.seq = b.Seq
+	case b.Root > s.root:
+		return // stale root, ignore
+	case b.Seq <= s.seq && b.Seq != 0:
+		// Already seen this round. Refloods by peers do not prove the
+		// root is alive — only fresh sequence numbers do — so this must
+		// not refresh the liveness clock.
+		return
+	default:
+		s.seq = b.Seq
+	}
+	s.lastRootMsg = now
+	s.AddReference(s.clock.Local(now), b.Global)
+}
+
+// AddReference inserts a (local clock, global time) pair and refits the
+// regression. Task-assignment messages carry the leader's global estimate,
+// so the task layer also calls this on recorders (§III-A).
+func (s *Sync) AddReference(local, global sim.Time) {
+	s.refs = append(s.refs, refPoint{local: local, global: global})
+	if len(s.refs) > s.cfg.MaxReferences {
+		s.refs = s.refs[len(s.refs)-s.cfg.MaxReferences:]
+	}
+	s.refit()
+}
+
+func (s *Sync) refit() {
+	n := len(s.refs)
+	if n == 0 {
+		return
+	}
+	if n == 1 {
+		s.a = 1
+		s.b = float64(s.refs[0].global - s.refs[0].local)
+		s.haveFit = true
+		return
+	}
+	// Least squares with centering for numeric stability on ns scales.
+	var meanL, meanG float64
+	for _, r := range s.refs {
+		meanL += float64(r.local)
+		meanG += float64(r.global)
+	}
+	meanL /= float64(n)
+	meanG /= float64(n)
+	var sxx, sxy float64
+	for _, r := range s.refs {
+		dl := float64(r.local) - meanL
+		dg := float64(r.global) - meanG
+		sxx += dl * dl
+		sxy += dl * dg
+	}
+	if sxx == 0 {
+		s.a = 1
+		s.b = meanG - meanL
+	} else {
+		s.a = sxy / sxx
+		s.b = meanG - s.a*meanL
+	}
+	s.haveFit = true
+}
+
+// LocalNow returns the hardware clock reading.
+func (s *Sync) LocalNow() sim.Time { return s.clock.Local(s.sched.Now()) }
+
+// GlobalTime returns the node's estimate of the current global time. The
+// root's own estimate is its hardware clock (it *defines* the timebase);
+// before any fit a non-root node falls back to its raw clock too.
+func (s *Sync) GlobalTime() sim.Time {
+	local := s.LocalNow()
+	if s.root == s.id || !s.haveFit {
+		return local
+	}
+	return sim.Time(s.a*float64(local) + s.b)
+}
+
+// Synchronized reports whether the node has at least one reference fit
+// (or is the root).
+func (s *Sync) Synchronized() bool { return s.root == s.id || s.haveFit }
+
+// Root returns the current root ID.
+func (s *Sync) Root() int { return s.root }
+
+// ErrorVsRoot returns the difference between this node's global estimate
+// and the root clock's reading of the same instant, given the root's
+// hardware clock. Evaluation helper: the protocol cannot compute this.
+func (s *Sync) ErrorVsRoot(rootClock *Clock) time.Duration {
+	now := s.sched.Now()
+	return time.Duration(s.GlobalTime() - rootClock.Local(now))
+}

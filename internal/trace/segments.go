@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"time"
+)
+
+// Segment is one detected sound event inside a sample stream: the
+// basestation-side analysis the paper defers to the back end (§II —
+// "counting bird populations and inferring social communication patterns
+// from isolated vocalizations").
+type Segment struct {
+	// Start/End are sample indices (half-open).
+	Start, End int
+	// Peak is the maximum envelope value inside the segment.
+	Peak float64
+}
+
+// Duration converts the segment length to time at the given sample rate.
+func (s Segment) Duration(rate float64) time.Duration {
+	if rate <= 0 {
+		return 0
+	}
+	return time.Duration(float64(s.End-s.Start) / rate * float64(time.Second))
+}
+
+// SegmentConfig tunes the detector.
+type SegmentConfig struct {
+	// Window is the envelope window in samples (default 256).
+	Window int
+	// Threshold is the envelope level that starts a segment (default 8 —
+	// comfortably above quantization noise on the 0..127 envelope scale).
+	Threshold float64
+	// HangoverWindows keeps a segment open across this many sub-threshold
+	// windows, merging syllables of one vocalization (default 4).
+	HangoverWindows int
+	// MinWindows drops segments shorter than this many windows (default 2).
+	MinWindows int
+}
+
+func (c *SegmentConfig) defaults() {
+	if c.Window <= 0 {
+		c.Window = 256
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 8
+	}
+	if c.HangoverWindows <= 0 {
+		c.HangoverWindows = 4
+	}
+	if c.MinWindows <= 0 {
+		c.MinWindows = 2
+	}
+}
+
+// Segments detects sound events in an 8-bit sample stream by envelope
+// thresholding with hangover. It is deliberately simple — the same class
+// of analysis the paper expects a basestation to run offline over
+// retrieved files.
+func Segments(samples []byte, cfg SegmentConfig) []Segment {
+	cfg.defaults()
+	env := Envelope(samples, cfg.Window)
+	var out []Segment
+	var cur *Segment
+	silentRun := 0
+	for w, level := range env {
+		switch {
+		case level >= cfg.Threshold:
+			if cur == nil {
+				cur = &Segment{Start: w * cfg.Window, Peak: level}
+			}
+			if level > cur.Peak {
+				cur.Peak = level
+			}
+			cur.End = (w + 1) * cfg.Window
+			silentRun = 0
+		case cur != nil:
+			silentRun++
+			if silentRun > cfg.HangoverWindows {
+				out = appendIfLongEnough(out, *cur, cfg)
+				cur = nil
+				silentRun = 0
+			}
+		}
+	}
+	if cur != nil {
+		out = appendIfLongEnough(out, *cur, cfg)
+	}
+	// Clamp the final segment end to the stream length.
+	for i := range out {
+		if out[i].End > len(samples) {
+			out[i].End = len(samples)
+		}
+	}
+	return out
+}
+
+func appendIfLongEnough(out []Segment, s Segment, cfg SegmentConfig) []Segment {
+	if s.End-s.Start >= cfg.MinWindows*cfg.Window {
+		return append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// synth builds a stream with sound bursts at the given window spans.
+func synth(totalWindows, window int, bursts [][2]int) []byte {
+	out := make([]byte, totalWindows*window)
+	for i := range out {
+		out[i] = Silence
+	}
+	for _, b := range bursts {
+		for i := b[0] * window; i < b[1]*window && i < len(out); i++ {
+			out[i] = byte(128 + 60*math.Sin(float64(i)*0.8))
+		}
+	}
+	return out
+}
+
+func TestSegmentsDetectsBursts(t *testing.T) {
+	const w = 256
+	samples := synth(40, w, [][2]int{{5, 10}, {20, 28}})
+	segs := Segments(samples, SegmentConfig{Window: w})
+	if len(segs) != 2 {
+		t.Fatalf("detected %d segments, want 2: %+v", len(segs), segs)
+	}
+	if segs[0].Start != 5*w || segs[0].End != 10*w {
+		t.Errorf("segment 0 = [%d,%d), want [%d,%d)", segs[0].Start, segs[0].End, 5*w, 10*w)
+	}
+	if segs[1].Start != 20*w {
+		t.Errorf("segment 1 starts at %d, want %d", segs[1].Start, 20*w)
+	}
+	if segs[0].Peak <= 0 {
+		t.Error("zero peak")
+	}
+}
+
+func TestSegmentsHangoverMergesSyllables(t *testing.T) {
+	const w = 256
+	// Two bursts separated by a 3-window pause: merged under the default
+	// 4-window hangover.
+	samples := synth(30, w, [][2]int{{5, 8}, {11, 14}})
+	segs := Segments(samples, SegmentConfig{Window: w})
+	if len(segs) != 1 {
+		t.Fatalf("syllables not merged: %d segments", len(segs))
+	}
+	// Separated by 6 windows: two segments.
+	samples = synth(30, w, [][2]int{{5, 8}, {14, 17}})
+	segs = Segments(samples, SegmentConfig{Window: w})
+	if len(segs) != 2 {
+		t.Fatalf("distant bursts merged: %d segments", len(segs))
+	}
+}
+
+func TestSegmentsDropsShortBlips(t *testing.T) {
+	const w = 256
+	samples := synth(30, w, [][2]int{{5, 6}}) // one window only
+	segs := Segments(samples, SegmentConfig{Window: w, MinWindows: 2})
+	if len(segs) != 0 {
+		t.Errorf("one-window blip kept: %+v", segs)
+	}
+}
+
+func TestSegmentsSilence(t *testing.T) {
+	samples := synth(20, 256, nil)
+	if segs := Segments(samples, SegmentConfig{}); len(segs) != 0 {
+		t.Errorf("silence produced %d segments", len(segs))
+	}
+	if segs := Segments(nil, SegmentConfig{}); segs != nil {
+		t.Error("nil input produced segments")
+	}
+}
+
+func TestSegmentDuration(t *testing.T) {
+	s := Segment{Start: 0, End: 2730}
+	if got := s.Duration(2730); got != time.Second {
+		t.Errorf("Duration = %v, want 1s", got)
+	}
+	if got := s.Duration(0); got != 0 {
+		t.Errorf("zero-rate duration = %v", got)
+	}
+}
+
+func TestSegmentsTrailingBurstClamped(t *testing.T) {
+	const w = 256
+	samples := synth(10, w, [][2]int{{7, 10}}) // runs to stream end
+	segs := Segments(samples, SegmentConfig{Window: w})
+	if len(segs) != 1 {
+		t.Fatalf("segments = %d", len(segs))
+	}
+	if segs[0].End > len(samples) {
+		t.Errorf("segment end %d beyond stream %d", segs[0].End, len(samples))
+	}
+}

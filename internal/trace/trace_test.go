@@ -1,0 +1,172 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"enviromic/internal/flash"
+	"enviromic/internal/retrieval"
+	"enviromic/internal/sim"
+)
+
+func at(s float64) sim.Time { return sim.Time(s * float64(time.Second)) }
+
+// mkFile builds a file whose chunks carry recognizable byte patterns.
+func mkFile(rate float64, spans [][2]float64, fill byte) *retrieval.File {
+	f := &retrieval.File{ID: 1}
+	for i, sp := range spans {
+		n := int((sp[1] - sp[0]) * rate)
+		data := make([]byte, n)
+		for j := range data {
+			data[j] = fill + byte(i)
+		}
+		f.Chunks = append(f.Chunks, &flash.Chunk{
+			File: 1, Origin: int32(i), Seq: 0,
+			Start: at(sp[0]), End: at(sp[1]), Data: data,
+		})
+	}
+	return f
+}
+
+func TestStitchContiguous(t *testing.T) {
+	const rate = 100
+	f := mkFile(rate, [][2]float64{{10, 11}, {11, 12}}, 200)
+	out := Stitch(f, rate)
+	if len(out) != 200 {
+		t.Fatalf("stitched %d samples, want 200", len(out))
+	}
+	if out[0] != 200 || out[50] != 200 {
+		t.Error("first chunk data misplaced")
+	}
+	if out[100] != 201 || out[199] != 201 {
+		t.Error("second chunk data misplaced")
+	}
+}
+
+func TestStitchFillsGapsWithSilence(t *testing.T) {
+	const rate = 100
+	f := mkFile(rate, [][2]float64{{10, 11}, {13, 14}}, 50)
+	out := Stitch(f, rate)
+	if len(out) != 400 {
+		t.Fatalf("stitched %d samples, want 400", len(out))
+	}
+	if out[150] != Silence || out[250] != Silence {
+		t.Error("gap not silence-filled")
+	}
+	if out[50] != 50 || out[350] != 51 {
+		t.Error("chunk data misplaced around gap")
+	}
+	cov := Coverage(f, rate)
+	if math.Abs(cov-0.5) > 0.01 {
+		t.Errorf("coverage = %v, want ~0.5", cov)
+	}
+}
+
+func TestStitchOverlapEarlierWins(t *testing.T) {
+	const rate = 100
+	f := mkFile(rate, [][2]float64{{10, 12}, {11, 13}}, 10)
+	out := Stitch(f, rate)
+	if out[150] != 10 {
+		t.Errorf("overlap sample = %d, want earlier chunk's 10", out[150])
+	}
+	if out[250] != 11 {
+		t.Errorf("tail sample = %d, want later chunk's 11", out[250])
+	}
+}
+
+func TestStitchDegenerateInputs(t *testing.T) {
+	if Stitch(nil, 100) != nil {
+		t.Error("nil file stitched")
+	}
+	if Stitch(&retrieval.File{}, 100) != nil {
+		t.Error("empty file stitched")
+	}
+	f := mkFile(100, [][2]float64{{1, 2}}, 9)
+	if Stitch(f, 0) != nil {
+		t.Error("zero rate stitched")
+	}
+}
+
+func TestEnvelope(t *testing.T) {
+	// 100 silence samples then 100 loud samples.
+	samples := make([]byte, 200)
+	for i := 0; i < 100; i++ {
+		samples[i] = Silence
+	}
+	for i := 100; i < 200; i++ {
+		samples[i] = Silence + 100
+	}
+	env := Envelope(samples, 100)
+	if len(env) != 2 {
+		t.Fatalf("envelope windows = %d", len(env))
+	}
+	if env[0] != 0 {
+		t.Errorf("silent window RMS = %v", env[0])
+	}
+	if math.Abs(env[1]-100) > 1e-9 {
+		t.Errorf("loud window RMS = %v, want 100", env[1])
+	}
+	if Envelope(nil, 10) != nil || Envelope(samples, 0) != nil {
+		t.Error("degenerate envelope input accepted")
+	}
+}
+
+func TestCorrelationIdenticalAndInverted(t *testing.T) {
+	a := make([]byte, 1000)
+	for i := range a {
+		a[i] = byte(128 + 100*math.Sin(float64(i)/10))
+	}
+	if got := Correlation(a, a); math.Abs(got-1) > 1e-9 {
+		t.Errorf("self-correlation = %v", got)
+	}
+	inv := make([]byte, len(a))
+	for i := range a {
+		inv[i] = 255 - a[i]
+	}
+	if got := Correlation(a, inv); got > -0.99 {
+		t.Errorf("inverted correlation = %v, want ~ -1", got)
+	}
+	noise := make([]byte, len(a))
+	for i := range noise {
+		noise[i] = byte(i * 7919 % 251)
+	}
+	if got := math.Abs(Correlation(a, noise)); got > 0.3 {
+		t.Errorf("noise correlation = %v, want near 0", got)
+	}
+}
+
+func TestCorrelationDegenerate(t *testing.T) {
+	if Correlation(nil, nil) != 0 {
+		t.Error("nil correlation nonzero")
+	}
+	flat := []byte{5, 5, 5, 5}
+	if Correlation(flat, []byte{1, 2, 3, 4}) != 0 {
+		t.Error("zero-variance correlation nonzero")
+	}
+}
+
+func TestEnvelopeCorrelationToleratesShift(t *testing.T) {
+	// Two identical signals, one shifted by 3 samples: raw correlation of
+	// a fast sine collapses, envelope correlation survives.
+	n := 4000
+	a := make([]byte, n)
+	b := make([]byte, n)
+	for i := 0; i < n; i++ {
+		// Burst pattern: 400 on, 400 off.
+		amp := 0.0
+		if (i/400)%2 == 0 {
+			amp = 100
+		}
+		a[i] = byte(128 + amp*math.Sin(float64(i)*2.9))
+		b[i] = byte(128 + amp*math.Sin(float64(i+3)*2.9))
+	}
+	raw := Correlation(a, b)
+	env := EnvelopeCorrelation(a, b, 100)
+	if env < 0.95 {
+		t.Errorf("envelope correlation = %v, want > 0.95", env)
+	}
+	if env <= raw {
+		t.Errorf("envelope correlation (%v) should beat raw (%v) under shift", env, raw)
+	}
+}

@@ -1,0 +1,70 @@
+// Package wav writes minimal RIFF/WAVE files (8-bit unsigned mono PCM),
+// enough for the examples to export stitched EnviroMic recordings for
+// listening — the paper published its indoor voice clips the same way.
+package wav
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Write emits samples as an 8-bit unsigned mono PCM WAV at the given
+// sample rate.
+func Write(w io.Writer, samples []byte, sampleRate int) error {
+	if sampleRate <= 0 {
+		return fmt.Errorf("wav: invalid sample rate %d", sampleRate)
+	}
+	if len(samples) == 0 {
+		return errors.New("wav: no samples")
+	}
+	dataLen := uint32(len(samples))
+	var hdr [44]byte
+	copy(hdr[0:], "RIFF")
+	binary.LittleEndian.PutUint32(hdr[4:], 36+dataLen)
+	copy(hdr[8:], "WAVE")
+	copy(hdr[12:], "fmt ")
+	binary.LittleEndian.PutUint32(hdr[16:], 16) // PCM fmt chunk size
+	binary.LittleEndian.PutUint16(hdr[20:], 1)  // PCM
+	binary.LittleEndian.PutUint16(hdr[22:], 1)  // mono
+	binary.LittleEndian.PutUint32(hdr[24:], uint32(sampleRate))
+	binary.LittleEndian.PutUint32(hdr[28:], uint32(sampleRate)) // byte rate (8-bit mono)
+	binary.LittleEndian.PutUint16(hdr[32:], 1)                  // block align
+	binary.LittleEndian.PutUint16(hdr[34:], 8)                  // bits per sample
+	copy(hdr[36:], "data")
+	binary.LittleEndian.PutUint32(hdr[40:], dataLen)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wav: writing header: %w", err)
+	}
+	if _, err := w.Write(samples); err != nil {
+		return fmt.Errorf("wav: writing samples: %w", err)
+	}
+	return nil
+}
+
+// Read parses a WAV produced by Write (8-bit unsigned mono PCM only),
+// returning the samples and sample rate. It exists mainly so tests can
+// round-trip.
+func Read(r io.Reader) (samples []byte, sampleRate int, err error) {
+	var hdr [44]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, 0, fmt.Errorf("wav: reading header: %w", err)
+	}
+	if string(hdr[0:4]) != "RIFF" || string(hdr[8:12]) != "WAVE" || string(hdr[12:16]) != "fmt " {
+		return nil, 0, errors.New("wav: not a RIFF/WAVE file")
+	}
+	if binary.LittleEndian.Uint16(hdr[20:]) != 1 {
+		return nil, 0, errors.New("wav: not PCM")
+	}
+	if binary.LittleEndian.Uint16(hdr[22:]) != 1 || binary.LittleEndian.Uint16(hdr[34:]) != 8 {
+		return nil, 0, errors.New("wav: not 8-bit mono")
+	}
+	rate := int(binary.LittleEndian.Uint32(hdr[24:]))
+	n := binary.LittleEndian.Uint32(hdr[40:])
+	samples = make([]byte, n)
+	if _, err := io.ReadFull(r, samples); err != nil {
+		return nil, 0, fmt.Errorf("wav: reading samples: %w", err)
+	}
+	return samples, rate, nil
+}

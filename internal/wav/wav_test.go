@@ -1,0 +1,60 @@
+package wav
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	samples := make([]byte, 1000)
+	for i := range samples {
+		samples[i] = byte(i % 256)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, samples, 2730); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 44+len(samples) {
+		t.Errorf("file size %d, want %d", buf.Len(), 44+len(samples))
+	}
+	got, rate, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 2730 {
+		t.Errorf("rate = %d", rate)
+	}
+	if !bytes.Equal(got, samples) {
+		t.Error("samples mismatch after round trip")
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil, 2730); err == nil {
+		t.Error("empty samples accepted")
+	}
+	if err := Write(&buf, []byte{1}, 0); err == nil {
+		t.Error("zero rate accepted")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, _, err := Read(bytes.NewReader([]byte("not a wav file at all............................"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestHeaderFields(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, []byte{128, 128}, 8000); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if string(b[0:4]) != "RIFF" || string(b[8:12]) != "WAVE" || string(b[36:40]) != "data" {
+		t.Error("header markers wrong")
+	}
+}

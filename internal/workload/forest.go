@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"math/rand"
+	"time"
+
+	"enviromic/internal/acoustics"
+	"enviromic/internal/geometry"
+	"enviromic/internal/sim"
+)
+
+// Forest deployment constants (§IV-C): 36 motes over ~105×105 ft attached
+// to trees at irregular positions; a road runs along the west side; a
+// trail crosses the interior.
+const (
+	ForestNodes = 36
+	ForestSide  = 105.0
+)
+
+// ForestPositions returns 36 deterministic "irregular" tree positions: a
+// jittered 6×6 layout, like the hand-reconstructed map in Fig 15(a).
+func ForestPositions(seed int64) []geometry.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pitch := ForestSide / 6.0
+	out := make([]geometry.Point, 0, ForestNodes)
+	for row := 0; row < 6; row++ {
+		for col := 0; col < 6; col++ {
+			jx := (rng.Float64() - 0.5) * pitch * 0.7
+			jy := (rng.Float64() - 0.5) * pitch * 0.7
+			out = append(out, geometry.Point{
+				X: (float64(col)+0.5)*pitch + jx,
+				Y: (float64(row)+0.5)*pitch + jy,
+			})
+		}
+	}
+	return out
+}
+
+// ForestConfig parameterizes the 3-hour outdoor schedule.
+type ForestConfig struct {
+	Seed int64
+	// Duration of the whole experiment (paper: 3 h, 10:45–13:45).
+	Duration time.Duration
+	// Spike1Start/End is the human-activity burst (paper: 11:30–11:40,
+	// i.e. offsets 45–55 min).
+	Spike1Start, Spike1End time.Duration
+	// Spike2Start/End is the heavy-machinery burst with very long events
+	// (paper: 12:15–12:45 with events up to 73 s).
+	Spike2Start, Spike2End time.Duration
+	// Threshold must match the field's detection threshold (for sensing
+	// ranges).
+	Threshold float64
+}
+
+// DefaultForest mirrors §IV-C.
+func DefaultForest() ForestConfig {
+	return ForestConfig{
+		Seed:        2006,
+		Duration:    3 * time.Hour,
+		Spike1Start: 45 * time.Minute,
+		Spike1End:   55 * time.Minute,
+		Spike2Start: 90 * time.Minute,
+		Spike2End:   120 * time.Minute,
+		Threshold:   1,
+	}
+}
+
+// GenerateForest populates the field with the outdoor soundscape:
+//
+//   - vehicles passing on the west road throughout the day (mobile
+//     sources along x≈0), the western hot-spot of Fig 17;
+//   - sporadic bird calls along the trail (the second hot-spot);
+//   - the two activity spikes of Fig 16.
+//
+// It returns the number of sources added.
+func GenerateForest(field *acoustics.Field, cfg ForestConfig) int {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var id acoustics.SourceID
+	n := 0
+	add := func(src *acoustics.Source) {
+		field.AddSource(src)
+		n++
+	}
+
+	// Road traffic: a vehicle every ~6 min on average, driving the west
+	// edge south→north in ~15 s, audible ~25 ft.
+	roadLoud := acoustics.LoudnessForRange(25, cfg.Threshold)
+	for t := time.Duration(0); t < cfg.Duration; {
+		t += time.Duration(rng.ExpFloat64() * float64(6*time.Minute))
+		if t >= cfg.Duration {
+			break
+		}
+		id++
+		dur := 12*time.Second + time.Duration(rng.Int63n(int64(8*time.Second)))
+		add(acoustics.MobileSource(id,
+			geometry.Point{X: 3, Y: 0}, geometry.Point{X: 3, Y: ForestSide},
+			sim.At(t), dur, roadLoud, acoustics.VoiceRumble))
+	}
+
+	// Trail wildlife: bird calls near the diagonal trail, every ~4 min,
+	// 2–8 s, audible ~18 ft.
+	birdLoud := acoustics.LoudnessForRange(18, cfg.Threshold)
+	for t := time.Duration(0); t < cfg.Duration; {
+		t += time.Duration(rng.ExpFloat64() * float64(4*time.Minute))
+		if t >= cfg.Duration {
+			break
+		}
+		id++
+		f := rng.Float64()
+		pos := geometry.Point{ // the trail runs from mid-south to north-east
+			X: 40 + f*55 + (rng.Float64()-0.5)*10,
+			Y: 10 + f*85 + (rng.Float64()-0.5)*10,
+		}
+		dur := 2*time.Second + time.Duration(rng.Int63n(int64(6*time.Second)))
+		add(acoustics.StaticSource(id, pos, sim.At(t), dur, birdLoud, acoustics.VoiceTone))
+	}
+
+	// Spike 1: people working in the forest interior — frequent speech
+	// events.
+	speechLoud := acoustics.LoudnessForRange(22, cfg.Threshold)
+	for t := cfg.Spike1Start; t < cfg.Spike1End; {
+		t += time.Duration(rng.ExpFloat64() * float64(25*time.Second))
+		if t >= cfg.Spike1End {
+			break
+		}
+		id++
+		pos := geometry.Point{X: 30 + rng.Float64()*40, Y: 30 + rng.Float64()*40}
+		dur := 3*time.Second + time.Duration(rng.Int63n(int64(9*time.Second)))
+		add(acoustics.StaticSource(id, pos, sim.At(t), dur, speechLoud, acoustics.VoiceSpeech))
+	}
+
+	// Spike 2: heavy agrarian machinery on the neighboring road — long
+	// (up to 73 s) loud rumbles.
+	machineLoud := acoustics.LoudnessForRange(40, cfg.Threshold)
+	for t := cfg.Spike2Start; t < cfg.Spike2End; {
+		t += time.Duration(rng.ExpFloat64() * float64(2*time.Minute))
+		if t >= cfg.Spike2End {
+			break
+		}
+		id++
+		dur := 20*time.Second + time.Duration(rng.Int63n(int64(53*time.Second)))
+		add(acoustics.MobileSource(id,
+			geometry.Point{X: 1, Y: ForestSide}, geometry.Point{X: 1, Y: 0},
+			sim.At(t), dur, machineLoud, acoustics.VoiceRumble))
+	}
+	return n
+}

@@ -1,0 +1,202 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"enviromic/internal/acoustics"
+	"enviromic/internal/geometry"
+	"enviromic/internal/sim"
+)
+
+func TestIndoorGridMatchesPaper(t *testing.T) {
+	g := IndoorGrid()
+	if g.NumNodes() != 48 || g.Cols != 8 || g.Rows != 6 || g.Pitch != 2 {
+		t.Errorf("indoor grid = %+v", g)
+	}
+	if VoiceGrid().NumNodes() != 28 {
+		t.Errorf("voice grid = %+v", VoiceGrid())
+	}
+}
+
+func TestNearestNodes(t *testing.T) {
+	g := geometry.Grid{Cols: 3, Rows: 3, Pitch: 1}
+	got := NearestNodes(g, g.PointAt(1, 1), 1)
+	if len(got) != 1 || got[0] != g.Index(1, 1) {
+		t.Errorf("nearest = %v", got)
+	}
+	got = NearestNodes(g, g.PointAt(0, 0), 3)
+	if len(got) != 3 || got[0] != 0 {
+		t.Errorf("nearest-3 = %v", got)
+	}
+	// k larger than grid clamps.
+	if got := NearestNodes(g, geometry.Point{}, 99); len(got) != 9 {
+		t.Errorf("clamped k = %d", len(got))
+	}
+}
+
+func TestGeneratePoissonStatistics(t *testing.T) {
+	grid := IndoorGrid()
+	field := acoustics.NewField(1)
+	cfg := DefaultPoisson(grid)
+	n := GeneratePoisson(field, grid, cfg)
+	// E[count] = 4400/20 = 220; allow generous slack.
+	if n < 170 || n > 270 {
+		t.Errorf("generated %d events, expected ~220", n)
+	}
+	var total time.Duration
+	for _, src := range field.Sources() {
+		d := src.End.Sub(src.Start)
+		if d < cfg.MinDur || d >= cfg.MaxDur {
+			t.Fatalf("event duration %v outside [%v,%v)", d, cfg.MinDur, cfg.MaxDur)
+		}
+		if len(src.Whitelist) != 4 {
+			t.Fatalf("event has %d hearers, want 4", len(src.Whitelist))
+		}
+		if src.Start >= sim.At(cfg.Until) {
+			t.Fatalf("event starts after Until")
+		}
+		total += d
+	}
+	// Average total ≈ 220 × 5 s = 1100 s (25% of 4400 s).
+	if total < 800*time.Second || total > 1500*time.Second {
+		t.Errorf("total event time %v, expected ~1100s", total)
+	}
+}
+
+func TestGeneratePoissonDeterministic(t *testing.T) {
+	grid := IndoorGrid()
+	f1, f2 := acoustics.NewField(1), acoustics.NewField(1)
+	n1 := GeneratePoisson(f1, grid, DefaultPoisson(grid))
+	n2 := GeneratePoisson(f2, grid, DefaultPoisson(grid))
+	if n1 != n2 {
+		t.Fatalf("event counts differ: %d vs %d", n1, n2)
+	}
+	for i := range f1.Sources() {
+		a, b := f1.Sources()[i], f2.Sources()[i]
+		if a.Start != b.Start || a.End != b.End {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestGeneratePoissonValidation(t *testing.T) {
+	grid := IndoorGrid()
+	cfg := DefaultPoisson(grid)
+	cfg.MeanGap = 0
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid config accepted")
+		}
+	}()
+	GeneratePoisson(acoustics.NewField(1), grid, cfg)
+}
+
+func TestMobileCrossing(t *testing.T) {
+	grid := IndoorGrid()
+	field := acoustics.NewField(1)
+	src := AddMobileCrossing(field, grid, 1, sim.At(time.Second))
+	if src.End.Sub(src.Start) != 9*time.Second {
+		t.Errorf("crossing duration = %v, want 9s", src.End.Sub(src.Start))
+	}
+	// Sensing range ≈ one grid length.
+	if got := src.SensingRange(field.Threshold); got != grid.Pitch {
+		t.Errorf("sensing range = %v, want %v", got, grid.Pitch)
+	}
+	// Speed = one grid length per second.
+	p0 := src.PositionAt(sim.At(time.Second))
+	p1 := src.PositionAt(sim.At(2 * time.Second))
+	if d := p0.Dist(p1); d != grid.Pitch {
+		t.Errorf("speed = %v per second, want %v", d, grid.Pitch)
+	}
+}
+
+func TestVoiceWalk(t *testing.T) {
+	grid := VoiceGrid()
+	field := acoustics.NewField(1)
+	src := AddVoiceWalk(field, grid, 1, 0)
+	if src.Voice != acoustics.VoiceSpeech {
+		t.Errorf("voice = %v", src.Voice)
+	}
+	if src.End.Sub(src.Start) != 6*time.Second {
+		t.Errorf("walk duration = %v, want 6s (6 grid lengths)", src.End.Sub(src.Start))
+	}
+}
+
+func TestForestPositions(t *testing.T) {
+	pts := ForestPositions(2006)
+	if len(pts) != ForestNodes {
+		t.Fatalf("%d positions", len(pts))
+	}
+	for i, p := range pts {
+		if p.X < 0 || p.X > ForestSide || p.Y < 0 || p.Y > ForestSide {
+			t.Errorf("position %d outside deployment: %v", i, p)
+		}
+	}
+	// Irregular: no two nodes at identical positions, and not on a grid.
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			if pts[i] == pts[j] {
+				t.Errorf("duplicate positions %d/%d", i, j)
+			}
+		}
+	}
+	// Deterministic.
+	again := ForestPositions(2006)
+	for i := range pts {
+		if pts[i] != again[i] {
+			t.Fatal("positions not deterministic")
+		}
+	}
+}
+
+func TestGenerateForestSchedule(t *testing.T) {
+	field := acoustics.NewField(1)
+	cfg := DefaultForest()
+	n := GenerateForest(field, cfg)
+	if n < 50 {
+		t.Fatalf("forest generated only %d sources", n)
+	}
+	var inSpike2Long int
+	var maxDur time.Duration
+	for _, src := range field.Sources() {
+		d := src.End.Sub(src.Start)
+		if d > maxDur {
+			maxDur = d
+		}
+		if src.Start >= sim.At(cfg.Spike2Start) && src.Start < sim.At(cfg.Spike2End) && d > 30*time.Second {
+			inSpike2Long++
+		}
+	}
+	// The paper observed events up to 73 s in the machinery spike.
+	if maxDur < 40*time.Second || maxDur > 73*time.Second {
+		t.Errorf("max event duration = %v, expected long machinery events <= 73s", maxDur)
+	}
+	if inSpike2Long == 0 {
+		t.Error("no long events during the machinery spike")
+	}
+	// Spike windows should be denser than background: compare event
+	// seconds per minute inside spike 1 vs a quiet window.
+	eventSecs := func(lo, hi time.Duration) float64 {
+		var s float64
+		for _, src := range field.Sources() {
+			start, end := src.Start.Duration(), src.End.Duration()
+			if end > lo && start < hi {
+				a, b := start, end
+				if a < lo {
+					a = lo
+				}
+				if b > hi {
+					b = hi
+				}
+				s += (b - a).Seconds()
+			}
+		}
+		return s
+	}
+	spike := eventSecs(cfg.Spike1Start, cfg.Spike1End)
+	quiet := eventSecs(10*time.Minute, 20*time.Minute)
+	if spike <= quiet {
+		t.Errorf("spike-1 activity (%.0fs) not above background (%.0fs)", spike, quiet)
+	}
+}

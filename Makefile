@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test check bench figures
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the pre-merge tier: vet, build, and the full test suite under
+# the race detector (exercises the parallel experiment pool).
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+
+# bench regenerates BENCH_radio.json (radio hot path + full-figure runs).
+bench:
+	sh scripts/bench_radio.sh
+
+figures:
+	$(GO) run ./cmd/enviromic-figures -quick

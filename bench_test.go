@@ -326,6 +326,103 @@ func BenchmarkAblationBetaSchedule(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------
+// Parallel harness benches: the same full figure run, serial vs fanned
+// across GOMAXPROCS workers. The parallel variant is the acceptance
+// benchmark for the run-harness speedup (≥2x on a multi-core host; on a
+// single-core host the two are equal by construction).
+// ---------------------------------------------------------------------
+
+func benchIndoorFull(b *testing.B, parallel int) {
+	b.Helper()
+	var res experiments.IndoorResult
+	for i := 0; i < b.N; i++ {
+		opts := experiments.QuickIndoorOpts()
+		opts.Seed = int64(i + 1)
+		opts.Parallel = parallel
+		res = experiments.Indoor(opts)
+	}
+	b.ReportMetric(lastVal(res.Miss, "lb-beta2"), "miss-lb2")
+}
+
+func BenchmarkIndoorFigureSerial(b *testing.B)   { benchIndoorFull(b, 1) }
+func BenchmarkIndoorFigureParallel(b *testing.B) { benchIndoorFull(b, experiments.DefaultParallel()) }
+
+func benchFig6Sweep(b *testing.B, parallel int) {
+	b.Helper()
+	opts := experiments.Fig6Opts{
+		Seed:     1,
+		Runs:     4,
+		DtaMS:    []int{10, 70, 130},
+		TrcList:  []time.Duration{time.Second},
+		Parallel: parallel,
+	}
+	var res experiments.Fig6Result
+	for i := 0; i < b.N; i++ {
+		opts.Seed = int64(i + 1)
+		res = experiments.Fig6(opts)
+	}
+	b.ReportMetric(res.Mean[0][1], "miss@dta70ms")
+}
+
+func BenchmarkFig06SweepSerial(b *testing.B)   { benchFig6Sweep(b, 1) }
+func BenchmarkFig06SweepParallel(b *testing.B) { benchFig6Sweep(b, experiments.DefaultParallel()) }
+
+// ---------------------------------------------------------------------
+// radio.Send micro-benches at the paper's deployment densities (36-node
+// forest, 48-node indoor grid) plus a 200-node stress grid. Each
+// iteration is one broadcast plus its batched delivery; -benchmem guards
+// the per-Send allocation budget.
+// ---------------------------------------------------------------------
+
+func benchRadioSend(b *testing.B, cols, rows int) {
+	b.Helper()
+	s := sim.NewScheduler(1)
+	grid := geometry.Grid{Cols: cols, Rows: rows, Pitch: 2}
+	cfg := radio.DefaultConfig(3.5 * grid.Pitch)
+	cfg.LossProb = 0.05
+	net := radio.NewNetwork(s, cfg)
+	eps := make([]*radio.Endpoint, grid.NumNodes())
+	for i, p := range grid.Points() {
+		eps[i] = net.Join(i, p)
+		eps[i].SetHandler(radio.HandlerFunc(func(f *radio.Frame) {}))
+	}
+	payload := benchPayload{kind: "bench", size: 24}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eps[i%len(eps)].Send(radio.Broadcast, payload)
+		s.RunAll()
+	}
+}
+
+func BenchmarkRadioSend36(b *testing.B)  { benchRadioSend(b, 6, 6) }
+func BenchmarkRadioSend48(b *testing.B)  { benchRadioSend(b, 8, 6) }
+func BenchmarkRadioSend200(b *testing.B) { benchRadioSend(b, 20, 10) }
+
+// BenchmarkRadioSend48BruteForce is the pre-index reference path at
+// indoor density, for before/after comparison in BENCH_radio.json.
+func BenchmarkRadioSend48BruteForce(b *testing.B) {
+	s := sim.NewScheduler(1)
+	grid := geometry.Grid{Cols: 8, Rows: 6, Pitch: 2}
+	cfg := radio.DefaultConfig(3.5 * grid.Pitch)
+	cfg.LossProb = 0.05
+	cfg.BruteForce = true
+	net := radio.NewNetwork(s, cfg)
+	eps := make([]*radio.Endpoint, grid.NumNodes())
+	for i, p := range grid.Points() {
+		eps[i] = net.Join(i, p)
+		eps[i].SetHandler(radio.HandlerFunc(func(f *radio.Frame) {}))
+	}
+	payload := benchPayload{kind: "bench", size: 24}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eps[i%len(eps)].Send(radio.Broadcast, payload)
+		s.RunAll()
+	}
+}
+
+// ---------------------------------------------------------------------
 // Substrate micro-benchmarks.
 // ---------------------------------------------------------------------
 

@@ -26,13 +26,15 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced-scale run (minutes of virtual time instead of hours)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	ablations := flag.Bool("ablations", false, "run the design-choice ablations instead of figures")
+	parallel := flag.Int("parallel", experiments.DefaultParallel(),
+		"worker goroutines for independent simulation runs (1 = serial; results are identical either way)")
 	flag.Parse()
 
 	if *ablations {
 		var out strings.Builder
 		header(&out, "Ablations — DESIGN.md §5 design choices")
 		fmt.Fprintf(&out, "%-38s %12s %12s  %s\n", "knob", "with", "without", "unit")
-		for _, row := range experiments.Ablations(*seed) {
+		for _, row := range experiments.AblationsParallel(*seed, *parallel) {
 			fmt.Fprintf(&out, "%-38s %12.3f %12.3f  %s\n    %s\n",
 				row.Name, row.With, row.Without, row.Unit, row.Comment)
 		}
@@ -47,7 +49,7 @@ func main() {
 		fig3(&out, *seed)
 	}
 	if want(6) {
-		fig6(&out, *seed, *quick)
+		fig6(&out, *seed, *quick, *parallel)
 	}
 	if want(7) {
 		fig7(&out, *seed)
@@ -56,7 +58,7 @@ func main() {
 		fig8(&out, *seed)
 	}
 	if want(10) || want(11) || want(12) || want(13) || want(14) {
-		indoor(&out, *seed, *quick, want)
+		indoor(&out, *seed, *quick, *parallel, want)
 	}
 	if want(16) || want(17) || want(18) {
 		forest(&out, *seed, *quick, want)
@@ -84,10 +86,11 @@ func fig3(out *strings.Builder, seed int64) {
 	render.Chart(out, xs, map[string][]float64{"(c) receiving": res.Receiving}, 72, 8, "interval")
 }
 
-func fig6(out *strings.Builder, seed int64, quick bool) {
+func fig6(out *strings.Builder, seed int64, quick bool, parallel int) {
 	header(out, "Fig 6 — recording miss ratio vs expected task assignment delay")
 	opts := experiments.DefaultFig6Opts()
 	opts.Seed = seed
+	opts.Parallel = parallel
 	if quick {
 		opts.Runs = 3
 	}
@@ -157,13 +160,14 @@ func envelopeSeries(samples []byte, window int) []float64 {
 	return out
 }
 
-func indoor(out *strings.Builder, seed int64, quick bool, want func(int) bool) {
+func indoor(out *strings.Builder, seed int64, quick bool, parallel int, want func(int) bool) {
 	opts := experiments.DefaultIndoorOpts()
 	opts.Seed = seed
 	if quick {
 		opts = experiments.QuickIndoorOpts()
 		opts.Seed = seed
 	}
+	opts.Parallel = parallel
 	res := experiments.Indoor(opts)
 	xs := make([]float64, len(res.Miss.Times))
 	for i, t := range res.Miss.Times {

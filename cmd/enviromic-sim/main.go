@@ -7,16 +7,23 @@
 //	enviromic-sim -mode full -beta 2 -duration 20m
 //	enviromic-sim -mode independent -duration 10m -events 30
 //	enviromic-sim -scenario forest -duration 1h
+//	enviromic-sim -runs 8 -parallel 4 -duration 10m
+//
+// With -runs N the scenario is repeated for seeds seed..seed+N-1 (fanned
+// across -parallel workers) and the per-run headline metrics are printed
+// with an aggregate mean. Runs are bit-identical regardless of -parallel.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"time"
 
 	"enviromic/internal/acoustics"
 	"enviromic/internal/core"
+	"enviromic/internal/experiments"
 	"enviromic/internal/mote"
 	"enviromic/internal/retrieval"
 	"enviromic/internal/sim"
@@ -36,6 +43,9 @@ func main() {
 		timesync = flag.Bool("timesync", false, "enable FTSP time sync with drifting clocks")
 		duty     = flag.Float64("duty", 0, "duty cycle awake fraction (0 = always on)")
 		realtime = flag.Float64("realtime", 0, "pace the run against the wall clock at this speed-up factor (0 = as fast as possible)")
+		runs     = flag.Int("runs", 1, "repeat the scenario for seeds seed..seed+runs-1 and aggregate")
+		parallel = flag.Int("parallel", experiments.DefaultParallel(),
+			"worker goroutines for -runs > 1 (1 = serial; results are identical either way)")
 	)
 	flag.Parse()
 
@@ -52,43 +62,56 @@ func main() {
 		os.Exit(2)
 	}
 
-	field := acoustics.NewField(1)
-	field.DetectProb = 0.6
-	cfg := core.Config{
-		Seed:        *seed,
-		Mode:        mode,
-		BetaMax:     *beta,
-		LossProb:    *loss,
-		FlashBlocks: *blocks,
-		TimeSync:    *timesync,
-		DutyCycle:   *duty,
-	}
-	if *timesync {
-		cfg.MaxClockDriftPPM = 50
+	// buildNet assembles a fresh field, workload, and network for one
+	// seed. Every run owns its full object graph, which is what makes the
+	// -runs fan-out safe and bit-identical to serial execution.
+	buildNet := func(seed int64) (*core.Network, int) {
+		field := acoustics.NewField(1)
+		field.DetectProb = 0.6
+		cfg := core.Config{
+			Seed:        seed,
+			Mode:        mode,
+			BetaMax:     *beta,
+			LossProb:    *loss,
+			FlashBlocks: *blocks,
+			TimeSync:    *timesync,
+			DutyCycle:   *duty,
+		}
+		if *timesync {
+			cfg.MaxClockDriftPPM = 50
+		}
+		switch *scenario {
+		case "indoor":
+			grid := workload.IndoorGrid()
+			pcfg := workload.DefaultPoisson(grid)
+			pcfg.Until = *duration
+			pcfg.MeanGap = *meanGap
+			events := workload.GeneratePoisson(field, grid, pcfg)
+			cfg.CommRange = 6 * grid.Pitch
+			return core.NewGridNetwork(cfg, field, grid), events
+		case "forest":
+			fcfg := workload.DefaultForest()
+			fcfg.Duration = *duration
+			events := workload.GenerateForest(field, fcfg)
+			cfg.CommRange = 30
+			return core.NewNetwork(cfg, field, workload.ForestPositions(2006)), events
+		default:
+			fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
+			os.Exit(2)
+			return nil, 0
+		}
 	}
 
-	var net *core.Network
-	var events int
-	switch *scenario {
-	case "indoor":
-		grid := workload.IndoorGrid()
-		pcfg := workload.DefaultPoisson(grid)
-		pcfg.Until = *duration
-		pcfg.MeanGap = *meanGap
-		events = workload.GeneratePoisson(field, grid, pcfg)
-		cfg.CommRange = 6 * grid.Pitch
-		net = core.NewGridNetwork(cfg, field, grid)
-	case "forest":
-		fcfg := workload.DefaultForest()
-		fcfg.Duration = *duration
-		events = workload.GenerateForest(field, fcfg)
-		cfg.CommRange = 30
-		net = core.NewNetwork(cfg, field, workload.ForestPositions(2006))
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
-		os.Exit(2)
+	if *runs > 1 {
+		if *realtime > 0 {
+			fmt.Fprintln(os.Stderr, "-realtime is incompatible with -runs > 1")
+			os.Exit(2)
+		}
+		runSweep(*scenario, mode, buildNet, *seed, *runs, *parallel, *duration)
+		return
 	}
 
+	net, events := buildNet(*seed)
 	fmt.Printf("scenario=%s mode=%s events=%d nodes=%d duration=%v seed=%d\n",
 		*scenario, mode, events, len(net.Nodes), *duration, *seed)
 	if *realtime > 0 {
@@ -117,4 +140,65 @@ func main() {
 	for _, node := range net.Nodes {
 		fmt.Printf("  node %2d @ %-16v %7d\n", node.ID, node.Pos, node.Mote.Store.BytesUsed())
 	}
+}
+
+// runSummary is one seed's headline metrics in a -runs sweep.
+type runSummary struct {
+	seed             int64
+	events           int
+	miss, redundancy float64
+	stored           int
+	frames           uint64
+}
+
+// runSweep repeats the scenario across seeds on the experiments pool and
+// prints per-run rows plus aggregate means (miss ratio with a 90% CI).
+func runSweep(scenario string, mode core.Mode, buildNet func(int64) (*core.Network, int),
+	seed int64, runs, parallel int, duration time.Duration) {
+	end := sim.At(duration)
+	results := experiments.Map(parallel, runs, func(i int) runSummary {
+		net, events := buildNet(seed + int64(i))
+		net.Run(end)
+		return runSummary{
+			seed:       seed + int64(i),
+			events:     events,
+			miss:       net.Collector.MissRatioAt(end),
+			redundancy: net.Collector.RedundancyRatioAt(end, mote.DefaultSampleRate),
+			stored:     net.TotalStoredBytes(),
+			frames:     net.Radio.Stats().TotalFrames,
+		}
+	})
+
+	fmt.Printf("scenario=%s mode=%s duration=%v runs=%d parallel=%d\n",
+		scenario, mode, duration, runs, parallel)
+	fmt.Printf("%8s %8s %8s %8s %12s %10s\n", "seed", "events", "miss", "redund", "stored(B)", "frames")
+	var miss []float64
+	for _, r := range results {
+		fmt.Printf("%8d %8d %8.3f %8.3f %12d %10d\n",
+			r.seed, r.events, r.miss, r.redundancy, r.stored, r.frames)
+		miss = append(miss, r.miss)
+	}
+	mean, ci := meanCI90(miss)
+	fmt.Printf("\nmiss ratio mean over %d runs: %.3f (±%.3f at 90%% CI)\n", runs, mean, ci)
+}
+
+// meanCI90 mirrors the experiments package's confidence-interval helper.
+func meanCI90(xs []float64) (mean, ci float64) {
+	n := float64(len(xs))
+	if n == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= n
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	sd := math.Sqrt(ss / (n - 1))
+	return mean, 1.645 * sd / math.Sqrt(n)
 }

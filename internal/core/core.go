@@ -392,21 +392,15 @@ func (n *Network) takeSample() {
 	for _, node := range n.Nodes {
 		stored[node.ID] = node.Mote.Store.BytesUsed()
 	}
+	// Radio.Stats returns a deep-copied snapshot, so its maps can be
+	// stored in the sample as-is.
 	st := n.Radio.Stats()
-	kinds := make(map[string]uint64, len(st.TxByKind))
-	for k, v := range st.TxByKind {
-		kinds[k] = v
-	}
-	byNode := make(map[int]uint64, len(st.TxByNode))
-	for k, v := range st.TxByNode {
-		byNode[k] = v
-	}
 	n.Collector.AddSample(metrics.Sample{
 		At:              n.Sched.Now(),
 		StoredBytes:     stored,
 		DuplicateChunks: metrics.CountDuplicates(n.Holdings()),
-		TxByKind:        kinds,
-		TxByNode:        byNode,
+		TxByKind:        st.TxByKind,
+		TxByNode:        st.TxByNode,
 	})
 }
 

@@ -28,7 +28,38 @@ type AblationRow struct {
 // scale and returns one row per knob. Used by `enviromic-figures
 // -ablations` and mirrored by the Ablation* benchmarks.
 func Ablations(seed int64) []AblationRow {
-	var rows []AblationRow
+	return AblationsParallel(seed, 1)
+}
+
+// ablationSpec is one design-choice comparison: run(true) evaluates the
+// system with the knob on, run(false) with it off. Both runs build their
+// own scheduler and field, so the eight runs of the four specs are
+// independent jobs for the pool.
+type ablationSpec struct {
+	name, unit, comment string
+	run                 func(with bool) float64
+}
+
+// AblationsParallel is Ablations with the eight underlying simulation
+// runs fanned across `parallel` workers. Row order and values match the
+// serial version exactly.
+func AblationsParallel(seed int64, parallel int) []AblationRow {
+	specs := ablationSpecs(seed)
+	vals := Map(parallel, len(specs)*2, func(i int) float64 {
+		return specs[i/2].run(i%2 == 0)
+	})
+	rows := make([]AblationRow, len(specs))
+	for i, spec := range specs {
+		rows[i] = AblationRow{
+			Name: spec.name, Unit: spec.unit, Comment: spec.comment,
+			With: vals[i*2], Without: vals[i*2+1],
+		}
+	}
+	return rows
+}
+
+func ablationSpecs(seed int64) []ablationSpec {
+	var specs []ablationSpec
 
 	// Prelude: coverage of a short (0.8 s) event.
 	preludeRun := func(prelude time.Duration) float64 {
@@ -44,9 +75,15 @@ func Ablations(seed int64) []AblationRow {
 		net.Run(sim.At(10 * time.Second))
 		return net.Collector.MissRatioAt(sim.At(10 * time.Second))
 	}
-	rows = append(rows, AblationRow{
-		Name: "prelude (0.8s event)", With: preludeRun(time.Second), Without: preludeRun(0),
-		Unit: "miss ratio", Comment: "short events survive election latency only with the prelude",
+	specs = append(specs, ablationSpec{
+		name: "prelude (0.8s event)", unit: "miss ratio",
+		comment: "short events survive election latency only with the prelude",
+		run: func(with bool) float64 {
+			if with {
+				return preludeRun(time.Second)
+			}
+			return preludeRun(0)
+		},
 	})
 
 	// Overhearing REJECT: redundancy under loss.
@@ -64,9 +101,10 @@ func Ablations(seed int64) []AblationRow {
 		net.Run(sim.At(18 * time.Second))
 		return net.Collector.RedundancyRatioAt(sim.At(18*time.Second), mote.DefaultSampleRate)
 	}
-	rows = append(rows, AblationRow{
-		Name: "overhearing REJECT (25% loss)", With: overhearRun(false), Without: overhearRun(true),
-		Unit: "redundancy ratio", Comment: "lost CONFIRMs duplicate recorders unless overheard confirms reject",
+	specs = append(specs, ablationSpec{
+		name: "overhearing REJECT (25% loss)", unit: "redundancy ratio",
+		comment: "lost CONFIRMs duplicate recorders unless overheard confirms reject",
+		run:     func(with bool) float64 { return overhearRun(!with) },
 	})
 
 	// Piggybacking: frames for a fixed mixed control load.
@@ -90,9 +128,10 @@ func Ablations(seed int64) []AblationRow {
 		s.Run(sim.At(time.Minute))
 		return float64(net.Stats().TotalFrames)
 	}
-	rows = append(rows, AblationRow{
-		Name: "piggybacking", With: piggyRun(true), Without: piggyRun(false),
-		Unit: "frames/minute", Comment: "delay-tolerant state rides on control frames",
+	specs = append(specs, ablationSpec{
+		name: "piggybacking", unit: "frames/minute",
+		comment: "delay-tolerant state rides on control frames",
+		run:     func(with bool) float64 { return piggyRun(with) },
 	})
 
 	// Recorder selection policy on a mobile event.
@@ -109,11 +148,12 @@ func Ablations(seed int64) []AblationRow {
 		net.Run(src.End.Add(3 * time.Second))
 		return net.Collector.MissRatioAt(src.End.Add(2 * time.Second))
 	}
-	rows = append(rows, AblationRow{
-		Name: "selection: signal-first vs TTL-first", With: selRun(true), Without: selRun(false),
-		Unit: "miss ratio", Comment: "equal-TTL groups fall back to signal either way",
+	specs = append(specs, ablationSpec{
+		name: "selection: signal-first vs TTL-first", unit: "miss ratio",
+		comment: "equal-TTL groups fall back to signal either way",
+		run:     func(with bool) float64 { return selRun(with) },
 	})
-	return rows
+	return specs
 }
 
 type ablationPayload struct {

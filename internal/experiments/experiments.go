@@ -82,6 +82,10 @@ type Fig6Opts struct {
 	Runs    int             // repetitions per parameter combination (paper: 15)
 	DtaMS   []int           // swept Dta values in ms (paper: 10..130 step 20)
 	TrcList []time.Duration // task periods (paper: 0.5, 1.0, 1.5 s)
+	// Parallel is the worker count for fanning the trc×Dta×runs sweep
+	// across goroutines; <= 1 runs serially. Results are bit-identical
+	// either way (each run owns its scheduler and RNG).
+	Parallel int
 }
 
 // DefaultFig6Opts mirrors the paper.
@@ -103,20 +107,28 @@ type Fig6Result struct {
 }
 
 // Fig6 sweeps Dta and Trc over the mobile-target crossing on the 8×6
-// grid, 15 runs per point, reporting the recording miss ratio.
+// grid, 15 runs per point, reporting the recording miss ratio. Every
+// (trc, dta, run) triple is an independent trial, so the whole sweep fans
+// out across opts.Parallel workers; aggregation walks the results in the
+// serial loop's order, keeping the output bit-identical.
 func Fig6(opts Fig6Opts) Fig6Result {
 	grid := workload.IndoorGrid()
+	runs := opts.Runs
+	jobs := len(opts.TrcList) * len(opts.DtaMS) * runs
+	miss := Map(opts.Parallel, jobs, func(i int) float64 {
+		ti := i / (len(opts.DtaMS) * runs)
+		di := i / runs % len(opts.DtaMS)
+		r := i % runs
+		dtaMS := opts.DtaMS[di]
+		return runMobileCrossing(opts.Seed+int64(r)*1000+int64(dtaMS), grid,
+			opts.TrcList[ti], time.Duration(dtaMS)*time.Millisecond)
+	})
 	res := Fig6Result{Opts: opts}
-	for _, trc := range opts.TrcList {
+	for ti := range opts.TrcList {
 		var means, cis []float64
-		for _, dtaMS := range opts.DtaMS {
-			var samples []float64
-			for r := 0; r < opts.Runs; r++ {
-				miss := runMobileCrossing(opts.Seed+int64(r)*1000+int64(dtaMS), grid, trc,
-					time.Duration(dtaMS)*time.Millisecond)
-				samples = append(samples, miss)
-			}
-			m, ci := meanCI90(samples)
+		for di := range opts.DtaMS {
+			base := (ti*len(opts.DtaMS) + di) * runs
+			m, ci := meanCI90(miss[base : base+runs])
 			means = append(means, m)
 			cis = append(cis, ci)
 		}
@@ -264,6 +276,10 @@ type IndoorOpts struct {
 	DetectProb float64
 	// SamplePoints is how many time samples the curves carry.
 	SamplePoints int
+	// Parallel is the worker count for running the five settings
+	// concurrently; <= 1 runs them serially. Each setting's run owns its
+	// scheduler and RNG, so the results are identical either way.
+	Parallel int
 }
 
 // DefaultIndoorOpts mirrors §IV-B: 4400 s, ~220 events, 4 hearers each.
@@ -328,8 +344,14 @@ func Indoor(opts IndoorOpts) IndoorResult {
 		Messages:   Series{Times: times, Curves: map[string][]float64{}},
 		Networks:   map[string]*core.Network{},
 	}
-	for _, setting := range IndoorSettings() {
-		net := RunIndoor(setting, opts)
+	settings := IndoorSettings()
+	// The five settings are independent simulations; fan them across the
+	// pool and aggregate in the fixed settings order.
+	nets := Map(opts.Parallel, len(settings), func(i int) *core.Network {
+		return RunIndoor(settings[i], opts)
+	})
+	for i, setting := range settings {
+		net := nets[i]
 		res.Networks[setting.Name] = net
 		var miss, red, msgs []float64
 		for _, t := range times {
@@ -372,6 +394,10 @@ type ForestOpts struct {
 	WorkloadSeed int64
 	Duration     time.Duration
 	FlashBlocks  int
+	// Parallel is the worker count used by ForestSweep when running the
+	// scenario over several seeds; a single Forest call is one simulation
+	// and runs on the calling goroutine regardless.
+	Parallel int
 }
 
 // DefaultForestOpts mirrors §IV-C: 36 motes, 3 hours.
@@ -398,6 +424,22 @@ type ForestResult struct {
 
 // Forest runs the outdoor deployment in full (balancing) mode.
 func Forest(opts ForestOpts) ForestResult {
+	return ForestSweep(opts, []int64{opts.Seed})[0]
+}
+
+// ForestSweep runs the outdoor deployment once per seed across
+// opts.Parallel workers and returns the results in seed order. Results
+// are bit-identical to calling Forest serially with each seed.
+func ForestSweep(opts ForestOpts, seeds []int64) []ForestResult {
+	return Map(opts.Parallel, len(seeds), func(i int) ForestResult {
+		o := opts
+		o.Seed = seeds[i]
+		return forestRun(o)
+	})
+}
+
+// forestRun executes one seed of the §IV-C scenario.
+func forestRun(opts ForestOpts) ForestResult {
 	positions := workload.ForestPositions(opts.WorkloadSeed)
 	field := acoustics.NewField(1)
 	field.DetectProb = 0.8

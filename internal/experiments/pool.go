@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the parallel run harness. Every experiment in the
+// reproduction is a pure function of (scenario, seed) — each run owns its
+// own sim.Scheduler and seeded RNG and touches no shared mutable state —
+// so independent runs can fan out across goroutines while remaining
+// bit-identical to a serial sweep: results land in an index-addressed
+// slice and are aggregated in the same order a serial loop would have
+// produced them. See DESIGN.md "Determinism under parallelism".
+
+// DefaultParallel returns the worker count used when a caller asks for
+// "as parallel as the machine allows": GOMAXPROCS.
+func DefaultParallel() int { return runtime.GOMAXPROCS(0) }
+
+// Map evaluates fn(0..n-1) and returns the results in index order.
+// workers bounds the number of concurrent evaluations; values <= 1 run
+// the jobs serially on the calling goroutine, in order. fn must be safe
+// for concurrent invocation when workers > 1 (every experiment job is:
+// it builds its own scheduler, field, and network from its index).
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	if workers <= 1 || n <= 1 {
+		for i := range out {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrderingAndCoverage(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		got := Map(workers, 33, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	var inFlight, peak atomic.Int64
+	Map(3, 50, func(i int) struct{} {
+		n := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		inFlight.Add(-1)
+		return struct{}{}
+	})
+	if p := peak.Load(); p > 3 {
+		t.Errorf("observed %d concurrent jobs with 3 workers", p)
+	}
+}
+
+func TestMapZeroJobs(t *testing.T) {
+	if got := Map(4, 0, func(i int) int { return i }); len(got) != 0 {
+		t.Fatalf("Map with 0 jobs returned %v", got)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Determinism regression tests: the acceptance criterion is that serial
+// and parallel harness runs produce bit-identical figure results for the
+// same seeds.
+// ---------------------------------------------------------------------
+
+func TestFig6SerialParallelIdentical(t *testing.T) {
+	base := Fig6Opts{
+		Seed:    1,
+		Runs:    3,
+		DtaMS:   []int{10, 70},
+		TrcList: []time.Duration{time.Second},
+	}
+	serial := base
+	serial.Parallel = 1
+	parallel := base
+	parallel.Parallel = 4
+
+	a, b := Fig6(serial), Fig6(parallel)
+	if !reflect.DeepEqual(a.Mean, b.Mean) || !reflect.DeepEqual(a.CI90, b.CI90) {
+		t.Fatalf("serial and parallel Fig6 diverge:\nserial:   %+v %+v\nparallel: %+v %+v",
+			a.Mean, a.CI90, b.Mean, b.CI90)
+	}
+}
+
+func TestIndoorSerialParallelIdentical(t *testing.T) {
+	base := IndoorOpts{
+		Seed:         42,
+		WorkloadSeed: 7,
+		Duration:     3 * time.Minute,
+		FlashBlocks:  32,
+		DetectProb:   0.6,
+		SamplePoints: 4,
+	}
+	serial := base
+	serial.Parallel = 1
+	parallel := base
+	parallel.Parallel = 5
+
+	a, b := Indoor(serial), Indoor(parallel)
+	for _, pair := range []struct {
+		name string
+		x, y Series
+	}{
+		{"miss", a.Miss, b.Miss},
+		{"redundancy", a.Redundancy, b.Redundancy},
+		{"messages", a.Messages, b.Messages},
+	} {
+		if !reflect.DeepEqual(pair.x.Curves, pair.y.Curves) {
+			t.Errorf("serial and parallel Indoor %s curves diverge:\nserial:   %v\nparallel: %v",
+				pair.name, pair.x.Curves, pair.y.Curves)
+		}
+	}
+}
+
+func TestAblationsSerialParallelIdentical(t *testing.T) {
+	a := AblationsParallel(9, 1)
+	b := AblationsParallel(9, 8)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("serial and parallel ablations diverge:\nserial:   %+v\nparallel: %+v", a, b)
+	}
+}
+
+func TestForestSweepSerialParallelIdentical(t *testing.T) {
+	opts := ForestOpts{Seed: 3, WorkloadSeed: 2006, Duration: 4 * time.Minute, FlashBlocks: 64}
+	seeds := []int64{3, 4}
+
+	serialOpts := opts
+	serialOpts.Parallel = 1
+	parallelOpts := opts
+	parallelOpts.Parallel = 2
+
+	a := ForestSweep(serialOpts, seeds)
+	b := ForestSweep(parallelOpts, seeds)
+	if len(a) != len(b) {
+		t.Fatalf("sweep lengths diverge: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !reflect.DeepEqual(a[i].PerMinute, b[i].PerMinute) {
+			t.Errorf("seed %d: PerMinute diverges", seeds[i])
+		}
+		if !reflect.DeepEqual(a[i].BytesByNode, b[i].BytesByNode) {
+			t.Errorf("seed %d: BytesByNode diverges", seeds[i])
+		}
+		if a[i].HottestNode != b[i].HottestNode {
+			t.Errorf("seed %d: hottest node %d vs %d", seeds[i], a[i].HottestNode, b[i].HottestNode)
+		}
+		if !reflect.DeepEqual(a[i].MigratedFromHottest, b[i].MigratedFromHottest) {
+			t.Errorf("seed %d: migration map diverges", seeds[i])
+		}
+	}
+	// The sweep must also match individual Forest calls (the serial path).
+	single := opts
+	single.Seed = seeds[1]
+	if c := Forest(single); !reflect.DeepEqual(c.PerMinute, a[1].PerMinute) {
+		t.Error("ForestSweep result diverges from a direct Forest call")
+	}
+}

@@ -1,0 +1,81 @@
+package geometry
+
+import "fmt"
+
+// CellIndex is a uniform-grid spatial index over a fixed set of points,
+// built for radius queries whose radius equals the cell size. It exists
+// for the radio layer's neighbor lookups: motes are static, so the index
+// is built once per topology change and then answers "who is within
+// communication range of p" by scanning at most the 3×3 block of cells
+// around p instead of every deployed node.
+//
+// The index stores caller-provided integer handles (the radio layer uses
+// positions in its ID-sorted endpoint slice) and never interprets them.
+type CellIndex struct {
+	cell  float64
+	pts   []Point
+	cells map[cellCoord][]int32
+}
+
+type cellCoord struct{ cx, cy int32 }
+
+// BuildCellIndex indexes pts with the given cell size. The query radius
+// passed to Within must not exceed cellSize, which is enforced there.
+// Handles are the indices into pts.
+func BuildCellIndex(pts []Point, cellSize float64) *CellIndex {
+	if cellSize <= 0 {
+		panic(fmt.Sprintf("geometry: non-positive cell size %v", cellSize))
+	}
+	idx := &CellIndex{
+		cell:  cellSize,
+		pts:   pts,
+		cells: make(map[cellCoord][]int32, len(pts)),
+	}
+	for i, p := range pts {
+		c := idx.coord(p)
+		idx.cells[c] = append(idx.cells[c], int32(i))
+	}
+	return idx
+}
+
+func (idx *CellIndex) coord(p Point) cellCoord {
+	return cellCoord{cx: floorDiv(p.X, idx.cell), cy: floorDiv(p.Y, idx.cell)}
+}
+
+func floorDiv(v, cell float64) int32 {
+	q := v / cell
+	i := int32(q)
+	if q < 0 && float64(i) != q {
+		i--
+	}
+	return i
+}
+
+// Len returns the number of indexed points.
+func (idx *CellIndex) Len() int { return len(idx.pts) }
+
+// Within appends to dst the handles of every indexed point q with
+// p.Dist(q) <= r, excluding the handle `self` (pass a negative value to
+// keep all). The output order is unspecified; callers needing determinism
+// sort it. r must not exceed the cell size — a larger radius could reach
+// beyond the 3×3 scan block.
+func (idx *CellIndex) Within(p Point, r float64, self int, dst []int) []int {
+	if r > idx.cell {
+		panic(fmt.Sprintf("geometry: query radius %v exceeds cell size %v", r, idx.cell))
+	}
+	center := idx.coord(p)
+	for dy := int32(-1); dy <= 1; dy++ {
+		for dx := int32(-1); dx <= 1; dx++ {
+			bucket := idx.cells[cellCoord{cx: center.cx + dx, cy: center.cy + dy}]
+			for _, h := range bucket {
+				if int(h) == self {
+					continue
+				}
+				if p.Dist(idx.pts[h]) <= r {
+					dst = append(dst, int(h))
+				}
+			}
+		}
+	}
+	return dst
+}

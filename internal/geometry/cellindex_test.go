@@ -1,0 +1,127 @@
+package geometry
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// deployments returns named point sets exercising the index's edge cases:
+// uniform random spread, tight clusters with empty space between them
+// (many points per cell), and collinear layouts sitting exactly on cell
+// boundaries.
+func deployments(r float64) map[string][]Point {
+	rng := rand.New(rand.NewSource(7))
+	random := make([]Point, 120)
+	for i := range random {
+		random[i] = Point{X: rng.Float64()*40 - 20, Y: rng.Float64()*40 - 20}
+	}
+	var clustered []Point
+	for _, c := range []Point{{X: -15, Y: -15}, {X: 12, Y: 3}, {X: 0, Y: 18}} {
+		for i := 0; i < 40; i++ {
+			clustered = append(clustered, Point{
+				X: c.X + rng.Float64()*r - r/2,
+				Y: c.Y + rng.Float64()*r - r/2,
+			})
+		}
+	}
+	collinear := make([]Point, 60)
+	for i := range collinear {
+		// Spacing of exactly r/2 puts many pairs exactly at distance r
+		// and every point on or near a cell boundary.
+		collinear[i] = Point{X: float64(i) * r / 2, Y: 0}
+	}
+	return map[string][]Point{"random": random, "clustered": clustered, "collinear": collinear}
+}
+
+func bruteWithin(pts []Point, p Point, r float64, self int) []int {
+	var out []int
+	for i, q := range pts {
+		if i != self && p.Dist(q) <= r {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func TestCellIndexMatchesBruteForce(t *testing.T) {
+	const r = 3.5
+	for name, pts := range deployments(r) {
+		idx := BuildCellIndex(pts, r)
+		for i, p := range pts {
+			got := idx.Within(p, r, i, nil)
+			sort.Ints(got)
+			want := bruteWithin(pts, p, r, i)
+			if len(got) != len(want) {
+				t.Fatalf("%s: point %d: index found %d neighbors, brute force %d",
+					name, i, len(got), len(want))
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					t.Fatalf("%s: point %d: neighbor sets diverge: %v vs %v", name, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCellIndexQueryFromArbitraryPoint(t *testing.T) {
+	const r = 2.0
+	pts := deployments(r)["random"]
+	idx := BuildCellIndex(pts, r)
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		q := Point{X: rng.Float64()*50 - 25, Y: rng.Float64()*50 - 25}
+		got := idx.Within(q, r, -1, nil)
+		sort.Ints(got)
+		want := bruteWithin(pts, q, r, -1)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d vs %d neighbors", trial, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("trial %d: %v vs %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestCellIndexNegativeCoordinates(t *testing.T) {
+	// floorDiv must bin negative coordinates consistently: -0.1 and +0.1
+	// are in different cells but still within radius of each other.
+	pts := []Point{{X: -0.1}, {X: 0.1}}
+	idx := BuildCellIndex(pts, 1)
+	got := idx.Within(pts[0], 1, 0, nil)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Within across the origin boundary = %v, want [1]", got)
+	}
+}
+
+func TestCellIndexValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { BuildCellIndex(nil, 0) },
+		func() { BuildCellIndex([]Point{{}}, 1).Within(Point{}, 2, -1, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid cell index use did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCellIndexReusesDst(t *testing.T) {
+	pts := []Point{{X: 0}, {X: 1}, {X: 2}}
+	idx := BuildCellIndex(pts, 1.5)
+	buf := make([]int, 0, 8)
+	got := idx.Within(pts[1], 1.5, 1, buf)
+	if len(got) != 2 {
+		t.Fatalf("got %v", got)
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Error("Within did not append into the provided buffer")
+	}
+}

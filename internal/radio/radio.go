@@ -93,6 +93,12 @@ type Config struct {
 	ByteTime time.Duration
 	// TurnaroundDelay is fixed per-frame MAC/backoff latency.
 	TurnaroundDelay time.Duration
+	// BruteForce disables the spatial neighbor index and re-scans every
+	// endpoint on each transmission, as the model originally did. The two
+	// paths are bit-identical for a fixed seed (asserted by tests); this
+	// switch exists as the reference implementation for those tests and
+	// as an escape hatch for debugging the index.
+	BruteForce bool
 }
 
 // DefaultConfig mirrors a MicaZ-class mote running the 2006-era TinyOS
@@ -114,7 +120,20 @@ type Network struct {
 	cfg   Config
 	sched *sim.Scheduler
 	eps   map[int]*Endpoint
+	// byID holds every endpoint in ascending node-ID order; it backs both
+	// the spatial index and the deterministic receiver iteration.
+	byID  []*Endpoint
 	stats Stats
+
+	// epoch counts topology changes (Join, SetPos, Kill). Cached neighbor
+	// lists and the cell grid are tagged with the epoch they were built at
+	// and rebuilt lazily when it moves on — this is what keeps the data
+	// mule's relocations correct.
+	epoch     uint64
+	grid      *geometry.CellIndex
+	gridEpoch uint64
+	// scratch is the reusable candidate buffer for neighbor rebuilds.
+	scratch []int
 }
 
 // Stats aggregates transmission counts for the overhead figures.
@@ -149,6 +168,7 @@ func NewNetwork(s *sim.Scheduler, cfg Config) *Network {
 		cfg:   cfg,
 		sched: s,
 		eps:   make(map[int]*Endpoint),
+		epoch: 1,
 		stats: Stats{
 			TxByKind:     make(map[string]uint64),
 			TxByNode:     make(map[int]uint64),
@@ -157,9 +177,29 @@ func NewNetwork(s *sim.Scheduler, cfg Config) *Network {
 	}
 }
 
-// Stats returns a snapshot view of the accumulated counters. The maps are
-// shared; callers must not mutate them.
-func (n *Network) Stats() *Stats { return &n.stats }
+// Stats returns a deep-copied snapshot of the accumulated counters. The
+// returned struct and its maps are owned by the caller; mutating them
+// does not affect the network, and they do not track later traffic.
+func (n *Network) Stats() *Stats {
+	cp := n.stats
+	cp.TxByKind = make(map[string]uint64, len(n.stats.TxByKind))
+	for k, v := range n.stats.TxByKind {
+		cp.TxByKind[k] = v
+	}
+	cp.TxByNode = make(map[int]uint64, len(n.stats.TxByNode))
+	for k, v := range n.stats.TxByNode {
+		cp.TxByNode[k] = v
+	}
+	cp.TxByNodeKind = make(map[int]map[string]uint64, len(n.stats.TxByNodeKind))
+	for node, kinds := range n.stats.TxByNodeKind {
+		nk := make(map[string]uint64, len(kinds))
+		for k, v := range kinds {
+			nk[k] = v
+		}
+		cp.TxByNodeKind[node] = nk
+	}
+	return &cp
+}
 
 // Config returns the network configuration.
 func (n *Network) Config() Config { return n.cfg }
@@ -175,21 +215,86 @@ func (n *Network) Join(id int, pos geometry.Point) *Endpoint {
 	}
 	ep := &Endpoint{id: id, pos: pos, net: n, on: true}
 	n.eps[id] = ep
+	// Insert in ascending ID order (deployments usually join in order, so
+	// this is an append in practice).
+	at := len(n.byID)
+	for at > 0 && n.byID[at-1].id > id {
+		at--
+	}
+	n.byID = append(n.byID, nil)
+	copy(n.byID[at+1:], n.byID[at:])
+	n.byID[at] = ep
+	for i := at; i < len(n.byID); i++ {
+		n.byID[i].ord = i
+	}
+	n.invalidate()
 	return ep
 }
 
+// invalidate marks every cached neighbor list and the cell grid stale.
+func (n *Network) invalidate() { n.epoch++ }
+
+// neighborsOf returns the endpoints within communication range of e in
+// ascending ID order, excluding e itself but including dead and
+// radio-off endpoints (power state is checked at delivery time, exactly
+// like the original full scan). The list is cached on the endpoint and
+// rebuilt from the cell grid after a topology change; rebuilds allocate a
+// fresh slice so in-flight delivery closures keep the receiver set that
+// was in range when their frame was sent.
+func (n *Network) neighborsOf(e *Endpoint) []*Endpoint {
+	if e.nbEpoch == n.epoch {
+		return e.neighbors
+	}
+	if n.gridEpoch != n.epoch {
+		pts := make([]geometry.Point, len(n.byID))
+		for i, ep := range n.byID {
+			pts[i] = ep.pos
+		}
+		n.grid = geometry.BuildCellIndex(pts, n.cfg.CommRange)
+		n.gridEpoch = n.epoch
+	}
+	cand := n.grid.Within(e.pos, n.cfg.CommRange, e.ord, n.scratch[:0])
+	n.scratch = cand
+	sortInts(cand) // byID positions ascending == node IDs ascending
+	nb := make([]*Endpoint, len(cand))
+	for i, h := range cand {
+		nb[i] = n.byID[h]
+	}
+	e.neighbors = nb
+	e.nbEpoch = n.epoch
+	return nb
+}
+
+// bruteReceivers is the pre-index receiver enumeration, kept as the
+// reference path for Config.BruteForce and the equivalence tests.
+func (n *Network) bruteReceivers(e *Endpoint) []*Endpoint {
+	ids := make([]int, 0, len(n.eps))
+	for id := range n.eps {
+		if id != e.id {
+			ids = append(ids, id)
+		}
+	}
+	sortInts(ids)
+	var out []*Endpoint
+	for _, id := range ids {
+		if rx := n.eps[id]; e.pos.Dist(rx.pos) <= n.cfg.CommRange {
+			out = append(out, rx)
+		}
+	}
+	return out
+}
+
 // Neighbors returns the IDs of nodes within communication range of id
-// (excluding itself), regardless of power state.
+// (excluding itself), regardless of power state, in ascending order.
 func (n *Network) Neighbors(id int) []int {
 	self, ok := n.eps[id]
 	if !ok {
 		panic(fmt.Sprintf("radio: unknown node %d", id))
 	}
-	var out []int
-	for other, ep := range n.eps {
-		if other != id && self.pos.Dist(ep.pos) <= n.cfg.CommRange {
-			out = append(out, other)
-		}
+	nbs := n.neighborsOf(self)
+	out := make([]int, len(nbs))
+	for i, ep := range nbs {
+		out[i] = ep.id
 	}
 	return out
 }
@@ -203,6 +308,13 @@ type Endpoint struct {
 	handler  Handler
 	listener ActivityListener
 	dead     bool
+
+	// ord is the endpoint's position in net.byID.
+	ord int
+	// neighbors caches the in-range receiver list (ascending ID), valid
+	// while nbEpoch matches the network epoch.
+	neighbors []*Endpoint
+	nbEpoch   uint64
 }
 
 // ID returns the node ID.
@@ -213,7 +325,11 @@ func (e *Endpoint) Pos() geometry.Point { return e.pos }
 
 // SetPos relocates the endpoint. Motes are fixed after deployment; this
 // exists for the data mule, which physically moves between query stops.
-func (e *Endpoint) SetPos(p geometry.Point) { e.pos = p }
+// Moving invalidates the network's cached neighbor lists.
+func (e *Endpoint) SetPos(p geometry.Point) {
+	e.pos = p
+	e.net.invalidate()
+}
 
 // SetHandler installs the frame receiver. Installing nil silences the
 // endpoint (frames still consume RX activity — the radio hardware
@@ -230,8 +346,14 @@ func (e *Endpoint) SetRadio(on bool) { e.on = on }
 // RadioOn reports the power state.
 func (e *Endpoint) RadioOn() bool { return e.on && !e.dead }
 
-// Kill permanently disables the endpoint (node failure injection).
-func (e *Endpoint) Kill() { e.dead = true }
+// Kill permanently disables the endpoint (node failure injection). Dead
+// endpoints stay in neighbor lists — a transmission still reaches their
+// position and is counted as dropped, matching the full-scan behaviour —
+// but the caches are invalidated anyway so the index never goes stale.
+func (e *Endpoint) Kill() {
+	e.dead = true
+	e.net.invalidate()
+}
 
 // Alive reports whether the endpoint is functional.
 func (e *Endpoint) Alive() bool { return !e.dead }
@@ -270,39 +392,69 @@ func (e *Endpoint) Send(to int, payload Payload, piggyback ...Payload) {
 		e.listener.RadioActivity(ActivityTx, airTime)
 	}
 
-	// Deterministic receiver iteration: map order would break
-	// reproducibility, so walk IDs in ascending order.
-	ids := make([]int, 0, len(n.eps))
-	for id := range n.eps {
-		if id != e.id {
-			ids = append(ids, id)
+	// Receiver enumeration. Both paths yield the in-range endpoints in
+	// ascending ID order — the order the original full scan used — so the
+	// per-receiver RNG draws below consume the run's random stream
+	// identically whichever path is active.
+	var receivers []*Endpoint
+	if n.cfg.BruteForce {
+		receivers = n.bruteReceivers(e)
+	} else {
+		receivers = n.neighborsOf(e)
+	}
+	if len(receivers) == 0 {
+		return
+	}
+
+	// Loss is drawn per receiver at transmission time (ascending ID
+	// order), then carried to the delivery event as a bitmap. Receiver
+	// sets above 64 spill into an allocated slice; typical densities fit
+	// the single word.
+	var lossWord uint64
+	var lossBits []uint64
+	if n.cfg.LossProb > 0 {
+		if len(receivers) > 64 {
+			lossBits = make([]uint64, (len(receivers)+63)/64)
+		}
+		for i := range receivers {
+			if n.sched.Rand().Float64() < n.cfg.LossProb {
+				if lossBits != nil {
+					lossBits[i/64] |= 1 << (i % 64)
+				} else {
+					lossWord |= 1 << i
+				}
+			}
 		}
 	}
-	sortInts(ids)
-	for _, id := range ids {
-		rx := n.eps[id]
-		if e.pos.Dist(rx.pos) > n.cfg.CommRange {
-			continue
-		}
-		lost := n.cfg.LossProb > 0 && n.sched.Rand().Float64() < n.cfg.LossProb
-		n.sched.After(airTime, "radio.deliver:"+payload.Kind(), func() {
+
+	// One scheduler event delivers to every receiver, walking the same
+	// ascending ID order the per-receiver events fired in (they shared a
+	// timestamp and were scheduled back-to-back, so their heap order was
+	// exactly this iteration order).
+	rxTime := time.Duration(f.TotalSize()) * n.cfg.ByteTime
+	n.sched.After(airTime, "radio.deliver:"+payload.Kind(), func() {
+		for i, rx := range receivers {
 			if !rx.RadioOn() {
 				n.stats.DroppedRadioOff++
-				return
+				continue
+			}
+			lost := lossWord&(1<<i) != 0
+			if lossBits != nil {
+				lost = lossBits[i/64]&(1<<(i%64)) != 0
 			}
 			if lost {
 				n.stats.Lost++
-				return
+				continue
 			}
 			n.stats.Delivered++
 			if rx.listener != nil {
-				rx.listener.RadioActivity(ActivityRx, time.Duration(f.TotalSize())*n.cfg.ByteTime)
+				rx.listener.RadioActivity(ActivityRx, rxTime)
 			}
 			if rx.handler != nil {
 				rx.handler.HandleFrame(f)
 			}
-		})
-	}
+		}
+	})
 }
 
 func sortInts(a []int) {

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestEventRecycling verifies the free list actually reuses event structs
+// between schedulings (the allocation win the radio hot path depends on).
+func TestEventRecycling(t *testing.T) {
+	s := NewScheduler(1)
+	fired := 0
+	for i := 0; i < 100; i++ {
+		s.After(time.Millisecond, "tick", func() { fired++ })
+		s.RunAll()
+	}
+	if fired != 100 {
+		t.Fatalf("fired %d, want 100", fired)
+	}
+	if len(s.free) == 0 {
+		t.Fatal("free list empty after 100 fire/release cycles")
+	}
+	if len(s.free) > 2 {
+		t.Errorf("free list grew to %d for a one-event-at-a-time workload", len(s.free))
+	}
+}
+
+// TestStaleTimerCannotCancelRecycledEvent is the safety property of the
+// free list: a Timer whose event has fired and been reused must be inert,
+// not cancel the new occupant.
+func TestStaleTimerCannotCancelRecycledEvent(t *testing.T) {
+	s := NewScheduler(1)
+	first := s.After(time.Millisecond, "first", func() {})
+	s.RunAll()
+	if first.Pending() {
+		t.Fatal("fired timer still pending")
+	}
+
+	secondFired := false
+	second := s.After(time.Millisecond, "second", func() { secondFired = true })
+	// The scheduler recycled the struct; the stale handle must be a no-op.
+	if first.Cancel() {
+		t.Fatal("stale timer claimed to cancel something")
+	}
+	if !second.Pending() {
+		t.Fatal("new event lost its pending state to a stale handle")
+	}
+	s.RunAll()
+	if !secondFired {
+		t.Fatal("recycled event did not fire")
+	}
+}
+
+// TestCancelledEventsAreReaped verifies cancelled events return to the
+// free list when popped, and their timers stay consistent.
+func TestCancelledEventsAreReaped(t *testing.T) {
+	s := NewScheduler(1)
+	var fired int
+	tm := s.After(time.Millisecond, "doomed", func() { fired++ })
+	keep := s.After(2*time.Millisecond, "kept", func() { fired += 10 })
+	if !tm.Cancel() {
+		t.Fatal("cancel failed while pending")
+	}
+	if tm.Cancel() {
+		t.Fatal("double cancel succeeded")
+	}
+	s.RunAll()
+	if fired != 10 {
+		t.Fatalf("fired = %d, want only the kept event", fired)
+	}
+	if keep.Pending() || tm.Pending() {
+		t.Error("timers still pending after drain")
+	}
+	if len(s.free) != 2 {
+		t.Errorf("free list has %d events, want 2 (one fired, one reaped)", len(s.free))
+	}
+}
+
+// TestRecyclingPreservesOrdering schedules interleaved recycled events
+// and checks strict (time, seq) execution order survives reuse.
+func TestRecyclingPreservesOrdering(t *testing.T) {
+	s := NewScheduler(1)
+	var order []int
+	// Warm the free list.
+	for i := 0; i < 8; i++ {
+		s.After(time.Microsecond, "warm", func() {})
+	}
+	s.RunAll()
+	for i := 0; i < 8; i++ {
+		i := i
+		s.At(At(time.Duration(8-i)*time.Millisecond), "ordered", func() { order = append(order, 8-i) })
+	}
+	s.RunAll()
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("execution order %v not time-sorted", order)
+		}
+	}
+	if len(order) != 8 {
+		t.Fatalf("executed %d events, want 8", len(order))
+	}
+}

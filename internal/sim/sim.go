@@ -42,15 +42,21 @@ func At(d time.Duration) Time { return Time(d) }
 
 // Timer is a handle to a scheduled callback. The zero value is not useful;
 // timers are produced by Scheduler.At and Scheduler.After.
+//
+// Event structs are recycled through a free list once they fire or are
+// reaped, so the handle carries the generation it was issued for; a stale
+// Timer whose event has been reused becomes an inert no-op instead of
+// cancelling the new occupant.
 type Timer struct {
-	ev *event
+	ev  *event
+	gen uint64
 }
 
 // Cancel prevents the callback from firing. Cancelling an already-fired or
 // already-cancelled timer is a no-op. It reports whether the timer was
 // still pending.
 func (t *Timer) Cancel() bool {
-	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.fired {
+	if t == nil || t.ev == nil || t.ev.gen != t.gen || t.ev.cancelled || t.ev.fired {
 		return false
 	}
 	t.ev.cancelled = true
@@ -60,12 +66,13 @@ func (t *Timer) Cancel() bool {
 // Pending reports whether the callback has neither fired nor been
 // cancelled.
 func (t *Timer) Pending() bool {
-	return t != nil && t.ev != nil && !t.ev.cancelled && !t.ev.fired
+	return t != nil && t.ev != nil && t.ev.gen == t.gen && !t.ev.cancelled && !t.ev.fired
 }
 
 type event struct {
 	at        Time
 	seq       uint64
+	gen       uint64
 	name      string
 	fn        func()
 	cancelled bool
@@ -118,6 +125,39 @@ type Scheduler struct {
 	executed uint64
 	// maxEvents aborts runaway simulations; 0 means no limit.
 	maxEvents uint64
+	// free recycles event structs between schedulings. Per-event heap
+	// allocation dominated the radio hot path before this list existed.
+	free []*event
+}
+
+// alloc takes an event from the free list (or the heap allocator) and
+// initialises it for scheduling.
+func (s *Scheduler) alloc(at Time, name string, fn func()) *event {
+	var ev *event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		ev.cancelled = false
+		ev.fired = false
+	} else {
+		ev = &event{}
+	}
+	ev.at = at
+	ev.seq = s.seq
+	ev.name = name
+	ev.fn = fn
+	s.seq++
+	return ev
+}
+
+// release returns a popped event to the free list. Bumping the generation
+// invalidates any Timer handles still pointing at it.
+func (s *Scheduler) release(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.name = ""
+	s.free = append(s.free, ev)
 }
 
 // NewScheduler returns a scheduler whose randomness is derived entirely
@@ -147,10 +187,9 @@ func (s *Scheduler) At(t Time, name string, fn func()) *Timer {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling %q at %v before now %v", name, t, s.now))
 	}
-	ev := &event{at: t, seq: s.seq, name: name, fn: fn}
-	s.seq++
+	ev := s.alloc(t, name, fn)
 	heap.Push(&s.queue, ev)
-	return &Timer{ev: ev}
+	return &Timer{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn d after the current time. Negative d panics.
@@ -178,6 +217,7 @@ func (s *Scheduler) Run(until Time) uint64 {
 		}
 		heap.Pop(&s.queue)
 		if next.cancelled {
+			s.release(next)
 			continue
 		}
 		s.now = next.at
@@ -189,6 +229,7 @@ func (s *Scheduler) Run(until Time) uint64 {
 			panic(fmt.Sprintf("sim: event limit %d exceeded (last event %q at %v)",
 				s.maxEvents, next.name, next.at))
 		}
+		s.release(next)
 	}
 	if s.now < until {
 		s.now = until
@@ -204,6 +245,7 @@ func (s *Scheduler) RunAll() uint64 {
 	for len(s.queue) > 0 && !s.stopped {
 		next := heap.Pop(&s.queue).(*event)
 		if next.cancelled {
+			s.release(next)
 			continue
 		}
 		s.now = next.at
@@ -215,6 +257,7 @@ func (s *Scheduler) RunAll() uint64 {
 			panic(fmt.Sprintf("sim: event limit %d exceeded (last event %q at %v)",
 				s.maxEvents, next.name, next.at))
 		}
+		s.release(next)
 	}
 	return n
 }

@@ -1,0 +1,28 @@
+#!/bin/sh
+# Regenerates BENCH_radio.json: the radio hot-path and full-figure
+# benchmark baseline recorded with each PR that touches the fast path.
+# Usage: scripts/bench_radio.sh [output-file]
+set -e
+out="${1:-BENCH_radio.json}"
+cd "$(dirname "$0")/.."
+
+raw=$(go test -run '^$' -bench 'RadioSend|IndoorFigure|Fig06Sweep' -benchmem -benchtime 0.5s . 2>&1)
+echo "$raw" | grep -E '^Benchmark' | awk -v host="$(uname -sm)" '
+BEGIN { print "{"; printf "  \"host\": \"%s\",\n  \"benchmarks\": [\n", host; first=1 }
+{
+  name=$1; sub(/-[0-9]+$/, "", name)
+  nsop=""; bop=""; allocs=""
+  for (i=2; i<=NF; i++) {
+    if ($(i+1) == "ns/op") nsop=$i
+    if ($(i+1) == "B/op") bop=$i
+    if ($(i+1) == "allocs/op") allocs=$i
+  }
+  if (!first) printf ",\n"
+  first=0
+  printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s", name, $2, nsop
+  if (bop != "") printf ", \"bytes_per_op\": %s, \"allocs_per_op\": %s", bop, allocs
+  printf "}"
+}
+END { print "\n  ]\n}" }
+' > "$out"
+echo "wrote $out"

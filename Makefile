@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench figures
+.PHONY: build test check bench figures profile
 
 build:
 	$(GO) build ./...
@@ -9,15 +9,23 @@ test:
 	$(GO) test ./...
 
 # check is the pre-merge tier: vet, build, and the full test suite under
-# the race detector (exercises the parallel experiment pool).
+# the race detector (exercises the parallel experiment pool), including
+# the kind-registry guard test at the repo root.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
 
-# bench regenerates BENCH_radio.json (radio hot path + full-figure runs).
+# bench regenerates BENCH_msgplane.json (message-plane micro-benchmarks
+# plus the full-figure runs; supersedes the old bench_radio.sh).
 bench:
-	sh scripts/bench_radio.sh
+	sh scripts/bench.sh
+
+# profile runs the indoor scenario under the CPU and allocation
+# profilers; inspect with `go tool pprof cpu.pprof` / `mem.pprof`.
+profile:
+	$(GO) run ./cmd/enviromic-sim -scenario indoor -duration 20m \
+		-cpuprofile cpu.pprof -memprofile mem.pprof
 
 figures:
 	$(GO) run ./cmd/enviromic-figures -quick

@@ -386,7 +386,7 @@ func benchRadioSend(b *testing.B, cols, rows int) {
 		eps[i] = net.Join(i, p)
 		eps[i].SetHandler(radio.HandlerFunc(func(f *radio.Frame) {}))
 	}
-	payload := benchPayload{kind: "bench", size: 24}
+	payload := benchPayload{kind: kindBench, size: 24}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -413,12 +413,53 @@ func BenchmarkRadioSend48BruteForce(b *testing.B) {
 		eps[i] = net.Join(i, p)
 		eps[i].SetHandler(radio.HandlerFunc(func(f *radio.Frame) {}))
 	}
-	payload := benchPayload{kind: "bench", size: 24}
+	payload := benchPayload{kind: kindBench, size: 24}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eps[i%len(eps)].Send(radio.Broadcast, payload)
 		s.RunAll()
+	}
+}
+
+// ---------------------------------------------------------------------
+// Message-plane micro-benchmarks (BENCH_msgplane.json): kind dispatch
+// through the netstack's dense handler table and the chunk pool's
+// split/free round-trip.
+// ---------------------------------------------------------------------
+
+// BenchmarkStackDispatch is one urgent send plus its delivery and
+// per-kind handler dispatch between two stacks.
+func BenchmarkStackDispatch(b *testing.B) {
+	s := sim.NewScheduler(1)
+	cfg := radio.DefaultConfig(5)
+	cfg.LossProb = 0
+	net := radio.NewNetwork(s, cfg)
+	a := netstack.NewStack(net.Join(0, geometry.Point{}), s)
+	c := netstack.NewStack(net.Join(1, geometry.Point{X: 1}), s)
+	delivered := 0
+	c.Register(kindBench, func(from, to int, p radio.Payload) { delivered++ })
+	payload := benchPayload{kind: kindBench, size: 24}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.SendUrgent(radio.Broadcast, payload)
+		s.RunAll()
+	}
+	if delivered == 0 {
+		b.Fatal("no payloads dispatched")
+	}
+}
+
+// BenchmarkChunkSplit segments one second of audio into pooled chunks
+// and recycles them — the recording path's per-task storage cost.
+func BenchmarkChunkSplit(b *testing.B) {
+	samples := make([]byte, int(mote.DefaultSampleRate))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chunks := flash.SplitSamples(1, 2, 0, sim.At(0), sim.At(time.Second), samples)
+		flash.FreeChunks(chunks)
 	}
 }
 
@@ -533,10 +574,10 @@ func BenchmarkAblationPiggyback(b *testing.B) {
 		for i, st := range stacks {
 			st := st
 			sim.NewTicker(s, 500*time.Millisecond, "urgent", func() {
-				st.SendUrgent(radio.Broadcast, benchPayload{kind: "ctl", size: 9})
+				st.SendUrgent(radio.Broadcast, benchPayload{kind: kindBenchCtl, size: 9})
 			})
 			sim.NewTicker(s, time.Second, "state", func() {
-				st.SendDelayTolerant(benchPayload{kind: "state", size: 6})
+				st.SendDelayTolerant(benchPayload{kind: kindBenchState, size: 6})
 			})
 			_ = i
 		}
@@ -552,13 +593,19 @@ func BenchmarkAblationPiggyback(b *testing.B) {
 	b.ReportMetric(float64(without), "frames-no-piggyback")
 }
 
+var (
+	kindBench      = radio.RegisterKind("bench")
+	kindBenchCtl   = radio.RegisterKind("ctl")
+	kindBenchState = radio.RegisterKind("state")
+)
+
 type benchPayload struct {
-	kind string
+	kind radio.KindID
 	size int
 }
 
-func (p benchPayload) Kind() string { return p.kind }
-func (p benchPayload) Size() int    { return p.size }
+func (p benchPayload) Kind() radio.KindID { return p.kind }
+func (p benchPayload) Size() int          { return p.size }
 
 // BenchmarkAblationOverhearing quantifies the duplicate-recording
 // suppression of the TASK_REJECT optimization under loss.

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -247,7 +248,15 @@ func forest(out *strings.Builder, seed int64, quick bool, want func(int) bool) {
 		header(out, "Fig 18 — data migrated from the hottest node to the network")
 		fmt.Fprintf(out, "origin: node %d at %v\n", res.HottestNode, res.Positions[res.HottestNode])
 		total := 0
-		for holder, chunks := range res.MigratedFromHottest {
+		holders := make([]int, 0, len(res.MigratedFromHottest))
+		for holder := range res.MigratedFromHottest {
+			holders = append(holders, holder)
+		}
+		// Sorted for deterministic output (map iteration order would
+		// shuffle the listing between runs otherwise).
+		sort.Ints(holders)
+		for _, holder := range holders {
+			chunks := res.MigratedFromHottest[holder]
 			fmt.Fprintf(out, "  node %2d at %-18v holds %4d chunks (%d bytes)\n",
 				holder, res.Positions[holder], chunks, chunks*256)
 			total += chunks

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"enviromic/internal/acoustics"
@@ -57,7 +58,15 @@ func main() {
 	// 1. Physical collection: read every mote's flash.
 	files := retrieval.Reassemble(net.Holdings(), retrieval.Query{All: true})
 	fmt.Printf("\n[1] physical collection : %v\n", retrieval.Summarize(files, 500*time.Millisecond))
-	for id, f := range files {
+	ids := make([]flash.FileID, 0, len(files))
+	for id := range files {
+		ids = append(ids, id)
+	}
+	// Sorted for deterministic output (map iteration order would leak
+	// into the listing otherwise).
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		f := files[id]
 		fmt.Printf("    file %d: %v..%v, %d chunks from recorders %v, %d gaps\n",
 			id, f.Start(), f.End(), len(f.Chunks), f.Origins(), len(f.Gaps(500*time.Millisecond)))
 	}
@@ -118,5 +127,6 @@ func keys(m map[flash.FileID]bool) []flash.FileID {
 	for k := range m {
 		out = append(out, k)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }

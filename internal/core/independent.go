@@ -83,6 +83,7 @@ func (r *independentRecorder) poll() {
 		chunks := flash.SplitSamples(r.curFile, int32(r.node.ID), r.seq, start, end, samples)
 		r.seq += uint32(len(chunks))
 		stored := r.node.Mote.StoreChunks(chunks)
+		flash.FreeChunks(chunks[stored:])
 		r.recording = false
 		r.net.onRecordEnd(r.node, r.curFile, start, end, stored, len(chunks))
 	})

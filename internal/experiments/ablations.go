@@ -119,10 +119,10 @@ func ablationSpecs(seed int64) []ablationSpec {
 				st.MaxPiggyback = 0
 			}
 			sim.NewTicker(s, 500*time.Millisecond, "urgent", func() {
-				st.SendUrgent(radio.Broadcast, ablationPayload{kind: "ctl", size: 9})
+				st.SendUrgent(radio.Broadcast, ablationPayload{kind: kindAblCtl, size: 9})
 			})
 			sim.NewTicker(s, time.Second, "state", func() {
-				st.SendDelayTolerant(ablationPayload{kind: "state", size: 6})
+				st.SendDelayTolerant(ablationPayload{kind: kindAblState, size: 6})
 			})
 		}
 		s.Run(sim.At(time.Minute))
@@ -156,10 +156,17 @@ func ablationSpecs(seed int64) []ablationSpec {
 	return specs
 }
 
+// Ablation control kinds; RegisterKind is idempotent, so sharing names
+// with the root bench payloads is fine.
+var (
+	kindAblCtl   = radio.RegisterKind("ctl")
+	kindAblState = radio.RegisterKind("state")
+)
+
 type ablationPayload struct {
-	kind string
+	kind radio.KindID
 	size int
 }
 
-func (p ablationPayload) Kind() string { return p.kind }
-func (p ablationPayload) Size() int    { return p.size }
+func (p ablationPayload) Kind() radio.KindID { return p.kind }
+func (p ablationPayload) Size() int          { return p.size }

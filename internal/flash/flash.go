@@ -60,10 +60,17 @@ type Chunk struct {
 
 // Clone returns a deep copy. Chunks cross node boundaries during
 // migration, and the radio model must not alias payloads between motes.
+// The copy is drawn from the chunk pool; callers that know the clone's
+// lifetime may return it with FreeChunk.
 func (c *Chunk) Clone() *Chunk {
-	cp := *c
-	cp.Data = append([]byte(nil), c.Data...)
-	return &cp
+	cp := NewChunk()
+	cp.File = c.File
+	cp.Origin = c.Origin
+	cp.Seq = c.Seq
+	cp.Start = c.Start
+	cp.End = c.End
+	cp.Data = append(cp.Data[:0], c.Data...)
+	return cp
 }
 
 // Marshal encodes the chunk into a fixed 256-byte block image.
@@ -91,14 +98,13 @@ func UnmarshalChunk(buf []byte) (*Chunk, error) {
 	if int(n) > PayloadSize {
 		return nil, fmt.Errorf("flash: corrupt block: payload length %d", n)
 	}
-	c := &Chunk{
-		File:   FileID(binary.BigEndian.Uint32(buf[0:])),
-		Origin: int32(binary.BigEndian.Uint32(buf[4:])),
-		Seq:    binary.BigEndian.Uint32(buf[8:]),
-		Start:  sim.Time(binary.BigEndian.Uint64(buf[12:])),
-		End:    sim.Time(binary.BigEndian.Uint64(buf[20:])),
-		Data:   append([]byte(nil), buf[headerSize:headerSize+int(n)]...),
-	}
+	c := NewChunk()
+	c.File = FileID(binary.BigEndian.Uint32(buf[0:]))
+	c.Origin = int32(binary.BigEndian.Uint32(buf[4:]))
+	c.Seq = binary.BigEndian.Uint32(buf[8:])
+	c.Start = sim.Time(binary.BigEndian.Uint64(buf[12:]))
+	c.End = sim.Time(binary.BigEndian.Uint64(buf[20:]))
+	c.Data = append(c.Data[:0], buf[headerSize:headerSize+int(n)]...)
 	return c, nil
 }
 
@@ -205,11 +211,18 @@ func (s *Store) PeekHead() (*Chunk, error) {
 // Chunks returns the stored chunks in queue order (oldest first). The
 // returned slice is freshly allocated; the chunks themselves are shared.
 func (s *Store) Chunks() []*Chunk {
-	out := make([]*Chunk, 0, s.count)
+	return s.AppendChunks(make([]*Chunk, 0, s.count))
+}
+
+// AppendChunks appends the store's contents, head first, to dst and
+// returns the extended slice. Callers on hot sampling paths pass a
+// reused scratch slice (dst[:0]) to avoid the per-call allocation of
+// Chunks.
+func (s *Store) AppendChunks(dst []*Chunk) []*Chunk {
 	for i := 0; i < s.count; i++ {
-		out = append(out, s.blocks[(s.head+i)%len(s.blocks)])
+		dst = append(dst, s.blocks[(s.head+i)%len(s.blocks)])
 	}
-	return out
+	return dst
 }
 
 // WearSpread returns max−min of per-block write counts. The circular
@@ -317,14 +330,14 @@ func SplitSamples(file FileID, origin int32, firstSeq uint32, start, end sim.Tim
 		}
 		cs := start.Add(time.Duration(int64(span) * int64(off) / int64(total)))
 		ce := start.Add(time.Duration(int64(span) * int64(hi) / int64(total)))
-		chunks = append(chunks, &Chunk{
-			File:   file,
-			Origin: origin,
-			Seq:    firstSeq + uint32(len(chunks)),
-			Start:  cs,
-			End:    ce,
-			Data:   append([]byte(nil), samples[off:hi]...),
-		})
+		c := NewChunk()
+		c.File = file
+		c.Origin = origin
+		c.Seq = firstSeq + uint32(len(chunks))
+		c.Start = cs
+		c.End = ce
+		c.Data = append(c.Data[:0], samples[off:hi]...)
+		chunks = append(chunks, c)
 	}
 	return chunks
 }

@@ -432,3 +432,67 @@ func TestQuickMarshalRoundTrip(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestChunkPoolRoundTrip(t *testing.T) {
+	c := NewChunk()
+	if len(c.Data) != 0 || cap(c.Data) < PayloadSize {
+		t.Fatalf("NewChunk Data len=%d cap=%d, want 0/%d", len(c.Data), cap(c.Data), PayloadSize)
+	}
+	c.File, c.Origin, c.Seq, c.Start, c.End = 7, 3, 9, 100, 200
+	c.Data = append(c.Data, 1, 2, 3)
+	FreeChunk(c)
+	// The pool may or may not hand the same chunk back, but any chunk it
+	// returns must be fully reset.
+	got := NewChunk()
+	if got.File != 0 || got.Origin != 0 || got.Seq != 0 || got.Start != 0 || got.End != 0 || len(got.Data) != 0 {
+		t.Errorf("pooled chunk not reset: %+v", got)
+	}
+	FreeChunk(got)
+	FreeChunk(nil) // must be a no-op
+	FreeChunks([]*Chunk{nil, NewChunk()})
+}
+
+func TestCloneIsPooledDeepCopy(t *testing.T) {
+	orig := NewChunk()
+	orig.File, orig.Origin, orig.Seq, orig.Start, orig.End = 1, 2, 3, 4, 5
+	orig.Data = append(orig.Data, []byte{9, 8, 7}...)
+	cp := orig.Clone()
+	if cp == orig {
+		t.Fatal("Clone returned the receiver")
+	}
+	if cp.File != 1 || cp.Origin != 2 || cp.Seq != 3 || cp.Start != 4 || cp.End != 5 {
+		t.Errorf("metadata not copied: %+v", cp)
+	}
+	cp.Data[0] = 42
+	if orig.Data[0] != 9 {
+		t.Error("Clone aliases the receiver's Data")
+	}
+}
+
+func TestSplitSamplesChunksAreRecyclable(t *testing.T) {
+	samples := make([]byte, 3*PayloadSize+10)
+	for i := range samples {
+		samples[i] = byte(i)
+	}
+	chunks := SplitSamples(5, 1, 0, 0, sim.At(time.Second), samples)
+	if len(chunks) != 4 {
+		t.Fatalf("len(chunks) = %d, want 4", len(chunks))
+	}
+	for i, c := range chunks {
+		if c.Seq != uint32(i) || c.File != 5 {
+			t.Errorf("chunk %d: seq=%d file=%d", i, c.Seq, c.File)
+		}
+	}
+	FreeChunks(chunks)
+	// Split again after recycling: contents must be rebuilt from scratch.
+	again := SplitSamples(5, 1, 0, 0, sim.At(time.Second), samples)
+	off := 0
+	for _, c := range again {
+		for j, b := range c.Data {
+			if b != samples[off+j] {
+				t.Fatalf("recycled chunk data corrupt at %d", off+j)
+			}
+		}
+		off += len(c.Data)
+	}
+}

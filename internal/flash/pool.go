@@ -1,0 +1,49 @@
+package flash
+
+import "sync"
+
+// chunkPool recycles Chunk structs together with their Data backing
+// arrays. Chunks are the highest-churn heap objects in a run (every
+// recording splits into chunks, every migration and retrieval clones
+// them for the wire), and almost all of them carry exactly PayloadSize
+// bytes, so pooling the pair removes two allocations per chunk on the
+// hot paths. sync.Pool keeps the simulation's parallel experiment
+// harness race-free without a lock on the single-run path.
+var chunkPool = sync.Pool{
+	New: func() any {
+		return &Chunk{Data: make([]byte, 0, PayloadSize)}
+	},
+}
+
+// NewChunk returns a zeroed chunk whose Data slice is empty with
+// capacity PayloadSize. Callers fill the metadata fields and append
+// payload bytes into Data.
+func NewChunk() *Chunk {
+	return chunkPool.Get().(*Chunk)
+}
+
+// FreeChunk returns c to the chunk pool. Ownership rules: only free a
+// chunk that no store, session, or in-flight frame can still reference —
+// see DESIGN.md §10 for the sanctioned free points. Freeing nil is a
+// no-op. The chunk's metadata is cleared and its Data length reset (the
+// backing array is retained for reuse).
+func FreeChunk(c *Chunk) {
+	if c == nil {
+		return
+	}
+	c.File = 0
+	c.Origin = 0
+	c.Seq = 0
+	c.Start = 0
+	c.End = 0
+	c.Data = c.Data[:0]
+	chunkPool.Put(c)
+}
+
+// FreeChunks frees every chunk in cs. The slice itself stays with the
+// caller.
+func FreeChunks(cs []*Chunk) {
+	for _, c := range cs {
+		FreeChunk(c)
+	}
+}

@@ -22,12 +22,12 @@ import (
 	"enviromic/internal/task"
 )
 
-// Payload kinds.
-const (
-	KindSensing = "group.sensing"
-	KindLeader  = "group.leader"
-	KindResign  = "group.resign"
-	KindPrelude = "group.preludekeep"
+// Payload kinds, interned at package init.
+var (
+	KindSensing = radio.RegisterKind("group.sensing")
+	KindLeader  = radio.RegisterKind("group.leader")
+	KindResign  = radio.RegisterKind("group.resign")
+	KindPrelude = radio.RegisterKind("group.preludekeep")
 )
 
 // Sensing is the periodic "I can hear the event" heartbeat. It carries
@@ -41,7 +41,7 @@ type Sensing struct {
 }
 
 // Kind implements radio.Payload.
-func (Sensing) Kind() string { return KindSensing }
+func (Sensing) Kind() radio.KindID { return KindSensing }
 
 // Size implements radio.Payload.
 func (Sensing) Size() int { return 9 }
@@ -52,7 +52,7 @@ type Leader struct {
 }
 
 // Kind implements radio.Payload.
-func (Leader) Kind() string { return KindLeader }
+func (Leader) Kind() radio.KindID { return KindLeader }
 
 // Size implements radio.Payload.
 func (Leader) Size() int { return 4 }
@@ -66,7 +66,7 @@ type Resign struct {
 }
 
 // Kind implements radio.Payload.
-func (Resign) Kind() string { return KindResign }
+func (Resign) Kind() radio.KindID { return KindResign }
 
 // Size implements radio.Payload.
 func (Resign) Size() int { return 12 }
@@ -79,7 +79,7 @@ type PreludeKeep struct {
 }
 
 // Kind implements radio.Payload.
-func (PreludeKeep) Kind() string { return KindPrelude }
+func (PreludeKeep) Kind() radio.KindID { return KindPrelude }
 
 // Size implements radio.Payload.
 func (PreludeKeep) Size() int { return 8 }
@@ -556,6 +556,8 @@ func (m *Manager) persistPrelude(file flash.FileID) {
 	const preludeSeqBase = 1 << 20
 	chunks := flash.SplitSamples(file, int32(m.id), preludeSeqBase, m.preludeStart, end, samples)
 	stored := m.pd.StoreChunks(chunks)
+	// Chunks rejected by a full flash never entered any store: recycle.
+	flash.FreeChunks(chunks[stored:])
 	if m.probe.OnPreludeStored != nil {
 		m.probe.OnPreludeStored(m.id, file, m.preludeStart, end, stored, len(chunks))
 	}

@@ -321,22 +321,53 @@ func bounds(pos map[int]geometry.Point) (minX, minY, maxX, maxY float64) {
 
 // CountDuplicates computes the duplicated-chunk count across the given
 // per-node chunk holdings: for every (file, origin, seq) identity, each
-// copy beyond the first counts once. The node layer calls this when
-// taking samples, and retrieval analysis reuses it.
+// copy beyond the first counts once. Retrieval analysis uses this
+// one-shot form; the node layer's periodic sampling goes through a
+// reusable DupCounter instead.
 func CountDuplicates(holdings map[int][]*flash.Chunk) int {
-	type key struct {
-		file   flash.FileID
-		origin int32
-		seq    uint32
-	}
-	seen := make(map[key]int)
+	var d DupCounter
+	d.Begin(0)
 	for _, chunks := range holdings {
-		for _, c := range chunks {
-			seen[key{c.File, c.Origin, c.Seq}]++
-		}
+		d.Add(chunks)
 	}
+	return d.Count()
+}
+
+type chunkIdent struct {
+	file   flash.FileID
+	origin int32
+	seq    uint32
+}
+
+// DupCounter is the scratch-reusing form of CountDuplicates for hot
+// sampling paths: the identity map is cleared and reused across samples
+// instead of reallocated, and holdings are fed in per node without
+// building an intermediate map.
+type DupCounter struct {
+	seen map[chunkIdent]int
+}
+
+// Begin resets the counter for a new pass. sizeHint sizes the identity
+// map on first use (0 is fine).
+func (d *DupCounter) Begin(sizeHint int) {
+	if d.seen == nil {
+		d.seen = make(map[chunkIdent]int, sizeHint)
+		return
+	}
+	clear(d.seen)
+}
+
+// Add feeds one node's holdings into the current pass.
+func (d *DupCounter) Add(chunks []*flash.Chunk) {
+	for _, c := range chunks {
+		d.seen[chunkIdent{c.File, c.Origin, c.Seq}]++
+	}
+}
+
+// Count returns the duplicated-chunk count for the current pass.
+func (d *DupCounter) Count() int {
 	dups := 0
-	for _, n := range seen {
+	for _, n := range d.seen {
 		if n > 1 {
 			dups += n - 1
 		}

@@ -32,9 +32,12 @@ type Sampler struct {
 	sched     *sim.Scheduler
 	busyUntil sim.Time
 	running   bool
-	timer     *sim.Timer
+	timer     sim.Timer
 	displaced bool
 	onSample  func(at sim.Time)
+	// tick is the single sampling closure, created once at Start so the
+	// hot per-sample path allocates nothing.
+	tick func()
 }
 
 // NewSampler returns a sampler with the paper's measured constants.
@@ -75,39 +78,40 @@ func (sp *Sampler) Start(onSample func(at sim.Time)) {
 	sp.running = true
 	sp.onSample = onSample
 	sp.displaced = false
+	sp.tick = sp.sample
 	sp.schedule(sp.Interval)
 }
 
 // Stop halts sampling.
 func (sp *Sampler) Stop() {
 	sp.running = false
-	if sp.timer != nil {
-		sp.timer.Cancel()
-	}
+	sp.timer.Cancel()
 }
 
 // Running reports whether the sampler is active.
 func (sp *Sampler) Running() bool { return sp.running }
 
 func (sp *Sampler) schedule(d time.Duration) {
-	sp.timer = sp.sched.After(d, "mote.sample", func() {
-		if !sp.running {
-			return
-		}
-		next := sp.Interval
-		switch {
-		case sp.displaced:
-			// Catch-up interval after a displaced sample (Fig 3: 9 jiffies).
-			next = sp.Interval - sp.CatchUp
-			sp.displaced = false
-		case sp.Busy():
-			// Displaced sample (Fig 3: 16 jiffies).
-			next = sp.Interval + sp.ContentionDelay
-			sp.displaced = true
-		}
-		sp.onSample(sp.sched.Now())
-		if sp.running {
-			sp.schedule(next)
-		}
-	})
+	sp.timer = sp.sched.AfterTimer(d, "mote.sample", sp.tick)
+}
+
+func (sp *Sampler) sample() {
+	if !sp.running {
+		return
+	}
+	next := sp.Interval
+	switch {
+	case sp.displaced:
+		// Catch-up interval after a displaced sample (Fig 3: 9 jiffies).
+		next = sp.Interval - sp.CatchUp
+		sp.displaced = false
+	case sp.Busy():
+		// Displaced sample (Fig 3: 16 jiffies).
+		next = sp.Interval + sp.ContentionDelay
+		sp.displaced = true
+	}
+	sp.onSample(sp.sched.Now())
+	if sp.running {
+		sp.schedule(next)
+	}
 }

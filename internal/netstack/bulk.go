@@ -11,9 +11,9 @@ import (
 )
 
 // Bulk payload kinds, visible in the control-message accounting.
-const (
-	KindBulkData = "bulk.data"
-	KindBulkAck  = "bulk.ack"
+var (
+	KindBulkData = radio.RegisterKind("bulk.data")
+	KindBulkAck  = radio.RegisterKind("bulk.ack")
 )
 
 // Class distinguishes what a bulk session carries: storage-balancing
@@ -43,7 +43,7 @@ type BulkData struct {
 }
 
 // Kind implements radio.Payload.
-func (BulkData) Kind() string { return KindBulkData }
+func (BulkData) Kind() radio.KindID { return KindBulkData }
 
 // Size implements radio.Payload: session/seq/flags/class + the chunk
 // header and its (possibly compressed) payload. On-air size shrinks with
@@ -65,7 +65,7 @@ type BulkAck struct {
 }
 
 // Kind implements radio.Payload.
-func (BulkAck) Kind() string { return KindBulkAck }
+func (BulkAck) Kind() radio.KindID { return KindBulkAck }
 
 // Size implements radio.Payload.
 func (BulkAck) Size() int { return 9 }
@@ -120,7 +120,10 @@ type sendSession struct {
 	acked   int
 	failed  []*flash.Chunk
 	done    DoneFunc
-	timer   *sim.Timer
+	timer   sim.Timer
+	// timeoutName caches the session's timeout-event label so per-chunk
+	// (re)transmissions do not re-format it.
+	timeoutName string
 }
 
 // NewBulk attaches a bulk-transfer service to a stack. accept may be nil
@@ -172,7 +175,10 @@ func (b *Bulk) send(to int, class Class, chunks []*flash.Chunk, done DoneFunc) {
 		return
 	}
 	b.nextSession++
-	ss := &sendSession{id: b.nextSession, to: to, class: class, chunks: chunks, done: done}
+	ss := &sendSession{
+		id: b.nextSession, to: to, class: class, chunks: chunks, done: done,
+		timeoutName: fmt.Sprintf("bulk.timeout.%d", b.nextSession),
+	}
 	b.sessions[ss.id] = ss
 	b.sendCurrent(ss)
 }
@@ -194,7 +200,7 @@ func (b *Bulk) sendCurrent(ss *sendSession) {
 		Compressed: compressed,
 		Chunk:      c,
 	})
-	ss.timer = b.sched.After(b.AckTimeout, fmt.Sprintf("bulk.timeout.%d", ss.id), func() {
+	ss.timer = b.sched.AfterTimer(b.AckTimeout, ss.timeoutName, func() {
 		b.onTimeout(ss)
 	})
 }
@@ -215,9 +221,7 @@ func (b *Bulk) onTimeout(ss *sendSession) {
 }
 
 func (b *Bulk) finish(ss *sendSession) {
-	if ss.timer != nil {
-		ss.timer.Cancel()
-	}
+	ss.timer.Cancel()
 	delete(b.sessions, ss.id)
 	if ss.done != nil {
 		ss.done(ss.acked, ss.failed)
@@ -236,9 +240,7 @@ func (b *Bulk) handleAck(from, to int, p radio.Payload) {
 	if !open || from != ss.to || ack.Seq != uint32(ss.next) {
 		return
 	}
-	if ss.timer != nil {
-		ss.timer.Cancel()
-	}
+	ss.timer.Cancel()
 	if !ack.Accept {
 		// Receiver refused (flash full): keep the rest locally.
 		ss.failed = append(ss.failed, ss.chunks[ss.next:]...)

@@ -10,14 +10,23 @@ import (
 	"enviromic/internal/sim"
 )
 
+// Interned kinds for the test payloads.
+var (
+	kindSensing = radio.RegisterKind("sensing")
+	kindTask    = radio.RegisterKind("task")
+	kindUnknown = radio.RegisterKind("unknown")
+	kindX       = radio.RegisterKind("x")
+	kindTTL     = radio.RegisterKind("ttl")
+)
+
 type testPayload struct {
-	kind string
+	kind radio.KindID
 	size int
 	tag  int
 }
 
-func (p testPayload) Kind() string { return p.kind }
-func (p testPayload) Size() int    { return p.size }
+func (p testPayload) Kind() radio.KindID { return p.kind }
+func (p testPayload) Size() int          { return p.size }
 
 func rig(seed int64, loss float64) (*sim.Scheduler, *radio.Network) {
 	s := sim.NewScheduler(seed)
@@ -47,11 +56,11 @@ func TestStackDispatchByKind(t *testing.T) {
 	a := NewStack(net.Join(0, geometry.Point{}), s)
 	b := NewStack(net.Join(1, geometry.Point{X: 1}), s)
 	var sensing, task recvLog
-	b.Register("sensing", sensing.handler())
-	b.Register("task", task.handler())
-	a.SendUrgent(radio.Broadcast, testPayload{kind: "sensing", size: 4})
-	a.SendUrgent(1, testPayload{kind: "task", size: 8})
-	a.SendUrgent(radio.Broadcast, testPayload{kind: "unknown", size: 1})
+	b.Register(kindSensing, sensing.handler())
+	b.Register(kindTask, task.handler())
+	a.SendUrgent(radio.Broadcast, testPayload{kind: kindSensing, size: 4})
+	a.SendUrgent(1, testPayload{kind: kindTask, size: 8})
+	a.SendUrgent(radio.Broadcast, testPayload{kind: kindUnknown, size: 1})
 	s.RunAll()
 	if len(sensing.got) != 1 || len(task.got) != 1 {
 		t.Fatalf("dispatch counts sensing=%d task=%d", len(sensing.got), len(task.got))
@@ -64,13 +73,13 @@ func TestStackDispatchByKind(t *testing.T) {
 func TestStackDuplicateRegisterPanics(t *testing.T) {
 	s, net := rig(1, 0)
 	a := NewStack(net.Join(0, geometry.Point{}), s)
-	a.Register("x", func(int, int, radio.Payload) {})
+	a.Register(kindX, func(int, int, radio.Payload) {})
 	defer func() {
 		if recover() == nil {
 			t.Error("duplicate Register did not panic")
 		}
 	}()
-	a.Register("x", func(int, int, radio.Payload) {})
+	a.Register(kindX, func(int, int, radio.Payload) {})
 }
 
 func TestPiggybackRidesOnUrgentSend(t *testing.T) {
@@ -78,9 +87,9 @@ func TestPiggybackRidesOnUrgentSend(t *testing.T) {
 	a := NewStack(net.Join(0, geometry.Point{}), s)
 	b := NewStack(net.Join(1, geometry.Point{X: 1}), s)
 	var ttl recvLog
-	b.Register("ttl", ttl.handler())
-	a.SendDelayTolerant(testPayload{kind: "ttl", size: 6})
-	a.SendUrgent(radio.Broadcast, testPayload{kind: "task", size: 8})
+	b.Register(kindTTL, ttl.handler())
+	a.SendDelayTolerant(testPayload{kind: kindTTL, size: 6})
+	a.SendUrgent(radio.Broadcast, testPayload{kind: kindTask, size: 8})
 	s.Run(sim.At(100 * time.Millisecond)) // well before FlushAfter
 	if len(ttl.got) != 1 {
 		t.Fatalf("piggybacked payload not delivered: got %d", len(ttl.got))
@@ -99,8 +108,8 @@ func TestDelayTolerantFlushesAloneAfterTimeout(t *testing.T) {
 	a := NewStack(net.Join(0, geometry.Point{}), s)
 	b := NewStack(net.Join(1, geometry.Point{X: 1}), s)
 	var ttl recvLog
-	b.Register("ttl", ttl.handler())
-	a.SendDelayTolerant(testPayload{kind: "ttl", size: 6})
+	b.Register(kindTTL, ttl.handler())
+	a.SendDelayTolerant(testPayload{kind: kindTTL, size: 6})
 	s.Run(sim.At(a.FlushAfter + 50*time.Millisecond))
 	if len(ttl.got) != 1 {
 		t.Fatalf("standalone flush did not deliver: got %d", len(ttl.got))
@@ -113,10 +122,10 @@ func TestPiggybackRespectsByteBudget(t *testing.T) {
 	b := NewStack(net.Join(1, geometry.Point{X: 1}), s)
 	a.MaxPiggyback = 10
 	var ttl recvLog
-	b.Register("ttl", ttl.handler())
-	a.SendDelayTolerant(testPayload{kind: "ttl", size: 6, tag: 1})
-	a.SendDelayTolerant(testPayload{kind: "ttl", size: 6, tag: 2}) // exceeds budget
-	a.SendUrgent(radio.Broadcast, testPayload{kind: "task", size: 8})
+	b.Register(kindTTL, ttl.handler())
+	a.SendDelayTolerant(testPayload{kind: kindTTL, size: 6, tag: 1})
+	a.SendDelayTolerant(testPayload{kind: kindTTL, size: 6, tag: 2}) // exceeds budget
+	a.SendUrgent(radio.Broadcast, testPayload{kind: kindTask, size: 8})
 	s.Run(sim.At(50 * time.Millisecond))
 	if len(ttl.got) != 1 {
 		t.Fatalf("delivered %d ttl payloads early, want 1 (budget)", len(ttl.got))
@@ -136,9 +145,9 @@ func TestHeldUrgentSendsOnRadioRestore(t *testing.T) {
 	a := NewStack(net.Join(0, geometry.Point{}), s)
 	b := NewStack(net.Join(1, geometry.Point{X: 1}), s)
 	var task recvLog
-	b.Register("task", task.handler())
+	b.Register(kindTask, task.handler())
 	a.Endpoint().SetRadio(false)
-	a.SendUrgent(1, testPayload{kind: "task", size: 8})
+	a.SendUrgent(1, testPayload{kind: kindTask, size: 8})
 	s.Run(sim.At(time.Second))
 	if len(task.got) != 0 {
 		t.Fatal("send leaked while radio off")
@@ -436,5 +445,82 @@ func TestBulkClassRouting(t *testing.T) {
 	s.RunAll()
 	if len(failed) != 2 {
 		t.Errorf("retrieval without acceptor: %d failed, want 2", len(failed))
+	}
+}
+
+func TestPiggybackPayloadCapAndOversized(t *testing.T) {
+	// Pins takePiggyback's two limits: at most maxPiggybackPayloads ride
+	// one frame regardless of byte budget, and a payload larger than the
+	// whole budget is skipped (left queued) rather than sent or dropped.
+	s, net := rig(1, 0)
+	a := NewStack(net.Join(0, geometry.Point{}), s)
+	b := NewStack(net.Join(1, geometry.Point{X: 1}), s)
+	a.MaxPiggyback = 1000 // byte budget far above the payload-count cap
+	var ttl recvLog
+	b.Register(kindTTL, ttl.handler())
+	for i := 1; i <= maxPiggybackPayloads+2; i++ {
+		a.SendDelayTolerant(testPayload{kind: kindTTL, size: 6, tag: i})
+	}
+	a.SendUrgent(radio.Broadcast, testPayload{kind: kindTask, size: 8})
+	s.Run(sim.At(50 * time.Millisecond))
+	if len(ttl.got) != maxPiggybackPayloads {
+		t.Fatalf("rode %d payloads, want %d (count cap)", len(ttl.got), maxPiggybackPayloads)
+	}
+	for i, g := range ttl.got {
+		if g.p.(testPayload).tag != i+1 {
+			t.Errorf("ride %d has tag %d, want FIFO order", i, g.p.(testPayload).tag)
+		}
+	}
+	if a.PendingDelayTolerant() != 2 {
+		t.Errorf("pending = %d, want 2", a.PendingDelayTolerant())
+	}
+
+	// Oversized payload: bigger than the entire byte budget. It must stay
+	// queued while a smaller queued payload still rides. With budget 10
+	// only one of the two 6-byte leftovers fits alongside nothing else.
+	a.MaxPiggyback = 10
+	ttl.got = nil
+	a.SendDelayTolerant(testPayload{kind: kindTTL, size: 64, tag: 100}) // > whole budget
+	a.SendUrgent(radio.Broadcast, testPayload{kind: kindTask, size: 8})
+	s.Run(sim.At(100 * time.Millisecond))
+	if len(ttl.got) != 1 || ttl.got[0].p.(testPayload).tag != maxPiggybackPayloads+1 {
+		t.Fatalf("rode %d payloads (want 1: the oldest leftover): %+v", len(ttl.got), ttl.got)
+	}
+	for _, g := range ttl.got {
+		if g.p.(testPayload).tag == 100 {
+			t.Error("oversized payload rode despite exceeding the whole budget")
+		}
+	}
+	if a.PendingDelayTolerant() != 2 {
+		t.Errorf("pending = %d, want 2 (one leftover + the oversized payload)", a.PendingDelayTolerant())
+	}
+}
+
+func TestPiggybackRideBufferReused(t *testing.T) {
+	// The ride slice handed to the radio is the stack's reusable buffer;
+	// payloads already sent must still deliver intact because the radio
+	// copies them into frame-owned storage at Send.
+	s, net := rig(1, 0)
+	a := NewStack(net.Join(0, geometry.Point{}), s)
+	b := NewStack(net.Join(1, geometry.Point{X: 1}), s)
+	var ttl recvLog
+	b.Register(kindTTL, ttl.handler())
+	// Two urgent sends back-to-back, each taking one rider, before any
+	// delivery runs: the second takePiggyback overwrites the ride buffer
+	// while the first frame is still in flight.
+	a.SendDelayTolerant(testPayload{kind: kindTTL, size: 6, tag: 1})
+	a.SendUrgent(radio.Broadcast, testPayload{kind: kindTask, size: 8})
+	a.SendDelayTolerant(testPayload{kind: kindTTL, size: 6, tag: 2})
+	a.SendUrgent(radio.Broadcast, testPayload{kind: kindTask, size: 8})
+	s.RunAll()
+	if len(ttl.got) != 2 {
+		t.Fatalf("delivered %d riders, want 2", len(ttl.got))
+	}
+	tags := map[int]bool{}
+	for _, g := range ttl.got {
+		tags[g.p.(testPayload).tag] = true
+	}
+	if !tags[1] || !tags[2] {
+		t.Errorf("rider tags corrupted by buffer reuse: %v", tags)
 	}
 }

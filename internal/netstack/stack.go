@@ -32,9 +32,15 @@ type Stack struct {
 	// ride before being sent in its own frame.
 	FlushAfter time.Duration
 
-	handlers   map[string]Handler
+	// handlers is a dense dispatch table indexed by radio.KindID; a nil
+	// entry means no module registered that kind on this node.
+	handlers   []Handler
 	pending    []radio.Payload
-	flushTimer *sim.Timer
+	flushTimer sim.Timer
+	// rideBuf is the reusable piggyback buffer handed to the radio; the
+	// radio copies it into frame-owned storage, so one buffer per stack
+	// suffices for any number of in-flight frames.
+	rideBuf []radio.Payload
 	// heldUrgent queues urgent sends issued while the radio is off
 	// (e.g. a module timer firing during a recording task); they are
 	// transmitted when RadioRestored is called.
@@ -54,7 +60,7 @@ func NewStack(ep *radio.Endpoint, sched *sim.Scheduler) *Stack {
 		sched:        sched,
 		MaxPiggyback: 64,
 		FlushAfter:   2 * time.Second,
-		handlers:     make(map[string]Handler),
+		handlers:     make([]Handler, radio.NumKinds()),
 	}
 	ep.SetHandler(radio.HandlerFunc(s.handleFrame))
 	return s
@@ -65,9 +71,15 @@ func (s *Stack) Endpoint() *radio.Endpoint { return s.ep }
 
 // Register installs the handler for a payload kind. Registering a kind
 // twice panics: module wiring is static and a duplicate indicates a bug.
-func (s *Stack) Register(kind string, h Handler) {
-	if _, dup := s.handlers[kind]; dup {
-		panic(fmt.Sprintf("netstack: duplicate handler for kind %q", kind))
+func (s *Stack) Register(kind radio.KindID, h Handler) {
+	if kind < 0 || int(kind) >= radio.NumKinds() {
+		panic(fmt.Sprintf("netstack: unregistered KindID %d", kind))
+	}
+	for int(kind) >= len(s.handlers) {
+		s.handlers = append(s.handlers, nil)
+	}
+	if s.handlers[kind] != nil {
+		panic(fmt.Sprintf("netstack: duplicate handler for kind %q", radio.KindName(kind)))
 	}
 	s.handlers[kind] = h
 }
@@ -82,8 +94,10 @@ func (s *Stack) handleFrame(f *radio.Frame) {
 }
 
 func (s *Stack) dispatch(from, to int, p radio.Payload) {
-	if h, ok := s.handlers[p.Kind()]; ok {
-		h(from, to, p)
+	if k := p.Kind(); int(k) < len(s.handlers) {
+		if h := s.handlers[k]; h != nil {
+			h(from, to, p)
+		}
 	}
 }
 
@@ -103,8 +117,8 @@ func (s *Stack) SendUrgent(to int, p radio.Payload) {
 // flushed on its own after FlushAfter.
 func (s *Stack) SendDelayTolerant(p radio.Payload) {
 	s.pending = append(s.pending, p)
-	if s.flushTimer == nil || !s.flushTimer.Pending() {
-		s.flushTimer = s.sched.After(s.FlushAfter, "netstack.flush", s.Flush)
+	if !s.flushTimer.Pending() {
+		s.flushTimer = s.sched.AfterTimer(s.FlushAfter, "netstack.flush", s.Flush)
 	}
 }
 
@@ -120,20 +134,28 @@ func (s *Stack) Flush() {
 	s.ep.Send(radio.Broadcast, first, ride...)
 	if len(s.pending) > 0 {
 		// More than fits in one frame: keep flushing.
-		s.flushTimer = s.sched.After(time.Millisecond, "netstack.flush", s.Flush)
+		s.flushTimer = s.sched.AfterTimer(time.Millisecond, "netstack.flush", s.Flush)
 	}
 }
 
-// takePiggyback removes queued payloads up to the byte budget.
+// maxPiggybackPayloads caps how many delay-tolerant payloads ride on one
+// frame, independent of the byte budget.
+const maxPiggybackPayloads = 4
+
+// takePiggyback removes queued payloads up to the byte budget (at most
+// maxPiggybackPayloads of them). The returned slice is the stack's
+// reusable ride buffer: it is valid until the next takePiggyback call,
+// which is safe because the radio copies piggyback payloads into
+// frame-owned storage at Send.
 func (s *Stack) takePiggyback() []radio.Payload {
 	if len(s.pending) == 0 {
 		return nil
 	}
-	var ride []radio.Payload
+	ride := s.rideBuf[:0]
 	budget := s.MaxPiggyback
 	rest := s.pending[:0]
 	for _, p := range s.pending {
-		if p.Size() <= budget && len(ride) < 4 {
+		if p.Size() <= budget && len(ride) < maxPiggybackPayloads {
 			ride = append(ride, p)
 			budget -= p.Size()
 		} else {
@@ -141,6 +163,7 @@ func (s *Stack) takePiggyback() []radio.Payload {
 		}
 	}
 	s.pending = rest
+	s.rideBuf = ride
 	return ride
 }
 

@@ -90,7 +90,7 @@ func TestNeighborCacheInvalidation(t *testing.T) {
 	// Frames sent after the move must reach the mule.
 	var rx capture
 	mule.SetHandler(&rx)
-	a.Send(Broadcast, testPayload{kind: "x", size: 1})
+	a.Send(Broadcast, testPayload{kind: kindX, size: 1})
 	s.RunAll()
 	if len(rx.frames) != 1 {
 		t.Fatalf("mule received %d frames after relocating into range", len(rx.frames))
@@ -138,7 +138,7 @@ func driveScriptedTraffic(bruteForce bool) (*deliveryLog, *Stats) {
 			return
 		}
 		tag++
-		from.Send(Broadcast, testPayload{kind: "chatter", size: 12, tag: tag})
+		from.Send(Broadcast, testPayload{kind: kindChatter, size: 12, tag: tag})
 	})
 	defer tick.Stop()
 
@@ -148,7 +148,7 @@ func driveScriptedTraffic(bruteForce bool) (*deliveryLog, *Stats) {
 		stop := stop
 		s.At(sim.At(time.Duration(i+1)*300*time.Millisecond), "mule.move", func() {
 			mule.SetPos(stop)
-			mule.Send(Broadcast, testPayload{kind: "query", size: 6, tag: -1})
+			mule.Send(Broadcast, testPayload{kind: kindQuery, size: 6, tag: -1})
 		})
 	}
 	// A node dies mid-run; another power-cycles its radio.
@@ -190,7 +190,7 @@ func TestStatsSnapshot(t *testing.T) {
 	n := NewNetwork(s, lossless(5))
 	a := n.Join(0, geometry.Point{})
 	n.Join(1, geometry.Point{X: 1})
-	a.Send(Broadcast, testPayload{kind: "x", size: 1})
+	a.Send(Broadcast, testPayload{kind: kindX, size: 1})
 	s.RunAll()
 
 	snap := n.Stats()
@@ -207,7 +207,7 @@ func TestStatsSnapshot(t *testing.T) {
 		t.Errorf("TotalFrames = %d, want 1", fresh.TotalFrames)
 	}
 
-	a.Send(Broadcast, testPayload{kind: "x", size: 1})
+	a.Send(Broadcast, testPayload{kind: kindX, size: 1})
 	s.RunAll()
 	if fresh.TxByKind["x"] != 1 {
 		t.Error("old snapshot tracked traffic sent after it was taken")

@@ -1,0 +1,99 @@
+package radio
+
+import (
+	"fmt"
+	"sync"
+)
+
+// KindID is an interned payload-kind identifier. Payload kinds used to be
+// raw strings, which put a map lookup (and, for delivery-event naming, a
+// string concatenation) on every Send and every dispatch; interning them
+// as small dense integers lets the network stack dispatch through a slice
+// and keep per-kind statistics in flat arrays. String names still exist —
+// RegisterKind assigns them and KindName recovers them — but only at the
+// registration and snapshot boundaries, never per message.
+type KindID int32
+
+// kindRegistry is the process-wide kind table. Registration normally
+// happens in package init functions (each protocol module interns its
+// kinds into package-level vars); the lock exists for test payloads
+// registered at runtime and for parallel experiment workers.
+type kindRegistry struct {
+	mu     sync.RWMutex
+	names  []string
+	byName map[string]KindID
+	// deliverNames pre-computes "radio.deliver:<name>" so the per-Send
+	// delivery event needs no string concatenation.
+	deliverNames []string
+}
+
+var kinds = kindRegistry{byName: make(map[string]KindID)}
+
+// RegisterKind interns a payload kind name and returns its KindID.
+// Registration is idempotent: the same name always yields the same ID, so
+// independent packages (or repeated test setups) may intern the same kind
+// without conflict. Distinct names always yield distinct IDs. The empty
+// name panics.
+func RegisterKind(name string) KindID {
+	if name == "" {
+		panic("radio: empty payload kind name")
+	}
+	kinds.mu.Lock()
+	defer kinds.mu.Unlock()
+	if id, ok := kinds.byName[name]; ok {
+		return id
+	}
+	id := KindID(len(kinds.names))
+	kinds.names = append(kinds.names, name)
+	kinds.deliverNames = append(kinds.deliverNames, "radio.deliver:"+name)
+	kinds.byName[name] = id
+	return id
+}
+
+// KindName returns the name a KindID was registered under. Unregistered
+// IDs panic: a KindID that did not come from RegisterKind is a bug.
+func KindName(id KindID) string {
+	kinds.mu.RLock()
+	defer kinds.mu.RUnlock()
+	if id < 0 || int(id) >= len(kinds.names) {
+		panic(fmt.Sprintf("radio: unregistered KindID %d", id))
+	}
+	return kinds.names[id]
+}
+
+// LookupKind returns the KindID registered for name, and false if name
+// was never registered. It does not intern.
+func LookupKind(name string) (KindID, bool) {
+	kinds.mu.RLock()
+	defer kinds.mu.RUnlock()
+	id, ok := kinds.byName[name]
+	return id, ok
+}
+
+// NumKinds returns the number of registered kinds; valid KindIDs are
+// exactly [0, NumKinds). Stats arrays and dispatch tables size from it.
+func NumKinds() int {
+	kinds.mu.RLock()
+	defer kinds.mu.RUnlock()
+	return len(kinds.names)
+}
+
+// RegisteredKinds returns a snapshot of every registered kind name,
+// indexed by KindID (for guard tests and diagnostics).
+func RegisteredKinds() []string {
+	kinds.mu.RLock()
+	defer kinds.mu.RUnlock()
+	out := make([]string, len(kinds.names))
+	copy(out, kinds.names)
+	return out
+}
+
+// deliverName returns the interned "radio.deliver:<kind>" event label.
+func deliverName(id KindID) string {
+	kinds.mu.RLock()
+	defer kinds.mu.RUnlock()
+	if id < 0 || int(id) >= len(kinds.deliverNames) {
+		panic(fmt.Sprintf("radio: unregistered KindID %d", id))
+	}
+	return kinds.deliverNames[id]
+}

@@ -19,13 +19,20 @@ import (
 // Broadcast is the addressee value meaning "all neighbors".
 const Broadcast = -1
 
-// Payload is a protocol message body. Kind discriminates message types for
-// the control-overhead accounting in Figs 12/14; Size is the payload's
+// Payload is a protocol message body. Kind discriminates message types
+// for the control-overhead accounting in Figs 12/14 — it returns the
+// interned KindID obtained from RegisterKind, so per-message accounting
+// and dispatch never touch the kind's string name; Size is the payload's
 // on-air length in bytes, used for delay and energy.
 type Payload interface {
-	Kind() string
+	Kind() KindID
 	Size() int
 }
+
+// maxInlinePiggyback is the piggyback count a Frame stores inline. The
+// neighborhood broadcast layer bundles at most 4 payloads per frame, so
+// the inline array covers every frame it emits without allocating.
+const maxInlinePiggyback = 4
 
 // Frame is one on-air transmission as seen by a receiver.
 type Frame struct {
@@ -36,8 +43,11 @@ type Frame struct {
 	To      int
 	Payload Payload
 	// Piggyback carries extra delay-tolerant payloads bundled by the
-	// neighborhood broadcast layer (§III-A).
+	// neighborhood broadcast layer (§III-A). Send copies the caller's
+	// slice into frame-owned storage (inline up to 4 payloads), so
+	// callers may reuse their ride buffers immediately.
 	Piggyback []Payload
+	pb        [maxInlinePiggyback]Payload
 	// SentAt is the transmission start time.
 	SentAt sim.Time
 }
@@ -125,6 +135,14 @@ type Network struct {
 	byID  []*Endpoint
 	stats Stats
 
+	// Per-kind and per-node transmission counters live in flat arrays
+	// indexed by KindID and node ID — the per-Send increment is a bounds
+	// check and an add, no map hashing. They are converted to the
+	// name-keyed maps of Stats only at snapshot time.
+	txByKind     []uint64   // [KindID]count
+	txByNode     []uint64   // [nodeID]frames
+	txByNodeKind [][]uint64 // [nodeID][KindID]count
+
 	// epoch counts topology changes (Join, SetPos, Kill). Cached neighbor
 	// lists and the cell grid are tagged with the epoch they were built at
 	// and rebuilt lazily when it moves on — this is what keeps the data
@@ -136,7 +154,9 @@ type Network struct {
 	scratch []int
 }
 
-// Stats aggregates transmission counts for the overhead figures.
+// Stats aggregates transmission counts for the overhead figures. The
+// maps are the external, name-keyed view; internally the network counts
+// into KindID-indexed arrays and materializes these maps in Stats().
 type Stats struct {
 	// TxByKind counts transmitted frames by payload kind (piggybacked
 	// payloads count as their own kind but not as frames).
@@ -169,32 +189,73 @@ func NewNetwork(s *sim.Scheduler, cfg Config) *Network {
 		sched: s,
 		eps:   make(map[int]*Endpoint),
 		epoch: 1,
-		stats: Stats{
-			TxByKind:     make(map[string]uint64),
-			TxByNode:     make(map[int]uint64),
-			TxByNodeKind: make(map[int]map[string]uint64),
-		},
 	}
 }
 
-// Stats returns a deep-copied snapshot of the accumulated counters. The
-// returned struct and its maps are owned by the caller; mutating them
-// does not affect the network, and they do not track later traffic.
+// growKind ensures the per-kind counter array covers id.
+func growKind(a []uint64, id KindID) []uint64 {
+	for int(id) >= len(a) {
+		a = append(a, 0)
+	}
+	return a
+}
+
+// countTx records one transmitted payload of the given kind from node.
+// The caller has already ensured txByNode/txByNodeKind cover node.
+func (n *Network) countTx(node int, kind KindID) {
+	n.txByKind = growKind(n.txByKind, kind)
+	n.txByKind[kind]++
+	nk := growKind(n.txByNodeKind[node], kind)
+	nk[kind]++
+	n.txByNodeKind[node] = nk
+}
+
+// Stats returns a deep-copied snapshot of the accumulated counters,
+// materializing the internal KindID/node-indexed arrays into the
+// name-keyed maps external consumers (figures, EXPERIMENTS.md tables)
+// render. Only kinds and nodes with non-zero counts appear, exactly as
+// when the counters were maps. The returned struct and its maps are
+// owned by the caller; mutating them does not affect the network, and
+// they do not track later traffic.
 func (n *Network) Stats() *Stats {
 	cp := n.stats
-	cp.TxByKind = make(map[string]uint64, len(n.stats.TxByKind))
-	for k, v := range n.stats.TxByKind {
-		cp.TxByKind[k] = v
+	nkinds := 0
+	for _, v := range n.txByKind {
+		if v != 0 {
+			nkinds++
+		}
 	}
-	cp.TxByNode = make(map[int]uint64, len(n.stats.TxByNode))
-	for k, v := range n.stats.TxByNode {
-		cp.TxByNode[k] = v
+	cp.TxByKind = make(map[string]uint64, nkinds)
+	for id, v := range n.txByKind {
+		if v != 0 {
+			cp.TxByKind[KindName(KindID(id))] = v
+		}
 	}
-	cp.TxByNodeKind = make(map[int]map[string]uint64, len(n.stats.TxByNodeKind))
-	for node, kinds := range n.stats.TxByNodeKind {
-		nk := make(map[string]uint64, len(kinds))
-		for k, v := range kinds {
-			nk[k] = v
+	nnodes := 0
+	for _, v := range n.txByNode {
+		if v != 0 {
+			nnodes++
+		}
+	}
+	cp.TxByNode = make(map[int]uint64, nnodes)
+	cp.TxByNodeKind = make(map[int]map[string]uint64, nnodes)
+	for node, v := range n.txByNode {
+		if v == 0 {
+			continue
+		}
+		cp.TxByNode[node] = v
+		counts := n.txByNodeKind[node]
+		size := 0
+		for _, c := range counts {
+			if c != 0 {
+				size++
+			}
+		}
+		nk := make(map[string]uint64, size)
+		for id, c := range counts {
+			if c != 0 {
+				nk[KindName(KindID(id))] = c
+			}
 		}
 		cp.TxByNodeKind[node] = nk
 	}
@@ -369,23 +430,27 @@ func (e *Endpoint) Send(to int, payload Payload, piggyback ...Payload) {
 	if !e.on {
 		panic(fmt.Sprintf("radio: node %d transmitting with radio off", e.id))
 	}
-	f := &Frame{From: e.id, To: to, Payload: payload, Piggyback: piggyback, SentAt: e.net.sched.Now()}
+	f := &Frame{From: e.id, To: to, Payload: payload, SentAt: e.net.sched.Now()}
+	if len(piggyback) > 0 {
+		// Copy into frame-owned storage (inline for the broadcast layer's
+		// ≤4-payload bundles) so callers may reuse their ride buffers
+		// while this frame is still in flight.
+		f.Piggyback = append(f.pb[:0], piggyback...)
+	}
 	n := e.net
 	airTime := n.cfg.TurnaroundDelay + time.Duration(f.TotalSize())*n.cfg.ByteTime
 
 	n.stats.TotalFrames++
 	n.stats.TotalBytes += uint64(f.TotalSize())
-	n.stats.TxByKind[payload.Kind()]++
-	n.stats.TxByNode[e.id]++
-	nk := n.stats.TxByNodeKind[e.id]
-	if nk == nil {
-		nk = make(map[string]uint64)
-		n.stats.TxByNodeKind[e.id] = nk
+	for e.id >= len(n.txByNode) {
+		n.txByNode = append(n.txByNode, 0)
+		n.txByNodeKind = append(n.txByNodeKind, nil)
 	}
-	nk[payload.Kind()]++
+	n.txByNode[e.id]++
+	kind := payload.Kind()
+	n.countTx(e.id, kind)
 	for _, p := range f.Piggyback {
-		n.stats.TxByKind[p.Kind()]++
-		nk[p.Kind()]++
+		n.countTx(e.id, p.Kind())
 	}
 
 	if e.listener != nil {
@@ -432,7 +497,7 @@ func (e *Endpoint) Send(to int, payload Payload, piggyback ...Payload) {
 	// timestamp and were scheduled back-to-back, so their heap order was
 	// exactly this iteration order).
 	rxTime := time.Duration(f.TotalSize()) * n.cfg.ByteTime
-	n.sched.After(airTime, "radio.deliver:"+payload.Kind(), func() {
+	n.sched.Post(airTime, deliverName(kind), func() {
 		for i, rx := range receivers {
 			if !rx.RadioOn() {
 				n.stats.DroppedRadioOff++

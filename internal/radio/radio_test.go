@@ -8,14 +8,25 @@ import (
 	"enviromic/internal/sim"
 )
 
+// Interned kinds for the test payloads (shared with index_test.go).
+var (
+	kindHello   = RegisterKind("hello")
+	kindTask    = RegisterKind("task")
+	kindX       = RegisterKind("x")
+	kindSensing = RegisterKind("sensing")
+	kindTTL     = RegisterKind("ttl")
+	kindChatter = RegisterKind("chatter")
+	kindQuery   = RegisterKind("query")
+)
+
 // testPayload is a minimal payload for exercising the medium.
 type testPayload struct {
-	kind string
+	kind KindID
 	size int
 	tag  int
 }
 
-func (p testPayload) Kind() string { return p.kind }
+func (p testPayload) Kind() KindID { return p.kind }
 func (p testPayload) Size() int    { return p.size }
 
 func lossless(commRange float64) Config {
@@ -39,7 +50,7 @@ func TestBroadcastReachesNodesInRange(t *testing.T) {
 	var rb, rc capture
 	b.SetHandler(&rb)
 	c.SetHandler(&rc)
-	a.Send(Broadcast, testPayload{kind: "hello", size: 4})
+	a.Send(Broadcast, testPayload{kind: kindHello, size: 4})
 	s.Run(sim.At(time.Second))
 	if len(rb.frames) != 1 {
 		t.Fatalf("in-range node got %d frames, want 1", len(rb.frames))
@@ -48,7 +59,7 @@ func TestBroadcastReachesNodesInRange(t *testing.T) {
 		t.Fatalf("out-of-range node got %d frames, want 0", len(rc.frames))
 	}
 	f := rb.frames[0]
-	if f.From != 0 || f.To != Broadcast || f.Payload.Kind() != "hello" {
+	if f.From != 0 || f.To != Broadcast || f.Payload.Kind() != kindHello {
 		t.Errorf("frame = %+v", f)
 	}
 }
@@ -62,7 +73,7 @@ func TestUnicastIsOverheard(t *testing.T) {
 	var rb, rc capture
 	b.SetHandler(&rb)
 	c.SetHandler(&rc)
-	a.Send(1, testPayload{kind: "task", size: 8})
+	a.Send(1, testPayload{kind: kindTask, size: 8})
 	s.Run(sim.At(time.Second))
 	if len(rb.frames) != 1 {
 		t.Error("addressee did not receive")
@@ -84,7 +95,7 @@ func TestRadioOffDropsFrames(t *testing.T) {
 	var rb capture
 	b.SetHandler(&rb)
 	b.SetRadio(false)
-	a.Send(Broadcast, testPayload{kind: "x", size: 1})
+	a.Send(Broadcast, testPayload{kind: kindX, size: 1})
 	s.Run(sim.At(time.Second))
 	if len(rb.frames) != 0 {
 		t.Error("radio-off node received a frame")
@@ -94,7 +105,7 @@ func TestRadioOffDropsFrames(t *testing.T) {
 	}
 	// Radio back on: deliveries resume.
 	b.SetRadio(true)
-	a.Send(Broadcast, testPayload{kind: "x", size: 1})
+	a.Send(Broadcast, testPayload{kind: kindX, size: 1})
 	s.Run(sim.At(2 * time.Second))
 	if len(rb.frames) != 1 {
 		t.Error("delivery did not resume after radio on")
@@ -110,7 +121,7 @@ func TestRadioOffAtDeliveryTimeDrops(t *testing.T) {
 	b := n.Join(1, geometry.Point{X: 1})
 	var rb capture
 	b.SetHandler(&rb)
-	a.Send(Broadcast, testPayload{kind: "x", size: 100})
+	a.Send(Broadcast, testPayload{kind: kindX, size: 100})
 	s.After(time.Microsecond, "off", func() { b.SetRadio(false) })
 	s.Run(sim.At(time.Second))
 	if len(rb.frames) != 0 {
@@ -128,7 +139,7 @@ func TestSendWithRadioOffPanics(t *testing.T) {
 			t.Error("transmit with radio off did not panic")
 		}
 	}()
-	a.Send(Broadcast, testPayload{kind: "x", size: 1})
+	a.Send(Broadcast, testPayload{kind: kindX, size: 1})
 }
 
 func TestDeadNodeNeitherSendsNorReceives(t *testing.T) {
@@ -139,7 +150,7 @@ func TestDeadNodeNeitherSendsNorReceives(t *testing.T) {
 	var rb capture
 	b.SetHandler(&rb)
 	b.Kill()
-	a.Send(Broadcast, testPayload{kind: "x", size: 1})
+	a.Send(Broadcast, testPayload{kind: kindX, size: 1})
 	s.Run(sim.At(time.Second))
 	if len(rb.frames) != 0 {
 		t.Error("dead node received a frame")
@@ -152,7 +163,7 @@ func TestDeadNodeNeitherSendsNorReceives(t *testing.T) {
 			t.Error("dead node transmit did not panic")
 		}
 	}()
-	b.Send(Broadcast, testPayload{kind: "x", size: 1})
+	b.Send(Broadcast, testPayload{kind: kindX, size: 1})
 }
 
 func TestPacketLossIsApplied(t *testing.T) {
@@ -166,7 +177,7 @@ func TestPacketLossIsApplied(t *testing.T) {
 	b.SetHandler(&rb)
 	const trials = 400
 	for i := 0; i < trials; i++ {
-		a.Send(Broadcast, testPayload{kind: "x", size: 1, tag: i})
+		a.Send(Broadcast, testPayload{kind: kindX, size: 1, tag: i})
 	}
 	s.RunAll()
 	got := len(rb.frames)
@@ -189,7 +200,7 @@ func TestTransmissionDelayScalesWithSize(t *testing.T) {
 	b := n.Join(1, geometry.Point{X: 1})
 	var deliveredAt sim.Time
 	b.SetHandler(HandlerFunc(func(f *Frame) { deliveredAt = s.Now() }))
-	a.Send(Broadcast, testPayload{kind: "x", size: 20})
+	a.Send(Broadcast, testPayload{kind: kindX, size: 20})
 	s.RunAll()
 	// 10ms turnaround + (11 MAC + 20 payload) bytes × 1ms.
 	want := sim.At(41 * time.Millisecond)
@@ -205,14 +216,14 @@ func TestPiggybackCountsAndSize(t *testing.T) {
 	b := n.Join(1, geometry.Point{X: 1})
 	var rb capture
 	b.SetHandler(&rb)
-	a.Send(Broadcast, testPayload{kind: "sensing", size: 10},
-		testPayload{kind: "ttl", size: 6})
+	a.Send(Broadcast, testPayload{kind: kindSensing, size: 10},
+		testPayload{kind: kindTTL, size: 6})
 	s.RunAll()
 	if len(rb.frames) != 1 {
 		t.Fatalf("got %d frames, want 1", len(rb.frames))
 	}
 	f := rb.frames[0]
-	if len(f.Piggyback) != 1 || f.Piggyback[0].Kind() != "ttl" {
+	if len(f.Piggyback) != 1 || f.Piggyback[0].Kind() != kindTTL {
 		t.Fatalf("piggyback = %+v", f.Piggyback)
 	}
 	if f.TotalSize() != 11+10+6 {
@@ -264,7 +275,7 @@ func TestDeterministicDeliveryOrder(t *testing.T) {
 			ep.SetHandler(HandlerFunc(func(f *Frame) { order = append(order, rxID) }))
 		}
 		for i := 0; i < 10; i++ {
-			tx.Send(Broadcast, testPayload{kind: "x", size: 3, tag: i})
+			tx.Send(Broadcast, testPayload{kind: kindX, size: 3, tag: i})
 		}
 		s.RunAll()
 		return order
@@ -340,7 +351,7 @@ func TestActivityListenerSeesTxAndRx(t *testing.T) {
 	a.SetActivityListener(&la)
 	b.SetActivityListener(&lb)
 	// No handler installed on b: the radio still burns CPU on reception.
-	a.Send(Broadcast, testPayload{kind: "x", size: 1})
+	a.Send(Broadcast, testPayload{kind: kindX, size: 1})
 	s.RunAll()
 	if la.tx != 1 || la.rx != 0 {
 		t.Errorf("sender activity tx/rx = %d/%d, want 1/0", la.tx, la.rx)

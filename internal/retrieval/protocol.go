@@ -11,10 +11,10 @@ import (
 	"enviromic/internal/sim"
 )
 
-// Payload kinds.
-const (
-	KindQuery = "retr.query"
-	KindFlood = "retr.flood"
+// Payload kinds, interned at package init.
+var (
+	KindQuery = radio.RegisterKind("retr.query")
+	KindFlood = radio.RegisterKind("retr.flood")
 )
 
 // QueryMsg is the single-hop retrieval request: nodes in range answer
@@ -26,7 +26,7 @@ type QueryMsg struct {
 }
 
 // Kind implements radio.Payload.
-func (QueryMsg) Kind() string { return KindQuery }
+func (QueryMsg) Kind() radio.KindID { return KindQuery }
 
 // Size implements radio.Payload: range (16) + small filter sets + sink.
 func (q QueryMsg) Size() int { return 20 + 4*len(q.Q.Origins) + 4*len(q.Q.Files) }
@@ -43,7 +43,7 @@ type FloodMsg struct {
 }
 
 // Kind implements radio.Payload.
-func (FloodMsg) Kind() string { return KindFlood }
+func (FloodMsg) Kind() radio.KindID { return KindFlood }
 
 // Size implements radio.Payload.
 func (f FloodMsg) Size() int { return 26 + 4*len(f.Q.Origins) + 4*len(f.Q.Files) }
@@ -116,7 +116,12 @@ func (r *Responder) handleQuery(from, to int, p radio.Payload) {
 	}
 	delay := time.Duration(r.id%16+1) * r.ResponseDelayPerNode
 	r.sched.After(delay, fmt.Sprintf("retr.reply.%d", r.id), func() {
-		r.bulk.SendRetrieval(msg.ReplyTo, chunks, nil)
+		// The response clones exist only for this session (bulk re-clones
+		// each one for the wire), so all of them recycle at done —
+		// acknowledged or not.
+		r.bulk.SendRetrieval(msg.ReplyTo, chunks, func(int, []*flash.Chunk) {
+			flash.FreeChunks(chunks)
+		})
 	})
 }
 
@@ -143,7 +148,9 @@ func (r *Responder) handleFlood(from, to int, p radio.Payload) {
 		time.Duration(r.depth)*50*time.Millisecond
 	parent := r.parent
 	r.sched.After(delay, fmt.Sprintf("retr.converge.%d", r.id), func() {
-		r.bulk.SendRetrieval(parent, chunks, nil)
+		r.bulk.SendRetrieval(parent, chunks, func(int, []*flash.Chunk) {
+			flash.FreeChunks(chunks)
+		})
 	})
 }
 
@@ -173,9 +180,12 @@ func (r *Responder) relayAccept(from int, c *flash.Chunk) bool {
 			batch := r.pending
 			r.pending = nil
 			if len(batch) == 0 || r.parent < 0 {
+				flash.FreeChunks(batch)
 				return
 			}
-			r.bulk.SendRetrieval(r.parent, batch, nil)
+			r.bulk.SendRetrieval(r.parent, batch, func(int, []*flash.Chunk) {
+				flash.FreeChunks(batch)
+			})
 		})
 	}
 	return true

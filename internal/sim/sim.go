@@ -184,20 +184,46 @@ func (s *Scheduler) SetEventLimit(n uint64) { s.maxEvents = n }
 // that panics: protocol code that computes a past deadline is buggy, and
 // silently clamping would mask it.
 func (s *Scheduler) At(t Time, name string, fn func()) *Timer {
+	tm := s.AtTimer(t, name, fn)
+	return &tm
+}
+
+// AtTimer is At returning the handle by value, for callers that keep the
+// handle in a struct field (or discard it) and want to avoid the per-call
+// heap allocation of a *Timer.
+func (s *Scheduler) AtTimer(t Time, name string, fn func()) Timer {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling %q at %v before now %v", name, t, s.now))
 	}
 	ev := s.alloc(t, name, fn)
 	heap.Push(&s.queue, ev)
-	return &Timer{ev: ev, gen: ev.gen}
+	return Timer{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn d after the current time. Negative d panics.
 func (s *Scheduler) After(d time.Duration, name string, fn func()) *Timer {
+	tm := s.AfterTimer(d, name, fn)
+	return &tm
+}
+
+// AfterTimer is After returning the handle by value (see AtTimer).
+func (s *Scheduler) AfterTimer(d time.Duration, name string, fn func()) Timer {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v for %q", d, name))
 	}
-	return s.At(s.now.Add(d), name, fn)
+	return s.AtTimer(s.now.Add(d), name, fn)
+}
+
+// Post schedules fn d after the current time without issuing a cancel
+// handle at all: the fire-and-forget form used by hot paths (the radio's
+// delivery events) where even a by-value Timer is dead weight.
+func (s *Scheduler) Post(d time.Duration, name string, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v for %q", d, name))
+	}
+	t := s.now.Add(d)
+	ev := s.alloc(t, name, fn)
+	heap.Push(&s.queue, ev)
 }
 
 // Stop makes the current Run return after the in-flight callback.
@@ -274,20 +300,15 @@ func (s *Scheduler) Pending() int {
 }
 
 // NextEventTime returns the time of the earliest pending event, and false
-// if the queue is empty.
+// if the queue is empty. Cancelled events may occupy the heap root, so a
+// single linear pass over the queue finds the minimum among live events.
 func (s *Scheduler) NextEventTime() (Time, bool) {
+	var best Time
+	found := false
 	for _, ev := range s.queue {
-		if !ev.cancelled {
-			// The heap root is the earliest, but cancelled events may sit at
-			// the root; scan is O(n) worst case yet only used in tests.
-			best := ev.at
-			for _, e := range s.queue {
-				if !e.cancelled && e.at < best {
-					best = e.at
-				}
-			}
-			return best, true
+		if !ev.cancelled && (!found || ev.at < best) {
+			best, found = ev.at, true
 		}
 	}
-	return 0, false
+	return best, found
 }

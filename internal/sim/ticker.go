@@ -8,12 +8,17 @@ import (
 // Ticker repeatedly invokes a callback at a fixed virtual-time period.
 // Unlike time.Ticker there is no channel: the callback runs inline in the
 // event loop. The zero value is not useful; use NewTicker.
+//
+// Rescheduling reuses one closure and a by-value timer handle, so a
+// running ticker performs no per-tick allocation (tickers are the
+// densest event source in a full figure run).
 type Ticker struct {
 	sched   *Scheduler
 	period  time.Duration
 	name    string
 	fn      func()
-	timer   *Timer
+	tick    func()
+	timer   Timer
 	stopped bool
 }
 
@@ -24,12 +29,7 @@ func NewTicker(s *Scheduler, period time.Duration, name string, fn func()) *Tick
 		panic(fmt.Sprintf("sim: non-positive ticker period %v for %q", period, name))
 	}
 	t := &Ticker{sched: s, period: period, name: name, fn: fn}
-	t.arm()
-	return t
-}
-
-func (t *Ticker) arm() {
-	t.timer = t.sched.After(t.period, t.name, func() {
+	t.tick = func() {
 		if t.stopped {
 			return
 		}
@@ -37,7 +37,13 @@ func (t *Ticker) arm() {
 		if !t.stopped {
 			t.arm()
 		}
-	})
+	}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.timer = t.sched.AfterTimer(t.period, t.name, t.tick)
 }
 
 // Stop cancels future invocations. The callback never runs after Stop
@@ -47,9 +53,7 @@ func (t *Ticker) Stop() {
 		return
 	}
 	t.stopped = true
-	if t.timer != nil {
-		t.timer.Cancel()
-	}
+	t.timer.Cancel()
 }
 
 // Reset changes the period and restarts the ticker relative to now.
@@ -57,9 +61,7 @@ func (t *Ticker) Reset(period time.Duration) {
 	if period <= 0 {
 		panic(fmt.Sprintf("sim: non-positive ticker period %v for %q", period, t.name))
 	}
-	if t.timer != nil {
-		t.timer.Cancel()
-	}
+	t.timer.Cancel()
 	t.period = period
 	t.stopped = false
 	t.arm()

@@ -23,8 +23,9 @@ import (
 	"enviromic/internal/sim"
 )
 
-// KindTTL is the TTL advertisement payload kind.
-const KindTTL = "storage.ttl"
+// KindTTL is the TTL advertisement payload kind, interned at package
+// init.
+var KindTTL = radio.RegisterKind("storage.ttl")
 
 // TTLUpdate advertises a node's storage TTL to its neighborhood.
 type TTLUpdate struct {
@@ -33,7 +34,7 @@ type TTLUpdate struct {
 }
 
 // Kind implements radio.Payload.
-func (TTLUpdate) Kind() string { return KindTTL }
+func (TTLUpdate) Kind() radio.KindID { return KindTTL }
 
 // Size implements radio.Payload.
 func (TTLUpdate) Size() int { return 4 }
@@ -330,6 +331,10 @@ func (b *Balancer) check() {
 	b.bulk.SendChunks(to, chunks, func(acked int, failed []*flash.Chunk) {
 		b.transferring = false
 		b.MigratedOutChunks += uint64(acked)
+		// Acked originals were delivered via wire clones and are no
+		// longer referenced by any store or session: recycle them. Bulk
+		// acks advance in order, so the acked prefix is chunks[:acked].
+		flash.FreeChunks(chunks[:acked])
 		b.FailedChunks += uint64(len(failed))
 		if len(failed) > 0 {
 			// The neighbor refused or went silent: its advertised TTL is
@@ -347,6 +352,7 @@ func (b *Balancer) check() {
 		for _, c := range failed {
 			if b.store.Enqueue(c) != nil {
 				// Flash refilled meanwhile: the chunk is lost.
+				flash.FreeChunk(c)
 				if b.probe.OnOverflow != nil {
 					b.probe.OnOverflow(b.id, b.sched.Now())
 				}

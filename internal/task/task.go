@@ -22,11 +22,12 @@ import (
 	"enviromic/internal/sim"
 )
 
-// Payload kinds (control-overhead accounting keys).
-const (
-	KindRequest = "task.request"
-	KindConfirm = "task.confirm"
-	KindReject  = "task.reject"
+// Payload kinds (control-overhead accounting keys), interned at package
+// init.
+var (
+	KindRequest = radio.RegisterKind("task.request")
+	KindConfirm = radio.RegisterKind("task.confirm")
+	KindReject  = radio.RegisterKind("task.reject")
 )
 
 // Request is the leader's TASK_REQUEST.
@@ -43,7 +44,7 @@ type Request struct {
 }
 
 // Kind implements radio.Payload.
-func (Request) Kind() string { return KindRequest }
+func (Request) Kind() radio.KindID { return KindRequest }
 
 // Size implements radio.Payload.
 func (Request) Size() int { return 17 }
@@ -55,7 +56,7 @@ type Confirm struct {
 }
 
 // Kind implements radio.Payload.
-func (Confirm) Kind() string { return KindConfirm }
+func (Confirm) Kind() radio.KindID { return KindConfirm }
 
 // Size implements radio.Payload.
 func (Confirm) Size() int { return 8 }
@@ -66,7 +67,7 @@ type Reject struct {
 }
 
 // Kind implements radio.Payload.
-func (Reject) Kind() string { return KindReject }
+func (Reject) Kind() radio.KindID { return KindReject }
 
 // Size implements radio.Payload.
 func (Reject) Size() int { return 4 }
@@ -582,6 +583,8 @@ func (s *Service) finishRecording() {
 	chunks := flash.SplitSamples(s.recFile, int32(s.id), seq, s.recStartG, endG, samples)
 	s.seqByFile[s.recFile] = seq + uint32(len(chunks))
 	stored := s.dev.StoreChunks(chunks)
+	// Chunks rejected by a full flash never entered any store: recycle.
+	flash.FreeChunks(chunks[stored:])
 	s.recording = false
 	s.stack.Endpoint().SetRadio(true)
 	s.stack.RadioRestored()

@@ -80,7 +80,7 @@ func rig(t *testing.T, n int, loss float64, cfg Config, probes func(i int) Probe
 func TestPayloadContracts(t *testing.T) {
 	tests := []struct {
 		p    radio.Payload
-		kind string
+		kind radio.KindID
 		size int
 	}{
 		{Request{}, KindRequest, 17},
@@ -89,7 +89,7 @@ func TestPayloadContracts(t *testing.T) {
 	}
 	for _, tt := range tests {
 		if tt.p.Kind() != tt.kind || tt.p.Size() != tt.size {
-			t.Errorf("%T: kind %q size %d", tt.p, tt.p.Kind(), tt.p.Size())
+			t.Errorf("%T: kind %q size %d", tt.p, radio.KindName(tt.p.Kind()), tt.p.Size())
 		}
 	}
 }
@@ -257,11 +257,11 @@ func TestConfirmLossTriggersReassignmentAndReject(t *testing.T) {
 	// Confirm losses must have provoked reassignments (extra REQUESTs)
 	// and at least one overhearing-based REJECT.
 	st := net.Stats()
-	if st.TxByKind[KindRequest] <= st.TxByKind[KindConfirm] {
+	if st.TxByKind[radio.KindName(KindRequest)] <= st.TxByKind[radio.KindName(KindConfirm)] {
 		t.Errorf("requests (%d) not above confirms (%d): no reassignment under loss?",
-			st.TxByKind[KindRequest], st.TxByKind[KindConfirm])
+			st.TxByKind[radio.KindName(KindRequest)], st.TxByKind[radio.KindName(KindConfirm)])
 	}
-	if st.TxByKind[KindReject] == 0 {
+	if st.TxByKind[radio.KindName(KindReject)] == 0 {
 		t.Error("REJECT optimization never exercised under loss")
 	}
 }

@@ -40,8 +40,11 @@ type Beacon struct {
 	Global sim.Time
 }
 
+// KindBeacon is the sync beacon payload kind, interned at package init.
+var KindBeacon = radio.RegisterKind("timesync")
+
 // Kind implements radio.Payload.
-func (Beacon) Kind() string { return "timesync" }
+func (Beacon) Kind() radio.KindID { return KindBeacon }
 
 // Size implements radio.Payload: root (2) + seq (4) + global (8).
 func (Beacon) Size() int { return 14 }

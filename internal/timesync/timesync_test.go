@@ -273,8 +273,8 @@ func TestDoubleStartPanics(t *testing.T) {
 
 func TestBeaconPayloadContract(t *testing.T) {
 	var b Beacon
-	if b.Kind() != "timesync" {
-		t.Errorf("Kind = %q", b.Kind())
+	if b.Kind() != KindBeacon {
+		t.Errorf("Kind = %q", radio.KindName(b.Kind()))
 	}
 	if b.Size() != 14 {
 		t.Errorf("Size = %d", b.Size())

@@ -1,0 +1,83 @@
+// Guard test for the interned payload-kind registry: every protocol
+// module's kind must be registered exactly once (RegisterKind is
+// idempotent, so "exactly once" means one ID per name), all module kind
+// IDs must be pairwise distinct, and names must round-trip through
+// KindName. A failure here means two modules collided on a kind name or
+// a module bypassed the registry — either would cross-dispatch payloads
+// at runtime.
+package enviromic_test
+
+import (
+	"testing"
+
+	"enviromic/internal/group"
+	"enviromic/internal/netstack"
+	"enviromic/internal/radio"
+	"enviromic/internal/retrieval"
+	"enviromic/internal/storage"
+	"enviromic/internal/task"
+	"enviromic/internal/timesync"
+)
+
+// moduleKinds is the authoritative list of every protocol module's
+// registered kind. Add new module kinds here as they appear.
+func moduleKinds() map[string]radio.KindID {
+	return map[string]radio.KindID{
+		"group.sensing":     group.KindSensing,
+		"group.leader":      group.KindLeader,
+		"group.resign":      group.KindResign,
+		"group.preludekeep": group.KindPrelude,
+		"task.request":      task.KindRequest,
+		"task.confirm":      task.KindConfirm,
+		"task.reject":       task.KindReject,
+		"bulk.data":         netstack.KindBulkData,
+		"bulk.ack":          netstack.KindBulkAck,
+		"retr.query":        retrieval.KindQuery,
+		"retr.flood":        retrieval.KindFlood,
+		"storage.ttl":       storage.KindTTL,
+		"timesync":          timesync.KindBeacon,
+	}
+}
+
+func TestModuleKindsUniqueAndRegistered(t *testing.T) {
+	byID := make(map[radio.KindID]string)
+	for name, id := range moduleKinds() {
+		if other, dup := byID[id]; dup {
+			t.Errorf("kinds %q and %q share ID %d", name, other, id)
+		}
+		byID[id] = name
+		if got := radio.KindName(id); got != name {
+			t.Errorf("KindName(%d) = %q, want %q", id, got, name)
+		}
+		if got, ok := radio.LookupKind(name); !ok || got != id {
+			t.Errorf("LookupKind(%q) = %d,%v, want %d,true", name, got, ok, id)
+		}
+	}
+}
+
+func TestRegisterKindIdempotent(t *testing.T) {
+	// Multiple packages register shared test kinds ("ctl", "state"); the
+	// registry must hand back the same ID rather than minting a second
+	// one that would split dispatch.
+	a := radio.RegisterKind("guard.idempotent")
+	b := radio.RegisterKind("guard.idempotent")
+	if a != b {
+		t.Errorf("RegisterKind minted two IDs for one name: %d, %d", a, b)
+	}
+}
+
+func TestRegistryCoversModuleKinds(t *testing.T) {
+	names := radio.RegisteredKinds()
+	set := make(map[string]bool, len(names))
+	for _, n := range names {
+		if set[n] {
+			t.Errorf("RegisteredKinds lists %q twice", n)
+		}
+		set[n] = true
+	}
+	for name := range moduleKinds() {
+		if !set[name] {
+			t.Errorf("module kind %q missing from registry listing", name)
+		}
+	}
+}

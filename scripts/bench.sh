@@ -1,0 +1,46 @@
+#!/bin/sh
+# Regenerates the benchmark baselines recorded with each PR that touches
+# a hot path:
+#   BENCH_msgplane.json — message-plane micro-benches (kind dispatch,
+#     chunk split/free) plus the radio hot path and full-figure runs,
+#     with the pre-message-plane numbers from BENCH_radio.json embedded
+#     as "baseline" for before/after deltas.
+# Usage: scripts/bench.sh [output-file]
+# Supersedes the old scripts/bench_radio.sh.
+set -e
+out="${1:-BENCH_msgplane.json}"
+cd "$(dirname "$0")/.."
+
+raw=$(go test -run '^$' -bench 'StackDispatch|ChunkSplit|RadioSend|IndoorFigure|Fig06Sweep' -benchmem -benchtime 0.5s . 2>&1)
+
+# The previous PR's BENCH_radio.json is the "before" reference; inline
+# its benchmark rows so one file carries the comparison.
+baseline="[]"
+if [ -f BENCH_radio.json ]; then
+    baseline=$(sed -n '/"benchmarks": \[/,/^  \]/p' BENCH_radio.json | sed '1s/.*/[/; $s/.*/]/')
+fi
+
+{
+    printf '{\n  "host": "%s",\n' "$(uname -sm)"
+    printf '  "baseline_source": "BENCH_radio.json (pre-message-plane)",\n'
+    printf '  "baseline": %s,\n' "$baseline"
+    echo "$raw" | grep -E '^Benchmark' | awk '
+BEGIN { printf "  \"benchmarks\": [\n"; first=1 }
+{
+  name=$1; sub(/-[0-9]+$/, "", name)
+  nsop=""; bop=""; allocs=""
+  for (i=2; i<=NF; i++) {
+    if ($(i+1) == "ns/op") nsop=$i
+    if ($(i+1) == "B/op") bop=$i
+    if ($(i+1) == "allocs/op") allocs=$i
+  }
+  if (!first) printf ",\n"
+  first=0
+  printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s", name, $2, nsop
+  if (bop != "") printf ", \"bytes_per_op\": %s, \"allocs_per_op\": %s", bop, allocs
+  printf "}"
+}
+END { print "\n  ]\n}" }
+'
+} > "$out"
+echo "wrote $out"

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench figures profile
+.PHONY: build test check bench figures profile trace-smoke
 
 build:
 	$(GO) build ./...
@@ -8,18 +8,27 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the pre-merge tier: vet, build, and the full test suite under
-# the race detector (exercises the parallel experiment pool), including
-# the kind-registry guard test at the repo root.
+# check is the pre-merge tier: vet, gofmt, build, and the full test
+# suite under the race detector (exercises the parallel experiment
+# pool), including the kind-registry guard test at the repo root.
 check:
 	$(GO) vet ./...
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 	$(GO) build ./...
 	$(GO) test -race ./...
 
-# bench regenerates BENCH_msgplane.json (message-plane micro-benchmarks
-# plus the full-figure runs; supersedes the old bench_radio.sh).
+# bench regenerates BENCH_trace.json (message-plane micro-benchmarks,
+# the full-figure runs, and the nil-tracer guard) and fails if the
+# serial indoor figure regressed >2% vs the BENCH_msgplane.json
+# baseline.
 bench:
 	sh scripts/bench.sh
+
+# trace-smoke runs a short traced indoor scenario end to end: JSONL
+# schema validation, the enviromic-trace summary, and a Perfetto export.
+trace-smoke:
+	sh scripts/trace_smoke.sh
 
 # profile runs the indoor scenario under the CPU and allocation
 # profilers; inspect with `go tool pprof cpu.pprof` / `mem.pprof`.

@@ -23,6 +23,7 @@ import (
 	"enviromic/internal/metrics"
 	"enviromic/internal/mote"
 	"enviromic/internal/netstack"
+	"enviromic/internal/obs"
 	"enviromic/internal/radio"
 	"enviromic/internal/sim"
 	"enviromic/internal/storage"
@@ -597,7 +598,26 @@ var (
 	kindBench      = radio.RegisterKind("bench")
 	kindBenchCtl   = radio.RegisterKind("ctl")
 	kindBenchState = radio.RegisterKind("state")
+	evBench        = obs.RegisterEvent("bench.ev")
 )
+
+// BenchmarkTracerDisabled guards the disabled-tracing fast path: every
+// protocol module emits through a nil *obs.Tracer when tracing is off,
+// so the nil-receiver Emit must stay allocation-free — otherwise the
+// figure benches above would silently pay for tracing nobody asked for.
+func BenchmarkTracerDisabled(b *testing.B) {
+	var tr *obs.Tracer
+	if avg := testing.AllocsPerRun(1000, func() {
+		tr.Emit(sim.At(time.Second), evBench, 1, 2, 3, 4, 5)
+	}); avg != 0 {
+		b.Fatalf("nil-tracer Emit allocates %v/op, want 0", avg)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(sim.Time(i), evBench, 1, 2, 3, 4, 5)
+	}
+}
 
 type benchPayload struct {
 	kind radio.KindID

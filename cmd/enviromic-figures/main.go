@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"enviromic/internal/experiments"
+	"enviromic/internal/obs"
 	"enviromic/internal/render"
 	"enviromic/internal/sim"
 )
@@ -29,7 +30,36 @@ func main() {
 	ablations := flag.Bool("ablations", false, "run the design-choice ablations instead of figures")
 	parallel := flag.Int("parallel", experiments.DefaultParallel(),
 		"worker goroutines for independent simulation runs (1 = serial; results are identical either way)")
+	trace := flag.Bool("trace", false, "record structured protocol events from the indoor/forest runs to -trace-out (forces -parallel 1)")
+	traceOut := flag.String("trace-out", "figures.jsonl", "trace file: .jsonl = event log (read it with enviromic-trace), .json = Chrome trace for Perfetto")
+	traceFlt := flag.String("trace-filter", "", "comma-separated event-kind prefixes to keep (e.g. task,storage.migrate); empty keeps all")
 	flag.Parse()
+
+	var tracer *obs.Tracer
+	var traceSink obs.Sink
+	if *trace {
+		// Tracing interleaves events from every simulated node into one
+		// sink; running the independent settings serially keeps the file
+		// ordering deterministic run-to-run.
+		*parallel = 1
+		s, err := obs.NewFileSink(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(2)
+		}
+		count := obs.NewCounting(s)
+		traceSink = count
+		tracer = obs.New(count).SetFilter(obs.ParseFilter(*traceFlt))
+		defer func() {
+			if err := traceSink.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			}
+			fmt.Fprintf(os.Stderr, "trace: %d events -> %s\n", count.Total(), *traceOut)
+			if count.Total() == 0 {
+				fmt.Fprintln(os.Stderr, "trace: only the indoor (10-14) and forest (16-18) figures emit events")
+			}
+		}()
+	}
 
 	if *ablations {
 		var out strings.Builder
@@ -59,10 +89,10 @@ func main() {
 		fig8(&out, *seed)
 	}
 	if want(10) || want(11) || want(12) || want(13) || want(14) {
-		indoor(&out, *seed, *quick, *parallel, want)
+		indoor(&out, *seed, *quick, *parallel, tracer, want)
 	}
 	if want(16) || want(17) || want(18) {
-		forest(&out, *seed, *quick, want)
+		forest(&out, *seed, *quick, tracer, want)
 	}
 	fmt.Print(out.String())
 	if out.Len() == 0 {
@@ -161,7 +191,7 @@ func envelopeSeries(samples []byte, window int) []float64 {
 	return out
 }
 
-func indoor(out *strings.Builder, seed int64, quick bool, parallel int, want func(int) bool) {
+func indoor(out *strings.Builder, seed int64, quick bool, parallel int, tracer *obs.Tracer, want func(int) bool) {
 	opts := experiments.DefaultIndoorOpts()
 	opts.Seed = seed
 	if quick {
@@ -169,6 +199,7 @@ func indoor(out *strings.Builder, seed int64, quick bool, parallel int, want fun
 		opts.Seed = seed
 	}
 	opts.Parallel = parallel
+	opts.Tracer = tracer
 	res := experiments.Indoor(opts)
 	xs := make([]float64, len(res.Miss.Times))
 	for i, t := range res.Miss.Times {
@@ -209,13 +240,14 @@ func indoor(out *strings.Builder, seed int64, quick bool, parallel int, want fun
 	}
 }
 
-func forest(out *strings.Builder, seed int64, quick bool, want func(int) bool) {
+func forest(out *strings.Builder, seed int64, quick bool, tracer *obs.Tracer, want func(int) bool) {
 	opts := experiments.DefaultForestOpts()
 	opts.Seed = seed
 	if quick {
 		opts = experiments.QuickForestOpts()
 		opts.Seed = seed
 	}
+	opts.Tracer = tracer
 	res := experiments.Forest(opts)
 	if want(16) {
 		header(out, "Fig 16 — amount of acoustic event data over time (s/minute)")

@@ -8,6 +8,8 @@
 //	enviromic-sim -mode independent -duration 10m -events 30
 //	enviromic-sim -scenario forest -duration 1h
 //	enviromic-sim -runs 8 -parallel 4 -duration 10m
+//	enviromic-sim -duration 2m -trace -trace-out run.jsonl
+//	enviromic-sim -duration 10m -realtime 10 -http localhost:6060
 //
 // With -runs N the scenario is repeated for seeds seed..seed+N-1 (fanned
 // across -parallel workers) and the per-run headline metrics are printed
@@ -15,18 +17,23 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"math"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"time"
 
 	"enviromic/internal/acoustics"
 	"enviromic/internal/core"
 	"enviromic/internal/experiments"
 	"enviromic/internal/mote"
+	"enviromic/internal/obs"
 	"enviromic/internal/retrieval"
 	"enviromic/internal/sim"
 	"enviromic/internal/workload"
@@ -50,6 +57,10 @@ func main() {
 			"worker goroutines for -runs > 1 (1 = serial; results are identical either way)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
+		trace      = flag.Bool("trace", false, "record structured protocol events to -trace-out")
+		traceOut   = flag.String("trace-out", "trace.jsonl", "trace file: .jsonl = event log (read it with enviromic-trace), .json = Chrome trace for Perfetto")
+		traceFlt   = flag.String("trace-filter", "", "comma-separated event-kind prefixes to keep (e.g. task,storage.migrate); empty keeps all")
+		httpAddr   = flag.String("http", "", "serve debug HTTP (pprof, expvar counters, /trace/tail ring) on this address; pair with -realtime to watch a live run")
 	)
 	flag.Parse()
 
@@ -95,6 +106,42 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The tracer is shared by observer wiring only; it never perturbs the
+	// run, so a traced simulation is byte-identical to an untraced one.
+	var (
+		tracer     *obs.Tracer
+		traceCount *obs.Counting
+	)
+	if *trace || *httpAddr != "" {
+		if *runs > 1 {
+			fmt.Fprintln(os.Stderr, "-trace and -http are incompatible with -runs > 1 (events from parallel runs would interleave)")
+			os.Exit(2)
+		}
+		var tee obs.Tee
+		if *trace {
+			s, err := obs.NewFileSink(*traceOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+				os.Exit(2)
+			}
+			tee = append(tee, s)
+		}
+		var ring *obs.Ring
+		if *httpAddr != "" {
+			ring = obs.NewRing(4096)
+			tee = append(tee, ring)
+		}
+		var sink obs.Sink = tee
+		if len(tee) == 1 {
+			sink = tee[0]
+		}
+		traceCount = obs.NewCounting(sink)
+		tracer = obs.New(traceCount).SetFilter(obs.ParseFilter(*traceFlt))
+		if *httpAddr != "" {
+			serveDebug(*httpAddr, traceCount, ring)
+		}
+	}
+
 	// buildNet assembles a fresh field, workload, and network for one
 	// seed. Every run owns its full object graph, which is what makes the
 	// -runs fan-out safe and bit-identical to serial execution.
@@ -109,6 +156,7 @@ func main() {
 			FlashBlocks: *blocks,
 			TimeSync:    *timesync,
 			DutyCycle:   *duty,
+			Tracer:      tracer,
 		}
 		if *timesync {
 			cfg.MaxClockDriftPPM = 50
@@ -173,6 +221,42 @@ func main() {
 	for _, node := range net.Nodes {
 		fmt.Printf("  node %2d @ %-16v %7d\n", node.ID, node.Pos, node.Mote.Store.BytesUsed())
 	}
+
+	if traceCount != nil {
+		if err := traceCount.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		if *trace {
+			fmt.Printf("\ntrace: %d events -> %s\n", traceCount.Total(), *traceOut)
+		}
+	}
+}
+
+// serveDebug exposes the standard pprof/expvar endpoints plus a
+// /trace/tail handler that returns the newest ring events as JSONL.
+func serveDebug(addr string, counts *obs.Counting, ring *obs.Ring) {
+	expvar.Publish("trace_events_total", expvar.Func(func() any { return counts.Total() }))
+	expvar.Publish("trace_events_by_kind", expvar.Func(func() any { return counts.Counts() }))
+	http.HandleFunc("/trace/tail", func(w http.ResponseWriter, r *http.Request) {
+		n := 100
+		if s := r.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				n = v
+			}
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		var buf []byte
+		for _, e := range ring.Tail(n) {
+			buf = obs.AppendJSONL(buf, e)
+		}
+		w.Write(buf)
+	})
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "http: %v\n", err)
+		}
+	}()
 }
 
 // runSummary is one seed's headline metrics in a -runs sweep.

@@ -1,0 +1,154 @@
+// Command enviromic-trace summarizes a JSONL protocol trace recorded by
+// enviromic-sim or enviromic-figures with -trace: per-kind event counts,
+// per-node timelines, and latency percentiles for the paired protocol
+// exchanges (task request→confirm, migration batch→ack, elections,
+// recordings). It can also convert the event log to Chrome trace-event
+// JSON for ui.perfetto.dev.
+//
+// Usage:
+//
+//	enviromic-trace run.jsonl
+//	enviromic-trace -node 7 run.jsonl         # one node's full timeline
+//	enviromic-trace -perfetto run.json run.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"enviromic/internal/obs"
+)
+
+func main() {
+	node := flag.Int("node", -1, "print this node's full event timeline instead of the per-node summary")
+	perfetto := flag.String("perfetto", "", "also convert the trace to Chrome trace-event JSON at this path")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: enviromic-trace [-node N] [-perfetto out.json] trace.jsonl")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "enviromic-trace: %v\n", err)
+		os.Exit(1)
+	}
+	evs, err := obs.ParseJSONL(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "enviromic-trace: %s: %v\n", flag.Arg(0), err)
+		os.Exit(1)
+	}
+	if len(evs) == 0 {
+		fmt.Println("trace: 0 events")
+		return
+	}
+
+	timelines := obs.Timelines(evs)
+	lo, hi := evs[0].At, evs[0].At
+	for _, e := range evs {
+		if e.At < lo {
+			lo = e.At
+		}
+		if e.At > hi {
+			hi = e.At
+		}
+	}
+	fmt.Printf("trace: %d events, %d nodes, %.3fs .. %.3fs\n",
+		len(evs), len(timelines), lo.Seconds(), hi.Seconds())
+
+	fmt.Printf("\n-- events by kind --\n")
+	for _, kc := range obs.CountByKind(evs) {
+		fmt.Printf("  %7d  %s\n", kc.Count, kc.Name)
+	}
+
+	fmt.Printf("\n-- latency percentiles --\n")
+	fmt.Printf("  %-18s %7s %9s %9s %9s %9s %9s %9s\n",
+		"exchange", "count", "p50", "p90", "p99", "min", "max", "unpaired")
+	for _, st := range obs.Latencies(evs) {
+		if st.Count == 0 {
+			fmt.Printf("  %-18s %7d %9s %9s %9s %9s %9s %9d\n",
+				st.Name, 0, "-", "-", "-", "-", "-", st.UnmatchedStarts)
+			continue
+		}
+		fmt.Printf("  %-18s %7d %9s %9s %9s %9s %9s %9d\n",
+			st.Name, st.Count, fd(st.P50), fd(st.P90), fd(st.P99), fd(st.Min), fd(st.Max), st.UnmatchedStarts)
+		fmt.Printf("  %-18s %s\n", "", histogram(st))
+	}
+
+	if *node >= 0 {
+		fmt.Printf("\n-- node %d timeline --\n", *node)
+		found := false
+		for _, tl := range timelines {
+			if int(tl.Node) != *node {
+				continue
+			}
+			found = true
+			for _, e := range tl.Events {
+				fmt.Printf("  %12.6fs  %-24s peer=%-3d file=%-4d v1=%-8d v2=%d\n",
+					e.At.Seconds(), obs.EventName(e.Kind), e.Peer, e.File, e.V1, e.V2)
+			}
+		}
+		if !found {
+			fmt.Printf("  (no events)\n")
+		}
+	} else {
+		fmt.Printf("\n-- per-node timelines --\n")
+		for _, tl := range timelines {
+			first, last := tl.Events[0], tl.Events[len(tl.Events)-1]
+			fmt.Printf("  node %3d: %6d events  %9.3fs .. %9.3fs  first %-24s last %s\n",
+				tl.Node, len(tl.Events), first.At.Seconds(), last.At.Seconds(),
+				obs.EventName(first.Kind), obs.EventName(last.Kind))
+		}
+		fmt.Printf("(rerun with -node N for one node's full timeline)\n")
+	}
+
+	if *perfetto != "" {
+		out, err := os.Create(*perfetto)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "enviromic-trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := obs.WriteChromeTrace(out, evs); err == nil {
+			err = out.Close()
+		} else {
+			out.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "enviromic-trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote Chrome trace to %s (open in ui.perfetto.dev)\n", *perfetto)
+	}
+}
+
+// fd renders a duration compactly with millisecond-scale precision.
+func fd(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+// histogram renders the non-empty power-of-two latency buckets.
+func histogram(st obs.LatencyStats) string {
+	s := "hist(ms)"
+	for i, n := range st.Buckets {
+		if n == 0 {
+			continue
+		}
+		bound := st.BucketBase << i
+		if i == len(st.Buckets)-1 {
+			s += fmt.Sprintf(" >=%v:%d", st.BucketBase<<(i-1), n)
+		} else {
+			s += fmt.Sprintf(" <%v:%d", bound, n)
+		}
+	}
+	return s
+}

@@ -26,6 +26,7 @@ import (
 	"enviromic/internal/metrics"
 	"enviromic/internal/mote"
 	"enviromic/internal/netstack"
+	"enviromic/internal/obs"
 	"enviromic/internal/radio"
 	"enviromic/internal/retrieval"
 	"enviromic/internal/sim"
@@ -120,6 +121,11 @@ type Config struct {
 	GroupProbe group.Probe
 	// Energy overrides the battery model template; nil uses defaults.
 	Energy func() *mote.Energy
+	// Tracer receives structured protocol events from every module (see
+	// internal/obs); nil disables tracing at zero cost. The tracer is a
+	// pure observer: it draws no randomness and schedules no events, so a
+	// traced run is byte-identical to an untraced one.
+	Tracer *obs.Tracer
 }
 
 func (c *Config) applyDefaults() {
@@ -199,6 +205,7 @@ func NewNetwork(cfg Config, field *acoustics.Field, positions []geometry.Point) 
 	rcfg := radio.DefaultConfig(cfg.CommRange)
 	rcfg.LossProb = cfg.LossProb
 	rnet := radio.NewNetwork(sched, rcfg)
+	rnet.SetTracer(cfg.Tracer)
 
 	posByID := make(map[int]geometry.Point, len(positions))
 	for i, p := range positions {
@@ -252,6 +259,7 @@ func (n *Network) buildNode(id int, pos geometry.Point) *Node {
 	node.Stack = netstack.NewStack(m.Endpoint, n.Sched)
 	node.Bulk = netstack.NewBulk(node.Stack, n.Sched)
 	node.Bulk.Compress = cfg.CompressMigrations
+	node.Bulk.SetTracer(cfg.Tracer)
 
 	var ts task.TimeSource
 	if cfg.TimeSync {
@@ -282,6 +290,7 @@ func (n *Network) buildNode(id int, pos geometry.Point) *Node {
 			}
 		},
 	})
+	node.Tasks.SetTracer(cfg.Tracer)
 	node.Tasks.SetBusyCheck(func() bool { return node.Bulk.InFlight() > 0 })
 	// Hearing is raw audibility (not the probabilistic detection draw):
 	// the question is whether recording would capture the event at all.
@@ -303,12 +312,14 @@ func (n *Network) buildNode(id int, pos geometry.Point) *Node {
 			},
 			OnOverflow: func(nid int, at sim.Time) { n.Collector.AddOverflow(at) },
 		})
+		node.Balancer.SetTracer(cfg.Tracer)
 		ttlSrc = node.Balancer
 	}
 	// Retrieval responder: answers mule queries and relays spanning-tree
 	// convergecasts on the retrieval traffic class (the balancer keeps
 	// the balancing class).
 	node.Responder = retrieval.NewResponder(id, node.Stack, node.Bulk, n.Sched, m.Store)
+	node.Responder.SetTracer(cfg.Tracer)
 
 	userGP := cfg.GroupProbe
 	node.Group = group.NewManager(id, node.Stack, n.Sched, sensor, ttlSrc, node.Tasks, m, gcfg, group.Probe{
@@ -331,6 +342,7 @@ func (n *Network) buildNode(id int, pos geometry.Point) *Node {
 			}
 		},
 	})
+	node.Group.SetTracer(cfg.Tracer)
 	return node
 }
 

@@ -16,6 +16,7 @@ import (
 	"enviromic/internal/geometry"
 	"enviromic/internal/group"
 	"enviromic/internal/mote"
+	"enviromic/internal/obs"
 	"enviromic/internal/sim"
 	"enviromic/internal/task"
 	"enviromic/internal/workload"
@@ -280,6 +281,11 @@ type IndoorOpts struct {
 	// concurrently; <= 1 runs them serially. Each setting's run owns its
 	// scheduler and RNG, so the results are identical either way.
 	Parallel int
+	// Tracer, when non-nil, receives structured protocol events from every
+	// node (see internal/obs). Use Parallel <= 1 with a tracer: sinks
+	// serialize concurrent emits but the interleaving across settings
+	// would not be deterministic.
+	Tracer *obs.Tracer
 }
 
 // DefaultIndoorOpts mirrors §IV-B: 4400 s, ~220 events, 4 hearers each.
@@ -312,6 +318,7 @@ func RunIndoor(setting IndoorSetting, opts IndoorOpts) *core.Network {
 		LossProb:     0.05,
 		FlashBlocks:  opts.FlashBlocks,
 		SamplePeriod: opts.Duration / time.Duration(opts.SamplePoints*2),
+		Tracer:       opts.Tracer,
 	}, field, grid)
 	net.Run(sim.At(opts.Duration))
 	return net
@@ -398,6 +405,9 @@ type ForestOpts struct {
 	// scenario over several seeds; a single Forest call is one simulation
 	// and runs on the calling goroutine regardless.
 	Parallel int
+	// Tracer, when non-nil, receives structured protocol events from every
+	// node (see internal/obs). Use Parallel <= 1 with a tracer.
+	Tracer *obs.Tracer
 }
 
 // DefaultForestOpts mirrors §IV-C: 36 motes, 3 hours.
@@ -457,6 +467,7 @@ func forestRun(opts ForestOpts) ForestResult {
 		FlashBlocks:  opts.FlashBlocks,
 		Group:        &gcfg,
 		SamplePeriod: 5 * time.Minute,
+		Tracer:       opts.Tracer,
 	}, field, positions)
 	net.Run(sim.At(opts.Duration))
 

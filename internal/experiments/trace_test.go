@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"enviromic/internal/core"
+	"enviromic/internal/mote"
+	"enviromic/internal/obs"
+	"enviromic/internal/render"
+	"enviromic/internal/sim"
+)
+
+// traceRunSignature runs one quick indoor lb-beta2 scenario and folds
+// its headline metrics and a rendered figure into a comparison string.
+func traceRunSignature(t *testing.T, tr *obs.Tracer) string {
+	t.Helper()
+	opts := QuickIndoorOpts()
+	opts.Tracer = tr
+	net := RunIndoor(IndoorSetting{Name: "lb-beta2", Mode: core.ModeFull, BetaMax: 2}, opts)
+	end := sim.At(opts.Duration)
+	var fig strings.Builder
+	render.Heatmap(&fig, HeatmapAt(net, end, false), "bytes")
+	return fmt.Sprintf("miss=%v red=%v msgs=%d stored=%d frames=%d kinds=%v\n%s",
+		net.Collector.MissRatioAt(end),
+		net.Collector.RedundancyRatioAt(end, mote.DefaultSampleRate),
+		net.Collector.MessageCountAt(end),
+		net.TotalStoredBytes(),
+		net.Radio.Stats().TotalFrames,
+		net.Radio.Stats().TxByKind,
+		fig.String())
+}
+
+// TestTracingLeavesRunByteIdentical is the tracer's core guarantee: it
+// is a pure observer, so enabling it changes neither the headline
+// metrics nor the rendered figures, and the trace itself is
+// reproducible bit-for-bit under a fixed seed.
+func TestTracingLeavesRunByteIdentical(t *testing.T) {
+	base := traceRunSignature(t, nil)
+
+	var buf bytes.Buffer
+	sink := obs.NewJSONL(&buf)
+	traced := traceRunSignature(t, obs.New(sink))
+	if err := sink.Close(); err != nil {
+		t.Fatalf("sink close: %v", err)
+	}
+	if traced != base {
+		t.Fatalf("traced run diverged from untraced run:\n--- untraced ---\n%s\n--- traced ---\n%s", base, traced)
+	}
+	evs, err := obs.ParseJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("trace does not round-trip: %v", err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("tracer captured no events from a full-mode run")
+	}
+
+	var buf2 bytes.Buffer
+	sink2 := obs.NewJSONL(&buf2)
+	if got := traceRunSignature(t, obs.New(sink2)); got != base {
+		t.Fatalf("second traced run diverged from untraced run")
+	}
+	if err := sink2.Close(); err != nil {
+		t.Fatalf("sink close: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("trace output is not deterministic across identical runs")
+	}
+}

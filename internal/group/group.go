@@ -17,6 +17,7 @@ import (
 
 	"enviromic/internal/flash"
 	"enviromic/internal/netstack"
+	"enviromic/internal/obs"
 	"enviromic/internal/radio"
 	"enviromic/internal/sim"
 	"enviromic/internal/task"
@@ -28,6 +29,23 @@ var (
 	KindLeader  = radio.RegisterKind("group.leader")
 	KindResign  = radio.RegisterKind("group.resign")
 	KindPrelude = radio.RegisterKind("group.preludekeep")
+)
+
+// Trace event kinds (see DESIGN.md §11). V1/V2 meanings:
+// elect.backoff V1 = chosen back-off in ns; elect.lost Peer = winner (-1
+// when the election was abandoned, e.g. hearing ended first); handoff
+// Peer = resigning leader, V1 = inherited next-assignment time in ns;
+// prelude.keep Peer = chosen keeper; prelude.stored V1/V2 =
+// stored/total chunks; hearing V1 = 1 began / 0 ended.
+var (
+	evHearing      = obs.RegisterEvent("group.hearing")
+	evElectBackoff = obs.RegisterEvent("group.elect.backoff")
+	evElectWon     = obs.RegisterEvent("group.elect.won")
+	evElectLost    = obs.RegisterEvent("group.elect.lost")
+	evResign       = obs.RegisterEvent("group.resign")
+	evHandoff      = obs.RegisterEvent("group.handoff")
+	evPreludeKeep  = obs.RegisterEvent("group.prelude.keep")
+	evPreludeStore = obs.RegisterEvent("group.prelude.stored")
 )
 
 // Sensing is the periodic "I can hear the event" heartbeat. It carries
@@ -208,6 +226,7 @@ type Manager struct {
 	tasks *task.Service
 	pd    PreludeDevice
 	probe Probe
+	tr    *obs.Tracer
 
 	hearing      bool
 	silentPolls  int
@@ -261,6 +280,9 @@ func NewManager(id int, stack *netstack.Stack, sched *sim.Scheduler, sens Sensor
 	tasks.SetOnPeerLeader(m.resolveLeaderCollision)
 	return m
 }
+
+// SetTracer installs the protocol tracer (nil disables tracing).
+func (m *Manager) SetTracer(tr *obs.Tracer) { m.tr = tr }
 
 // resolveLeaderCollision handles a TASK_REQUEST arriving from a competing
 // leader of the same event (both elected, e.g., across radio-off
@@ -360,6 +382,7 @@ func (m *Manager) poll() {
 func (m *Manager) hearingBegan(now sim.Time) {
 	m.hearing = true
 	m.silentPolls = 0
+	m.tr.Emit(now, evHearing, int32(m.id), obs.NoPeer, 0, 1, 0)
 	if m.probe.OnHearingChanged != nil {
 		m.probe.OnHearingChanged(m.id, true, now)
 	}
@@ -402,14 +425,17 @@ func (m *Manager) hearingBegan(now sim.Time) {
 func (m *Manager) hearingEnded(now sim.Time) {
 	m.hearing = false
 	m.silentPolls = 0
+	m.tr.Emit(now, evHearing, int32(m.id), obs.NoPeer, 0, 0, 0)
 	if m.probe.OnHearingChanged != nil {
 		m.probe.OnHearingChanged(m.id, false, now)
 	}
 	if m.senseTicker != nil {
 		m.senseTicker.Stop()
 	}
-	if m.electTimer != nil {
-		m.electTimer.Cancel()
+	if m.electTimer.Cancel() {
+		// An armed back-off abandoned without a winner still closes its
+		// election span in the trace.
+		m.tr.Emit(now, evElectLost, int32(m.id), obs.NoPeer, uint32(m.leaderFile), 0, 0)
 	}
 	delete(m.members, m.id)
 	// A final zero-signal SENSING removes us from neighbors' member
@@ -450,6 +476,7 @@ func (m *Manager) claimPrelude() {
 		}
 		file := m.newFileID()
 		m.stack.SendUrgent(radio.Broadcast, PreludeKeep{File: file, Keeper: m.id})
+		m.tr.Emit(m.sched.Now(), evPreludeKeep, int32(m.id), int32(m.id), uint32(file), 0, 0)
 		if m.probe.OnPreludeKeep != nil {
 			m.probe.OnPreludeKeep(m.id, file, m.sched.Now())
 		}
@@ -462,6 +489,7 @@ func (m *Manager) claimPrelude() {
 func (m *Manager) resign(now sim.Time) {
 	next := m.tasks.StopLeading()
 	m.stack.SendUrgent(radio.Broadcast, Resign{File: m.leaderFile, NextAssignAt: next})
+	m.tr.Emit(now, evResign, int32(m.id), obs.NoPeer, uint32(m.leaderFile), int64(next), 0)
 	if m.probe.OnResign != nil {
 		m.probe.OnResign(m.id, m.leaderFile, now)
 	}
@@ -475,12 +503,14 @@ func (m *Manager) startElection(min, max time.Duration) {
 		return
 	}
 	backoff := min + time.Duration(m.sched.Rand().Int63n(int64(max-min)))
+	m.tr.Emit(m.sched.Now(), evElectBackoff, int32(m.id), obs.NoPeer, uint32(m.pendingFile), int64(backoff), 0)
 	m.electTimer = m.sched.After(backoff, fmt.Sprintf("group.elect.%d", m.id), m.becomeLeader)
 }
 
 func (m *Manager) becomeLeader() {
 	now := m.sched.Now()
 	if !m.hearing || m.leaderID >= 0 || m.tasks.Recording() {
+		m.tr.Emit(now, evElectLost, int32(m.id), obs.NoPeer, uint32(m.pendingFile), 0, 0)
 		return
 	}
 	file := m.pendingFile
@@ -495,6 +525,7 @@ func (m *Manager) becomeLeader() {
 	m.leaderFile = file
 	m.lastLeaderAt = now
 	m.stack.SendUrgent(radio.Broadcast, Leader{File: file})
+	m.tr.Emit(now, evElectWon, int32(m.id), obs.NoPeer, uint32(file), 0, 0)
 	if m.probe.OnElected != nil {
 		m.probe.OnElected(m.id, file, now)
 	}
@@ -528,6 +559,7 @@ func (m *Manager) choosePreludeKeeper(file flash.FileID, now sim.Time) {
 		}
 	}
 	m.stack.SendUrgent(radio.Broadcast, PreludeKeep{File: file, Keeper: keeper})
+	m.tr.Emit(now, evPreludeKeep, int32(m.id), int32(keeper), uint32(file), 0, 0)
 	if m.probe.OnPreludeKeep != nil {
 		m.probe.OnPreludeKeep(keeper, file, now)
 	}
@@ -558,6 +590,7 @@ func (m *Manager) persistPrelude(file flash.FileID) {
 	stored := m.pd.StoreChunks(chunks)
 	// Chunks rejected by a full flash never entered any store: recycle.
 	flash.FreeChunks(chunks[stored:])
+	m.tr.Emit(m.sched.Now(), evPreludeStore, int32(m.id), obs.NoPeer, uint32(file), int64(stored), int64(len(chunks)))
 	if m.probe.OnPreludeStored != nil {
 		m.probe.OnPreludeStored(m.id, file, m.preludeStart, end, stored, len(chunks))
 	}
@@ -654,8 +687,10 @@ func (m *Manager) handleLeader(from, to int, p radio.Payload) {
 			return // we keep leading; the peer will step down
 		}
 	}
-	if m.electTimer != nil {
-		m.electTimer.Cancel()
+	if m.electTimer.Cancel() {
+		// Our back-off was still pending when the announcement arrived:
+		// we lost this election to the sender.
+		m.tr.Emit(now, evElectLost, int32(m.id), int32(from), uint32(l.File), 0, 0)
 	}
 	m.leaderID = from
 	m.leaderFile = l.File
@@ -688,6 +723,7 @@ func (m *Manager) handleResign(from, to int, p radio.Payload) {
 		// Compete to succeed, preserving the file ID and schedule.
 		m.pendingFile = r.File
 		m.pendingAssign = r.NextAssignAt
+		m.tr.Emit(now, evHandoff, int32(m.id), int32(from), uint32(r.File), int64(r.NextAssignAt), 0)
 		if m.probe.OnHandoff != nil {
 			m.probe.OnHandoff(from, m.id, r.File, now)
 		}

@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"sort"
+	"strings"
 	"time"
 
 	"enviromic/internal/acoustics"
@@ -170,14 +172,22 @@ func (c *Collector) RedundancyRatioAt(t sim.Time, bytesPerSecond float64) float6
 	return (overlapBytes + dupBytes) / denom
 }
 
-func (c *Collector) duplicateChunksAt(t sim.Time) int {
-	dups := 0
-	for _, s := range c.Samples {
-		if s.At <= t {
-			dups = s.DuplicateChunks
-		}
+// sampleAt returns the latest sample taken at or before t, or nil if
+// none exists yet. Samples are appended in simulation-time order, so a
+// binary search serves every time-series query point.
+func (c *Collector) sampleAt(t sim.Time) *Sample {
+	i := sort.Search(len(c.Samples), func(i int) bool { return c.Samples[i].At > t })
+	if i == 0 {
+		return nil
 	}
-	return dups
+	return &c.Samples[i-1]
+}
+
+func (c *Collector) duplicateChunksAt(t sim.Time) int {
+	if s := c.sampleAt(t); s != nil {
+		return s.DuplicateChunks
+	}
+	return 0
 }
 
 // MessageCountAt returns the cumulative control-message count at time t
@@ -185,18 +195,13 @@ func (c *Collector) duplicateChunksAt(t sim.Time) int {
 // latest sample at or before t (Fig 12). Kinds with prefix "timesync" are
 // excluded: the paper's count covers task and load-balancing traffic.
 func (c *Collector) MessageCountAt(t sim.Time) uint64 {
-	var best *Sample
-	for i := range c.Samples {
-		if c.Samples[i].At <= t {
-			best = &c.Samples[i]
-		}
-	}
+	best := c.sampleAt(t)
 	if best == nil {
 		return 0
 	}
 	var n uint64
 	for kind, cnt := range best.TxByKind {
-		if kind == "timesync" {
+		if strings.HasPrefix(kind, "timesync") {
 			continue
 		}
 		n += cnt
@@ -207,12 +212,7 @@ func (c *Collector) MessageCountAt(t sim.Time) uint64 {
 // StorageHeatmapAt bins per-node stored bytes into a spatial heatmap from
 // the latest sample at or before t (Fig 13 / Fig 17).
 func (c *Collector) StorageHeatmapAt(t sim.Time, cols, rows int) *geometry.Heatmap {
-	var best *Sample
-	for i := range c.Samples {
-		if c.Samples[i].At <= t {
-			best = &c.Samples[i]
-		}
-	}
+	best := c.sampleAt(t)
 	minX, minY, maxX, maxY := bounds(c.positions)
 	h := geometry.NewHeatmap(minX, minY, maxX+1e-9, maxY+1e-9, cols, rows)
 	if best == nil {
@@ -229,12 +229,7 @@ func (c *Collector) StorageHeatmapAt(t sim.Time, cols, rows int) *geometry.Heatm
 // OverheadHeatmapAt bins per-node transmitted frame counts spatially from
 // the latest sample at or before t (Fig 14).
 func (c *Collector) OverheadHeatmapAt(t sim.Time, cols, rows int) *geometry.Heatmap {
-	var best *Sample
-	for i := range c.Samples {
-		if c.Samples[i].At <= t {
-			best = &c.Samples[i]
-		}
-	}
+	best := c.sampleAt(t)
 	minX, minY, maxX, maxY := bounds(c.positions)
 	h := geometry.NewHeatmap(minX, minY, maxX+1e-9, maxY+1e-9, cols, rows)
 	if best == nil {

@@ -291,6 +291,75 @@ func TestCountDuplicates(t *testing.T) {
 	}
 }
 
+func TestMessageCountExcludesTimesyncPrefixedKinds(t *testing.T) {
+	c, _ := collectorRig()
+	// FTSP traffic registers sub-kinds like "timesync.reply"; the Fig 12
+	// count must exclude the whole family, not just the bare "timesync".
+	c.AddSample(Sample{At: at(10), TxByKind: map[string]uint64{
+		"task.request":   5,
+		"timesync":       99,
+		"timesync.reply": 41,
+	}})
+	if got := c.MessageCountAt(at(15)); got != 5 {
+		t.Errorf("count = %d, want 5 (every timesync* kind excluded)", got)
+	}
+}
+
+func TestSampleAtBoundaries(t *testing.T) {
+	c, _ := collectorRig()
+	for _, s := range []float64{10, 20, 30} {
+		c.AddSample(Sample{At: at(s), TxByKind: map[string]uint64{"task.request": uint64(s)}})
+	}
+	// "Latest sample at or before t" across every boundary case.
+	cases := []struct {
+		q    float64
+		want uint64
+	}{{5, 0}, {10, 10}, {15, 10}, {20, 20}, {29.9, 20}, {30, 30}, {99, 30}}
+	for _, tc := range cases {
+		if got := c.MessageCountAt(at(tc.q)); got != tc.want {
+			t.Errorf("MessageCountAt(%vs) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestAttributionZeroLengthOverlap(t *testing.T) {
+	c, _ := collectorRig() // event spans [10,20)
+	// One recording ends exactly when the event starts, another starts
+	// exactly at its end: both overlaps are empty, neither attributes.
+	c.AddRecording(Recording{Node: 0, File: 1, Start: at(0), End: at(10), StoredFrac: 1})
+	c.AddRecording(Recording{Node: 0, File: 2, Start: at(20), End: at(30), StoredFrac: 1})
+	if got := c.MissRatioAt(at(30)); got != 1 {
+		t.Errorf("miss = %v, want 1 (zero-length overlaps must not attribute)", got)
+	}
+}
+
+func TestAttributionUnknownRecorderPosition(t *testing.T) {
+	c, _ := collectorRig()
+	// Node 7 has no known position: its recording cannot be attributed
+	// even though it fully overlaps the event in time.
+	c.AddRecording(Recording{Node: 7, File: 1, Start: at(10), End: at(20), StoredFrac: 1})
+	if got := c.MissRatioAt(at(30)); got != 1 {
+		t.Errorf("miss = %v, want 1 (recorder without position)", got)
+	}
+}
+
+func TestAttributionMobileAudibleOnlyAtFinalProbe(t *testing.T) {
+	field := acoustics.NewField(1.0)
+	// Source moves x=0→100 over 100 s; loudness 2 → audible range 2. The
+	// listener at x=101.5 only hears it for t ≥ 99.5.
+	src := acoustics.MobileSource(1, geometry.Point{X: 0}, geometry.Point{X: 100},
+		at(0), 100*time.Second, 2, acoustics.VoiceTone)
+	field.AddSource(src)
+	c := NewCollector(field, map[int]geometry.Point{0: {X: 101.5}})
+	// Recording [97.5,100): of the five probe instants only the last one
+	// (t=100s, nudged inside the exclusive End) is within earshot — the
+	// end-exclusive adjustment must still attribute the recording.
+	c.AddRecording(Recording{Node: 0, File: 1, Start: at(97.5), End: at(100), StoredFrac: 1})
+	if got := c.MissRatioAt(at(100)); got >= 1 {
+		t.Errorf("final-instant attribution failed: miss = %v", got)
+	}
+}
+
 func TestAttributionProbesMobileSources(t *testing.T) {
 	field := acoustics.NewField(1.0)
 	// Source moves from x=0 to x=100 over 100 s; loudness 2 → range 2.

@@ -6,6 +6,7 @@ import (
 
 	"enviromic/internal/compress"
 	"enviromic/internal/flash"
+	"enviromic/internal/obs"
 	"enviromic/internal/radio"
 	"enviromic/internal/sim"
 )
@@ -14,6 +15,15 @@ import (
 var (
 	KindBulkData = radio.RegisterKind("bulk.data")
 	KindBulkAck  = radio.RegisterKind("bulk.ack")
+)
+
+// Trace event kinds (see DESIGN.md §11): dup is the receiver-side
+// duplicate suppression (our ACK was lost; Peer = sender, V1 = session,
+// V2 = seq); abort is a sender-side session giving up after MaxRetries
+// (Peer = receiver, V1 = session, V2 = chunks returned to the caller).
+var (
+	evBulkDup   = obs.RegisterEvent("bulk.dup")
+	evBulkAbort = obs.RegisterEvent("bulk.abort")
 )
 
 // Class distinguishes what a bulk session carries: storage-balancing
@@ -102,6 +112,7 @@ type Bulk struct {
 	nextSession     uint32
 	sessions        map[uint32]*sendSession
 	seenRecv        map[recvKey]bool
+	tr              *obs.Tracer
 }
 
 type recvKey struct {
@@ -141,6 +152,9 @@ func NewBulk(stack *Stack, sched *sim.Scheduler) *Bulk {
 	stack.Register(KindBulkAck, b.handleAck)
 	return b
 }
+
+// SetTracer installs the protocol tracer (nil disables tracing).
+func (b *Bulk) SetTracer(tr *obs.Tracer) { b.tr = tr }
 
 // SetAccept installs the receiver-side acceptor for balancing-class
 // chunks (the storage balancer's "keep this").
@@ -217,6 +231,7 @@ func (b *Bulk) onTimeout(ss *sendSession) {
 	// Chunk undeliverable: abort the session, returning this and all
 	// remaining chunks to the caller.
 	ss.failed = append(ss.failed, ss.chunks[ss.next:]...)
+	b.tr.Emit(b.sched.Now(), evBulkAbort, int32(b.stack.ep.ID()), int32(ss.to), 0, int64(ss.id), int64(len(ss.failed)))
 	b.finish(ss)
 }
 
@@ -268,6 +283,7 @@ func (b *Bulk) handleData(from, to int, p radio.Payload) {
 	key := recvKey{from: from, session: d.Session, seq: d.Seq}
 	if b.seenRecv[key] {
 		// Duplicate (our ACK was lost): re-ack without re-storing.
+		b.tr.Emit(b.sched.Now(), evBulkDup, int32(b.stack.ep.ID()), int32(from), 0, int64(d.Session), int64(d.Seq))
 		b.stack.SendUrgent(from, BulkAck{Session: d.Session, Seq: d.Seq, Accept: true})
 		return
 	}

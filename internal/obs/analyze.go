@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// KindCount is one row of a per-kind event census.
+type KindCount struct {
+	Name  string
+	Count int
+}
+
+// CountByKind tallies events per kind name, sorted by descending count
+// then name.
+func CountByKind(evs []Event) []KindCount {
+	counts := map[string]int{}
+	for _, e := range evs {
+		counts[EventName(e.Kind)]++
+	}
+	out := make([]KindCount, 0, len(counts))
+	for name, n := range counts {
+		out = append(out, KindCount{Name: name, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// NodeTimeline is one node's events in time order.
+type NodeTimeline struct {
+	Node   int32
+	Events []Event
+}
+
+// Timelines splits a trace into per-node timelines, nodes ascending,
+// each timeline in time order.
+func Timelines(evs []Event) []NodeTimeline {
+	byNode := map[int32][]Event{}
+	for _, e := range evs {
+		byNode[e.Node] = append(byNode[e.Node], e)
+	}
+	out := make([]NodeTimeline, 0, len(byNode))
+	for n, list := range byNode {
+		sort.SliceStable(list, func(i, j int) bool { return list[i].At < list[j].At })
+		out = append(out, NodeTimeline{Node: n, Events: list})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// LatencyStats summarizes the durations of one paired protocol exchange
+// (e.g. request→confirm). Histogram buckets are powers of two of
+// BucketBase.
+type LatencyStats struct {
+	Name            string
+	Count           int
+	P50, P90, P99   time.Duration
+	Min, Max        time.Duration
+	Buckets         []int // Buckets[i] counts d < BucketBase<<i (last bucket: rest)
+	BucketBase      time.Duration
+	UnmatchedStarts int
+}
+
+// latencyRule names a start kind and the end kinds that complete it;
+// scope follows the exporter's span rules.
+type latencyRule struct {
+	name    string
+	start   string
+	ends    []string
+	perPeer bool
+}
+
+var latencyRules = []latencyRule{
+	{name: "request->confirm", start: "task.request", ends: []string{"task.confirm"}, perPeer: true},
+	{name: "migrate->ack", start: "storage.migrate.start", ends: []string{"storage.migrate.out"}, perPeer: true},
+	{name: "election", start: "group.elect.backoff", ends: []string{"group.elect.won", "group.elect.lost"}},
+	{name: "record", start: "task.record.start", ends: []string{"task.record.end"}},
+}
+
+const nBuckets = 12
+
+// Latencies pairs start/end events per latencyRules and returns one
+// LatencyStats per rule (rules with zero pairs included, Count 0).
+func Latencies(evs []Event) []LatencyStats {
+	sorted := append([]Event(nil), evs...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+
+	type key struct {
+		rule int
+		node int32
+		peer int32
+	}
+	open := map[key]Event{}
+	durs := make([][]time.Duration, len(latencyRules))
+	unmatched := make([]int, len(latencyRules))
+
+	starts := map[string]int{}
+	endsTo := map[string][]int{}
+	for i, r := range latencyRules {
+		starts[r.start] = i
+		for _, e := range r.ends {
+			endsTo[e] = append(endsTo[e], i)
+		}
+	}
+	mk := func(ri int, e Event) key {
+		k := key{rule: ri, node: e.Node, peer: NoPeer}
+		if latencyRules[ri].perPeer {
+			k.peer = e.Peer
+		}
+		return k
+	}
+
+	for _, e := range sorted {
+		name := EventName(e.Kind)
+		if ri, ok := starts[name]; ok {
+			k := mk(ri, e)
+			if _, dangling := open[k]; dangling {
+				unmatched[ri]++
+			}
+			open[k] = e
+		}
+		for _, ri := range endsTo[name] {
+			k := mk(ri, e)
+			if s, ok := open[k]; ok {
+				delete(open, k)
+				durs[ri] = append(durs[ri], e.At.Sub(s.At))
+			}
+		}
+	}
+	for k := range open {
+		unmatched[k.rule]++
+	}
+
+	out := make([]LatencyStats, len(latencyRules))
+	for i, r := range latencyRules {
+		out[i] = summarizeDurations(r.name, durs[i])
+		out[i].UnmatchedStarts = unmatched[i]
+	}
+	return out
+}
+
+func summarizeDurations(name string, ds []time.Duration) LatencyStats {
+	st := LatencyStats{Name: name, BucketBase: time.Millisecond, Buckets: make([]int, nBuckets)}
+	if len(ds) == 0 {
+		return st
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	st.Count = len(ds)
+	st.Min, st.Max = ds[0], ds[len(ds)-1]
+	// Nearest-rank percentiles: the smallest sample such that at least
+	// p·n samples are ≤ it.
+	pct := func(p float64) time.Duration {
+		i := int(math.Ceil(p*float64(len(ds)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(ds) {
+			i = len(ds) - 1
+		}
+		return ds[i]
+	}
+	st.P50, st.P90, st.P99 = pct(0.50), pct(0.90), pct(0.99)
+	for _, d := range ds {
+		b := 0
+		for b < nBuckets-1 && d >= st.BucketBase<<b {
+			b++
+		}
+		st.Buckets[b]++
+	}
+	return st
+}

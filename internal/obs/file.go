@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// NewFileSink opens path and returns a sink chosen by extension:
+// ".jsonl" streams one event per line as it is emitted; ".json" buffers
+// the run and renders Chrome trace-event JSON (open it in
+// ui.perfetto.dev or chrome://tracing) on Close. Close the sink to
+// flush and close the file.
+func NewFileSink(path string) (Sink, error) {
+	var mk func(f *os.File) Sink
+	switch {
+	case strings.HasSuffix(path, ".jsonl"):
+		mk = func(f *os.File) Sink { return NewJSONL(f) }
+	case strings.HasSuffix(path, ".json"):
+		mk = func(f *os.File) Sink { return NewPerfetto(f) }
+	default:
+		return nil, fmt.Errorf("obs: trace output %q must end in .jsonl (event log) or .json (Chrome trace)", path)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return mk(f), nil
+}

@@ -1,0 +1,209 @@
+// Package obs is the sim-time protocol tracer: a structured event log that
+// every protocol layer (group election, task assignment, storage balancing,
+// retrieval, radio, bulk transfer) emits into.
+//
+// Design goals, in order:
+//
+//  1. Zero cost when disabled. Modules hold a *Tracer that is nil by
+//     default; Tracer.Emit on a nil receiver is a single branch and zero
+//     allocations, so instrumentation can live on hot paths (guarded by an
+//     allocs/op assertion in bench_test.go).
+//  2. Determinism. Events are stamped with the sim clock, never the wall
+//     clock, and emission order follows scheduler execution order — the
+//     same (scenario, seed) yields a byte-identical JSONL trace, and
+//     enabling tracing does not perturb the run (the tracer only observes;
+//     it draws no randomness and schedules no events).
+//  3. Fixed shape. An Event is a small value struct with no pointers and
+//     no per-kind variance, so sinks can buffer, ring, and serialize it
+//     without reflection or allocation per event.
+//
+// Event kinds are interned exactly like radio payload kinds
+// (radio.KindID): each module registers its kind names in package init
+// functions and keeps the dense EventID, so Emit never touches a string.
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"enviromic/internal/sim"
+)
+
+// EventID is an interned event-kind identifier, dense from 0.
+type EventID int32
+
+// eventRegistry is the process-wide event-kind table. Registration
+// normally happens in package init functions; the lock exists for kinds
+// interned at runtime (e.g. when parsing a trace written by a newer
+// binary) and for parallel experiment workers.
+type eventRegistry struct {
+	mu     sync.RWMutex
+	names  []string
+	byName map[string]EventID
+}
+
+var events = eventRegistry{byName: make(map[string]EventID)}
+
+// RegisterEvent interns an event-kind name and returns its EventID.
+// Registration is idempotent: the same name always yields the same ID;
+// distinct names always yield distinct IDs. The empty name panics.
+func RegisterEvent(name string) EventID {
+	if name == "" {
+		panic("obs: empty event kind name")
+	}
+	events.mu.Lock()
+	defer events.mu.Unlock()
+	if id, ok := events.byName[name]; ok {
+		return id
+	}
+	id := EventID(len(events.names))
+	events.names = append(events.names, name)
+	events.byName[name] = id
+	return id
+}
+
+// EventName returns the name an EventID was registered under.
+// Unregistered IDs panic: an EventID that did not come from RegisterEvent
+// is a bug.
+func EventName(id EventID) string {
+	events.mu.RLock()
+	defer events.mu.RUnlock()
+	if id < 0 || int(id) >= len(events.names) {
+		panic(fmt.Sprintf("obs: unregistered EventID %d", id))
+	}
+	return events.names[id]
+}
+
+// LookupEvent returns the EventID registered for name, and false if name
+// was never registered. It does not intern.
+func LookupEvent(name string) (EventID, bool) {
+	events.mu.RLock()
+	defer events.mu.RUnlock()
+	id, ok := events.byName[name]
+	return id, ok
+}
+
+// NumEvents returns the number of registered event kinds; valid EventIDs
+// are exactly [0, NumEvents). Filter and counter arrays size from it.
+func NumEvents() int {
+	events.mu.RLock()
+	defer events.mu.RUnlock()
+	return len(events.names)
+}
+
+// RegisteredEvents returns a snapshot of every registered event-kind
+// name, indexed by EventID (for guard tests and diagnostics).
+func RegisteredEvents() []string {
+	events.mu.RLock()
+	defer events.mu.RUnlock()
+	out := make([]string, len(events.names))
+	copy(out, events.names)
+	return out
+}
+
+// Event is one protocol decision, stamped with the sim clock. The payload
+// is deliberately fixed-shape: Node is the emitting node, Peer the other
+// party (-1 when there is none), File an audio file ID (0 when not
+// file-scoped), and V1/V2 two kind-specific integers (durations in
+// nanoseconds, chunk counts, TTLs in seconds — the kind's documentation
+// in the emitting module says which).
+type Event struct {
+	At   sim.Time
+	Kind EventID
+	Node int32
+	Peer int32
+	File uint32
+	V1   int64
+	V2   int64
+}
+
+// NoPeer is the Peer value for events with no counterparty.
+const NoPeer int32 = -1
+
+// Sink receives events from a Tracer. Implementations must be safe for
+// concurrent Emit calls: parallel experiment workers may share one sink.
+// The party that constructed a sink owns it and must Close it once — the
+// Tracer never closes sinks (several Tracers may share one).
+type Sink interface {
+	Emit(Event)
+	// Close flushes any buffered state. Sinks must tolerate events
+	// emitted after Close (they may be dropped).
+	Close() error
+}
+
+// Tracer stamps and forwards events to its sink. A nil *Tracer is the
+// disabled tracer: Emit returns immediately, costing one branch and zero
+// allocations. Modules therefore store a plain *Tracer field, defaulting
+// to nil, and call Emit unconditionally.
+type Tracer struct {
+	sink Sink
+	// filter is indexed by EventID; nil means "all kinds pass". Sized at
+	// SetFilter time, so kinds registered later default to dropped —
+	// acceptable because all module kinds register during package init.
+	filter []bool
+}
+
+// New returns a Tracer forwarding to sink. A nil sink yields a nil
+// Tracer, i.e. tracing disabled.
+func New(sink Sink) *Tracer {
+	if sink == nil {
+		return nil
+	}
+	return &Tracer{sink: sink}
+}
+
+// SetFilter restricts the tracer to event kinds matching at least one of
+// the given name prefixes (e.g. "task," matches "task.request"). An empty
+// list clears the filter. Returns the receiver for chaining.
+func (t *Tracer) SetFilter(prefixes []string) *Tracer {
+	if t == nil {
+		return nil
+	}
+	if len(prefixes) == 0 {
+		t.filter = nil
+		return t
+	}
+	names := RegisteredEvents()
+	f := make([]bool, len(names))
+	for id, name := range names {
+		for _, p := range prefixes {
+			if strings.HasPrefix(name, p) {
+				f[id] = true
+				break
+			}
+		}
+	}
+	t.filter = f
+	return t
+}
+
+// ParseFilter splits a comma-separated prefix list ("task,group.elect")
+// into the form SetFilter takes, dropping empty elements. A trailing "*"
+// is tolerated and stripped, so the glob-flavored "task.*" means the
+// prefix "task.".
+func ParseFilter(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimSuffix(strings.TrimSpace(p), "*")
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Emit records one event. Safe (and free) on a nil receiver.
+func (t *Tracer) Emit(at sim.Time, kind EventID, node, peer int32, file uint32, v1, v2 int64) {
+	if t == nil {
+		return
+	}
+	if t.filter != nil && (int(kind) >= len(t.filter) || !t.filter[kind]) {
+		return
+	}
+	t.sink.Emit(Event{At: at, Kind: kind, Node: node, Peer: peer, File: file, V1: v1, V2: v2})
+}
+
+// Enabled reports whether the tracer is live. Use it only to skip
+// expensive argument computation; plain Emit calls need no guard.
+func (t *Tracer) Enabled() bool { return t != nil }

@@ -1,0 +1,293 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"enviromic/internal/sim"
+)
+
+var (
+	testKindA = RegisterEvent("obstest.a")
+	testKindB = RegisterEvent("obstest.b")
+)
+
+func TestRegistryIdempotent(t *testing.T) {
+	if again := RegisterEvent("obstest.a"); again != testKindA {
+		t.Fatalf("re-registering returned %d, want %d", again, testKindA)
+	}
+	if testKindA == testKindB {
+		t.Fatalf("distinct names got the same ID %d", testKindA)
+	}
+	if EventName(testKindA) != "obstest.a" {
+		t.Fatalf("EventName = %q", EventName(testKindA))
+	}
+	if id, ok := LookupEvent("obstest.b"); !ok || id != testKindB {
+		t.Fatalf("LookupEvent = %d, %v", id, ok)
+	}
+	if _, ok := LookupEvent("obstest.never-registered"); ok {
+		t.Fatal("LookupEvent found an unregistered name")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RegisterEvent(\"\") did not panic")
+		}
+	}()
+	RegisterEvent("")
+}
+
+func TestNilTracerEmitZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Emit(sim.At(time.Second), testKindA, 1, 2, 3, 4, 5)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled Emit allocates %v per call, want 0", allocs)
+	}
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports Enabled")
+	}
+	if tr.SetFilter([]string{"x"}) != nil {
+		t.Fatal("SetFilter on nil tracer must stay nil")
+	}
+	if New(nil) != nil {
+		t.Fatal("New(nil) must return the nil (disabled) tracer")
+	}
+}
+
+func TestTracerFilter(t *testing.T) {
+	ring := NewRing(16)
+	tr := New(ring).SetFilter([]string{"obstest.a"})
+	tr.Emit(1, testKindA, 0, NoPeer, 0, 0, 0)
+	tr.Emit(2, testKindB, 0, NoPeer, 0, 0, 0)
+	if got := ring.Total(); got != 1 {
+		t.Fatalf("filtered tracer passed %d events, want 1", got)
+	}
+	tr.SetFilter(nil)
+	tr.Emit(3, testKindB, 0, NoPeer, 0, 0, 0)
+	if got := ring.Total(); got != 2 {
+		t.Fatalf("cleared filter passed %d events, want 2", got)
+	}
+	if got := ParseFilter(" task , ,group.elect "); len(got) != 2 || got[0] != "task" || got[1] != "group.elect" {
+		t.Fatalf("ParseFilter = %q", got)
+	}
+	if got := ParseFilter("task.*,group*,*"); len(got) != 2 || got[0] != "task." || got[1] != "group" {
+		t.Fatalf("ParseFilter glob form = %q", got)
+	}
+}
+
+func TestRingWrapsAndTails(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{At: sim.Time(i), Kind: testKindA})
+	}
+	if r.Total() != 10 {
+		t.Fatalf("Total = %d", r.Total())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 4 || snap[0].At != 6 || snap[3].At != 9 {
+		t.Fatalf("Snapshot = %+v", snap)
+	}
+	tail := r.Tail(2)
+	if len(tail) != 2 || tail[0].At != 8 || tail[1].At != 9 {
+		t.Fatalf("Tail(2) = %+v", tail)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	in := []Event{
+		{At: 0, Kind: testKindA, Node: 0, Peer: NoPeer, File: 0, V1: 0, V2: 0},
+		{At: 123456789, Kind: testKindB, Node: 7, Peer: 3, File: 42, V1: -5, V2: 1 << 40},
+	}
+	var buf bytes.Buffer
+	sink := NewJSONL(&buf)
+	for _, e := range in {
+		sink.Emit(e)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %q is not valid JSON: %v", line, err)
+		}
+		for _, k := range []string{"t", "k", "n", "p", "f", "v1", "v2"} {
+			if _, ok := m[k]; !ok {
+				t.Fatalf("line %q missing field %q", line, k)
+			}
+		}
+	}
+	out, err := ParseJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("parsed %d events, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("event %d: got %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestParseJSONLRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		`{"t":1,"k":"x","n":0,"p":0,"f":0,"v1":0}`,           // missing v2
+		`{"t":1,"k":"","n":0,"p":0,"f":0,"v1":0,"v2":0}`,     // empty kind
+		`{"k":"x","t":1,"n":0,"p":0,"f":0,"v1":0,"v2":0}`,    // wrong order
+		`{"t":1,"k":"x","n":0,"p":0,"f":0,"v1":0,"v2":0}x`,   // trailing junk
+		`{"t":oops,"k":"x","n":0,"p":0,"f":0,"v1":0,"v2":0}`, // bad number
+	} {
+		if _, err := ParseJSONL(strings.NewReader(bad + "\n")); err == nil {
+			t.Errorf("ParseJSONL accepted malformed line %q", bad)
+		}
+	}
+	if evs, err := ParseJSONL(strings.NewReader("\n\n")); err != nil || len(evs) != 0 {
+		t.Fatalf("blank lines: %v, %v", evs, err)
+	}
+}
+
+func TestTeeAndCounting(t *testing.T) {
+	r1, r2 := NewRing(8), NewRing(8)
+	c := NewCounting(Tee{r1, r2})
+	c.Emit(Event{Kind: testKindA})
+	c.Emit(Event{Kind: testKindA})
+	c.Emit(Event{Kind: testKindB})
+	if c.Total() != 3 {
+		t.Fatalf("Total = %d", c.Total())
+	}
+	counts := c.Counts()
+	if counts["obstest.a"] != 2 || counts["obstest.b"] != 1 {
+		t.Fatalf("Counts = %v", counts)
+	}
+	if r1.Total() != 3 || r2.Total() != 3 {
+		t.Fatalf("tee fan-out: %d, %d", r1.Total(), r2.Total())
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// perfetto-exporter tests drive the real protocol kind names so the span
+// rules are exercised end to end.
+var (
+	pkBackoff = RegisterEvent("group.elect.backoff")
+	pkWon     = RegisterEvent("group.elect.won")
+	pkRequest = RegisterEvent("task.request")
+	pkConfirm = RegisterEvent("task.confirm")
+	pkSuppr   = RegisterEvent("task.suppress")
+)
+
+func TestWriteChromeTraceSpans(t *testing.T) {
+	evs := []Event{
+		{At: sim.At(10 * time.Millisecond), Kind: pkBackoff, Node: 1, Peer: NoPeer},
+		{At: sim.At(15 * time.Millisecond), Kind: pkRequest, Node: 1, Peer: 2, File: 9},
+		{At: sim.At(20 * time.Millisecond), Kind: pkWon, Node: 1, Peer: NoPeer},
+		{At: sim.At(30 * time.Millisecond), Kind: pkConfirm, Node: 1, Peer: 2, File: 9},
+		{At: sim.At(40 * time.Millisecond), Kind: pkSuppr, Node: 2, Peer: 1},
+		{At: sim.At(50 * time.Millisecond), Kind: pkRequest, Node: 1, Peer: 3}, // dangling
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exporter output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var spans, instants, meta int
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		names[ev["name"].(string)] = true
+		switch ev["ph"] {
+		case "X":
+			spans++
+			if ev["dur"].(float64) <= 0 {
+				t.Errorf("span %v has non-positive dur", ev)
+			}
+		case "i":
+			instants++
+		case "M":
+			meta++
+		}
+	}
+	if spans != 2 {
+		t.Errorf("got %d spans, want 2 (election + assign): %s", spans, buf.String())
+	}
+	if !names["election"] || !names["assign"] {
+		t.Errorf("span names missing: %v", names)
+	}
+	// The suppress instant plus the dangling request degraded to an instant.
+	if instants != 2 {
+		t.Errorf("got %d instants, want 2", instants)
+	}
+	// process_name + thread_name for nodes 1 and 2.
+	if meta != 3 {
+		t.Errorf("got %d metadata events, want 3", meta)
+	}
+}
+
+func TestLatencies(t *testing.T) {
+	evs := []Event{
+		{At: sim.At(0), Kind: pkRequest, Node: 1, Peer: 2},
+		{At: sim.At(10 * time.Millisecond), Kind: pkConfirm, Node: 1, Peer: 2},
+		{At: sim.At(20 * time.Millisecond), Kind: pkRequest, Node: 1, Peer: 3},
+		{At: sim.At(50 * time.Millisecond), Kind: pkConfirm, Node: 1, Peer: 3},
+		{At: sim.At(60 * time.Millisecond), Kind: pkRequest, Node: 1, Peer: 4}, // never confirmed
+	}
+	var rc *LatencyStats
+	for i, st := range Latencies(evs) {
+		if st.Name == "request->confirm" {
+			s := Latencies(evs)[i]
+			rc = &s
+		}
+	}
+	if rc == nil {
+		t.Fatal("no request->confirm stats")
+	}
+	if rc.Count != 2 {
+		t.Fatalf("Count = %d, want 2", rc.Count)
+	}
+	if rc.Min != 10*time.Millisecond || rc.Max != 30*time.Millisecond {
+		t.Fatalf("Min/Max = %v/%v", rc.Min, rc.Max)
+	}
+	if rc.P50 != 10*time.Millisecond || rc.P99 != 30*time.Millisecond {
+		t.Fatalf("P50/P99 = %v/%v", rc.P50, rc.P99)
+	}
+	if rc.UnmatchedStarts != 1 {
+		t.Fatalf("UnmatchedStarts = %d, want 1", rc.UnmatchedStarts)
+	}
+	var total int
+	for _, b := range rc.Buckets {
+		total += b
+	}
+	if total != rc.Count {
+		t.Fatalf("bucket sum %d != count %d", total, rc.Count)
+	}
+}
+
+func TestCountByKindAndTimelines(t *testing.T) {
+	evs := []Event{
+		{At: 3, Kind: testKindA, Node: 2},
+		{At: 1, Kind: testKindB, Node: 1},
+		{At: 2, Kind: testKindB, Node: 2},
+	}
+	counts := CountByKind(evs)
+	if len(counts) != 2 || counts[0].Name != "obstest.b" || counts[0].Count != 2 {
+		t.Fatalf("CountByKind = %+v", counts)
+	}
+	tl := Timelines(evs)
+	if len(tl) != 2 || tl[0].Node != 1 || tl[1].Node != 2 {
+		t.Fatalf("Timelines nodes = %+v", tl)
+	}
+	if tl[1].Events[0].At != 2 || tl[1].Events[1].At != 3 {
+		t.Fatalf("node 2 timeline not time-sorted: %+v", tl[1].Events)
+	}
+}

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Perfetto is a sink that buffers the whole trace in memory and renders
+// it as Chrome trace-event JSON (the legacy format ui.perfetto.dev and
+// chrome://tracing both open) on Close. Nodes become tracks; elections,
+// recording tasks, leader→member assignments, and migrations become
+// spans; everything else renders as instants.
+type Perfetto struct {
+	mu     sync.Mutex
+	events []Event
+	w      io.Writer
+	closed bool
+}
+
+// NewPerfetto returns a Perfetto sink that writes the rendered trace to
+// w on Close. If w is an io.Closer it is closed afterwards.
+func NewPerfetto(w io.Writer) *Perfetto { return &Perfetto{w: w} }
+
+// Emit implements Sink.
+func (p *Perfetto) Emit(e Event) {
+	p.mu.Lock()
+	if !p.closed {
+		p.events = append(p.events, e)
+	}
+	p.mu.Unlock()
+}
+
+// Close renders the buffered events and closes the underlying writer if
+// it is an io.Closer. Further Emit calls are dropped.
+func (p *Perfetto) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	err := WriteChromeTrace(p.w, p.events)
+	if c, ok := p.w.(io.Closer); ok {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// spanRule pairs a starting event kind with the kinds that terminate it.
+// Key selects the matching scope: some protocols have one outstanding
+// span per node (a node runs one election at a time), others one per
+// (node, peer) pair (a leader has concurrent outstanding TASK_REQUESTs
+// to different members).
+type spanRule struct {
+	name    string // span name in the trace viewer
+	cat     string
+	start   string
+	ends    []string
+	perPeer bool
+}
+
+// spanRules drive the exporter. They reference kinds by name so the
+// exporter also works on parsed traces whose kinds were interned at load
+// time rather than by the emitting modules' init functions.
+var spanRules = []spanRule{
+	{name: "election", cat: "group", start: "group.elect.backoff", ends: []string{"group.elect.won", "group.elect.lost"}},
+	{name: "record", cat: "task", start: "task.record.start", ends: []string{"task.record.end"}},
+	{name: "assign", cat: "task", start: "task.request", ends: []string{"task.confirm", "task.reject", "task.timeout"}, perPeer: true},
+	{name: "migrate", cat: "storage", start: "storage.migrate.start", ends: []string{"storage.migrate.out", "storage.migrate.fail"}, perPeer: true},
+}
+
+// WriteChromeTrace renders events as a Chrome trace-event JSON document:
+// one track (pid 0, tid = node ID) per node, spans per spanRules, and
+// instant events for every other kind. Timestamps are microseconds with
+// nanosecond fractions preserved.
+func WriteChromeTrace(w io.Writer, evs []Event) error {
+	// Emission order already is sim-time order for a serial run; a stable
+	// sort makes the exporter robust to interleaved parallel workers too.
+	sorted := append([]Event(nil), evs...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+
+	type ruleID int
+	starts := map[string]ruleID{}
+	endsTo := map[string]ruleID{}
+	for i, r := range spanRules {
+		starts[r.start] = ruleID(i)
+		for _, e := range r.ends {
+			endsTo[e] = ruleID(i)
+		}
+	}
+
+	bw := bufio.NewWriterSize(w, 1<<16)
+	fmt.Fprint(bw, `{"traceEvents":[`)
+	first := true
+	sep := func() {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		bw.WriteString("\n")
+	}
+
+	nodes := map[int32]bool{}
+	for _, e := range sorted {
+		nodes[e.Node] = true
+	}
+	ids := make([]int32, 0, len(nodes))
+	for n := range nodes {
+		ids = append(ids, n)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	sep()
+	fmt.Fprint(bw, `{"ph":"M","name":"process_name","pid":0,"tid":0,"args":{"name":"enviromic"}}`)
+	for _, n := range ids {
+		sep()
+		fmt.Fprintf(bw, `{"ph":"M","name":"thread_name","pid":0,"tid":%d,"args":{"name":"node %d"}}`, n, n)
+	}
+
+	us := func(e Event) float64 { return float64(e.At) / 1e3 }
+	args := func(e Event) string {
+		return fmt.Sprintf(`{"peer":%d,"file":%d,"v1":%d,"v2":%d}`, e.Peer, e.File, e.V1, e.V2)
+	}
+	instant := func(e Event, name, cat string) {
+		sep()
+		fmt.Fprintf(bw, `{"ph":"i","name":%q,"cat":%q,"pid":0,"tid":%d,"ts":%.3f,"s":"t","args":%s}`,
+			name, cat, e.Node, us(e), args(e))
+	}
+
+	type spanKey struct {
+		rule ruleID
+		node int32
+		peer int32 // NoPeer for per-node rules
+	}
+	open := map[spanKey]Event{}
+	key := func(r ruleID, e Event) spanKey {
+		k := spanKey{rule: r, node: e.Node, peer: NoPeer}
+		if spanRules[r].perPeer {
+			k.peer = e.Peer
+		}
+		return k
+	}
+
+	for _, e := range sorted {
+		name := EventName(e.Kind)
+		cat := name
+		if i := strings.IndexByte(cat, '.'); i > 0 {
+			cat = cat[:i]
+		}
+		if r, ok := starts[name]; ok {
+			k := key(r, e)
+			if prev, dangling := open[k]; dangling {
+				// A start with no matching end (e.g. an election
+				// abandoned without a won/lost event) degrades to an
+				// instant rather than swallowing the new span.
+				instant(prev, spanRules[r].start, spanRules[r].cat)
+			}
+			open[k] = e
+			continue
+		}
+		if r, ok := endsTo[name]; ok {
+			k := key(r, e)
+			if start, ok := open[k]; ok {
+				delete(open, k)
+				sep()
+				fmt.Fprintf(bw, `{"ph":"X","name":%q,"cat":%q,"pid":0,"tid":%d,"ts":%.3f,"dur":%.3f,"args":{"end":%q,"peer":%d,"file":%d,"v1":%d,"v2":%d}}`,
+					spanRules[r].name, spanRules[r].cat, e.Node, us(start), us(e)-us(start),
+					name, e.Peer, e.File, e.V1, e.V2)
+				continue
+			}
+			// End without a start (trace began mid-span): instant.
+		}
+		instant(e, name, cat)
+	}
+
+	// Spans still open at the end of the trace render as instants at
+	// their start time, in deterministic key order.
+	dangling := make([]spanKey, 0, len(open))
+	for k := range open {
+		dangling = append(dangling, k)
+	}
+	sort.Slice(dangling, func(i, j int) bool {
+		a, b := dangling[i], dangling[j]
+		if a.rule != b.rule {
+			return a.rule < b.rule
+		}
+		if a.node != b.node {
+			return a.node < b.node
+		}
+		return a.peer < b.peer
+	})
+	for _, k := range dangling {
+		instant(open[k], spanRules[k.rule].start, spanRules[k.rule].cat)
+	}
+
+	fmt.Fprint(bw, "\n],\"displayTimeUnit\":\"ms\"}\n")
+	return bw.Flush()
+}

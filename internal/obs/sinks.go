@@ -1,0 +1,316 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"enviromic/internal/sim"
+)
+
+// Ring is a bounded in-memory sink keeping the most recent events. It is
+// the live-introspection sink: the -http debug endpoint tails it while a
+// run is in flight, so all access is mutex-guarded.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	full  bool
+	total uint64
+}
+
+// NewRing returns a ring retaining the last capacity events (min 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Emit implements Sink.
+func (r *Ring) Emit(e Event) {
+	r.mu.Lock()
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next, r.full = 0, true
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Close implements Sink; the ring has nothing to flush.
+func (r *Ring) Close() error { return nil }
+
+// Total returns the number of events ever emitted (including overwritten
+// ones).
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Snapshot returns the retained events in emission order.
+func (r *Ring) Snapshot() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}
+
+// Tail returns the last n retained events in emission order.
+func (r *Ring) Tail(n int) []Event {
+	s := r.Snapshot()
+	if n < len(s) {
+		s = s[len(s)-n:]
+	}
+	return s
+}
+
+// JSONL streams events as one JSON object per line:
+//
+//	{"t":<sim ns>,"k":"<kind>","n":<node>,"p":<peer>,"f":<file>,"v1":…,"v2":…}
+//
+// Every field is always present, in that order, so the schema can be
+// validated with a line regexp (scripts/trace_smoke.sh does). Lines are
+// hand-formatted with strconv — no reflection, one buffered write per
+// event — and the mutex makes one file shareable by parallel experiment
+// workers (lines interleave whole).
+type JSONL struct {
+	mu      sync.Mutex
+	w       *bufio.Writer
+	under   io.Writer
+	scratch []byte
+	err     error
+}
+
+// NewJSONL returns a JSONL sink writing to w. If w is an io.Closer, Close
+// closes it after flushing.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{w: bufio.NewWriterSize(w, 1<<16), under: w, scratch: make([]byte, 0, 128)}
+}
+
+// Emit implements Sink.
+func (j *JSONL) Emit(e Event) {
+	j.mu.Lock()
+	if j.err == nil {
+		j.scratch = AppendJSONL(j.scratch[:0], e)
+		_, j.err = j.w.Write(j.scratch)
+	}
+	j.mu.Unlock()
+}
+
+// Close flushes and, when the underlying writer is an io.Closer, closes
+// it. The first write error (if any) is returned.
+func (j *JSONL) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if ferr := j.w.Flush(); j.err == nil {
+		j.err = ferr
+	}
+	if c, ok := j.under.(io.Closer); ok {
+		if cerr := c.Close(); j.err == nil {
+			j.err = cerr
+		}
+	}
+	return j.err
+}
+
+// AppendJSONL appends e's JSONL line (newline included) to dst.
+func AppendJSONL(dst []byte, e Event) []byte {
+	dst = append(dst, `{"t":`...)
+	dst = strconv.AppendInt(dst, int64(e.At), 10)
+	dst = append(dst, `,"k":"`...)
+	dst = append(dst, EventName(e.Kind)...)
+	dst = append(dst, `","n":`...)
+	dst = strconv.AppendInt(dst, int64(e.Node), 10)
+	dst = append(dst, `,"p":`...)
+	dst = strconv.AppendInt(dst, int64(e.Peer), 10)
+	dst = append(dst, `,"f":`...)
+	dst = strconv.AppendUint(dst, uint64(e.File), 10)
+	dst = append(dst, `,"v1":`...)
+	dst = strconv.AppendInt(dst, e.V1, 10)
+	dst = append(dst, `,"v2":`...)
+	dst = strconv.AppendInt(dst, e.V2, 10)
+	return append(dst, '}', '\n')
+}
+
+// ParseJSONL reads a JSONL trace back into events, interning kind names
+// it has not seen (traces are readable by binaries that never registered
+// the emitting module's kinds). It validates the fixed schema strictly —
+// every field present, correct types — and fails with the 1-based line
+// number of the first malformed line.
+func ParseJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		e, err := parseLine(text)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseLine decodes one fixed-schema JSONL line. A hand parser keeps the
+// schema strict (encoding/json would silently ignore unknown or missing
+// fields) and the loader fast on multi-million-event traces.
+func parseLine(s string) (Event, error) {
+	var e Event
+	rest := s
+	take := func(prefix string) error {
+		if !strings.HasPrefix(rest, prefix) {
+			return fmt.Errorf("expected %q at %q", prefix, rest)
+		}
+		rest = rest[len(prefix):]
+		return nil
+	}
+	num := func() (int64, error) {
+		i := 0
+		for i < len(rest) && (rest[i] == '-' || (rest[i] >= '0' && rest[i] <= '9')) {
+			i++
+		}
+		v, err := strconv.ParseInt(rest[:i], 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad number at %q", rest)
+		}
+		rest = rest[i:]
+		return v, nil
+	}
+	if err := take(`{"t":`); err != nil {
+		return e, err
+	}
+	t, err := num()
+	if err != nil {
+		return e, err
+	}
+	e.At = sim.Time(t)
+	if err := take(`,"k":"`); err != nil {
+		return e, err
+	}
+	q := strings.IndexByte(rest, '"')
+	if q < 0 {
+		return e, fmt.Errorf("unterminated kind at %q", rest)
+	}
+	kind := rest[:q]
+	if kind == "" || strings.ContainsAny(kind, `\{}`) {
+		return e, fmt.Errorf("bad kind %q", kind)
+	}
+	e.Kind = RegisterEvent(kind)
+	rest = rest[q+1:]
+	fields := []struct {
+		prefix string
+		set    func(int64)
+	}{
+		{`,"n":`, func(v int64) { e.Node = int32(v) }},
+		{`,"p":`, func(v int64) { e.Peer = int32(v) }},
+		{`,"f":`, func(v int64) { e.File = uint32(v) }},
+		{`,"v1":`, func(v int64) { e.V1 = v }},
+		{`,"v2":`, func(v int64) { e.V2 = v }},
+	}
+	for _, f := range fields {
+		if err := take(f.prefix); err != nil {
+			return e, err
+		}
+		v, err := num()
+		if err != nil {
+			return e, err
+		}
+		f.set(v)
+	}
+	if rest != "}" {
+		return e, fmt.Errorf("trailing content %q", rest)
+	}
+	return e, nil
+}
+
+// Tee duplicates events to several sinks (e.g. a JSONL file plus the
+// live ring behind -http). Close closes every sink, returning the first
+// error.
+type Tee []Sink
+
+// Emit implements Sink.
+func (t Tee) Emit(e Event) {
+	for _, s := range t {
+		s.Emit(e)
+	}
+}
+
+// Close implements Sink.
+func (t Tee) Close() error {
+	var first error
+	for _, s := range t {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Counting wraps a sink with lock-free per-kind counters, published as
+// expvar by the -http endpoint. Counter slots are sized at construction,
+// so construct it after all module inits have registered their kinds
+// (any later-registered kind counts into the overflow total only).
+type Counting struct {
+	next    Sink
+	total   atomic.Uint64
+	perKind []atomic.Uint64
+}
+
+// NewCounting returns a counting wrapper around next (which may be nil
+// to only count).
+func NewCounting(next Sink) *Counting {
+	return &Counting{next: next, perKind: make([]atomic.Uint64, NumEvents())}
+}
+
+// Emit implements Sink.
+func (c *Counting) Emit(e Event) {
+	c.total.Add(1)
+	if int(e.Kind) < len(c.perKind) {
+		c.perKind[e.Kind].Add(1)
+	}
+	if c.next != nil {
+		c.next.Emit(e)
+	}
+}
+
+// Close implements Sink.
+func (c *Counting) Close() error {
+	if c.next != nil {
+		return c.next.Close()
+	}
+	return nil
+}
+
+// Total returns the number of events seen.
+func (c *Counting) Total() uint64 { return c.total.Load() }
+
+// Counts returns a name→count map of the non-zero per-kind counters.
+func (c *Counting) Counts() map[string]uint64 {
+	out := make(map[string]uint64)
+	for id := range c.perKind {
+		if n := c.perKind[id].Load(); n > 0 {
+			out[EventName(EventID(id))] = n
+		}
+	}
+	return out
+}

@@ -13,11 +13,20 @@ import (
 	"time"
 
 	"enviromic/internal/geometry"
+	"enviromic/internal/obs"
 	"enviromic/internal/sim"
 )
 
 // Broadcast is the addressee value meaning "all neighbors".
 const Broadcast = -1
+
+// Trace event kinds (see DESIGN.md §11): per-receiver delivery failures.
+// Node = the receiver that missed the frame, Peer = sender, V1 = the
+// payload's KindID (resolve with KindName).
+var (
+	evDropOff  = obs.RegisterEvent("radio.drop.off")
+	evDropLoss = obs.RegisterEvent("radio.drop.loss")
+)
 
 // Payload is a protocol message body. Kind discriminates message types
 // for the control-overhead accounting in Figs 12/14 — it returns the
@@ -152,6 +161,9 @@ type Network struct {
 	gridEpoch uint64
 	// scratch is the reusable candidate buffer for neighbor rebuilds.
 	scratch []int
+
+	// tr, when non-nil, receives per-receiver drop events.
+	tr *obs.Tracer
 }
 
 // Stats aggregates transmission counts for the overhead figures. The
@@ -264,6 +276,9 @@ func (n *Network) Stats() *Stats {
 
 // Config returns the network configuration.
 func (n *Network) Config() Config { return n.cfg }
+
+// SetTracer installs the protocol tracer (nil disables tracing).
+func (n *Network) SetTracer(tr *obs.Tracer) { n.tr = tr }
 
 // Join registers a new endpoint at a fixed position. Node IDs must be
 // unique and non-negative (Broadcast is reserved).
@@ -501,6 +516,7 @@ func (e *Endpoint) Send(to int, payload Payload, piggyback ...Payload) {
 		for i, rx := range receivers {
 			if !rx.RadioOn() {
 				n.stats.DroppedRadioOff++
+				n.tr.Emit(n.sched.Now(), evDropOff, int32(rx.id), int32(f.From), 0, int64(kind), 0)
 				continue
 			}
 			lost := lossWord&(1<<i) != 0
@@ -509,6 +525,7 @@ func (e *Endpoint) Send(to int, payload Payload, piggyback ...Payload) {
 			}
 			if lost {
 				n.stats.Lost++
+				n.tr.Emit(n.sched.Now(), evDropLoss, int32(rx.id), int32(f.From), 0, int64(kind), 0)
 				continue
 			}
 			n.stats.Delivered++

@@ -2,11 +2,13 @@ package retrieval
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"enviromic/internal/flash"
 	"enviromic/internal/geometry"
 	"enviromic/internal/netstack"
+	"enviromic/internal/obs"
 	"enviromic/internal/radio"
 	"enviromic/internal/sim"
 )
@@ -15,6 +17,22 @@ import (
 var (
 	KindQuery = radio.RegisterKind("retr.query")
 	KindFlood = radio.RegisterKind("retr.flood")
+)
+
+// Trace event kinds (see DESIGN.md §11). query.recv/flood.recv are
+// responder-side (Peer = querying node; V1 = matching chunks, flood V2 =
+// tree depth); ask/flood.send are mule-side; gap fires per gapped file
+// during gap detection (File, V1 = gap count); rerequest summarizes the
+// follow-up query (V1 = gapped files); reassemble reports a collection
+// rebuild (V1 = files, V2 = chunks).
+var (
+	evQueryRecv  = obs.RegisterEvent("retr.query.recv")
+	evFloodRecv  = obs.RegisterEvent("retr.flood.recv")
+	evAsk        = obs.RegisterEvent("retr.ask")
+	evFloodSend  = obs.RegisterEvent("retr.flood.send")
+	evGap        = obs.RegisterEvent("retr.gap")
+	evRerequest  = obs.RegisterEvent("retr.rerequest")
+	evReassemble = obs.RegisterEvent("retr.reassemble")
 )
 
 // QueryMsg is the single-hop retrieval request: nodes in range answer
@@ -57,6 +75,7 @@ type Responder struct {
 	bulk  *netstack.Bulk
 	sched *sim.Scheduler
 	store *flash.Store
+	tr    *obs.Tracer
 
 	// ResponseDelayPerNode staggers replies so dozens of stores do not
 	// dogpile the sink at once.
@@ -95,6 +114,9 @@ func NewResponder(id int, stack *netstack.Stack, bulk *netstack.Bulk, sched *sim
 	return r
 }
 
+// SetTracer installs the protocol tracer (nil disables tracing).
+func (r *Responder) SetTracer(tr *obs.Tracer) { r.tr = tr }
+
 func (r *Responder) matching(q Query) []*flash.Chunk {
 	var out []*flash.Chunk
 	for _, c := range r.store.Chunks() {
@@ -111,6 +133,7 @@ func (r *Responder) handleQuery(from, to int, p radio.Payload) {
 		return
 	}
 	chunks := r.matching(msg.Q)
+	r.tr.Emit(r.sched.Now(), evQueryRecv, int32(r.id), int32(from), 0, int64(len(chunks)), 0)
 	if len(chunks) == 0 {
 		return
 	}
@@ -141,6 +164,7 @@ func (r *Responder) handleFlood(from, to int, p radio.Payload) {
 	// Convergecast: ship matching chunks to the parent, staggered by
 	// depth so leaves drain first and relays forward coherently.
 	chunks := r.matching(msg.Q)
+	r.tr.Emit(r.sched.Now(), evFloodRecv, int32(r.id), int32(from), 0, int64(len(chunks)), int64(r.depth))
 	if len(chunks) == 0 {
 		return
 	}
@@ -199,6 +223,7 @@ type Mule struct {
 	stack *netstack.Stack
 	bulk  *netstack.Bulk
 	sched *sim.Scheduler
+	tr    *obs.Tracer
 
 	// Collected accumulates received chunks, deduplicated on arrival.
 	Collected []*flash.Chunk
@@ -235,13 +260,18 @@ func NewMule(id int, pos geometry.Point, net *radio.Network, sched *sim.Schedule
 	return m
 }
 
+// SetTracer installs the protocol tracer (nil disables tracing).
+func (m *Mule) SetTracer(tr *obs.Tracer) { m.tr = tr }
+
 // Ask broadcasts a one-hop query; replies accumulate in Collected.
 func (m *Mule) Ask(q Query) {
+	m.tr.Emit(m.sched.Now(), evAsk, int32(m.ID), obs.NoPeer, 0, int64(len(q.Files)), 0)
 	m.stack.SendUrgent(radio.Broadcast, QueryMsg{Q: q, ReplyTo: m.ID})
 }
 
 // Flood launches a spanning-tree retrieval round rooted at the mule.
 func (m *Mule) Flood(q Query, round uint32) {
+	m.tr.Emit(m.sched.Now(), evFloodSend, int32(m.ID), obs.NoPeer, 0, int64(round), 0)
 	m.stack.SendUrgent(radio.Broadcast, FloodMsg{Q: q, Round: round, Sink: m.ID, Depth: 0})
 }
 
@@ -257,12 +287,29 @@ func (m *Mule) MissingFiles(tolerance time.Duration) Query {
 			ids[id] = true
 		}
 	}
+	if m.tr.Enabled() {
+		// Sorted emission: map iteration order must not leak into the
+		// trace (byte-identical traces per seed are a determinism
+		// guarantee, DESIGN.md §11).
+		gapped := make([]flash.FileID, 0, len(ids))
+		for id := range ids {
+			gapped = append(gapped, id)
+		}
+		sort.Slice(gapped, func(i, j int) bool { return gapped[i] < gapped[j] })
+		for _, id := range gapped {
+			f := files[id]
+			m.tr.Emit(m.sched.Now(), evGap, int32(m.ID), obs.NoPeer, uint32(id), int64(len(f.Gaps(tolerance))), int64(len(f.Chunks)))
+		}
+		m.tr.Emit(m.sched.Now(), evRerequest, int32(m.ID), obs.NoPeer, 0, int64(len(ids)), 0)
+	}
 	return Query{Files: ids}
 }
 
 // Files reassembles everything collected so far.
 func (m *Mule) Files() map[flash.FileID]*File {
-	return Reassemble(map[int][]*flash.Chunk{0: m.Collected}, Query{All: true})
+	files := Reassemble(map[int][]*flash.Chunk{0: m.Collected}, Query{All: true})
+	m.tr.Emit(m.sched.Now(), evReassemble, int32(m.ID), obs.NoPeer, 0, int64(len(files)), int64(len(m.Collected)))
+	return files
 }
 
 // Tour drives the mule along waypoints, issuing a one-hop query at each

@@ -19,6 +19,7 @@ import (
 
 	"enviromic/internal/flash"
 	"enviromic/internal/netstack"
+	"enviromic/internal/obs"
 	"enviromic/internal/radio"
 	"enviromic/internal/sim"
 )
@@ -26,6 +27,23 @@ import (
 // KindTTL is the TTL advertisement payload kind, interned at package
 // init.
 var KindTTL = radio.RegisterKind("storage.ttl")
+
+// Trace event kinds (see DESIGN.md §11). ttl.compare fires on every
+// migration check with a live richest neighbor (Peer = neighbor, V1/V2 =
+// local/neighbor TTL in seconds); beta fires when the imbalance ratio
+// crosses βi (V1 = βi·1000, V2 = ratio·1000); migrate.start/out/fail
+// carry Peer = transfer target and V1 = chunk counts (out V2 = chunks
+// that failed in the same batch); migrate.in carries the accepted
+// chunk's provenance (Peer = sender, File, V1 = recording origin node —
+// which after multiple hops differs from Peer — and V2 = sequence).
+var (
+	evTTLCompare   = obs.RegisterEvent("storage.ttl.compare")
+	evBetaCross    = obs.RegisterEvent("storage.beta")
+	evMigrateStart = obs.RegisterEvent("storage.migrate.start")
+	evMigrateOut   = obs.RegisterEvent("storage.migrate.out")
+	evMigrateFail  = obs.RegisterEvent("storage.migrate.fail")
+	evMigrateIn    = obs.RegisterEvent("storage.migrate.in")
+)
 
 // TTLUpdate advertises a node's storage TTL to its neighborhood.
 type TTLUpdate struct {
@@ -134,6 +152,7 @@ type Balancer struct {
 	store  *flash.Store
 	energy EnergyView
 	probe  Probe
+	tr     *obs.Tracer
 
 	rate         float64 // EWMA bytes/s
 	bytesAcq     int     // bytes acquired since last update
@@ -170,6 +189,9 @@ func NewBalancer(id int, stack *netstack.Stack, bulk *netstack.Bulk, sched *sim.
 	bulk.SetAccept(b.Accept)
 	return b
 }
+
+// SetTracer installs the protocol tracer (nil disables tracing).
+func (b *Balancer) SetTracer(tr *obs.Tracer) { b.tr = tr }
 
 // Start begins periodic rate updates and migration checks.
 func (b *Balancer) Start() {
@@ -303,13 +325,16 @@ func (b *Balancer) check() {
 	if target < 0 {
 		return
 	}
+	b.tr.Emit(now, evTTLCompare, int32(b.id), int32(target), 0, int64(ttlS/time.Second), int64(targetTTL))
 	myTTL := float64(ttlS) / float64(time.Second)
 	if myTTL <= 0 {
 		myTTL = 0.001
 	}
-	if float64(targetTTL)/myTTL <= b.Beta(now) {
+	ratio, beta := float64(targetTTL)/myTTL, b.Beta(now)
+	if ratio <= beta {
 		return
 	}
+	b.tr.Emit(now, evBetaCross, int32(b.id), int32(target), 0, int64(beta*1000), int64(ratio*1000))
 	// Move a batch from the queue head (wear levelling, §III-B.3).
 	n := b.cfg.BatchChunks
 	if n > b.store.Len() {
@@ -328,8 +353,14 @@ func (b *Balancer) check() {
 	}
 	b.transferring = true
 	to := target
+	b.tr.Emit(now, evMigrateStart, int32(b.id), int32(to), 0, int64(len(chunks)), 0)
 	b.bulk.SendChunks(to, chunks, func(acked int, failed []*flash.Chunk) {
 		b.transferring = false
+		if acked > 0 {
+			b.tr.Emit(b.sched.Now(), evMigrateOut, int32(b.id), int32(to), 0, int64(acked), int64(len(failed)))
+		} else {
+			b.tr.Emit(b.sched.Now(), evMigrateFail, int32(b.id), int32(to), 0, int64(len(failed)), 0)
+		}
 		b.MigratedOutChunks += uint64(acked)
 		// Acked originals were delivered via wire clones and are no
 		// longer referenced by any store or session: recycle them. Bulk
@@ -381,6 +412,7 @@ func (b *Balancer) Accept(from int, c *flash.Chunk) bool {
 		return false
 	}
 	b.MigratedInChunks++
+	b.tr.Emit(b.sched.Now(), evMigrateIn, int32(b.id), int32(from), uint32(c.File), int64(c.Origin), int64(c.Seq))
 	if b.probe.OnMigrateIn != nil {
 		b.probe.OnMigrateIn(from, b.id, c, b.sched.Now())
 	}

@@ -18,6 +18,7 @@ import (
 
 	"enviromic/internal/flash"
 	"enviromic/internal/netstack"
+	"enviromic/internal/obs"
 	"enviromic/internal/radio"
 	"enviromic/internal/sim"
 )
@@ -28,6 +29,24 @@ var (
 	KindRequest = radio.RegisterKind("task.request")
 	KindConfirm = radio.RegisterKind("task.confirm")
 	KindReject  = radio.RegisterKind("task.reject")
+)
+
+// Trace event kinds (see DESIGN.md §11). request/confirm/reject/timeout
+// are all leader-side (Node = leader, Peer = member), so request→confirm
+// latency pairs on (Node, Peer); confirm V1 = confirmed duration in ns.
+// suppress is the member-side overhearing REJECT (Peer = leader, V1 =
+// overheard confirms); selfassign marks a leader recording its own task;
+// record.start V1 = task duration in ns; record.end V1/V2 = stored/total
+// chunks.
+var (
+	evRequest    = obs.RegisterEvent("task.request")
+	evConfirm    = obs.RegisterEvent("task.confirm")
+	evReject     = obs.RegisterEvent("task.reject")
+	evTimeout    = obs.RegisterEvent("task.timeout")
+	evSuppress   = obs.RegisterEvent("task.suppress")
+	evSelfAssign = obs.RegisterEvent("task.selfassign")
+	evRecStart   = obs.RegisterEvent("task.record.start")
+	evRecEnd     = obs.RegisterEvent("task.record.end")
 )
 
 // Request is the leader's TASK_REQUEST.
@@ -198,6 +217,7 @@ type Service struct {
 	ts    TimeSource
 	view  MemberView
 	probe Probe
+	tr    *obs.Tracer
 
 	// Leader role.
 	leading        bool
@@ -253,6 +273,9 @@ func NewService(id int, stack *netstack.Stack, sched *sim.Scheduler, dev Device,
 	stack.Register(KindReject, s.handleReject)
 	return s
 }
+
+// SetTracer installs the protocol tracer (nil disables tracing).
+func (s *Service) SetTracer(tr *obs.Tracer) { s.tr = tr }
 
 // SetView installs the membership view (called by the group manager).
 func (s *Service) SetView(v MemberView) { s.view = v }
@@ -394,6 +417,7 @@ func (s *Service) assignRound() {
 				s.scheduleAssign(now.Add(s.cfg.Dta))
 				return
 			}
+			s.tr.Emit(now, evSelfAssign, int32(s.id), obs.NoPeer, uint32(s.file), 0, 0)
 			if s.probe.OnAssign != nil {
 				s.probe.OnAssign(s.id, s.id, s.file, now)
 			}
@@ -412,9 +436,11 @@ func (s *Service) assignRound() {
 		File: s.file, Dur: s.cfg.Trc, LeaderTime: s.ts.GlobalTime(),
 		Copies: uint8(s.copies()),
 	})
+	s.tr.Emit(now, evRequest, int32(s.id), int32(member), uint32(s.file), 0, 0)
 	s.confirmTimer = s.sched.After(s.cfg.ConfirmTimeout, fmt.Sprintf("task.confirmwait.%d", s.id), func() {
 		// Either the REQUEST or the CONFIRM was lost: try someone else
 		// immediately (§II-A.2).
+		s.tr.Emit(s.sched.Now(), evTimeout, int32(s.id), int32(s.pending), uint32(s.file), 0, 0)
 		s.pending = -1
 		s.assignRound()
 	})
@@ -467,6 +493,7 @@ func (s *Service) handleConfirm(from, to int, p radio.Payload) {
 
 	// Leader side: our pending member answered.
 	if s.leading && to == s.id && from == s.pending && c.File == s.file {
+		s.tr.Emit(s.sched.Now(), evConfirm, int32(s.id), int32(from), uint32(c.File), int64(c.Dur), 0)
 		s.curRecorder = from
 		s.curTaskEnd = s.sched.Now().Add(c.Dur)
 		s.roundConfirmed++
@@ -490,6 +517,7 @@ func (s *Service) handleReject(from, to int, p radio.Payload) {
 		return
 	}
 	if s.leading && to == s.id && from == s.pending && r.File == s.file {
+		s.tr.Emit(s.sched.Now(), evReject, int32(s.id), int32(from), uint32(r.File), 0, 0)
 		if s.probe.OnReject != nil {
 			s.probe.OnReject(s.id, from, r.File, s.sched.Now())
 		}
@@ -542,10 +570,12 @@ func (s *Service) handleRequest(from, to int, p radio.Payload) {
 	if need < 1 {
 		need = 1
 	}
-	if !s.cfg.DisableOverhearing &&
-		s.confirmsWithin(req.File, s.cfg.RejectWindow) >= need {
-		s.stack.SendUrgent(from, Reject{File: req.File})
-		return
+	if !s.cfg.DisableOverhearing {
+		if n := s.confirmsWithin(req.File, s.cfg.RejectWindow); n >= need {
+			s.stack.SendUrgent(from, Reject{File: req.File})
+			s.tr.Emit(s.sched.Now(), evSuppress, int32(s.id), int32(from), uint32(req.File), int64(n), 0)
+			return
+		}
 	}
 	s.stack.SendUrgent(from, Confirm{File: req.File, Dur: req.Dur})
 	if s.probe.OnAssign != nil {
@@ -565,6 +595,7 @@ func (s *Service) startRecording(file flash.FileID, dur time.Duration) {
 	s.recStart = s.sched.Now()
 	s.recStartG = s.ts.GlobalTime()
 	s.stack.Endpoint().SetRadio(false)
+	s.tr.Emit(s.recStart, evRecStart, int32(s.id), obs.NoPeer, uint32(file), int64(dur), 0)
 	if s.probe.OnRecordStart != nil {
 		s.probe.OnRecordStart(s.id, file, s.recStart)
 	}
@@ -588,6 +619,7 @@ func (s *Service) finishRecording() {
 	s.recording = false
 	s.stack.Endpoint().SetRadio(true)
 	s.stack.RadioRestored()
+	s.tr.Emit(end, evRecEnd, int32(s.id), obs.NoPeer, uint32(s.recFile), int64(stored), int64(len(chunks)))
 	if s.probe.OnRecordEnd != nil {
 		s.probe.OnRecordEnd(s.id, s.recFile, s.recStart, end, stored, len(chunks))
 	}

@@ -1,28 +1,32 @@
 #!/bin/sh
 # Regenerates the benchmark baselines recorded with each PR that touches
 # a hot path:
-#   BENCH_msgplane.json — message-plane micro-benches (kind dispatch,
-#     chunk split/free) plus the radio hot path and full-figure runs,
-#     with the pre-message-plane numbers from BENCH_radio.json embedded
-#     as "baseline" for before/after deltas.
+#   BENCH_trace.json — message-plane micro-benches, the radio hot path,
+#     the full-figure runs, and the nil-tracer guard, re-run with the
+#     observability layer in the tree (tracing disabled). The pre-trace
+#     numbers from BENCH_msgplane.json are embedded as "baseline" for
+#     before/after deltas.
+# After writing the file, the script diffs BenchmarkIndoorFigureSerial
+# against the recorded baseline and FAILS if ns/op or allocs/op
+# regressed by more than 2% — the tracer's disabled path must stay free.
 # Usage: scripts/bench.sh [output-file]
 # Supersedes the old scripts/bench_radio.sh.
 set -e
-out="${1:-BENCH_msgplane.json}"
+out="${1:-BENCH_trace.json}"
 cd "$(dirname "$0")/.."
 
-raw=$(go test -run '^$' -bench 'StackDispatch|ChunkSplit|RadioSend|IndoorFigure|Fig06Sweep' -benchmem -benchtime 0.5s . 2>&1)
+raw=$(go test -run '^$' -bench 'StackDispatch|ChunkSplit|RadioSend|IndoorFigure|Fig06Sweep|TracerDisabled' -benchmem -benchtime 0.5s . 2>&1)
 
-# The previous PR's BENCH_radio.json is the "before" reference; inline
-# its benchmark rows so one file carries the comparison.
+# The previous PR's BENCH_msgplane.json is the "before" reference;
+# inline its benchmark rows so one file carries the comparison.
 baseline="[]"
-if [ -f BENCH_radio.json ]; then
-    baseline=$(sed -n '/"benchmarks": \[/,/^  \]/p' BENCH_radio.json | sed '1s/.*/[/; $s/.*/]/')
+if [ -f BENCH_msgplane.json ]; then
+    baseline=$(sed -n '/"benchmarks": \[/,/^  \]/p' BENCH_msgplane.json | sed '1s/.*/[/; $s/.*/]/')
 fi
 
 {
     printf '{\n  "host": "%s",\n' "$(uname -sm)"
-    printf '  "baseline_source": "BENCH_radio.json (pre-message-plane)",\n'
+    printf '  "baseline_source": "BENCH_msgplane.json (pre-trace)",\n'
     printf '  "baseline": %s,\n' "$baseline"
     echo "$raw" | grep -E '^Benchmark' | awk '
 BEGIN { printf "  \"benchmarks\": [\n"; first=1 }
@@ -44,3 +48,27 @@ END { print "\n  ]\n}" }
 '
 } > "$out"
 echo "wrote $out"
+
+# ---- benchmark-diff gate ---------------------------------------------
+# BenchmarkIndoorFigureSerial is the acceptance benchmark: with tracing
+# disabled it must stay within 2% of the pre-trace baseline in both
+# ns/op and allocs/op.
+if [ -f BENCH_msgplane.json ]; then
+    row() { sed -n '/"benchmarks": \[/,$p' "$1" | grep '"BenchmarkIndoorFigureSerial"' | head -1; }
+    base_row=$(row BENCH_msgplane.json)
+    new_row=$(row "$out")
+    base_ns=$(printf '%s' "$base_row" | sed 's/.*"ns_per_op": \([0-9]*\).*/\1/')
+    base_allocs=$(printf '%s' "$base_row" | sed 's/.*"allocs_per_op": \([0-9]*\).*/\1/')
+    new_ns=$(printf '%s' "$new_row" | sed 's/.*"ns_per_op": \([0-9]*\).*/\1/')
+    new_allocs=$(printf '%s' "$new_row" | sed 's/.*"allocs_per_op": \([0-9]*\).*/\1/')
+    awk -v bn="$base_ns" -v nn="$new_ns" -v ba="$base_allocs" -v na="$new_allocs" 'BEGIN {
+        fail = 0
+        dns = (nn / bn - 1) * 100
+        da  = (na / ba - 1) * 100
+        printf "IndoorFigureSerial ns/op:     %d vs baseline %d (%+.2f%%)\n", nn, bn, dns
+        printf "IndoorFigureSerial allocs/op: %d vs baseline %d (%+.2f%%)\n", na, ba, da
+        if (dns > 2) { print "FAIL: ns/op regressed more than 2%"; fail = 1 }
+        if (da  > 2) { print "FAIL: allocs/op regressed more than 2%"; fail = 1 }
+        exit fail
+    }'
+fi

@@ -1,0 +1,48 @@
+#!/bin/sh
+# End-to-end smoke test for the protocol tracing pipeline:
+#   1. run a 2-minute indoor scenario with -trace into JSONL,
+#   2. validate every line against the fixed event schema,
+#   3. round-trip the log through enviromic-trace (summary + latency
+#      percentiles must include the request->confirm exchange),
+#   4. export to Chrome trace-event JSON and check it is Perfetto-shaped.
+# Exits non-zero on the first failure. Usage: scripts/trace_smoke.sh
+set -e
+cd "$(dirname "$0")/.."
+
+tmp="${TMPDIR:-/tmp}/enviromic-trace-smoke.$$"
+mkdir -p "$tmp"
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+echo "== 1. traced 2-minute indoor run"
+go run ./cmd/enviromic-sim -duration 2m -trace -trace-out "$tmp/run.jsonl" > "$tmp/sim.out"
+grep -q '^trace: [1-9][0-9]* events' "$tmp/sim.out" || {
+    echo "FAIL: sim reported no trace events"; exit 1; }
+
+echo "== 2. JSONL schema validation"
+test -s "$tmp/run.jsonl" || { echo "FAIL: empty trace"; exit 1; }
+# Every line must carry exactly the fixed field order the parser and
+# external tools rely on: t, k, n, p, f, v1, v2.
+bad=$(grep -cvE '^\{"t":[0-9]+,"k":"[a-z0-9.]+","n":-?[0-9]+,"p":-?[0-9]+,"f":[0-9]+,"v1":-?[0-9]+,"v2":-?[0-9]+\}$' "$tmp/run.jsonl" || true)
+if [ "$bad" -ne 0 ]; then
+    echo "FAIL: $bad JSONL lines do not match the event schema"; exit 1
+fi
+echo "   $(wc -l < "$tmp/run.jsonl") lines ok"
+
+echo "== 3. enviromic-trace round trip"
+go run ./cmd/enviromic-trace -perfetto "$tmp/run.json" "$tmp/run.jsonl" > "$tmp/summary.out"
+grep -q '^trace: [1-9][0-9]* events' "$tmp/summary.out" || {
+    echo "FAIL: summary did not report events"; exit 1; }
+grep -q 'request->confirm' "$tmp/summary.out" || {
+    echo "FAIL: latency table is missing the request->confirm exchange"; exit 1; }
+grep -q 'events by kind' "$tmp/summary.out" || {
+    echo "FAIL: summary is missing the per-kind census"; exit 1; }
+
+echo "== 4. Perfetto export"
+grep -q '"traceEvents"' "$tmp/run.json" || {
+    echo "FAIL: Chrome trace output lacks traceEvents"; exit 1; }
+grep -q '"ph":"X"' "$tmp/run.json" || {
+    echo "FAIL: Chrome trace output has no complete spans"; exit 1; }
+grep -q '"name":"thread_name"' "$tmp/run.json" || {
+    echo "FAIL: Chrome trace output has no per-node tracks"; exit 1; }
+
+echo "trace smoke: OK"

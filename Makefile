@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench figures profile trace-smoke
+.PHONY: build test check bench figures profile trace-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -10,13 +10,17 @@ test:
 
 # check is the pre-merge tier: vet, gofmt, build, and the full test
 # suite under the race detector (exercises the parallel experiment
-# pool), including the kind-registry guard test at the repo root.
+# pool), including the kind-registry guard test at the repo root. The
+# extra -run Chaos pass repeats the fault-injection suites (crash soak,
+# determinism regressions) under the race detector by name, so a rename
+# that orphans them from the main run still fails loudly here.
 check:
 	$(GO) vet ./...
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(GO) test -run Chaos -race ./...
 
 # bench regenerates BENCH_trace.json (message-plane micro-benchmarks,
 # the full-figure runs, and the nil-tracer guard) and fails if the
@@ -29,6 +33,12 @@ bench:
 # schema validation, the enviromic-trace summary, and a Perfetto export.
 trace-smoke:
 	sh scripts/trace_smoke.sh
+
+# chaos-smoke runs fault-injection scenarios end to end through the sim
+# binary: leader crash + loss burst + partition with the invariant
+# checker on, and a chaos-off determinism check.
+chaos-smoke:
+	sh scripts/chaos_smoke.sh
 
 # profile runs the indoor scenario under the CPU and allocation
 # profilers; inspect with `go tool pprof cpu.pprof` / `mem.pprof`.

@@ -9,6 +9,7 @@
 //	enviromic-sim -scenario forest -duration 1h
 //	enviromic-sim -runs 8 -parallel 4 -duration 10m
 //	enviromic-sim -duration 2m -trace -trace-out run.jsonl
+//	enviromic-sim -duration 10m -chaos crash.json -invariants
 //	enviromic-sim -duration 10m -realtime 10 -http localhost:6060
 //
 // With -runs N the scenario is repeated for seeds seed..seed+N-1 (fanned
@@ -30,6 +31,7 @@ import (
 	"time"
 
 	"enviromic/internal/acoustics"
+	"enviromic/internal/chaos"
 	"enviromic/internal/core"
 	"enviromic/internal/experiments"
 	"enviromic/internal/mote"
@@ -61,8 +63,24 @@ func main() {
 		traceOut   = flag.String("trace-out", "trace.jsonl", "trace file: .jsonl = event log (read it with enviromic-trace), .json = Chrome trace for Perfetto")
 		traceFlt   = flag.String("trace-filter", "", "comma-separated event-kind prefixes to keep (e.g. task,storage.migrate); empty keeps all")
 		httpAddr   = flag.String("http", "", "serve debug HTTP (pprof, expvar counters, /trace/tail ring) on this address; pair with -realtime to watch a live run")
+		chaosFile  = flag.String("chaos", "", "inject faults from this scenario JSON file (schema: DESIGN.md §12); deterministic for a fixed seed")
+		invariants = flag.Bool("invariants", false, "check protocol invariants against the trace stream and exit 1 on violation (note: -trace-filter also filters what the checker sees)")
 	)
 	flag.Parse()
+
+	var chaosScenario *chaos.Scenario
+	if *chaosFile != "" {
+		data, err := os.ReadFile(*chaosFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+			os.Exit(2)
+		}
+		chaosScenario, err = chaos.ParseScenario(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", *chaosFile, err)
+			os.Exit(2)
+		}
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -111,10 +129,11 @@ func main() {
 	var (
 		tracer     *obs.Tracer
 		traceCount *obs.Counting
+		checker    *chaos.Invariants
 	)
-	if *trace || *httpAddr != "" {
+	if *trace || *httpAddr != "" || *invariants {
 		if *runs > 1 {
-			fmt.Fprintln(os.Stderr, "-trace and -http are incompatible with -runs > 1 (events from parallel runs would interleave)")
+			fmt.Fprintln(os.Stderr, "-trace, -http and -invariants are incompatible with -runs > 1 (events from parallel runs would interleave)")
 			os.Exit(2)
 		}
 		var tee obs.Tee
@@ -131,6 +150,10 @@ func main() {
 			ring = obs.NewRing(4096)
 			tee = append(tee, ring)
 		}
+		if *invariants {
+			checker = chaos.NewInvariants(chaos.InvariantsConfig{})
+			tee = append(tee, checker)
+		}
 		var sink obs.Sink = tee
 		if len(tee) == 1 {
 			sink = tee[0]
@@ -144,7 +167,25 @@ func main() {
 
 	// buildNet assembles a fresh field, workload, and network for one
 	// seed. Every run owns its full object graph, which is what makes the
-	// -runs fan-out safe and bit-identical to serial execution.
+	// -runs fan-out safe and bit-identical to serial execution. When a
+	// chaos scenario is loaded it is installed per network, so every seed
+	// of a -runs sweep suffers the same scripted faults.
+	var injector *chaos.Injector
+	installChaos := func(net *core.Network) {
+		if chaosScenario == nil {
+			return
+		}
+		inj, err := chaos.Install(net, chaosScenario)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+			os.Exit(2)
+		}
+		if *runs == 1 {
+			// Only the single-run path prints the fault log; sweep workers
+			// run concurrently and must not share the variable.
+			injector = inj
+		}
+	}
 	buildNet := func(seed int64) (*core.Network, int) {
 		field := acoustics.NewField(1)
 		field.DetectProb = 0.6
@@ -169,13 +210,17 @@ func main() {
 			pcfg.MeanGap = *meanGap
 			events := workload.GeneratePoisson(field, grid, pcfg)
 			cfg.CommRange = 6 * grid.Pitch
-			return core.NewGridNetwork(cfg, field, grid), events
+			net := core.NewGridNetwork(cfg, field, grid)
+			installChaos(net)
+			return net, events
 		case "forest":
 			fcfg := workload.DefaultForest()
 			fcfg.Duration = *duration
 			events := workload.GenerateForest(field, fcfg)
 			cfg.CommRange = 30
-			return core.NewNetwork(cfg, field, workload.ForestPositions(2006)), events
+			net := core.NewNetwork(cfg, field, workload.ForestPositions(2006))
+			installChaos(net)
+			return net, events
 		default:
 			fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
 			os.Exit(2)
@@ -222,6 +267,22 @@ func main() {
 		fmt.Printf("  node %2d @ %-16v %7d\n", node.ID, node.Pos, node.Mote.Store.BytesUsed())
 	}
 
+	if injector != nil {
+		fmt.Printf("\n-- chaos (%s) --\n", chaosScenario.Name)
+		for _, line := range injector.Log() {
+			fmt.Printf("  %s\n", line)
+		}
+		if st.DroppedPartition > 0 {
+			fmt.Printf("  frames cut by partitions: %d\n", st.DroppedPartition)
+		}
+	}
+	if checker != nil {
+		// End-of-run completeness check: reassembled retrieval output must
+		// equal the union of surviving chunks (tolerance = one task period).
+		checker.CheckHoldings(net.Sched.Now(), net.Holdings(), time.Second)
+		fmt.Printf("\n%s", checker.Report())
+	}
+
 	if traceCount != nil {
 		if err := traceCount.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
@@ -230,6 +291,9 @@ func main() {
 		if *trace {
 			fmt.Printf("\ntrace: %d events -> %s\n", traceCount.Total(), *traceOut)
 		}
+	}
+	if checker != nil && len(checker.Violations()) > 0 {
+		os.Exit(1)
 	}
 }
 

@@ -1,0 +1,246 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"enviromic/internal/core"
+	"enviromic/internal/sim"
+)
+
+// Injector executes a Scenario against a running network. Create it with
+// Install before the simulation runs (or mid-run from a scheduler
+// callback); every fault fires as an ordinary scheduler event, so fault
+// timing interleaves deterministically with protocol events.
+type Injector struct {
+	net *core.Network
+	sc  *Scenario
+	// rng is the injector's private randomness (flash fault draws). It is
+	// deliberately NOT the scheduler's RNG: fault draws must not perturb
+	// the protocol's random stream, or the faulted run would diverge from
+	// the fault-free run for unrelated reasons.
+	rng      *rand.Rand
+	baseLoss float64
+	log      []string
+}
+
+// Install validates the scenario against the deployment and schedules
+// every fault. The returned Injector is only for reporting (Log); the
+// faults run on their own.
+func Install(net *core.Network, sc *Scenario) (*Injector, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(net.Nodes)
+	checkID := func(id int) error {
+		if id < 0 || id >= n {
+			return fmt.Errorf("chaos: node %d outside deployment [0,%d)", id, n)
+		}
+		return nil
+	}
+	for i := range sc.Faults {
+		f := &sc.Faults[i]
+		if f.Node >= 0 {
+			if err := checkID(f.Node); err != nil {
+				return nil, err
+			}
+		}
+		for _, id := range f.A {
+			if err := checkID(id); err != nil {
+				return nil, err
+			}
+		}
+		for _, id := range f.B {
+			if err := checkID(id); err != nil {
+				return nil, err
+			}
+		}
+	}
+	inj := &Injector{
+		net:      net,
+		sc:       sc,
+		rng:      rand.New(rand.NewSource(sc.Seed ^ 0x63686173)), // "chas"
+		baseLoss: net.Radio.Config().LossProb,
+	}
+	for i := range sc.Faults {
+		inj.schedule(&sc.Faults[i])
+	}
+	return inj, nil
+}
+
+// Log returns the applied-fault log: one line per fault boundary that
+// fired, in fire order, with sim timestamps. Deterministic for a fixed
+// (scenario, seed).
+func (inj *Injector) Log() []string { return inj.log }
+
+func (inj *Injector) logf(format string, args ...any) {
+	inj.log = append(inj.log, fmt.Sprintf("%v %s", inj.net.Sched.Now(), fmt.Sprintf(format, args...)))
+}
+
+func (inj *Injector) schedule(f *Fault) {
+	s := inj.net.Sched
+	switch f.Kind {
+	case KindCrash:
+		s.At(sim.At(f.At), "chaos.crash", func() { inj.crash(f) })
+	case KindReboot:
+		s.At(sim.At(f.At), "chaos.reboot", func() { inj.reboot(f.Node) })
+	case KindLoss:
+		s.At(sim.At(f.From), "chaos.loss", func() {
+			inj.net.Radio.SetLossProb(f.Prob)
+			inj.logf("loss burst: prob=%v", f.Prob)
+		})
+		if f.To != 0 {
+			s.At(sim.At(f.To), "chaos.loss.end", func() {
+				inj.net.Radio.SetLossProb(inj.baseLoss)
+				inj.logf("loss burst over: prob=%v", inj.baseLoss)
+			})
+		}
+	case KindPartition:
+		s.At(sim.At(f.From), "chaos.partition", func() { inj.setPartition(f, true) })
+		if f.To != 0 {
+			s.At(sim.At(f.To), "chaos.partition.end", func() { inj.setPartition(f, false) })
+		}
+	case KindFlash:
+		s.At(sim.At(f.From), "chaos.flash", func() { inj.setFlashFaults(f, true) })
+		if f.To != 0 {
+			s.At(sim.At(f.To), "chaos.flash.end", func() { inj.setFlashFaults(f, false) })
+		}
+	case KindClockSkew:
+		s.At(sim.At(f.At), "chaos.clockskew", func() {
+			inj.net.Nodes[f.Node].Clock.Step(f.Step)
+			inj.logf("clock skew: node=%d step=%v", f.Node, f.Step)
+		})
+	}
+}
+
+// crash kills the target node and simulates the flash power-loss path:
+// the volatile queue pointers are lost and restored from the last EEPROM
+// checkpoint, dropping chunks written since (deterministically — no
+// randomness in what survives). The flash array itself survives for
+// post-collection retrieval, per the paper's recoverability claim.
+func (inj *Injector) crash(f *Fault) {
+	id := f.Node
+	if f.Target == TargetLeader {
+		id = inj.findLeader()
+		if id < 0 {
+			// Leaders only exist while a group records, so "crash the
+			// leader" arms at f.At and fires at the next instant one
+			// exists. The poll rides the scheduler, so it is exactly as
+			// deterministic as an immediate hit.
+			if inj.net.Sched.Now() == sim.At(f.At) {
+				inj.logf("crash leader: no active leader, polling")
+			}
+			inj.net.Sched.After(50*time.Millisecond, "chaos.crash.wait", func() { inj.crash(f) })
+			return
+		}
+	}
+	node := inj.net.Nodes[id]
+	if !node.Mote.Alive() {
+		inj.logf("crash node=%d: already dead, skipped", id)
+		return
+	}
+	inj.net.Kill(id)
+	node.Mote.Store.Crash()
+	recovered, err := node.Mote.Store.Recover()
+	if err != nil {
+		// NewStore checkpoints at construction, so this cannot happen.
+		inj.logf("crash node=%d: flash recover failed: %v", id, err)
+		return
+	}
+	inj.logf("crash: node=%d flash_recovered=%d", id, recovered)
+}
+
+func (inj *Injector) reboot(id int) {
+	node := inj.net.Nodes[id]
+	if node.Mote.Endpoint.Alive() {
+		inj.logf("reboot node=%d: not dead, skipped", id)
+		return
+	}
+	inj.net.Reboot(id)
+	inj.logf("reboot: node=%d", id)
+}
+
+// findLeader returns the lowest-ID live node that currently leads a
+// group, or -1.
+func (inj *Injector) findLeader() int {
+	for _, node := range inj.net.Nodes {
+		if node.Group != nil && node.Mote.Alive() && node.Group.LeaderID() == node.ID {
+			return node.ID
+		}
+	}
+	return -1
+}
+
+func (inj *Injector) setPartition(f *Fault, on bool) {
+	b := f.B
+	if len(b) == 0 {
+		inA := make(map[int]bool, len(f.A))
+		for _, id := range f.A {
+			inA[id] = true
+		}
+		for _, node := range inj.net.Nodes {
+			if !inA[node.ID] {
+				b = append(b, node.ID)
+			}
+		}
+	}
+	for _, a := range f.A {
+		for _, bb := range b {
+			inj.net.Radio.SetLinkBlocked(a, bb, on)
+			if !f.OneWay {
+				inj.net.Radio.SetLinkBlocked(bb, a, on)
+			}
+		}
+	}
+	verb := "partition"
+	if !on {
+		verb = "partition healed"
+	}
+	dir := "sym"
+	if f.OneWay {
+		dir = "a->b"
+	}
+	inj.logf("%s: a=%v b=%v dir=%s", verb, f.A, b, dir)
+}
+
+func (inj *Injector) setFlashFaults(f *Fault, on bool) {
+	store := inj.net.Nodes[f.Node].Mote.Store
+	if !on {
+		store.SetWriteFault(nil)
+		store.SetReadFault(nil)
+		inj.logf("flash faults cleared: node=%d", f.Node)
+		return
+	}
+	if f.WriteProb > 0 {
+		p := f.WriteProb
+		store.SetWriteFault(func() bool { return inj.rng.Float64() < p })
+	}
+	if f.ReadProb > 0 {
+		p := f.ReadProb
+		store.SetReadFault(func() bool { return inj.rng.Float64() < p })
+	}
+	inj.logf("flash faults: node=%d write=%v read=%v", f.Node, f.WriteProb, f.ReadProb)
+}
+
+// Leaders returns the IDs of live nodes currently leading groups, in
+// ascending order (diagnostics for scenario authoring and tests).
+func (inj *Injector) Leaders() []int {
+	var out []int
+	for _, node := range inj.net.Nodes {
+		if node.Group != nil && node.Mote.Alive() && node.Group.LeaderID() == node.ID {
+			out = append(out, node.ID)
+		}
+	}
+	return out
+}
+
+// WindowCovers reports whether t falls inside the fault's active window
+// ([From, To), or [From, ∞) when To is zero). Helper for tests asserting
+// that induced effects stay inside fault windows.
+func (f *Fault) WindowCovers(t sim.Time) bool {
+	if t < sim.At(f.From) {
+		return false
+	}
+	return f.To == 0 || t < sim.At(f.To)
+}

@@ -1,0 +1,196 @@
+package chaos_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"enviromic/internal/chaos"
+	"enviromic/internal/core"
+	"enviromic/internal/experiments"
+	"enviromic/internal/mote"
+	"enviromic/internal/sim"
+)
+
+var lbSetting = experiments.IndoorSetting{Name: "lb-beta2", Mode: core.ModeFull, BetaMax: 2}
+
+// netSignature folds a run's observable outcome — headline metrics,
+// radio accounting, and per-node flash occupancy — into one comparison
+// string. Two byte-identical runs produce equal signatures.
+func netSignature(net *core.Network, duration time.Duration) string {
+	end := sim.At(duration)
+	var b strings.Builder
+	st := net.Radio.Stats()
+	fmt.Fprintf(&b, "miss=%v red=%v stored=%d frames=%d kinds=%v part=%d\n",
+		net.Collector.MissRatioAt(end),
+		net.Collector.RedundancyRatioAt(end, mote.DefaultSampleRate),
+		net.TotalStoredBytes(),
+		st.TotalFrames,
+		st.TxByKind,
+		st.DroppedPartition)
+	for _, node := range net.Nodes {
+		fmt.Fprintf(&b, "n%d=%d ", node.ID, node.Mote.Store.BytesUsed())
+	}
+	return b.String()
+}
+
+// chaosSignature additionally covers the fault log and invariant report,
+// which the determinism criterion requires to be bit-reproducible too.
+func chaosSignature(res experiments.ChaosIndoorResult, duration time.Duration) string {
+	sig := netSignature(res.Net, duration)
+	if res.Injector != nil {
+		sig += "\n" + strings.Join(res.Injector.Log(), "\n")
+	}
+	return sig + "\n" + res.Checker.Report()
+}
+
+// TestLeaderCrashMidFilePreservesContinuity is the acceptance scenario:
+// crash the active leader mid-file; the takeover election must keep the
+// file ID continuous and no invariant may break.
+func TestLeaderCrashMidFilePreservesContinuity(t *testing.T) {
+	sc := &chaos.Scenario{
+		Name: "leader-crash",
+		Seed: 7,
+		Faults: []chaos.Fault{
+			{Kind: chaos.KindCrash, At: 45 * time.Second, Node: -1, Target: chaos.TargetLeader},
+		},
+	}
+	opts := experiments.QuickIndoorOpts()
+	res, err := experiments.RunIndoorChaos(lbSetting, opts, sc, chaos.InvariantsConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := strings.Join(res.Injector.Log(), "\n")
+	if !strings.Contains(log, "crash: node=") {
+		t.Fatalf("the leader crash never fired:\n%s", log)
+	}
+	if res.Checker.Events() == 0 {
+		t.Fatal("invariant checker saw no events; the run is vacuous")
+	}
+	if vs := res.Checker.Violations(); len(vs) != 0 {
+		t.Fatalf("leader crash broke invariants:\n%s", res.Checker.Report())
+	}
+	// Exactly one node must be down, and it must be the crashed one.
+	var dead []int
+	for _, node := range res.Net.Nodes {
+		if !node.Mote.Alive() {
+			dead = append(dead, node.ID)
+		}
+	}
+	if len(dead) != 1 {
+		t.Fatalf("dead nodes after one crash: %v", dead)
+	}
+	if want := fmt.Sprintf("crash: node=%d", dead[0]); !strings.Contains(log, want) {
+		t.Fatalf("dead node %d does not match the log:\n%s", dead[0], log)
+	}
+}
+
+// TestPermanentPartitionReportsOnlyInducedGaps: a permanent partition
+// may cost coverage (the declared retrieval gaps), but it must not break
+// any protocol invariant — migration conservation and file continuity
+// hold on both sides of the cut.
+func TestPermanentPartitionReportsOnlyInducedGaps(t *testing.T) {
+	sc := &chaos.Scenario{
+		Name: "split",
+		Seed: 7,
+		Faults: []chaos.Fault{
+			{Kind: chaos.KindPartition, From: 2 * time.Minute, Node: -1,
+				A: []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}},
+		},
+	}
+	opts := experiments.QuickIndoorOpts()
+	res, err := experiments.RunIndoorChaos(lbSetting, opts, sc, chaos.InvariantsConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Net.Radio.Stats().DroppedPartition; got == 0 {
+		t.Fatal("the partition cut no frames; scenario is vacuous")
+	}
+	if vs := res.Checker.Violations(); len(vs) != 0 {
+		t.Fatalf("partition produced violations beyond its induced gaps:\n%s", res.Checker.Report())
+	}
+}
+
+// TestChaosRunsAreDeterministic: the same (scenario, seed) pair replayed
+// twice yields a byte-identical outcome — metrics, fault log, and
+// invariant report.
+func TestChaosRunsAreDeterministic(t *testing.T) {
+	sc := &chaos.Scenario{
+		Name: "mixed",
+		Seed: 3,
+		Faults: []chaos.Fault{
+			{Kind: chaos.KindCrash, At: 90 * time.Second, Node: 10},
+			{Kind: chaos.KindReboot, At: 4 * time.Minute, Node: 10},
+			{Kind: chaos.KindLoss, From: 2 * time.Minute, To: 3 * time.Minute, Prob: 0.2, Node: -1},
+			{Kind: chaos.KindFlash, From: time.Minute, To: 5 * time.Minute, Node: 3, WriteProb: 0.3},
+			{Kind: chaos.KindClockSkew, At: 2 * time.Minute, Node: 5, Step: 40 * time.Millisecond},
+		},
+	}
+	opts := experiments.QuickIndoorOpts()
+	run := func() string {
+		res, err := experiments.RunIndoorChaos(lbSetting, opts, sc, chaos.InvariantsConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return chaosSignature(res, opts.Duration)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("chaos runs diverge under a fixed (scenario, seed):\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+}
+
+// TestChaosOffIsByteIdenticalToPlainRun mirrors the tracing guarantee:
+// attaching the invariant checker with no scenario installed changes
+// nothing about the run.
+func TestChaosOffIsByteIdenticalToPlainRun(t *testing.T) {
+	opts := experiments.QuickIndoorOpts()
+	plain := experiments.RunIndoor(lbSetting, opts)
+
+	res, err := experiments.RunIndoorChaos(lbSetting, experiments.QuickIndoorOpts(), nil, chaos.InvariantsConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checker.Events() == 0 {
+		t.Fatal("checker attached but saw no events")
+	}
+	if vs := res.Checker.Violations(); len(vs) != 0 {
+		t.Fatalf("fault-free run violates invariants:\n%s", res.Checker.Report())
+	}
+	a, b := netSignature(plain, opts.Duration), netSignature(res.Net, opts.Duration)
+	if a != b {
+		t.Fatalf("checker-attached run diverged from the plain run:\n--- plain ---\n%s\n--- checked ---\n%s", a, b)
+	}
+}
+
+// TestCrashRebootRoundTrip: a crashed node rejoins on reboot with its
+// flash contents intact (modulo the checkpoint window) and the network
+// keeps all invariants through both transitions.
+func TestCrashRebootRoundTrip(t *testing.T) {
+	sc := &chaos.Scenario{
+		Name: "bounce",
+		Seed: 1,
+		Faults: []chaos.Fault{
+			{Kind: chaos.KindCrash, At: 2 * time.Minute, Node: 20},
+			{Kind: chaos.KindReboot, At: 5 * time.Minute, Node: 20},
+		},
+	}
+	opts := experiments.QuickIndoorOpts()
+	res, err := experiments.RunIndoorChaos(lbSetting, opts, sc, chaos.InvariantsConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := res.Checker.Violations(); len(vs) != 0 {
+		t.Fatalf("crash/reboot broke invariants:\n%s", res.Checker.Report())
+	}
+	if !res.Net.Nodes[20].Mote.Alive() {
+		t.Fatal("node 20 still dead after its scheduled reboot")
+	}
+	log := strings.Join(res.Injector.Log(), "\n")
+	for _, want := range []string{"crash: node=20", "reboot: node=20"} {
+		if !strings.Contains(log, want) {
+			t.Fatalf("log misses %q:\n%s", want, log)
+		}
+	}
+}

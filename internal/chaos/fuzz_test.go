@@ -1,0 +1,41 @@
+package chaos
+
+import (
+	"testing"
+)
+
+// FuzzParseScenario asserts the scenario parser's contract under
+// arbitrary input: it never panics, and anything it accepts passes
+// Validate (a scenario that parses must also install cleanly modulo
+// node-ID range checks, which need a deployment).
+func FuzzParseScenario(f *testing.F) {
+	f.Add([]byte(`{"name":"x","seed":7,"faults":[{"kind":"crash","at":"90s","target":"leader"}]}`))
+	f.Add([]byte(`{"faults":[{"kind":"crash","at":"1s","node":3}]}`))
+	f.Add([]byte(`{"faults":[{"kind":"reboot","at":"2m","node":3}]}`))
+	f.Add([]byte(`{"faults":[{"kind":"loss","from":"1m","to":"2m","prob":0.25}]}`))
+	f.Add([]byte(`{"faults":[{"kind":"partition","from":"30s","a":[0,1],"b":[2],"oneway":true}]}`))
+	f.Add([]byte(`{"faults":[{"kind":"flash","from":"1s","node":0,"write_prob":0.5,"read_prob":1}]}`))
+	f.Add([]byte(`{"faults":[{"kind":"clockskew","at":"10s","node":1,"step":"-40ms"}]}`))
+	f.Add([]byte(`{"faults":[{"kind":"loss","from":"-1s","prob":2}]}`))
+	f.Add([]byte(`{"faults":[{"kind":"bogus"}]}`))
+	f.Add([]byte(`{"name":"x"} {"name":"trailing"}`))
+	f.Add([]byte(`{"unknown_field":1}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := ParseScenario(data)
+		if err != nil {
+			if sc != nil {
+				t.Fatalf("error %v returned alongside a scenario", err)
+			}
+			return
+		}
+		if sc == nil {
+			t.Fatal("nil scenario with nil error")
+		}
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("accepted scenario fails validation: %v", err)
+		}
+	})
+}

@@ -1,0 +1,409 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"enviromic/internal/flash"
+	"enviromic/internal/obs"
+	"enviromic/internal/retrieval"
+	"enviromic/internal/sim"
+)
+
+// Invariant rule names (Violation.Rule).
+const (
+	// RuleExclusiveRecorder: at any instant, one leader keeps at most
+	// Copies members holding a confirmed recording task for one file
+	// (§II-A.2). The designed Dta overlap between consecutive tasks of
+	// one file (Fig 4's seamless recording) is excused up to MaxOverlap.
+	// Confirms from *different* leaders may overlap: lost leader beacons
+	// force a re-election whose new leader assigns while the old task
+	// still runs — the paper counts that as redundancy, not a bug.
+	RuleExclusiveRecorder = "exclusive-recorder"
+	// RuleRecorderBusy: one node never records two tasks at once — the
+	// ADC cannot sample two streams (§III-B.1).
+	RuleRecorderBusy = "recorder-busy"
+	// RuleFileContinuity: a node that enters an election carrying a
+	// handoff file ID (RESIGN, or leader-death takeover) must win with
+	// exactly that ID — file IDs stay continuous across handoff (§II-A.3).
+	RuleFileContinuity = "file-continuity"
+	// RuleMigrationConservation: a migration session's chunks are neither
+	// silently lost (acked beyond what the receiver accepted) nor
+	// miscounted (acked + failed ≠ sent); sessions never overlap per
+	// sender (§II-B). ACK-loss duplication is legal and not flagged —
+	// the paper observes it as incidental redundancy.
+	RuleMigrationConservation = "migration-conservation"
+	// RuleRetrievalComplete: reassembled retrieval output equals the
+	// union of surviving stored chunks — nothing lost, nothing invented,
+	// and declared gaps really are uncovered (§II-C).
+	RuleRetrievalComplete = "retrieval-complete"
+)
+
+// Violation is one detected invariant breach.
+type Violation struct {
+	At     sim.Time
+	Rule   string
+	Node   int32
+	File   uint32
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("%v %s node=%d file=%#x: %s", v.At, v.Rule, v.Node, v.File, v.Detail)
+}
+
+// InvariantsConfig tunes the checker's tolerances.
+type InvariantsConfig struct {
+	// Copies is the task layer's controlled-redundancy degree: how many
+	// members may legitimately hold a confirmed task for one file at
+	// once. Defaults to 1 (the paper's base protocol).
+	Copies int
+	// MaxOverlap excuses the designed overlap between consecutive
+	// confirmed tasks of one file: the next task is assigned ~Dta before
+	// the current one ends so recording is seamless (Fig 4). Defaults to
+	// 150 ms (Dta is 70 ms, confirm timeout 60 ms).
+	MaxOverlap time.Duration
+	// MaxViolations caps the recorded list; further breaches only bump a
+	// counter. Defaults to 256.
+	MaxViolations int
+}
+
+// Invariants is an obs.Sink that checks protocol invariants on the live
+// event stream. It is a pure observer: wiring it into a run's tracer
+// changes no protocol behavior, draws no randomness, and schedules no
+// events — the run stays byte-identical (asserted by tests).
+//
+// The checker needs the task.*, group.elect.*, group.handoff, and
+// storage.migrate.* event kinds to reach it; a tracer filter that drops
+// them blinds the corresponding rules.
+type Invariants struct {
+	mu  sync.Mutex
+	cfg InvariantsConfig
+
+	violations []Violation
+	dropped    int
+	events     uint64
+
+	// confirmed holds, per file, the currently confirmed recording spans.
+	confirmed map[uint32][]confirmSpan
+	// recording holds, per node, the active recording span.
+	recording map[int32]recordSpan
+	// pending holds, per node, the file ID the node carried into its
+	// current election (0 = none).
+	pending map[int32]uint32
+	// sessions holds, per sender, the open migration session.
+	sessions map[int32]*migSession
+
+	// Interned event IDs, resolved once at construction (registration is
+	// idempotent, so these match the emitting modules' IDs).
+	idConfirm, idRecStart, idRecEnd          obs.EventID
+	idBackoff, idWon, idLost                 obs.EventID
+	idMigStart, idMigOut, idMigFail, idMigIn obs.EventID
+}
+
+type confirmSpan struct {
+	leader     int32
+	member     int32
+	start, end sim.Time
+}
+
+type recordSpan struct {
+	file uint32
+	end  sim.Time
+}
+
+type migSession struct {
+	at       sim.Time
+	to       int32
+	sent     int64
+	accepted int64
+}
+
+// NewInvariants builds a checker. Use obs.New(inv) (or tee it with other
+// sinks) to wire it into a network's tracer.
+func NewInvariants(cfg InvariantsConfig) *Invariants {
+	if cfg.Copies <= 0 {
+		cfg.Copies = 1
+	}
+	if cfg.MaxOverlap == 0 {
+		cfg.MaxOverlap = 150 * time.Millisecond
+	}
+	if cfg.MaxViolations <= 0 {
+		cfg.MaxViolations = 256
+	}
+	return &Invariants{
+		cfg:        cfg,
+		confirmed:  make(map[uint32][]confirmSpan),
+		recording:  make(map[int32]recordSpan),
+		pending:    make(map[int32]uint32),
+		sessions:   make(map[int32]*migSession),
+		idConfirm:  obs.RegisterEvent("task.confirm"),
+		idRecStart: obs.RegisterEvent("task.record.start"),
+		idRecEnd:   obs.RegisterEvent("task.record.end"),
+		idBackoff:  obs.RegisterEvent("group.elect.backoff"),
+		idWon:      obs.RegisterEvent("group.elect.won"),
+		idLost:     obs.RegisterEvent("group.elect.lost"),
+		idMigStart: obs.RegisterEvent("storage.migrate.start"),
+		idMigOut:   obs.RegisterEvent("storage.migrate.out"),
+		idMigFail:  obs.RegisterEvent("storage.migrate.fail"),
+		idMigIn:    obs.RegisterEvent("storage.migrate.in"),
+	}
+}
+
+func (v *Invariants) violate(at sim.Time, rule string, node int32, file uint32, format string, args ...any) {
+	if len(v.violations) >= v.cfg.MaxViolations {
+		v.dropped++
+		return
+	}
+	v.violations = append(v.violations, Violation{
+		At: at, Rule: rule, Node: node, File: file, Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// Emit implements obs.Sink.
+func (v *Invariants) Emit(e obs.Event) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.events++
+	switch e.Kind {
+	case v.idConfirm:
+		v.onConfirm(e)
+	case v.idRecStart:
+		v.onRecordStart(e)
+	case v.idRecEnd:
+		delete(v.recording, e.Node)
+	case v.idBackoff:
+		if e.File != 0 {
+			v.pending[e.Node] = e.File
+		}
+	case v.idWon:
+		if want := v.pending[e.Node]; want != 0 && want != e.File {
+			v.violate(e.At, RuleFileContinuity, e.Node, want,
+				"election won with file %#x, handoff carried %#x", e.File, want)
+		}
+		delete(v.pending, e.Node)
+	case v.idLost:
+		delete(v.pending, e.Node)
+	case v.idMigStart:
+		v.onMigrateStart(e)
+	case v.idMigIn:
+		if s := v.sessions[e.Peer]; s != nil && s.to == e.Node {
+			s.accepted++
+		}
+		// A migrate.in outside any open session is a late bulk
+		// retransmission landing after the sender closed — legal.
+	case v.idMigOut:
+		v.onMigrateOut(e)
+	case v.idMigFail:
+		if s := v.sessions[e.Node]; s != nil {
+			if e.V1 != s.sent {
+				v.violate(e.At, RuleMigrationConservation, e.Node, 0,
+					"aborted session to %d returned %d chunks, sent %d", s.to, e.V1, s.sent)
+			}
+			delete(v.sessions, e.Node)
+		}
+	}
+}
+
+// onConfirm checks recorder exclusivity (§II-A.2): a leader structures
+// assignment as one confirmed member per round, so at any instant at most
+// Copies of *its* confirmed spans may cover one file — beyond the
+// designed Dta overlap that makes consecutive tasks seamless (Fig 4).
+// Spans confirmed by other leaders are ignored: leader churn (lost
+// beacons, handoff) legitimately overlaps old and new assignments.
+func (v *Invariants) onConfirm(e obs.Event) {
+	spans := v.confirmed[e.File]
+	// Prune spans that ended before the new task starts (keeps the list
+	// at O(Copies) entries per file).
+	live := spans[:0]
+	overlapping := 0
+	for _, s := range spans {
+		if s.end <= e.At {
+			continue
+		}
+		live = append(live, s)
+		if s.leader == e.Node && s.end.Sub(e.At) > v.cfg.MaxOverlap {
+			overlapping++
+		}
+	}
+	if overlapping >= v.cfg.Copies {
+		v.violate(e.At, RuleExclusiveRecorder, e.Peer, e.File,
+			"confirm for member %d overlaps %d task(s) confirmed by the same leader %d beyond %v",
+			e.Peer, overlapping, e.Node, v.cfg.MaxOverlap)
+	}
+	v.confirmed[e.File] = append(live, confirmSpan{
+		leader: e.Node, member: e.Peer, start: e.At, end: e.At.Add(time.Duration(e.V1)),
+	})
+}
+
+// onRecordStart checks per-node recording exclusivity: the mote's ADC
+// records one stream at a time (§III-B.1). Unlike cross-node duplicate
+// recording — which lost CONFIRMs legitimately cause and the paper counts
+// as redundancy — one node overlapping itself is a protocol bug.
+func (v *Invariants) onRecordStart(e obs.Event) {
+	if r, ok := v.recording[e.Node]; ok && r.end > e.At {
+		v.violate(e.At, RuleRecorderBusy, e.Node, e.File,
+			"record.start while still recording file %#x until %v", r.file, r.end)
+	}
+	v.recording[e.Node] = recordSpan{file: e.File, end: e.At.Add(time.Duration(e.V1))}
+}
+
+func (v *Invariants) onMigrateStart(e obs.Event) {
+	if s := v.sessions[e.Node]; s != nil {
+		v.violate(e.At, RuleMigrationConservation, e.Node, 0,
+			"migration to %d starts while session to %d (opened %v) is in flight", e.Peer, s.to, s.at)
+		// Adopt the new session; the stale one can no longer be checked.
+	}
+	v.sessions[e.Node] = &migSession{at: e.At, to: e.Peer, sent: e.V1}
+}
+
+// onMigrateOut closes a session and checks conservation: every chunk the
+// sender deletes (acked) must have been accepted by the receiver —
+// acked > accepted means data vanished in flight — and acked + failed
+// must equal the batch size. The inverse (accepted > acked, an ACK lost
+// after the receiver stored) duplicates the chunk, which the paper
+// tolerates and retrieval dedups.
+func (v *Invariants) onMigrateOut(e obs.Event) {
+	s := v.sessions[e.Node]
+	if s == nil {
+		return
+	}
+	acked, failed := e.V1, e.V2
+	if acked+failed != s.sent {
+		v.violate(e.At, RuleMigrationConservation, e.Node, 0,
+			"session to %d: acked %d + failed %d != sent %d", s.to, acked, failed, s.sent)
+	}
+	if acked > s.accepted {
+		v.violate(e.At, RuleMigrationConservation, e.Node, 0,
+			"session to %d: %d chunks acked but only %d accepted by receiver (loss)",
+			s.to, acked, s.accepted)
+	}
+	delete(v.sessions, e.Node)
+}
+
+// Close implements obs.Sink (no buffered state).
+func (v *Invariants) Close() error { return nil }
+
+// chunkKey is the network-wide chunk identity: retrieval dedups on it.
+type chunkKey struct {
+	file   flash.FileID
+	origin int32
+	seq    uint32
+}
+
+// CheckHoldings runs the end-of-run retrieval-completeness check
+// (§II-C): Reassemble over the surviving holdings must return exactly
+// the identity-deduplicated union of what the nodes store, and every
+// declared gap must really be uncovered by data. Call it once after the
+// run, before Report.
+func (v *Invariants) CheckHoldings(at sim.Time, holdings map[int][]*flash.Chunk, tolerance time.Duration) {
+	files := retrieval.Reassemble(holdings, retrieval.Query{All: true})
+
+	union := make(map[chunkKey]*flash.Chunk)
+	for _, chunks := range holdings {
+		for _, c := range chunks {
+			if c == nil {
+				continue
+			}
+			k := chunkKey{c.File, c.Origin, c.Seq}
+			if _, ok := union[k]; !ok {
+				union[k] = c
+			}
+		}
+	}
+	got := make(map[chunkKey]bool)
+	for id, f := range files {
+		for _, c := range f.Chunks {
+			k := chunkKey{c.File, c.Origin, c.Seq}
+			if c.File != id {
+				v.mu.Lock()
+				v.violate(at, RuleRetrievalComplete, c.Origin, uint32(c.File),
+					"chunk filed under %#x", id)
+				v.mu.Unlock()
+			}
+			got[k] = true
+		}
+	}
+
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	// Missing: stored but absent from the reassembly. Aggregate per file
+	// so a lost file yields one violation, not thousands.
+	missing := make(map[flash.FileID]int)
+	var missingNode map[flash.FileID]int32
+	for k := range union {
+		if !got[k] {
+			if missingNode == nil {
+				missingNode = make(map[flash.FileID]int32)
+			}
+			if _, ok := missing[k.file]; !ok {
+				missingNode[k.file] = k.origin
+			}
+			missing[k.file]++
+		}
+	}
+	for file, n := range missing {
+		v.violate(at, RuleRetrievalComplete, missingNode[file], uint32(file),
+			"%d stored chunk(s) missing from reassembly", n)
+	}
+	// Invented: reassembled but stored nowhere.
+	for k := range got {
+		if _, ok := union[k]; !ok {
+			v.violate(at, RuleRetrievalComplete, k.origin, uint32(k.file),
+				"reassembled chunk (origin %d, seq %d) exists in no holding", k.origin, k.seq)
+		}
+	}
+	// Declared gaps must be uncovered: no chunk's span may intersect a
+	// gap's interior.
+	for id, f := range files {
+		for _, g := range f.Gaps(tolerance) {
+			for _, c := range f.Chunks {
+				if c.Start < g.End && c.End > g.Start {
+					v.violate(at, RuleRetrievalComplete, c.Origin, uint32(id),
+						"declared gap [%v,%v) overlaps chunk [%v,%v)", g.Start, g.End, c.Start, c.End)
+					break
+				}
+			}
+		}
+	}
+}
+
+// Violations returns the recorded breaches in detection order.
+func (v *Invariants) Violations() []Violation {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]Violation, len(v.violations))
+	copy(out, v.violations)
+	return out
+}
+
+// Events returns the number of trace events examined.
+func (v *Invariants) Events() uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.events
+}
+
+// Report renders a deterministic multi-line summary: the same run
+// produces byte-identical output (asserted by the determinism regression
+// test).
+func (v *Invariants) Report() string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	var b strings.Builder
+	if len(v.violations) == 0 {
+		fmt.Fprintf(&b, "invariants: OK (%d events checked)\n", v.events)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "invariants: %d violation(s) in %d events\n", len(v.violations)+v.dropped, v.events)
+	for _, viol := range v.violations {
+		fmt.Fprintf(&b, "  %s\n", viol.String())
+	}
+	if v.dropped > 0 {
+		fmt.Fprintf(&b, "  ... and %d more (cap %d)\n", v.dropped, v.cfg.MaxViolations)
+	}
+	return b.String()
+}

@@ -1,0 +1,332 @@
+package chaos
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"enviromic/internal/flash"
+	"enviromic/internal/obs"
+	"enviromic/internal/sim"
+)
+
+// ev builds a synthetic trace event. Registration is idempotent, so the
+// kind IDs match the ones the checker interned at construction.
+func ev(kind string, at time.Duration, node, peer int32, file uint32, v1, v2 int64) obs.Event {
+	return obs.Event{
+		At: sim.At(at), Kind: obs.RegisterEvent(kind),
+		Node: node, Peer: peer, File: file, V1: v1, V2: v2,
+	}
+}
+
+func feed(inv *Invariants, events ...obs.Event) {
+	for _, e := range events {
+		inv.Emit(e)
+	}
+}
+
+// wantOne asserts exactly one violation of the given rule with the given
+// attribution and returns it.
+func wantOne(t *testing.T, inv *Invariants, rule string, node int32, file uint32) Violation {
+	t.Helper()
+	vs := inv.Violations()
+	if len(vs) != 1 {
+		t.Fatalf("got %d violations, want exactly 1 (%s): %v", len(vs), rule, vs)
+	}
+	v := vs[0]
+	if v.Rule != rule {
+		t.Fatalf("rule = %q, want %q", v.Rule, rule)
+	}
+	if v.Node != node {
+		t.Fatalf("node = %d, want %d (%s)", v.Node, node, v.Detail)
+	}
+	if v.File != file {
+		t.Fatalf("file = %#x, want %#x (%s)", v.File, file, v.Detail)
+	}
+	return v
+}
+
+func TestExclusiveRecorderSameLeaderOverlap(t *testing.T) {
+	inv := NewInvariants(InvariantsConfig{})
+	trc := int64(time.Second)
+	feed(inv,
+		ev("task.confirm", 0, 1, 2, 0x10, trc, 0),
+		// Same leader confirms a second member 200 ms in: 800 ms of
+		// double-booking, far beyond the 150 ms seamless-overlap excuse.
+		ev("task.confirm", 200*time.Millisecond, 1, 3, 0x10, trc, 0),
+	)
+	wantOne(t, inv, RuleExclusiveRecorder, 3, 0x10)
+}
+
+func TestExclusiveRecorderLeaderChurnIsLegal(t *testing.T) {
+	inv := NewInvariants(InvariantsConfig{})
+	trc := int64(time.Second)
+	feed(inv,
+		ev("task.confirm", 0, 1, 2, 0x10, trc, 0),
+		// A different leader (re-elected after lost beacons) overlapping
+		// the old assignment is the paper's redundancy, not a violation.
+		ev("task.confirm", 200*time.Millisecond, 9, 3, 0x10, trc, 0),
+		// Different file from the same leader is likewise independent.
+		ev("task.confirm", 300*time.Millisecond, 1, 4, 0x20, trc, 0),
+	)
+	if vs := inv.Violations(); len(vs) != 0 {
+		t.Fatalf("leader churn / distinct files flagged: %v", vs)
+	}
+}
+
+// TestExclusiveRecorderOverlapProperty: for any overlap between two
+// same-leader confirms of one file, the checker flags exactly the cases
+// beyond MaxOverlap, attributing the newly confirmed member.
+func TestExclusiveRecorderOverlapProperty(t *testing.T) {
+	maxOv := 150 * time.Millisecond
+	prop := func(overlapMS uint16, member uint8) bool {
+		overlap := time.Duration(overlapMS%400) * time.Millisecond
+		inv := NewInvariants(InvariantsConfig{MaxOverlap: maxOv})
+		trc := time.Second
+		feed(inv,
+			ev("task.confirm", 0, 1, 2, 0x10, int64(trc), 0),
+			ev("task.confirm", trc-overlap, 1, int32(member)+3, 0x10, int64(trc), 0),
+		)
+		vs := inv.Violations()
+		if overlap <= maxOv {
+			return len(vs) == 0
+		}
+		return len(vs) == 1 &&
+			vs[0].Rule == RuleExclusiveRecorder &&
+			vs[0].Node == int32(member)+3 &&
+			vs[0].File == 0x10
+	}
+	if err := quick.Check(prop, &quick.Config{
+		Rand: rand.New(rand.NewSource(7)), MaxCount: 300,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecorderBusySelfOverlap(t *testing.T) {
+	inv := NewInvariants(InvariantsConfig{})
+	trc := int64(time.Second)
+	feed(inv,
+		ev("task.record.start", 0, 5, obs.NoPeer, 0xa, trc, 0),
+		ev("task.record.start", 500*time.Millisecond, 5, obs.NoPeer, 0xb, trc, 0),
+	)
+	wantOne(t, inv, RuleRecorderBusy, 5, 0xb)
+}
+
+// TestRecorderBusyProperty: a node restarting after its previous task
+// ended is clean; restarting while the previous task still runs is the
+// ADC double-booking bug. Two distinct nodes never conflict.
+func TestRecorderBusyProperty(t *testing.T) {
+	prop := func(gapMS uint16, otherNode bool) bool {
+		gap := time.Duration(gapMS%1500) * time.Millisecond
+		inv := NewInvariants(InvariantsConfig{})
+		trc := time.Second
+		second := int32(5)
+		if otherNode {
+			second = 6
+		}
+		feed(inv,
+			ev("task.record.start", 0, 5, obs.NoPeer, 0xa, int64(trc), 0),
+			ev("task.record.end", trc, 5, obs.NoPeer, 0xa, 0, 0),
+			ev("task.record.start", trc+gap, second, obs.NoPeer, 0xb, int64(trc), 0),
+		)
+		return len(inv.Violations()) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{
+		Rand: rand.New(rand.NewSource(11)), MaxCount: 300,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Without the record.end the same restart inside the span must fire,
+	// and on the recorded node.
+	inv := NewInvariants(InvariantsConfig{})
+	feed(inv,
+		ev("task.record.start", 0, 5, obs.NoPeer, 0xa, int64(time.Second), 0),
+		ev("task.record.start", 900*time.Millisecond, 5, obs.NoPeer, 0xb, int64(time.Second), 0),
+	)
+	wantOne(t, inv, RuleRecorderBusy, 5, 0xb)
+}
+
+func TestFileContinuityAcrossHandoff(t *testing.T) {
+	// Takeover election carrying file 0x30 must be won with 0x30.
+	inv := NewInvariants(InvariantsConfig{})
+	feed(inv,
+		ev("group.elect.backoff", 0, 4, obs.NoPeer, 0x30, 0, 0),
+		ev("group.elect.won", 100*time.Millisecond, 4, obs.NoPeer, 0x31, 0, 0),
+	)
+	v := wantOne(t, inv, RuleFileContinuity, 4, 0x30)
+	if !strings.Contains(v.Detail, "0x31") {
+		t.Fatalf("detail misses the winning file: %s", v.Detail)
+	}
+
+	// Winning with the carried file is the contract.
+	inv = NewInvariants(InvariantsConfig{})
+	feed(inv,
+		ev("group.elect.backoff", 0, 4, obs.NoPeer, 0x30, 0, 0),
+		ev("group.elect.won", 100*time.Millisecond, 4, obs.NoPeer, 0x30, 0, 0),
+	)
+	if vs := inv.Violations(); len(vs) != 0 {
+		t.Fatalf("continuous handoff flagged: %v", vs)
+	}
+
+	// A lost election clears the carried file: the next, fresh election
+	// may mint any ID.
+	inv = NewInvariants(InvariantsConfig{})
+	feed(inv,
+		ev("group.elect.backoff", 0, 4, obs.NoPeer, 0x30, 0, 0),
+		ev("group.elect.lost", 50*time.Millisecond, 4, obs.NoPeer, 0x30, 0, 0),
+		ev("group.elect.won", 10*time.Second, 4, obs.NoPeer, 0x99, 0, 0),
+	)
+	if vs := inv.Violations(); len(vs) != 0 {
+		t.Fatalf("fresh election after a loss flagged: %v", vs)
+	}
+
+	// A fresh election (backoff with file 0) never constrains the winner.
+	inv = NewInvariants(InvariantsConfig{})
+	feed(inv,
+		ev("group.elect.won", time.Second, 4, obs.NoPeer, 0x77, 0, 0),
+	)
+	if vs := inv.Violations(); len(vs) != 0 {
+		t.Fatalf("unconstrained win flagged: %v", vs)
+	}
+}
+
+func TestMigrationConservation(t *testing.T) {
+	migrate := func(sent, accepted, acked, failed int64) *Invariants {
+		inv := NewInvariants(InvariantsConfig{})
+		inv.Emit(ev("storage.migrate.start", 0, 1, 2, 0, sent, 0))
+		for i := int64(0); i < accepted; i++ {
+			inv.Emit(ev("storage.migrate.in", time.Duration(i)*time.Millisecond, 2, 1, 0x10, 1, i))
+		}
+		inv.Emit(ev("storage.migrate.out", time.Second, 1, 2, 0, acked, failed))
+		return inv
+	}
+
+	if vs := migrate(5, 5, 5, 0).Violations(); len(vs) != 0 {
+		t.Fatalf("clean session flagged: %v", vs)
+	}
+	// ACK lost after the receiver stored: accepted > acked duplicates the
+	// chunk, which retrieval dedups — legal.
+	if vs := migrate(5, 5, 4, 1).Violations(); len(vs) != 0 {
+		t.Fatalf("ACK-loss duplication flagged: %v", vs)
+	}
+	// Data vanished: sender deleted 5, receiver stored 3.
+	wantOne(t, migrate(5, 3, 5, 0), RuleMigrationConservation, 1, 0)
+	// Miscounted batch.
+	wantOne(t, migrate(5, 5, 3, 1), RuleMigrationConservation, 1, 0)
+
+	// Overlapping sessions per sender.
+	inv := NewInvariants(InvariantsConfig{})
+	feed(inv,
+		ev("storage.migrate.start", 0, 1, 2, 0, 4, 0),
+		ev("storage.migrate.start", time.Second, 1, 3, 0, 4, 0),
+	)
+	wantOne(t, inv, RuleMigrationConservation, 1, 0)
+
+	// Abort returns the full batch — or it leaked chunks.
+	inv = NewInvariants(InvariantsConfig{})
+	feed(inv,
+		ev("storage.migrate.start", 0, 1, 2, 0, 4, 0),
+		ev("storage.migrate.fail", time.Second, 1, 2, 0, 4, 0),
+	)
+	if vs := inv.Violations(); len(vs) != 0 {
+		t.Fatalf("full-batch abort flagged: %v", vs)
+	}
+	inv = NewInvariants(InvariantsConfig{})
+	feed(inv,
+		ev("storage.migrate.start", 0, 1, 2, 0, 4, 0),
+		ev("storage.migrate.fail", time.Second, 1, 2, 0, 3, 0),
+	)
+	wantOne(t, inv, RuleMigrationConservation, 1, 0)
+
+	// A late bulk retransmission landing after the session closed is
+	// ignored, not treated as a phantom session.
+	inv = NewInvariants(InvariantsConfig{})
+	inv.Emit(ev("storage.migrate.in", time.Second, 2, 1, 0x10, 1, 0))
+	if vs := inv.Violations(); len(vs) != 0 {
+		t.Fatalf("late migrate.in flagged: %v", vs)
+	}
+}
+
+// mkChunk builds a metadata-only chunk for holdings checks.
+func mkChunk(file flash.FileID, origin int32, seq uint32, start, end time.Duration) *flash.Chunk {
+	c := flash.NewChunk()
+	c.File, c.Origin, c.Seq = file, origin, seq
+	c.Start, c.End = sim.At(start), sim.At(end)
+	return c
+}
+
+// TestCheckHoldingsProperty: retrieval over any consistent holdings —
+// random files, random replication across holders, random recording
+// holes — reassembles the exact deduplicated union with truthful gaps,
+// so the completeness rule stays silent. (It exists to catch retrieval
+// regressions; there is no way to fabricate a violating stream through
+// the public API, which is the point.)
+func TestCheckHoldingsProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		holdings := make(map[int][]*flash.Chunk)
+		for f := 1; f <= 3; f++ {
+			origin := int32(rng.Intn(4))
+			for seq := uint32(0); seq < 20; seq++ {
+				if rng.Intn(5) == 0 {
+					continue // recording hole -> a real, declared gap
+				}
+				start := time.Duration(seq) * 100 * time.Millisecond
+				c := mkChunk(flash.FileID(f)<<16, origin, seq, start, start+100*time.Millisecond)
+				holder := rng.Intn(4)
+				holdings[holder] = append(holdings[holder], c)
+				if rng.Intn(4) == 0 { // replicated copy on another holder
+					holdings[(holder+1)%4] = append(holdings[(holder+1)%4], c.Clone())
+				}
+			}
+		}
+		inv := NewInvariants(InvariantsConfig{})
+		inv.CheckHoldings(sim.At(time.Hour), holdings, 150*time.Millisecond)
+		return len(inv.Violations()) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{
+		Rand: rand.New(rand.NewSource(23)), MaxCount: 50,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReportIsDeterministic(t *testing.T) {
+	run := func() string {
+		inv := NewInvariants(InvariantsConfig{})
+		feed(inv,
+			ev("task.confirm", 0, 1, 2, 0x10, int64(time.Second), 0),
+			ev("task.confirm", 200*time.Millisecond, 1, 3, 0x10, int64(time.Second), 0),
+			ev("group.elect.backoff", time.Second, 4, obs.NoPeer, 0x30, 0, 0),
+			ev("group.elect.won", 2*time.Second, 4, obs.NoPeer, 0x31, 0, 0),
+		)
+		return inv.Report()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("reports diverge:\n%s\n---\n%s", a, b)
+	}
+	if !strings.Contains(a, "2 violation(s)") {
+		t.Fatalf("report misses the violation count:\n%s", a)
+	}
+}
+
+func TestViolationCapCounts(t *testing.T) {
+	inv := NewInvariants(InvariantsConfig{MaxViolations: 2})
+	for i := 0; i < 5; i++ {
+		feed(inv,
+			ev("group.elect.backoff", time.Duration(i)*time.Second, int32(i), obs.NoPeer, 0x30, 0, 0),
+			ev("group.elect.won", time.Duration(i)*time.Second+time.Millisecond, int32(i), obs.NoPeer, 0x31, 0, 0),
+		)
+	}
+	if got := len(inv.Violations()); got != 2 {
+		t.Fatalf("recorded %d violations, cap is 2", got)
+	}
+	if !strings.Contains(inv.Report(), "5 violation(s)") {
+		t.Fatalf("report lost the dropped count:\n%s", inv.Report())
+	}
+}

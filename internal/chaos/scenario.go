@@ -1,0 +1,263 @@
+// Package chaos is the deterministic fault-injection harness and runtime
+// protocol invariant checker (DESIGN.md §12). Faults are scripted as a
+// Scenario — node crash/reboot, radio loss bursts, asymmetric partitions,
+// flash I/O errors, clock-skew steps — and scheduled through the
+// simulation scheduler, so a (scenario, seed) pair replays
+// bit-identically. The Invariants observer subscribes to the obs tracer
+// stream and checks the paper-level properties the protocols claim to
+// preserve under exactly these faults: recorder exclusivity (§II-A.2),
+// file-ID continuity across leader handoff (§II-A.3), chunk conservation
+// across storage migrations (§II-B), and retrieval completeness (§II-C).
+//
+// Determinism contract: installing a scenario schedules its fault events
+// up front and draws fault probabilities from a private RNG seeded by the
+// scenario, never from the simulation's RNG stream — so two runs of the
+// same scenario are byte-identical, and a run with no scenario installed
+// is byte-identical to a run without the chaos package at all.
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Fault kinds accepted in scenario files.
+const (
+	KindCrash     = "crash"
+	KindReboot    = "reboot"
+	KindLoss      = "loss"
+	KindPartition = "partition"
+	KindFlash     = "flash"
+	KindClockSkew = "clockskew"
+)
+
+// TargetLeader is the Fault.Target value that resolves, at fire time, to
+// the lowest-ID live node currently leading a recording group. Leaders
+// only exist while a group records, so the fault arms at At and fires at
+// the next instant a leader exists (polled on the scheduler, 50 ms).
+const TargetLeader = "leader"
+
+// Fault is one scripted fault. Which fields apply depends on Kind:
+//
+//   - crash: At, and Node or Target ("leader"). The node is killed and
+//     its flash loses writes made after the last EEPROM checkpoint
+//     (Store.Crash/Recover), like a real power failure.
+//   - reboot: At, Node. Restores a previously crashed node with RAM
+//     state lost (core.Network.Reboot).
+//   - loss: From, To, Prob. Raises the network loss probability to Prob
+//     for the window; To zero means permanent. Bursts do not stack — the
+//     last boundary crossed wins, and the pre-scenario base probability
+//     is restored at To.
+//   - partition: From, To, A, B, OneWay. Blocks delivery from every node
+//     in A to every node in B (and B→A unless OneWay). Empty B means
+//     "every node not in A". To zero means permanent.
+//   - flash: From, To, Node, WriteProb, ReadProb. Fails the node's flash
+//     enqueues/dequeues with the given probabilities for the window.
+//   - clockskew: At, Node, Step. Jumps the node's hardware clock phase.
+type Fault struct {
+	Kind string
+	// At is the fire time for instantaneous faults (crash, reboot,
+	// clockskew).
+	At time.Duration
+	// From/To bound windowed faults (loss, partition, flash); To == 0
+	// means the fault lasts to the end of the run.
+	From, To time.Duration
+	// Node is the target node ID; -1 when unset.
+	Node int
+	// Target is a symbolic target resolved at fire time (TargetLeader).
+	Target string
+	// Prob is the loss-burst probability.
+	Prob float64
+	// A and B are the partition sides.
+	A, B []int
+	// OneWay makes a partition asymmetric (A→B blocked only).
+	OneWay bool
+	// WriteProb/ReadProb are flash fault probabilities.
+	WriteProb, ReadProb float64
+	// Step is the clock-skew jump (may be negative).
+	Step time.Duration
+}
+
+// Scenario is a parsed, validated fault script.
+type Scenario struct {
+	// Name labels the scenario in reports.
+	Name string
+	// Seed drives the injector's private RNG (flash fault draws). The
+	// simulation's own RNG stream is never touched.
+	Seed int64
+	// Faults in file order. Validate sorts nothing: fire order is decided
+	// by the scheduler from the At/From times.
+	Faults []Fault
+}
+
+// Wire format: durations are Go duration strings ("90s", "2m30s") so
+// scenario files stay readable. Unknown fields are rejected.
+type wireScenario struct {
+	Name   string      `json:"name"`
+	Seed   int64       `json:"seed,omitempty"`
+	Faults []wireFault `json:"faults"`
+}
+
+type wireFault struct {
+	Kind      string  `json:"kind"`
+	At        string  `json:"at,omitempty"`
+	From      string  `json:"from,omitempty"`
+	To        string  `json:"to,omitempty"`
+	Node      *int    `json:"node,omitempty"`
+	Target    string  `json:"target,omitempty"`
+	Prob      float64 `json:"prob,omitempty"`
+	A         []int   `json:"a,omitempty"`
+	B         []int   `json:"b,omitempty"`
+	OneWay    bool    `json:"oneway,omitempty"`
+	WriteProb float64 `json:"write_prob,omitempty"`
+	ReadProb  float64 `json:"read_prob,omitempty"`
+	Step      string  `json:"step,omitempty"`
+}
+
+func parseDur(field, s string) (time.Duration, error) {
+	if s == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("chaos: bad %s duration %q: %v", field, s, err)
+	}
+	return d, nil
+}
+
+// ParseScenario decodes and validates a scenario JSON document. It never
+// panics on malformed input (fuzzed); every reject comes back as an
+// error.
+func ParseScenario(data []byte) (*Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var w wireScenario
+	if err := dec.Decode(&w); err != nil {
+		return nil, fmt.Errorf("chaos: %v", err)
+	}
+	// A second document in the same file is a mistake, not trailing data
+	// to ignore.
+	if dec.More() {
+		return nil, fmt.Errorf("chaos: trailing data after scenario object")
+	}
+	sc := &Scenario{Name: w.Name, Seed: w.Seed}
+	for i, wf := range w.Faults {
+		f := Fault{
+			Kind:      wf.Kind,
+			Target:    wf.Target,
+			Prob:      wf.Prob,
+			A:         wf.A,
+			B:         wf.B,
+			OneWay:    wf.OneWay,
+			WriteProb: wf.WriteProb,
+			ReadProb:  wf.ReadProb,
+			Node:      -1,
+		}
+		if wf.Node != nil {
+			f.Node = *wf.Node
+		}
+		var err error
+		if f.At, err = parseDur("at", wf.At); err != nil {
+			return nil, fmt.Errorf("fault %d: %v", i, err)
+		}
+		if f.From, err = parseDur("from", wf.From); err != nil {
+			return nil, fmt.Errorf("fault %d: %v", i, err)
+		}
+		if f.To, err = parseDur("to", wf.To); err != nil {
+			return nil, fmt.Errorf("fault %d: %v", i, err)
+		}
+		if f.Step, err = parseDur("step", wf.Step); err != nil {
+			return nil, fmt.Errorf("fault %d: %v", i, err)
+		}
+		sc.Faults = append(sc.Faults, f)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+// Validate checks the scenario's internal consistency: fault-kind field
+// requirements, probability ranges, and time windows. Node IDs are
+// checked against the deployment at Install time, not here.
+func (sc *Scenario) Validate() error {
+	for i := range sc.Faults {
+		f := &sc.Faults[i]
+		if err := f.validate(); err != nil {
+			return fmt.Errorf("chaos: fault %d (%s): %v", i, f.Kind, err)
+		}
+	}
+	return nil
+}
+
+func (f *Fault) validate() error {
+	needNode := func() error {
+		if f.Node < 0 {
+			return fmt.Errorf("node required")
+		}
+		return nil
+	}
+	window := func() error {
+		if f.From < 0 {
+			return fmt.Errorf("negative from")
+		}
+		if f.To != 0 && f.To <= f.From {
+			return fmt.Errorf("to %v not after from %v", f.To, f.From)
+		}
+		return nil
+	}
+	switch f.Kind {
+	case KindCrash:
+		if f.At <= 0 {
+			return fmt.Errorf("at required")
+		}
+		hasNode, hasTarget := f.Node >= 0, f.Target != ""
+		if hasNode == hasTarget {
+			return fmt.Errorf("exactly one of node and target required")
+		}
+		if hasTarget && f.Target != TargetLeader {
+			return fmt.Errorf("unknown target %q", f.Target)
+		}
+	case KindReboot:
+		if f.At <= 0 {
+			return fmt.Errorf("at required")
+		}
+		return needNode()
+	case KindLoss:
+		if f.Prob < 0 || f.Prob >= 1 {
+			return fmt.Errorf("prob %v outside [0,1)", f.Prob)
+		}
+		return window()
+	case KindPartition:
+		if len(f.A) == 0 {
+			return fmt.Errorf("side a is empty")
+		}
+		return window()
+	case KindFlash:
+		if err := needNode(); err != nil {
+			return err
+		}
+		if f.WriteProb < 0 || f.WriteProb > 1 || f.ReadProb < 0 || f.ReadProb > 1 {
+			return fmt.Errorf("fault probabilities outside [0,1]")
+		}
+		if f.WriteProb == 0 && f.ReadProb == 0 {
+			return fmt.Errorf("both write_prob and read_prob are zero")
+		}
+		return window()
+	case KindClockSkew:
+		if f.At <= 0 {
+			return fmt.Errorf("at required")
+		}
+		if f.Step == 0 {
+			return fmt.Errorf("zero step")
+		}
+		return needNode()
+	case "":
+		return fmt.Errorf("missing kind")
+	default:
+		return fmt.Errorf("unknown kind %q", f.Kind)
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"enviromic/internal/chaos"
+	"enviromic/internal/core"
+	"enviromic/internal/experiments"
+	"enviromic/internal/flash"
+	"enviromic/internal/retrieval"
+)
+
+// TestChaosSoakQuarterDead extends the soak suite with the harshest
+// scripted scenario the paper's deployment should survive: 25% of the
+// nodes crash mid-run while a loss burst triples the frame loss rate.
+// The run must keep every protocol invariant, satisfy the tier-1 soak
+// properties (wear, energy, chunk integrity), and lose retrieval
+// completeness only through chunks whose every copy sat on dead flash.
+func TestChaosSoakQuarterDead(t *testing.T) {
+	opts := experiments.QuickIndoorOpts()
+	sc := &chaos.Scenario{Name: "quarter-dead", Seed: 5}
+	// 12 of the 48 grid nodes die, staggered through the middle of the
+	// run; spacing them avoids modeling a single correlated blackout.
+	deadSet := map[int]bool{}
+	for i := 0; i < 12; i++ {
+		id := i * 4
+		deadSet[id] = true
+		sc.Faults = append(sc.Faults, chaos.Fault{
+			Kind: chaos.KindCrash,
+			At:   3*time.Minute + time.Duration(i)*5*time.Second,
+			Node: id,
+		})
+	}
+	sc.Faults = append(sc.Faults, chaos.Fault{
+		Kind: chaos.KindLoss, From: 3 * time.Minute, To: 6 * time.Minute, Prob: 0.15, Node: -1,
+	})
+
+	res, err := experiments.RunIndoorChaos(
+		experiments.IndoorSetting{Name: "lb-beta2", Mode: core.ModeFull, BetaMax: 2},
+		opts, sc, chaos.InvariantsConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := res.Net
+
+	// Protocol invariants held through the kills and the burst.
+	if vs := res.Checker.Violations(); len(vs) != 0 {
+		t.Fatalf("invariants broke under 25%% node death:\n%s", res.Checker.Report())
+	}
+	if res.Checker.Events() == 0 {
+		t.Fatal("checker saw no events; the soak is vacuous")
+	}
+
+	// Exactly the scripted nodes are down.
+	for _, node := range net.Nodes {
+		if deadSet[node.ID] == node.Mote.Alive() {
+			t.Errorf("node %d alive=%v, scripted dead=%v", node.ID, node.Mote.Alive(), deadSet[node.ID])
+		}
+	}
+
+	// Tier-1 soak properties, post-chaos.
+	for _, node := range net.Nodes {
+		if spread := node.Mote.Store.WearSpread(); spread > 1 {
+			t.Errorf("node %d wear spread %d", node.ID, spread)
+		}
+		if rem := node.Mote.Energy.Remaining(net.Sched.Now()); rem < 0 {
+			t.Errorf("node %d negative energy %v", node.ID, rem)
+		}
+		for _, c := range node.Mote.Store.Chunks() {
+			if c.Origin < 0 || int(c.Origin) >= len(net.Nodes) {
+				t.Errorf("chunk with alien origin %d", c.Origin)
+			}
+			if c.End < c.Start {
+				t.Errorf("chunk with inverted span %v..%v", c.Start, c.End)
+			}
+		}
+	}
+
+	// Completeness degrades only by dead nodes' unreplicated chunks:
+	// reassembling over the survivors alone must recover every chunk
+	// that has at least one copy on live flash — the collection step
+	// simply skips dead motes, it does not lose replicated data.
+	type key struct {
+		f flash.FileID
+		o int32
+		s uint32
+	}
+	full, live := net.Holdings(), map[int][]*flash.Chunk{}
+	liveUnion := map[key]bool{}
+	storedLive := 0
+	for id, chunks := range full {
+		if deadSet[id] {
+			continue
+		}
+		live[id] = chunks
+		storedLive += len(chunks)
+		for _, c := range chunks {
+			liveUnion[key{c.File, c.Origin, c.Seq}] = true
+		}
+	}
+	if storedLive == 0 {
+		t.Fatal("survivors hold nothing; the scenario starved the network")
+	}
+	recovered := map[key]bool{}
+	for _, f := range retrieval.Reassemble(live, retrieval.Query{All: true}) {
+		for _, c := range f.Chunks {
+			recovered[key{c.File, c.Origin, c.Seq}] = true
+		}
+	}
+	for k := range liveUnion {
+		if !recovered[k] {
+			t.Errorf("chunk %+v survives on live flash but is missing from survivor retrieval", k)
+		}
+	}
+	for k := range recovered {
+		if !liveUnion[k] {
+			t.Errorf("survivor retrieval invented chunk %+v", k)
+		}
+	}
+}

@@ -458,6 +458,12 @@ func (n *Network) Kill(id int) {
 	if node.Group != nil {
 		node.Group.Stop()
 	}
+	if node.Tasks != nil {
+		// A recording in progress dies with the mote: its samples were in
+		// RAM, and the deferred store must not fire on the corpse (or,
+		// worse, after a crash recovery rewound the flash pointers).
+		node.Tasks.AbortRecording()
+	}
 	if node.Balancer != nil {
 		node.Balancer.Stop()
 	}
@@ -465,6 +471,34 @@ func (n *Network) Kill(id int) {
 		node.Sync.Stop()
 	}
 	node.Mote.Kill()
+}
+
+// Reboot restores a previously Kill'ed node (chaos fault injection),
+// modeling a watchdog reset: the radio rejoins the medium, but RAM state
+// is lost — held/pending messages are dropped and the group manager
+// reverts to power-on defaults (keeping its EEPROM-backed file-ID
+// serial). Flash contents are whatever the store holds; a crash scenario
+// that wants checkpoint-window data loss applies Store.Crash/Recover
+// itself before rebooting. Rebooting a live node panics.
+func (n *Network) Reboot(id int) {
+	node := n.Nodes[id]
+	if node.Mote.Endpoint.Alive() {
+		panic(fmt.Sprintf("core: reboot of node %d, which is not dead", id))
+	}
+	node.Mote.Revive()
+	if node.indep != nil {
+		node.indep.start()
+		return
+	}
+	node.Stack.DropHeld()
+	node.Group.Reset()
+	node.Group.Start()
+	if node.Balancer != nil {
+		node.Balancer.Start()
+	}
+	if node.Sync != nil {
+		node.Sync.Start()
+	}
 }
 
 // Config returns the network configuration (after defaulting).

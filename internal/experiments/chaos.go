@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"enviromic/internal/chaos"
+	"enviromic/internal/core"
+	"enviromic/internal/obs"
+	"enviromic/internal/sim"
+)
+
+// ChaosIndoorResult is a §IV-B run executed under a fault scenario with
+// the invariant checker attached.
+type ChaosIndoorResult struct {
+	Net      *core.Network
+	Injector *chaos.Injector
+	Checker  *chaos.Invariants
+}
+
+// RunIndoorChaos executes one indoor setting with the given fault
+// scenario installed and the invariant checker subscribed to the trace
+// stream. The end-of-run retrieval-completeness check has already been
+// applied when this returns; read Checker.Violations / Checker.Report.
+//
+// opts.Tracer must be nil — the chaos run owns the network's tracer (the
+// checker is its sink). sc may be nil to run fault-free with invariants
+// only.
+func RunIndoorChaos(setting IndoorSetting, opts IndoorOpts, sc *chaos.Scenario, icfg chaos.InvariantsConfig) (ChaosIndoorResult, error) {
+	if opts.Tracer != nil {
+		return ChaosIndoorResult{}, fmt.Errorf("experiments: RunIndoorChaos owns the tracer; opts.Tracer must be nil")
+	}
+	checker := chaos.NewInvariants(icfg)
+	opts.Tracer = obs.New(checker)
+	net := BuildIndoor(setting, opts)
+	res := ChaosIndoorResult{Net: net, Checker: checker}
+	if sc != nil {
+		inj, err := chaos.Install(net, sc)
+		if err != nil {
+			return ChaosIndoorResult{}, err
+		}
+		res.Injector = inj
+	}
+	net.Run(sim.At(opts.Duration))
+	// Gap tolerance of one task period: chunk timestamps within a file
+	// abut at Trc granularity, so anything larger is a real hole.
+	checker.CheckHoldings(net.Sched.Now(), net.Holdings(), time.Second)
+	return res, nil
+}

@@ -300,9 +300,11 @@ func DefaultIndoorOpts() IndoorOpts {
 	}
 }
 
-// RunIndoor executes one §IV-B setting and returns the network after the
-// full run.
-func RunIndoor(setting IndoorSetting, opts IndoorOpts) *core.Network {
+// BuildIndoor constructs one §IV-B setting's network without running it,
+// so callers can install fault scenarios or extra instrumentation before
+// simulation starts (see RunIndoorChaos). RunIndoor is BuildIndoor
+// followed by a full run.
+func BuildIndoor(setting IndoorSetting, opts IndoorOpts) *core.Network {
 	grid := workload.IndoorGrid()
 	field := acoustics.NewField(1)
 	field.DetectProb = opts.DetectProb
@@ -310,7 +312,7 @@ func RunIndoor(setting IndoorSetting, opts IndoorOpts) *core.Network {
 	pcfg.Seed = opts.WorkloadSeed
 	pcfg.Until = opts.Duration
 	workload.GeneratePoisson(field, grid, pcfg)
-	net := core.NewGridNetwork(core.Config{
+	return core.NewGridNetwork(core.Config{
 		Seed:         opts.Seed,
 		Mode:         setting.Mode,
 		BetaMax:      setting.BetaMax,
@@ -320,6 +322,12 @@ func RunIndoor(setting IndoorSetting, opts IndoorOpts) *core.Network {
 		SamplePeriod: opts.Duration / time.Duration(opts.SamplePoints*2),
 		Tracer:       opts.Tracer,
 	}, field, grid)
+}
+
+// RunIndoor executes one §IV-B setting and returns the network after the
+// full run.
+func RunIndoor(setting IndoorSetting, opts IndoorOpts) *core.Network {
+	net := BuildIndoor(setting, opts)
 	net.Run(sim.At(opts.Duration))
 	return net
 }

@@ -1,0 +1,130 @@
+package flash
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestWriteFaultLeavesStoreUnchanged: a firing write fault returns ErrIO
+// and the store looks exactly as it did before the attempt — no wear, no
+// occupancy, no write count.
+func TestWriteFaultLeavesStoreUnchanged(t *testing.T) {
+	s := NewStore(4)
+	if err := s.Enqueue(mkChunk(1, 0, 8)); err != nil {
+		t.Fatal(err)
+	}
+	wantLen, wantBytes, wantWrites := s.Len(), s.BytesUsed(), s.TotalWrites()
+
+	s.SetWriteFault(func() bool { return true })
+	if err := s.Enqueue(mkChunk(1, 1, 8)); !errors.Is(err, ErrIO) {
+		t.Fatalf("Enqueue under write fault = %v, want ErrIO", err)
+	}
+	if s.Len() != wantLen || s.BytesUsed() != wantBytes || s.TotalWrites() != wantWrites {
+		t.Fatalf("store mutated by failed write: len %d→%d bytes %d→%d writes %d→%d",
+			wantLen, s.Len(), wantBytes, s.BytesUsed(), wantWrites, s.TotalWrites())
+	}
+
+	// Clearing the hook restores normal service on the same store.
+	s.SetWriteFault(nil)
+	if err := s.Enqueue(mkChunk(1, 1, 8)); err != nil {
+		t.Fatalf("Enqueue after clearing fault: %v", err)
+	}
+	if s.Len() != wantLen+1 {
+		t.Fatalf("Len = %d after recovery write, want %d", s.Len(), wantLen+1)
+	}
+}
+
+// TestReadFaultLeavesStoreUnchanged: a firing read fault returns ErrIO
+// without consuming the head chunk; clearing the hook hands the same
+// chunk back.
+func TestReadFaultLeavesStoreUnchanged(t *testing.T) {
+	s := NewStore(4)
+	want := mkChunk(2, 5, 8)
+	if err := s.Enqueue(want); err != nil {
+		t.Fatal(err)
+	}
+
+	s.SetReadFault(func() bool { return true })
+	if _, err := s.DequeueHead(); !errors.Is(err, ErrIO) {
+		t.Fatalf("DequeueHead under read fault = %v, want ErrIO", err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("failed read consumed the head: Len = %d, want 1", s.Len())
+	}
+
+	s.SetReadFault(nil)
+	got, err := s.DequeueHead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("recovered read returned %+v, want the original head", got)
+	}
+}
+
+// TestFaultOrderingAfterCapacityChecks: capacity conditions are reported
+// before fault hooks fire, so ErrFull/ErrEmpty (retryable-by-migration
+// states) are never masked as ErrIO — and the hooks never even run.
+func TestFaultOrderingAfterCapacityChecks(t *testing.T) {
+	s := NewStore(1)
+	fired := 0
+	s.SetWriteFault(func() bool { fired++; return true })
+	s.SetReadFault(func() bool { fired++; return true })
+
+	// Empty store: read reports ErrEmpty, not ErrIO.
+	if _, err := s.DequeueHead(); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("DequeueHead on empty store = %v, want ErrEmpty", err)
+	}
+
+	// Fill it past the fault (hook off for the setup write).
+	s.SetWriteFault(nil)
+	if err := s.Enqueue(mkChunk(1, 0, 8)); err != nil {
+		t.Fatal(err)
+	}
+	s.SetWriteFault(func() bool { fired++; return true })
+
+	// Full store: write reports ErrFull, not ErrIO.
+	if err := s.Enqueue(mkChunk(1, 1, 8)); !errors.Is(err, ErrFull) {
+		t.Fatalf("Enqueue on full store = %v, want ErrFull", err)
+	}
+	if fired != 0 {
+		t.Fatalf("fault hooks ran %d time(s) on capacity errors, want 0", fired)
+	}
+}
+
+// TestIntermittentWriteFaultDropsOnlyFaultedWrites: a deterministic
+// every-other-write fault loses exactly the faulted chunks and the
+// survivors keep arrival order — the failure mode the chaos "flash"
+// scenario kind relies on.
+func TestIntermittentWriteFaultDropsOnlyFaultedWrites(t *testing.T) {
+	s := NewStore(8)
+	n := 0
+	s.SetWriteFault(func() bool { n++; return n%2 == 1 })
+
+	var kept []uint32
+	for seq := uint32(0); seq < 6; seq++ {
+		err := s.Enqueue(mkChunk(3, seq, 8))
+		switch {
+		case err == nil:
+			kept = append(kept, seq)
+		case errors.Is(err, ErrIO):
+		default:
+			t.Fatalf("Enqueue(seq=%d): %v", seq, err)
+		}
+	}
+	if len(kept) != 3 {
+		t.Fatalf("kept %d chunks, want 3 (every other write faulted)", len(kept))
+	}
+	if spread := s.WearSpread(); spread > 1 {
+		t.Fatalf("wear spread %d after faulted writes, want <= 1", spread)
+	}
+	for i, seq := range kept {
+		c, err := s.DequeueHead()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Seq != seq {
+			t.Fatalf("dequeue %d: Seq = %d, want %d (order broken)", i, c.Seq, seq)
+		}
+	}
+}

@@ -39,6 +39,9 @@ var (
 	// ErrPayloadTooLarge is returned when a chunk payload exceeds the
 	// block payload capacity.
 	ErrPayloadTooLarge = errors.New("flash: payload exceeds block capacity")
+	// ErrIO is returned when an injected fault (SetWriteFault /
+	// SetReadFault) fails the operation; the store is unchanged.
+	ErrIO = errors.New("flash: injected I/O error")
 )
 
 // FileID identifies one continuous acoustic event's distributed file. IDs
@@ -125,6 +128,12 @@ type Store struct {
 	mutsSinceCkpt   int
 	eeprom          checkpoint
 	totalWrites     uint64
+
+	// writeFault/readFault, when non-nil, are consulted before each
+	// Enqueue/DequeueHead; returning true fails the operation with ErrIO
+	// (chaos flash-error injection). Nil hooks cost one branch.
+	writeFault func() bool
+	readFault  func() bool
 }
 
 // checkpoint is the EEPROM image: queue pointers only (the chunk data
@@ -167,15 +176,27 @@ func (s *Store) BytesFree() int { return s.Free() * BlockSize }
 // TotalWrites returns the number of block writes ever performed.
 func (s *Store) TotalWrites() uint64 { return s.totalWrites }
 
+// SetWriteFault installs (or, with nil, removes) a hook consulted before
+// every Enqueue; returning true fails the write with ErrIO. The hook owns
+// its randomness — the store never draws from the simulation RNG.
+func (s *Store) SetWriteFault(f func() bool) { s.writeFault = f }
+
+// SetReadFault installs (or, with nil, removes) the DequeueHead
+// counterpart of SetWriteFault.
+func (s *Store) SetReadFault(f func() bool) { s.readFault = f }
+
 // Enqueue appends a chunk at the tail. It returns ErrFull when flash is
-// saturated and ErrPayloadTooLarge for oversized payloads; the store is
-// unchanged in both cases.
+// saturated, ErrPayloadTooLarge for oversized payloads, and ErrIO when an
+// injected write fault fires; the store is unchanged in all three cases.
 func (s *Store) Enqueue(c *Chunk) error {
 	if len(c.Data) > PayloadSize {
 		return fmt.Errorf("%w: %d > %d", ErrPayloadTooLarge, len(c.Data), PayloadSize)
 	}
 	if s.count == len(s.blocks) {
 		return ErrFull
+	}
+	if s.writeFault != nil && s.writeFault() {
+		return ErrIO
 	}
 	s.blocks[s.tail] = c
 	s.wear[s.tail]++
@@ -191,6 +212,9 @@ func (s *Store) Enqueue(c *Chunk) error {
 func (s *Store) DequeueHead() (*Chunk, error) {
 	if s.count == 0 {
 		return nil, ErrEmpty
+	}
+	if s.readFault != nil && s.readFault() {
+		return nil, ErrIO
 	}
 	c := s.blocks[s.head]
 	s.blocks[s.head] = nil

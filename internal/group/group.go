@@ -330,6 +330,32 @@ func (m *Manager) Stop() {
 	m.started = false
 }
 
+// Reset clears the manager's volatile state to power-on defaults (chaos
+// reboot): hearing, leadership knowledge, pending handoff, membership
+// table, and prelude state all lived in RAM and are lost. fileSerial is
+// deliberately kept — the paper's implementation persists the ID counter
+// in EEPROM so a rebooted node never re-issues a file ID that chunks in
+// the network already carry. Call while stopped, before Start.
+func (m *Manager) Reset() {
+	if m.started {
+		panic(fmt.Sprintf("group: manager %d reset while started", m.id))
+	}
+	m.hearing = false
+	m.silentPolls = 0
+	m.leaderID = -1
+	m.leaderFile = 0
+	m.lastLeaderAt = 0
+	m.pendingFile = 0
+	m.pendingAssign = 0
+	m.lastSensingAt = 0
+	m.preludeStart = 0
+	m.preludeUntil = 0
+	m.havePrelude = false
+	for id := range m.members {
+		delete(m.members, id)
+	}
+}
+
 // Hearing reports whether the node currently perceives an event.
 func (m *Manager) Hearing() bool { return m.hearing }
 

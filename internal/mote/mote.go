@@ -173,12 +173,24 @@ func (m *Mote) StoreChunks(chunks []*flash.Chunk) int {
 	return stored
 }
 
-// Kill fails the mote permanently: radio dead, sampler stopped. Flash
-// contents survive for post-collection retrieval (§III-B.3).
+// Kill fails the mote: radio dead, sampler stopped. Flash contents
+// survive for post-collection retrieval (§III-B.3). Reversible with
+// Revive (chaos reboot).
 func (m *Mote) Kill() {
 	m.dead = true
 	m.Endpoint.Kill()
 	m.Sampler.Stop()
+}
+
+// Revive restores a killed mote (chaos reboot): the radio rejoins the
+// medium powered on (the boot-time default — the mote may have died
+// mid-recording with the radio off) and the sampler restarts on demand
+// at the next recording. The energy model is untouched — a reboot does
+// not recharge the battery.
+func (m *Mote) Revive() {
+	m.dead = false
+	m.Endpoint.Revive()
+	m.Endpoint.SetRadio(true)
 }
 
 // Alive reports whether the mote is functional.

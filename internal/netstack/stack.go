@@ -170,6 +170,14 @@ func (s *Stack) takePiggyback() []radio.Payload {
 // PendingDelayTolerant returns the queue length (for tests and metrics).
 func (s *Stack) PendingDelayTolerant() int { return len(s.pending) }
 
+// DropHeld discards every queued payload — held urgent sends and the
+// delay-tolerant ride queue. A reboot calls it: RAM does not survive a
+// crash, so messages waiting in it are gone.
+func (s *Stack) DropHeld() {
+	s.heldUrgent = nil
+	s.pending = s.pending[:0]
+}
+
 // RadioRestored releases held urgent sends and flushes the queue. The
 // node layer calls it after turning the radio back on post-recording.
 func (s *Stack) RadioRestored() {

@@ -24,8 +24,9 @@ const Broadcast = -1
 // Node = the receiver that missed the frame, Peer = sender, V1 = the
 // payload's KindID (resolve with KindName).
 var (
-	evDropOff  = obs.RegisterEvent("radio.drop.off")
-	evDropLoss = obs.RegisterEvent("radio.drop.loss")
+	evDropOff       = obs.RegisterEvent("radio.drop.off")
+	evDropLoss      = obs.RegisterEvent("radio.drop.loss")
+	evDropPartition = obs.RegisterEvent("radio.drop.partition")
 )
 
 // Payload is a protocol message body. Kind discriminates message types
@@ -162,6 +163,11 @@ type Network struct {
 	// scratch is the reusable candidate buffer for neighbor rebuilds.
 	scratch []int
 
+	// blocked holds directed (sender, receiver) pairs suppressed by a
+	// chaos partition overlay, keyed sender<<32|receiver. Nil when no
+	// partition is active, so the delivery hot path pays one nil check.
+	blocked map[uint64]struct{}
+
 	// tr, when non-nil, receives per-receiver drop events.
 	tr *obs.Tracer
 }
@@ -182,6 +188,9 @@ type Stats struct {
 	Delivered, Lost uint64
 	// DroppedRadioOff counts frames that found the receiver's radio off.
 	DroppedRadioOff uint64
+	// DroppedPartition counts frames suppressed by a chaos partition
+	// overlay (SetLinkBlocked).
+	DroppedPartition uint64
 	// TotalFrames counts physical transmissions.
 	TotalFrames uint64
 	// TotalBytes counts on-air bytes.
@@ -277,6 +286,45 @@ func (n *Network) Stats() *Stats {
 // Config returns the network configuration.
 func (n *Network) Config() Config { return n.cfg }
 
+// SetLossProb changes the per-receiver frame loss probability at runtime
+// (chaos loss bursts). The new probability applies to frames sent from
+// now on; frames already in flight carry the loss draws made when they
+// were transmitted.
+func (n *Network) SetLossProb(p float64) {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("radio: loss probability %v outside [0,1)", p))
+	}
+	n.cfg.LossProb = p
+}
+
+// SetLinkBlocked installs or removes a directed partition edge: while
+// blocked, frames from sender `from` are not delivered to receiver `to`
+// (they count as DroppedPartition). Blocking is evaluated at delivery
+// time, so frames in flight when the partition forms are also cut —
+// an RF barrier, not a queue drop. Symmetric partitions block both
+// directions with two calls.
+func (n *Network) SetLinkBlocked(from, to int, blocked bool) {
+	key := uint64(uint32(from))<<32 | uint64(uint32(to))
+	if blocked {
+		if n.blocked == nil {
+			n.blocked = make(map[uint64]struct{})
+		}
+		n.blocked[key] = struct{}{}
+		return
+	}
+	delete(n.blocked, key)
+	if len(n.blocked) == 0 {
+		n.blocked = nil // restore the nil-check fast path
+	}
+}
+
+// linkBlocked reports whether the directed pair is partitioned. Callers
+// check n.blocked != nil first.
+func (n *Network) linkBlocked(from, to int) bool {
+	_, ok := n.blocked[uint64(uint32(from))<<32|uint64(uint32(to))]
+	return ok
+}
+
 // SetTracer installs the protocol tracer (nil disables tracing).
 func (n *Network) SetTracer(tr *obs.Tracer) { n.tr = tr }
 
@@ -310,11 +358,13 @@ func (n *Network) Join(id int, pos geometry.Point) *Endpoint {
 // invalidate marks every cached neighbor list and the cell grid stale.
 func (n *Network) invalidate() { n.epoch++ }
 
-// neighborsOf returns the endpoints within communication range of e in
-// ascending ID order, excluding e itself but including dead and
-// radio-off endpoints (power state is checked at delivery time, exactly
-// like the original full scan). The list is cached on the endpoint and
-// rebuilt from the cell grid after a topology change; rebuilds allocate a
+// neighborsOf returns the live endpoints within communication range of e
+// in ascending ID order, excluding e itself and dead endpoints but
+// including radio-off ones (power state is checked at delivery time,
+// exactly like the original full scan; death is permanent, so dead nodes
+// are pruned at enumeration and never drawn loss bits). The list is
+// cached on the endpoint and rebuilt from the cell grid after a topology
+// change — Kill and Revive both bump the epoch — and rebuilds allocate a
 // fresh slice so in-flight delivery closures keep the receiver set that
 // was in range when their frame was sent.
 func (n *Network) neighborsOf(e *Endpoint) []*Endpoint {
@@ -332,9 +382,11 @@ func (n *Network) neighborsOf(e *Endpoint) []*Endpoint {
 	cand := n.grid.Within(e.pos, n.cfg.CommRange, e.ord, n.scratch[:0])
 	n.scratch = cand
 	sortInts(cand) // byID positions ascending == node IDs ascending
-	nb := make([]*Endpoint, len(cand))
-	for i, h := range cand {
-		nb[i] = n.byID[h]
+	nb := make([]*Endpoint, 0, len(cand))
+	for _, h := range cand {
+		if ep := n.byID[h]; !ep.dead {
+			nb = append(nb, ep)
+		}
 	}
 	e.neighbors = nb
 	e.nbEpoch = n.epoch
@@ -353,7 +405,7 @@ func (n *Network) bruteReceivers(e *Endpoint) []*Endpoint {
 	sortInts(ids)
 	var out []*Endpoint
 	for _, id := range ids {
-		if rx := n.eps[id]; e.pos.Dist(rx.pos) <= n.cfg.CommRange {
+		if rx := n.eps[id]; !rx.dead && e.pos.Dist(rx.pos) <= n.cfg.CommRange {
 			out = append(out, rx)
 		}
 	}
@@ -422,12 +474,21 @@ func (e *Endpoint) SetRadio(on bool) { e.on = on }
 // RadioOn reports the power state.
 func (e *Endpoint) RadioOn() bool { return e.on && !e.dead }
 
-// Kill permanently disables the endpoint (node failure injection). Dead
-// endpoints stay in neighbor lists — a transmission still reaches their
-// position and is counted as dropped, matching the full-scan behaviour —
-// but the caches are invalidated anyway so the index never goes stale.
+// Kill disables the endpoint (node failure injection). Dead endpoints
+// are pruned from receiver enumeration — both the cell-index and
+// brute-force paths skip them identically, so the seeded loss draws stay
+// bit-identical between paths — and frames already in flight find them
+// via the RadioOn check at delivery. Reversible with Revive.
 func (e *Endpoint) Kill() {
 	e.dead = true
+	e.net.invalidate()
+}
+
+// Revive re-enables a killed endpoint (chaos reboot). The node rejoins
+// receiver enumeration for frames sent from now on; frames in flight
+// when it was dead were addressed to the old receiver set and stay lost.
+func (e *Endpoint) Revive() {
+	e.dead = false
 	e.net.invalidate()
 }
 
@@ -517,6 +578,11 @@ func (e *Endpoint) Send(to int, payload Payload, piggyback ...Payload) {
 			if !rx.RadioOn() {
 				n.stats.DroppedRadioOff++
 				n.tr.Emit(n.sched.Now(), evDropOff, int32(rx.id), int32(f.From), 0, int64(kind), 0)
+				continue
+			}
+			if n.blocked != nil && n.linkBlocked(f.From, rx.id) {
+				n.stats.DroppedPartition++
+				n.tr.Emit(n.sched.Now(), evDropPartition, int32(rx.id), int32(f.From), 0, int64(kind), 0)
 				continue
 			}
 			lost := lossWord&(1<<i) != 0

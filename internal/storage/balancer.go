@@ -160,6 +160,11 @@ type Balancer struct {
 	neighbors    map[int]neighborTTL
 	transferring bool
 	started      bool
+	// gen orphans in-flight session completions across Stop: a bulk
+	// callback from before the last Stop (node death) must not touch the
+	// store — the MCU that would run it is gone, and after a crash
+	// recovery the flash pointers it assumed no longer hold.
+	gen uint64
 
 	updateTicker *sim.Ticker
 	checkTicker  *sim.Ticker
@@ -204,7 +209,9 @@ func (b *Balancer) Start() {
 	b.checkTicker = sim.NewTicker(b.sched, b.cfg.CheckPeriod, fmt.Sprintf("storage.check.%d", b.id), b.check)
 }
 
-// Stop halts the balancer.
+// Stop halts the balancer. An outgoing migration session in flight is
+// orphaned: its completion callback becomes a no-op, and the dequeued
+// chunks it held are recycled when it fires.
 func (b *Balancer) Stop() {
 	if b.updateTicker != nil {
 		b.updateTicker.Stop()
@@ -213,6 +220,8 @@ func (b *Balancer) Stop() {
 		b.checkTicker.Stop()
 	}
 	b.started = false
+	b.gen++
+	b.transferring = false
 }
 
 // OnAcquired records locally-produced data (the node layer calls it after
@@ -353,8 +362,17 @@ func (b *Balancer) check() {
 	}
 	b.transferring = true
 	to := target
+	gen := b.gen
 	b.tr.Emit(now, evMigrateStart, int32(b.id), int32(to), 0, int64(len(chunks)), 0)
 	b.bulk.SendChunks(to, chunks, func(acked int, failed []*flash.Chunk) {
+		if gen != b.gen {
+			// The balancer stopped (node death) while the session was in
+			// flight. The originals are referenced only here — acked ones
+			// were delivered as wire clones, failed ones never made it —
+			// so the whole batch recycles.
+			flash.FreeChunks(chunks)
+			return
+		}
 		b.transferring = false
 		if acked > 0 {
 			b.tr.Emit(b.sched.Now(), evMigrateOut, int32(b.id), int32(to), 0, int64(acked), int64(len(failed)))

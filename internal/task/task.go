@@ -361,6 +361,20 @@ func (s *Service) StopLeading() (next sim.Time) {
 	return next
 }
 
+// AbortRecording cancels an in-progress recording without storing
+// anything: the mote lost power mid-capture, so the samples in RAM are
+// gone and the deferred store must never run (it would write to flash
+// pointers a crash recovery has since rewound). No-op when idle.
+func (s *Service) AbortRecording() {
+	if !s.recording {
+		return
+	}
+	if s.recEndTimer != nil {
+		s.recEndTimer.Cancel()
+	}
+	s.recording = false
+}
+
 func (s *Service) scheduleAssign(at sim.Time) {
 	s.nextAssignAt = at
 	if now := s.sched.Now(); at < now {

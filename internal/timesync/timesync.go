@@ -32,6 +32,12 @@ func (c *Clock) Local(global sim.Time) sim.Time {
 	return sim.Time(float64(global)*(1+c.DriftPPM*1e-6)) + sim.Time(c.Offset)
 }
 
+// Step shifts the clock phase by d (chaos clock-skew injection: a
+// brown-out or oscillator glitch that jumps the hardware clock). The sync
+// regression sees the jump as reference outliers and refits toward the
+// new phase as fresh beacons arrive.
+func (c *Clock) Step(d time.Duration) { c.Offset += d }
+
 // Beacon is the sync flood payload.
 type Beacon struct {
 	Root int

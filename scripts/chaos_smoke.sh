@@ -1,0 +1,67 @@
+#!/bin/sh
+# End-to-end smoke test for the fault-injection harness:
+#   1. run a leader-crash + loss-burst + partition scenario with the
+#      invariant checker on; the crash must land, the partition must cut
+#      frames, and the checker must report zero violations,
+#   2. re-run the identical command and require byte-identical output
+#      (determinism contract: same seed + same scenario => same run),
+#   3. run chaos-off with and without -chaos plumbing compiled in the
+#      command line and require identical protocol results,
+#   4. feed a malformed scenario and require a clean usage failure.
+# Exits non-zero on the first failure. Usage: scripts/chaos_smoke.sh
+set -e
+cd "$(dirname "$0")/.."
+
+tmp="${TMPDIR:-/tmp}/enviromic-chaos-smoke.$$"
+mkdir -p "$tmp"
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+cat > "$tmp/scenario.json" <<'EOF'
+{
+  "name": "smoke-crash-partition",
+  "faults": [
+    {"kind": "crash", "at": "90s", "target": "leader"},
+    {"kind": "loss", "from": "2m", "to": "3m", "prob": 0.10},
+    {"kind": "partition", "from": "3m", "to": "4m",
+     "a": [0, 1, 2, 3, 4, 5, 6, 7]}
+  ]
+}
+EOF
+
+echo "== 1. leader crash + loss burst + partition, invariants on"
+go run ./cmd/enviromic-sim -duration 6m -seed 5 \
+    -chaos "$tmp/scenario.json" -invariants > "$tmp/run1.out"
+grep -q 'crash: node=' "$tmp/run1.out" || {
+    echo "FAIL: leader crash never fired"; exit 1; }
+grep -q 'frames cut by partitions: [1-9]' "$tmp/run1.out" || {
+    echo "FAIL: partition cut no frames"; exit 1; }
+grep -q 'invariants: OK ([1-9][0-9]* events checked)' "$tmp/run1.out" || {
+    echo "FAIL: invariant checker did not report a clean pass"; exit 1; }
+
+echo "== 2. same seed + scenario twice => byte-identical output"
+go run ./cmd/enviromic-sim -duration 6m -seed 5 \
+    -chaos "$tmp/scenario.json" -invariants > "$tmp/run2.out"
+diff "$tmp/run1.out" "$tmp/run2.out" > /dev/null || {
+    echo "FAIL: two identical chaos runs diverged"; exit 1; }
+
+echo "== 3. chaos off => identical to a plain run"
+go run ./cmd/enviromic-sim -duration 6m -seed 5 > "$tmp/plain.out"
+go run ./cmd/enviromic-sim -duration 6m -seed 5 -invariants > "$tmp/inv.out"
+grep -q 'invariants: OK' "$tmp/inv.out" || {
+    echo "FAIL: plain run failed invariant checking"; exit 1; }
+# The invariant report is appended to otherwise-identical output.
+n=$(wc -l < "$tmp/plain.out")
+head -n "$n" "$tmp/inv.out" | diff - "$tmp/plain.out" > /dev/null || {
+    echo "FAIL: -invariants perturbed the simulation"; exit 1; }
+
+echo "== 4. malformed scenario fails cleanly"
+echo '{"name": "bad", "faults": [{"kind": "sharknado", "at": "1s"}]}' \
+    > "$tmp/bad.json"
+if go run ./cmd/enviromic-sim -duration 1m -chaos "$tmp/bad.json" \
+    > /dev/null 2> "$tmp/bad.err"; then
+    echo "FAIL: malformed scenario was accepted"; exit 1
+fi
+grep -q 'chaos' "$tmp/bad.err" || {
+    echo "FAIL: malformed scenario produced no diagnostic"; exit 1; }
+
+echo "chaos smoke: OK"

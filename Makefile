@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench figures profile trace-smoke chaos-smoke
+.PHONY: build test check bench bench-archive figures profile trace-smoke chaos-smoke archive-smoke
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,19 @@ trace-smoke:
 # checker on, and a chaos-off determinism check.
 chaos-smoke:
 	sh scripts/chaos_smoke.sh
+
+# archive-smoke runs the basestation archive end to end: a fixed-seed
+# retrieval flushed into a fresh archive, a dedup no-op re-ingest, the
+# HTTP query service (files/query/gaps/wav/stats via curl), and a
+# torn-tail recovery after truncating a segment file.
+archive-smoke:
+	sh scripts/archive_smoke.sh
+
+# bench-archive regenerates BENCH_archive.json (ingest throughput,
+# dedup fast path, interval queries, cold/warm reassembly, index
+# rebuild on open).
+bench-archive:
+	sh scripts/bench_archive.sh
 
 # profile runs the indoor scenario under the CPU and allocation
 # profilers; inspect with `go tool pprof cpu.pprof` / `mem.pprof`.

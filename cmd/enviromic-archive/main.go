@@ -1,0 +1,107 @@
+// Command enviromic-archive opens a basestation chunk archive (an
+// on-disk directory written by `enviromic-retrieve -archive` or by this
+// binary's HTTP ingest endpoint) and either lists its contents or serves
+// the concurrent HTTP query API.
+//
+// Examples:
+//
+//	enviromic-archive -dir /data/arch -ls
+//	enviromic-archive -dir /data/arch -http localhost:8080
+//	curl 'http://localhost:8080/query?from=10s&to=60s&origins=3,4'
+//	curl 'http://localhost:8080/files/1/gaps?tolerance=250ms'
+//	curl -o file1.wav 'http://localhost:8080/files/1/wav'
+//
+// The -http listener also exposes the standard pprof and expvar debug
+// endpoints (/debug/pprof, /debug/vars), mirroring enviromic-sim's -http
+// wiring; archive op counters are published as expvar "archive_stats".
+package main
+
+import (
+	"expvar"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+	"time"
+
+	"enviromic/internal/archive"
+)
+
+func main() {
+	var (
+		dir      = flag.String("dir", "", "archive directory (required)")
+		shards   = flag.Int("shards", 8, "shard count when creating a fresh archive")
+		httpAddr = flag.String("http", "", "serve the query API on this address (e.g. localhost:8080; :0 picks a free port)")
+		ls       = flag.Bool("ls", false, "list archived files and exit")
+		tol      = flag.Duration("gap-tolerance", 500*time.Millisecond, "default gap tolerance for listings and /gaps")
+		cacheMB  = flag.Int64("cache-mb", 16, "reassembly cache budget in MiB (negative disables)")
+		syncOn   = flag.Bool("sync-ingest", false, "fsync segments after every ingest batch")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "enviromic-archive: -dir is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cacheBytes := *cacheMB
+	if cacheBytes > 0 {
+		cacheBytes <<= 20
+	}
+	store, err := archive.Open(*dir, archive.Options{
+		Shards:       *shards,
+		GapTolerance: *tol,
+		CacheBytes:   cacheBytes,
+		SyncOnIngest: *syncOn,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "enviromic-archive: %v\n", err)
+		os.Exit(1)
+	}
+	defer store.Close()
+
+	st := store.Stats()
+	fmt.Printf("archive %s: %d files, %d chunks, %d payload bytes in %d shards",
+		*dir, st.Files, st.Chunks, st.Bytes, st.Shards)
+	if st.RecoveredBytes > 0 {
+		fmt.Printf(" (recovered: dropped %d torn bytes)", st.RecoveredBytes)
+	}
+	fmt.Println()
+
+	if *ls {
+		list(store)
+	}
+	if *httpAddr == "" {
+		return
+	}
+
+	expvar.Publish("archive_stats", expvar.Func(func() any { return store.Stats() }))
+	http.Handle("/", archive.NewHandler(store))
+	ln, err := net.Listen("tcp", *httpAddr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "enviromic-archive: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("serving on http://%s (endpoints: /files /query /stats /debug/pprof)\n", ln.Addr())
+	if err := http.Serve(ln, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "enviromic-archive: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// list prints the /files view as a table.
+func list(store *archive.Store) {
+	files := store.Files()
+	if len(files) == 0 {
+		fmt.Println("(archive is empty)")
+		return
+	}
+	fmt.Printf("%6s %12s %12s %8s %10s %6s  %s\n",
+		"file", "start", "end", "chunks", "bytes", "gaps", "origins")
+	for _, fi := range files {
+		fmt.Printf("%6d %12v %12v %8d %10d %6d  %v\n",
+			fi.ID, fi.Start, fi.End, fi.Chunks, fi.Bytes, fi.Gaps, fi.Origins)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"enviromic/internal/acoustics"
+	"enviromic/internal/archive"
 	"enviromic/internal/core"
 	"enviromic/internal/flash"
 	"enviromic/internal/geometry"
@@ -29,9 +30,13 @@ import (
 
 func main() {
 	var (
-		duration = flag.Duration("duration", 2*time.Minute, "recording phase duration")
-		seed     = flag.Int64("seed", 1, "simulation seed")
-		wavPath  = flag.String("wav", "", "write the largest reassembled file as 8-bit WAV")
+		duration   = flag.Duration("duration", 2*time.Minute, "recording phase duration")
+		seed       = flag.Int64("seed", 1, "simulation seed")
+		wavPath    = flag.String("wav", "", "write the largest reassembled file as 8-bit WAV")
+		requeryTol = flag.Duration("requery-tolerance", 500*time.Millisecond,
+			"gap tolerance for the mule's follow-up gap re-query (MissingFiles)")
+		archiveDir = flag.String("archive", "",
+			"flush mule collections into this archive directory (creating it), one ingest per tour")
 	)
 	flag.Parse()
 
@@ -83,11 +88,50 @@ func main() {
 	net.Sched.Run(net.Sched.Now().Add(2 * time.Minute))
 	fmt.Printf("[3] spanning-tree flood : %d chunks collected\n", len(mule2.Collected))
 
-	if gaps := mule2.MissingFiles(500 * time.Millisecond); len(gaps.Files) > 0 {
-		fmt.Printf("    gap re-request for files %v\n", keys(gaps.Files))
+	if gaps := mule2.MissingFiles(*requeryTol); len(gaps.Files) > 0 {
+		fmt.Printf("    follow-up query (tolerance %v): files=%v\n", *requeryTol, keys(gaps.Files))
 		mule2.Flood(gaps, 2)
 		net.Sched.Run(net.Sched.Now().Add(time.Minute))
 		fmt.Printf("    after re-request: %d chunks\n", len(mule2.Collected))
+	} else {
+		fmt.Printf("    follow-up query (tolerance %v): none — no gapped files\n", *requeryTol)
+	}
+
+	if *archiveDir != "" {
+		arch, err := archive.Open(*archiveDir, archive.Options{GapTolerance: *requeryTol})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n[4] archive flush -> %s\n", *archiveDir)
+		for i, tour := range []struct {
+			name   string
+			chunks []*flash.Chunk
+		}{
+			{"one-hop mule", mule.Collected},
+			{"spanning-tree mule", mule2.Collected},
+		} {
+			rep, err := arch.Ingest(tour.chunks)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("    tour %d (%s): %d added, %d duplicates\n",
+				i+1, tour.name, rep.Added, rep.Duplicates)
+			for _, d := range rep.Files {
+				fmt.Printf("      file %d: +%d chunks (%d dup), gaps %d -> %d\n",
+					d.File, d.Added, d.Duplicates, d.GapsBefore, d.GapsAfter)
+			}
+			if rq := rep.Requery(); len(rq.Files) > 0 {
+				fmt.Printf("      next-tour re-query: files=%v tolerance=%v\n", keys(rq.Files), *requeryTol)
+			}
+		}
+		st := arch.Stats()
+		fmt.Printf("    archive now: %d files, %d chunks, %d bytes\n", st.Files, st.Chunks, st.Bytes)
+		if err := arch.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 
 	if *wavPath != "" {

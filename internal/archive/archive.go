@@ -1,0 +1,446 @@
+// Package archive is the basestation's durable back end: a persistent,
+// sharded on-disk chunk store with indexed reassembly and a concurrent
+// query service.
+//
+// The paper's retrieval story hands chunks to a mule and stops; the
+// archive is where those chunks land after the tour. It is organized as
+// an append-only segment log per shard (files map to shards by ID), each
+// frame CRC-framed and self-validating, so recovery after a torn write
+// is a front-to-back scan that keeps everything before the first bad
+// frame. All query-facing state — the by-file index, the by-origin index,
+// and the interval index answering "files overlapping [t0,t1]" — lives in
+// memory and is rebuilt from the segments on open; segments are only read
+// when a reassembly needs payload bytes, and reassembled files are held
+// in an LRU cache invalidated (by version) on ingest.
+//
+// Concurrency: ingest serializes per shard; queries take shard read
+// locks; the HTTP handler in http.go drives both from concurrent request
+// goroutines. Everything is safe under `go test -race`.
+package archive
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"enviromic/internal/flash"
+	"enviromic/internal/obs"
+	"enviromic/internal/retrieval"
+	"enviromic/internal/sim"
+)
+
+// ErrNotFound is returned for lookups of unknown file IDs.
+var ErrNotFound = errors.New("archive: file not found")
+
+// manifestName is the archive directory's manifest file.
+const manifestName = "MANIFEST.json"
+
+// manifestVersion is the on-disk format version this package writes.
+const manifestVersion = 1
+
+// Options configures Open. The zero value is usable: every field has a
+// default.
+type Options struct {
+	// Shards is the shard (segment file) count for a newly created
+	// archive; existing archives always use the manifest's count.
+	// Default 8.
+	Shards int
+	// GapTolerance is the default gap tolerance for listings, ingest
+	// deltas, and the HTTP API (per-request override via ?tolerance=).
+	// Default 500ms, matching the retrieval demos.
+	GapTolerance time.Duration
+	// CacheBytes bounds the reassembly cache (approximate payload
+	// bytes). Default 16 MiB; negative disables caching.
+	CacheBytes int64
+	// SyncOnIngest fsyncs the shard segment after every ingest batch.
+	// Off by default: the CRC framing already bounds loss to the tail
+	// the kernel never flushed, which is the same guarantee the paper's
+	// EEPROM checkpointing gives flash.
+	SyncOnIngest bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 8
+	}
+	if o.GapTolerance <= 0 {
+		o.GapTolerance = 500 * time.Millisecond
+	}
+	if o.CacheBytes == 0 {
+		o.CacheBytes = 16 << 20
+	}
+	return o
+}
+
+// manifest is the archive directory's geometry record. It is written
+// atomically (temp file + rename) at creation and on Sync/Close; the
+// committed sizes are advisory — recovery trusts the CRC scan, so a
+// manifest older than the segments only means a longer scan, never data
+// loss.
+type manifest struct {
+	Version   int     `json:"version"`
+	Shards    int     `json:"shards"`
+	Committed []int64 `json:"committed,omitempty"`
+}
+
+// FileInfo is one archived file's listing entry.
+type FileInfo struct {
+	ID      flash.FileID
+	Start   sim.Time
+	End     sim.Time
+	Chunks  int
+	Bytes   int64
+	Origins []int32
+	Gaps    int // at the store's default tolerance
+}
+
+// Gap is an uncovered stretch inside an archived file's span.
+type Gap struct {
+	Start, End sim.Time
+}
+
+// FileDelta reports how one ingest batch changed one file — in
+// particular whether it closed (or revealed) coverage gaps, which is
+// what the next mule tour's re-query is planned from.
+type FileDelta struct {
+	File              flash.FileID
+	Added, Duplicates int
+	GapsBefore        int
+	GapsAfter         int
+	GapSpanBefore     time.Duration
+	GapSpanAfter      time.Duration
+}
+
+// IngestReport summarizes one ingest batch.
+type IngestReport struct {
+	Added      int
+	Duplicates int
+	Files      []FileDelta // sorted by file ID
+}
+
+// Requery returns the gap re-query a mule should flood on its next tour:
+// the IDs of every touched file that still has gaps. It mirrors
+// Mule.MissingFiles so the in-field and back-end gap paths agree.
+func (r IngestReport) Requery() retrieval.Query {
+	ids := make(map[flash.FileID]bool)
+	for _, d := range r.Files {
+		if d.GapsAfter > 0 {
+			ids[d.File] = true
+		}
+	}
+	return retrieval.Query{Files: ids}
+}
+
+// CacheStats snapshots the reassembly cache.
+type CacheStats struct {
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// Stats is the store-wide snapshot served at /stats.
+type Stats struct {
+	Shards         int              `json:"shards"`
+	Files          int              `json:"files"`
+	Chunks         int              `json:"chunks"`
+	Bytes          int64            `json:"bytes"`           // payload bytes
+	SegmentBytes   int64            `json:"segment_bytes"`   // on-disk bytes including framing
+	RecoveredBytes int64            `json:"recovered_bytes"` // torn tail bytes dropped at open
+	Cache          CacheStats       `json:"cache"`
+	Counters       map[string]int64 `json:"counters"`
+}
+
+// Store is the persistent chunk archive. All methods are safe for
+// concurrent use.
+type Store struct {
+	dir    string
+	opts   Options
+	shards []*shard
+	cache  *fileCache
+
+	counters   *obs.CounterGroup
+	cBatches   *obs.Counter
+	cIngested  *obs.Counter
+	cDups      *obs.Counter
+	cQueries   *obs.Counter
+	cReads     *obs.Counter
+	cCacheHit  *obs.Counter
+	cCacheMiss *obs.Counter
+}
+
+// Open opens the archive at dir, creating it (and the directory) if
+// absent. Opening scans every shard segment to rebuild the in-memory
+// indexes and truncates torn tails left by a crash mid-append.
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	m, err := loadOrCreateManifest(dir, opts.Shards)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		dir:      dir,
+		opts:     opts,
+		cache:    newFileCache(opts.CacheBytes),
+		counters: obs.NewCounterGroup(),
+	}
+	s.cBatches = s.counters.Counter("ingest.batches")
+	s.cIngested = s.counters.Counter("ingest.chunks")
+	s.cDups = s.counters.Counter("ingest.duplicates")
+	s.cQueries = s.counters.Counter("query.count")
+	s.cReads = s.counters.Counter("file.reassemblies")
+	s.cCacheHit = s.counters.Counter("cache.hits")
+	s.cCacheMiss = s.counters.Counter("cache.misses")
+	for i := 0; i < m.Shards; i++ {
+		sh, err := openShard(i, s.shardPath(i))
+		if err != nil {
+			for _, prev := range s.shards {
+				prev.close()
+			}
+			return nil, err
+		}
+		s.shards = append(s.shards, sh)
+	}
+	return s, nil
+}
+
+func (s *Store) shardPath(i int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("shard-%03d.seg", i))
+}
+
+// loadOrCreateManifest reads the manifest, or writes a fresh one if the
+// directory has never held an archive. A directory with segment files
+// but no manifest is refused: the shard count is not recoverable.
+func loadOrCreateManifest(dir string, shards int) (manifest, error) {
+	path := filepath.Join(dir, manifestName)
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		var m manifest
+		if jerr := json.Unmarshal(data, &m); jerr != nil {
+			return manifest{}, fmt.Errorf("archive: corrupt manifest %s: %w", path, jerr)
+		}
+		if m.Version != manifestVersion {
+			return manifest{}, fmt.Errorf("archive: manifest version %d not supported", m.Version)
+		}
+		if m.Shards <= 0 {
+			return manifest{}, fmt.Errorf("archive: manifest declares %d shards", m.Shards)
+		}
+		return m, nil
+	case os.IsNotExist(err):
+		if segs, _ := filepath.Glob(filepath.Join(dir, "shard-*.seg")); len(segs) > 0 {
+			return manifest{}, fmt.Errorf("archive: %s has segments but no manifest", dir)
+		}
+		m := manifest{Version: manifestVersion, Shards: shards}
+		if werr := writeManifest(dir, m); werr != nil {
+			return manifest{}, werr
+		}
+		return m, nil
+	default:
+		return manifest{}, err
+	}
+}
+
+// writeManifest writes the manifest atomically (temp + rename), so a
+// crash mid-write leaves either the old or the new manifest, never a
+// torn one.
+func writeManifest(dir string, m manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, manifestName))
+}
+
+// shardFor maps a file ID to its owning shard.
+func (s *Store) shardFor(id flash.FileID) *shard {
+	return s.shards[int(uint32(id)%uint32(len(s.shards)))]
+}
+
+// Ingest appends the batch's chunks, skipping duplicates (same
+// file/origin/seq — migration copies, retransmissions, or a repeated
+// tour), and reports per-file gap deltas. The archive copies what it
+// needs; the caller keeps ownership of the chunks. Concurrent Ingest
+// calls are safe and serialize only per shard.
+func (s *Store) Ingest(chunks []*flash.Chunk) (IngestReport, error) {
+	s.cBatches.Inc()
+	byShard := make(map[*shard][]*flash.Chunk)
+	for _, c := range chunks {
+		if c == nil {
+			continue
+		}
+		sh := s.shardFor(c.File)
+		byShard[sh] = append(byShard[sh], c)
+	}
+	var rep IngestReport
+	// Deterministic shard order, so reports and error behavior don't
+	// depend on map iteration.
+	for _, sh := range s.shards {
+		batch := byShard[sh]
+		if len(batch) == 0 {
+			continue
+		}
+		deltas, added, dups, err := sh.ingest(batch, s.opts.GapTolerance, s.opts.SyncOnIngest)
+		if err != nil {
+			return rep, err
+		}
+		rep.Added += added
+		rep.Duplicates += dups
+		rep.Files = append(rep.Files, deltas...)
+		for _, d := range deltas {
+			if d.Added > 0 {
+				s.cache.invalidate(d.File)
+			}
+		}
+	}
+	sort.Slice(rep.Files, func(i, j int) bool { return rep.Files[i].File < rep.Files[j].File })
+	s.cIngested.Add(int64(rep.Added))
+	s.cDups.Add(int64(rep.Duplicates))
+	return rep, nil
+}
+
+// Files lists every archived file, sorted by ID.
+func (s *Store) Files() []FileInfo {
+	var out []FileInfo
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, fm := range sh.files {
+			out = append(out, sh.info(fm, s.opts.GapTolerance))
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Info returns one file's listing entry.
+func (s *Store) Info(id flash.FileID) (FileInfo, error) {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	fm := sh.files[id]
+	if fm == nil {
+		return FileInfo{}, ErrNotFound
+	}
+	return sh.info(fm, s.opts.GapTolerance), nil
+}
+
+// Query returns files overlapping [from,to) recorded (in part) by any of
+// the given origins, using the per-shard interval indexes. from and to
+// both zero means unbounded; empty origins means any origin. Results are
+// sorted by (start, ID).
+func (s *Store) Query(from, to sim.Time, origins map[int32]bool) []FileInfo {
+	s.cQueries.Inc()
+	var out []FileInfo
+	for _, sh := range s.shards {
+		out = append(out, sh.query(from, to, origins, s.opts.GapTolerance)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Gaps returns the file's coverage gaps at the given tolerance
+// (tolerance <= 0 uses the store default), computed from index metadata
+// without touching segments.
+func (s *Store) Gaps(id flash.FileID, tolerance time.Duration) ([]Gap, error) {
+	if tolerance <= 0 {
+		tolerance = s.opts.GapTolerance
+	}
+	gaps, ok := s.shardFor(id).gaps(id, tolerance)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return gaps, nil
+}
+
+// File reassembles one archived file: chunk payloads are read from the
+// shard segment, deduplicated and time-sorted via retrieval.Reassemble,
+// and the result cached until the next ingest touches the file. The
+// returned File is shared — callers must not mutate it.
+func (s *Store) File(id flash.FileID) (*retrieval.File, error) {
+	sh := s.shardFor(id)
+	metas, version, ok := sh.fileChunks(id)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if f, v, hit := s.cache.get(id); hit && v == version {
+		s.cCacheHit.Inc()
+		return f, nil
+	}
+	s.cCacheMiss.Inc()
+	s.cReads.Inc()
+	chunks := make([]*flash.Chunk, 0, len(metas))
+	for _, m := range metas {
+		c, err := sh.readChunk(m)
+		if err != nil {
+			return nil, err
+		}
+		chunks = append(chunks, c)
+	}
+	f := retrieval.Reassemble(map[int][]*flash.Chunk{0: chunks}, retrieval.Query{All: true})[id]
+	if f == nil {
+		return nil, ErrNotFound
+	}
+	s.cache.put(id, version, f)
+	return f, nil
+}
+
+// GapTolerance returns the store's default gap tolerance.
+func (s *Store) GapTolerance() time.Duration { return s.opts.GapTolerance }
+
+// Stats snapshots store-wide totals and op counters.
+func (s *Store) Stats() Stats {
+	st := Stats{Shards: len(s.shards), Counters: s.counters.Snapshot()}
+	for _, sh := range s.shards {
+		files, chunks, bytes, seg, rec := sh.stats()
+		st.Files += files
+		st.Chunks += chunks
+		st.Bytes += bytes
+		st.SegmentBytes += seg
+		st.RecoveredBytes += rec
+	}
+	st.Cache = s.cache.stats()
+	return st
+}
+
+// Sync flushes every shard segment to stable storage and records the
+// committed sizes in the manifest.
+func (s *Store) Sync() error {
+	m := manifest{Version: manifestVersion, Shards: len(s.shards)}
+	for _, sh := range s.shards {
+		n, err := sh.sync()
+		if err != nil {
+			return err
+		}
+		m.Committed = append(m.Committed, n)
+	}
+	return writeManifest(s.dir, m)
+}
+
+// Close syncs and closes every shard. The store is unusable afterwards.
+func (s *Store) Close() error {
+	err := s.Sync()
+	for _, sh := range s.shards {
+		if cerr := sh.close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

@@ -1,0 +1,152 @@
+package archive
+
+import (
+	"testing"
+	"time"
+
+	"enviromic/internal/flash"
+	"enviromic/internal/sim"
+)
+
+// benchChunks builds n full-payload chunks spread over files files.
+func benchChunks(n, files int) []*flash.Chunk {
+	payload := make([]byte, flash.PayloadSize)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	out := make([]*flash.Chunk, n)
+	for i := 0; i < n; i++ {
+		start := time.Duration(i) * 83 * time.Millisecond
+		out[i] = &flash.Chunk{
+			File:   flash.FileID(i%files + 1),
+			Origin: int32(i % 20),
+			Seq:    uint32(i),
+			Start:  sim.At(start),
+			End:    sim.At(start + 83*time.Millisecond),
+			Data:   payload,
+		}
+	}
+	return out
+}
+
+// BenchmarkArchiveIngest measures cold ingest throughput: 1000 fresh
+// full-payload chunks per op into a per-iteration archive.
+func BenchmarkArchiveIngest(b *testing.B) {
+	chunks := benchChunks(1000, 16)
+	b.SetBytes(int64(len(chunks)) * flash.PayloadSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, err := Open(b.TempDir(), Options{Shards: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := s.Ingest(chunks); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		s.Close()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkArchiveIngestDup measures the dedup fast path: re-ingesting
+// an already-archived tour (every chunk a duplicate, no disk writes).
+func BenchmarkArchiveIngestDup(b *testing.B) {
+	s, err := Open(b.TempDir(), Options{Shards: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	chunks := benchChunks(1000, 16)
+	if _, err := s.Ingest(chunks); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Ingest(chunks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkArchiveQuery measures an interval + origin query against a
+// populated store (no disk reads: index only).
+func BenchmarkArchiveQuery(b *testing.B) {
+	s, err := Open(b.TempDir(), Options{Shards: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Ingest(benchChunks(5000, 200)); err != nil {
+		b.Fatal(err)
+	}
+	origins := map[int32]bool{3: true, 7: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := sim.At(time.Duration(i%60) * time.Second)
+		if got := s.Query(from, from.Add(30*time.Second), origins); len(got) == 0 && i == 0 {
+			b.Fatal("query returned nothing")
+		}
+	}
+}
+
+// BenchmarkArchiveFile measures reassembly with a warm cache (the
+// steady-state /files/{id}/wav path) vs cold (first touch after ingest).
+func BenchmarkArchiveFile(b *testing.B) {
+	for _, mode := range []string{"cold", "warm"} {
+		b.Run(mode, func(b *testing.B) {
+			cache := int64(0) // default 16 MiB
+			if mode == "cold" {
+				cache = -1
+			}
+			s, err := Open(b.TempDir(), Options{Shards: 8, CacheBytes: cache})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			if _, err := s.Ingest(benchChunks(2000, 4)); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.File(flash.FileID(i%4 + 1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkArchiveOpen measures index rebuild (the recovery scan) over a
+// 5000-chunk archive.
+func BenchmarkArchiveOpen(b *testing.B) {
+	dir := b.TempDir()
+	s, err := Open(dir, Options{Shards: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Ingest(benchChunks(5000, 50)); err != nil {
+		b.Fatal(err)
+	}
+	s.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := Open(dir, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st := s.Stats(); st.Chunks != 5000 {
+			b.Fatalf("chunks = %d", st.Chunks)
+		}
+		b.StopTimer()
+		s.Close()
+		b.StartTimer()
+	}
+}

@@ -1,0 +1,346 @@
+package archive
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"enviromic/internal/flash"
+	"enviromic/internal/mote"
+	"enviromic/internal/retrieval"
+	"enviromic/internal/sim"
+	"enviromic/internal/trace"
+	"enviromic/internal/wav"
+)
+
+// NewHandler returns the archive's HTTP query service:
+//
+//	GET  /files                       list archived files
+//	GET  /files/{id}                  one file's summary + chunk metadata
+//	GET  /files/{id}/gaps?tolerance=  coverage gaps + the gap re-query
+//	GET  /files/{id}/wav?rate=        reassembled audio as a WAV download
+//	GET  /query?from=&to=&origins=    interval + origin query
+//	POST /ingest                      framed chunk records (EncodeFrames)
+//	GET  /stats                       store totals, cache, op counters
+//
+// Times in query parameters are Go durations since simulation start
+// ("90s", "1m30s") or bare seconds ("90", "90.5"). The handler is safe
+// for concurrent use; mount it under "/" next to pprof/expvar the same
+// way enviromic-sim's -http debug mux is wired.
+func NewHandler(s *Store) http.Handler {
+	h := &handler{store: s}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /files", h.files)
+	mux.HandleFunc("GET /files/{id}", h.file)
+	mux.HandleFunc("GET /files/{id}/gaps", h.gaps)
+	mux.HandleFunc("GET /files/{id}/wav", h.wav)
+	mux.HandleFunc("GET /query", h.query)
+	mux.HandleFunc("POST /ingest", h.ingest)
+	mux.HandleFunc("GET /stats", h.stats)
+	return mux
+}
+
+type handler struct {
+	store *Store
+}
+
+// fileInfoJSON is FileInfo in response form: times both as raw
+// nanoseconds (machine use) and seconds (human use).
+type fileInfoJSON struct {
+	ID       flash.FileID `json:"id"`
+	Start    int64        `json:"start_ns"`
+	End      int64        `json:"end_ns"`
+	StartSec float64      `json:"start_s"`
+	EndSec   float64      `json:"end_s"`
+	Chunks   int          `json:"chunks"`
+	Bytes    int64        `json:"bytes"`
+	Origins  []int32      `json:"origins"`
+	Gaps     int          `json:"gaps"`
+}
+
+func infoJSON(fi FileInfo) fileInfoJSON {
+	origins := fi.Origins
+	if origins == nil {
+		origins = []int32{}
+	}
+	return fileInfoJSON{
+		ID: fi.ID, Start: int64(fi.Start), End: int64(fi.End),
+		StartSec: fi.Start.Seconds(), EndSec: fi.End.Seconds(),
+		Chunks: fi.Chunks, Bytes: fi.Bytes, Origins: origins, Gaps: fi.Gaps,
+	}
+}
+
+type gapJSON struct {
+	StartSec float64 `json:"start_s"`
+	EndSec   float64 `json:"end_s"`
+	Seconds  float64 `json:"seconds"`
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// parseTime accepts a Go duration ("90s") or bare seconds ("90.5") since
+// simulation start.
+func parseTime(s string) (sim.Time, error) {
+	if s == "" {
+		return 0, nil
+	}
+	if d, err := time.ParseDuration(s); err == nil {
+		return sim.At(d), nil
+	}
+	if sec, err := strconv.ParseFloat(s, 64); err == nil {
+		return sim.Time(sec * float64(time.Second)), nil
+	}
+	return 0, fmt.Errorf("bad time %q (want a duration like 90s or seconds)", s)
+}
+
+func (h *handler) fileID(r *http.Request) (flash.FileID, error) {
+	raw := r.PathValue("id")
+	id, err := strconv.ParseUint(raw, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad file id %q", raw)
+	}
+	return flash.FileID(id), nil
+}
+
+func (h *handler) files(w http.ResponseWriter, r *http.Request) {
+	infos := h.store.Files()
+	out := make([]fileInfoJSON, 0, len(infos))
+	for _, fi := range infos {
+		out = append(out, infoJSON(fi))
+	}
+	writeJSON(w, out)
+}
+
+func (h *handler) file(w http.ResponseWriter, r *http.Request) {
+	id, err := h.fileID(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	fi, err := h.store.Info(id)
+	if errors.Is(err, ErrNotFound) {
+		httpError(w, http.StatusNotFound, "file %d not found", id)
+		return
+	}
+	f, err := h.store.File(id)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	type chunkJSON struct {
+		Origin   int32   `json:"origin"`
+		Seq      uint32  `json:"seq"`
+		StartSec float64 `json:"start_s"`
+		EndSec   float64 `json:"end_s"`
+		Bytes    int     `json:"bytes"`
+	}
+	chunks := make([]chunkJSON, 0, len(f.Chunks))
+	for _, c := range f.Chunks {
+		chunks = append(chunks, chunkJSON{
+			Origin: c.Origin, Seq: c.Seq,
+			StartSec: c.Start.Seconds(), EndSec: c.End.Seconds(),
+			Bytes: len(c.Data),
+		})
+	}
+	writeJSON(w, struct {
+		fileInfoJSON
+		DurationSec float64     `json:"duration_s"`
+		ChunkList   []chunkJSON `json:"chunk_list"`
+	}{infoJSON(fi), f.Duration().Seconds(), chunks})
+}
+
+func (h *handler) gaps(w http.ResponseWriter, r *http.Request) {
+	id, err := h.fileID(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	tolerance := h.store.GapTolerance()
+	if s := r.URL.Query().Get("tolerance"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil || d <= 0 {
+			httpError(w, http.StatusBadRequest, "bad tolerance %q", s)
+			return
+		}
+		tolerance = d
+	}
+	gaps, err := h.store.Gaps(id, tolerance)
+	if errors.Is(err, ErrNotFound) {
+		httpError(w, http.StatusNotFound, "file %d not found", id)
+		return
+	}
+	out := make([]gapJSON, 0, len(gaps))
+	for _, g := range gaps {
+		out = append(out, gapJSON{
+			StartSec: g.Start.Seconds(),
+			EndSec:   g.End.Seconds(),
+			Seconds:  g.End.Sub(g.Start).Seconds(),
+		})
+	}
+	// The re-query a mule would flood to fill what's still missing —
+	// the same shape Mule.MissingFiles produces in the field.
+	var requery []flash.FileID
+	if len(gaps) > 0 {
+		requery = []flash.FileID{id}
+	} else {
+		requery = []flash.FileID{}
+	}
+	writeJSON(w, struct {
+		File         flash.FileID   `json:"file"`
+		ToleranceSec float64        `json:"tolerance_s"`
+		Gaps         []gapJSON      `json:"gaps"`
+		RequeryFiles []flash.FileID `json:"requery_files"`
+	}{id, tolerance.Seconds(), out, requery})
+}
+
+func (h *handler) wav(w http.ResponseWriter, r *http.Request) {
+	id, err := h.fileID(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rate := mote.DefaultSampleRate
+	if s := r.URL.Query().Get("rate"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v <= 0 {
+			httpError(w, http.StatusBadRequest, "bad rate %q", s)
+			return
+		}
+		rate = v
+	}
+	f, err := h.store.File(id)
+	if errors.Is(err, ErrNotFound) {
+		httpError(w, http.StatusNotFound, "file %d not found", id)
+		return
+	}
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	samples := trace.Stitch(f, rate)
+	if len(samples) == 0 {
+		httpError(w, http.StatusUnprocessableEntity, "file %d renders no samples", id)
+		return
+	}
+	w.Header().Set("Content-Type", "audio/wav")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=file-%d.wav", id))
+	if err := wav.Write(w, samples, int(rate)); err != nil {
+		// Headers are gone; nothing to do but log-level surface via 500
+		// if nothing was written yet — in practice wav.Write fails only
+		// on bad input, caught above.
+		httpError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func (h *handler) query(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	from, err := parseTime(q.Get("from"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "from: %v", err)
+		return
+	}
+	to, err := parseTime(q.Get("to"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "to: %v", err)
+		return
+	}
+	var origins map[int32]bool
+	if s := q.Get("origins"); s != "" {
+		origins = make(map[int32]bool)
+		for _, part := range strings.Split(s, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			v, err := strconv.ParseInt(part, 10, 32)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "bad origin %q", part)
+				return
+			}
+			origins[int32(v)] = true
+		}
+	}
+	infos := h.store.Query(from, to, origins)
+	out := make([]fileInfoJSON, 0, len(infos))
+	for _, fi := range infos {
+		out = append(out, infoJSON(fi))
+	}
+	writeJSON(w, out)
+}
+
+func (h *handler) ingest(w http.ResponseWriter, r *http.Request) {
+	chunks, err := DecodeFrames(r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rep, err := h.store.Ingest(chunks)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, ingestReportJSON(rep))
+}
+
+// ingestReportJSON shapes an IngestReport for the wire, including the
+// follow-up re-query.
+func ingestReportJSON(rep IngestReport) any {
+	type deltaJSON struct {
+		File          flash.FileID `json:"file"`
+		Added         int          `json:"added"`
+		Duplicates    int          `json:"duplicates"`
+		GapsBefore    int          `json:"gaps_before"`
+		GapsAfter     int          `json:"gaps_after"`
+		GapSpanBefore float64      `json:"gap_span_before_s"`
+		GapSpanAfter  float64      `json:"gap_span_after_s"`
+	}
+	deltas := make([]deltaJSON, 0, len(rep.Files))
+	for _, d := range rep.Files {
+		deltas = append(deltas, deltaJSON{
+			File: d.File, Added: d.Added, Duplicates: d.Duplicates,
+			GapsBefore: d.GapsBefore, GapsAfter: d.GapsAfter,
+			GapSpanBefore: d.GapSpanBefore.Seconds(),
+			GapSpanAfter:  d.GapSpanAfter.Seconds(),
+		})
+	}
+	requery := requeryIDs(rep.Requery())
+	return struct {
+		Added      int            `json:"added"`
+		Duplicates int            `json:"duplicates"`
+		Files      []deltaJSON    `json:"files"`
+		Requery    []flash.FileID `json:"requery_files"`
+	}{rep.Added, rep.Duplicates, deltas, requery}
+}
+
+// requeryIDs flattens a gap re-query's file set, sorted.
+func requeryIDs(q retrieval.Query) []flash.FileID {
+	ids := make([]flash.FileID, 0, len(q.Files))
+	for id := range q.Files {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids
+}
+
+func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, h.store.Stats())
+}

@@ -1,0 +1,447 @@
+package archive
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"enviromic/internal/flash"
+	"enviromic/internal/sim"
+)
+
+// chunkMeta is the in-memory index entry for one archived chunk: enough
+// metadata to answer listings, interval queries, and gap math without
+// touching disk, plus the segment location to fetch the payload when a
+// reassembly actually needs bytes.
+type chunkMeta struct {
+	offset int64 // frame payload offset in the shard segment
+	start  sim.Time
+	end    sim.Time
+	origin int32
+	length int32 // payload length (compact record size)
+	seq    uint32
+}
+
+// fileMeta aggregates one distributed file's archived chunks.
+type fileMeta struct {
+	id      flash.FileID
+	start   sim.Time // min chunk start
+	end     sim.Time // max chunk end
+	bytes   int64    // payload bytes (audio only, headers excluded)
+	version uint64   // bumped on every ingest that adds chunks; guards the reassembly cache
+	chunks  []chunkMeta
+	seen    map[uint64]struct{} // (origin, seq) dedup keys
+	origins map[int32]struct{}
+}
+
+// dedupKey packs (origin, seq) into one map key. File identity is implied
+// by the enclosing fileMeta.
+func dedupKey(origin int32, seq uint32) uint64 {
+	return uint64(uint32(origin))<<32 | uint64(seq)
+}
+
+// gapsIn computes uncovered stretches longer than tolerance over a set of
+// chunk spans, mirroring retrieval.File.Gaps (time-major sort, cursor
+// sweep) so the archive and the in-field mule agree on what "a gap" is.
+func gapsIn(chunks []chunkMeta, tolerance time.Duration) []Gap {
+	if len(chunks) == 0 {
+		return nil
+	}
+	sorted := make([]chunkMeta, len(chunks))
+	copy(sorted, chunks)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.start != b.start {
+			return a.start < b.start
+		}
+		if a.origin != b.origin {
+			return a.origin < b.origin
+		}
+		return a.seq < b.seq
+	})
+	var gaps []Gap
+	cursor := sorted[0].end
+	for _, c := range sorted[1:] {
+		if c.start.Sub(cursor) > tolerance {
+			gaps = append(gaps, Gap{Start: cursor, End: c.start})
+		}
+		if c.end > cursor {
+			cursor = c.end
+		}
+	}
+	return gaps
+}
+
+// gapSpan sums gap durations.
+func gapSpan(gaps []Gap) time.Duration {
+	var d time.Duration
+	for _, g := range gaps {
+		d += g.End.Sub(g.Start)
+	}
+	return d
+}
+
+// shard owns one segment file and the indexes over it. Files map to
+// shards by ID (fileID mod shard count), so a shard is authoritative for
+// its files and shards never coordinate: ingest batches and queries
+// parallelize across shards, serialized only within one.
+type shard struct {
+	id   int
+	path string
+
+	mu   sync.RWMutex
+	f    *os.File
+	size int64
+	// files is the primary index; byOrigin and the byStart/prefixMaxEnd
+	// pair are secondary indexes maintained on ingest.
+	files    map[flash.FileID]*fileMeta
+	byOrigin map[int32]map[flash.FileID]struct{}
+	// byStart holds files sorted by span start; prefixMaxEnd[i] is the
+	// max span end over byStart[:i+1]. Together they answer interval
+	// stabbing queries ("files overlapping [from,to)") with a binary
+	// search plus a walk that stops at the first prefix whose max end
+	// falls below the window — no segment scan, no full index scan.
+	byStart      []*fileMeta
+	prefixMaxEnd []sim.Time
+
+	recoveredBytes int64 // bytes truncated away by open-time recovery
+}
+
+// openShard opens (creating if absent) the shard's segment file, scans it
+// to rebuild the indexes, and truncates any torn tail.
+func openShard(id int, path string) (*shard, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	sh := &shard{
+		id:       id,
+		path:     path,
+		f:        f,
+		files:    make(map[flash.FileID]*fileMeta),
+		byOrigin: make(map[int32]map[flash.FileID]struct{}),
+	}
+	valid, err := scanSegment(f, func(c *flash.Chunk, off int64, length int32) {
+		sh.indexChunk(c, off, length)
+		flash.FreeChunk(c) // the index keeps metadata only
+	})
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("archive: scanning %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() > valid {
+		sh.recoveredBytes = st.Size() - valid
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("archive: truncating torn tail of %s: %w", path, err)
+		}
+	}
+	sh.size = valid
+	sh.rebuildInterval()
+	return sh, nil
+}
+
+// indexChunk records one chunk's metadata. Caller holds mu (or is the
+// single-threaded open scan). Duplicates are the caller's problem: ingest
+// checks seen before appending; the open scan never sees duplicates
+// because ingest never wrote them.
+func (sh *shard) indexChunk(c *flash.Chunk, off int64, length int32) {
+	fm := sh.files[c.File]
+	if fm == nil {
+		fm = &fileMeta{
+			id:      c.File,
+			start:   c.Start,
+			end:     c.End,
+			seen:    make(map[uint64]struct{}),
+			origins: make(map[int32]struct{}),
+		}
+		sh.files[c.File] = fm
+	}
+	fm.chunks = append(fm.chunks, chunkMeta{
+		offset: off, start: c.Start, end: c.End,
+		origin: c.Origin, length: length, seq: c.Seq,
+	})
+	fm.seen[dedupKey(c.Origin, c.Seq)] = struct{}{}
+	fm.origins[c.Origin] = struct{}{}
+	fm.bytes += int64(len(c.Data))
+	if c.Start < fm.start {
+		fm.start = c.Start
+	}
+	if c.End > fm.end {
+		fm.end = c.End
+	}
+	m := sh.byOrigin[c.Origin]
+	if m == nil {
+		m = make(map[flash.FileID]struct{})
+		sh.byOrigin[c.Origin] = m
+	}
+	m[fm.id] = struct{}{}
+}
+
+// rebuildInterval re-sorts the interval index. Caller holds mu (write) or
+// is the open scan. O(files log files) per ingest batch, amortized cheap
+// next to the disk write.
+func (sh *shard) rebuildInterval() {
+	sh.byStart = sh.byStart[:0]
+	for _, fm := range sh.files {
+		sh.byStart = append(sh.byStart, fm)
+	}
+	sort.Slice(sh.byStart, func(i, j int) bool {
+		a, b := sh.byStart[i], sh.byStart[j]
+		if a.start != b.start {
+			return a.start < b.start
+		}
+		return a.id < b.id
+	})
+	sh.prefixMaxEnd = sh.prefixMaxEnd[:0]
+	var max sim.Time
+	for _, fm := range sh.byStart {
+		if fm.end > max {
+			max = fm.end
+		}
+		sh.prefixMaxEnd = append(sh.prefixMaxEnd, max)
+	}
+}
+
+// info builds a FileInfo snapshot. Caller holds mu (read).
+func (sh *shard) info(fm *fileMeta, tolerance time.Duration) FileInfo {
+	origins := make([]int32, 0, len(fm.origins))
+	for o := range fm.origins {
+		origins = append(origins, o)
+	}
+	sort.Slice(origins, func(i, j int) bool { return origins[i] < origins[j] })
+	return FileInfo{
+		ID:      fm.id,
+		Start:   fm.start,
+		End:     fm.end,
+		Chunks:  len(fm.chunks),
+		Bytes:   fm.bytes,
+		Origins: origins,
+		Gaps:    len(gapsIn(fm.chunks, tolerance)),
+	}
+}
+
+// query collects files overlapping [from,to) whose origin set intersects
+// origins (nil origins = no filter), using the interval index. from/to
+// both zero means unbounded, matching retrieval.Query semantics.
+func (sh *shard) query(from, to sim.Time, origins map[int32]bool, tolerance time.Duration) []FileInfo {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	var out []FileInfo
+	bounded := from != 0 || to != 0
+	ub := len(sh.byStart)
+	if bounded && to != 0 {
+		ub = sort.Search(len(sh.byStart), func(i int) bool { return sh.byStart[i].start >= to })
+	}
+	for i := ub - 1; i >= 0; i-- {
+		if bounded && sh.prefixMaxEnd[i] <= from {
+			break // nothing earlier can reach into the window
+		}
+		fm := sh.byStart[i]
+		if bounded && fm.end <= from {
+			continue
+		}
+		if len(origins) > 0 && !intersects(fm.origins, origins) {
+			continue
+		}
+		out = append(out, sh.info(fm, tolerance))
+	}
+	return out
+}
+
+func intersects(have map[int32]struct{}, want map[int32]bool) bool {
+	for o := range want {
+		if _, ok := have[o]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// fileChunks returns a copy of the file's chunk metadata and its cache
+// version; ok is false for unknown files.
+func (sh *shard) fileChunks(id flash.FileID) (metas []chunkMeta, version uint64, ok bool) {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	fm := sh.files[id]
+	if fm == nil {
+		return nil, 0, false
+	}
+	metas = make([]chunkMeta, len(fm.chunks))
+	copy(metas, fm.chunks)
+	return metas, fm.version, true
+}
+
+// gaps computes the file's gaps at the given tolerance from index
+// metadata alone (no disk reads).
+func (sh *shard) gaps(id flash.FileID, tolerance time.Duration) ([]Gap, bool) {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	fm := sh.files[id]
+	if fm == nil {
+		return nil, false
+	}
+	return gapsIn(fm.chunks, tolerance), true
+}
+
+// readChunk fetches one chunk payload from the segment (pread, safe under
+// concurrent appends since frames are immutable once written).
+func (sh *shard) readChunk(m chunkMeta) (*flash.Chunk, error) {
+	buf := make([]byte, m.length)
+	if _, err := sh.f.ReadAt(buf, m.offset); err != nil {
+		return nil, fmt.Errorf("archive: reading chunk at %d: %w", m.offset, err)
+	}
+	c, n, err := flash.DecodeRecord(buf)
+	if err != nil || n != len(buf) {
+		return nil, fmt.Errorf("archive: decoding chunk at %d: %v", m.offset, err)
+	}
+	return c, nil
+}
+
+// ingest appends the batch's non-duplicate chunks to the segment and
+// indexes them. It returns per-file deltas plus added/duplicate counts.
+// The write is a single append of the batch's frames; index entries are
+// committed only after the write succeeds, so index and disk agree even
+// on error.
+func (sh *shard) ingest(batch []*flash.Chunk, tolerance time.Duration, syncAfter bool) (deltas []FileDelta, added, dups int, err error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+
+	type pending struct {
+		c   *flash.Chunk
+		off int64
+		n   int32
+	}
+	type batchKey struct {
+		file flash.FileID
+		key  uint64
+	}
+	var (
+		buf       []byte
+		pendings  []pending
+		touched   = make(map[flash.FileID]*FileDelta)
+		order     []flash.FileID
+		batchSeen = make(map[batchKey]struct{})
+	)
+	touch := func(id flash.FileID) *FileDelta {
+		d := touched[id]
+		if d == nil {
+			d = &FileDelta{File: id}
+			if fm := sh.files[id]; fm != nil {
+				before := gapsIn(fm.chunks, tolerance)
+				d.GapsBefore = len(before)
+				d.GapSpanBefore = gapSpan(before)
+			}
+			touched[id] = d
+			order = append(order, id)
+		}
+		return d
+	}
+	for _, c := range batch {
+		if c == nil {
+			continue
+		}
+		d := touch(c.File)
+		fm := sh.files[c.File]
+		key := dedupKey(c.Origin, c.Seq)
+		if fm != nil {
+			if _, dup := fm.seen[key]; dup {
+				d.Duplicates++
+				dups++
+				continue
+			}
+		}
+		// Duplicates inside one batch: the first occurrence is in
+		// pendings but not yet in seen, so track batch-local keys too.
+		bk := batchKey{c.File, key}
+		if _, dup := batchSeen[bk]; dup {
+			d.Duplicates++
+			dups++
+			continue
+		}
+		batchSeen[bk] = struct{}{}
+		off := sh.size + int64(len(buf)) + frameHeaderSize
+		var aerr error
+		buf, aerr = appendFrame(buf, c)
+		if aerr != nil {
+			return nil, 0, 0, aerr
+		}
+		pendings = append(pendings, pending{c: c, off: off, n: int32(c.RecordSize())})
+		d.Added++
+		added++
+	}
+	if len(buf) > 0 {
+		if _, werr := sh.f.WriteAt(buf, sh.size); werr != nil {
+			return nil, 0, 0, fmt.Errorf("archive: appending to %s: %w", sh.path, werr)
+		}
+		if syncAfter {
+			if serr := sh.f.Sync(); serr != nil {
+				return nil, 0, 0, serr
+			}
+		}
+		sh.size += int64(len(buf))
+		for _, p := range pendings {
+			sh.indexChunk(p.c, p.off, p.n)
+		}
+		for id := range touched {
+			if fm := sh.files[id]; fm != nil && touched[id].Added > 0 {
+				fm.version++
+			}
+		}
+		sh.rebuildInterval()
+	}
+	for _, id := range order {
+		d := touched[id]
+		if fm := sh.files[id]; fm != nil {
+			after := gapsIn(fm.chunks, tolerance)
+			d.GapsAfter = len(after)
+			d.GapSpanAfter = gapSpan(after)
+		}
+		deltas = append(deltas, *d)
+	}
+	return deltas, added, dups, nil
+}
+
+// stats snapshots shard-level totals.
+func (sh *shard) stats() (files, chunks int, bytes, segBytes, recovered int64) {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for _, fm := range sh.files {
+		files++
+		chunks += len(fm.chunks)
+		bytes += fm.bytes
+	}
+	return files, chunks, bytes, sh.size, sh.recoveredBytes
+}
+
+// sync flushes the segment to stable storage and returns its durable size.
+func (sh *shard) sync() (int64, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.f.Sync(); err != nil {
+		return 0, err
+	}
+	return sh.size, nil
+}
+
+// close syncs and closes the segment file.
+func (sh *shard) close() error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.f == nil {
+		return nil
+	}
+	err := sh.f.Sync()
+	if cerr := sh.f.Close(); err == nil {
+		err = cerr
+	}
+	sh.f = nil
+	return err
+}

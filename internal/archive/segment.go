@@ -1,0 +1,127 @@
+package archive
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"enviromic/internal/flash"
+)
+
+// Segment log framing. Each appended chunk becomes one frame:
+//
+//	[u32 payload length][u32 CRC-32 (IEEE) of payload][payload]
+//
+// where the payload is the chunk's compact record (flash.AppendRecord).
+// Frames are self-validating, which is what makes recovery scan-based: on
+// open every shard segment is walked front to back and the file is
+// truncated at the first frame that is short, oversized, fails its CRC,
+// or does not decode — everything before that point survives a torn
+// write, everything after it was never acknowledged as durable.
+const frameHeaderSize = 8
+
+// appendFrame appends one framed chunk record to dst.
+func appendFrame(dst []byte, c *flash.Chunk) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, make([]byte, frameHeaderSize)...)
+	dst, err := c.AppendRecord(dst)
+	if err != nil {
+		return dst[:start], err
+	}
+	payload := dst[start+frameHeaderSize:]
+	binary.BigEndian.PutUint32(dst[start:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(dst[start+4:], crc32.ChecksumIEEE(payload))
+	return dst, nil
+}
+
+// EncodeFrames encodes chunks in the archive's wire framing — the same
+// bytes the segment log stores — for shipping to a remote archive's
+// POST /ingest endpoint.
+func EncodeFrames(chunks []*flash.Chunk) ([]byte, error) {
+	var buf []byte
+	for _, c := range chunks {
+		var err error
+		buf, err = appendFrame(buf, c)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// DecodeFrames decodes a stream of framed chunk records (the EncodeFrames
+// / segment-log format) until EOF. Unlike the recovery scan, any framing
+// error here is returned to the caller: an ingest client sending a torn
+// stream should hear about it rather than have the tail silently dropped.
+func DecodeFrames(r io.Reader) ([]*flash.Chunk, error) {
+	br := bufio.NewReaderSize(r, 64<<10)
+	var out []*flash.Chunk
+	var hdr [frameHeaderSize]byte
+	payload := make([]byte, flash.MaxRecordSize)
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, fmt.Errorf("archive: truncated frame header: %w", err)
+		}
+		n := int(binary.BigEndian.Uint32(hdr[:]))
+		sum := binary.BigEndian.Uint32(hdr[4:])
+		if n < flash.MinRecordSize || n > flash.MaxRecordSize {
+			return out, fmt.Errorf("archive: frame payload length %d out of range", n)
+		}
+		if _, err := io.ReadFull(br, payload[:n]); err != nil {
+			return out, fmt.Errorf("archive: truncated frame payload: %w", err)
+		}
+		if crc32.ChecksumIEEE(payload[:n]) != sum {
+			return out, fmt.Errorf("archive: frame CRC mismatch")
+		}
+		c, consumed, err := flash.DecodeRecord(payload[:n])
+		if err != nil || consumed != n {
+			return out, fmt.Errorf("archive: undecodable frame: %v", err)
+		}
+		out = append(out, c)
+	}
+}
+
+// scanSegment walks a segment file from the front, invoking add for every
+// valid frame with the chunk (ownership passes to add), the file offset
+// of the frame payload, and the payload length. It returns the number of
+// bytes covered by valid frames; anything past that is torn or corrupt
+// and should be truncated away by the caller.
+func scanSegment(f *os.File, add func(c *flash.Chunk, payloadOff int64, payloadLen int32)) (int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, err
+	}
+	br := bufio.NewReaderSize(f, 256<<10)
+	var (
+		offset  int64
+		hdr     [frameHeaderSize]byte
+		payload = make([]byte, flash.MaxRecordSize)
+	)
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return offset, nil // clean EOF or torn header: stop here
+		}
+		n := int(binary.BigEndian.Uint32(hdr[:]))
+		sum := binary.BigEndian.Uint32(hdr[4:])
+		if n < flash.MinRecordSize || n > flash.MaxRecordSize {
+			return offset, nil
+		}
+		if _, err := io.ReadFull(br, payload[:n]); err != nil {
+			return offset, nil
+		}
+		if crc32.ChecksumIEEE(payload[:n]) != sum {
+			return offset, nil
+		}
+		c, consumed, err := flash.DecodeRecord(payload[:n])
+		if err != nil || consumed != n {
+			return offset, nil
+		}
+		add(c, offset+frameHeaderSize, int32(n))
+		offset += int64(frameHeaderSize + n)
+	}
+}

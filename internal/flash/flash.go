@@ -111,6 +111,62 @@ func UnmarshalChunk(buf []byte) (*Chunk, error) {
 	return c, nil
 }
 
+// RecordSize returns the compact wire/disk size of the chunk: the 30-byte
+// metadata header plus the actual payload, with none of the block padding
+// Marshal adds. The basestation archive stores chunks in this form.
+func (c *Chunk) RecordSize() int { return headerSize + len(c.Data) }
+
+// MinRecordSize is the smallest valid compact record (empty payload).
+const MinRecordSize = headerSize
+
+// MaxRecordSize is the largest valid compact record (full payload).
+const MaxRecordSize = headerSize + PayloadSize
+
+// AppendRecord appends the chunk's compact encoding — the Marshal header
+// layout followed by exactly len(Data) payload bytes, no padding — to dst
+// and returns the extended slice. It is the archive's segment-log codec;
+// DecodeRecord reverses it.
+func (c *Chunk) AppendRecord(dst []byte) ([]byte, error) {
+	if len(c.Data) > PayloadSize {
+		return dst, fmt.Errorf("%w: %d > %d", ErrPayloadTooLarge, len(c.Data), PayloadSize)
+	}
+	var hdr [headerSize]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(c.File))
+	binary.BigEndian.PutUint32(hdr[4:], uint32(c.Origin))
+	binary.BigEndian.PutUint32(hdr[8:], c.Seq)
+	binary.BigEndian.PutUint64(hdr[12:], uint64(c.Start))
+	binary.BigEndian.PutUint64(hdr[20:], uint64(c.End))
+	binary.BigEndian.PutUint16(hdr[28:], uint16(len(c.Data)))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, c.Data...)
+	return dst, nil
+}
+
+// DecodeRecord decodes one compact record from the front of buf, returning
+// the chunk and the number of bytes consumed. The chunk is drawn from the
+// chunk pool. A buffer that is too short for the declared payload is an
+// error (a truncated record), as is a payload length over PayloadSize.
+func DecodeRecord(buf []byte) (*Chunk, int, error) {
+	if len(buf) < headerSize {
+		return nil, 0, fmt.Errorf("flash: short record: %d bytes", len(buf))
+	}
+	n := int(binary.BigEndian.Uint16(buf[28:]))
+	if n > PayloadSize {
+		return nil, 0, fmt.Errorf("flash: corrupt record: payload length %d", n)
+	}
+	if len(buf) < headerSize+n {
+		return nil, 0, fmt.Errorf("flash: truncated record: %d of %d bytes", len(buf), headerSize+n)
+	}
+	c := NewChunk()
+	c.File = FileID(binary.BigEndian.Uint32(buf[0:]))
+	c.Origin = int32(binary.BigEndian.Uint32(buf[4:]))
+	c.Seq = binary.BigEndian.Uint32(buf[8:])
+	c.Start = sim.Time(binary.BigEndian.Uint64(buf[12:]))
+	c.End = sim.Time(binary.BigEndian.Uint64(buf[20:]))
+	c.Data = append(c.Data[:0], buf[headerSize:headerSize+n]...)
+	return c, headerSize + n, nil
+}
+
 // Store is the circular block queue. The zero value is unusable; use
 // NewStore. Store is not safe for concurrent use (the simulation is
 // single-threaded).

@@ -1,6 +1,8 @@
 package flash
 
 import (
+	"bytes"
+	"encoding/binary"
 	"errors"
 	"math/rand"
 	"testing"
@@ -494,5 +496,87 @@ func TestSplitSamplesChunksAreRecyclable(t *testing.T) {
 			}
 		}
 		off += len(c.Data)
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	c := &Chunk{
+		File: 9, Origin: -3, Seq: 41,
+		Start: sim.Time(5 * int64(time.Second)),
+		End:   sim.Time(6 * int64(time.Second)),
+		Data:  []byte("compact record payload"),
+	}
+	buf, err := c.AppendRecord(nil)
+	if err != nil {
+		t.Fatalf("AppendRecord: %v", err)
+	}
+	if len(buf) != c.RecordSize() {
+		t.Fatalf("record is %d bytes, RecordSize says %d", len(buf), c.RecordSize())
+	}
+	if len(buf) >= BlockSize {
+		t.Fatalf("compact record (%d bytes) not smaller than a padded block", len(buf))
+	}
+	got, n, err := DecodeRecord(buf)
+	if err != nil {
+		t.Fatalf("DecodeRecord: %v", err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d bytes, want %d", n, len(buf))
+	}
+	if got.File != c.File || got.Origin != c.Origin || got.Seq != c.Seq ||
+		got.Start != c.Start || got.End != c.End || !bytes.Equal(got.Data, c.Data) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, c)
+	}
+}
+
+func TestRecordRoundTripEmptyAndFull(t *testing.T) {
+	for _, n := range []int{0, 1, PayloadSize} {
+		c := &Chunk{File: 1, Origin: 2, Seq: 3, Data: bytes.Repeat([]byte{7}, n)}
+		buf, err := c.AppendRecord(nil)
+		if err != nil {
+			t.Fatalf("payload %d: %v", n, err)
+		}
+		got, consumed, err := DecodeRecord(buf)
+		if err != nil || consumed != MinRecordSize+n {
+			t.Fatalf("payload %d: decode %d bytes, err %v", n, consumed, err)
+		}
+		if !bytes.Equal(got.Data, c.Data) {
+			t.Fatalf("payload %d: data mismatch", n)
+		}
+	}
+}
+
+func TestRecordAppendsInPlace(t *testing.T) {
+	// Records concatenate: two appends into one buffer decode in order.
+	a := &Chunk{File: 1, Seq: 1, Data: []byte("aa")}
+	b := &Chunk{File: 2, Seq: 2, Data: []byte("bbbb")}
+	buf, _ := a.AppendRecord(nil)
+	buf, _ = b.AppendRecord(buf)
+	gotA, n, err := DecodeRecord(buf)
+	if err != nil || gotA.File != 1 {
+		t.Fatalf("first record: %v %v", gotA, err)
+	}
+	gotB, _, err := DecodeRecord(buf[n:])
+	if err != nil || gotB.File != 2 || !bytes.Equal(gotB.Data, []byte("bbbb")) {
+		t.Fatalf("second record: %v %v", gotB, err)
+	}
+}
+
+func TestRecordRejectsBadInput(t *testing.T) {
+	c := &Chunk{File: 1, Data: make([]byte, PayloadSize+1)}
+	if _, err := c.AppendRecord(nil); !errors.Is(err, ErrPayloadTooLarge) {
+		t.Fatalf("oversize append err = %v", err)
+	}
+	good, _ := (&Chunk{File: 1, Data: []byte("xyz")}).AppendRecord(nil)
+	if _, _, err := DecodeRecord(good[:10]); err == nil {
+		t.Fatalf("short header decoded")
+	}
+	if _, _, err := DecodeRecord(good[:len(good)-1]); err == nil {
+		t.Fatalf("truncated payload decoded")
+	}
+	bad := append([]byte(nil), good...)
+	binary.BigEndian.PutUint16(bad[28:], PayloadSize+1)
+	if _, _, err := DecodeRecord(bad); err == nil {
+		t.Fatalf("oversize declared length decoded")
 	}
 }

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing operation counter, safe for
+// concurrent use. Unlike the sim-time tracer, counters are wall-side
+// observability for the long-running services (the basestation archive's
+// ingest and query paths) where per-event tracing would be overkill: a
+// counter costs one atomic add and is snapshotted on demand for /stats
+// and expvar.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// CounterGroup is a named set of counters. Counter interning is idempotent
+// (the same name always returns the same *Counter), so modules can resolve
+// counters once at construction and bump them lock-free afterwards.
+type CounterGroup struct {
+	mu     sync.Mutex
+	byName map[string]*Counter
+}
+
+// NewCounterGroup returns an empty group.
+func NewCounterGroup() *CounterGroup {
+	return &CounterGroup{byName: make(map[string]*Counter)}
+}
+
+// Counter interns name and returns its counter. The empty name panics.
+func (g *CounterGroup) Counter(name string) *Counter {
+	if name == "" {
+		panic("obs: empty counter name")
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	c, ok := g.byName[name]
+	if !ok {
+		c = &Counter{}
+		g.byName[name] = c
+	}
+	return c
+}
+
+// Snapshot returns the current value of every counter, keyed by name. The
+// map is freshly allocated; values are read atomically but the snapshot as
+// a whole is not a consistent cut (fine for monitoring).
+func (g *CounterGroup) Snapshot() map[string]int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[string]int64, len(g.byName))
+	for name, c := range g.byName {
+		out[name] = c.Load()
+	}
+	return out
+}
+
+// Names returns the registered counter names, sorted.
+func (g *CounterGroup) Names() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]string, 0, len(g.byName))
+	for name := range g.byName {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

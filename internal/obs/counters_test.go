@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestCounterGroup(t *testing.T) {
+	g := NewCounterGroup()
+	c := g.Counter("ingest.chunks")
+	if again := g.Counter("ingest.chunks"); again != c {
+		t.Fatal("Counter is not an idempotent intern")
+	}
+	c.Inc()
+	c.Add(4)
+	g.Counter("query.count").Add(2)
+	want := map[string]int64{"ingest.chunks": 5, "query.count": 2}
+	if got := g.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Snapshot = %v, want %v", got, want)
+	}
+	if got := g.Names(); !reflect.DeepEqual(got, []string{"ingest.chunks", "query.count"}) {
+		t.Fatalf("Names = %v", got)
+	}
+}
+
+func TestCounterGroupEmptyNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty counter name did not panic")
+		}
+	}()
+	NewCounterGroup().Counter("")
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	g := NewCounterGroup()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.Counter("hits").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Counter("hits").Load(); got != 8000 {
+		t.Fatalf("hits = %d, want 8000", got)
+	}
+}

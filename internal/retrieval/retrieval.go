@@ -12,6 +12,7 @@ package retrieval
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"enviromic/internal/flash"
@@ -131,16 +132,25 @@ func (f *File) Origins() []int32 {
 }
 
 // Reassemble groups chunks into files: sorted by start time (then origin,
-// then sequence) with exact duplicates — the same (origin, seq) stored on
-// two motes after an ACK-loss retransmission — removed.
+// then sequence) with exact duplicates — the same (file, origin, seq)
+// stored on two motes after an ACK-loss retransmission or a migration
+// copy — removed, so byte counts and gap math are not inflated by
+// redundancy. Holdings are walked in ascending node-ID order and the
+// first copy wins, making the surviving pointer set deterministic
+// regardless of map iteration order.
 func Reassemble(holdings map[int][]*flash.Chunk, q Query) map[flash.FileID]*File {
 	type key struct {
 		origin int32
 		seq    uint32
 	}
+	nodes := make([]int, 0, len(holdings))
+	for id := range holdings {
+		nodes = append(nodes, id)
+	}
+	sort.Ints(nodes)
 	perFile := make(map[flash.FileID]map[key]*flash.Chunk)
-	for _, chunks := range holdings {
-		for _, c := range chunks {
+	for _, id := range nodes {
+		for _, c := range holdings[id] {
 			if c == nil || !q.Matches(c) {
 				continue
 			}

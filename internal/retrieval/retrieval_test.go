@@ -317,3 +317,124 @@ func TestMuleTourValidation(t *testing.T) {
 	}()
 	r.mule.Tour(r.sched, []geometry.Point{{X: 0}}, 0, Query{All: true})
 }
+
+// at converts seconds to sim time for gap-boundary assertions.
+func at(sec float64) sim.Time { return sim.Time(sec * float64(time.Second)) }
+
+// TestReassembleDedupsMigratedCopies is the migrated-copy fixture: after
+// storage balancing, the same (file, origin, seq) chunk lives on several
+// motes (the original recorder and one or more migration targets). Byte
+// counts, chunk counts, and gap math must not be inflated by these
+// copies.
+func TestReassembleDedupsMigratedCopies(t *testing.T) {
+	original := mkChunk(1, 2, 0, 10, 11)
+	bridge := mkChunk(1, 2, 1, 11, 12)
+	tail := mkChunk(1, 2, 2, 12, 13)
+	holdings := map[int][]*flash.Chunk{
+		2: {original, bridge, tail},
+		// Node 5 received migrated copies of the first two chunks.
+		5: {original.Clone(), bridge.Clone()},
+		// Node 9 holds a third copy of the bridge chunk.
+		9: {bridge.Clone()},
+	}
+	files := Reassemble(holdings, Query{All: true})
+	f := files[1]
+	if f == nil {
+		t.Fatal("file 1 missing")
+	}
+	if len(f.Chunks) != 3 {
+		t.Fatalf("chunks = %d, want 3 (copies deduplicated)", len(f.Chunks))
+	}
+	if got := f.Bytes(); got != 9 {
+		t.Fatalf("Bytes = %d, want 9 (3 chunks x 3 bytes, not inflated)", got)
+	}
+	if gaps := f.Gaps(100 * time.Millisecond); len(gaps) != 0 {
+		t.Fatalf("gaps = %v, want none (coverage is contiguous)", gaps)
+	}
+	s := Summarize(files, 100*time.Millisecond)
+	if s.Chunks != 3 || s.Bytes != 9 || s.GapCount != 0 {
+		t.Fatalf("summary inflated by migrated copies: %v", s)
+	}
+}
+
+// TestReassembleDeterministicAcrossNodeOrder: the surviving pointer for a
+// duplicated key is the copy on the lowest node ID, regardless of map
+// iteration order.
+func TestReassembleDeterministicAcrossNodeOrder(t *testing.T) {
+	a := mkChunk(1, 2, 0, 10, 11)
+	b := a.Clone()
+	for trial := 0; trial < 20; trial++ {
+		files := Reassemble(map[int][]*flash.Chunk{7: {b}, 3: {a}}, Query{All: true})
+		if files[1].Chunks[0] != a {
+			t.Fatalf("trial %d: winner is node 7's copy, want node 3's", trial)
+		}
+	}
+}
+
+func TestGapsZeroDurationChunks(t *testing.T) {
+	f := &File{ID: 1, Chunks: []*flash.Chunk{
+		mkChunk(1, 0, 0, 10, 10), // zero-duration marker chunk
+		mkChunk(1, 0, 1, 10, 11),
+		mkChunk(1, 0, 2, 12, 12), // zero-duration inside the hole
+		mkChunk(1, 0, 3, 13, 14),
+	}}
+	gaps := f.Gaps(500 * time.Millisecond)
+	// Coverage: [10,11], point at 12, [13,14] -> holes (11,12) and (12,13).
+	if len(gaps) != 2 {
+		t.Fatalf("gaps = %v, want 2", gaps)
+	}
+	if gaps[0].Start != at(11) || gaps[0].End != at(12) || gaps[1].Start != at(12) || gaps[1].End != at(13) {
+		t.Fatalf("gap bounds = %v", gaps)
+	}
+	// A file that is nothing but zero-duration chunks has no gaps and no
+	// duration.
+	z := &File{ID: 2, Chunks: []*flash.Chunk{mkChunk(2, 0, 0, 5, 5), mkChunk(2, 0, 1, 5, 5)}}
+	if gaps := z.Gaps(0); len(gaps) != 0 {
+		t.Fatalf("zero-duration file gaps = %v", gaps)
+	}
+	if z.Duration() != 0 {
+		t.Fatalf("zero-duration file duration = %v", z.Duration())
+	}
+}
+
+func TestGapsExactToleranceBoundary(t *testing.T) {
+	f := &File{ID: 1, Chunks: []*flash.Chunk{
+		mkChunk(1, 0, 0, 0, 1),
+		mkChunk(1, 0, 1, 1.5, 2.5), // hole is exactly 500ms
+	}}
+	if gaps := f.Gaps(500 * time.Millisecond); len(gaps) != 0 {
+		t.Fatalf("hole equal to tolerance reported: %v", gaps)
+	}
+	if gaps := f.Gaps(500*time.Millisecond - time.Nanosecond); len(gaps) != 1 {
+		t.Fatalf("hole one nanosecond over tolerance not reported")
+	}
+	if gaps := f.Gaps(0); len(gaps) != 1 {
+		t.Fatalf("zero tolerance must report any positive hole")
+	}
+}
+
+// TestGapsOutOfOrderSeqEqualTimestamps: two recorders can stamp chunks
+// with identical start times (a handoff seam); sort order falls back to
+// (origin, seq) and gap math must still see contiguous coverage.
+func TestGapsOutOfOrderSeqEqualTimestamps(t *testing.T) {
+	holdings := map[int][]*flash.Chunk{0: {
+		mkChunk(1, 4, 7, 10, 11), // same start, later origin, high seq
+		mkChunk(1, 2, 1, 10, 12),
+		mkChunk(1, 2, 0, 9, 10),
+		mkChunk(1, 4, 6, 12, 13),
+	}}
+	f := Reassemble(holdings, Query{All: true})[1]
+	if len(f.Chunks) != 4 {
+		t.Fatalf("chunks = %d", len(f.Chunks))
+	}
+	// Sorted: (9,2,0), (10,2,1), (10,4,7), (12,4,6).
+	if f.Chunks[1].Origin != 2 || f.Chunks[2].Origin != 4 {
+		t.Fatalf("equal-timestamp tie not broken by origin: %v then %v", f.Chunks[1], f.Chunks[2])
+	}
+	if gaps := f.Gaps(0); len(gaps) != 0 {
+		t.Fatalf("gaps = %v, want none (chunk [10,12] bridges the zero-advance chunk)", gaps)
+	}
+	if f.Start() != at(9) || f.End() != at(13) {
+		t.Fatalf("span = [%v,%v]", f.Start(), f.End())
+	}
+}

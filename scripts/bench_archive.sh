@@ -1,0 +1,35 @@
+#!/bin/sh
+# Regenerates BENCH_archive.json — the basestation archive baselines:
+# ingest throughput (cold + all-duplicate), interval/origin query,
+# reassembly with cold and warm cache, and index rebuild on open.
+# Usage: scripts/bench_archive.sh [output-file]
+set -e
+out="${1:-BENCH_archive.json}"
+cd "$(dirname "$0")/.."
+
+raw=$(go test -run '^$' -bench 'Archive' -benchmem -benchtime 0.5s ./internal/archive/ 2>&1)
+
+{
+    printf '{\n  "host": "%s",\n' "$(uname -sm)"
+    echo "$raw" | grep -E '^Benchmark' | awk '
+BEGIN { printf "  \"benchmarks\": [\n"; first=1 }
+{
+  name=$1; sub(/-[0-9]+$/, "", name)
+  nsop=""; bop=""; allocs=""; mbs=""
+  for (i=2; i<=NF; i++) {
+    if ($(i+1) == "ns/op") nsop=$i
+    if ($(i+1) == "MB/s") mbs=$i
+    if ($(i+1) == "B/op") bop=$i
+    if ($(i+1) == "allocs/op") allocs=$i
+  }
+  if (!first) printf ",\n"
+  first=0
+  printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s", name, $2, nsop
+  if (mbs != "") printf ", \"mb_per_s\": %s", mbs
+  if (bop != "") printf ", \"bytes_per_op\": %s, \"allocs_per_op\": %s", bop, allocs
+  printf "}"
+}
+END { print "\n  ]\n}" }
+'
+} > "$out"
+echo "wrote $out"

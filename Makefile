@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-archive figures profile trace-smoke chaos-smoke archive-smoke
+.PHONY: build test check bench bench-archive bench-city figures profile trace-smoke chaos-smoke archive-smoke shard-smoke
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,7 @@ check:
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(GO) test -run Chaos -race ./...
+	sh scripts/shard_smoke.sh
 
 # bench regenerates BENCH_trace.json (message-plane micro-benchmarks,
 # the full-figure runs, and the nil-tracer guard) and fails if the
@@ -46,6 +47,19 @@ chaos-smoke:
 # torn-tail recovery after truncating a segment file.
 archive-smoke:
 	sh scripts/archive_smoke.sh
+
+# shard-smoke repeats the serial-vs-sharded byte-identity regressions
+# under the race detector (also part of `check`): shard workers, deposit
+# lanes, and the barrier merge with every cross-shard handoff watched.
+shard-smoke:
+	sh scripts/shard_smoke.sh
+
+# bench-city regenerates BENCH_city.json: the ~10.4k-mote city scenario
+# for one simulated hour on the serial and sharded engines, with a
+# byte-identity check between the two. The >= 2.5x speedup gate is
+# enforced only on hosts with >= 4 CPUs.
+bench-city:
+	sh scripts/bench_city.sh
 
 # bench-archive regenerates BENCH_archive.json (ingest throughput,
 # dedup fast path, interval queries, cold/warm reassembly, index

@@ -30,6 +30,7 @@ func main() {
 	ablations := flag.Bool("ablations", false, "run the design-choice ablations instead of figures")
 	parallel := flag.Int("parallel", experiments.DefaultParallel(),
 		"worker goroutines for independent simulation runs (1 = serial; results are identical either way)")
+	shards := flag.Int("shards", 1, "execution shards per simulation for the indoor/forest runs (1 = serial; >= 2 sharded, bit-identical figures)")
 	trace := flag.Bool("trace", false, "record structured protocol events from the indoor/forest runs to -trace-out (forces -parallel 1)")
 	traceOut := flag.String("trace-out", "figures.jsonl", "trace file: .jsonl = event log (read it with enviromic-trace), .json = Chrome trace for Perfetto")
 	traceFlt := flag.String("trace-filter", "", "comma-separated event-kind prefixes to keep (e.g. task,storage.migrate); empty keeps all")
@@ -89,10 +90,10 @@ func main() {
 		fig8(&out, *seed)
 	}
 	if want(10) || want(11) || want(12) || want(13) || want(14) {
-		indoor(&out, *seed, *quick, *parallel, tracer, want)
+		indoor(&out, *seed, *quick, *parallel, *shards, tracer, want)
 	}
 	if want(16) || want(17) || want(18) {
-		forest(&out, *seed, *quick, tracer, want)
+		forest(&out, *seed, *quick, *shards, tracer, want)
 	}
 	fmt.Print(out.String())
 	if out.Len() == 0 {
@@ -191,7 +192,7 @@ func envelopeSeries(samples []byte, window int) []float64 {
 	return out
 }
 
-func indoor(out *strings.Builder, seed int64, quick bool, parallel int, tracer *obs.Tracer, want func(int) bool) {
+func indoor(out *strings.Builder, seed int64, quick bool, parallel, shards int, tracer *obs.Tracer, want func(int) bool) {
 	opts := experiments.DefaultIndoorOpts()
 	opts.Seed = seed
 	if quick {
@@ -199,6 +200,7 @@ func indoor(out *strings.Builder, seed int64, quick bool, parallel int, tracer *
 		opts.Seed = seed
 	}
 	opts.Parallel = parallel
+	opts.Shards = shards
 	opts.Tracer = tracer
 	res := experiments.Indoor(opts)
 	xs := make([]float64, len(res.Miss.Times))
@@ -240,13 +242,14 @@ func indoor(out *strings.Builder, seed int64, quick bool, parallel int, tracer *
 	}
 }
 
-func forest(out *strings.Builder, seed int64, quick bool, tracer *obs.Tracer, want func(int) bool) {
+func forest(out *strings.Builder, seed int64, quick bool, shards int, tracer *obs.Tracer, want func(int) bool) {
 	opts := experiments.DefaultForestOpts()
 	opts.Seed = seed
 	if quick {
 		opts = experiments.QuickForestOpts()
 		opts.Seed = seed
 	}
+	opts.Shards = shards
 	opts.Tracer = tracer
 	res := experiments.Forest(opts)
 	if want(16) {

@@ -34,6 +34,7 @@ import (
 	"enviromic/internal/chaos"
 	"enviromic/internal/core"
 	"enviromic/internal/experiments"
+	"enviromic/internal/group"
 	"enviromic/internal/mote"
 	"enviromic/internal/obs"
 	"enviromic/internal/retrieval"
@@ -44,7 +45,8 @@ import (
 func main() {
 	var (
 		modeStr  = flag.String("mode", "full", "operating mode: independent | cooperative | full")
-		scenario = flag.String("scenario", "indoor", "scenario: indoor | forest")
+		scenario = flag.String("scenario", "indoor", "scenario: indoor | forest | city")
+		shards   = flag.Int("shards", 1, "execution shards (1 = serial; >= 2 runs the spatially sharded engine, bit-identical results)")
 		beta     = flag.Float64("beta", 2, "storage-balancing beta_max (full mode)")
 		duration = flag.Duration("duration", 20*time.Minute, "virtual experiment duration")
 		seed     = flag.Int64("seed", 1, "simulation seed")
@@ -191,6 +193,7 @@ func main() {
 		field.DetectProb = 0.6
 		cfg := core.Config{
 			Seed:        seed,
+			Shards:      *shards,
 			Mode:        mode,
 			BetaMax:     *beta,
 			LossProb:    *loss,
@@ -221,6 +224,19 @@ func main() {
 			net := core.NewNetwork(cfg, field, workload.ForestPositions(2006))
 			installChaos(net)
 			return net, events
+		case "city":
+			ccfg := workload.DefaultCity()
+			ccfg.Duration = *duration
+			field.DetectProb = 0.8
+			events := workload.GenerateCity(field, ccfg)
+			gcfg := group.DefaultConfig()
+			gcfg.PollInterval = 250 * time.Millisecond
+			cfg.CommRange = 30
+			cfg.Group = &gcfg
+			cfg.SamplePeriod = 10 * time.Minute
+			net := core.NewNetwork(cfg, field, workload.CityPositions(ccfg))
+			installChaos(net)
+			return net, events
 		default:
 			fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
 			os.Exit(2)
@@ -241,6 +257,10 @@ func main() {
 	fmt.Printf("scenario=%s mode=%s events=%d nodes=%d duration=%v seed=%d\n",
 		*scenario, mode, events, len(net.Nodes), *duration, *seed)
 	if *realtime > 0 {
+		if *shards > 1 {
+			fmt.Fprintln(os.Stderr, "-realtime is incompatible with -shards > 1")
+			os.Exit(2)
+		}
 		net.Start()
 		net.Sched.RunRealtime(sim.At(*duration), *realtime, nil)
 	} else {
@@ -262,9 +282,28 @@ func main() {
 	files := retrieval.Reassemble(net.Holdings(), retrieval.Query{All: true})
 	fmt.Printf("retrieval            : %v\n", retrieval.Summarize(files, 500*time.Millisecond))
 
-	fmt.Printf("\n-- per-node flash occupancy (bytes) --\n")
-	for _, node := range net.Nodes {
-		fmt.Printf("  node %2d @ %-16v %7d\n", node.ID, node.Pos, node.Mote.Store.BytesUsed())
+	if len(net.Nodes) <= 64 {
+		fmt.Printf("\n-- per-node flash occupancy (bytes) --\n")
+		for _, node := range net.Nodes {
+			fmt.Printf("  node %2d @ %-16v %7d\n", node.ID, node.Pos, node.Mote.Store.BytesUsed())
+		}
+	} else {
+		// Thousands of rows help nobody; print the occupancy distribution.
+		var used, max, occupied int
+		for _, node := range net.Nodes {
+			b := node.Mote.Store.BytesUsed()
+			used += b
+			if b > max {
+				max = b
+			}
+			if b > 0 {
+				occupied++
+			}
+		}
+		fmt.Printf("\n-- flash occupancy (%d nodes) --\n", len(net.Nodes))
+		fmt.Printf("  nodes with data : %d\n", occupied)
+		fmt.Printf("  mean bytes/node : %d\n", used/len(net.Nodes))
+		fmt.Printf("  max bytes/node  : %d\n", max)
 	}
 
 	if injector != nil {

@@ -163,6 +163,79 @@ type Field struct {
 	DetectProb float64
 
 	sources []*Source
+	idx     *sourceIndex
+}
+
+// sourceIndex buckets sources by active interval so the per-poll queries
+// (Audible, SignalAt, ...) scan only the handful of sources that overlap
+// the query bucket instead of the whole scenario. Every bucket lists its
+// sources in registration order — the order the un-indexed scan used —
+// so tie-breaking (LoudestSource keeps the first maximum) and
+// floating-point summation (SignalAt adds in slice order) are exactly
+// preserved; inactive sources in a bucket contribute nothing, just as
+// they did in the full scan. At 10k-mote city scale the full scan is the
+// dominant cost: every node polls every 100 ms against hundreds of
+// street events.
+type sourceIndex struct {
+	bucket  time.Duration
+	buckets [][]*Source
+}
+
+// indexBucket is the index's time granularity. Street events last
+// seconds to tens of seconds; 10 s keeps per-source replication low
+// (1-2 buckets each) while keeping bucket membership small.
+const indexBucket = 10 * time.Second
+
+// Freeze builds the interval index and closes the field to further
+// AddSource calls. The sharded engine requires a frozen field — shard
+// goroutines read it concurrently and an index rebuild mid-window would
+// race — and serial runs benefit from the same query speedup. Freeze is
+// idempotent.
+func (f *Field) Freeze() {
+	if f.idx != nil {
+		return
+	}
+	idx := &sourceIndex{bucket: indexBucket}
+	var maxEnd sim.Time
+	for _, s := range f.sources {
+		if s.End > maxEnd {
+			maxEnd = s.End
+		}
+	}
+	if maxEnd > 0 {
+		idx.buckets = make([][]*Source, int(maxEnd.Duration()/indexBucket)+1)
+		for _, s := range f.sources {
+			lo := int(s.Start.Duration() / indexBucket)
+			hi := int((s.End - 1).Duration() / indexBucket)
+			if lo < 0 {
+				lo = 0
+			}
+			for i := lo; i <= hi && i < len(idx.buckets); i++ {
+				idx.buckets[i] = append(idx.buckets[i], s)
+			}
+		}
+	}
+	f.idx = idx
+}
+
+// Frozen reports whether the field's source set is sealed.
+func (f *Field) Frozen() bool { return f.idx != nil }
+
+// activeSlice returns the sources worth testing at time t: the full
+// registration list before Freeze, the (registration-ordered) bucket
+// overlap afterwards.
+func (f *Field) activeSlice(t sim.Time) []*Source {
+	if f.idx == nil {
+		return f.sources
+	}
+	if t < 0 {
+		return nil
+	}
+	i := int(t.Duration() / f.idx.bucket)
+	if i >= len(f.idx.buckets) {
+		return nil
+	}
+	return f.idx.buckets[i]
 }
 
 // NewField returns a field with the given detection threshold and no
@@ -175,7 +248,11 @@ func NewField(threshold float64) *Field {
 }
 
 // AddSource registers a source. Sources may overlap in time and space.
+// Adding to a frozen field panics (see Freeze).
 func (f *Field) AddSource(s *Source) {
+	if f.idx != nil {
+		panic("acoustics: AddSource after Freeze")
+	}
 	if s.Path == nil {
 		panic("acoustics: source without a path")
 	}
@@ -205,7 +282,7 @@ func (f *Field) audibleTo(listener int, src *Source, p geometry.Point, t sim.Tim
 // position p above the detection threshold at time t.
 func (f *Field) AudibleSources(listener int, p geometry.Point, t sim.Time) []*Source {
 	var out []*Source
-	for _, s := range f.sources {
+	for _, s := range f.activeSlice(t) {
 		if f.audibleTo(listener, s, p, t) {
 			out = append(out, s)
 		}
@@ -215,7 +292,7 @@ func (f *Field) AudibleSources(listener int, p geometry.Point, t sim.Time) []*So
 
 // Audible reports whether any source is audible to the listener.
 func (f *Field) Audible(listener int, p geometry.Point, t sim.Time) bool {
-	for _, s := range f.sources {
+	for _, s := range f.activeSlice(t) {
 		if f.audibleTo(listener, s, p, t) {
 			return true
 		}
@@ -229,7 +306,7 @@ func (f *Field) Audible(listener int, p geometry.Point, t sim.Time) bool {
 func (f *Field) LoudestSource(listener int, p geometry.Point, t sim.Time) *Source {
 	var best *Source
 	bestAmp := 0.0
-	for _, s := range f.sources {
+	for _, s := range f.activeSlice(t) {
 		if !f.audibleTo(listener, s, p, t) {
 			continue
 		}
@@ -246,7 +323,7 @@ func (f *Field) LoudestSource(listener int, p geometry.Point, t sim.Time) *Sourc
 // 8-bit ADC scale used by the motes.
 func (f *Field) SignalAt(listener int, p geometry.Point, t sim.Time) float64 {
 	sig := 0.0
-	for _, s := range f.sources {
+	for _, s := range f.activeSlice(t) {
 		if s.Whitelist != nil && !s.Whitelist[listener] {
 			continue
 		}

@@ -365,3 +365,69 @@ func TestQuickQuantizeMonotone(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestFrozenIndexMatchesScan checks that every query answered through the
+// interval index agrees with the brute-force scan over the full source
+// list, across a dense time sweep that covers empty buckets, bucket
+// boundaries, overlapping sources, and times past the last source.
+func TestFrozenIndexMatchesScan(t *testing.T) {
+	build := func() *Field {
+		rng := sim.NewScheduler(7).Rand()
+		f := NewField(1.0)
+		for i := 0; i < 40; i++ {
+			start := sim.At(time.Duration(rng.Int63n(int64(5 * time.Minute))))
+			dur := time.Second + time.Duration(rng.Int63n(int64(45*time.Second)))
+			p := geometry.Point{X: rng.Float64() * 50, Y: rng.Float64() * 50}
+			src := StaticSource(SourceID(i+1), p, start, dur, 5+rng.Float64()*20, VoiceTone)
+			if i%5 == 0 {
+				src.Whitelist = map[int]bool{1: true, 3: true}
+			}
+			f.AddSource(src)
+		}
+		return f
+	}
+	plain, frozen := build(), build()
+	frozen.Freeze()
+	if !frozen.Frozen() || plain.Frozen() {
+		t.Fatal("Frozen() state wrong")
+	}
+	listeners := []geometry.Point{{X: 10, Y: 10}, {X: 25, Y: 40}, {X: 48, Y: 3}}
+	for tick := -2 * time.Second; tick < 7*time.Minute; tick += 777 * time.Millisecond {
+		at := sim.At(tick)
+		for li, p := range listeners {
+			if a, b := plain.Audible(li, p, at), frozen.Audible(li, p, at); a != b {
+				t.Fatalf("Audible(%d, %v, %v): scan=%v index=%v", li, p, at, a, b)
+			}
+			if a, b := plain.SignalAt(li, p, at), frozen.SignalAt(li, p, at); a != b {
+				t.Fatalf("SignalAt(%d, %v, %v): scan=%v index=%v", li, p, at, a, b)
+			}
+			as, bs := plain.LoudestSource(li, p, at), frozen.LoudestSource(li, p, at)
+			switch {
+			case as == nil != (bs == nil):
+				t.Fatalf("LoudestSource(%d, %v, %v): scan=%v index=%v", li, p, at, as, bs)
+			case as != nil && as.ID != bs.ID:
+				t.Fatalf("LoudestSource(%d, %v, %v): scan=%d index=%d", li, p, at, as.ID, bs.ID)
+			}
+			al, bl := plain.AudibleSources(li, p, at), frozen.AudibleSources(li, p, at)
+			if len(al) != len(bl) {
+				t.Fatalf("AudibleSources(%d, %v, %v): scan=%d index=%d sources", li, p, at, len(al), len(bl))
+			}
+			for i := range al {
+				if al[i].ID != bl[i].ID {
+					t.Fatalf("AudibleSources(%d, %v, %v)[%d]: scan=%d index=%d", li, p, at, i, al[i].ID, bl[i].ID)
+				}
+			}
+		}
+	}
+}
+
+func TestAddSourceAfterFreezePanics(t *testing.T) {
+	f := NewField(1.0)
+	f.Freeze()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddSource after Freeze did not panic")
+		}
+	}()
+	f.AddSource(StaticSource(1, geometry.Point{}, 0, time.Second, 10, VoiceTone))
+}

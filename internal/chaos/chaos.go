@@ -16,10 +16,11 @@ import (
 type Injector struct {
 	net *core.Network
 	sc  *Scenario
-	// rng is the injector's private randomness (flash fault draws). It is
-	// deliberately NOT the scheduler's RNG: fault draws must not perturb
-	// the protocol's random stream, or the faulted run would diverge from
-	// the fault-free run for unrelated reasons.
+	// rng seeds the injector's private randomness. Fault draws must not
+	// perturb the protocol's random stream (the faulted run would diverge
+	// from the fault-free run for unrelated reasons), and flash draws are
+	// additionally per node — see flashRand — so draws made on different
+	// shards never interleave on one stream.
 	rng      *rand.Rand
 	baseLoss float64
 	log      []string
@@ -204,6 +205,15 @@ func (inj *Injector) setPartition(f *Fault, on bool) {
 	inj.logf("%s: a=%v b=%v dir=%s", verb, f.A, b, dir)
 }
 
+// flashRand derives the per-node stream backing one node's flash fault
+// draws. A single injector-wide stream would make concurrent faults on
+// nodes owned by different shards order-dependent; per-node streams keep
+// every draw sequence a function of that node's own event order, which
+// both engines replay identically.
+func (inj *Injector) flashRand(node int) *rand.Rand {
+	return rand.New(rand.NewSource(sim.NodeSeed(inj.sc.Seed^0x63686173, node)))
+}
+
 func (inj *Injector) setFlashFaults(f *Fault, on bool) {
 	store := inj.net.Nodes[f.Node].Mote.Store
 	if !on {
@@ -212,13 +222,14 @@ func (inj *Injector) setFlashFaults(f *Fault, on bool) {
 		inj.logf("flash faults cleared: node=%d", f.Node)
 		return
 	}
+	rng := inj.flashRand(f.Node)
 	if f.WriteProb > 0 {
 		p := f.WriteProb
-		store.SetWriteFault(func() bool { return inj.rng.Float64() < p })
+		store.SetWriteFault(func() bool { return rng.Float64() < p })
 	}
 	if f.ReadProb > 0 {
 		p := f.ReadProb
-		store.SetReadFault(func() bool { return inj.rng.Float64() < p })
+		store.SetReadFault(func() bool { return rng.Float64() < p })
 	}
 	inj.logf("flash faults: node=%d write=%v read=%v", f.Node, f.WriteProb, f.ReadProb)
 }

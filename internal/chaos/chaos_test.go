@@ -164,6 +164,54 @@ func TestChaosOffIsByteIdenticalToPlainRun(t *testing.T) {
 	}
 }
 
+// TestChaosUnderShardsMatchesSerial extends the determinism criterion to
+// the sharded engine: with faults firing on nodes that land in different
+// shards, the network outcome must equal the serial run's, a sharded
+// replay must be fully byte-identical (fault log and invariant report
+// included), and no invariant may break.
+//
+// The serial-vs-sharded comparison uses netSignature rather than the full
+// chaosSignature: the network state is bit-identical by contract, but
+// same-instant log lines from different nodes may interleave differently
+// between the two engines (see core.Config.Shards).
+func TestChaosUnderShardsMatchesSerial(t *testing.T) {
+	sc := &chaos.Scenario{
+		Name: "sharded-mixed",
+		Seed: 3,
+		Faults: []chaos.Fault{
+			{Kind: chaos.KindCrash, At: 90 * time.Second, Node: 10},
+			{Kind: chaos.KindReboot, At: 4 * time.Minute, Node: 10},
+			{Kind: chaos.KindLoss, From: 2 * time.Minute, To: 3 * time.Minute, Prob: 0.2, Node: -1},
+			{Kind: chaos.KindFlash, From: time.Minute, To: 5 * time.Minute, Node: 3, WriteProb: 0.3},
+			{Kind: chaos.KindFlash, From: time.Minute, To: 5 * time.Minute, Node: 27, WriteProb: 0.3},
+			{Kind: chaos.KindClockSkew, At: 2 * time.Minute, Node: 5, Step: 40 * time.Millisecond},
+		},
+	}
+	run := func(shards int) experiments.ChaosIndoorResult {
+		opts := experiments.QuickIndoorOpts()
+		opts.Shards = shards
+		res, err := experiments.RunIndoorChaos(lbSetting, opts, sc, chaos.InvariantsConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	duration := experiments.QuickIndoorOpts().Duration
+
+	serial := netSignature(run(1).Net, duration)
+	shardedA, shardedB := run(4), run(4)
+	if vs := shardedA.Checker.Violations(); len(vs) != 0 {
+		t.Fatalf("sharded chaos run violates invariants:\n%s", shardedA.Checker.Report())
+	}
+	if got := netSignature(shardedA.Net, duration); got != serial {
+		t.Fatalf("sharded chaos outcome diverged from serial:\n--- serial ---\n%s\n--- shards=4 ---\n%s", serial, got)
+	}
+	a, b := chaosSignature(shardedA, duration), chaosSignature(shardedB, duration)
+	if a != b {
+		t.Fatalf("sharded chaos replay is not byte-identical:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+}
+
 // TestCrashRebootRoundTrip: a crashed node rejoins on reboot with its
 // flash contents intact (modulo the checkpoint window) and the network
 // keeps all invariants through both transitions.

@@ -64,6 +64,14 @@ func (m Mode) String() string {
 type Config struct {
 	// Seed drives all randomness for the run.
 	Seed int64
+	// Shards selects the execution engine: 0 or 1 runs the serial
+	// scheduler (the default); >= 2 partitions the deployment into that
+	// many spatial shards executed concurrently under conservative
+	// lookahead synchronization (see sim.Shards and DESIGN.md §14). The
+	// result is bit-identical for every shard count >= 2 and matches the
+	// serial run except for same-instant cross-node tie order in traces
+	// and metrics, which the figure pipeline normalizes away.
+	Shards int
 	// Mode selects the operating mode; defaults to ModeFull.
 	Mode Mode
 	// CommRange is the radio range in deployment units (must be set).
@@ -153,6 +161,9 @@ func (c *Config) applyDefaults() {
 	if c.DetectionMargin == 0 {
 		c.DetectionMargin = 3
 	}
+	if c.Shards < 0 {
+		panic(fmt.Sprintf("core: negative shard count %d", c.Shards))
+	}
 }
 
 // Node is one assembled EnviroMic mote.
@@ -176,6 +187,9 @@ type Node struct {
 
 // Network is a complete simulated deployment.
 type Network struct {
+	// Sched is the run-level scheduler: the serial scheduler, or the
+	// global lane when sharded. Samplers, chaos injection and anything
+	// else that touches more than one node schedules here.
 	Sched     *sim.Scheduler
 	Field     *acoustics.Field
 	Radio     *radio.Network
@@ -184,10 +198,44 @@ type Network struct {
 
 	cfg     Config
 	sampler *sim.Ticker
+	// Sharded execution (nil / empty when cfg.Shards <= 1).
+	shards     *sim.Shards
+	shardOf    []int
+	shTrace    *obs.Sharded
+	stage      []stageBuf
+	stageMerge []staged
 	// Sampling scratch, reused across takeSample calls.
 	dups       metrics.DupCounter
 	chunkBuf   []*flash.Chunk
 	lastChunks int
+}
+
+// Sharding returns the shard coordinator, or nil for serial runs.
+func (n *Network) Sharding() *sim.Shards { return n.shards }
+
+// ShardOf returns the shard owning node id (0 for serial runs).
+func (n *Network) ShardOf(id int) int {
+	if n.shardOf == nil {
+		return 0
+	}
+	return n.shardOf[id]
+}
+
+// schedFor returns the scheduler node id's modules run on.
+func (n *Network) schedFor(id int) *sim.Scheduler {
+	if n.shards == nil {
+		return n.Sched
+	}
+	return n.shards.Shard(n.shardOf[id])
+}
+
+// tracerFor returns the tracer node id's modules emit into: the run
+// tracer when serial, the node's shard-buffered tracer when sharded.
+func (n *Network) tracerFor(id int) *obs.Tracer {
+	if n.shards == nil {
+		return n.cfg.Tracer
+	}
+	return n.shTrace.Shard(n.shardOf[id])
 }
 
 // NewGridNetwork deploys nodes on a regular grid (the indoor testbed).
@@ -201,9 +249,22 @@ func NewNetwork(cfg Config, field *acoustics.Field, positions []geometry.Point) 
 	if len(positions) == 0 {
 		panic("core: no node positions")
 	}
-	sched := sim.NewScheduler(cfg.Seed)
 	rcfg := radio.DefaultConfig(cfg.CommRange)
 	rcfg.LossProb = cfg.LossProb
+	rcfg.Seed = cfg.Seed
+
+	var (
+		sched   *sim.Scheduler
+		shards  *sim.Shards
+		shardOf []int
+	)
+	if cfg.Shards > 1 {
+		shards = sim.NewShards(cfg.Seed, cfg.Shards, rcfg.Lookahead())
+		sched = shards.Global()
+		shardOf = assignShards(positions, cfg.CommRange, cfg.Shards)
+	} else {
+		sched = sim.NewScheduler(cfg.Seed)
+	}
 	rnet := radio.NewNetwork(sched, rcfg)
 	rnet.SetTracer(cfg.Tracer)
 
@@ -219,6 +280,24 @@ func NewNetwork(cfg Config, field *acoustics.Field, positions []geometry.Point) 
 		Radio:     rnet,
 		Collector: collector,
 		cfg:       cfg,
+		shards:    shards,
+		shardOf:   shardOf,
+	}
+	if shards != nil {
+		rnet.SetSharding(shards, func(id int) int { return shardOf[id] })
+		n.shTrace = obs.NewSharded(cfg.Tracer, cfg.Shards)
+		if trs := n.shTrace.Tracers(); trs != nil {
+			rnet.SetShardTracers(trs)
+		}
+		n.stage = make([]stageBuf, cfg.Shards)
+		// Barrier order matters: rebuild the spatial index first (cheap
+		// no-op unless the topology changed), then publish buffered trace
+		// events, then staged metrics — so by the time any global-lane
+		// event runs, the trace and the collector reflect everything the
+		// preceding windows did.
+		shards.OnBarrier(rnet.EnsureIndex)
+		shards.OnBarrier(n.shTrace.Flush)
+		shards.OnBarrier(n.flushStage)
 	}
 	for i, pos := range positions {
 		n.Nodes = append(n.Nodes, n.buildNode(i, pos))
@@ -228,7 +307,13 @@ func NewNetwork(cfg Config, field *acoustics.Field, positions []geometry.Point) 
 
 func (n *Network) buildNode(id int, pos geometry.Point) *Node {
 	cfg := n.cfg
-	m := mote.New(id, pos, n.Sched, n.Field, n.Radio, mote.Config{
+	// Every module of this node runs on its shard's scheduler (the serial
+	// scheduler when unsharded). Build-time randomness — drift draws just
+	// below — stays on the run-level scheduler, whose stream is identical
+	// in serial and sharded runs.
+	sched := n.schedFor(id)
+	tr := n.tracerFor(id)
+	m := mote.New(id, pos, sched, n.Field, n.Radio, mote.Config{
 		SampleRate:      cfg.SampleRate,
 		FlashBlocks:     cfg.FlashBlocks,
 		SynthesizeAudio: cfg.SynthesizeAudio,
@@ -256,14 +341,14 @@ func (n *Network) buildNode(id int, pos geometry.Point) *Node {
 		return node
 	}
 
-	node.Stack = netstack.NewStack(m.Endpoint, n.Sched)
-	node.Bulk = netstack.NewBulk(node.Stack, n.Sched)
+	node.Stack = netstack.NewStack(m.Endpoint, sched)
+	node.Bulk = netstack.NewBulk(node.Stack, sched)
 	node.Bulk.Compress = cfg.CompressMigrations
-	node.Bulk.SetTracer(cfg.Tracer)
+	node.Bulk.SetTracer(tr)
 
 	var ts task.TimeSource
 	if cfg.TimeSync {
-		node.Sync = timesync.New(id, node.Clock, n.Sched, node.Stack, timesync.DefaultConfig())
+		node.Sync = timesync.New(id, node.Clock, sched, node.Stack, timesync.DefaultConfig())
 		node.Stack.Register(timesync.Beacon{}.Kind(), func(from, to int, p radio.Payload) {
 			if b, ok := p.(timesync.Beacon); ok {
 				node.Sync.HandleBeacon(b)
@@ -271,7 +356,7 @@ func (n *Network) buildNode(id int, pos geometry.Point) *Node {
 		})
 		ts = node.Sync
 	} else {
-		ts = perfectTime{n.Sched}
+		ts = perfectTime{sched}
 	}
 
 	tcfg := task.DefaultConfig()
@@ -279,7 +364,7 @@ func (n *Network) buildNode(id int, pos geometry.Point) *Node {
 		tcfg = *cfg.Task
 	}
 	userTP := cfg.TaskProbe
-	node.Tasks = task.NewService(id, node.Stack, n.Sched, m, ts, tcfg, task.Probe{
+	node.Tasks = task.NewService(id, node.Stack, sched, m, ts, tcfg, task.Probe{
 		OnAssign:      userTP.OnAssign,
 		OnReject:      userTP.OnReject,
 		OnRecordStart: userTP.OnRecordStart,
@@ -290,11 +375,11 @@ func (n *Network) buildNode(id int, pos geometry.Point) *Node {
 			}
 		},
 	})
-	node.Tasks.SetTracer(cfg.Tracer)
+	node.Tasks.SetTracer(tr)
 	node.Tasks.SetBusyCheck(func() bool { return node.Bulk.InFlight() > 0 })
 	// Hearing is raw audibility (not the probabilistic detection draw):
 	// the question is whether recording would capture the event at all.
-	node.Tasks.SetHearingCheck(func() bool { return m.Audible(n.Sched.Now()) })
+	node.Tasks.SetHearingCheck(func() bool { return m.Audible(sched.Now()) })
 
 	gcfg := group.DefaultConfig()
 	if cfg.Group != nil {
@@ -306,23 +391,23 @@ func (n *Network) buildNode(id int, pos geometry.Point) *Node {
 		if cfg.Storage != nil {
 			scfg = *cfg.Storage
 		}
-		node.Balancer = storage.NewBalancer(id, node.Stack, node.Bulk, n.Sched, m.Store, m.Energy, scfg, storage.Probe{
+		node.Balancer = storage.NewBalancer(id, node.Stack, node.Bulk, sched, m.Store, m.Energy, scfg, storage.Probe{
 			OnMigrateOut: func(from, to, chunks int, at sim.Time) {
-				n.Collector.AddMigration(metrics.Migration{From: from, To: to, Chunks: chunks, At: at})
+				n.addMigration(metrics.Migration{From: from, To: to, Chunks: chunks, At: at})
 			},
-			OnOverflow: func(nid int, at sim.Time) { n.Collector.AddOverflow(at) },
+			OnOverflow: func(nid int, at sim.Time) { n.addOverflow(nid, at) },
 		})
-		node.Balancer.SetTracer(cfg.Tracer)
+		node.Balancer.SetTracer(tr)
 		ttlSrc = node.Balancer
 	}
 	// Retrieval responder: answers mule queries and relays spanning-tree
 	// convergecasts on the retrieval traffic class (the balancer keeps
 	// the balancing class).
-	node.Responder = retrieval.NewResponder(id, node.Stack, node.Bulk, n.Sched, m.Store)
-	node.Responder.SetTracer(cfg.Tracer)
+	node.Responder = retrieval.NewResponder(id, node.Stack, node.Bulk, sched, m.Store)
+	node.Responder.SetTracer(tr)
 
 	userGP := cfg.GroupProbe
-	node.Group = group.NewManager(id, node.Stack, n.Sched, sensor, ttlSrc, node.Tasks, m, gcfg, group.Probe{
+	node.Group = group.NewManager(id, node.Stack, sched, sensor, ttlSrc, node.Tasks, m, gcfg, group.Probe{
 		OnElected:     userGP.OnElected,
 		OnHandoff:     userGP.OnHandoff,
 		OnResign:      userGP.OnResign,
@@ -342,7 +427,7 @@ func (n *Network) buildNode(id int, pos geometry.Point) *Node {
 			}
 		},
 	})
-	node.Group.SetTracer(cfg.Tracer)
+	node.Group.SetTracer(tr)
 	return node
 }
 
@@ -360,19 +445,23 @@ func (n *Network) onRecordEnd(node *Node, file flash.FileID, start, end sim.Time
 	if total > 0 {
 		frac = float64(stored) / float64(total)
 	}
-	n.Collector.AddRecording(metrics.Recording{
+	n.addRecording(metrics.Recording{
 		Node: node.ID, File: file, Start: start, End: end, StoredFrac: frac,
 	})
 	if node.Balancer != nil {
 		node.Balancer.OnAcquired(stored * flash.BlockSize)
 	}
 	if stored < total {
-		n.Collector.AddOverflow(end)
+		n.addOverflow(node.ID, end)
 	}
 }
 
 // Start launches every node's modules and the metrics sampler.
 func (n *Network) Start() {
+	// All scenario sources are registered at build time; freeze the field
+	// so shard goroutines can read it concurrently (and serial runs get
+	// the same indexed-query speedup).
+	n.Field.Freeze()
 	for _, node := range n.Nodes {
 		if n.cfg.DutyCycle > 0 && n.cfg.DutyCycle < 1 {
 			node.duty = newDutyCycler(n, node, n.cfg.DutyPeriod, n.cfg.DutyCycle)
@@ -399,7 +488,11 @@ func (n *Network) Run(until sim.Time) {
 	if n.sampler == nil {
 		n.Start()
 	}
-	n.Sched.Run(until)
+	if n.shards != nil {
+		n.shards.Run(until)
+	} else {
+		n.Sched.Run(until)
+	}
 	n.takeSample()
 }
 
@@ -536,7 +629,9 @@ func (s *nodeSensor) Detect(at sim.Time) bool {
 		return false
 	}
 	if p := s.net.Field.DetectProb; p > 0 && p < 1 {
-		return s.net.Sched.Rand().Float64() < p
+		// Drawn from the node's private stream so the outcome depends only
+		// on this node's own poll sequence, not on global event order.
+		return s.m.Endpoint.Rand().Float64() < p
 	}
 	return true
 }

@@ -50,7 +50,7 @@ func (d *dutyCycler) start() {
 	}
 	// Stagger: node i's cycle starts i/n of a period later.
 	phase := time.Duration(int64(d.period) * int64(d.node.ID%8) / 8)
-	d.net.Sched.After(d.awake+phase, fmt.Sprintf("core.sleep.%d", d.node.ID), d.trySleep)
+	d.node.Mote.Sched.After(d.awake+phase, fmt.Sprintf("core.sleep.%d", d.node.ID), d.trySleep)
 }
 
 // Sleeping reports whether the node is currently in its sleep phase.
@@ -62,11 +62,11 @@ func (d *dutyCycler) trySleep() {
 	}
 	if d.node.Tasks != nil && (d.node.Tasks.Recording() || d.node.Tasks.Leading()) {
 		// Finish the job first; check again shortly.
-		d.net.Sched.After(200*time.Millisecond, fmt.Sprintf("core.sleepretry.%d", d.node.ID), d.trySleep)
+		d.node.Mote.Sched.After(200*time.Millisecond, fmt.Sprintf("core.sleepretry.%d", d.node.ID), d.trySleep)
 		return
 	}
 	if d.node.Bulk != nil && d.node.Bulk.InFlight() > 0 {
-		d.net.Sched.After(200*time.Millisecond, fmt.Sprintf("core.sleepretry.%d", d.node.ID), d.trySleep)
+		d.node.Mote.Sched.After(200*time.Millisecond, fmt.Sprintf("core.sleepretry.%d", d.node.ID), d.trySleep)
 		return
 	}
 	d.sleeping = true
@@ -75,7 +75,7 @@ func (d *dutyCycler) trySleep() {
 	} else {
 		d.node.Mote.Endpoint.SetRadio(false)
 	}
-	d.net.Sched.After(d.period-d.awake, fmt.Sprintf("core.wake.%d", d.node.ID), d.wake)
+	d.node.Mote.Sched.After(d.period-d.awake, fmt.Sprintf("core.wake.%d", d.node.ID), d.wake)
 }
 
 func (d *dutyCycler) wake() {
@@ -89,5 +89,5 @@ func (d *dutyCycler) wake() {
 	} else {
 		d.node.Mote.Endpoint.SetRadio(true)
 	}
-	d.net.Sched.After(d.awake, fmt.Sprintf("core.sleep.%d", d.node.ID), d.trySleep)
+	d.node.Mote.Sched.After(d.awake, fmt.Sprintf("core.sleep.%d", d.node.ID), d.trySleep)
 }

@@ -49,7 +49,7 @@ func newIndependentRecorder(n *Network, node *Node, sensor *nodeSensor) *indepen
 }
 
 func (r *independentRecorder) start() {
-	r.ticker = sim.NewTicker(r.net.Sched, r.pollInterval,
+	r.ticker = sim.NewTicker(r.node.Mote.Sched, r.pollInterval,
 		fmt.Sprintf("core.indep.%d", r.node.ID), r.poll)
 }
 
@@ -63,7 +63,7 @@ func (r *independentRecorder) poll() {
 	if r.recording || !r.node.Mote.Alive() {
 		return
 	}
-	now := r.net.Sched.Now()
+	now := r.node.Mote.Sched.Now()
 	if !r.sensor.Detect(now) {
 		// A silence gap ends the local "file": the next detection is a
 		// new clip.
@@ -77,8 +77,8 @@ func (r *independentRecorder) poll() {
 		r.seq = 0
 	}
 	start := now
-	r.net.Sched.After(r.trc, fmt.Sprintf("core.indep.rec.%d", r.node.ID), func() {
-		end := r.net.Sched.Now()
+	r.node.Mote.Sched.After(r.trc, fmt.Sprintf("core.indep.rec.%d", r.node.ID), func() {
+		end := r.node.Mote.Sched.Now()
 		samples := r.node.Mote.CaptureSamples(start, end)
 		chunks := flash.SplitSamples(r.curFile, int32(r.node.ID), r.seq, start, end, samples)
 		r.seq += uint32(len(chunks))

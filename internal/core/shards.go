@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"enviromic/internal/geometry"
+	"enviromic/internal/metrics"
+	"enviromic/internal/sim"
+)
+
+// assignShards partitions node positions into contiguous vertical stripes
+// of cell columns, balanced by node count. Columns are one CommRange
+// wide — the same quantization the radio's spatial index uses — so most
+// radio neighborhoods land within one shard and cross-shard deliveries
+// (the only synchronization traffic) stay a minority. Correctness does
+// not depend on the assignment at all: any partition is sound because
+// every delivery, same-shard or not, is ordered through the deposit
+// lanes; the stripes are purely a locality/balance heuristic.
+func assignShards(positions []geometry.Point, commRange float64, nShards int) []int {
+	colOf := make([]int, len(positions))
+	counts := make(map[int]int, 64)
+	for i, p := range positions {
+		c := int(math.Floor(p.X / commRange))
+		colOf[i] = c
+		counts[c]++
+	}
+	cols := make([]int, 0, len(counts))
+	for c := range counts {
+		cols = append(cols, c)
+	}
+	sort.Ints(cols)
+
+	// Greedy balanced partition of the ordered columns: close the current
+	// stripe once it holds its fair share of the remaining nodes.
+	shardOfCol := make(map[int]int, len(cols))
+	sh, acc, used := 0, 0, 0
+	for _, c := range cols {
+		if sh < nShards-1 && acc > 0 {
+			remaining := len(positions) - used
+			target := (remaining + acc + (nShards - sh - 1)) / (nShards - sh)
+			if acc >= target {
+				sh++
+				acc = 0
+			}
+		}
+		shardOfCol[c] = sh
+		acc += counts[c]
+		used += counts[c]
+	}
+
+	out := make([]int, len(positions))
+	for i, c := range colOf {
+		out[i] = shardOfCol[c]
+	}
+	return out
+}
+
+// staged is one collector entry produced on a shard goroutine, held back
+// until the next window barrier. The collector's append-only lists are
+// not safe for concurrent writers, and even with locking the arrival
+// order would depend on goroutine scheduling; staging restores a
+// deterministic, shard-count-invariant order.
+type staged struct {
+	kind stageKind
+	at   sim.Time
+	node int
+	// aux breaks (at, node, kind) ties deterministically: the file ID
+	// for recordings, the destination for migrations.
+	aux int64
+	rec metrics.Recording
+	mig metrics.Migration
+}
+
+type stageKind uint8
+
+const (
+	stageRecording stageKind = iota
+	stageMigration
+	stageOverflow
+)
+
+// stageBuf is one shard's staging lane, padded onto its own cache line:
+// shard goroutines append concurrently during a window.
+type stageBuf struct {
+	entries []staged
+	_       [64]byte
+}
+
+func (n *Network) stageFor(node int) *stageBuf { return &n.stage[n.shardOf[node]] }
+
+func (n *Network) addRecording(rec metrics.Recording) {
+	if n.stage == nil {
+		n.Collector.AddRecording(rec)
+		return
+	}
+	b := n.stageFor(rec.Node)
+	b.entries = append(b.entries, staged{
+		kind: stageRecording, at: rec.End, node: rec.Node, aux: int64(rec.File), rec: rec,
+	})
+}
+
+func (n *Network) addMigration(mig metrics.Migration) {
+	if n.stage == nil {
+		n.Collector.AddMigration(mig)
+		return
+	}
+	b := n.stageFor(mig.From)
+	b.entries = append(b.entries, staged{
+		kind: stageMigration, at: mig.At, node: mig.From, aux: int64(mig.To), mig: mig,
+	})
+}
+
+func (n *Network) addOverflow(node int, at sim.Time) {
+	if n.stage == nil {
+		n.Collector.AddOverflow(at)
+		return
+	}
+	b := n.stageFor(node)
+	b.entries = append(b.entries, staged{kind: stageOverflow, at: at, node: node})
+}
+
+// flushStage publishes staged collector entries in (at, node, kind, aux)
+// order — a key with no shard identity in it, so the collector sees the
+// same sequence for every shard count. Runs at window barriers with all
+// shards parked. Per-node entry order is preserved by the stable sort
+// (a node's entries all sit in one shard buffer, already in its own
+// emission order).
+func (n *Network) flushStage() {
+	total := 0
+	for i := range n.stage {
+		total += len(n.stage[i].entries)
+	}
+	if total == 0 {
+		return
+	}
+	buf := n.stageMerge[:0]
+	for i := range n.stage {
+		buf = append(buf, n.stage[i].entries...)
+		n.stage[i].entries = n.stage[i].entries[:0]
+	}
+	sort.SliceStable(buf, func(i, j int) bool {
+		a, b := &buf[i], &buf[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.node != b.node {
+			return a.node < b.node
+		}
+		if a.kind != b.kind {
+			return a.kind < b.kind
+		}
+		return a.aux < b.aux
+	})
+	for i := range buf {
+		switch e := &buf[i]; e.kind {
+		case stageRecording:
+			n.Collector.AddRecording(e.rec)
+		case stageMigration:
+			n.Collector.AddMigration(e.mig)
+		case stageOverflow:
+			n.Collector.AddOverflow(e.at)
+		}
+	}
+	n.stageMerge = buf[:0]
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"time"
+
+	"enviromic/internal/acoustics"
+	"enviromic/internal/core"
+	"enviromic/internal/group"
+	"enviromic/internal/obs"
+	"enviromic/internal/retrieval"
+	"enviromic/internal/sim"
+	"enviromic/internal/workload"
+)
+
+// ---------------------------------------------------------------------
+// City — the 10k-mote scale scenario driving the sharded engine.
+// ---------------------------------------------------------------------
+
+// CityOpts parameterizes the city run. The scenario is not from the
+// paper: it extrapolates the forest deployment's sparse connectivity to
+// a street grid two orders of magnitude larger, which is the scale the
+// sharded scheduler (DESIGN.md §14) exists for.
+type CityOpts struct {
+	Seed int64
+	// City is the street-grid workload; zero fields take the
+	// workload.DefaultCity values.
+	City workload.CityConfig
+	// Duration of the run (defaults to City.Duration).
+	Duration time.Duration
+	// FlashBlocks per mote. City motes are small: the interesting
+	// dynamics are protocol throughput, not flash saturation.
+	FlashBlocks int
+	// Shards selects the execution engine (0/1 serial; >= 2 sharded).
+	Shards int
+	// Tracer receives structured protocol events (nil disables).
+	Tracer *obs.Tracer
+}
+
+// DefaultCityOpts is the benchmark configuration: ~10.4k motes, one
+// simulated hour.
+func DefaultCityOpts() CityOpts {
+	return CityOpts{
+		Seed:        5,
+		City:        workload.DefaultCity(),
+		FlashBlocks: 128,
+	}
+}
+
+// QuickCityOpts is a reduced city for smoke tests: a 4×4-block village
+// of ~200 motes and a few simulated minutes.
+func QuickCityOpts() CityOpts {
+	city := workload.CityConfig{
+		Seed:      11,
+		Blocks:    4,
+		BlockSize: 50,
+		Spacing:   10,
+		Duration:  3 * time.Minute,
+		EventGap:  8 * time.Second,
+		Mules:     2,
+		Threshold: 1,
+	}
+	return CityOpts{Seed: 5, City: city, FlashBlocks: 64}
+}
+
+// CityResult bundles the run's headline numbers.
+type CityResult struct {
+	Opts   CityOpts
+	Net    *core.Network
+	Nodes  int
+	Events int
+	// Retrieval is the end-of-run reassembly check over all holdings.
+	Retrieval retrieval.Summary
+}
+
+// City builds and runs the city scenario. The same opts produce a
+// bit-identical network state for every Shards value (the determinism
+// contract of core.Config.Shards).
+func City(opts CityOpts) CityResult {
+	net, events := BuildCity(opts)
+	dur := opts.Duration
+	if dur == 0 {
+		dur = opts.City.Duration
+	}
+	net.Run(sim.At(dur))
+	files := retrieval.Reassemble(net.Holdings(), retrieval.Query{All: true})
+	return CityResult{
+		Opts:      opts,
+		Net:       net,
+		Nodes:     len(net.Nodes),
+		Events:    events,
+		Retrieval: retrieval.Summarize(files, 500*time.Millisecond),
+	}
+}
+
+// BuildCity constructs the city network without running it.
+func BuildCity(opts CityOpts) (*core.Network, int) {
+	city := opts.City
+	if city.Duration == 0 {
+		city.Duration = opts.Duration
+	}
+	if opts.Duration != 0 && opts.Duration < city.Duration {
+		city.Duration = opts.Duration
+	}
+	field := acoustics.NewField(1)
+	field.DetectProb = 0.8
+	events := workload.GenerateCity(field, city)
+	positions := workload.CityPositions(city)
+	gcfg := group.DefaultConfig()
+	// Street motes poll at 4 Hz instead of 10: events last seconds, so
+	// detection latency is still well under a task period, and at 10k
+	// motes the poll tick dominates the event count.
+	gcfg.PollInterval = 250 * time.Millisecond
+	flashBlocks := opts.FlashBlocks
+	if flashBlocks == 0 {
+		flashBlocks = 128
+	}
+	net := core.NewNetwork(core.Config{
+		Seed:         opts.Seed,
+		Shards:       opts.Shards,
+		Mode:         core.ModeFull,
+		BetaMax:      2,
+		CommRange:    30, // reaches ~3 motes up and down the street
+		LossProb:     0.05,
+		FlashBlocks:  flashBlocks,
+		Group:        &gcfg,
+		SamplePeriod: 10 * time.Minute,
+		Tracer:       opts.Tracer,
+	}, field, positions)
+	return net, events
+}

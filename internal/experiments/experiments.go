@@ -277,6 +277,10 @@ type IndoorOpts struct {
 	DetectProb float64
 	// SamplePoints is how many time samples the curves carry.
 	SamplePoints int
+	// Shards selects the execution engine for each setting's run
+	// (core.Config.Shards: 0/1 serial, >= 2 sharded; results are
+	// bit-identical either way).
+	Shards int
 	// Parallel is the worker count for running the five settings
 	// concurrently; <= 1 runs them serially. Each setting's run owns its
 	// scheduler and RNG, so the results are identical either way.
@@ -314,6 +318,7 @@ func BuildIndoor(setting IndoorSetting, opts IndoorOpts) *core.Network {
 	workload.GeneratePoisson(field, grid, pcfg)
 	return core.NewGridNetwork(core.Config{
 		Seed:         opts.Seed,
+		Shards:       opts.Shards,
 		Mode:         setting.Mode,
 		BetaMax:      setting.BetaMax,
 		CommRange:    6 * grid.Pitch, // the dense testbed is one hop
@@ -409,6 +414,8 @@ type ForestOpts struct {
 	WorkloadSeed int64
 	Duration     time.Duration
 	FlashBlocks  int
+	// Shards selects the execution engine (core.Config.Shards).
+	Shards int
 	// Parallel is the worker count used by ForestSweep when running the
 	// scenario over several seeds; a single Forest call is one simulation
 	// and runs on the calling goroutine regardless.
@@ -468,6 +475,7 @@ func forestRun(opts ForestOpts) ForestResult {
 	gcfg := group.DefaultConfig()
 	net := core.NewNetwork(core.Config{
 		Seed:         opts.Seed,
+		Shards:       opts.Shards,
 		Mode:         core.ModeFull,
 		BetaMax:      2,
 		CommRange:    30, // trees ~17 ft apart; radio reaches next-but-one

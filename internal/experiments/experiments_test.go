@@ -35,7 +35,7 @@ func TestFig3Shape(t *testing.T) {
 
 func TestFig6ShapeReduced(t *testing.T) {
 	opts := Fig6Opts{
-		Seed:    1,
+		Seed:    3,
 		Runs:    4,
 		DtaMS:   []int{10, 70, 130},
 		TrcList: []time.Duration{time.Second},

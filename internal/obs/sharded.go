@@ -1,0 +1,120 @@
+package obs
+
+import "sort"
+
+// Sharded adapts one Tracer for sharded execution. Emitting into a
+// shared sink from concurrent shard goroutines would interleave events
+// nondeterministically (goroutine schedule order would leak into the
+// trace), so each shard gets a private Tracer that buffers into a local
+// slice, and Flush — called at every window barrier, on the coordinator
+// goroutine — merges the buffers into the base tracer in a
+// shard-count-invariant order.
+//
+// The merge key is (At, Node, per-buffer emission order). Every node
+// lives on exactly one shard, so all of a node's events sit in one
+// buffer already in that node's emission order; a stable sort by
+// (At, Node) therefore totally orders the window. Events from different
+// nodes at the same instant are ordered by node ID, which can differ
+// from serial execution order for same-instant cross-node ties — the
+// trace is bit-identical across shard counts >= 2, and semantically
+// identical (same events, same stamps) to the serial trace.
+type Sharded struct {
+	base *Tracer
+	bufs []shardBuf
+	trs  []*Tracer
+}
+
+// shardBuf pads each shard's buffer header onto its own cache line:
+// shard goroutines append concurrently during a window.
+type shardBuf struct {
+	events []Event
+	_      [64]byte
+}
+
+// bufSink appends into a shard buffer. Closing is a no-op: the buffers
+// are owned by Sharded and drained by Flush.
+type bufSink struct{ b *shardBuf }
+
+func (s bufSink) Emit(e Event) { s.b.events = append(s.b.events, e) }
+func (s bufSink) Close() error { return nil }
+
+// NewSharded wraps base with n per-shard buffering tracers. A nil base
+// returns nil: tracing stays disabled everywhere.
+func NewSharded(base *Tracer, n int) *Sharded {
+	if base == nil {
+		return nil
+	}
+	sh := &Sharded{base: base, bufs: make([]shardBuf, n), trs: make([]*Tracer, n)}
+	for i := range sh.trs {
+		// Per-shard tracers inherit the base filter so filtering cost is
+		// paid on the shard goroutine, not at the merge.
+		sh.trs[i] = &Tracer{sink: bufSink{b: &sh.bufs[i]}, filter: base.filter}
+	}
+	return sh
+}
+
+// Tracers returns the per-shard tracers, indexed by shard. Safe on a
+// nil receiver (returns nil: all shards trace into the nil tracer).
+func (sh *Sharded) Tracers() []*Tracer {
+	if sh == nil {
+		return nil
+	}
+	return sh.trs
+}
+
+// Shard returns shard i's tracer; nil when tracing is disabled.
+func (sh *Sharded) Shard(i int) *Tracer {
+	if sh == nil {
+		return nil
+	}
+	return sh.trs[i]
+}
+
+// Flush merges all shard buffers into the base tracer. Must run with
+// shards parked (a window barrier). Safe on a nil receiver.
+func (sh *Sharded) Flush() {
+	if sh == nil {
+		return
+	}
+	var merged []Event
+	single := -1
+	n := 0
+	for i := range sh.bufs {
+		if len(sh.bufs[i].events) == 0 {
+			continue
+		}
+		n += len(sh.bufs[i].events)
+		if single == -1 {
+			single = i
+		} else {
+			single = -2
+		}
+	}
+	if n == 0 {
+		return
+	}
+	if single >= 0 {
+		// One shard emitted this window: its buffer is already ordered.
+		merged = sh.bufs[single].events
+	} else {
+		merged = make([]Event, 0, n)
+		for i := range sh.bufs {
+			merged = append(merged, sh.bufs[i].events...)
+		}
+		sort.SliceStable(merged, func(i, j int) bool {
+			if merged[i].At != merged[j].At {
+				return merged[i].At < merged[j].At
+			}
+			return merged[i].Node < merged[j].Node
+		})
+	}
+	for i := range merged {
+		e := &merged[i]
+		// Re-emit through the base tracer's sink directly: filtering
+		// already happened on the shard side.
+		sh.base.sink.Emit(*e)
+	}
+	for i := range sh.bufs {
+		sh.bufs[i].events = sh.bufs[i].events[:0]
+	}
+}

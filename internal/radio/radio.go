@@ -6,10 +6,18 @@
 // and an explicit power switch — recorders turn the radio off entirely
 // during a recording task because packet processing corrupts high-rate
 // sampling (§III-B.1).
+//
+// The radio is also the only cross-node coupling in the model, which
+// makes it the seam for sharded parallel execution (DESIGN.md §14): every
+// delivery is scheduled at least Config.Lookahead() after its send, so
+// shards can run that far ahead without synchronizing, and Send routes
+// deliveries whose receivers live on another shard through the
+// coordinator's deposit lanes.
 package radio
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"enviromic/internal/geometry"
@@ -65,13 +73,16 @@ type Frame struct {
 // TotalSize returns the frame's on-air size including piggybacked
 // payloads and a fixed MAC header.
 func (f *Frame) TotalSize() int {
-	const macHeader = 11 // 802.15.4-ish overhead
 	n := macHeader + f.Payload.Size()
 	for _, p := range f.Piggyback {
 		n += p.Size()
 	}
 	return n
 }
+
+// macHeader is the fixed per-frame overhead (802.15.4-ish), and therefore
+// the minimum on-air size of any frame — part of the lookahead bound.
+const macHeader = 11
 
 // Handler receives frames delivered to an endpoint.
 type Handler interface {
@@ -113,12 +124,26 @@ type Config struct {
 	ByteTime time.Duration
 	// TurnaroundDelay is fixed per-frame MAC/backoff latency.
 	TurnaroundDelay time.Duration
+	// Seed derives the per-node random streams (loss draws, and — via
+	// Endpoint.Rand — every protocol layer's backoffs and jitter). Two
+	// networks with the same Seed draw identically regardless of shard
+	// count.
+	Seed int64
 	// BruteForce disables the spatial neighbor index and re-scans every
 	// endpoint on each transmission, as the model originally did. The two
 	// paths are bit-identical for a fixed seed (asserted by tests); this
 	// switch exists as the reference implementation for those tests and
-	// as an escape hatch for debugging the index.
+	// as an escape hatch for debugging the index. Incompatible with
+	// sharded execution.
 	BruteForce bool
+}
+
+// Lookahead returns the minimum latency of any cross-node interaction:
+// the fixed turnaround plus the air time of an empty frame. Every
+// delivery event fires at least this long after its send, which is the
+// conservative-synchronization bound sharded execution runs under.
+func (c Config) Lookahead() time.Duration {
+	return c.TurnaroundDelay + macHeader*c.ByteTime
 }
 
 // DefaultConfig mirrors a MicaZ-class mote running the 2006-era TinyOS
@@ -135,16 +160,12 @@ func DefaultConfig(commRange float64) Config {
 	}
 }
 
-// Network is the shared medium connecting all endpoints of one scenario.
-type Network struct {
-	cfg   Config
-	sched *sim.Scheduler
-	eps   map[int]*Endpoint
-	// byID holds every endpoint in ascending node-ID order; it backs both
-	// the spatial index and the deterministic receiver iteration.
-	byID  []*Endpoint
+// shardState is the per-shard slice of the network's mutable counters and
+// scratch space. During a window each shard goroutine touches only its
+// own entry; snapshots (Stats) merge the slices at a barrier. In serial
+// mode there is exactly one.
+type shardState struct {
 	stats Stats
-
 	// Per-kind and per-node transmission counters live in flat arrays
 	// indexed by KindID and node ID — the per-Send increment is a bounds
 	// check and an add, no map hashing. They are converted to the
@@ -152,24 +173,57 @@ type Network struct {
 	txByKind     []uint64   // [KindID]count
 	txByNode     []uint64   // [nodeID]frames
 	txByNodeKind [][]uint64 // [nodeID][KindID]count
+	// scratch is the reusable candidate buffer for neighbor rebuilds.
+	scratch []int
+	// pad spaces adjacent shardStates apart so the per-Send counter
+	// increments of different shards do not share a cache line.
+	_ [64]byte
+}
+
+// countTx records one transmitted payload of the given kind from node.
+// The caller has already ensured txByNode/txByNodeKind cover node.
+func (st *shardState) countTx(node int, kind KindID) {
+	st.txByKind = growKind(st.txByKind, kind)
+	st.txByKind[kind]++
+	nk := growKind(st.txByNodeKind[node], kind)
+	nk[kind]++
+	st.txByNodeKind[node] = nk
+}
+
+// Network is the shared medium connecting all endpoints of one scenario.
+type Network struct {
+	cfg   Config
+	sched *sim.Scheduler
+	eps   map[int]*Endpoint
+	// byID holds every endpoint in ascending node-ID order; it backs both
+	// the spatial index and the deterministic receiver iteration.
+	byID []*Endpoint
+
+	// sh holds the per-shard counters and scratch (one entry in serial
+	// mode). shards/shardOf are nil unless SetSharding was called.
+	sh      []shardState
+	shards  *sim.Shards
+	shardOf func(id int) int
 
 	// epoch counts topology changes (Join, SetPos, Kill). Cached neighbor
 	// lists and the cell grid are tagged with the epoch they were built at
 	// and rebuilt lazily when it moves on — this is what keeps the data
-	// mule's relocations correct.
+	// mule's relocations correct. Under sharded execution topology may
+	// only change on the global lane, and EnsureIndex runs at every
+	// barrier, so shard goroutines never observe a stale grid.
 	epoch     uint64
 	grid      *geometry.CellIndex
 	gridEpoch uint64
-	// scratch is the reusable candidate buffer for neighbor rebuilds.
-	scratch []int
 
 	// blocked holds directed (sender, receiver) pairs suppressed by a
 	// chaos partition overlay, keyed sender<<32|receiver. Nil when no
 	// partition is active, so the delivery hot path pays one nil check.
 	blocked map[uint64]struct{}
 
-	// tr, when non-nil, receives per-receiver drop events.
-	tr *obs.Tracer
+	// tr, when non-nil, receives per-receiver drop events (serial mode).
+	// trs, when non-nil, is the per-shard tracer set (sharded mode).
+	tr  *obs.Tracer
+	trs []*obs.Tracer
 }
 
 // Stats aggregates transmission counts for the overhead figures. The
@@ -209,8 +263,31 @@ func NewNetwork(s *sim.Scheduler, cfg Config) *Network {
 		cfg:   cfg,
 		sched: s,
 		eps:   make(map[int]*Endpoint),
+		sh:    make([]shardState, 1),
 		epoch: 1,
 	}
+}
+
+// SetSharding switches the network to sharded delivery: endpoints attach
+// to the shard scheduler chosen by shardOf, per-shard counters replace
+// the single set, and deliveries crossing shards go through the
+// coordinator's deposit lanes. Must be called before any Join, and is
+// incompatible with BruteForce (whose full rescan has no spatial
+// locality to shard by).
+func (n *Network) SetSharding(sh *sim.Shards, shardOf func(id int) int) {
+	if len(n.eps) > 0 {
+		panic("radio: SetSharding after Join")
+	}
+	if n.cfg.BruteForce {
+		panic("radio: BruteForce is incompatible with sharded execution")
+	}
+	if sh.Lookahead() > n.cfg.Lookahead() {
+		panic(fmt.Sprintf("radio: coordinator lookahead %v exceeds radio minimum latency %v",
+			sh.Lookahead(), n.cfg.Lookahead()))
+	}
+	n.shards = sh
+	n.shardOf = shardOf
+	n.sh = make([]shardState, sh.N())
 }
 
 // growKind ensures the per-kind counter array covers id.
@@ -221,51 +298,77 @@ func growKind(a []uint64, id KindID) []uint64 {
 	return a
 }
 
-// countTx records one transmitted payload of the given kind from node.
-// The caller has already ensured txByNode/txByNodeKind cover node.
-func (n *Network) countTx(node int, kind KindID) {
-	n.txByKind = growKind(n.txByKind, kind)
-	n.txByKind[kind]++
-	nk := growKind(n.txByNodeKind[node], kind)
-	nk[kind]++
-	n.txByNodeKind[node] = nk
-}
-
 // Stats returns a deep-copied snapshot of the accumulated counters,
-// materializing the internal KindID/node-indexed arrays into the
-// name-keyed maps external consumers (figures, EXPERIMENTS.md tables)
-// render. Only kinds and nodes with non-zero counts appear, exactly as
-// when the counters were maps. The returned struct and its maps are
-// owned by the caller; mutating them does not affect the network, and
-// they do not track later traffic.
+// merging the per-shard slices and materializing the internal
+// KindID/node-indexed arrays into the name-keyed maps external consumers
+// (figures, EXPERIMENTS.md tables) render. Only kinds and nodes with
+// non-zero counts appear. Under sharded execution this must run at a
+// barrier (global lane or post-run) — it reads every shard's counters.
+// The returned struct and its maps are owned by the caller.
 func (n *Network) Stats() *Stats {
-	cp := n.stats
+	var cp Stats
+	var txByKind, txByNode []uint64
+	var txByNodeKind [][]uint64
+	for si := range n.sh {
+		st := &n.sh[si]
+		cp.Delivered += st.stats.Delivered
+		cp.Lost += st.stats.Lost
+		cp.DroppedRadioOff += st.stats.DroppedRadioOff
+		cp.DroppedPartition += st.stats.DroppedPartition
+		cp.TotalFrames += st.stats.TotalFrames
+		cp.TotalBytes += st.stats.TotalBytes
+	}
+	if len(n.sh) == 1 {
+		// Serial fast path: with one shard the internal arrays can be
+		// read in place. Stats runs on every metrics sample, so skipping
+		// the merge copies keeps the serial alloc profile unchanged.
+		st := &n.sh[0]
+		txByKind, txByNode, txByNodeKind = st.txByKind, st.txByNode, st.txByNodeKind
+	} else {
+		for si := range n.sh {
+			st := &n.sh[si]
+			txByKind = mergeCounts(txByKind, st.txByKind)
+			txByNode = mergeCounts(txByNode, st.txByNode)
+			for node, counts := range st.txByNodeKind {
+				if counts == nil {
+					continue
+				}
+				for node >= len(txByNodeKind) {
+					txByNodeKind = append(txByNodeKind, nil)
+				}
+				txByNodeKind[node] = mergeCounts(txByNodeKind[node], counts)
+			}
+		}
+	}
 	nkinds := 0
-	for _, v := range n.txByKind {
+	for _, v := range txByKind {
 		if v != 0 {
 			nkinds++
 		}
 	}
 	cp.TxByKind = make(map[string]uint64, nkinds)
-	for id, v := range n.txByKind {
+	for id, v := range txByKind {
 		if v != 0 {
 			cp.TxByKind[KindName(KindID(id))] = v
 		}
 	}
 	nnodes := 0
-	for _, v := range n.txByNode {
+	for _, v := range txByNode {
 		if v != 0 {
 			nnodes++
 		}
 	}
 	cp.TxByNode = make(map[int]uint64, nnodes)
 	cp.TxByNodeKind = make(map[int]map[string]uint64, nnodes)
-	for node, v := range n.txByNode {
+	for node, v := range txByNode {
 		if v == 0 {
 			continue
 		}
 		cp.TxByNode[node] = v
-		counts := n.txByNodeKind[node]
+		var counts []uint64
+		if node < len(txByNodeKind) {
+			counts = txByNodeKind[node]
+		}
 		size := 0
 		for _, c := range counts {
 			if c != 0 {
@@ -283,13 +386,27 @@ func (n *Network) Stats() *Stats {
 	return &cp
 }
 
+// mergeCounts element-wise adds src into dst, growing dst as needed.
+func mergeCounts(dst, src []uint64) []uint64 {
+	if len(src) > len(dst) {
+		grown := make([]uint64, len(src))
+		copy(grown, dst)
+		dst = grown
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
+	return dst
+}
+
 // Config returns the network configuration.
 func (n *Network) Config() Config { return n.cfg }
 
 // SetLossProb changes the per-receiver frame loss probability at runtime
 // (chaos loss bursts). The new probability applies to frames sent from
 // now on; frames already in flight carry the loss draws made when they
-// were transmitted.
+// were transmitted. Under sharded execution this must run on the global
+// lane.
 func (n *Network) SetLossProb(p float64) {
 	if p < 0 || p >= 1 {
 		panic(fmt.Sprintf("radio: loss probability %v outside [0,1)", p))
@@ -302,7 +419,8 @@ func (n *Network) SetLossProb(p float64) {
 // (they count as DroppedPartition). Blocking is evaluated at delivery
 // time, so frames in flight when the partition forms are also cut —
 // an RF barrier, not a queue drop. Symmetric partitions block both
-// directions with two calls.
+// directions with two calls. Under sharded execution this must run on
+// the global lane.
 func (n *Network) SetLinkBlocked(from, to int, blocked bool) {
 	key := uint64(uint32(from))<<32 | uint64(uint32(to))
 	if blocked {
@@ -325,8 +443,26 @@ func (n *Network) linkBlocked(from, to int) bool {
 	return ok
 }
 
-// SetTracer installs the protocol tracer (nil disables tracing).
+// SetTracer installs the protocol tracer (nil disables tracing). Serial
+// mode only — sharded runs install one tracer per shard.
 func (n *Network) SetTracer(tr *obs.Tracer) { n.tr = tr }
+
+// SetShardTracers installs one tracer per shard for sharded runs; drop
+// events are emitted on the receiver's shard tracer.
+func (n *Network) SetShardTracers(trs []*obs.Tracer) {
+	if n.shards == nil || len(trs) != n.shards.N() {
+		panic("radio: SetShardTracers requires sharding with matching count")
+	}
+	n.trs = trs
+}
+
+// trFor returns the tracer drop events on `shard` should go to.
+func (n *Network) trFor(shard int) *obs.Tracer {
+	if n.trs != nil {
+		return n.trs[shard]
+	}
+	return n.tr
+}
 
 // Join registers a new endpoint at a fixed position. Node IDs must be
 // unique and non-negative (Broadcast is reserved).
@@ -337,7 +473,12 @@ func (n *Network) Join(id int, pos geometry.Point) *Endpoint {
 	if _, dup := n.eps[id]; dup {
 		panic(fmt.Sprintf("radio: duplicate node ID %d", id))
 	}
-	ep := &Endpoint{id: id, pos: pos, net: n, on: true}
+	ep := &Endpoint{id: id, pos: pos, net: n, on: true, sched: n.sched}
+	if n.shardOf != nil {
+		ep.shard = n.shardOf(id)
+		ep.sched = n.shards.Shard(ep.shard)
+	}
+	ep.rng = sim.NewNodeRand(n.cfg.Seed, id)
 	n.eps[id] = ep
 	// Insert in ascending ID order (deployments usually join in order, so
 	// this is an append in practice).
@@ -358,6 +499,26 @@ func (n *Network) Join(id int, pos geometry.Point) *Endpoint {
 // invalidate marks every cached neighbor list and the cell grid stale.
 func (n *Network) invalidate() { n.epoch++ }
 
+// buildGrid rebuilds the spatial index from current positions.
+func (n *Network) buildGrid() {
+	pts := make([]geometry.Point, len(n.byID))
+	for i, ep := range n.byID {
+		pts[i] = ep.pos
+	}
+	n.grid = geometry.BuildCellIndex(pts, n.cfg.CommRange)
+	n.gridEpoch = n.epoch
+}
+
+// EnsureIndex rebuilds the spatial index if a topology change left it
+// stale. The sharded coordinator calls this at every barrier so that
+// shard goroutines — which may rebuild their endpoints' neighbor caches
+// concurrently — only ever read an up-to-date, immutable grid.
+func (n *Network) EnsureIndex() {
+	if !n.cfg.BruteForce && n.gridEpoch != n.epoch && len(n.byID) > 0 {
+		n.buildGrid()
+	}
+}
+
 // neighborsOf returns the live endpoints within communication range of e
 // in ascending ID order, excluding e itself and dead endpoints but
 // including radio-off ones (power state is checked at delivery time,
@@ -372,15 +533,13 @@ func (n *Network) neighborsOf(e *Endpoint) []*Endpoint {
 		return e.neighbors
 	}
 	if n.gridEpoch != n.epoch {
-		pts := make([]geometry.Point, len(n.byID))
-		for i, ep := range n.byID {
-			pts[i] = ep.pos
-		}
-		n.grid = geometry.BuildCellIndex(pts, n.cfg.CommRange)
-		n.gridEpoch = n.epoch
+		// Serial mode rebuilds lazily; under sharding EnsureIndex has
+		// already run at the barrier (topology only changes there).
+		n.buildGrid()
 	}
-	cand := n.grid.Within(e.pos, n.cfg.CommRange, e.ord, n.scratch[:0])
-	n.scratch = cand
+	st := &n.sh[e.shard]
+	cand := n.grid.Within(e.pos, n.cfg.CommRange, e.ord, st.scratch[:0])
+	st.scratch = cand
 	sortInts(cand) // byID positions ascending == node IDs ascending
 	nb := make([]*Endpoint, 0, len(cand))
 	for _, h := range cand {
@@ -437,6 +596,17 @@ type Endpoint struct {
 	listener ActivityListener
 	dead     bool
 
+	// sched is the scheduler this node's events run on: the network
+	// scheduler in serial mode, the owning shard's in sharded mode.
+	sched *sim.Scheduler
+	// rng is the node's private random stream (see sim.NewNodeRand).
+	rng *rand.Rand
+	// shard is the owning shard index (0 in serial mode).
+	shard int
+	// txSeq counts this endpoint's transmissions; with the sender ID it
+	// orders same-instant cross-shard deposits deterministically.
+	txSeq uint64
+
 	// ord is the endpoint's position in net.byID.
 	ord int
 	// neighbors caches the in-range receiver list (ascending ID), valid
@@ -451,9 +621,25 @@ func (e *Endpoint) ID() int { return e.id }
 // Pos returns the node position.
 func (e *Endpoint) Pos() geometry.Point { return e.pos }
 
+// Sched returns the scheduler this node's events run on. Protocol layers
+// above the radio must schedule their per-node timers here so that, under
+// sharded execution, a node's entire event stream stays on its shard.
+func (e *Endpoint) Sched() *sim.Scheduler { return e.sched }
+
+// Rand returns the node's private random stream. All runtime protocol
+// randomness for this node (election backoffs, listen jitter, detection
+// draws) must come from here rather than the run scheduler's stream —
+// per-node streams are consumed in per-node event order, which is what
+// keeps sharded runs bit-identical to serial ones.
+func (e *Endpoint) Rand() *rand.Rand { return e.rng }
+
+// Shard returns the owning shard index (0 in serial mode).
+func (e *Endpoint) Shard() int { return e.shard }
+
 // SetPos relocates the endpoint. Motes are fixed after deployment; this
 // exists for the data mule, which physically moves between query stops.
-// Moving invalidates the network's cached neighbor lists.
+// Moving invalidates the network's cached neighbor lists. Under sharded
+// execution this must run on the global lane.
 func (e *Endpoint) SetPos(p geometry.Point) {
 	e.pos = p
 	e.net.invalidate()
@@ -478,7 +664,8 @@ func (e *Endpoint) RadioOn() bool { return e.on && !e.dead }
 // are pruned from receiver enumeration — both the cell-index and
 // brute-force paths skip them identically, so the seeded loss draws stay
 // bit-identical between paths — and frames already in flight find them
-// via the RadioOn check at delivery. Reversible with Revive.
+// via the RadioOn check at delivery. Reversible with Revive. Under
+// sharded execution this must run on the global lane.
 func (e *Endpoint) Kill() {
 	e.dead = true
 	e.net.invalidate()
@@ -506,27 +693,28 @@ func (e *Endpoint) Send(to int, payload Payload, piggyback ...Payload) {
 	if !e.on {
 		panic(fmt.Sprintf("radio: node %d transmitting with radio off", e.id))
 	}
-	f := &Frame{From: e.id, To: to, Payload: payload, SentAt: e.net.sched.Now()}
+	n := e.net
+	f := &Frame{From: e.id, To: to, Payload: payload, SentAt: e.sched.Now()}
 	if len(piggyback) > 0 {
 		// Copy into frame-owned storage (inline for the broadcast layer's
 		// ≤4-payload bundles) so callers may reuse their ride buffers
 		// while this frame is still in flight.
 		f.Piggyback = append(f.pb[:0], piggyback...)
 	}
-	n := e.net
 	airTime := n.cfg.TurnaroundDelay + time.Duration(f.TotalSize())*n.cfg.ByteTime
 
-	n.stats.TotalFrames++
-	n.stats.TotalBytes += uint64(f.TotalSize())
-	for e.id >= len(n.txByNode) {
-		n.txByNode = append(n.txByNode, 0)
-		n.txByNodeKind = append(n.txByNodeKind, nil)
+	st := &n.sh[e.shard]
+	st.stats.TotalFrames++
+	st.stats.TotalBytes += uint64(f.TotalSize())
+	for e.id >= len(st.txByNode) {
+		st.txByNode = append(st.txByNode, 0)
+		st.txByNodeKind = append(st.txByNodeKind, nil)
 	}
-	n.txByNode[e.id]++
+	st.txByNode[e.id]++
 	kind := payload.Kind()
-	n.countTx(e.id, kind)
+	st.countTx(e.id, kind)
 	for _, p := range f.Piggyback {
-		n.countTx(e.id, p.Kind())
+		st.countTx(e.id, p.Kind())
 	}
 
 	if e.listener != nil {
@@ -535,7 +723,7 @@ func (e *Endpoint) Send(to int, payload Payload, piggyback ...Payload) {
 
 	// Receiver enumeration. Both paths yield the in-range endpoints in
 	// ascending ID order — the order the original full scan used — so the
-	// per-receiver RNG draws below consume the run's random stream
+	// per-receiver RNG draws below consume the sender's random stream
 	// identically whichever path is active.
 	var receivers []*Endpoint
 	if n.cfg.BruteForce {
@@ -543,14 +731,17 @@ func (e *Endpoint) Send(to int, payload Payload, piggyback ...Payload) {
 	} else {
 		receivers = n.neighborsOf(e)
 	}
+
+	// Loss is drawn per receiver at transmission time (ascending ID
+	// order, from the sender's stream — invariant under sharding), then
+	// carried to the delivery event as a bitmap. Receiver sets above 64
+	// spill into an allocated slice; typical densities fit the single
+	// word. Draws happen even for an empty receiver set's length-0 loop
+	// trivially, keeping the stream aligned across topologies with and
+	// without neighbors.
 	if len(receivers) == 0 {
 		return
 	}
-
-	// Loss is drawn per receiver at transmission time (ascending ID
-	// order), then carried to the delivery event as a bitmap. Receiver
-	// sets above 64 spill into an allocated slice; typical densities fit
-	// the single word.
 	var lossWord uint64
 	var lossBits []uint64
 	if n.cfg.LossProb > 0 {
@@ -558,7 +749,7 @@ func (e *Endpoint) Send(to int, payload Payload, piggyback ...Payload) {
 			lossBits = make([]uint64, (len(receivers)+63)/64)
 		}
 		for i := range receivers {
-			if n.sched.Rand().Float64() < n.cfg.LossProb {
+			if e.rng.Float64() < n.cfg.LossProb {
 				if lossBits != nil {
 					lossBits[i/64] |= 1 << (i % 64)
 				} else {
@@ -568,41 +759,123 @@ func (e *Endpoint) Send(to int, payload Payload, piggyback ...Payload) {
 		}
 	}
 
-	// One scheduler event delivers to every receiver, walking the same
-	// ascending ID order the per-receiver events fired in (they shared a
-	// timestamp and were scheduled back-to-back, so their heap order was
-	// exactly this iteration order).
 	rxTime := time.Duration(f.TotalSize()) * n.cfg.ByteTime
-	n.sched.Post(airTime, deliverName(kind), func() {
-		for i, rx := range receivers {
-			if !rx.RadioOn() {
-				n.stats.DroppedRadioOff++
-				n.tr.Emit(n.sched.Now(), evDropOff, int32(rx.id), int32(f.From), 0, int64(kind), 0)
-				continue
-			}
-			if n.blocked != nil && n.linkBlocked(f.From, rx.id) {
-				n.stats.DroppedPartition++
-				n.tr.Emit(n.sched.Now(), evDropPartition, int32(rx.id), int32(f.From), 0, int64(kind), 0)
-				continue
-			}
+	name := deliverName(kind)
+	e.txSeq++
+	txSeq := e.txSeq
+
+	if n.shards == nil {
+		// Serial: one delivery event for the whole receiver list, walking
+		// ascending ID order. PostDelivery keys the event by
+		// (sender, txSeq) so same-instant deliveries from different
+		// senders fire in the same order a sharded run's merge produces.
+		e.sched.PostDelivery(airTime, e.id, txSeq, name, func() {
+			n.deliver(receivers, f, lossWord, lossBits, rxTime, kind)
+		})
+		return
+	}
+
+	// Sharded: route every destination shard's receiver subset through
+	// the coordinator's deposit lanes — including the sender's own shard,
+	// so that all deliveries arriving at one instant sort by the same
+	// shard-count-invariant (at, sentAt, sender, txSeq) key no matter how
+	// the nodes are partitioned. The delivery fires at least
+	// Config.Lookahead() from now, i.e. beyond the current window, so
+	// merging at the next barrier always precedes it.
+	sentAt := f.SentAt
+	at := sentAt.Add(airTime)
+
+	sameShard := true
+	for _, rx := range receivers {
+		if rx.shard != receivers[0].shard {
+			sameShard = false
+			break
+		}
+	}
+	if sameShard {
+		n.shards.Deposit(e.shard, receivers[0].shard, at, sentAt, e.id, txSeq, name, func() {
+			n.deliver(receivers, f, lossWord, lossBits, rxTime, kind)
+		})
+		return
+	}
+
+	// Boundary transmission: split receivers (and their loss bits) by
+	// destination shard, preserving ascending ID order within each
+	// subset. Shards are visited in order of first appearance in the
+	// receiver list, which is deterministic.
+	var order []int
+	subsets := make(map[int][]int)
+	for i, rx := range receivers {
+		g := rx.shard
+		if _, seen := subsets[g]; !seen {
+			order = append(order, g)
+		}
+		subsets[g] = append(subsets[g], i)
+	}
+	for _, g := range order {
+		idxs := subsets[g]
+		subset := make([]*Endpoint, len(idxs))
+		var subWord uint64
+		var subBits []uint64
+		if len(idxs) > 64 {
+			subBits = make([]uint64, (len(idxs)+63)/64)
+		}
+		for j, i := range idxs {
+			subset[j] = receivers[i]
 			lost := lossWord&(1<<i) != 0
 			if lossBits != nil {
 				lost = lossBits[i/64]&(1<<(i%64)) != 0
 			}
 			if lost {
-				n.stats.Lost++
-				n.tr.Emit(n.sched.Now(), evDropLoss, int32(rx.id), int32(f.From), 0, int64(kind), 0)
-				continue
-			}
-			n.stats.Delivered++
-			if rx.listener != nil {
-				rx.listener.RadioActivity(ActivityRx, rxTime)
-			}
-			if rx.handler != nil {
-				rx.handler.HandleFrame(f)
+				if subBits != nil {
+					subBits[j/64] |= 1 << (j % 64)
+				} else {
+					subWord |= 1 << j
+				}
 			}
 		}
-	})
+		n.shards.Deposit(e.shard, g, at, sentAt, e.id, txSeq, name, func() {
+			n.deliver(subset, f, subWord, subBits, rxTime, kind)
+		})
+	}
+}
+
+// deliver walks one shard's receiver subset in ascending ID order. It
+// runs on the receivers' scheduler (all entries share a shard), so the
+// per-shard counters and tracer it touches are single-threaded.
+func (n *Network) deliver(rxs []*Endpoint, f *Frame, lossWord uint64, lossBits []uint64, rxTime time.Duration, kind KindID) {
+	shard := rxs[0].shard
+	st := &n.sh[shard]
+	tr := n.trFor(shard)
+	now := rxs[0].sched.Now()
+	for i, rx := range rxs {
+		if !rx.RadioOn() {
+			st.stats.DroppedRadioOff++
+			tr.Emit(now, evDropOff, int32(rx.id), int32(f.From), 0, int64(kind), 0)
+			continue
+		}
+		if n.blocked != nil && n.linkBlocked(f.From, rx.id) {
+			st.stats.DroppedPartition++
+			tr.Emit(now, evDropPartition, int32(rx.id), int32(f.From), 0, int64(kind), 0)
+			continue
+		}
+		lost := lossWord&(1<<i) != 0
+		if lossBits != nil {
+			lost = lossBits[i/64]&(1<<(i%64)) != 0
+		}
+		if lost {
+			st.stats.Lost++
+			tr.Emit(now, evDropLoss, int32(rx.id), int32(f.From), 0, int64(kind), 0)
+			continue
+		}
+		st.stats.Delivered++
+		if rx.listener != nil {
+			rx.listener.RadioActivity(ActivityRx, rxTime)
+		}
+		if rx.handler != nil {
+			rx.handler.HandleFrame(f)
+		}
+	}
 }
 
 func sortInts(a []int) {

@@ -4,21 +4,72 @@ import (
 	"time"
 )
 
+// RealtimeClock abstracts the wall clock for RunRealtime. Now must be
+// monotonic (time since an arbitrary origin); Sleep blocks for
+// approximately d. Injectable for tests and for clocks that oversleep.
+type RealtimeClock interface {
+	Now() time.Duration
+	Sleep(d time.Duration)
+}
+
+// wallClock is the production clock: monotonic reads via time.Since and
+// real sleeps.
+type wallClock struct{ origin time.Time }
+
+func (c wallClock) Now() time.Duration    { return time.Since(c.origin) }
+func (c wallClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// sleeperClock adapts a bare sleep func to RealtimeClock by assuming every
+// sleep is exact. Under that assumption deadline pacing emits exactly the
+// per-gap sleeps of the naive pacer, which keeps the injectable-sleep API
+// (and its tests) meaningful: callers observe the *requested* schedule.
+type sleeperClock struct {
+	sleep func(time.Duration)
+	now   time.Duration
+}
+
+func (c *sleeperClock) Now() time.Duration { return c.now }
+func (c *sleeperClock) Sleep(d time.Duration) {
+	c.now += d
+	c.sleep(d)
+}
+
 // RunRealtime executes events like Run but paces them against the wall
 // clock so a human can watch the protocol unfold: with scale = 1 virtual
 // time tracks real time; scale = 60 runs a virtual minute per real second.
-// sleep is injectable for tests; pass nil for time.Sleep.
+// sleep is injectable for tests; pass nil for the real wall clock.
+//
+// Pacing is deadline-based: each event instant has an absolute wall-clock
+// deadline origin + (t − start)/scale, and the pacer sleeps only the
+// remainder to that deadline. Sleep overshoot and callback execution time
+// therefore do not accumulate — a run that falls behind (slow callbacks,
+// coarse OS timers) sheds the error at the next gap instead of drifting
+// further forever, which is what the per-event `sleep(gap)` form did.
 //
 // The simulation stays exactly as deterministic as Run — pacing changes
 // when callbacks execute in the real world, never their virtual order or
 // timing — so a live demo and a batch run of the same seed produce
 // identical traces.
 func (s *Scheduler) RunRealtime(until Time, scale float64, sleep func(time.Duration)) uint64 {
+	var clock RealtimeClock
+	if sleep == nil {
+		clock = wallClock{origin: time.Now()}
+	} else {
+		clock = &sleeperClock{sleep: sleep}
+	}
+	return s.RunRealtimeClock(until, scale, clock)
+}
+
+// RunRealtimeClock is RunRealtime with an explicit clock.
+func (s *Scheduler) RunRealtimeClock(until Time, scale float64, clock RealtimeClock) uint64 {
 	if scale <= 0 {
 		panic("sim: RunRealtime scale must be positive")
 	}
-	if sleep == nil {
-		sleep = time.Sleep
+	start := s.now
+	origin := clock.Now()
+	// deadline maps a virtual instant to its absolute wall-clock target.
+	deadline := func(t Time) time.Duration {
+		return origin + time.Duration(float64(t.Sub(start))/scale)
 	}
 	s.stopped = false
 	var n uint64
@@ -27,15 +78,17 @@ func (s *Scheduler) RunRealtime(until Time, scale float64, sleep func(time.Durat
 		if !ok || next > until {
 			break
 		}
-		if wait := next.Sub(s.now); wait > 0 {
-			sleep(time.Duration(float64(wait) / scale))
+		if next > s.now {
+			if wait := deadline(next) - clock.Now(); wait > 0 {
+				clock.Sleep(wait)
+			}
 		}
 		// Execute every event at this instant before sleeping again.
 		n += s.Run(next)
 	}
 	if s.now < until {
-		if wait := until.Sub(s.now); wait > 0 {
-			sleep(time.Duration(float64(wait) / scale))
+		if wait := deadline(until) - clock.Now(); wait > 0 {
+			clock.Sleep(wait)
 		}
 		s.now = until
 	}

@@ -1,0 +1,336 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Shards coordinates conservative parallel execution of one simulation
+// across several Schedulers. Each shard owns a disjoint set of nodes and
+// runs their events on its own goroutine; a separate "global" scheduler
+// carries run-level events (samplers, fault injection, anything that
+// reads or mutates cross-shard state) and executes them exclusively, with
+// every shard parked at the same instant.
+//
+// Correctness rests on a lookahead bound L: every cross-shard interaction
+// in the model is a radio delivery, and every delivery is scheduled at
+// least L after its send (turnaround delay plus minimum frame air time).
+// Events are therefore executed in windows [W, W+L): no event inside a
+// window can affect another shard *within* that window, so shards may run
+// a window concurrently without looking at each other. Cross-shard
+// deliveries produced during a window are deposited into per-(src,dst)
+// lanes — single writer each, no locks — and merged into the destination
+// heaps at the next barrier, sorted by a shard-count-invariant key
+// (at, sentAt, sender, txSeq). Together with per-node randomness and the
+// (at, schedAt, pri, seq) event key this makes a sharded run bit-identical
+// to the serial run for any shard count; DESIGN.md §14 gives the full
+// argument.
+type Shards struct {
+	global *Scheduler
+	shards []*Scheduler
+	look   time.Duration
+	// lanes[src][dst] buffers deposits made by shard src for shard dst
+	// during a window. Only goroutine src writes lanes[src][*]; the
+	// barrier (coordinator goroutine) reads and clears them.
+	lanes [][][]deposit
+	// globalLane buffers deposits made from the global lane (retrieval
+	// drivers, fault handlers) — single-threaded, so one slice per dst.
+	globalLane [][]deposit
+	// hooks run at every barrier, after deposits merge and before the
+	// next window is chosen: per-shard tracer flushes, staged metric
+	// flushes, radio index maintenance.
+	hooks []func()
+	// scratch for the per-barrier merge sort.
+	mergeBuf []deposit
+	workers  []shardWorker
+	running  bool
+}
+
+// deposit is a cross-shard event awaiting injection into its destination
+// shard: a radio delivery (or any other cross-shard callback) tagged with
+// enough sender identity to order deposits deterministically regardless
+// of which shard produced them or when its goroutine was scheduled.
+type deposit struct {
+	at     Time
+	sentAt Time
+	sender int
+	txSeq  uint64
+	name   string
+	fn     func()
+}
+
+type shardWorker struct {
+	req  chan windowReq
+	done chan uint64
+}
+
+type windowReq struct {
+	end      Time
+	tieSched Time
+	clock    Time
+}
+
+// NewShards builds a coordinator with n shard schedulers plus the global
+// lane. lookahead must be a positive lower bound on every cross-shard
+// latency in the model. Seeds: the global scheduler owns the run's
+// build-time stream (identical to the serial scheduler's), shard
+// schedulers get derived streams (they exist for API compatibility; all
+// runtime protocol randomness should be per-node).
+func NewShards(seed int64, n int, lookahead time.Duration) *Shards {
+	if n <= 0 {
+		panic(fmt.Sprintf("sim: non-positive shard count %d", n))
+	}
+	if lookahead <= 0 {
+		panic(fmt.Sprintf("sim: non-positive lookahead %v", lookahead))
+	}
+	sh := &Shards{
+		global: NewScheduler(seed),
+		shards: make([]*Scheduler, n),
+		look:   lookahead,
+	}
+	for i := range sh.shards {
+		sh.shards[i] = NewScheduler(NodeSeed(seed, -1-i))
+	}
+	sh.lanes = make([][][]deposit, n)
+	for i := range sh.lanes {
+		sh.lanes[i] = make([][]deposit, n)
+	}
+	sh.globalLane = make([][]deposit, n)
+	return sh
+}
+
+// N returns the shard count.
+func (sh *Shards) N() int { return len(sh.shards) }
+
+// Lookahead returns the window width.
+func (sh *Shards) Lookahead() time.Duration { return sh.look }
+
+// Global returns the run-level scheduler. Samplers, fault injectors and
+// anything that touches more than one shard's state must schedule here:
+// global events execute exclusively, with all shard clocks synchronized
+// to the event's instant.
+func (sh *Shards) Global() *Scheduler { return sh.global }
+
+// Shard returns shard i's scheduler.
+func (sh *Shards) Shard(i int) *Scheduler { return sh.shards[i] }
+
+// OnBarrier registers fn to run at every window barrier (and once before
+// the first window and after the last). Barrier hooks run on the
+// coordinator goroutine with all shards parked.
+func (sh *Shards) OnBarrier(fn func()) { sh.hooks = append(sh.hooks, fn) }
+
+// Deposit buffers a cross-shard event produced by shard src (or by the
+// global lane when src < 0) for destination shard dst. at is the fire
+// time, sentAt the sender's current time; (sender, txSeq) disambiguate
+// same-instant deposits deterministically — callers must make the pair
+// unique per (at, sentAt). Must only be called from src's goroutine
+// during a window, or from the coordinator (global events, barriers).
+func (sh *Shards) Deposit(src, dst int, at, sentAt Time, sender int, txSeq uint64, name string, fn func()) {
+	d := deposit{at: at, sentAt: sentAt, sender: sender, txSeq: txSeq, name: name, fn: fn}
+	if src < 0 {
+		sh.globalLane[dst] = append(sh.globalLane[dst], d)
+		return
+	}
+	sh.lanes[src][dst] = append(sh.lanes[src][dst], d)
+}
+
+// merge drains all deposit lanes into the destination heaps in a
+// deterministic order. The sort key (at, sentAt, sender, txSeq) does not
+// reference shard identity, so the injection order — and therefore the
+// seq numbers handed out by the destination scheduler — is identical for
+// every shard count.
+func (sh *Shards) merge() {
+	for dst := range sh.shards {
+		buf := sh.mergeBuf[:0]
+		for src := range sh.lanes {
+			lane := sh.lanes[src][dst]
+			if len(lane) == 0 {
+				continue
+			}
+			buf = append(buf, lane...)
+			sh.lanes[src][dst] = lane[:0]
+		}
+		if lane := sh.globalLane[dst]; len(lane) > 0 {
+			buf = append(buf, lane...)
+			sh.globalLane[dst] = lane[:0]
+		}
+		if len(buf) == 0 {
+			continue
+		}
+		sort.Slice(buf, func(i, j int) bool {
+			a, b := &buf[i], &buf[j]
+			if a.at != b.at {
+				return a.at < b.at
+			}
+			if a.sentAt != b.sentAt {
+				return a.sentAt < b.sentAt
+			}
+			if a.sender != b.sender {
+				return a.sender < b.sender
+			}
+			return a.txSeq < b.txSeq
+		})
+		dest := sh.shards[dst]
+		for i := range buf {
+			d := &buf[i]
+			dest.inject(d.at, d.sentAt, d.sender, d.txSeq, d.name, d.fn)
+			buf[i].fn = nil
+		}
+		sh.mergeBuf = buf[:0]
+	}
+}
+
+// barrier runs the merge and all registered hooks.
+func (sh *Shards) barrier() {
+	sh.merge()
+	for _, h := range sh.hooks {
+		h()
+	}
+}
+
+// minNext returns the earliest pending event time across all shards and
+// the global lane.
+func (sh *Shards) minNext() (Time, bool) {
+	var best Time
+	found := false
+	for _, s := range sh.shards {
+		if t, ok := s.NextEventTime(); ok && (!found || t < best) {
+			best, found = t, true
+		}
+	}
+	if t, ok := sh.global.NextEventTime(); ok && (!found || t < best) {
+		best, found = t, true
+	}
+	return best, found
+}
+
+// start launches one goroutine per shard (idempotent).
+func (sh *Shards) start() {
+	if sh.running {
+		return
+	}
+	sh.workers = make([]shardWorker, len(sh.shards))
+	for i := range sh.shards {
+		w := shardWorker{req: make(chan windowReq), done: make(chan uint64)}
+		sh.workers[i] = w
+		s := sh.shards[i]
+		go func() {
+			for r := range w.req {
+				w.done <- s.runBounded(r.end, r.tieSched, r.clock)
+			}
+		}()
+	}
+	sh.running = true
+}
+
+// stopWorkers shuts the shard goroutines down (idempotent).
+func (sh *Shards) stopWorkers() {
+	if !sh.running {
+		return
+	}
+	for _, w := range sh.workers {
+		close(w.req)
+	}
+	sh.workers = nil
+	sh.running = false
+}
+
+// runShards executes one bounded window on every shard concurrently and
+// waits for all of them. The channel round-trip is the happens-before
+// edge that lets the coordinator (and the next window's owners) observe
+// everything a shard wrote. With one shard the window runs inline.
+func (sh *Shards) runShards(r windowReq) uint64 {
+	if len(sh.shards) == 1 {
+		return sh.shards[0].runBounded(r.end, r.tieSched, r.clock)
+	}
+	for _, w := range sh.workers {
+		w.req <- r
+	}
+	var n uint64
+	for _, w := range sh.workers {
+		n += <-w.done
+	}
+	return n
+}
+
+// Run executes the simulation up to and including `until`, alternating
+// lookahead windows (shards in parallel) with exclusive global-lane
+// steps. All clocks are left at `until`. Returns callbacks executed.
+func (sh *Shards) Run(until Time) uint64 {
+	sh.start()
+	defer sh.stopWorkers()
+	var n uint64
+	for {
+		sh.barrier()
+		w, ok := sh.minNext()
+		if !ok || w > until {
+			break
+		}
+		gAt, gSched, gok := sh.global.peekKey()
+		if gok && gAt == w {
+			// A global event is (among) the earliest. Run each shard's
+			// events at instant w that were scheduled strictly before
+			// the global event was (they precede it in the serial
+			// order), then — after an extra barrier, so the global event
+			// observes flushed traces and staged metrics from everything
+			// that logically preceded it — the global events of that
+			// schedule instant, exclusively. Loop re-entry picks up
+			// later-scheduled global events at w, then the window
+			// resumes.
+			n += sh.runShards(windowReq{end: w, tieSched: gSched, clock: w})
+			sh.barrier()
+			n += sh.global.runBounded(w, gSched+1, w)
+			continue
+		}
+		wend := w.Add(sh.look)
+		if gok && gAt < wend {
+			// The window may not cross a global event: it must execute
+			// with all shards parked at its instant.
+			wend = gAt
+		}
+		clock := wend
+		if wend > until {
+			// Final partial window: include events at exactly `until`
+			// (Run's contract is inclusive) but leave clocks at until.
+			wend, clock = until+1, until
+		}
+		n += sh.runShards(windowReq{end: wend, tieSched: 0, clock: clock})
+		sh.global.advanceTo(clock)
+	}
+	// Park every clock at until (covers the no-events-at-all case).
+	for _, s := range sh.shards {
+		s.advanceTo(until)
+	}
+	sh.global.advanceTo(until)
+	sh.barrier()
+	return n
+}
+
+// Executed returns total callbacks run across the global lane and all
+// shards.
+func (sh *Shards) Executed() uint64 {
+	n := sh.global.Executed()
+	for _, s := range sh.shards {
+		n += s.Executed()
+	}
+	return n
+}
+
+// Pending returns queued events across the global lane and all shards.
+func (sh *Shards) Pending() int {
+	n := sh.global.Pending()
+	for _, s := range sh.shards {
+		n += s.Pending()
+	}
+	return n
+}
+
+// SetEventLimit spreads a total event budget across the global lane and
+// shards (each gets the full budget; the guard is per-scheduler).
+func (sh *Shards) SetEventLimit(n uint64) {
+	sh.global.SetEventLimit(n)
+	for _, s := range sh.shards {
+		s.SetEventLimit(n)
+	}
+}

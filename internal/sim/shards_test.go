@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestShardsRunMatchesSerialSchedule drives one logical workload through
+// the Shards coordinator with everything on a single shard and checks the
+// firing order equals a serial Scheduler run of the same workload.
+func TestShardsRunMatchesSerialSchedule(t *testing.T) {
+	build := func(s *Scheduler) *[]string {
+		var order []string
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < 200; i++ {
+			name := string(rune('a'+i%26)) + "/" + time.Duration(i).String()
+			d := time.Duration(rng.Int63n(int64(2 * time.Second)))
+			s.At(At(d), name, func() { order = append(order, name) })
+		}
+		return &order
+	}
+	serial := NewScheduler(1)
+	want := build(serial)
+	serial.Run(At(2 * time.Second))
+
+	sh := NewShards(1, 1, 10*time.Millisecond)
+	got := build(sh.Shard(0))
+	sh.Run(At(2 * time.Second))
+
+	if len(*want) != len(*got) {
+		t.Fatalf("fired %d events sharded vs %d serial", len(*got), len(*want))
+	}
+	for i := range *want {
+		if (*want)[i] != (*got)[i] {
+			t.Fatalf("order diverged at %d: serial %q, sharded %q", i, (*want)[i], (*got)[i])
+		}
+	}
+}
+
+// Property: partitioning a run into bounded windows never reorders events
+// relative to an unpartitioned run, for any set of event times and any
+// window width. This is the per-shard half of the sharded engine's
+// determinism argument (DESIGN.md §14): runBounded(w) executed window by
+// window must replay exactly the serial schedule.
+func TestQuickWindowPartitioningPreservesOrder(t *testing.T) {
+	f := func(delaysMS []uint16, windowMS uint8) bool {
+		if len(delaysMS) > 300 {
+			delaysMS = delaysMS[:300]
+		}
+		window := time.Duration(windowMS%50+1) * time.Millisecond
+		horizon := At(70 * time.Second) // past the largest uint16 ms delay
+
+		run := func(windowed bool) []Time {
+			s := NewScheduler(5)
+			var fired []Time
+			for _, d := range delaysMS {
+				s.After(time.Duration(d)*time.Millisecond, "q", func() {
+					fired = append(fired, s.Now())
+				})
+			}
+			if !windowed {
+				s.Run(horizon)
+				return fired
+			}
+			for w := Time(0); w <= horizon; w = w.Add(window) {
+				end := w.Add(window)
+				if end > horizon {
+					end = horizon + 1
+				}
+				s.runBounded(end, 0, end)
+			}
+			return fired
+		}
+
+		want, got := run(false), run(true)
+		if len(want) != len(got) {
+			return false
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(23))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestShardsCrossShardDepositOrdering checks the barrier merge: deposits
+// for one destination arriving from several source lanes are injected in
+// (at, sentAt, sender, txSeq) order regardless of lane.
+func TestShardsCrossShardDepositOrdering(t *testing.T) {
+	sh := NewShards(9, 3, 10*time.Millisecond)
+	var order []int
+	mk := func(tag int) func() { return func() { order = append(order, tag) } }
+	at := At(5 * time.Millisecond)
+	// Deposit out of order across lanes; expected execution order is by
+	// sender then txSeq at equal (at, sentAt).
+	sh.Deposit(2, 0, at, 0, 7, 2, "d", mk(72))
+	sh.Deposit(1, 0, at, 0, 3, 1, "d", mk(31))
+	sh.Deposit(2, 0, at, 0, 3, 2, "d", mk(32))
+	sh.Deposit(0, 0, at, 0, 7, 1, "d", mk(71))
+	sh.Run(At(10 * time.Millisecond))
+	want := []int{31, 32, 71, 72}
+	if len(order) != len(want) {
+		t.Fatalf("executed %d deposits, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("deposit order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestShardsGlobalLaneExclusive checks that a global event observes every
+// shard parked at its instant.
+func TestShardsGlobalLaneExclusive(t *testing.T) {
+	sh := NewShards(4, 2, 20*time.Millisecond)
+	var at0, at1 Time
+	sh.Shard(0).At(At(time.Millisecond), "s0", func() {})
+	sh.Shard(1).At(At(3*time.Millisecond), "s1", func() {})
+	sh.Global().At(At(2*time.Millisecond), "g", func() {
+		at0, at1 = sh.Shard(0).Now(), sh.Shard(1).Now()
+	})
+	sh.Run(At(time.Second))
+	if at0 != At(2*time.Millisecond) || at1 != At(2*time.Millisecond) {
+		t.Fatalf("global event saw shard clocks %v, %v; want both at 2ms", at0, at1)
+	}
+}

@@ -2,14 +2,20 @@
 //
 // All EnviroMic protocol logic runs on top of a Scheduler: modules schedule
 // callbacks at virtual times, and the scheduler executes them in strict
-// (time, sequence) order. Determinism is a design requirement — every
-// experiment in the paper reproduction is a pure function of (scenario,
-// seed) — so the kernel never consults wall-clock time and all randomness
-// flows from a single seeded source owned by the run.
+// (time, schedule-time, sequence) order. Determinism is a design
+// requirement — every experiment in the paper reproduction is a pure
+// function of (scenario, seed) — so the kernel never consults wall-clock
+// time and all randomness flows from seeded sources owned by the run.
+//
+// The kernel has two execution modes. The serial mode (Scheduler.Run)
+// drains one heap on one goroutine. The sharded mode (Shards.Run, see
+// shards.go) partitions the node population across several Schedulers and
+// executes them concurrently in conservative lookahead windows; the event
+// ordering key is designed so both modes replay the same schedule (§14 of
+// DESIGN.md gives the argument).
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -40,6 +46,26 @@ func (t Time) String() string { return fmt.Sprintf("%.3fs", t.Seconds()) }
 // At constructs a Time from a duration since simulation start.
 func At(d time.Duration) Time { return Time(d) }
 
+// splitmix64 is the finalizer of the SplitMix64 generator: a cheap,
+// high-quality 64-bit mixer used to derive independent per-node seeds
+// from (run seed, node id) without any cross-correlation between streams.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// NodeSeed derives the seed of a per-node random stream from the run seed
+// and the node identity. Per-node streams are what make sharded execution
+// bit-identical to serial execution: each node draws from its own stream
+// in its own event order, which is invariant under any shard count,
+// whereas interleaving draws on one shared stream would depend on the
+// global event interleaving.
+func NodeSeed(seed int64, id int) int64 {
+	return int64(splitmix64(splitmix64(uint64(seed)) ^ splitmix64(uint64(id)+0x5851f42d4c957f2d)))
+}
+
 // Timer is a handle to a scheduled callback. The zero value is not useful;
 // timers are produced by Scheduler.At and Scheduler.After.
 //
@@ -60,6 +86,9 @@ func (t *Timer) Cancel() bool {
 		return false
 	}
 	t.ev.cancelled = true
+	if t.ev.owner != nil {
+		t.ev.owner.live--
+	}
 	return true
 }
 
@@ -69,64 +98,166 @@ func (t *Timer) Pending() bool {
 	return t != nil && t.ev != nil && t.ev.gen == t.gen && !t.ev.cancelled && !t.ev.fired
 }
 
+// event ordering: (at, schedAt, pri, seq).
+//
+//   - at is the fire time.
+//   - schedAt is the virtual time at which the event was scheduled. In
+//     serial execution seq alone already encodes this order (seq is
+//     assigned in scheduling order and the clock never runs backwards), so
+//     adding schedAt does not change the serial schedule. It exists for
+//     the sharded mode: a cross-shard radio delivery is re-enqueued on the
+//     destination shard with the *sender's* schedule time, which lets it
+//     take the same position relative to the destination's same-instant
+//     events as it would have in the serial run.
+//   - pri separates ordinary events (pri 0) from radio deliveries
+//     (pri 1): deliveries sort after same-(at, schedAt) local events in
+//     both engines.
+//   - (sender, txSeq) order same-(at, schedAt) deliveries. Serial
+//     execution would order them by Post call order (seq), which is the
+//     senders' execution order at the send instant — a quantity the
+//     sharded merge cannot reconstruct. Keying on the sender identity
+//     instead is deterministic, shard-count-invariant, and available to
+//     both engines, so they replay the same schedule. Ordinary events
+//     leave the pair zero and fall through to seq as before.
 type event struct {
 	at        Time
+	schedAt   Time
 	seq       uint64
+	txSeq     uint64
 	gen       uint64
 	name      string
 	fn        func()
+	owner     *Scheduler
+	sender    int32
+	pri       uint8
 	cancelled bool
 	fired     bool
-	index     int
 }
 
-type eventHeap []*event
+// heapEntry is one queued event plus a copy of its ordering key. The key
+// lives in the heap slice itself so sift comparisons touch contiguous
+// memory: with tens of thousands of pending events (a 10k-mote city keeps
+// one ticker per mote queued at all times) the pointer-chasing comparison
+// against scattered event structs was the hottest line in the whole
+// simulator profile. The event key is a strict total order (seq is unique
+// per scheduler, and deliveries are unique in (sender, txSeq) before seq),
+// so the pop sequence — and therefore the simulation — is independent of
+// the heap's internal arrangement.
+type heapEntry struct {
+	at      Time
+	schedAt Time
+	txSeq   uint64
+	seq     uint64
+	ev      *event
+	sender  int32
+	pri     uint8
+}
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// less orders entries by (at, schedAt, pri, sender, txSeq, seq); see the
+// event doc comment for why each component exists.
+func (a *heapEntry) less(b *heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	if a.schedAt != b.schedAt {
+		return a.schedAt < b.schedAt
+	}
+	if a.pri != b.pri {
+		return a.pri < b.pri
+	}
+	if a.sender != b.sender {
+		return a.sender < b.sender
+	}
+	if a.txSeq != b.txSeq {
+		return a.txSeq < b.txSeq
+	}
+	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+// eventHeap is a hand-rolled 4-ary min-heap of keyed entries. Four-way
+// branching halves the sift depth relative to a binary heap, and the
+// extra sibling comparisons per level are nearly free because the keyed
+// entries sit contiguously in the slice; together with the by-value keys
+// this cut city-scale event dispatch cost by ~40%. Cancelled events are
+// not removed eagerly; they are dropped when they reach the root
+// (pruneRoot), so no back-indices need maintaining on swaps.
+type eventHeap []heapEntry
+
+const heapArity = 4
+
+func (h *eventHeap) push(ev *event) {
+	q := append(*h, heapEntry{
+		at: ev.at, schedAt: ev.schedAt, txSeq: ev.txSeq, seq: ev.seq,
+		ev: ev, sender: ev.sender, pri: ev.pri,
+	})
+	*h = q
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / heapArity
+		if !q[i].less(&q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
 }
 
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+// pop removes and returns the earliest event. Caller must check Len.
+func (h *eventHeap) pop() *event {
+	q := *h
+	n := len(q) - 1
+	root := q[0].ev
+	q[0] = q[n]
+	q[n] = heapEntry{}
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			break
+		}
+		last := first + heapArity
+		if last > n {
+			last = n
+		}
+		m := first
+		for c := first + 1; c < last; c++ {
+			if q[c].less(&q[m]) {
+				m = c
+			}
+		}
+		if !q[m].less(&q[i]) {
+			break
+		}
+		q[i], q[m] = q[m], q[i]
+		i = m
+	}
+	return root
 }
 
 // Scheduler is the discrete-event executor. It is not safe for concurrent
-// use: the simulation is single-threaded by design so that runs are
-// reproducible.
+// use: each scheduler runs single-threaded by design so that runs are
+// reproducible. Sharded execution uses one Scheduler per shard, each on
+// its own goroutine, with all cross-scheduler traffic funnelled through
+// Shards' barrier (see shards.go).
 type Scheduler struct {
 	now     Time
 	seq     uint64
 	queue   eventHeap
 	rng     *rand.Rand
 	stopped bool
+	// live counts queued non-cancelled events so Pending is O(1).
+	live int
 	// executed counts callbacks run, for diagnostics and runaway detection.
 	executed uint64
 	// maxEvents aborts runaway simulations; 0 means no limit.
 	maxEvents uint64
 	// free recycles event structs between schedulings. Per-event heap
 	// allocation dominated the radio hot path before this list existed.
+	// The list persists across Run/RunAll invocations, so repeated
+	// windows (the sharded mode runs tens of thousands of them) reuse
+	// the same arena.
 	free []*event
 }
 
@@ -144,10 +275,16 @@ func (s *Scheduler) alloc(at Time, name string, fn func()) *event {
 		ev = &event{}
 	}
 	ev.at = at
+	ev.schedAt = s.now
 	ev.seq = s.seq
+	ev.txSeq = 0
 	ev.name = name
 	ev.fn = fn
+	ev.owner = s
+	ev.sender = 0
+	ev.pri = 0
 	s.seq++
+	s.live++
 	return ev
 }
 
@@ -169,8 +306,13 @@ func NewScheduler(seed int64) *Scheduler {
 // Now returns the current virtual time.
 func (s *Scheduler) Now() Time { return s.now }
 
-// Rand exposes the run's random source. All protocol randomness (election
-// back-offs, packet loss draws, workload sampling) must come from here.
+// Rand exposes the run's build-time random source: topology jitter, clock
+// drift and other draws made while the network is constructed (before any
+// events execute) come from here, so they are identical for every shard
+// count. Runtime protocol randomness (election back-offs, loss draws,
+// listen jitter) must come from per-node streams seeded via NodeSeed —
+// a shared runtime stream would make results depend on the global event
+// interleaving, which sharded execution does not preserve.
 func (s *Scheduler) Rand() *rand.Rand { return s.rng }
 
 // Executed returns the number of callbacks run so far.
@@ -196,7 +338,7 @@ func (s *Scheduler) AtTimer(t Time, name string, fn func()) Timer {
 		panic(fmt.Sprintf("sim: scheduling %q at %v before now %v", name, t, s.now))
 	}
 	ev := s.alloc(t, name, fn)
-	heap.Push(&s.queue, ev)
+	s.queue.push(ev)
 	return Timer{ev: ev, gen: ev.gen}
 }
 
@@ -223,11 +365,71 @@ func (s *Scheduler) Post(d time.Duration, name string, fn func()) {
 	}
 	t := s.now.Add(d)
 	ev := s.alloc(t, name, fn)
-	heap.Push(&s.queue, ev)
+	s.queue.push(ev)
+}
+
+// PostDelivery schedules a radio delivery d after now. Deliveries carry
+// the full delivery ordering key — pri 1 plus (sender, txSeq) — so that
+// same-instant deliveries from different senders execute in the same
+// order under serial and sharded execution (the sharded merge sorts its
+// deposits by exactly this key; see the event doc comment).
+func (s *Scheduler) PostDelivery(d time.Duration, sender int, txSeq uint64, name string, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v for %q", d, name))
+	}
+	ev := s.alloc(s.now.Add(d), name, fn)
+	ev.sender = int32(sender)
+	ev.txSeq = txSeq
+	ev.pri = 1
+	s.queue.push(ev)
+}
+
+// inject enqueues a cross-shard delivery carrying the sender's schedule
+// time and identity. Injected events sort after same-(at, schedAt) local
+// events (pri 1) and among themselves by (sender, txSeq), matching the
+// serial PostDelivery order.
+func (s *Scheduler) inject(at, schedAt Time, sender int, txSeq uint64, name string, fn func()) {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: injecting %q at %v before now %v", name, at, s.now))
+	}
+	ev := s.alloc(at, name, fn)
+	ev.schedAt = schedAt
+	ev.sender = int32(sender)
+	ev.txSeq = txSeq
+	ev.pri = 1
+	s.queue.push(ev)
 }
 
 // Stop makes the current Run return after the in-flight callback.
 func (s *Scheduler) Stop() { s.stopped = true }
+
+// popNext removes and returns the heap root, releasing cancelled events
+// along the way. Returns nil when the queue is empty.
+func (s *Scheduler) popNext() *event {
+	for len(s.queue) > 0 {
+		ev := s.queue.pop()
+		if ev.cancelled {
+			s.release(ev)
+			continue
+		}
+		return ev
+	}
+	return nil
+}
+
+// fire executes a popped live event and recycles it.
+func (s *Scheduler) fire(ev *event) {
+	s.now = ev.at
+	ev.fired = true
+	s.live--
+	ev.fn()
+	s.executed++
+	if s.maxEvents > 0 && s.executed > s.maxEvents {
+		panic(fmt.Sprintf("sim: event limit %d exceeded (last event %q at %v)",
+			s.maxEvents, ev.name, ev.at))
+	}
+	s.release(ev)
+}
 
 // Run executes events in order until the queue is exhausted or the next
 // event would fire after `until`. The clock is left at `until` (or at the
@@ -236,26 +438,12 @@ func (s *Scheduler) Stop() { s.stopped = true }
 func (s *Scheduler) Run(until Time) uint64 {
 	s.stopped = false
 	var n uint64
-	for len(s.queue) > 0 && !s.stopped {
-		next := s.queue[0]
-		if next.at > until {
+	for !s.stopped {
+		if s.pruneRoot(); len(s.queue) == 0 || s.queue[0].at > until {
 			break
 		}
-		heap.Pop(&s.queue)
-		if next.cancelled {
-			s.release(next)
-			continue
-		}
-		s.now = next.at
-		next.fired = true
-		next.fn()
-		s.executed++
+		s.fire(s.queue.pop())
 		n++
-		if s.maxEvents > 0 && s.executed > s.maxEvents {
-			panic(fmt.Sprintf("sim: event limit %d exceeded (last event %q at %v)",
-				s.maxEvents, next.name, next.at))
-		}
-		s.release(next)
 	}
 	if s.now < until {
 		s.now = until
@@ -268,47 +456,85 @@ func (s *Scheduler) Run(until Time) uint64 {
 func (s *Scheduler) RunAll() uint64 {
 	s.stopped = false
 	var n uint64
-	for len(s.queue) > 0 && !s.stopped {
-		next := heap.Pop(&s.queue).(*event)
-		if next.cancelled {
-			s.release(next)
-			continue
+	for !s.stopped {
+		ev := s.popNext()
+		if ev == nil {
+			break
 		}
-		s.now = next.at
-		next.fired = true
-		next.fn()
-		s.executed++
+		s.fire(ev)
 		n++
-		if s.maxEvents > 0 && s.executed > s.maxEvents {
-			panic(fmt.Sprintf("sim: event limit %d exceeded (last event %q at %v)",
-				s.maxEvents, next.name, next.at))
-		}
-		s.release(next)
 	}
 	return n
 }
 
-// Pending returns the number of queued (non-cancelled) events.
-func (s *Scheduler) Pending() int {
-	n := 0
-	for _, ev := range s.queue {
-		if !ev.cancelled {
-			n++
+// runBounded executes events with at < end, plus — when tieSched > 0 —
+// events at exactly `end` whose schedAt precedes tieSched. The clock is
+// advanced to `clock` when the bound is reached. This is the sharded
+// window primitive: a window [W, W+L) runs runBounded(W+L, 0, W+L) on
+// each shard; the global-lane interleaving step at instant W runs
+// runBounded(W, gSchedAt, W) so shard events scheduled before a pending
+// global event execute first, matching the serial order.
+func (s *Scheduler) runBounded(end Time, tieSched Time, clock Time) uint64 {
+	s.stopped = false
+	var n uint64
+	for !s.stopped {
+		if s.pruneRoot(); len(s.queue) == 0 {
+			break
 		}
+		root := &s.queue[0]
+		if root.at >= end && !(root.at == end && tieSched > 0 && root.schedAt < tieSched) {
+			break
+		}
+		s.fire(s.queue.pop())
+		n++
+	}
+	if s.now < clock {
+		s.now = clock
 	}
 	return n
 }
+
+// pruneRoot pops cancelled events off the heap root so queue[0], when it
+// exists, is live. Amortised O(1): each cancelled event is popped once.
+func (s *Scheduler) pruneRoot() {
+	for len(s.queue) > 0 && s.queue[0].ev.cancelled {
+		s.release(s.queue.pop())
+	}
+}
+
+// advanceTo moves the clock forward to t without executing anything. It
+// panics if a live event earlier than t is still queued — the sharded
+// coordinator only advances a scheduler it has proven idle below t.
+func (s *Scheduler) advanceTo(t Time) {
+	if s.pruneRoot(); len(s.queue) > 0 && s.queue[0].at < t {
+		panic(fmt.Sprintf("sim: advanceTo %v over pending event %q at %v",
+			t, s.queue[0].ev.name, s.queue[0].at))
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// peekKey returns the (at, schedAt) key of the earliest pending event.
+func (s *Scheduler) peekKey() (at, schedAt Time, ok bool) {
+	if s.pruneRoot(); len(s.queue) == 0 {
+		return 0, 0, false
+	}
+	return s.queue[0].at, s.queue[0].schedAt, true
+}
+
+// Pending returns the number of queued (non-cancelled) events. O(1): the
+// count is maintained at schedule/cancel/fire time rather than by
+// rescanning the heap (the realtime loop and the sharded coordinator call
+// this between every window).
+func (s *Scheduler) Pending() int { return s.live }
 
 // NextEventTime returns the time of the earliest pending event, and false
-// if the queue is empty. Cancelled events may occupy the heap root, so a
-// single linear pass over the queue finds the minimum among live events.
+// if the queue is empty. Cancelled events are lazily popped off the heap
+// root, so the call is O(1) amortised rather than a linear scan.
 func (s *Scheduler) NextEventTime() (Time, bool) {
-	var best Time
-	found := false
-	for _, ev := range s.queue {
-		if !ev.cancelled && (!found || ev.at < best) {
-			best, found = ev.at, true
-		}
+	if s.pruneRoot(); len(s.queue) == 0 {
+		return 0, false
 	}
-	return best, found
+	return s.queue[0].at, true
 }

@@ -14,6 +14,7 @@ package task
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"enviromic/internal/flash"
@@ -213,6 +214,9 @@ type Service struct {
 	id    int
 	stack *netstack.Stack
 	sched *sim.Scheduler
+	// rng is the node's private random stream (election backoffs and
+	// jitter draws must be per-node so sharded runs replay serially).
+	rng   *rand.Rand
 	dev   Device
 	ts    TimeSource
 	view  MemberView
@@ -261,6 +265,7 @@ func NewService(id int, stack *netstack.Stack, sched *sim.Scheduler, dev Device,
 		id:          id,
 		stack:       stack,
 		sched:       sched,
+		rng:         stack.Endpoint().Rand(),
 		dev:         dev,
 		ts:          ts,
 		probe:       probe,
@@ -646,7 +651,7 @@ func (s *Service) finishRecording() {
 			// Jittered: two colliding leaders that both self-record would
 			// otherwise phase-lock, each deaf whenever the other announces.
 			listen := s.cfg.SelfRecordListen
-			listen += time.Duration(s.sched.Rand().Int63n(int64(listen) + 1))
+			listen += time.Duration(s.rng.Int63n(int64(listen) + 1))
 			next = next.Add(listen)
 		}
 		s.scheduleAssign(next)

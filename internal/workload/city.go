@@ -1,0 +1,195 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"enviromic/internal/acoustics"
+	"enviromic/internal/geometry"
+	"enviromic/internal/sim"
+)
+
+// CityConfig parameterizes the 10k-mote city scenario: a square street
+// grid of Blocks×Blocks city blocks with motes mounted every Spacing
+// units along the streets (lamp posts), street-corner and sidewalk
+// acoustic events, and a handful of "mule" vehicles that continuously
+// drive the avenues. The scenario exists to exercise the sharded engine
+// at a scale the paper's testbeds never reached; its acoustics reuse the
+// same source model as the indoor and forest workloads.
+type CityConfig struct {
+	// Seed drives the event process (independent of the network seed).
+	Seed int64
+	// Blocks is the number of city blocks per side (default 20).
+	Blocks int
+	// BlockSize is the edge length of one block in deployment units
+	// (default 100).
+	BlockSize float64
+	// Spacing is the mote pitch along streets (default 8). The defaults
+	// give (Blocks*BlockSize/Spacing+1) motes per street line and
+	// 2*(Blocks+1) street lines ≈ 10.4k motes after intersection dedup.
+	Spacing float64
+	// Duration bounds event start times.
+	Duration time.Duration
+	// EventGap is the mean Poisson gap between street events
+	// (default 5 s — roughly one event live at any moment).
+	EventGap time.Duration
+	// Mules is the number of vehicles continuously crossing the city
+	// (default 4). Each drives a street end to end, rests, and goes
+	// again on another street for the whole Duration.
+	Mules int
+	// Threshold must match the field's detection threshold.
+	Threshold float64
+}
+
+// DefaultCity returns the 10k-mote configuration used by the city
+// benchmark: a 20×20-block downtown, motes every 8 units of street.
+func DefaultCity() CityConfig {
+	return CityConfig{
+		Seed:      11,
+		Blocks:    20,
+		BlockSize: 100,
+		Spacing:   8,
+		Duration:  time.Hour,
+		EventGap:  5 * time.Second,
+		Mules:     4,
+		Threshold: 1,
+	}
+}
+
+func (c *CityConfig) applyDefaults() {
+	if c.Blocks == 0 {
+		c.Blocks = 20
+	}
+	if c.BlockSize == 0 {
+		c.BlockSize = 100
+	}
+	if c.Spacing == 0 {
+		c.Spacing = 8
+	}
+	if c.EventGap == 0 {
+		c.EventGap = 5 * time.Second
+	}
+	if c.Mules == 0 {
+		c.Mules = 4
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 1
+	}
+	if c.Blocks < 1 || c.BlockSize <= 0 || c.Spacing <= 0 ||
+		c.Spacing > c.BlockSize || c.Duration <= 0 {
+		panic(fmt.Sprintf("workload: invalid city config %+v", *c))
+	}
+}
+
+// Side returns the city's edge length.
+func (c CityConfig) Side() float64 {
+	c.applyDefaults()
+	return float64(c.Blocks) * c.BlockSize
+}
+
+// CityPositions returns the mote positions: one mote every Spacing units
+// along every street line (horizontal streets south to north, then
+// vertical avenues west to east), with street intersections deduplicated.
+// The order — and therefore the node-ID assignment — is deterministic.
+func CityPositions(cfg CityConfig) []geometry.Point {
+	cfg.applyDefaults()
+	side := cfg.Side()
+	steps := int(side / cfg.Spacing)
+	// Lattice coordinates are products of exact multiplicands, so float
+	// equality is exact and a position map dedups intersections safely.
+	seen := make(map[geometry.Point]bool)
+	var out []geometry.Point
+	add := func(x, y float64) {
+		p := geometry.Point{X: x, Y: y}
+		if seen[p] {
+			return
+		}
+		seen[p] = true
+		out = append(out, p)
+	}
+	for row := 0; row <= cfg.Blocks; row++ {
+		y := float64(row) * cfg.BlockSize
+		for i := 0; i <= steps; i++ {
+			add(float64(i)*cfg.Spacing, y)
+		}
+	}
+	for col := 0; col <= cfg.Blocks; col++ {
+		x := float64(col) * cfg.BlockSize
+		for i := 0; i <= steps; i++ {
+			add(x, float64(i)*cfg.Spacing)
+		}
+	}
+	return out
+}
+
+// GenerateCity populates the field with the city soundscape and returns
+// the number of sources added:
+//
+//   - street events (conversations, dogs, doors: short tonal/speech
+//     bursts) at random positions along the streets, Poisson in time;
+//   - Mules vehicles driving street lines end to end at ~14 units/s,
+//     audible about a quarter block, all day long.
+func GenerateCity(field *acoustics.Field, cfg CityConfig) int {
+	cfg.applyDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	side := cfg.Side()
+	var id acoustics.SourceID
+	n := 0
+
+	// randStreet picks a random point on the street lattice: a street
+	// line (horizontal or vertical) and an offset along it.
+	randStreet := func() geometry.Point {
+		line := float64(rng.Intn(cfg.Blocks+1)) * cfg.BlockSize
+		off := rng.Float64() * side
+		if rng.Intn(2) == 0 {
+			return geometry.Point{X: off, Y: line}
+		}
+		return geometry.Point{X: line, Y: off}
+	}
+
+	// Street events: audible ~2 mote pitches, so each event has a small
+	// local audience and groups stay a handful of nodes.
+	eventLoud := acoustics.LoudnessForRange(2*cfg.Spacing, cfg.Threshold)
+	voices := []acoustics.VoiceKind{acoustics.VoiceSpeech, acoustics.VoiceTone}
+	for t := time.Duration(0); ; {
+		t += time.Duration(rng.ExpFloat64() * float64(cfg.EventGap))
+		if t >= cfg.Duration {
+			break
+		}
+		id++
+		dur := 3*time.Second + time.Duration(rng.Int63n(int64(7*time.Second)))
+		field.AddSource(acoustics.StaticSource(id, randStreet(), sim.At(t), dur,
+			eventLoud, voices[rng.Intn(len(voices))]))
+		n++
+	}
+
+	// Mules: each crossing takes side/speed seconds; between crossings
+	// the mule rests for a random minute or two, then picks another
+	// street. Rumble audible about a quarter block.
+	const muleSpeed = 14.0
+	muleLoud := acoustics.LoudnessForRange(cfg.BlockSize/4, cfg.Threshold)
+	crossing := time.Duration(side / muleSpeed * float64(time.Second))
+	for m := 0; m < cfg.Mules; m++ {
+		t := time.Duration(rng.Int63n(int64(30 * time.Second)))
+		for t < cfg.Duration {
+			line := float64(rng.Intn(cfg.Blocks+1)) * cfg.BlockSize
+			var a, b geometry.Point
+			if rng.Intn(2) == 0 {
+				a, b = geometry.Point{X: 0, Y: line}, geometry.Point{X: side, Y: line}
+			} else {
+				a, b = geometry.Point{X: line, Y: 0}, geometry.Point{X: line, Y: side}
+			}
+			if rng.Intn(2) == 0 {
+				a, b = b, a
+			}
+			id++
+			field.AddSource(acoustics.MobileSource(id, a, b, sim.At(t), crossing,
+				muleLoud, acoustics.VoiceRumble))
+			n++
+			t += crossing + time.Minute +
+				time.Duration(rng.ExpFloat64()*float64(time.Minute))
+		}
+	}
+	return n
+}

@@ -1,0 +1,76 @@
+#!/bin/sh
+# Benchmarks the 10k-mote city scenario (DESIGN.md §14) on the serial and
+# sharded engines and records the wall-clock comparison in BENCH_city.json:
+#   - one simulated hour, ~10.4k motes, default city workload;
+#   - -shards 1 vs -shards 4 with identical seeds;
+#   - the two runs' stdout must be byte-identical (the determinism
+#     contract of core.Config.Shards) — any diff FAILS the script.
+# The >= 2.5x speedup acceptance gate only makes sense with real
+# parallelism, so it is enforced only when the host has >= 4 CPUs; on
+# smaller hosts the script still records honest numbers plus the core
+# count so the reader can judge them.
+# Usage: scripts/bench_city.sh [output-file]
+#   CITY_DURATION=5m scripts/bench_city.sh   # reduced smoke variant
+set -e
+out="${1:-BENCH_city.json}"
+duration="${CITY_DURATION:-1h}"
+cd "$(dirname "$0")/.."
+
+cores=$( (nproc || getconf _NPROCESSORS_ONLN) 2>/dev/null | head -1 )
+[ -n "$cores" ] || cores=1
+
+bin=$(mktemp -t enviromic-sim.XXXXXX)
+serial_out=$(mktemp -t city-serial.XXXXXX)
+sharded_out=$(mktemp -t city-sharded.XXXXXX)
+trap 'rm -f "$bin" "$serial_out" "$sharded_out"' EXIT
+go build -o "$bin" ./cmd/enviromic-sim
+
+run() { # run <shards> <outfile>; prints wall seconds
+    t0=$(date +%s%N)
+    "$bin" -scenario city -duration "$duration" -shards "$1" > "$2"
+    t1=$(date +%s%N)
+    awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.2f", (b - a) / 1e9 }'
+}
+
+echo "city: serial run (-shards 1, $duration simulated)..."
+serial_s=$(run 1 "$serial_out")
+echo "  ${serial_s}s wall"
+echo "city: sharded run (-shards 4, $duration simulated)..."
+sharded_s=$(run 4 "$sharded_out")
+echo "  ${sharded_s}s wall"
+
+if ! cmp -s "$serial_out" "$sharded_out"; then
+    echo "FAIL: sharded city output differs from serial (determinism break)"
+    diff "$serial_out" "$sharded_out" | head -20
+    exit 1
+fi
+echo "outputs byte-identical across engines"
+
+nodes=$(sed -n 's/.* nodes=\([0-9]*\) .*/\1/p' "$serial_out" | head -1)
+speedup=$(awk -v s="$serial_s" -v p="$sharded_s" 'BEGIN { printf "%.2f", s / p }')
+
+{
+    printf '{\n'
+    printf '  "host": "%s",\n' "$(uname -sm)"
+    printf '  "cores": %s,\n' "$cores"
+    printf '  "scenario": "city",\n'
+    printf '  "nodes": %s,\n' "${nodes:-0}"
+    printf '  "simulated": "%s",\n' "$duration"
+    printf '  "serial_wall_s": %s,\n' "$serial_s"
+    printf '  "shards4_wall_s": %s,\n' "$sharded_s"
+    printf '  "speedup": %s,\n' "$speedup"
+    printf '  "outputs_identical": true,\n'
+    printf '  "speedup_gate": "%s"\n' \
+        "$([ "$cores" -ge 4 ] && echo ">= 2.5x enforced" || echo "skipped: $cores core(s), need >= 4 for parallel speedup")"
+    printf '}\n'
+} > "$out"
+echo "wrote $out (cores=$cores speedup=${speedup}x)"
+
+if [ "$cores" -ge 4 ]; then
+    awk -v sp="$speedup" 'BEGIN {
+        if (sp < 2.5) { printf "FAIL: speedup %.2fx < 2.5x on a %s-core host\n", sp, "'"$cores"'"; exit 1 }
+        printf "speedup gate passed: %.2fx >= 2.5x\n", sp
+    }'
+else
+    echo "speedup gate skipped: host has $cores core(s); shards cannot run in parallel"
+fi

@@ -1,0 +1,12 @@
+#!/bin/sh
+# Race-detector smoke for the sharded engine: runs the serial-vs-sharded
+# byte-identity regressions under -race, which exercises the shard
+# worker goroutines, the deposit lanes, and the barrier merge with the
+# race detector watching every cross-shard handoff.
+# Wired into `make check`; keep it under a minute.
+set -e
+cd "$(dirname "$0")/.."
+go test -race -count=1 \
+    -run 'TestShardedMatchesSerial|TestShardsRunMatchesSerialSchedule|TestShardsCrossShardDepositOrdering|TestShardsGlobalLaneExclusive|TestCitySmoke|TestChaosUnderShardsMatchesSerial' \
+    ./internal/sim ./internal/core ./internal/experiments ./internal/chaos
+echo "shard smoke passed: sharded runs byte-identical under -race"

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-archive bench-city figures profile trace-smoke chaos-smoke archive-smoke shard-smoke
+.PHONY: build test check bench bench-archive bench-city figures profile trace-smoke chaos-smoke archive-smoke shard-smoke archive-load
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,7 @@ check:
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(GO) test -run Chaos -race ./...
+	$(GO) test -run ArchiveSoak -race -count=1 ./internal/archive/
 	sh scripts/shard_smoke.sh
 
 # bench regenerates BENCH_trace.json (message-plane micro-benchmarks,
@@ -66,6 +67,13 @@ bench-city:
 # rebuild on open).
 bench-archive:
 	sh scripts/bench_archive.sh
+
+# archive-load regenerates BENCH_archive_http.json: the 1M-chunk open
+# bench (snapshot vs rescan) and HTTP ingest/query load at >= 1000
+# concurrent clients, then gates the in-process archive benchmarks at
+# <= 2% ns/op regression vs BENCH_archive.json.
+archive-load:
+	sh scripts/archive_load.sh
 
 # profile runs the indoor scenario under the CPU and allocation
 # profilers; inspect with `go tool pprof cpu.pprof` / `mem.pprof`.

@@ -1,0 +1,408 @@
+// Command enviromic-archive-load is the archive's HTTP load harness: it
+// drives the real TCP + HTTP stack (not httptest in-process transports)
+// with many concurrent ingest and query clients and reports throughput
+// and latency percentiles as JSON — the numbers recorded in
+// BENCH_archive_http.json.
+//
+// Modes:
+//
+//	enviromic-archive-load                        # self-host a store, run ingest+query phases
+//	enviromic-archive-load -url http://host:8080  # aim at an already-running enviromic-archive
+//	enviromic-archive-load -open-bench 1000000 -load=false
+//	                                              # only build a 1M-chunk archive and time open
+//	                                              # with a warm snapshot vs full rescan
+//
+// With both -open-bench and the (default) load phases enabled, one run
+// produces the complete BENCH_archive_http.json.
+//
+// The ingest phase runs -ingest-clients concurrent clients, each POSTing
+// -batches batches of -chunks full-payload chunks under a unique origin
+// (so every chunk is new). The query phase runs -clients concurrent
+// clients (default 1000) mixing /query, /files/{id}, and /stats requests.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"enviromic/internal/archive"
+	"enviromic/internal/flash"
+	"enviromic/internal/sim"
+)
+
+type result struct {
+	Host          string  `json:"host"`
+	Cores         int     `json:"cores"`
+	Shards        int     `json:"shards"`
+	IngestClients int     `json:"ingest_clients,omitempty"`
+	IngestChunks  int     `json:"ingest_chunks,omitempty"`
+	IngestSeconds float64 `json:"ingest_seconds,omitempty"`
+	IngestMBs     float64 `json:"ingest_mb_s,omitempty"`
+
+	QueryClients  int     `json:"query_clients,omitempty"`
+	QueryRequests int     `json:"query_requests,omitempty"`
+	QuerySeconds  float64 `json:"query_seconds,omitempty"`
+	QueryQPS      float64 `json:"query_qps,omitempty"`
+	QueryP50Ms    float64 `json:"query_p50_ms,omitempty"`
+	QueryP95Ms    float64 `json:"query_p95_ms,omitempty"`
+	QueryP99Ms    float64 `json:"query_p99_ms,omitempty"`
+	QueryErrors   int64   `json:"query_errors"`
+
+	OpenBench *openBench `json:"open_1m,omitempty"`
+}
+
+type openBench struct {
+	Chunks          int     `json:"chunks"`
+	SnapshotOpenSec float64 `json:"snapshot_open_s"`
+	RescanOpenSec   float64 `json:"rescan_open_s"`
+	Speedup         float64 `json:"speedup"`
+}
+
+func main() {
+	var (
+		url       = flag.String("url", "", "target an existing archive server instead of self-hosting")
+		dir       = flag.String("dir", "", "archive directory for self-hosting (default: a temp dir)")
+		shards    = flag.Int("shards", 8, "shard count for a self-hosted archive")
+		ingesters = flag.Int("ingest-clients", 64, "concurrent ingest clients")
+		batches   = flag.Int("batches", 8, "ingest batches per client")
+		perBatch  = flag.Int("chunks", 64, "chunks per ingest batch")
+		clients   = flag.Int("clients", 1000, "concurrent query clients")
+		reqs      = flag.Int("requests", 20, "query requests per client")
+		openN     = flag.Int("open-bench", 0, "also build an N-chunk archive and time snapshot vs rescan open")
+		load      = flag.Bool("load", true, "run the HTTP ingest+query phases")
+		out       = flag.String("out", "", "write the JSON result here as well as stdout")
+		prof      = flag.String("cpuprofile", "", "write a CPU profile of the open-bench snapshot opens here")
+	)
+	flag.Parse()
+
+	res := result{Host: "linux", Cores: runtime.NumCPU(), Shards: *shards}
+
+	// Open bench first: restart latency is measured in a quiet process,
+	// the way a real basestation restart would see it, not with the load
+	// phases' heap and connection goroutines still settling.
+	if *openN > 0 {
+		obDir := *dir
+		if *load {
+			obDir = "" // the load phases already own -dir; use a fresh temp dir
+		}
+		ob, err := runOpenBench(obDir, *shards, *openN, *prof)
+		if err != nil {
+			fail(err)
+		}
+		res.OpenBench = ob
+	}
+	if *load {
+		if err := runLoadPhases(&res, *url, *dir, *shards, *ingesters, *batches, *perBatch, *clients, *reqs); err != nil {
+			fail(err)
+		}
+	}
+	emit(res, *out)
+}
+
+func runLoadPhases(res *result, url, dir string, shards, ingesters, batches, perBatch, clients, reqs int) error {
+	base := url
+	if base == "" {
+		store, ln, err := selfHost(dir, shards)
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		defer ln.Close()
+		base = "http://" + ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "self-hosting archive on %s\n", base)
+	}
+	tr := &http.Transport{
+		MaxIdleConns:        clients + ingesters,
+		MaxIdleConnsPerHost: clients + ingesters,
+	}
+	// Drop the ~1k kept-alive connections when the phases end: each one
+	// pins client and server goroutines whose stacks the collector would
+	// otherwise keep scanning during a following -open-bench.
+	defer tr.CloseIdleConnections()
+	client := &http.Client{Transport: tr}
+
+	if err := runIngestPhase(client, base, ingesters, batches, perBatch, res); err != nil {
+		return err
+	}
+	return runQueryPhase(client, base, clients, reqs, res)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "enviromic-archive-load: %v\n", err)
+	os.Exit(1)
+}
+
+func emit(res result, out string) {
+	data, _ := json.MarshalIndent(res, "", "  ")
+	data = append(data, '\n')
+	os.Stdout.Write(data)
+	if out != "" {
+		if err := os.WriteFile(out, data, 0o644); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// selfHost opens a store and serves the archive API on a real TCP socket.
+func selfHost(dir string, shards int) (*archive.Store, net.Listener, error) {
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "archive-load-*")
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	store, err := archive.Open(dir, archive.Options{Shards: shards})
+	if err != nil {
+		return nil, nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		store.Close()
+		return nil, nil, err
+	}
+	go http.Serve(ln, archive.NewHandler(store))
+	return store, ln, nil
+}
+
+// mkBatch builds one client's batch: full-payload chunks under the
+// client's own origin, so no two clients ever collide on a dedup key.
+func mkBatch(origin int32, batch, n int) ([]byte, error) {
+	payload := make([]byte, flash.PayloadSize)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	chunks := make([]*flash.Chunk, n)
+	for i := 0; i < n; i++ {
+		seq := uint32(batch*n + i)
+		start := time.Duration(seq) * 83 * time.Millisecond
+		chunks[i] = &flash.Chunk{
+			File:   flash.FileID(int(origin)*7 + i%7 + 1),
+			Origin: origin,
+			Seq:    seq,
+			Start:  sim.At(start),
+			End:    sim.At(start + 83*time.Millisecond),
+			Data:   payload,
+		}
+	}
+	return archive.EncodeFrames(chunks)
+}
+
+func runIngestPhase(client *http.Client, base string, ingesters, batches, perBatch int, res *result) error {
+	var wg sync.WaitGroup
+	errs := make(chan error, ingesters)
+	start := time.Now()
+	for c := 0; c < ingesters; c++ {
+		wg.Add(1)
+		go func(origin int32) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				body, err := mkBatch(origin, b, perBatch)
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp, err := client.Post(base+"/ingest", "application/octet-stream", bytes.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					errs <- fmt.Errorf("ingest status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(int32(c + 1))
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return err
+	}
+	total := ingesters * batches * perBatch
+	res.IngestClients = ingesters
+	res.IngestChunks = total
+	res.IngestSeconds = elapsed.Seconds()
+	res.IngestMBs = float64(total) * flash.PayloadSize / (1 << 20) / elapsed.Seconds()
+	return nil
+}
+
+func runQueryPhase(client *http.Client, base string, clients, reqs int, res *result) error {
+	paths := []string{
+		"/query?from=0s&to=60s",
+		"/files",
+		"/query?origins=1,2,3",
+		"/stats",
+		"/files/8", // the first file ID mkBatch produces (origin 1, i 0)
+	}
+	latencies := make([][]time.Duration, clients)
+	var errCount atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lat := make([]time.Duration, 0, reqs)
+			for i := 0; i < reqs; i++ {
+				t0 := time.Now()
+				resp, err := client.Get(base + paths[(c+i)%len(paths)])
+				if err != nil {
+					errCount.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					errCount.Add(1)
+					continue
+				}
+				lat = append(lat, time.Since(t0))
+			}
+			latencies[c] = lat
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, lat := range latencies {
+		all = append(all, lat...)
+	}
+	if len(all) == 0 {
+		return fmt.Errorf("query phase: every request failed (%d errors)", errCount.Load())
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(all)-1))
+		return float64(all[i]) / float64(time.Millisecond)
+	}
+	res.QueryClients = clients
+	res.QueryRequests = len(all)
+	res.QuerySeconds = elapsed.Seconds()
+	res.QueryQPS = float64(len(all)) / elapsed.Seconds()
+	res.QueryP50Ms = pct(0.50)
+	res.QueryP95Ms = pct(0.95)
+	res.QueryP99Ms = pct(0.99)
+	res.QueryErrors = errCount.Load()
+	return nil
+}
+
+// runOpenBench builds an n-chunk archive of full-payload chunks (the
+// shape every mule tour produces) and times Open with the close-time
+// snapshot against Open forced down the full rescan.
+func runOpenBench(dir string, shards, n int, cpuprofile string) (*openBench, error) {
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "archive-open-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+	}
+	store, err := archive.Open(dir, archive.Options{Shards: shards})
+	if err != nil {
+		return nil, err
+	}
+	const files, batch = 512, 8192
+	payload := make([]byte, flash.PayloadSize)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	// One reusable batch of chunk structs: Ingest copies payloads into the
+	// segment before replying, and a million throwaway structs would leave
+	// the timed opens below fighting the garbage collector.
+	pool := make([]flash.Chunk, batch)
+	chunks := make([]*flash.Chunk, 0, batch)
+	for seq := 0; seq < n; {
+		chunks = chunks[:0]
+		for len(chunks) < batch && seq < n {
+			start := time.Duration(seq) * time.Millisecond
+			c := &pool[len(chunks)]
+			*c = flash.Chunk{
+				File:   flash.FileID(seq%files + 1),
+				Origin: int32(seq % 97),
+				Seq:    uint32(seq),
+				Start:  sim.At(start),
+				End:    sim.At(start + time.Millisecond),
+				Data:   payload,
+			}
+			chunks = append(chunks, c)
+			seq++
+		}
+		if _, err := store.Ingest(chunks); err != nil {
+			return nil, err
+		}
+		if seq%(batch*16) == 0 {
+			fmt.Fprintf(os.Stderr, "built %d/%d chunks\r", seq, n)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "built %d chunks; closing (writes snapshots)\n", n)
+	if err := store.Close(); err != nil {
+		return nil, err
+	}
+
+	// Best of three: open is fast relative to ambient noise (GC from the
+	// build loop, page-cache churn), so single-shot timings jitter badly.
+	timeOpen := func(opts archive.Options) (float64, error) {
+		best := 0.0
+		for i := 0; i < 3; i++ {
+			runtime.GC()
+			t0 := time.Now()
+			s, err := archive.Open(dir, opts)
+			if err != nil {
+				return 0, err
+			}
+			elapsed := time.Since(t0).Seconds()
+			if st := s.Stats(); st.Chunks != n {
+				s.Close()
+				return 0, fmt.Errorf("open saw %d chunks, want %d", st.Chunks, n)
+			}
+			s.Close()
+			if best == 0 || elapsed < best {
+				best = elapsed
+			}
+		}
+		return best, nil
+	}
+	if cpuprofile != "" {
+		pf, err := os.Create(cpuprofile)
+		if err != nil {
+			return nil, err
+		}
+		pprof.StartCPUProfile(pf)
+		defer func() { pf.Close() }()
+	}
+	snap, err := timeOpen(archive.Options{})
+	if cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if err != nil {
+		return nil, err
+	}
+	rescan, err := timeOpen(archive.Options{NoSnapshots: true})
+	if err != nil {
+		return nil, err
+	}
+	return &openBench{
+		Chunks:          n,
+		SnapshotOpenSec: snap,
+		RescanOpenSec:   rescan,
+		Speedup:         rescan / snap,
+	}, nil
+}

@@ -37,7 +37,10 @@ func main() {
 		ls       = flag.Bool("ls", false, "list archived files and exit")
 		tol      = flag.Duration("gap-tolerance", 500*time.Millisecond, "default gap tolerance for listings and /gaps")
 		cacheMB  = flag.Int64("cache-mb", 16, "reassembly cache budget in MiB (negative disables)")
-		syncOn   = flag.Bool("sync-ingest", false, "fsync segments after every ingest batch")
+		syncOn   = flag.Bool("sync-ingest", false, "fsync segments after every ingest group commit")
+		compact  = flag.Bool("compact", false, "compact segments (reclaim superseded bytes) and exit")
+		ckptMB   = flag.Int64("checkpoint-mb", 8, "bytes appended between index snapshot checkpoints, in MiB (negative disables)")
+		autoMB   = flag.Int64("auto-compact-mb", 64, "per-shard superseded bytes triggering auto compaction, in MiB (negative disables)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -46,15 +49,19 @@ func main() {
 		os.Exit(2)
 	}
 
-	cacheBytes := *cacheMB
-	if cacheBytes > 0 {
-		cacheBytes <<= 20
+	mb := func(v int64) int64 {
+		if v > 0 {
+			return v << 20
+		}
+		return v
 	}
 	store, err := archive.Open(*dir, archive.Options{
-		Shards:       *shards,
-		GapTolerance: *tol,
-		CacheBytes:   cacheBytes,
-		SyncOnIngest: *syncOn,
+		Shards:           *shards,
+		GapTolerance:     *tol,
+		CacheBytes:       mb(*cacheMB),
+		SyncOnIngest:     *syncOn,
+		CheckpointBytes:  mb(*ckptMB),
+		AutoCompactBytes: mb(*autoMB),
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "enviromic-archive: %v\n", err)
@@ -73,11 +80,31 @@ func main() {
 	if *ls {
 		list(store)
 	}
+	if *compact {
+		rep, err := store.Compact()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "enviromic-archive: compact: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("compacted %d shards: kept %d chunks, reclaimed %d bytes (%d segment bytes now)\n",
+			rep.Shards, rep.ChunksKept, rep.ReclaimedBytes, rep.SegmentBytesNow)
+	}
 	if *httpAddr == "" {
 		return
 	}
 
 	expvar.Publish("archive_stats", expvar.Func(func() any { return store.Stats() }))
+	// Flat op counters (ingest.chunks, ingest.duplicates, cache hits,
+	// compact.reclaimed_bytes, ...) plus derived ratios, matching the
+	// enviromic-sim debug endpoint's flat-counter style.
+	expvar.Publish("archive_counters", expvar.Func(func() any { return store.Stats().Counters }))
+	expvar.Publish("archive_cache_hit_ratio", expvar.Func(func() any {
+		c := store.Stats().Cache
+		if c.Hits+c.Misses == 0 {
+			return 0.0
+		}
+		return float64(c.Hits) / float64(c.Hits+c.Misses)
+	}))
 	http.Handle("/", archive.NewHandler(store))
 	ln, err := net.Listen("tcp", *httpAddr)
 	if err != nil {

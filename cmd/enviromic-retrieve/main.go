@@ -4,9 +4,16 @@
 // spanning-tree convergecast — and optionally exports the largest
 // reassembled file as a WAV.
 //
-// Example:
+// Examples:
 //
 //	enviromic-retrieve -duration 2m -wav out.wav
+//	enviromic-retrieve -scenario city -archive /tmp/city-archive
+//
+// The city scenario runs the ~200-mote quick city (the scaled-down
+// sibling of the 10k-mote benchmark scenario), sends a mule tour down
+// each street group, and flushes all tours into the archive
+// concurrently — the pipelined group-commit ingest path under its
+// natural workload.
 package main
 
 import (
@@ -14,11 +21,13 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"sync"
 	"time"
 
 	"enviromic/internal/acoustics"
 	"enviromic/internal/archive"
 	"enviromic/internal/core"
+	"enviromic/internal/experiments"
 	"enviromic/internal/flash"
 	"enviromic/internal/geometry"
 	"enviromic/internal/mote"
@@ -26,13 +35,15 @@ import (
 	"enviromic/internal/sim"
 	"enviromic/internal/trace"
 	"enviromic/internal/wav"
+	"enviromic/internal/workload"
 )
 
 func main() {
 	var (
+		scenario   = flag.String("scenario", "grid", "scenario: grid (small, audio on) or city (~200 motes, mule tours)")
 		duration   = flag.Duration("duration", 2*time.Minute, "recording phase duration")
 		seed       = flag.Int64("seed", 1, "simulation seed")
-		wavPath    = flag.String("wav", "", "write the largest reassembled file as 8-bit WAV")
+		wavPath    = flag.String("wav", "", "write the largest reassembled file as 8-bit WAV (grid only)")
 		requeryTol = flag.Duration("requery-tolerance", 500*time.Millisecond,
 			"gap tolerance for the mule's follow-up gap re-query (MissingFiles)")
 		archiveDir = flag.String("archive", "",
@@ -40,6 +51,18 @@ func main() {
 	)
 	flag.Parse()
 
+	switch *scenario {
+	case "grid":
+		runGrid(*duration, *seed, *wavPath, *requeryTol, *archiveDir)
+	case "city":
+		runCity(*duration, *seed, *requeryTol, *archiveDir)
+	default:
+		fmt.Fprintf(os.Stderr, "enviromic-retrieve: unknown -scenario %q (want grid or city)\n", *scenario)
+		os.Exit(2)
+	}
+}
+
+func runGrid(duration time.Duration, seed int64, wavPath string, requeryTol time.Duration, archiveDir string) {
 	// A small grid with a couple of bird-song events, audio synthesis on
 	// so a WAV export is meaningful.
 	grid := geometry.Grid{Cols: 5, Rows: 4, Pitch: 2}
@@ -49,7 +72,7 @@ func main() {
 	acousticsAdd(field, 2, grid.PointAt(3, 2), sim.At(30*time.Second), 20*time.Second, loud)
 
 	net := core.NewGridNetwork(core.Config{
-		Seed:            *seed,
+		Seed:            seed,
 		Mode:            core.ModeFull,
 		BetaMax:         2,
 		CommRange:       4 * grid.Pitch,
@@ -57,8 +80,8 @@ func main() {
 		FlashBlocks:     1024,
 		SynthesizeAudio: true,
 	}, field, grid)
-	fmt.Printf("recording for %v over %d motes...\n", *duration, len(net.Nodes))
-	net.Run(sim.At(*duration))
+	fmt.Printf("recording for %v over %d motes...\n", duration, len(net.Nodes))
+	net.Run(sim.At(duration))
 
 	// 1. Physical collection: read every mote's flash.
 	files := retrieval.Reassemble(net.Holdings(), retrieval.Query{All: true})
@@ -88,22 +111,22 @@ func main() {
 	net.Sched.Run(net.Sched.Now().Add(2 * time.Minute))
 	fmt.Printf("[3] spanning-tree flood : %d chunks collected\n", len(mule2.Collected))
 
-	if gaps := mule2.MissingFiles(*requeryTol); len(gaps.Files) > 0 {
-		fmt.Printf("    follow-up query (tolerance %v): files=%v\n", *requeryTol, keys(gaps.Files))
+	if gaps := mule2.MissingFiles(requeryTol); len(gaps.Files) > 0 {
+		fmt.Printf("    follow-up query (tolerance %v): files=%v\n", requeryTol, keys(gaps.Files))
 		mule2.Flood(gaps, 2)
 		net.Sched.Run(net.Sched.Now().Add(time.Minute))
 		fmt.Printf("    after re-request: %d chunks\n", len(mule2.Collected))
 	} else {
-		fmt.Printf("    follow-up query (tolerance %v): none — no gapped files\n", *requeryTol)
+		fmt.Printf("    follow-up query (tolerance %v): none — no gapped files\n", requeryTol)
 	}
 
-	if *archiveDir != "" {
-		arch, err := archive.Open(*archiveDir, archive.Options{GapTolerance: *requeryTol})
+	if archiveDir != "" {
+		arch, err := archive.Open(archiveDir, archive.Options{GapTolerance: requeryTol})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("\n[4] archive flush -> %s\n", *archiveDir)
+		fmt.Printf("\n[4] archive flush -> %s\n", archiveDir)
 		for i, tour := range []struct {
 			name   string
 			chunks []*flash.Chunk
@@ -123,7 +146,7 @@ func main() {
 					d.File, d.Added, d.Duplicates, d.GapsBefore, d.GapsAfter)
 			}
 			if rq := rep.Requery(); len(rq.Files) > 0 {
-				fmt.Printf("      next-tour re-query: files=%v tolerance=%v\n", keys(rq.Files), *requeryTol)
+				fmt.Printf("      next-tour re-query: files=%v tolerance=%v\n", keys(rq.Files), requeryTol)
 			}
 		}
 		st := arch.Stats()
@@ -134,7 +157,7 @@ func main() {
 		}
 	}
 
-	if *wavPath != "" {
+	if wavPath != "" {
 		var best *retrieval.File
 		for _, f := range files {
 			if best == nil || f.Bytes() > best.Bytes() {
@@ -146,7 +169,7 @@ func main() {
 			os.Exit(1)
 		}
 		samples := trace.Stitch(best, mote.DefaultSampleRate)
-		out, err := os.Create(*wavPath)
+		out, err := os.Create(wavPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -157,8 +180,85 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\nwrote %s: %.1fs of audio (file %d, coverage %.0f%%)\n",
-			*wavPath, float64(len(samples))/mote.DefaultSampleRate, best.ID,
+			wavPath, float64(len(samples))/mote.DefaultSampleRate, best.ID,
 			trace.Coverage(best, mote.DefaultSampleRate)*100)
+	}
+}
+
+// runCity records on the quick city (~200 street motes), then sends one
+// data mule touring each street group and flushes every tour into the
+// archive concurrently — overlapping tours revisit the same streets, so
+// the ingest sees duplicates and (for partially-heard chunks) longer
+// copies that supersede shorter ones.
+func runCity(duration time.Duration, seed int64, requeryTol time.Duration, archiveDir string) {
+	opts := experiments.QuickCityOpts()
+	opts.Seed = seed
+	opts.Duration = duration
+	net, events := experiments.BuildCity(opts)
+	fmt.Printf("recording for %v over %d city motes (%d events)...\n", duration, len(net.Nodes), events)
+	net.Run(sim.At(duration))
+
+	// One mule per stripe of the street grid, parked IDs well above every
+	// mote ID. Tours run back to back on the shared scheduler; each stops
+	// every few motes and dwells to collect one-hop replies.
+	positions := workload.CityPositions(opts.City)
+	muleCount := opts.City.Mules
+	if muleCount < 2 {
+		muleCount = 2
+	}
+	mules := make([]*retrieval.Mule, muleCount)
+	for i := range mules {
+		lo, hi := i*len(positions)/muleCount, (i+1)*len(positions)/muleCount
+		var stops []geometry.Point
+		for j := lo; j < hi; j += 4 {
+			stops = append(stops, positions[j])
+		}
+		m := retrieval.NewMule(100000+i, stops[0], net.Radio, net.Sched)
+		got := m.Tour(net.Sched, stops, 2*time.Second, retrieval.Query{All: true})
+		fmt.Printf("[tour %d] mule %d: %d stops, %d chunks collected\n", i+1, m.ID, len(stops), got)
+		mules[i] = m
+	}
+
+	if archiveDir == "" {
+		fmt.Println("no -archive directory; tours not flushed")
+		return
+	}
+	arch, err := archive.Open(archiveDir, archive.Options{GapTolerance: requeryTol})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\narchive flush -> %s (%d tours, concurrent)\n", archiveDir, len(mules))
+	reports := make([]archive.IngestReport, len(mules))
+	errs := make([]error, len(mules))
+	var wg sync.WaitGroup
+	for i, m := range mules {
+		wg.Add(1)
+		go func(i int, chunks []*flash.Chunk) {
+			defer wg.Done()
+			reports[i], errs[i] = arch.Ingest(chunks)
+		}(i, m.Collected)
+	}
+	wg.Wait()
+	for i, rep := range reports {
+		if errs[i] != nil {
+			fmt.Fprintln(os.Stderr, errs[i])
+			os.Exit(1)
+		}
+		// Flushed counts can exceed the tour's own tally: replies still in
+		// flight when a tour ends land while later tours run the scheduler.
+		fmt.Printf("    tour %d: %d chunks -> %d added, %d duplicates, %d superseded\n",
+			i+1, len(mules[i].Collected), rep.Added, rep.Duplicates, rep.Superseded)
+		if rq := rep.Requery(); len(rq.Files) > 0 {
+			fmt.Printf("      next-tour re-query: files=%v tolerance=%v\n", keys(rq.Files), requeryTol)
+		}
+	}
+	st := arch.Stats()
+	fmt.Printf("    archive now: %d files, %d chunks, %d bytes (superseded on disk: %d)\n",
+		st.Files, st.Chunks, st.Bytes, st.SupersededBytes)
+	if err := arch.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }
 

@@ -9,13 +9,19 @@
 // is a front-to-back scan that keeps everything before the first bad
 // frame. All query-facing state — the by-file index, the by-origin index,
 // and the interval index answering "files overlapping [t0,t1]" — lives in
-// memory and is rebuilt from the segments on open; segments are only read
-// when a reassembly needs payload bytes, and reassembled files are held
-// in an LRU cache invalidated (by version) on ingest.
+// memory; on open it is loaded from a per-shard index snapshot plus a
+// replay of the segment tail the snapshot doesn't cover (snapshot.go),
+// falling back to a full segment scan when no usable snapshot exists.
+// Segments are only read when a reassembly needs payload bytes, and
+// reassembled files are held in an LRU cache invalidated (by version) on
+// ingest, fronted by a singleflight so concurrent cold reads share one
+// reassembly. Dead frames left behind by supersession are reclaimed by
+// crash-safe segment compaction (compact.go).
 //
-// Concurrency: ingest serializes per shard; queries take shard read
-// locks; the HTTP handler in http.go drives both from concurrent request
-// goroutines. Everything is safe under `go test -race`.
+// Concurrency: each shard has a writer goroutine that group-commits
+// ingest submissions (pipeline.go); queries take shard read locks; the
+// HTTP handler in http.go drives both from concurrent request goroutines.
+// Everything is safe under `go test -race`.
 package archive
 
 import (
@@ -25,6 +31,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 	"time"
 
 	"enviromic/internal/flash"
@@ -35,6 +42,9 @@ import (
 
 // ErrNotFound is returned for lookups of unknown file IDs.
 var ErrNotFound = errors.New("archive: file not found")
+
+// errClosed is returned by operations on a closed store.
+var errClosed = errors.New("archive: store is closed")
 
 // manifestName is the archive directory's manifest file.
 const manifestName = "MANIFEST.json"
@@ -56,11 +66,23 @@ type Options struct {
 	// CacheBytes bounds the reassembly cache (approximate payload
 	// bytes). Default 16 MiB; negative disables caching.
 	CacheBytes int64
-	// SyncOnIngest fsyncs the shard segment after every ingest batch.
-	// Off by default: the CRC framing already bounds loss to the tail
-	// the kernel never flushed, which is the same guarantee the paper's
-	// EEPROM checkpointing gives flash.
+	// SyncOnIngest fsyncs the shard segment after every ingest group
+	// commit. Off by default: the CRC framing already bounds loss to the
+	// tail the kernel never flushed, which is the same guarantee the
+	// paper's EEPROM checkpointing gives flash.
 	SyncOnIngest bool
+	// CheckpointBytes is how many bytes a shard appends between index
+	// snapshot checkpoints. Default 8 MiB; negative disables periodic
+	// checkpoints (Sync and Close still write one).
+	CheckpointBytes int64
+	// AutoCompactBytes is the per-shard superseded-byte threshold that
+	// triggers background compaction. Default 64 MiB; negative disables
+	// auto compaction (Compact can still be called).
+	AutoCompactBytes int64
+	// NoSnapshots disables index snapshots entirely — neither loaded on
+	// open nor written. Open always rebuilds by scanning. For tests and
+	// rescan benchmarks.
+	NoSnapshots bool
 }
 
 func (o Options) withDefaults() Options {
@@ -73,18 +95,27 @@ func (o Options) withDefaults() Options {
 	if o.CacheBytes == 0 {
 		o.CacheBytes = 16 << 20
 	}
+	if o.CheckpointBytes == 0 {
+		o.CheckpointBytes = 8 << 20
+	}
+	if o.AutoCompactBytes == 0 {
+		o.AutoCompactBytes = 64 << 20
+	}
 	return o
 }
 
 // manifest is the archive directory's geometry record. It is written
-// atomically (temp file + rename) at creation and on Sync/Close; the
-// committed sizes are advisory — recovery trusts the CRC scan, so a
-// manifest older than the segments only means a longer scan, never data
-// loss.
+// atomically (temp file + rename) at creation, on Sync/Close, and when a
+// compaction bumps a shard's generation; the committed sizes are advisory
+// — recovery trusts the CRC scan, so a manifest older than the segments
+// only means a longer scan, never data loss. Generations are not
+// advisory: a snapshot whose generation disagrees with the manifest is
+// from before a compaction and is discarded.
 type manifest struct {
-	Version   int     `json:"version"`
-	Shards    int     `json:"shards"`
-	Committed []int64 `json:"committed,omitempty"`
+	Version     int      `json:"version"`
+	Shards      int      `json:"shards"`
+	Committed   []int64  `json:"committed,omitempty"`
+	Generations []uint64 `json:"generations,omitempty"`
 }
 
 // FileInfo is one archived file's listing entry.
@@ -109,16 +140,20 @@ type Gap struct {
 type FileDelta struct {
 	File              flash.FileID
 	Added, Duplicates int
-	GapsBefore        int
-	GapsAfter         int
-	GapSpanBefore     time.Duration
-	GapSpanAfter      time.Duration
+	// Superseded counts chunks whose fuller copy in this batch replaced
+	// a shorter archived copy.
+	Superseded    int
+	GapsBefore    int
+	GapsAfter     int
+	GapSpanBefore time.Duration
+	GapSpanAfter  time.Duration
 }
 
 // IngestReport summarizes one ingest batch.
 type IngestReport struct {
 	Added      int
 	Duplicates int
+	Superseded int
 	Files      []FileDelta // sorted by file ID
 }
 
@@ -146,14 +181,15 @@ type CacheStats struct {
 
 // Stats is the store-wide snapshot served at /stats.
 type Stats struct {
-	Shards         int              `json:"shards"`
-	Files          int              `json:"files"`
-	Chunks         int              `json:"chunks"`
-	Bytes          int64            `json:"bytes"`           // payload bytes
-	SegmentBytes   int64            `json:"segment_bytes"`   // on-disk bytes including framing
-	RecoveredBytes int64            `json:"recovered_bytes"` // torn tail bytes dropped at open
-	Cache          CacheStats       `json:"cache"`
-	Counters       map[string]int64 `json:"counters"`
+	Shards          int              `json:"shards"`
+	Files           int              `json:"files"`
+	Chunks          int              `json:"chunks"`
+	Bytes           int64            `json:"bytes"`            // payload bytes
+	SegmentBytes    int64            `json:"segment_bytes"`    // on-disk bytes including framing
+	RecoveredBytes  int64            `json:"recovered_bytes"`  // torn tail bytes dropped at open
+	SupersededBytes int64            `json:"superseded_bytes"` // dead frame bytes reclaimable by compaction
+	Cache           CacheStats       `json:"cache"`
+	Counters        map[string]int64 `json:"counters"`
 }
 
 // Store is the persistent chunk archive. All methods are safe for
@@ -163,20 +199,39 @@ type Store struct {
 	opts   Options
 	shards []*shard
 	cache  *fileCache
+	flight flightGroup
+	env    *shardEnv
 
-	counters   *obs.CounterGroup
-	cBatches   *obs.Counter
-	cIngested  *obs.Counter
-	cDups      *obs.Counter
-	cQueries   *obs.Counter
-	cReads     *obs.Counter
-	cCacheHit  *obs.Counter
-	cCacheMiss *obs.Counter
+	// closeMu serializes Close against in-flight operations: every
+	// public mutator holds the read side for its duration, so by the
+	// time Close holds the write side no submission or control send can
+	// be in flight.
+	closeMu sync.RWMutex
+	closed  bool
+
+	// manifestMu serializes manifest writes; gens/committed are the last
+	// written values.
+	manifestMu sync.Mutex
+	gens       []uint64
+	committed  []int64
+
+	counters    *obs.CounterGroup
+	cBatches    *obs.Counter
+	cIngested   *obs.Counter
+	cDups       *obs.Counter
+	cSuper      *obs.Counter
+	cQueries    *obs.Counter
+	cReads      *obs.Counter
+	cCacheHit   *obs.Counter
+	cCacheMiss  *obs.Counter
+	cFlightWin  *obs.Counter
+	cFlightJoin *obs.Counter
 }
 
 // Open opens the archive at dir, creating it (and the directory) if
-// absent. Opening scans every shard segment to rebuild the in-memory
-// indexes and truncates torn tails left by a crash mid-append.
+// absent. Opening loads each shard's index snapshot and replays only the
+// segment tail appended after it (full scan when no usable snapshot
+// exists), truncating torn tails left by a crash mid-append.
 func Open(dir string, opts Options) (*Store, error) {
 	opts = opts.withDefaults()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -195,25 +250,69 @@ func Open(dir string, opts Options) (*Store, error) {
 	s.cBatches = s.counters.Counter("ingest.batches")
 	s.cIngested = s.counters.Counter("ingest.chunks")
 	s.cDups = s.counters.Counter("ingest.duplicates")
+	s.cSuper = s.counters.Counter("ingest.superseded")
 	s.cQueries = s.counters.Counter("query.count")
 	s.cReads = s.counters.Counter("file.reassemblies")
 	s.cCacheHit = s.counters.Counter("cache.hits")
 	s.cCacheMiss = s.counters.Counter("cache.misses")
+	s.cFlightWin = s.counters.Counter("flight.leads")
+	s.cFlightJoin = s.counters.Counter("flight.joins")
+	s.env = &shardEnv{
+		gapTolerance:     opts.GapTolerance,
+		syncOnIngest:     opts.SyncOnIngest,
+		noSnapshots:      opts.NoSnapshots,
+		checkpointBytes:  opts.CheckpointBytes,
+		autoCompact:      opts.AutoCompactBytes,
+		cGroups:          s.counters.Counter("ingest.groups"),
+		cGroupSyncs:      s.counters.Counter("ingest.group_syncs"),
+		cSnapLoads:       s.counters.Counter("open.snapshot_loads"),
+		cSnapFallbacks:   s.counters.Counter("open.snapshot_fallbacks"),
+		cReplayed:        s.counters.Counter("open.replayed_chunks"),
+		cCheckpoints:     s.counters.Counter("checkpoint.writes"),
+		cCheckpointBytes: s.counters.Counter("checkpoint.bytes"),
+		cCompactions:     s.counters.Counter("compact.runs"),
+		cReclaimed:       s.counters.Counter("compact.reclaimed_bytes"),
+		bumpGen:          s.bumpGen,
+	}
+	s.gens = make([]uint64, m.Shards)
+	copy(s.gens, m.Generations)
+	s.committed = make([]int64, m.Shards)
+	copy(s.committed, m.Committed)
 	for i := 0; i < m.Shards; i++ {
-		sh, err := openShard(i, s.shardPath(i))
+		sh, err := openShard(i, s.shardPath(i), s.gens[i], s.env)
 		if err != nil {
 			for _, prev := range s.shards {
-				prev.close()
+				prev.closeFiles()
 			}
 			return nil, err
 		}
 		s.shards = append(s.shards, sh)
+	}
+	for _, sh := range s.shards {
+		sh.startWriter()
 	}
 	return s, nil
 }
 
 func (s *Store) shardPath(i int) string {
 	return filepath.Join(s.dir, fmt.Sprintf("shard-%03d.seg", i))
+}
+
+// bumpGen records a new generation for one shard in the manifest,
+// serialized against every other manifest write.
+func (s *Store) bumpGen(id int, gen uint64) error {
+	s.manifestMu.Lock()
+	defer s.manifestMu.Unlock()
+	s.gens[id] = gen
+	return writeManifest(s.dir, s.manifestLocked())
+}
+
+// manifestLocked builds the current manifest. Caller holds manifestMu.
+func (s *Store) manifestLocked() manifest {
+	m := manifest{Version: manifestVersion, Shards: len(s.gens)}
+	m.Committed = append([]int64(nil), s.committed...)
+	m.Generations = append([]uint64(nil), s.gens...)
+	return m
 }
 
 // loadOrCreateManifest reads the manifest, or writes a fresh one if the
@@ -261,46 +360,74 @@ func writeManifest(dir string, m manifest) error {
 	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	return os.Rename(tmp, filepath.Join(dir, manifestName))
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return err
+	}
+	syncDir(dir)
+	return nil
+}
+
+// shardIndex maps a file ID to its owning shard's index.
+func (s *Store) shardIndex(id flash.FileID) int {
+	return int(uint32(id) % uint32(len(s.shards)))
 }
 
 // shardFor maps a file ID to its owning shard.
 func (s *Store) shardFor(id flash.FileID) *shard {
-	return s.shards[int(uint32(id)%uint32(len(s.shards)))]
+	return s.shards[s.shardIndex(id)]
 }
 
 // Ingest appends the batch's chunks, skipping duplicates (same
 // file/origin/seq — migration copies, retransmissions, or a repeated
-// tour), and reports per-file gap deltas. The archive copies what it
-// needs; the caller keeps ownership of the chunks. Concurrent Ingest
-// calls are safe and serialize only per shard.
+// tour) unless the copy carries a strictly longer payload, in which case
+// it supersedes the archived one. Reports per-file gap deltas. The
+// archive copies what it needs; the caller keeps ownership of the
+// chunks. Concurrent Ingest calls are safe: the batch is submitted to
+// every touched shard's writer at once, and each writer group-commits
+// whatever submissions are queued with one write and at most one fsync.
 func (s *Store) Ingest(chunks []*flash.Chunk) (IngestReport, error) {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return IngestReport{}, errClosed
+	}
 	s.cBatches.Inc()
-	byShard := make(map[*shard][]*flash.Chunk)
+	byShard := make([][]*flash.Chunk, len(s.shards))
 	for _, c := range chunks {
 		if c == nil {
 			continue
 		}
-		sh := s.shardFor(c.File)
-		byShard[sh] = append(byShard[sh], c)
+		i := s.shardIndex(c.File)
+		byShard[i] = append(byShard[i], c)
 	}
-	var rep IngestReport
-	// Deterministic shard order, so reports and error behavior don't
-	// depend on map iteration.
-	for _, sh := range s.shards {
-		batch := byShard[sh]
+	replies := make([]chan subResult, len(s.shards))
+	for i, batch := range byShard {
 		if len(batch) == 0 {
 			continue
 		}
-		deltas, added, dups, err := sh.ingest(batch, s.opts.GapTolerance, s.opts.SyncOnIngest)
-		if err != nil {
-			return rep, err
+		ch := make(chan subResult, 1)
+		replies[i] = ch
+		s.shards[i].subs <- &submission{chunks: batch, reply: ch}
+	}
+	var rep IngestReport
+	var firstErr error
+	for _, ch := range replies {
+		if ch == nil {
+			continue
 		}
-		rep.Added += added
-		rep.Duplicates += dups
-		rep.Files = append(rep.Files, deltas...)
-		for _, d := range deltas {
-			if d.Added > 0 {
+		r := <-ch
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		rep.Added += r.added
+		rep.Duplicates += r.dups
+		rep.Superseded += r.superseded
+		rep.Files = append(rep.Files, r.deltas...)
+		for _, d := range r.deltas {
+			if d.Added > 0 || d.Superseded > 0 {
 				s.cache.invalidate(d.File)
 			}
 		}
@@ -308,10 +435,12 @@ func (s *Store) Ingest(chunks []*flash.Chunk) (IngestReport, error) {
 	sort.Slice(rep.Files, func(i, j int) bool { return rep.Files[i].File < rep.Files[j].File })
 	s.cIngested.Add(int64(rep.Added))
 	s.cDups.Add(int64(rep.Duplicates))
-	return rep, nil
+	s.cSuper.Add(int64(rep.Superseded))
+	return rep, firstErr
 }
 
-// Files lists every archived file, sorted by ID.
+// Files lists every archived file, sorted by ID — a total order, so the
+// listing is identical for any shard count.
 func (s *Store) Files() []FileInfo {
 	var out []FileInfo
 	for _, sh := range s.shards {
@@ -340,7 +469,8 @@ func (s *Store) Info(id flash.FileID) (FileInfo, error) {
 // Query returns files overlapping [from,to) recorded (in part) by any of
 // the given origins, using the per-shard interval indexes. from and to
 // both zero means unbounded; empty origins means any origin. Results are
-// sorted by (start, ID).
+// sorted by (start, ID) — a total order, so the result is identical for
+// any shard count.
 func (s *Store) Query(from, to sim.Time, origins map[int32]bool) []FileInfo {
 	s.cQueries.Inc()
 	var out []FileInfo
@@ -372,27 +502,49 @@ func (s *Store) Gaps(id flash.FileID, tolerance time.Duration) ([]Gap, error) {
 
 // File reassembles one archived file: chunk payloads are read from the
 // shard segment, deduplicated and time-sorted via retrieval.Reassemble,
-// and the result cached until the next ingest touches the file. The
-// returned File is shared — callers must not mutate it.
+// and the result cached until the next ingest touches the file.
+// Concurrent cold requests for the same file and version share one
+// reassembly (singleflight). The returned File is shared — callers must
+// not mutate it.
 func (s *Store) File(id flash.FileID) (*retrieval.File, error) {
 	sh := s.shardFor(id)
-	metas, version, ok := sh.fileChunks(id)
-	if !ok {
-		return nil, ErrNotFound
-	}
-	if f, v, hit := s.cache.get(id); hit && v == version {
-		s.cCacheHit.Inc()
-		return f, nil
-	}
-	s.cCacheMiss.Inc()
-	s.cReads.Inc()
-	chunks := make([]*flash.Chunk, 0, len(metas))
-	for _, m := range metas {
-		c, err := sh.readChunk(m)
-		if err != nil {
-			return nil, err
+	for attempt := 0; ; attempt++ {
+		// Probe the cache on version alone before copying the chunk-meta
+		// slice — the warm path never needs the offsets.
+		v0, ok := sh.version(id)
+		if !ok {
+			return nil, ErrNotFound
 		}
-		chunks = append(chunks, c)
+		if f, v, hit := s.cache.get(id); hit && v == v0 {
+			s.cCacheHit.Inc()
+			return f, nil
+		}
+		metas, version, epoch, ok := sh.fileChunks(id)
+		if !ok {
+			return nil, ErrNotFound
+		}
+		s.cCacheMiss.Inc()
+		f, err, joined := s.flight.do(flightKey{id: id, version: version}, func() (*retrieval.File, error) {
+			s.cReads.Inc()
+			return s.reassemble(sh, id, version, metas, epoch)
+		})
+		if joined {
+			s.cFlightJoin.Inc()
+		} else {
+			s.cFlightWin.Inc()
+		}
+		if errors.Is(err, errEpochChanged) && attempt < 8 {
+			continue // a compaction swapped the segment mid-read; refetch offsets
+		}
+		return f, err
+	}
+}
+
+// reassemble reads the file's chunks and rebuilds it, caching the result.
+func (s *Store) reassemble(sh *shard, id flash.FileID, version uint64, metas []chunkMeta, epoch uint64) (*retrieval.File, error) {
+	chunks, err := sh.readChunks(metas, epoch)
+	if err != nil {
+		return nil, err
 	}
 	f := retrieval.Reassemble(map[int][]*flash.Chunk{0: chunks}, retrieval.Query{All: true})[id]
 	if f == nil {
@@ -409,38 +561,119 @@ func (s *Store) GapTolerance() time.Duration { return s.opts.GapTolerance }
 func (s *Store) Stats() Stats {
 	st := Stats{Shards: len(s.shards), Counters: s.counters.Snapshot()}
 	for _, sh := range s.shards {
-		files, chunks, bytes, seg, rec := sh.stats()
+		files, chunks, bytes, seg, rec, super := sh.stats()
 		st.Files += files
 		st.Chunks += chunks
 		st.Bytes += bytes
 		st.SegmentBytes += seg
 		st.RecoveredBytes += rec
+		st.SupersededBytes += super
 	}
 	st.Cache = s.cache.stats()
 	return st
 }
 
-// Sync flushes every shard segment to stable storage and records the
-// committed sizes in the manifest.
+// Sync flushes every shard segment to stable storage, checkpoints every
+// shard's index snapshot, and records the committed sizes in the
+// manifest.
 func (s *Store) Sync() error {
-	m := manifest{Version: manifestVersion, Shards: len(s.shards)}
-	for _, sh := range s.shards {
-		n, err := sh.sync()
-		if err != nil {
-			return err
-		}
-		m.Committed = append(m.Committed, n)
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return errClosed
 	}
-	return writeManifest(s.dir, m)
+	var firstErr error
+	for _, sh := range s.shards {
+		sh.runCtl(func() {
+			if err := sh.syncAndCheckpoint(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			s.manifestMu.Lock()
+			s.committed[sh.id] = sh.size
+			s.manifestMu.Unlock()
+		})
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	s.manifestMu.Lock()
+	defer s.manifestMu.Unlock()
+	return writeManifest(s.dir, s.manifestLocked())
 }
 
-// Close syncs and closes every shard. The store is unusable afterwards.
+// syncAndCheckpoint fsyncs the segment and writes a snapshot. Runs on
+// the writer goroutine (or at close, after the writer exited).
+func (sh *shard) syncAndCheckpoint() error {
+	if err := sh.f.Sync(); err != nil {
+		return err
+	}
+	return sh.writeSnapshot()
+}
+
+// Close drains every writer, writes final snapshots, syncs, records the
+// manifest, and closes the segments. The store is unusable afterwards.
 func (s *Store) Close() error {
-	err := s.Sync()
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
+		return errClosed
+	}
+	s.closed = true
+	s.closeMu.Unlock()
+
+	s.stopWriters()
+	var firstErr error
+	s.manifestMu.Lock()
 	for _, sh := range s.shards {
-		if cerr := sh.close(); cerr != nil && err == nil {
-			err = cerr
+		if err := sh.syncAndCheckpoint(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		s.committed[sh.id] = sh.size
+	}
+	err := writeManifest(s.dir, s.manifestLocked())
+	s.manifestMu.Unlock()
+	if err != nil && firstErr == nil {
+		firstErr = err
+	}
+	for _, sh := range s.shards {
+		if cerr := sh.closeFiles(); cerr != nil && firstErr == nil {
+			firstErr = cerr
 		}
 	}
-	return err
+	return firstErr
+}
+
+// stopWriters closes every shard's channels and waits for the writer
+// goroutines to drain and exit.
+func (s *Store) stopWriters() {
+	for _, sh := range s.shards {
+		close(sh.subs)
+		close(sh.ctl)
+	}
+	for _, sh := range s.shards {
+		sh.wg.Wait()
+	}
+}
+
+// crashClose abandons the store without syncing, snapshotting, or
+// writing the manifest — the closest a test can get to SIGKILL while
+// sharing the process. Writers are stopped first so no append races the
+// fd close.
+func (s *Store) crashClose() {
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
+		return
+	}
+	s.closed = true
+	s.closeMu.Unlock()
+	s.stopWriters()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if sh.f != nil {
+			sh.f.Close()
+			sh.f = nil
+		}
+		sh.mu.Unlock()
+	}
 }

@@ -266,7 +266,11 @@ func TestTruncationRecovery(t *testing.T) {
 }
 
 // TestCorruptionMidFileDropsTail flips a byte inside an early frame; the
-// CRC scan must stop there, keeping only the prefix.
+// CRC scan must stop there, keeping only the prefix. A snapshot-backed
+// open does not rescan covered bytes, so the scan path is exercised by
+// removing the snapshot (the same state a crash-before-first-checkpoint
+// leaves), and the snapshot path is checked separately: the corruption
+// must surface as a read error, never as corrupt audio.
 func TestCorruptionMidFileDropsTail(t *testing.T) {
 	dir := t.TempDir()
 	s := openTest(t, dir, Options{Shards: 1})
@@ -289,9 +293,24 @@ func TestCorruptionMidFileDropsTail(t *testing.T) {
 		t.Fatalf("write: %v", err)
 	}
 
+	// With the close-time snapshot still in place the indexes load as
+	// written, but fetching the corrupted chunk must fail its frame CRC.
 	s2 := openTest(t, dir, Options{})
-	defer s2.Close()
-	if st := s2.Stats(); st.Chunks != 2 {
+	if st := s2.Stats(); st.Chunks != 6 {
+		t.Fatalf("chunks under snapshot = %d, want 6", st.Chunks)
+	}
+	if _, err := s2.File(1); err == nil {
+		t.Fatalf("File over corrupted frame succeeded, want CRC error")
+	}
+	s2.Close()
+
+	// Without a snapshot the rebuild scan stops at the corrupt frame.
+	if err := os.Remove(filepath.Join(dir, "shard-000.idx")); err != nil {
+		t.Fatalf("remove snapshot: %v", err)
+	}
+	s3 := openTest(t, dir, Options{})
+	defer s3.Close()
+	if st := s3.Stats(); st.Chunks != 2 {
 		t.Fatalf("chunks after mid-file corruption = %d, want 2 (prefix)", st.Chunks)
 	}
 }

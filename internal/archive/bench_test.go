@@ -1,6 +1,7 @@
 package archive
 
 import (
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -123,8 +124,50 @@ func BenchmarkArchiveFile(b *testing.B) {
 	}
 }
 
-// BenchmarkArchiveOpen measures index rebuild (the recovery scan) over a
-// 5000-chunk archive.
+// BenchmarkArchiveIngestParallel measures concurrent durable ingest: many
+// goroutines submitting batches at once, group-committed per shard with
+// one fsync per group (the ≥1k-client HTTP load path in miniature).
+func BenchmarkArchiveIngestParallel(b *testing.B) {
+	s, err := Open(b.TempDir(), Options{Shards: 8, SyncOnIngest: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	payload := make([]byte, flash.PayloadSize)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	const perBatch = 100
+	var ctr atomic.Uint32
+	b.SetBytes(perBatch * flash.PayloadSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		chunks := make([]*flash.Chunk, perBatch)
+		for pb.Next() {
+			base := ctr.Add(1) * perBatch
+			for i := range chunks {
+				seq := base + uint32(i)
+				start := time.Duration(seq) * 83 * time.Millisecond
+				chunks[i] = &flash.Chunk{
+					File:   flash.FileID(seq%16 + 1),
+					Origin: int32(seq % 20),
+					Seq:    seq,
+					Start:  sim.At(start),
+					End:    sim.At(start + 83*time.Millisecond),
+					Data:   payload,
+				}
+			}
+			if _, err := s.Ingest(chunks); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkArchiveOpen measures open over a 5000-chunk archive with a
+// warm index snapshot (the steady-state restart path; the close before
+// the timed region checkpoints the indexes).
 func BenchmarkArchiveOpen(b *testing.B) {
 	dir := b.TempDir()
 	s, err := Open(dir, Options{Shards: 8})
@@ -139,6 +182,35 @@ func BenchmarkArchiveOpen(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s, err := Open(dir, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st := s.Stats(); st.Chunks != 5000 {
+			b.Fatalf("chunks = %d", st.Chunks)
+		}
+		b.StopTimer()
+		s.Close()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkArchiveOpenRescan measures the same open forced down the full
+// segment-scan rebuild (the no-snapshot fallback) for comparison with
+// BenchmarkArchiveOpen.
+func BenchmarkArchiveOpenRescan(b *testing.B) {
+	dir := b.TempDir()
+	s, err := Open(dir, Options{Shards: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Ingest(benchChunks(5000, 50)); err != nil {
+		b.Fatal(err)
+	}
+	s.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := Open(dir, Options{NoSnapshots: true})
 		if err != nil {
 			b.Fatal(err)
 		}

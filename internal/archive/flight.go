@@ -1,0 +1,67 @@
+package archive
+
+import (
+	"sync"
+
+	"enviromic/internal/flash"
+	"enviromic/internal/retrieval"
+)
+
+// flightGroup is a sharded singleflight for cold File() reassembly: a
+// thundering herd of identical queries does the segment reads and
+// reassembly once, with everyone sharing the result. Keys include the
+// file's index version, so a request racing an ingest never latches onto
+// a reassembly of the older version — it starts (or joins) a flight for
+// its own version instead.
+type flightGroup struct {
+	buckets [16]flightBucket
+}
+
+type flightBucket struct {
+	mu sync.Mutex
+	m  map[flightKey]*flightCall
+}
+
+type flightKey struct {
+	id      flash.FileID
+	version uint64
+}
+
+type flightCall struct {
+	done chan struct{}
+	f    *retrieval.File
+	err  error
+}
+
+func (g *flightGroup) bucket(k flightKey) *flightBucket {
+	return &g.buckets[(uint32(k.id)^uint32(k.version))%uint32(len(g.buckets))]
+}
+
+// do runs fn once per in-flight key; concurrent callers with the same key
+// wait and share the winner's result. The second return reports whether
+// this caller shared another flight's result instead of running fn.
+func (g *flightGroup) do(k flightKey, fn func() (*retrieval.File, error)) (*retrieval.File, error, bool) {
+	b := g.bucket(k)
+	b.mu.Lock()
+	if b.m == nil {
+		b.m = make(map[flightKey]*flightCall)
+	}
+	if c, ok := b.m[k]; ok {
+		b.mu.Unlock()
+		<-c.done
+		return c.f, c.err, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	b.m[k] = c
+	b.mu.Unlock()
+
+	c.f, c.err = fn()
+	close(c.done)
+
+	b.mu.Lock()
+	if b.m[k] == c {
+		delete(b.m, k)
+	}
+	b.mu.Unlock()
+	return c.f, c.err, false
+}

@@ -25,6 +25,7 @@ import (
 //	GET  /files/{id}/wav?rate=        reassembled audio as a WAV download
 //	GET  /query?from=&to=&origins=    interval + origin query
 //	POST /ingest                      framed chunk records (EncodeFrames)
+//	POST /compact                     reclaim superseded segment bytes
 //	GET  /stats                       store totals, cache, op counters
 //
 // Times in query parameters are Go durations since simulation start
@@ -40,6 +41,7 @@ func NewHandler(s *Store) http.Handler {
 	mux.HandleFunc("GET /files/{id}/wav", h.wav)
 	mux.HandleFunc("GET /query", h.query)
 	mux.HandleFunc("POST /ingest", h.ingest)
+	mux.HandleFunc("POST /compact", h.compact)
 	mux.HandleFunc("GET /stats", h.stats)
 	return mux
 }
@@ -304,6 +306,7 @@ func ingestReportJSON(rep IngestReport) any {
 		File          flash.FileID `json:"file"`
 		Added         int          `json:"added"`
 		Duplicates    int          `json:"duplicates"`
+		Superseded    int          `json:"superseded"`
 		GapsBefore    int          `json:"gaps_before"`
 		GapsAfter     int          `json:"gaps_after"`
 		GapSpanBefore float64      `json:"gap_span_before_s"`
@@ -313,6 +316,7 @@ func ingestReportJSON(rep IngestReport) any {
 	for _, d := range rep.Files {
 		deltas = append(deltas, deltaJSON{
 			File: d.File, Added: d.Added, Duplicates: d.Duplicates,
+			Superseded: d.Superseded,
 			GapsBefore: d.GapsBefore, GapsAfter: d.GapsAfter,
 			GapSpanBefore: d.GapSpanBefore.Seconds(),
 			GapSpanAfter:  d.GapSpanAfter.Seconds(),
@@ -322,9 +326,10 @@ func ingestReportJSON(rep IngestReport) any {
 	return struct {
 		Added      int            `json:"added"`
 		Duplicates int            `json:"duplicates"`
+		Superseded int            `json:"superseded"`
 		Files      []deltaJSON    `json:"files"`
 		Requery    []flash.FileID `json:"requery_files"`
-	}{rep.Added, rep.Duplicates, deltas, requery}
+	}{rep.Added, rep.Duplicates, rep.Superseded, deltas, requery}
 }
 
 // requeryIDs flattens a gap re-query's file set, sorted.
@@ -339,6 +344,15 @@ func requeryIDs(q retrieval.Query) []flash.FileID {
 		}
 	}
 	return ids
+}
+
+func (h *handler) compact(w http.ResponseWriter, r *http.Request) {
+	rep, err := h.store.Compact()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, rep)
 }
 
 func (h *handler) stats(w http.ResponseWriter, r *http.Request) {

@@ -1,13 +1,16 @@
 package archive
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"sort"
 	"sync"
 	"time"
 
 	"enviromic/internal/flash"
+	"enviromic/internal/obs"
 	"enviromic/internal/sim"
 )
 
@@ -24,15 +27,25 @@ type chunkMeta struct {
 	seq    uint32
 }
 
+// payloadBytes is the audio bytes inside the record (header excluded).
+func (m chunkMeta) payloadBytes() int64 { return int64(m.length) - flash.MinRecordSize }
+
+// frameBytes is the full on-disk footprint of the chunk's frame.
+func (m chunkMeta) frameBytes() int64 { return int64(m.length) + frameHeaderSize }
+
 // fileMeta aggregates one distributed file's archived chunks.
 type fileMeta struct {
 	id      flash.FileID
 	start   sim.Time // min chunk start
 	end     sim.Time // max chunk end
 	bytes   int64    // payload bytes (audio only, headers excluded)
-	version uint64   // bumped on every ingest that adds chunks; guards the reassembly cache
+	version uint64   // bumped on every ingest that changes chunks; guards the reassembly cache
 	chunks  []chunkMeta
-	seen    map[uint64]struct{} // (origin, seq) dedup keys
+	// seen maps (origin, seq) dedup keys to the chunk's index in chunks.
+	// nil after a snapshot load: it is rebuilt lazily by ensureSeen the
+	// first time an ingest touches the file, so opening a million-chunk
+	// snapshot does no dedup-map inserts for files that never grow again.
+	seen    map[uint64]int32
 	origins map[int32]struct{}
 }
 
@@ -40,6 +53,18 @@ type fileMeta struct {
 // by the enclosing fileMeta.
 func dedupKey(origin int32, seq uint32) uint64 {
 	return uint64(uint32(origin))<<32 | uint64(seq)
+}
+
+// ensureSeen builds the dedup map from the chunk list if it is absent
+// (after a snapshot load). Must run on the shard's sole mutator.
+func (fm *fileMeta) ensureSeen() {
+	if fm.seen != nil {
+		return
+	}
+	fm.seen = make(map[uint64]int32, len(fm.chunks))
+	for i, m := range fm.chunks {
+		fm.seen[dedupKey(m.origin, m.seq)] = int32(i)
+	}
 }
 
 // gapsIn computes uncovered stretches longer than tolerance over a set of
@@ -83,17 +108,68 @@ func gapSpan(gaps []Gap) time.Duration {
 	return d
 }
 
+// shardEnv is the store-wide configuration and counters shared by every
+// shard. Hooks are test seams for the crash-safety suites: they run at
+// each fsync/rename boundary of the checkpoint and compaction protocols
+// and abort the operation (simulating a kill) when they return an error.
+type shardEnv struct {
+	gapTolerance    time.Duration
+	syncOnIngest    bool
+	noSnapshots     bool
+	checkpointBytes int64 // bytes appended between auto checkpoints; <=0 disables
+	autoCompact     int64 // superseded bytes per shard triggering auto compaction; <=0 disables
+
+	cGroups          *obs.Counter // ingest.groups
+	cGroupSyncs      *obs.Counter // ingest.group_syncs
+	cSnapLoads       *obs.Counter // open.snapshot_loads
+	cSnapFallbacks   *obs.Counter // open.snapshot_fallbacks
+	cReplayed        *obs.Counter // open.replayed_chunks
+	cCheckpoints     *obs.Counter // checkpoint.writes
+	cCheckpointBytes *obs.Counter // checkpoint.bytes
+	cCompactions     *obs.Counter // compact.runs
+	cReclaimed       *obs.Counter // compact.reclaimed_bytes
+
+	checkpointHook func(shard int, point string) error
+	compactHook    func(shard int, point string) error
+
+	// bumpGen asks the store to persist generation gen for shard id in
+	// the manifest (serialized store-side).
+	bumpGen func(id int, gen uint64) error
+}
+
 // shard owns one segment file and the indexes over it. Files map to
 // shards by ID (fileID mod shard count), so a shard is authoritative for
 // its files and shards never coordinate: ingest batches and queries
 // parallelize across shards, serialized only within one.
+//
+// Mutation discipline: the shard's writer goroutine (pipeline.go) is the
+// ONLY mutator of the index structures, the segment file, and the fields
+// below the mutex. It reads them lock-free (no other writer exists) and
+// takes mu.Lock only to publish mutations; queries take mu.RLock. The
+// fields above the mutex are writer-goroutine-private.
 type shard struct {
-	id   int
-	path string
+	id      int
+	path    string
+	idxPath string
+	env     *shardEnv
+
+	// Writer-goroutine-private state (plus open/close, which run with no
+	// writer live).
+	gen               uint64 // segment generation; bumped by compaction, guards snapshots
+	lastCheckpoint    int64  // segment size covered by the last written snapshot
+	checkpointsBroken bool   // set when a failed compaction leaves disk state unknowable
+
+	subs chan *submission
+	ctl  chan func()
+	wg   sync.WaitGroup
 
 	mu   sync.RWMutex
 	f    *os.File
 	size int64
+	// epoch is bumped whenever the segment file or chunk offsets are
+	// swapped (compaction); readers holding stale chunkMeta copies check
+	// it before trusting offsets.
+	epoch uint64
 	// files is the primary index; byOrigin and the byStart/prefixMaxEnd
 	// pair are secondary indexes maintained on ingest.
 	files    map[flash.FileID]*fileMeta
@@ -106,38 +182,86 @@ type shard struct {
 	byStart      []*fileMeta
 	prefixMaxEnd []sim.Time
 
-	recoveredBytes int64 // bytes truncated away by open-time recovery
+	// unverifiedTo marks the segment prefix indexed without a CRC pass (a
+	// snapshot-loaded region; a scan verifies every frame it indexes).
+	// readChunk re-verifies frames below it so corruption hiding under a
+	// snapshot still surfaces, and skips the check — payload-only reads —
+	// everywhere else.
+	unverifiedTo int64
+
+	recoveredBytes  int64 // bytes truncated away by open-time recovery
+	supersededBytes int64 // dead frame bytes reclaimable by compaction
+
+	// scratch is the writer's reusable group-commit encode buffer.
+	scratch []byte
 }
 
-// openShard opens (creating if absent) the shard's segment file, scans it
-// to rebuild the indexes, and truncates any torn tail.
-func openShard(id int, path string) (*shard, error) {
+// openShard opens (creating if absent) the shard's segment file and
+// rebuilds the indexes — from the snapshot plus a tail replay when a
+// valid snapshot exists, from a full segment scan otherwise — then
+// truncates any torn tail. It does not start the writer goroutine; the
+// store does that once every shard opened.
+func openShard(id int, path string, gen uint64, env *shardEnv) (*shard, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
 	}
 	sh := &shard{
-		id:       id,
-		path:     path,
-		f:        f,
-		files:    make(map[flash.FileID]*fileMeta),
-		byOrigin: make(map[int32]map[flash.FileID]struct{}),
+		id:      id,
+		path:    path,
+		idxPath: snapshotPath(path),
+		env:     env,
+		gen:     gen,
+		f:       f,
+		subs:    make(chan *submission, 128),
+		ctl:     make(chan func()),
 	}
-	valid, err := scanSegment(f, func(c *flash.Chunk, off int64, length int32) {
-		sh.indexChunk(c, off, length)
+	// Stray temp files are debris from a crash mid-checkpoint or
+	// mid-compaction; both protocols only trust fully-renamed files.
+	os.Remove(path + compactSuffix)
+	os.Remove(sh.idxPath + ".tmp")
+
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	segSize := st.Size()
+
+	scanFrom := int64(0)
+	if !env.noSnapshots {
+		if covered, lerr := sh.loadSnapshot(gen, segSize); lerr == nil {
+			scanFrom = covered
+			sh.lastCheckpoint = covered
+			sh.unverifiedTo = covered
+			env.cSnapLoads.Inc()
+		} else {
+			if !os.IsNotExist(unwrapSnapshotErr(lerr)) {
+				env.cSnapFallbacks.Inc()
+			}
+			sh.files = nil // discard any partial load
+		}
+	}
+	if sh.files == nil {
+		sh.files = make(map[flash.FileID]*fileMeta)
+		sh.byOrigin = make(map[int32]map[flash.FileID]struct{})
+	}
+
+	replayed := 0
+	valid, err := scanSegment(f, scanFrom, func(c *flash.Chunk, off int64, length int32) {
+		sh.applyChunk(c, off, length)
+		replayed++
 		flash.FreeChunk(c) // the index keeps metadata only
 	})
 	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("archive: scanning %s: %w", path, err)
 	}
-	st, err := f.Stat()
-	if err != nil {
-		f.Close()
-		return nil, err
+	if scanFrom > 0 {
+		env.cReplayed.Add(int64(replayed))
 	}
-	if st.Size() > valid {
-		sh.recoveredBytes = st.Size() - valid
+	if segSize > valid {
+		sh.recoveredBytes = segSize - valid
 		if err := f.Truncate(valid); err != nil {
 			f.Close()
 			return nil, fmt.Errorf("archive: truncating torn tail of %s: %w", path, err)
@@ -148,41 +272,87 @@ func openShard(id int, path string) (*shard, error) {
 	return sh, nil
 }
 
-// indexChunk records one chunk's metadata. Caller holds mu (or is the
-// single-threaded open scan). Duplicates are the caller's problem: ingest
-// checks seen before appending; the open scan never sees duplicates
-// because ingest never wrote them.
-func (sh *shard) indexChunk(c *flash.Chunk, off int64, length int32) {
+// unwrapSnapshotErr digs the underlying cause out of an errSnapshot wrap
+// (used only to keep "snapshot simply absent" out of the fallback
+// counter).
+func unwrapSnapshotErr(err error) error {
+	type unwrapper interface{ Unwrap() error }
+	for {
+		u, ok := err.(unwrapper)
+		if !ok {
+			return err
+		}
+		next := u.Unwrap()
+		if next == nil {
+			return err
+		}
+		err = next
+	}
+}
+
+// applyChunk folds one segment frame into the index with full
+// duplicate/supersession semantics: an unseen (origin, seq) key is added;
+// a seen key with a strictly longer payload supersedes the indexed copy
+// (the old frame becomes dead bytes); anything else is a duplicate (the
+// new frame is dead bytes, if it is on disk at all). The scan/replay path
+// calls this for every frame so reopening a segment that still holds
+// superseded frames — a crash beat compaction to them — reproduces
+// exactly the index state ingest built. Must run on the shard's sole
+// mutator; the ingest commit path applies the same rules via its staged
+// variant in pipeline.go.
+func (sh *shard) applyChunk(c *flash.Chunk, off int64, length int32) {
 	fm := sh.files[c.File]
 	if fm == nil {
 		fm = &fileMeta{
 			id:      c.File,
 			start:   c.Start,
 			end:     c.End,
-			seen:    make(map[uint64]struct{}),
+			seen:    make(map[uint64]int32),
 			origins: make(map[int32]struct{}),
 		}
 		sh.files[c.File] = fm
 	}
-	fm.chunks = append(fm.chunks, chunkMeta{
+	fm.ensureSeen()
+	meta := chunkMeta{
 		offset: off, start: c.Start, end: c.End,
 		origin: c.Origin, length: length, seq: c.Seq,
-	})
-	fm.seen[dedupKey(c.Origin, c.Seq)] = struct{}{}
-	fm.origins[c.Origin] = struct{}{}
-	fm.bytes += int64(len(c.Data))
-	if c.Start < fm.start {
-		fm.start = c.Start
 	}
-	if c.End > fm.end {
-		fm.end = c.End
+	key := dedupKey(c.Origin, c.Seq)
+	if i, dup := fm.seen[key]; dup {
+		old := fm.chunks[i]
+		if meta.length > old.length {
+			// Longer copy supersedes: point the index at the new frame,
+			// the old frame is dead weight until compaction.
+			fm.chunks[i] = meta
+			fm.bytes += meta.payloadBytes() - old.payloadBytes()
+			sh.supersededBytes += old.frameBytes()
+			sh.absorbSpan(fm, meta)
+		} else {
+			sh.supersededBytes += meta.frameBytes()
+		}
+		return
 	}
-	m := sh.byOrigin[c.Origin]
-	if m == nil {
-		m = make(map[flash.FileID]struct{})
-		sh.byOrigin[c.Origin] = m
+	fm.seen[key] = int32(len(fm.chunks))
+	fm.chunks = append(fm.chunks, meta)
+	fm.bytes += meta.payloadBytes()
+	sh.absorbSpan(fm, meta)
+}
+
+// absorbSpan widens the file span and origin indexes for one chunk.
+func (sh *shard) absorbSpan(fm *fileMeta, m chunkMeta) {
+	if m.start < fm.start {
+		fm.start = m.start
 	}
-	m[fm.id] = struct{}{}
+	if m.end > fm.end {
+		fm.end = m.end
+	}
+	fm.origins[m.origin] = struct{}{}
+	byo := sh.byOrigin[m.origin]
+	if byo == nil {
+		byo = make(map[flash.FileID]struct{})
+		sh.byOrigin[m.origin] = byo
+	}
+	byo[fm.id] = struct{}{}
 }
 
 // rebuildInterval re-sorts the interval index. Caller holds mu (write) or
@@ -265,18 +435,30 @@ func intersects(have map[int32]struct{}, want map[int32]bool) bool {
 	return false
 }
 
-// fileChunks returns a copy of the file's chunk metadata and its cache
-// version; ok is false for unknown files.
-func (sh *shard) fileChunks(id flash.FileID) (metas []chunkMeta, version uint64, ok bool) {
+// fileChunks returns a copy of the file's chunk metadata, its cache
+// version, and the segment epoch the offsets are valid for; ok is false
+// for unknown files.
+func (sh *shard) fileChunks(id flash.FileID) (metas []chunkMeta, version, epoch uint64, ok bool) {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	fm := sh.files[id]
 	if fm == nil {
-		return nil, 0, false
+		return nil, 0, 0, false
 	}
 	metas = make([]chunkMeta, len(fm.chunks))
 	copy(metas, fm.chunks)
-	return metas, fm.version, true
+	return metas, fm.version, sh.epoch, true
+}
+
+// version returns the file's cache version (ok=false for unknown files).
+func (sh *shard) version(id flash.FileID) (uint64, bool) {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	fm := sh.files[id]
+	if fm == nil {
+		return 0, false
+	}
+	return fm.version, true
 }
 
 // gaps computes the file's gaps at the given tolerance from index
@@ -291,126 +473,87 @@ func (sh *shard) gaps(id flash.FileID, tolerance time.Duration) ([]Gap, bool) {
 	return gapsIn(fm.chunks, tolerance), true
 }
 
-// readChunk fetches one chunk payload from the segment (pread, safe under
-// concurrent appends since frames are immutable once written).
-func (sh *shard) readChunk(m chunkMeta) (*flash.Chunk, error) {
-	buf := make([]byte, m.length)
-	if _, err := sh.f.ReadAt(buf, m.offset); err != nil {
-		return nil, fmt.Errorf("archive: reading chunk at %d: %w", m.offset, err)
-	}
-	c, n, err := flash.DecodeRecord(buf)
-	if err != nil || n != len(buf) {
-		return nil, fmt.Errorf("archive: decoding chunk at %d: %v", m.offset, err)
-	}
-	return c, nil
-}
+// errEpochChanged reports that a compaction swapped the segment between a
+// fileChunks metadata fetch and the payload read; the caller refetches
+// and retries.
+var errEpochChanged = fmt.Errorf("archive: segment swapped mid-read")
 
-// ingest appends the batch's non-duplicate chunks to the segment and
-// indexes them. It returns per-file deltas plus added/duplicate counts.
-// The write is a single append of the batch's frames; index entries are
-// committed only after the write succeeds, so index and disk agree even
-// on error.
-func (sh *shard) ingest(batch []*flash.Chunk, tolerance time.Duration, syncAfter bool) (deltas []FileDelta, added, dups int, err error) {
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
+// readChunks fetches every chunk in metas from the segment. The read
+// lock pins the file handle and epoch: frames are immutable under
+// concurrent appends, and a compaction that replaced the segment since
+// the metadata was fetched is detected by the epoch check instead of
+// returning bytes from the wrong offsets.
+//
+// Frames that sit near each other on disk — the common case, since a
+// tour's chunks land in a handful of group commits — are coalesced into
+// single reads: one syscall for a run of frames beats one per chunk by
+// orders of magnitude on a reassembly of hundreds. Runs are bounded so a
+// file sparsely scattered through a huge segment degrades to per-frame
+// reads, never to reading the whole segment.
+//
+// Frames below unverifiedTo were indexed from a snapshot and have never
+// been CRC-checked; they are verified here, on first touch — read time
+// is where corruption under a snapshot surfaces.
+func (sh *shard) readChunks(metas []chunkMeta, epoch uint64) ([]*flash.Chunk, error) {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if sh.epoch != epoch {
+		return nil, errEpochChanged
+	}
+	// Visit frames in disk order (supersession and compaction can leave a
+	// file's chunks out of offset order) without reordering the output.
+	order := make([]int, len(metas))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return metas[order[a]].offset < metas[order[b]].offset })
 
-	type pending struct {
-		c   *flash.Chunk
-		off int64
-		n   int32
-	}
-	type batchKey struct {
-		file flash.FileID
-		key  uint64
-	}
-	var (
-		buf       []byte
-		pendings  []pending
-		touched   = make(map[flash.FileID]*FileDelta)
-		order     []flash.FileID
-		batchSeen = make(map[batchKey]struct{})
+	const (
+		maxGap = 16 << 10 // tolerate this much dead/foreign data inside a run
+		maxRun = 1 << 20  // cap a single read
 	)
-	touch := func(id flash.FileID) *FileDelta {
-		d := touched[id]
-		if d == nil {
-			d = &FileDelta{File: id}
-			if fm := sh.files[id]; fm != nil {
-				before := gapsIn(fm.chunks, tolerance)
-				d.GapsBefore = len(before)
-				d.GapSpanBefore = gapSpan(before)
+	out := make([]*flash.Chunk, len(metas))
+	for i := 0; i < len(order); {
+		first := metas[order[i]]
+		runStart := first.offset - frameHeaderSize
+		runEnd := first.offset + int64(first.length)
+		j := i + 1
+		for j < len(order) {
+			next := metas[order[j]]
+			if next.offset-frameHeaderSize-runEnd > maxGap ||
+				next.offset+int64(next.length)-runStart > maxRun {
+				break
 			}
-			touched[id] = d
-			order = append(order, id)
+			runEnd = next.offset + int64(next.length)
+			j++
 		}
-		return d
-	}
-	for _, c := range batch {
-		if c == nil {
-			continue
+		buf := make([]byte, runEnd-runStart)
+		if _, err := sh.f.ReadAt(buf, runStart); err != nil {
+			return nil, fmt.Errorf("archive: reading chunks at %d: %w", runStart, err)
 		}
-		d := touch(c.File)
-		fm := sh.files[c.File]
-		key := dedupKey(c.Origin, c.Seq)
-		if fm != nil {
-			if _, dup := fm.seen[key]; dup {
-				d.Duplicates++
-				dups++
-				continue
+		for k := i; k < j; k++ {
+			m := metas[order[k]]
+			payload := buf[m.offset-runStart : m.offset-runStart+int64(m.length)]
+			if m.offset-frameHeaderSize < sh.unverifiedTo {
+				hdr := buf[m.offset-frameHeaderSize-runStart:]
+				if int32(binary.BigEndian.Uint32(hdr)) != m.length ||
+					crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(hdr[4:]) {
+					return nil, fmt.Errorf("archive: chunk at %d failed CRC (segment corrupted)", m.offset)
+				}
 			}
-		}
-		// Duplicates inside one batch: the first occurrence is in
-		// pendings but not yet in seen, so track batch-local keys too.
-		bk := batchKey{c.File, key}
-		if _, dup := batchSeen[bk]; dup {
-			d.Duplicates++
-			dups++
-			continue
-		}
-		batchSeen[bk] = struct{}{}
-		off := sh.size + int64(len(buf)) + frameHeaderSize
-		var aerr error
-		buf, aerr = appendFrame(buf, c)
-		if aerr != nil {
-			return nil, 0, 0, aerr
-		}
-		pendings = append(pendings, pending{c: c, off: off, n: int32(c.RecordSize())})
-		d.Added++
-		added++
-	}
-	if len(buf) > 0 {
-		if _, werr := sh.f.WriteAt(buf, sh.size); werr != nil {
-			return nil, 0, 0, fmt.Errorf("archive: appending to %s: %w", sh.path, werr)
-		}
-		if syncAfter {
-			if serr := sh.f.Sync(); serr != nil {
-				return nil, 0, 0, serr
+			c, n, err := flash.DecodeRecord(payload)
+			if err != nil || n != len(payload) {
+				return nil, fmt.Errorf("archive: decoding chunk at %d: %v", m.offset, err)
 			}
+			out[order[k]] = c
 		}
-		sh.size += int64(len(buf))
-		for _, p := range pendings {
-			sh.indexChunk(p.c, p.off, p.n)
-		}
-		for id := range touched {
-			if fm := sh.files[id]; fm != nil && touched[id].Added > 0 {
-				fm.version++
-			}
-		}
-		sh.rebuildInterval()
+		i = j
 	}
-	for _, id := range order {
-		d := touched[id]
-		if fm := sh.files[id]; fm != nil {
-			after := gapsIn(fm.chunks, tolerance)
-			d.GapsAfter = len(after)
-			d.GapSpanAfter = gapSpan(after)
-		}
-		deltas = append(deltas, *d)
-	}
-	return deltas, added, dups, nil
+	return out, nil
 }
 
 // stats snapshots shard-level totals.
-func (sh *shard) stats() (files, chunks int, bytes, segBytes, recovered int64) {
+func (sh *shard) stats() (files, chunks int, bytes, segBytes, recovered, superseded int64) {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	for _, fm := range sh.files {
@@ -418,21 +561,12 @@ func (sh *shard) stats() (files, chunks int, bytes, segBytes, recovered int64) {
 		chunks += len(fm.chunks)
 		bytes += fm.bytes
 	}
-	return files, chunks, bytes, sh.size, sh.recoveredBytes
+	return files, chunks, bytes, sh.size, sh.recoveredBytes, sh.supersededBytes
 }
 
-// sync flushes the segment to stable storage and returns its durable size.
-func (sh *shard) sync() (int64, error) {
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if err := sh.f.Sync(); err != nil {
-		return 0, err
-	}
-	return sh.size, nil
-}
-
-// close syncs and closes the segment file.
-func (sh *shard) close() error {
+// closeFiles syncs and closes the segment file. Runs after the writer
+// goroutine has exited.
+func (sh *shard) closeFiles() error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if sh.f == nil {

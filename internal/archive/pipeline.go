@@ -1,0 +1,410 @@
+package archive
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"enviromic/internal/flash"
+)
+
+// The ingest pipeline: each shard owns one writer goroutine, the sole
+// mutator of its segment and indexes. Store.Ingest splits a batch by
+// shard and submits every shard's slice concurrently, so a batch that
+// spans shards pipelines across disks instead of serializing; many
+// concurrent callers hitting one shard are group-committed — the writer
+// drains whatever submissions are queued (up to groupMax), stages them
+// all, performs ONE segment write and (when SyncOnIngest is set) ONE
+// fsync for the group, then publishes the index mutations under a single
+// write-lock acquisition. Amortizing the fsync across the group is what
+// makes durable ingest scale with client count: k clients cost one flush,
+// not k.
+//
+// Staging runs lock-free: the writer reads the committed index without
+// locking (no other goroutine mutates it) and accumulates all changes in
+// a group-private overlay, so queries proceed under read locks for the
+// whole encode/write/fsync. Only the final index publish takes the write
+// lock, and it does no I/O.
+//
+// Semantics note: a submission's gap deltas are computed against the
+// index as of its group's start and end. For a single caller (the mule
+// flush loop, every test) a group is one submission and the deltas are
+// exact; concurrent same-file submissions in one group see the group's
+// combined effect, which is the honest answer to "what did this tour
+// change" when tours land simultaneously anyway.
+
+// groupMax bounds how many queued submissions one group commit absorbs.
+const groupMax = 64
+
+// submission is one shard's slice of an Ingest batch.
+type submission struct {
+	chunks []*flash.Chunk
+	reply  chan subResult
+}
+
+// subResult is the writer's answer to one submission.
+type subResult struct {
+	deltas                  []FileDelta
+	added, dups, superseded int
+	err                     error
+}
+
+// stagedFile is the group-private overlay for one touched file.
+type stagedFile struct {
+	fm        *fileMeta // nil for a file new in this group
+	id        flash.FileID
+	newChunks []chunkMeta
+	// replace maps committed chunk indexes to superseding metadata.
+	replace map[int32]chunkMeta
+	// overlaySeen maps dedup keys first seen in this group to indexes
+	// into newChunks.
+	overlaySeen map[uint64]int32
+	deadBytes   int64 // frame bytes superseded by this group
+
+	gapsBefore    int
+	gapSpanBefore time.Duration
+}
+
+// perFileCounts tracks one submission's effect on one file.
+type perFileCounts struct {
+	added, dups, superseded int
+}
+
+// startWriter launches the shard's writer goroutine.
+func (sh *shard) startWriter() {
+	sh.wg.Add(1)
+	go sh.runWriter()
+}
+
+// runWriter is the shard's writer loop: group-commit submissions, run
+// control closures (sync, checkpoint, compaction) between groups, exit
+// when the submission channel closes.
+func (sh *shard) runWriter() {
+	defer sh.wg.Done()
+	for {
+		select {
+		case sub, ok := <-sh.subs:
+			if !ok {
+				return
+			}
+			group := []*submission{sub}
+			for len(group) < groupMax {
+				more, ok := sh.tryRecv()
+				if !ok {
+					break
+				}
+				group = append(group, more)
+			}
+			sh.commitGroup(group)
+			sh.maybeCheckpoint()
+			sh.maybeAutoCompact()
+		case fn, ok := <-sh.ctl:
+			if !ok {
+				return
+			}
+			fn()
+		}
+	}
+}
+
+// tryRecv pulls one more queued submission without blocking.
+func (sh *shard) tryRecv() (*submission, bool) {
+	select {
+	case sub, ok := <-sh.subs:
+		if !ok {
+			return nil, false
+		}
+		return sub, true
+	default:
+		return nil, false
+	}
+}
+
+// runCtl executes fn on the writer goroutine and waits for it — the
+// store's way to run compaction, checkpoints, and syncs with the
+// guarantee that no append is in flight.
+func (sh *shard) runCtl(fn func()) {
+	done := make(chan struct{})
+	sh.ctl <- func() {
+		defer close(done)
+		fn()
+	}
+	<-done
+}
+
+// commitGroup stages, writes, fsyncs, and publishes one submission group.
+func (sh *shard) commitGroup(group []*submission) {
+	sh.env.cGroups.Inc()
+	// Presize the encode buffer to the group's worst case (every chunk
+	// surviving) and reuse the writer's scratch allocation across groups —
+	// append-doubling a quarter-megabyte group costs more than the extra
+	// capacity estimate pass.
+	need := 0
+	for _, sub := range group {
+		for _, c := range sub.chunks {
+			need += frameHeaderSize + flash.MinRecordSize + len(c.Data)
+		}
+	}
+	if cap(sh.scratch) < need {
+		sh.scratch = make([]byte, 0, need)
+	}
+	var (
+		buf     = sh.scratch[:0]
+		overlay = make(map[flash.FileID]*stagedFile)
+		results = make([]subResult, len(group))
+		// counts[i] is submission i's per-file tally, keyed by file.
+		counts = make([]map[flash.FileID]*perFileCounts, len(group))
+	)
+	writeBase := sh.size
+
+	// Stage: dedup/supersede decisions against committed index + overlay,
+	// encode surviving frames into one buffer. Infallible per chunk except
+	// for oversized payloads, which are rejected before staging so a
+	// failed submission stages nothing.
+	for i, sub := range group {
+		counts[i] = make(map[flash.FileID]*perFileCounts)
+		if err := validateChunks(sub.chunks); err != nil {
+			results[i].err = err
+			continue
+		}
+		for _, c := range sub.chunks {
+			sf := overlay[c.File]
+			if sf == nil {
+				sf = sh.stageFile(c.File)
+				overlay[c.File] = sf
+			}
+			pc := counts[i][c.File]
+			if pc == nil {
+				pc = &perFileCounts{}
+				counts[i][c.File] = pc
+			}
+			buf = sh.stageChunk(sf, pc, c, writeBase, buf)
+		}
+	}
+
+	if len(buf) > 0 {
+		if _, err := sh.f.WriteAt(buf, writeBase); err != nil {
+			// The group's frames may be partially on disk past sh.size;
+			// the size is not advanced, so the next group overwrites them
+			// and a reopen's CRC scan stops at the torn region.
+			failGroup(group, results, fmt.Errorf("archive: appending to %s: %w", sh.path, err))
+			return
+		}
+		if sh.env.syncOnIngest {
+			if err := sh.f.Sync(); err != nil {
+				failGroup(group, results, fmt.Errorf("archive: syncing %s: %w", sh.path, err))
+				return
+			}
+			sh.env.cGroupSyncs.Inc()
+		}
+	}
+
+	// Publish: merge the overlay into the committed index under one write
+	// lock. Pure memory — queries are blocked only for the merge itself.
+	sh.mu.Lock()
+	for _, sf := range overlay {
+		sh.publishFile(sf)
+	}
+	sh.size += int64(len(buf))
+	sh.rebuildInterval()
+	sh.mu.Unlock()
+
+	// Report: gap state after the group, computed lock-free (the writer
+	// is the only mutator), then reply to every submission.
+	type afterState struct {
+		gaps int
+		span time.Duration
+	}
+	after := make(map[flash.FileID]afterState, len(overlay))
+	for id := range overlay {
+		g := gapsIn(sh.files[id].chunks, sh.env.gapTolerance)
+		after[id] = afterState{gaps: len(g), span: gapSpan(g)}
+	}
+	for i, sub := range group {
+		r := &results[i]
+		if r.err == nil {
+			for id, pc := range counts[i] {
+				sf := overlay[id]
+				a := after[id]
+				r.deltas = append(r.deltas, FileDelta{
+					File:          id,
+					Added:         pc.added,
+					Duplicates:    pc.dups,
+					Superseded:    pc.superseded,
+					GapsBefore:    sf.gapsBefore,
+					GapsAfter:     a.gaps,
+					GapSpanBefore: sf.gapSpanBefore,
+					GapSpanAfter:  a.span,
+				})
+				r.added += pc.added
+				r.dups += pc.dups
+				r.superseded += pc.superseded
+			}
+			sort.Slice(r.deltas, func(a, b int) bool { return r.deltas[a].File < r.deltas[b].File })
+		}
+		sub.reply <- *r
+	}
+	sh.scratch = buf[:0]
+}
+
+// validateChunks rejects a submission containing an unencodable chunk
+// before anything is staged.
+func validateChunks(chunks []*flash.Chunk) error {
+	for _, c := range chunks {
+		if len(c.Data) > flash.PayloadSize {
+			return fmt.Errorf("archive: chunk payload %d exceeds %d", len(c.Data), flash.PayloadSize)
+		}
+	}
+	return nil
+}
+
+// stageFile opens a file's overlay, capturing its pre-group gap state.
+func (sh *shard) stageFile(id flash.FileID) *stagedFile {
+	// replace and overlaySeen stay nil until a chunk survives dedup — a
+	// duplicate-only group allocates no per-file maps.
+	sf := &stagedFile{id: id}
+	if fm := sh.files[id]; fm != nil {
+		sf.fm = fm
+		fm.ensureSeen()
+		g := gapsIn(fm.chunks, sh.env.gapTolerance)
+		sf.gapsBefore = len(g)
+		sf.gapSpanBefore = gapSpan(g)
+	}
+	return sf
+}
+
+// stageChunk applies one chunk's dedup/supersede decision to the overlay
+// and encodes it into buf when it survives. Mirrors shard.applyChunk (the
+// scan path) so an ingest-built index and a rebuilt one agree.
+func (sh *shard) stageChunk(sf *stagedFile, pc *perFileCounts, c *flash.Chunk, writeBase int64, buf []byte) []byte {
+	key := dedupKey(c.Origin, c.Seq)
+	newLen := int32(flash.MinRecordSize + len(c.Data))
+
+	// Current holder of the key, looking through the overlay first.
+	var cur *chunkMeta
+	var curInOverlay bool // points into newChunks (vs committed/replace)
+	var overlayIdx int32
+	var committedIdx int32
+	if j, ok := sf.overlaySeen[key]; ok {
+		cur, curInOverlay, overlayIdx = &sf.newChunks[j], true, j
+	} else if sf.fm != nil {
+		if i, ok := sf.fm.seen[key]; ok {
+			committedIdx = i
+			if r, ok := sf.replace[i]; ok {
+				cur = &r
+			} else {
+				cur = &sf.fm.chunks[i]
+			}
+		}
+	}
+
+	if cur != nil && newLen <= cur.length {
+		pc.dups++
+		return buf // duplicate: never reaches disk
+	}
+
+	start := len(buf)
+	buf, err := appendFrame(buf, c)
+	if err != nil {
+		// Unreachable after validateChunks; treat as a duplicate drop.
+		pc.dups++
+		return buf[:start]
+	}
+	meta := chunkMeta{
+		offset: writeBase + int64(start) + frameHeaderSize,
+		start:  c.Start, end: c.End,
+		origin: c.Origin, length: newLen, seq: c.Seq,
+	}
+	switch {
+	case cur == nil:
+		if sf.overlaySeen == nil {
+			sf.overlaySeen = make(map[uint64]int32)
+		}
+		sf.overlaySeen[key] = int32(len(sf.newChunks))
+		sf.newChunks = append(sf.newChunks, meta)
+		pc.added++
+	case curInOverlay:
+		// A longer copy landed in the same group: the staged frame is
+		// already in buf and will be dead on arrival.
+		sf.deadBytes += cur.frameBytes()
+		sf.newChunks[overlayIdx] = meta
+		pc.superseded++
+	default:
+		sf.deadBytes += cur.frameBytes()
+		if sf.replace == nil {
+			sf.replace = make(map[int32]chunkMeta)
+		}
+		sf.replace[committedIdx] = meta
+		pc.superseded++
+	}
+	return buf
+}
+
+// publishFile merges one file's overlay into the committed index. Caller
+// holds mu (write).
+func (sh *shard) publishFile(sf *stagedFile) {
+	if len(sf.newChunks) == 0 && len(sf.replace) == 0 {
+		sh.supersededBytes += sf.deadBytes // dup-only groups can still strand staged frames
+		return
+	}
+	fm := sf.fm
+	if fm == nil {
+		first := sf.newChunks[0]
+		fm = &fileMeta{
+			id:      sf.id,
+			start:   first.start,
+			end:     first.end,
+			seen:    make(map[uint64]int32),
+			origins: make(map[int32]struct{}),
+		}
+		sh.files[sf.id] = fm
+	}
+	for i, m := range sf.replace {
+		old := fm.chunks[i]
+		fm.chunks[i] = m
+		fm.bytes += m.payloadBytes() - old.payloadBytes()
+		sh.absorbSpan(fm, m)
+	}
+	for _, m := range sf.newChunks {
+		fm.seen[dedupKey(m.origin, m.seq)] = int32(len(fm.chunks))
+		fm.chunks = append(fm.chunks, m)
+		fm.bytes += m.payloadBytes()
+		sh.absorbSpan(fm, m)
+	}
+	fm.version++
+	sh.supersededBytes += sf.deadBytes
+}
+
+// failGroup replies the same error to every submission in the group.
+func failGroup(group []*submission, results []subResult, err error) {
+	for i, sub := range group {
+		r := results[i]
+		r.deltas, r.added, r.dups, r.superseded = nil, 0, 0, 0
+		if r.err == nil {
+			r.err = err
+		}
+		sub.reply <- r
+	}
+}
+
+// maybeCheckpoint writes an index snapshot once enough bytes accumulated
+// since the last one. Runs on the writer goroutine between groups; errors
+// are dropped (the next threshold crossing retries, and open always falls
+// back to a scan).
+func (sh *shard) maybeCheckpoint() {
+	if sh.env.checkpointBytes <= 0 {
+		return
+	}
+	if sh.size-sh.lastCheckpoint >= sh.env.checkpointBytes {
+		sh.writeSnapshot()
+	}
+}
+
+// maybeAutoCompact compacts the shard once enough superseded bytes
+// accumulated. Runs on the writer goroutine between groups.
+func (sh *shard) maybeAutoCompact() {
+	if sh.env.autoCompact <= 0 || sh.supersededBytes < sh.env.autoCompact {
+		return
+	}
+	sh.compact()
+}

@@ -87,18 +87,20 @@ func DecodeFrames(r io.Reader) ([]*flash.Chunk, error) {
 	}
 }
 
-// scanSegment walks a segment file from the front, invoking add for every
-// valid frame with the chunk (ownership passes to add), the file offset
-// of the frame payload, and the payload length. It returns the number of
-// bytes covered by valid frames; anything past that is torn or corrupt
-// and should be truncated away by the caller.
-func scanSegment(f *os.File, add func(c *flash.Chunk, payloadOff int64, payloadLen int32)) (int64, error) {
-	if _, err := f.Seek(0, io.SeekStart); err != nil {
+// scanSegment walks a segment file from byte offset `from`, invoking add
+// for every valid frame with the chunk (ownership passes to add), the
+// file offset of the frame payload, and the payload length. It returns
+// the absolute offset covered by valid frames; anything past that is torn
+// or corrupt and should be truncated away by the caller. A snapshot-backed
+// open passes the snapshot's covered offset to replay only the tail; a
+// full rebuild passes 0.
+func scanSegment(f *os.File, from int64, add func(c *flash.Chunk, payloadOff int64, payloadLen int32)) (int64, error) {
+	if _, err := f.Seek(from, io.SeekStart); err != nil {
 		return 0, err
 	}
 	br := bufio.NewReaderSize(f, 256<<10)
 	var (
-		offset  int64
+		offset  = from
 		hdr     [frameHeaderSize]byte
 		payload = make([]byte, flash.MaxRecordSize)
 	)

@@ -1,0 +1,150 @@
+package archive
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"enviromic/internal/flash"
+)
+
+// TestArchiveSoakIngestQueryCompact races every moving part at once:
+// concurrent ingest (with supersession), listings, interval queries,
+// cold+warm reassembly, explicit compaction, Sync checkpoints, and
+// aggressive auto checkpoint/compact thresholds — the configuration
+// `make check` runs under -race. Afterwards the store must hold exactly
+// the fullest copy of every chunk, and survive a reopen.
+func TestArchiveSoakIngestQueryCompact(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{
+		Shards:           4,
+		CheckpointBytes:  8 << 10,
+		AutoCompactBytes: 8 << 10,
+		SyncOnIngest:     true, // exercise group-commit fsync batching
+	})
+
+	const (
+		writers      = 6
+		files        = 9
+		seqsPerRound = 8
+		rounds       = 12
+	)
+	var writerWG, readerWG sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Writers: each round ingests every (file, seq) twice — short copy
+	// then full copy — so dedup, supersession, and group commits all fire
+	// under contention. Writers share keys: the same stream lands from
+	// several writers at once, like overlapping mule tours.
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for r := 0; r < rounds; r++ {
+				var short, full []*flash.Chunk
+				for f := 1; f <= files; f++ {
+					for i := 0; i < seqsPerRound; i++ {
+						seq := uint32(r*seqsPerRound + i)
+						sec := float64(seq)
+						short = append(short, mkChunkN(flash.FileID(f), 3, seq, sec, sec+1, 10))
+						full = append(full, mkChunkN(flash.FileID(f), 3, seq, sec, sec+1, 80))
+					}
+				}
+				if _, err := s.Ingest(short); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+				if _, err := s.Ingest(full); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Readers: hammer every query path until the writers finish.
+	var reads atomic.Int64
+	for g := 0; g < 4; g++ {
+		readerWG.Add(1)
+		go func(g int) {
+			defer readerWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.Files()
+				s.Query(0, 0, map[int32]bool{3: true})
+				id := flash.FileID(g%files + 1)
+				if _, err := s.File(id); err != nil && err != ErrNotFound {
+					t.Errorf("reader %d: File(%d): %v", g, id, err)
+					return
+				}
+				s.Stats()
+				reads.Add(1)
+			}
+		}(g)
+	}
+
+	// Maintenance: explicit compactions and Syncs racing the auto paths.
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := s.Compact(); err != nil {
+				t.Errorf("Compact: %v", err)
+				return
+			}
+			if err := s.Sync(); err != nil {
+				t.Errorf("Sync: %v", err)
+				return
+			}
+		}
+	}()
+
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Verify: every chunk present exactly once, with the full payload.
+	verify := func(s *Store, label string) {
+		st := s.Stats()
+		want := files * seqsPerRound * rounds
+		if st.Chunks != want {
+			t.Fatalf("%s: %d chunks, want %d", label, st.Chunks, want)
+		}
+		for f := 1; f <= files; f++ {
+			file, err := s.File(flash.FileID(f))
+			if err != nil {
+				t.Fatalf("%s: File(%d): %v", label, f, err)
+			}
+			if len(file.Chunks) != seqsPerRound*rounds {
+				t.Fatalf("%s: file %d has %d chunks, want %d", label, f, len(file.Chunks), seqsPerRound*rounds)
+			}
+			for _, c := range file.Chunks {
+				if len(c.Data) != 80 {
+					t.Fatalf("%s: file %d seq %d kept %d-byte payload, want the 80-byte copy",
+						label, f, c.Seq, len(c.Data))
+				}
+			}
+		}
+	}
+	verify(s, "live store")
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2 := openTest(t, dir, Options{})
+	defer s2.Close()
+	verify(s2, fmt.Sprintf("reopened store (%d reads during soak)", reads.Load()))
+}

@@ -1,0 +1,65 @@
+#!/bin/sh
+# Regenerates BENCH_archive_http.json — the archive's concurrent-path
+# numbers: the 1M-chunk open bench (snapshot vs rescan) plus HTTP ingest
+# throughput and query latency percentiles at >= 1000 concurrent
+# clients, all measured through a real TCP listener.
+#
+# Afterwards, re-runs the in-process archive benchmarks best-of-3 and
+# FAILS if any baseline recorded in BENCH_archive.json regressed by more
+# than 2% in ns/op — the concurrency work must not tax the simple paths.
+# Usage: scripts/archive_load.sh [output-file]
+set -e
+out="${1:-BENCH_archive_http.json}"
+cd "$(dirname "$0")/.."
+
+# The query phase holds ~1k concurrent sockets on each side of the
+# loopback; make sure the fd limit clears that with margin.
+limit=$(ulimit -n)
+if [ "$limit" != "unlimited" ] && [ "$limit" -lt 4096 ]; then
+    ulimit -n 4096 || {
+        echo "archive_load: cannot raise fd limit above $limit" >&2
+        exit 1
+    }
+fi
+
+go run ./cmd/enviromic-archive-load -open-bench 1000000 -out "$out"
+echo "wrote $out"
+
+# ---- benchmark-diff gate ---------------------------------------------
+# Every benchmark with a row in BENCH_archive.json must stay within 2%
+# ns/op, best of 3 runs (single runs jitter well past 2% on small ops).
+[ -f BENCH_archive.json ] || { echo "no BENCH_archive.json baseline; skipping gate"; exit 0; }
+
+raw=$(go test -run '^$' -bench 'Archive' -benchtime 0.5s -count 3 ./internal/archive/ 2>&1)
+echo "$raw" | grep -E '^Benchmark' | awk '
+{
+  name=$1; sub(/-[0-9]+$/, "", name)
+  for (i=2; i<=NF; i++) if ($(i+1) == "ns/op") ns=$i
+  if (!(name in best) || ns < best[name]) best[name] = ns
+}
+END { for (n in best) printf "%s %s\n", n, best[n] }
+' > /tmp/archive_bench_new.$$
+
+fail=0
+grep -o '"name": "[^"]*", "iters": [0-9]*, "ns_per_op": [0-9.]*' BENCH_archive.json |
+sed 's/"name": "\([^"]*\)".*"ns_per_op": \([0-9.]*\)/\1 \2/' |
+while read -r name base_ns; do
+    new_ns=$(awk -v n="$name" '$1 == n { print $2 }' /tmp/archive_bench_new.$$)
+    if [ -z "$new_ns" ]; then
+        echo "GATE: $name missing from fresh run" >&2
+        touch /tmp/archive_bench_fail.$$
+        continue
+    fi
+    awk -v b="$base_ns" -v n="$new_ns" -v name="$name" 'BEGIN {
+        d = (n / b - 1) * 100
+        printf "%-40s %12.0f ns/op vs baseline %12.0f (%+.2f%%)\n", name, n, b, d
+        if (d > 2) exit 1
+    }' || touch /tmp/archive_bench_fail.$$
+done
+[ -f /tmp/archive_bench_fail.$$ ] && fail=1
+rm -f /tmp/archive_bench_new.$$ /tmp/archive_bench_fail.$$
+if [ "$fail" = 1 ]; then
+    echo "FAIL: an archive benchmark regressed more than 2% vs BENCH_archive.json" >&2
+    exit 1
+fi
+echo "gate passed: all archive benchmarks within 2% of BENCH_archive.json"

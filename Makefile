@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-archive bench-city figures profile trace-smoke chaos-smoke archive-smoke shard-smoke archive-load
+.PHONY: build test check bench bench-archive bench-city figures profile trace-smoke chaos-smoke archive-smoke shard-smoke metrics-smoke archive-load
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,7 @@ check:
 	$(GO) test -run Chaos -race ./...
 	$(GO) test -run ArchiveSoak -race -count=1 ./internal/archive/
 	sh scripts/shard_smoke.sh
+	sh scripts/metrics_smoke.sh
 
 # bench regenerates BENCH_trace.json (message-plane micro-benchmarks,
 # the full-figure runs, and the nil-tracer guard) and fails if the
@@ -54,6 +55,13 @@ archive-smoke:
 # lanes, and the barrier merge with every cross-shard handoff watched.
 shard-smoke:
 	sh scripts/shard_smoke.sh
+
+# metrics-smoke scrapes /metrics end to end (also part of `check`): the
+# sharded sim's PDES + radio series mid-run, the archive server's HTTP +
+# store series with -access-log on, and the load harness's client-vs-
+# server p99 cross-check.
+metrics-smoke:
+	sh scripts/metrics_smoke.sh
 
 # bench-city regenerates BENCH_city.json: the ~10.4k-mote city scenario
 # for one simulated hour on the serial and sharded engines, with a

@@ -28,6 +28,7 @@ import (
 	"enviromic/internal/sim"
 	"enviromic/internal/storage"
 	"enviromic/internal/task"
+	"enviromic/internal/telemetry"
 	"enviromic/internal/workload"
 )
 
@@ -616,6 +617,34 @@ func BenchmarkTracerDisabled(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr.Emit(sim.Time(i), evBench, 1, 2, 3, 4, 5)
+	}
+}
+
+// BenchmarkTelemetryDisabled guards the matching fast path for metrics:
+// with no registry configured every instrumented site holds nil metric
+// pointers, and the nil-receiver Inc/Add/Set/Observe must stay
+// allocation-free so telemetry-off runs pay only a predicted branch.
+func BenchmarkTelemetryDisabled(b *testing.B) {
+	var (
+		c *telemetry.Counter
+		g *telemetry.Gauge
+		h *telemetry.Histogram
+	)
+	if avg := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.AddLane(3, 7)
+		g.Set(1.5)
+		h.Observe(0.25)
+	}); avg != 0 {
+		b.Fatalf("nil metric ops allocate %v/op, want 0", avg)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		c.AddLane(i, int64(i))
+		g.Set(float64(i))
+		h.Observe(float64(i))
 	}
 }
 

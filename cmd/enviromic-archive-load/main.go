@@ -40,6 +40,7 @@ import (
 	"enviromic/internal/archive"
 	"enviromic/internal/flash"
 	"enviromic/internal/sim"
+	"enviromic/internal/telemetry"
 )
 
 type result struct {
@@ -58,7 +59,11 @@ type result struct {
 	QueryP50Ms    float64 `json:"query_p50_ms,omitempty"`
 	QueryP95Ms    float64 `json:"query_p95_ms,omitempty"`
 	QueryP99Ms    float64 `json:"query_p99_ms,omitempty"`
-	QueryErrors   int64   `json:"query_errors"`
+	// ServerP99Ms is the server-side p99 estimated from the scraped
+	// /metrics endpoint histogram after the storm (0 when the target
+	// serves no /metrics).
+	ServerP99Ms float64 `json:"server_p99_ms,omitempty"`
+	QueryErrors int64   `json:"query_errors"`
 
 	OpenBench *openBench `json:"open_1m,omitempty"`
 }
@@ -136,7 +141,65 @@ func runLoadPhases(res *result, url, dir string, shards, ingesters, batches, per
 	if err := runIngestPhase(client, base, ingesters, batches, perBatch, res); err != nil {
 		return err
 	}
-	return runQueryPhase(client, base, clients, reqs, res)
+	if err := runQueryPhase(client, base, clients, reqs, res); err != nil {
+		return err
+	}
+	return crossCheckServerLatency(client, base, res)
+}
+
+// crossCheckServerLatency scrapes the target's /metrics after the storm,
+// estimates the server-side p99 from the per-endpoint latency histogram
+// (ingest and the scrape itself excluded), and fails on gross
+// disagreement with the client-observed p99: a request's client latency
+// includes the server's handler time, so the server estimate sitting far
+// above the client number means mislabeled or misrecorded series. A
+// target without /metrics (an older server) skips the check.
+func crossCheckServerLatency(client *http.Client, base string, res *result) error {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		io.Copy(io.Discard, resp.Body)
+		fmt.Fprintf(os.Stderr, "no /metrics on %s (status %d); skipping server-side latency cross-check\n",
+			base, resp.StatusCode)
+		return nil
+	}
+	samples, err := telemetry.ParseText(resp.Body)
+	if err != nil {
+		return fmt.Errorf("scraping %s/metrics: %w", base, err)
+	}
+	var buckets []telemetry.Sample
+	var count float64
+	for _, smp := range samples {
+		ep := smp.Label("endpoint")
+		if ep == "/ingest" || ep == "/metrics" {
+			continue
+		}
+		switch smp.Name {
+		case "enviromic_http_request_seconds_bucket":
+			buckets = append(buckets, smp)
+		case "enviromic_http_request_seconds_count":
+			count += smp.Value
+		}
+	}
+	p99, ok := telemetry.HistogramQuantile(0.99, buckets)
+	if !ok {
+		return fmt.Errorf("server endpoint histogram is empty after %d client requests", res.QueryRequests)
+	}
+	res.ServerP99Ms = p99 * 1000
+	if int(count) < res.QueryRequests {
+		return fmt.Errorf("server histogram counted %d query requests, clients completed %d",
+			int(count), res.QueryRequests)
+	}
+	if res.ServerP99Ms > 4*res.QueryP99Ms+5 {
+		return fmt.Errorf("server p99 %.2fms grossly exceeds client p99 %.2fms",
+			res.ServerP99Ms, res.QueryP99Ms)
+	}
+	fmt.Fprintf(os.Stderr, "latency cross-check: client p99 %.2fms vs server p99 %.2fms over %d requests\n",
+		res.QueryP99Ms, res.ServerP99Ms, int(count))
+	return nil
 }
 
 func fail(err error) {
@@ -164,7 +227,8 @@ func selfHost(dir string, shards int) (*archive.Store, net.Listener, error) {
 			return nil, nil, err
 		}
 	}
-	store, err := archive.Open(dir, archive.Options{Shards: shards})
+	reg := telemetry.NewRegistry()
+	store, err := archive.Open(dir, archive.Options{Shards: shards, Telemetry: reg})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -173,7 +237,13 @@ func selfHost(dir string, shards int) (*archive.Store, net.Listener, error) {
 		store.Close()
 		return nil, nil, err
 	}
-	go http.Serve(ln, archive.NewHandler(store))
+	// Same wiring as cmd/enviromic-archive: the API behind the endpoint
+	// middleware, the registry at /metrics — so the harness exercises the
+	// instrumented stack it cross-checks.
+	mux := http.NewServeMux()
+	mux.Handle("/", telemetry.Middleware(reg, archive.EndpointOf, archive.NewHandler(store)))
+	mux.Handle("/metrics", telemetry.Handler(reg))
+	go http.Serve(ln, mux)
 	return store, ln, nil
 }
 

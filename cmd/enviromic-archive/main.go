@@ -20,6 +20,7 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	_ "net/http/pprof"
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"enviromic/internal/archive"
+	"enviromic/internal/telemetry"
 )
 
 func main() {
@@ -41,6 +43,7 @@ func main() {
 		compact  = flag.Bool("compact", false, "compact segments (reclaim superseded bytes) and exit")
 		ckptMB   = flag.Int64("checkpoint-mb", 8, "bytes appended between index snapshot checkpoints, in MiB (negative disables)")
 		autoMB   = flag.Int64("auto-compact-mb", 64, "per-shard superseded bytes triggering auto compaction, in MiB (negative disables)")
+		accLog   = flag.Bool("access-log", false, "log one structured line per HTTP request (slog, stderr)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -55,6 +58,7 @@ func main() {
 		}
 		return v
 	}
+	reg := telemetry.NewRegistry()
 	store, err := archive.Open(*dir, archive.Options{
 		Shards:           *shards,
 		GapTolerance:     *tol,
@@ -62,6 +66,7 @@ func main() {
 		SyncOnIngest:     *syncOn,
 		CheckpointBytes:  mb(*ckptMB),
 		AutoCompactBytes: mb(*autoMB),
+		Telemetry:        reg,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "enviromic-archive: %v\n", err)
@@ -105,13 +110,22 @@ func main() {
 		}
 		return float64(c.Hits) / float64(c.Hits+c.Misses)
 	}))
-	http.Handle("/", archive.NewHandler(store))
+	// The query API is wrapped in per-endpoint metrics (served at
+	// /metrics in Prometheus text format) and, with -access-log, one
+	// structured log line per request.
+	var logger *slog.Logger
+	if *accLog {
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	api := telemetry.Middleware(reg, archive.EndpointOf, archive.NewHandler(store))
+	http.Handle("/", telemetry.AccessLog(logger, api))
+	http.Handle("/metrics", telemetry.Handler(reg))
 	ln, err := net.Listen("tcp", *httpAddr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "enviromic-archive: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("serving on http://%s (endpoints: /files /query /stats /debug/pprof)\n", ln.Addr())
+	fmt.Printf("serving on http://%s (endpoints: /files /query /stats /metrics /debug/pprof)\n", ln.Addr())
 	if err := http.Serve(ln, nil); err != nil {
 		fmt.Fprintf(os.Stderr, "enviromic-archive: %v\n", err)
 		os.Exit(1)

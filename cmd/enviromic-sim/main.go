@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -39,6 +40,7 @@ import (
 	"enviromic/internal/obs"
 	"enviromic/internal/retrieval"
 	"enviromic/internal/sim"
+	"enviromic/internal/telemetry"
 	"enviromic/internal/workload"
 )
 
@@ -128,10 +130,13 @@ func main() {
 
 	// The tracer is shared by observer wiring only; it never perturbs the
 	// run, so a traced simulation is byte-identical to an untraced one.
+	// The telemetry registry carries the same contract for metrics; it is
+	// built only when -http asks for a /metrics endpoint.
 	var (
 		tracer     *obs.Tracer
 		traceCount *obs.Counting
 		checker    *chaos.Invariants
+		registry   *telemetry.Registry
 	)
 	if *trace || *httpAddr != "" || *invariants {
 		if *runs > 1 {
@@ -163,7 +168,8 @@ func main() {
 		traceCount = obs.NewCounting(sink)
 		tracer = obs.New(traceCount).SetFilter(obs.ParseFilter(*traceFlt))
 		if *httpAddr != "" {
-			serveDebug(*httpAddr, traceCount, ring)
+			registry = telemetry.NewRegistry()
+			serveDebug(*httpAddr, traceCount, ring, registry)
 		}
 	}
 
@@ -201,6 +207,7 @@ func main() {
 			TimeSync:    *timesync,
 			DutyCycle:   *duty,
 			Tracer:      tracer,
+			Telemetry:   registry,
 		}
 		if *timesync {
 			cfg.MaxClockDriftPPM = 50
@@ -336,9 +343,11 @@ func main() {
 	}
 }
 
-// serveDebug exposes the standard pprof/expvar endpoints plus a
-// /trace/tail handler that returns the newest ring events as JSONL.
-func serveDebug(addr string, counts *obs.Counting, ring *obs.Ring) {
+// serveDebug exposes the standard pprof/expvar endpoints, a /trace/tail
+// handler that returns the newest ring events as JSONL, and /metrics in
+// Prometheus text format. It binds before returning and prints the bound
+// address, so scripts can pass :0 and parse the port.
+func serveDebug(addr string, counts *obs.Counting, ring *obs.Ring, reg *telemetry.Registry) {
 	expvar.Publish("trace_events_total", expvar.Func(func() any { return counts.Total() }))
 	expvar.Publish("trace_events_by_kind", expvar.Func(func() any { return counts.Counts() }))
 	http.HandleFunc("/trace/tail", func(w http.ResponseWriter, r *http.Request) {
@@ -355,8 +364,15 @@ func serveDebug(addr string, counts *obs.Counting, ring *obs.Ring) {
 		}
 		w.Write(buf)
 	})
+	http.Handle("/metrics", telemetry.Handler(reg))
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "http: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Printf("debug http on http://%s (endpoints: /metrics /trace/tail /debug/pprof /debug/vars)\n", ln.Addr())
 	go func() {
-		if err := http.ListenAndServe(addr, nil); err != nil {
+		if err := http.Serve(ln, nil); err != nil {
 			fmt.Fprintf(os.Stderr, "http: %v\n", err)
 		}
 	}()

@@ -35,9 +35,9 @@ import (
 	"time"
 
 	"enviromic/internal/flash"
-	"enviromic/internal/obs"
 	"enviromic/internal/retrieval"
 	"enviromic/internal/sim"
+	"enviromic/internal/telemetry"
 )
 
 // ErrNotFound is returned for lookups of unknown file IDs.
@@ -83,6 +83,12 @@ type Options struct {
 	// open nor written. Open always rebuilds by scanning. For tests and
 	// rescan benchmarks.
 	NoSnapshots bool
+	// Telemetry is the metrics registry the store publishes into
+	// (counters, pipeline histograms, store-size gauges). Nil gives the
+	// store a private registry, so Stats().Counters and Metrics() always
+	// work; pass a shared registry to serve the store's series on a
+	// /metrics endpoint alongside other subsystems.
+	Telemetry *telemetry.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -215,17 +221,29 @@ type Store struct {
 	gens       []uint64
 	committed  []int64
 
-	counters    *obs.CounterGroup
-	cBatches    *obs.Counter
-	cIngested   *obs.Counter
-	cDups       *obs.Counter
-	cSuper      *obs.Counter
-	cQueries    *obs.Counter
-	cReads      *obs.Counter
-	cCacheHit   *obs.Counter
-	cCacheMiss  *obs.Counter
-	cFlightWin  *obs.Counter
-	cFlightJoin *obs.Counter
+	// reg is the telemetry registry every store counter lives in; legacy
+	// maps each counter back to its historical dotted name, which is what
+	// Stats().Counters (and the expvar shim in cmd/enviromic-archive)
+	// still serve.
+	reg         *telemetry.Registry
+	legacy      []legacyCounter
+	cBatches    *telemetry.Counter
+	cIngested   *telemetry.Counter
+	cDups       *telemetry.Counter
+	cSuper      *telemetry.Counter
+	cQueries    *telemetry.Counter
+	cReads      *telemetry.Counter
+	cCacheHit   *telemetry.Counter
+	cCacheMiss  *telemetry.Counter
+	cFlightWin  *telemetry.Counter
+	cFlightJoin *telemetry.Counter
+}
+
+// legacyCounter pairs a telemetry counter with the dotted name the
+// archive's original expvar counter group used.
+type legacyCounter struct {
+	name string
+	c    *telemetry.Counter
 }
 
 // Open opens the archive at dir, creating it (and the directory) if
@@ -241,38 +259,83 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{
-		dir:      dir,
-		opts:     opts,
-		cache:    newFileCache(opts.CacheBytes),
-		counters: obs.NewCounterGroup(),
+	reg := opts.Telemetry
+	if reg == nil {
+		// A private registry keeps Stats().Counters and Metrics() working
+		// for embedded stores that never mount /metrics.
+		reg = telemetry.NewRegistry()
 	}
-	s.cBatches = s.counters.Counter("ingest.batches")
-	s.cIngested = s.counters.Counter("ingest.chunks")
-	s.cDups = s.counters.Counter("ingest.duplicates")
-	s.cSuper = s.counters.Counter("ingest.superseded")
-	s.cQueries = s.counters.Counter("query.count")
-	s.cReads = s.counters.Counter("file.reassemblies")
-	s.cCacheHit = s.counters.Counter("cache.hits")
-	s.cCacheMiss = s.counters.Counter("cache.misses")
-	s.cFlightWin = s.counters.Counter("flight.leads")
-	s.cFlightJoin = s.counters.Counter("flight.joins")
+	s := &Store{
+		dir:   dir,
+		opts:  opts,
+		cache: newFileCache(opts.CacheBytes),
+		reg:   reg,
+	}
+	// counter registers one store counter under its Prometheus name while
+	// remembering the dotted name the original expvar counter group used —
+	// Stats().Counters still serves the legacy names.
+	counter := func(legacy, name, help string) *telemetry.Counter {
+		c := reg.Counter(name, help)
+		s.legacy = append(s.legacy, legacyCounter{name: legacy, c: c})
+		return c
+	}
+	s.cBatches = counter("ingest.batches", "enviromic_archive_ingest_batches_total",
+		"Ingest batches submitted to the store.")
+	s.cIngested = counter("ingest.chunks", "enviromic_archive_ingest_chunks_total",
+		"Chunks appended by ingest.")
+	s.cDups = counter("ingest.duplicates", "enviromic_archive_ingest_duplicates_total",
+		"Chunks skipped by ingest as duplicates.")
+	s.cSuper = counter("ingest.superseded", "enviromic_archive_ingest_superseded_total",
+		"Archived chunks replaced by longer copies.")
+	s.cQueries = counter("query.count", "enviromic_archive_queries_total",
+		"Interval-index queries served.")
+	s.cReads = counter("file.reassemblies", "enviromic_archive_reassemblies_total",
+		"File reassemblies performed (cache misses that did the work).")
+	s.cCacheHit = counter("cache.hits", "enviromic_archive_cache_hits_total",
+		"Reassembly cache hits.")
+	s.cCacheMiss = counter("cache.misses", "enviromic_archive_cache_misses_total",
+		"Reassembly cache misses.")
+	s.cFlightWin = counter("flight.leads", "enviromic_archive_flight_leads_total",
+		"Singleflight reassemblies led.")
+	s.cFlightJoin = counter("flight.joins", "enviromic_archive_flight_joins_total",
+		"Singleflight reassemblies coalesced onto a leader.")
 	s.env = &shardEnv{
-		gapTolerance:     opts.GapTolerance,
-		syncOnIngest:     opts.SyncOnIngest,
-		noSnapshots:      opts.NoSnapshots,
-		checkpointBytes:  opts.CheckpointBytes,
-		autoCompact:      opts.AutoCompactBytes,
-		cGroups:          s.counters.Counter("ingest.groups"),
-		cGroupSyncs:      s.counters.Counter("ingest.group_syncs"),
-		cSnapLoads:       s.counters.Counter("open.snapshot_loads"),
-		cSnapFallbacks:   s.counters.Counter("open.snapshot_fallbacks"),
-		cReplayed:        s.counters.Counter("open.replayed_chunks"),
-		cCheckpoints:     s.counters.Counter("checkpoint.writes"),
-		cCheckpointBytes: s.counters.Counter("checkpoint.bytes"),
-		cCompactions:     s.counters.Counter("compact.runs"),
-		cReclaimed:       s.counters.Counter("compact.reclaimed_bytes"),
-		bumpGen:          s.bumpGen,
+		gapTolerance:    opts.GapTolerance,
+		syncOnIngest:    opts.SyncOnIngest,
+		noSnapshots:     opts.NoSnapshots,
+		checkpointBytes: opts.CheckpointBytes,
+		autoCompact:     opts.AutoCompactBytes,
+		cGroups: counter("ingest.groups", "enviromic_archive_group_commits_total",
+			"Group commits performed by shard writers."),
+		cGroupSyncs: counter("ingest.group_syncs", "enviromic_archive_group_syncs_total",
+			"Group commits that fsynced the segment (SyncOnIngest)."),
+		cSnapLoads: counter("open.snapshot_loads", "enviromic_archive_snapshot_loads_total",
+			"Shards opened from an index snapshot."),
+		cSnapFallbacks: counter("open.snapshot_fallbacks", "enviromic_archive_snapshot_fallbacks_total",
+			"Shards whose snapshot was unusable, forcing a full scan."),
+		cReplayed: counter("open.replayed_chunks", "enviromic_archive_replayed_chunks_total",
+			"Chunks replayed from segment tails past their snapshots."),
+		cCheckpoints: counter("checkpoint.writes", "enviromic_archive_checkpoint_writes_total",
+			"Index snapshot checkpoints written."),
+		cCheckpointBytes: counter("checkpoint.bytes", "enviromic_archive_checkpoint_bytes_total",
+			"Bytes of index snapshots written."),
+		cCompactions: counter("compact.runs", "enviromic_archive_compactions_total",
+			"Segment compactions run."),
+		cReclaimed: counter("compact.reclaimed_bytes", "enviromic_archive_compact_reclaimed_bytes_total",
+			"Dead frame bytes reclaimed by compaction."),
+		hGroupBatch: reg.Histogram("enviromic_archive_group_commit_batch_size",
+			"Submissions absorbed per group commit.",
+			telemetry.ExpBuckets(1, 2, 7)),
+		hFsync: reg.Histogram("enviromic_archive_fsync_seconds",
+			"Segment fsync latency during group commits.",
+			telemetry.DurationBuckets()),
+		hSnapLoad: reg.Histogram("enviromic_archive_open_snapshot_load_seconds",
+			"Per-shard index snapshot load time at open.",
+			telemetry.DurationBuckets()),
+		hReplay: reg.Histogram("enviromic_archive_open_replay_seconds",
+			"Per-shard segment scan time at open (tail replay or full scan).",
+			telemetry.DurationBuckets()),
+		bumpGen: s.bumpGen,
 	}
 	s.gens = make([]uint64, m.Shards)
 	copy(s.gens, m.Generations)
@@ -291,8 +354,45 @@ func Open(dir string, opts Options) (*Store, error) {
 	for _, sh := range s.shards {
 		sh.startWriter()
 	}
+	s.registerGauges(reg)
 	return s, nil
 }
+
+// registerGauges publishes scrape-time store totals: sizes straight off
+// the shard indexes, and the reassembly cache's hit ratio as a proper
+// gauge (the old expvar shim served it as a formatted string). When two
+// stores share one registry the first store's functions win — mount
+// shared registries one store per process.
+func (s *Store) registerGauges(reg *telemetry.Registry) {
+	total := func(pick func(Stats) float64) func() float64 {
+		return func() float64 { return pick(s.totals()) }
+	}
+	reg.GaugeFunc("enviromic_archive_files", "Archived files.",
+		total(func(st Stats) float64 { return float64(st.Files) }))
+	reg.GaugeFunc("enviromic_archive_chunks", "Archived chunks.",
+		total(func(st Stats) float64 { return float64(st.Chunks) }))
+	reg.GaugeFunc("enviromic_archive_payload_bytes", "Archived payload bytes.",
+		total(func(st Stats) float64 { return float64(st.Bytes) }))
+	reg.GaugeFunc("enviromic_archive_segment_bytes", "On-disk segment bytes including framing.",
+		total(func(st Stats) float64 { return float64(st.SegmentBytes) }))
+	reg.GaugeFunc("enviromic_archive_superseded_bytes", "Dead frame bytes reclaimable by compaction.",
+		total(func(st Stats) float64 { return float64(st.SupersededBytes) }))
+	reg.GaugeFunc("enviromic_archive_cache_bytes", "Reassembly cache payload bytes held.",
+		func() float64 { return float64(s.cache.stats().Bytes) })
+	reg.GaugeFunc("enviromic_archive_cache_hit_ratio",
+		"Reassembly cache hit ratio since open (0 when unused).",
+		func() float64 {
+			cs := s.cache.stats()
+			if lookups := cs.Hits + cs.Misses; lookups > 0 {
+				return float64(cs.Hits) / float64(lookups)
+			}
+			return 0
+		})
+}
+
+// Metrics returns the store's telemetry registry — the one passed via
+// Options.Telemetry, or the store-private default.
+func (s *Store) Metrics() *telemetry.Registry { return s.reg }
 
 func (s *Store) shardPath(i int) string {
 	return filepath.Join(s.dir, fmt.Sprintf("shard-%03d.seg", i))
@@ -557,9 +657,22 @@ func (s *Store) reassemble(sh *shard, id flash.FileID, version uint64, metas []c
 // GapTolerance returns the store's default gap tolerance.
 func (s *Store) GapTolerance() time.Duration { return s.opts.GapTolerance }
 
-// Stats snapshots store-wide totals and op counters.
+// Stats snapshots store-wide totals and op counters. Counters keep their
+// historical dotted names (the registry serves the same values under
+// Prometheus names).
 func (s *Store) Stats() Stats {
-	st := Stats{Shards: len(s.shards), Counters: s.counters.Snapshot()}
+	st := s.totals()
+	st.Counters = make(map[string]int64, len(s.legacy))
+	for _, lc := range s.legacy {
+		st.Counters[lc.name] = lc.c.Value()
+	}
+	st.Cache = s.cache.stats()
+	return st
+}
+
+// totals sums the per-shard index sizes (no counters, no cache).
+func (s *Store) totals() Stats {
+	st := Stats{Shards: len(s.shards)}
 	for _, sh := range s.shards {
 		files, chunks, bytes, seg, rec, super := sh.stats()
 		st.Files += files
@@ -569,7 +682,6 @@ func (s *Store) Stats() Stats {
 		st.RecoveredBytes += rec
 		st.SupersededBytes += super
 	}
-	st.Cache = s.cache.stats()
 	return st
 }
 

@@ -50,6 +50,30 @@ type handler struct {
 	store *Store
 }
 
+// EndpointOf maps an archive request to its route pattern ("/files/{id}/wav"
+// rather than the concrete path) so the telemetry middleware's per-endpoint
+// series stay low-cardinality. Unknown paths collapse to "other".
+func EndpointOf(r *http.Request) string {
+	p := r.URL.Path
+	switch {
+	case p == "/files":
+		return "/files"
+	case strings.HasPrefix(p, "/files/"):
+		switch {
+		case strings.HasSuffix(p, "/gaps"):
+			return "/files/{id}/gaps"
+		case strings.HasSuffix(p, "/wav"):
+			return "/files/{id}/wav"
+		default:
+			return "/files/{id}"
+		}
+	case p == "/query", p == "/ingest", p == "/compact", p == "/stats", p == "/metrics":
+		return p
+	default:
+		return "other"
+	}
+}
+
 // fileInfoJSON is FileInfo in response form: times both as raw
 // nanoseconds (machine use) and seconds (human use).
 type fileInfoJSON struct {

@@ -10,8 +10,8 @@ import (
 	"time"
 
 	"enviromic/internal/flash"
-	"enviromic/internal/obs"
 	"enviromic/internal/sim"
+	"enviromic/internal/telemetry"
 )
 
 // chunkMeta is the in-memory index entry for one archived chunk: enough
@@ -119,15 +119,21 @@ type shardEnv struct {
 	checkpointBytes int64 // bytes appended between auto checkpoints; <=0 disables
 	autoCompact     int64 // superseded bytes per shard triggering auto compaction; <=0 disables
 
-	cGroups          *obs.Counter // ingest.groups
-	cGroupSyncs      *obs.Counter // ingest.group_syncs
-	cSnapLoads       *obs.Counter // open.snapshot_loads
-	cSnapFallbacks   *obs.Counter // open.snapshot_fallbacks
-	cReplayed        *obs.Counter // open.replayed_chunks
-	cCheckpoints     *obs.Counter // checkpoint.writes
-	cCheckpointBytes *obs.Counter // checkpoint.bytes
-	cCompactions     *obs.Counter // compact.runs
-	cReclaimed       *obs.Counter // compact.reclaimed_bytes
+	cGroups          *telemetry.Counter // ingest.groups
+	cGroupSyncs      *telemetry.Counter // ingest.group_syncs
+	cSnapLoads       *telemetry.Counter // open.snapshot_loads
+	cSnapFallbacks   *telemetry.Counter // open.snapshot_fallbacks
+	cReplayed        *telemetry.Counter // open.replayed_chunks
+	cCheckpoints     *telemetry.Counter // checkpoint.writes
+	cCheckpointBytes *telemetry.Counter // checkpoint.bytes
+	cCompactions     *telemetry.Counter // compact.runs
+	cReclaimed       *telemetry.Counter // compact.reclaimed_bytes
+
+	// Pipeline and open-path histograms (nil-safe like every metric).
+	hGroupBatch *telemetry.Histogram // submissions per group commit
+	hFsync      *telemetry.Histogram // group-commit fsync latency
+	hSnapLoad   *telemetry.Histogram // per-shard snapshot load time at open
+	hReplay     *telemetry.Histogram // per-shard segment scan time at open
 
 	checkpointHook func(shard int, point string) error
 	compactHook    func(shard int, point string) error
@@ -230,11 +236,13 @@ func openShard(id int, path string, gen uint64, env *shardEnv) (*shard, error) {
 
 	scanFrom := int64(0)
 	if !env.noSnapshots {
+		loadStart := time.Now()
 		if covered, lerr := sh.loadSnapshot(gen, segSize); lerr == nil {
 			scanFrom = covered
 			sh.lastCheckpoint = covered
 			sh.unverifiedTo = covered
 			env.cSnapLoads.Inc()
+			env.hSnapLoad.ObserveDuration(time.Since(loadStart))
 		} else {
 			if !os.IsNotExist(unwrapSnapshotErr(lerr)) {
 				env.cSnapFallbacks.Inc()
@@ -248,6 +256,7 @@ func openShard(id int, path string, gen uint64, env *shardEnv) (*shard, error) {
 	}
 
 	replayed := 0
+	scanStart := time.Now()
 	valid, err := scanSegment(f, scanFrom, func(c *flash.Chunk, off int64, length int32) {
 		sh.applyChunk(c, off, length)
 		replayed++
@@ -257,6 +266,7 @@ func openShard(id int, path string, gen uint64, env *shardEnv) (*shard, error) {
 		f.Close()
 		return nil, fmt.Errorf("archive: scanning %s: %w", path, err)
 	}
+	env.hReplay.ObserveDuration(time.Since(scanStart))
 	if scanFrom > 0 {
 		env.cReplayed.Add(int64(replayed))
 	}

@@ -135,6 +135,7 @@ func (sh *shard) runCtl(fn func()) {
 // commitGroup stages, writes, fsyncs, and publishes one submission group.
 func (sh *shard) commitGroup(group []*submission) {
 	sh.env.cGroups.Inc()
+	sh.env.hGroupBatch.Observe(float64(len(group)))
 	// Presize the encode buffer to the group's worst case (every chunk
 	// surviving) and reuse the writer's scratch allocation across groups —
 	// append-doubling a quarter-megabyte group costs more than the extra
@@ -191,11 +192,13 @@ func (sh *shard) commitGroup(group []*submission) {
 			return
 		}
 		if sh.env.syncOnIngest {
+			syncStart := time.Now()
 			if err := sh.f.Sync(); err != nil {
 				failGroup(group, results, fmt.Errorf("archive: syncing %s: %w", sh.path, err))
 				return
 			}
 			sh.env.cGroupSyncs.Inc()
+			sh.env.hFsync.ObserveDuration(time.Since(syncStart))
 		}
 	}
 

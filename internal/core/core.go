@@ -32,6 +32,7 @@ import (
 	"enviromic/internal/sim"
 	"enviromic/internal/storage"
 	"enviromic/internal/task"
+	"enviromic/internal/telemetry"
 	"enviromic/internal/timesync"
 )
 
@@ -134,6 +135,12 @@ type Config struct {
 	// pure observer: it draws no randomness and schedules no events, so a
 	// traced run is byte-identical to an untraced one.
 	Tracer *obs.Tracer
+	// Telemetry receives runtime metrics (see internal/telemetry): radio
+	// tx/rx/drop counters, shard-coordinator window and barrier series,
+	// and a run-progress heartbeat. Like the tracer it is a pure
+	// observer — a fixed-seed run is byte-identical with it on or off —
+	// and nil disables it at zero cost.
+	Telemetry *telemetry.Registry
 }
 
 func (c *Config) applyDefaults() {
@@ -208,6 +215,13 @@ type Network struct {
 	dups       metrics.DupCounter
 	chunkBuf   []*flash.Chunk
 	lastChunks int
+	// Serial-mode run-progress heartbeat (the shard coordinator owns the
+	// same gauges in sharded mode). Updated only from the sim thread;
+	// gauge Set is an atomic store, safe against concurrent scrapes.
+	hbTime     *telemetry.Gauge
+	hbProgress *telemetry.Gauge
+	hbWall     time.Time
+	hbSim      sim.Time
 }
 
 // Sharding returns the shard coordinator, or nil for serial runs.
@@ -298,7 +312,15 @@ func NewNetwork(cfg Config, field *acoustics.Field, positions []geometry.Point) 
 		shards.OnBarrier(rnet.EnsureIndex)
 		shards.OnBarrier(n.shTrace.Flush)
 		shards.OnBarrier(n.flushStage)
+		shards.SetMetrics(cfg.Telemetry)
+	} else if cfg.Telemetry != nil {
+		n.hbTime = cfg.Telemetry.Gauge("enviromic_sim_time_seconds",
+			"Simulated time reached by the run.")
+		n.hbProgress = cfg.Telemetry.Gauge("enviromic_sim_progress",
+			"Simulated seconds advanced per wall-clock second, sampled at barriers.")
 	}
+	// After SetSharding, so the radio's counter lanes match the shard count.
+	rnet.SetMetrics(cfg.Telemetry)
 	for i, pos := range positions {
 		n.Nodes = append(n.Nodes, n.buildNode(i, pos))
 	}
@@ -522,6 +544,27 @@ func (n *Network) takeSample() {
 		TxByKind:        st.TxByKind,
 		TxByNode:        st.TxByNode,
 	})
+	n.heartbeat()
+}
+
+// heartbeat refreshes the serial run-progress gauges (at most every 250ms
+// of wall time); in sharded mode the coordinator owns these gauges and
+// this is a no-op.
+func (n *Network) heartbeat() {
+	if n.hbTime == nil {
+		return
+	}
+	now := n.Sched.Now()
+	n.hbTime.Set(now.Seconds())
+	wall := time.Now()
+	if n.hbWall.IsZero() {
+		n.hbWall, n.hbSim = wall, now
+		return
+	}
+	if dt := wall.Sub(n.hbWall); dt >= 250*time.Millisecond {
+		n.hbProgress.Set(now.Sub(n.hbSim).Seconds() / dt.Seconds())
+		n.hbWall, n.hbSim = wall, now
+	}
 }
 
 // Holdings returns every node's current flash contents.

@@ -9,6 +9,7 @@ import (
 	"enviromic/internal/obs"
 	"enviromic/internal/retrieval"
 	"enviromic/internal/sim"
+	"enviromic/internal/telemetry"
 	"enviromic/internal/workload"
 )
 
@@ -34,6 +35,8 @@ type CityOpts struct {
 	Shards int
 	// Tracer receives structured protocol events (nil disables).
 	Tracer *obs.Tracer
+	// Telemetry receives runtime metrics (nil disables).
+	Telemetry *telemetry.Registry
 }
 
 // DefaultCityOpts is the benchmark configuration: ~10.4k motes, one
@@ -125,6 +128,7 @@ func BuildCity(opts CityOpts) (*core.Network, int) {
 		Group:        &gcfg,
 		SamplePeriod: 10 * time.Minute,
 		Tracer:       opts.Tracer,
+		Telemetry:    opts.Telemetry,
 	}, field, positions)
 	return net, events
 }

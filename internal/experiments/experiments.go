@@ -19,6 +19,7 @@ import (
 	"enviromic/internal/obs"
 	"enviromic/internal/sim"
 	"enviromic/internal/task"
+	"enviromic/internal/telemetry"
 	"enviromic/internal/workload"
 )
 
@@ -290,6 +291,10 @@ type IndoorOpts struct {
 	// serialize concurrent emits but the interleaving across settings
 	// would not be deterministic.
 	Tracer *obs.Tracer
+	// Telemetry, when non-nil, receives runtime metrics (see
+	// internal/telemetry). Like the tracer it is a pure observer and does
+	// not perturb fixed-seed results.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultIndoorOpts mirrors §IV-B: 4400 s, ~220 events, 4 hearers each.
@@ -326,6 +331,7 @@ func BuildIndoor(setting IndoorSetting, opts IndoorOpts) *core.Network {
 		FlashBlocks:  opts.FlashBlocks,
 		SamplePeriod: opts.Duration / time.Duration(opts.SamplePoints*2),
 		Tracer:       opts.Tracer,
+		Telemetry:    opts.Telemetry,
 	}, field, grid)
 }
 

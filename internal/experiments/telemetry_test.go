@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"enviromic/internal/core"
+	"enviromic/internal/mote"
+	"enviromic/internal/render"
+	"enviromic/internal/sim"
+	"enviromic/internal/telemetry"
+)
+
+// telemetryRunSignature runs the quick indoor lb-beta2 scenario with a
+// metrics registry attached and folds the same headline metrics and
+// rendered figure as traceRunSignature into a comparison string.
+func telemetryRunSignature(t *testing.T, reg *telemetry.Registry, shards int) (string, *core.Network) {
+	t.Helper()
+	opts := QuickIndoorOpts()
+	opts.Telemetry = reg
+	opts.Shards = shards
+	net := RunIndoor(IndoorSetting{Name: "lb-beta2", Mode: core.ModeFull, BetaMax: 2}, opts)
+	end := sim.At(opts.Duration)
+	var fig strings.Builder
+	render.Heatmap(&fig, HeatmapAt(net, end, false), "bytes")
+	sig := fmt.Sprintf("miss=%v red=%v msgs=%d stored=%d frames=%d kinds=%v\n%s",
+		net.Collector.MissRatioAt(end),
+		net.Collector.RedundancyRatioAt(end, mote.DefaultSampleRate),
+		net.Collector.MessageCountAt(end),
+		net.TotalStoredBytes(),
+		net.Radio.Stats().TotalFrames,
+		net.Radio.Stats().TxByKind,
+		fig.String())
+	return sig, net
+}
+
+// TestTelemetryLeavesRunByteIdentical is the telemetry layer's core
+// guarantee, the same contract the tracer honors: metrics are pure
+// observation, so attaching a registry changes neither the headline
+// metrics nor the rendered figures — serial or sharded.
+func TestTelemetryLeavesRunByteIdentical(t *testing.T) {
+	base, _ := telemetryRunSignature(t, nil, 0)
+
+	reg := telemetry.NewRegistry()
+	serial, net := telemetryRunSignature(t, reg, 0)
+	if serial != base {
+		t.Errorf("telemetry perturbed the serial run\nbase:\n%s\nwith telemetry:\n%s", base, serial)
+	}
+	// The registry must have actually watched the run: the radio counter
+	// agrees with the radio's own frame count, and the heartbeat gauge
+	// reached the run's end time.
+	if got, want := reg.Counter("enviromic_radio_tx_frames_total", "").Value(), int64(net.Radio.Stats().TotalFrames); got != want {
+		t.Errorf("telemetry tx frames = %d, radio stats say %d", got, want)
+	}
+	if got := reg.Gauge("enviromic_sim_time_seconds", "").Value(); got != QuickIndoorOpts().Duration.Seconds() {
+		t.Errorf("sim-time gauge = %v, want %v", got, QuickIndoorOpts().Duration.Seconds())
+	}
+
+	shReg := telemetry.NewRegistry()
+	sharded, shNet := telemetryRunSignature(t, shReg, 2)
+	if sharded != base {
+		t.Errorf("telemetry perturbed the sharded run\nbase:\n%s\nwith telemetry:\n%s", base, sharded)
+	}
+	if got, want := shReg.Counter("enviromic_radio_tx_frames_total", "").Value(), int64(shNet.Radio.Stats().TotalFrames); got != want {
+		t.Errorf("sharded telemetry tx frames = %d, radio stats say %d", got, want)
+	}
+	// The coordinator's series must be present and consistent: per-shard
+	// event counts plus the global lane account for every callback.
+	var shardEvents int64
+	for i := 0; i < 2; i++ {
+		shardEvents += shReg.Counter("enviromic_sim_shard_events_total", "",
+			telemetry.L("shard", fmt.Sprint(i))).Value()
+	}
+	if shardEvents == 0 {
+		t.Errorf("sharded run recorded no per-shard events")
+	}
+	if shReg.Counter("enviromic_sim_barriers_total", "").Value() == 0 {
+		t.Errorf("sharded run recorded no barriers")
+	}
+	var sb strings.Builder
+	if err := shReg.WritePrometheus(&sb); err != nil {
+		t.Fatalf("exposition: %v", err)
+	}
+	if _, err := telemetry.ParseText(strings.NewReader(sb.String())); err != nil {
+		t.Fatalf("sharded run exposition does not parse: %v", err)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"enviromic/internal/geometry"
 	"enviromic/internal/obs"
 	"enviromic/internal/sim"
+	"enviromic/internal/telemetry"
 )
 
 // Broadcast is the addressee value meaning "all neighbors".
@@ -224,6 +225,47 @@ type Network struct {
 	// trs, when non-nil, is the per-shard tracer set (sharded mode).
 	tr  *obs.Tracer
 	trs []*obs.Tracer
+
+	// metrics, when non-nil, holds lane-sharded telemetry counters; each
+	// shard bumps its own cache line (SetMetrics).
+	metrics *radioMetrics
+}
+
+// radioMetrics is the network's telemetry hookup. Counters are
+// lane-sharded to the shard count, so the Send/deliver hot paths pay one
+// uncontended atomic add when telemetry is on and a nil check when off.
+type radioMetrics struct {
+	txFrames      *telemetry.Counter
+	txBytes       *telemetry.Counter
+	delivered     *telemetry.Counter
+	dropOff       *telemetry.Counter
+	dropLoss      *telemetry.Counter
+	dropPartition *telemetry.Counter
+}
+
+// SetMetrics attaches telemetry counters to the network. Call it after
+// SetSharding so the counter lanes match the shard count; a nil registry
+// leaves the network untouched.
+func (n *Network) SetMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	lanes := len(n.sh)
+	drop := func(cause string) *telemetry.Counter {
+		return reg.CounterN("enviromic_radio_drops_total",
+			"Frame receptions dropped, by cause.", lanes, telemetry.L("cause", cause))
+	}
+	n.metrics = &radioMetrics{
+		txFrames: reg.CounterN("enviromic_radio_tx_frames_total",
+			"Frames transmitted.", lanes),
+		txBytes: reg.CounterN("enviromic_radio_tx_bytes_total",
+			"Frame bytes transmitted, headers included.", lanes),
+		delivered: reg.CounterN("enviromic_radio_rx_delivered_total",
+			"Frame receptions delivered to a listening radio.", lanes),
+		dropOff:       drop("radio_off"),
+		dropLoss:      drop("loss"),
+		dropPartition: drop("partition"),
+	}
 }
 
 // Stats aggregates transmission counts for the overhead figures. The
@@ -706,6 +748,10 @@ func (e *Endpoint) Send(to int, payload Payload, piggyback ...Payload) {
 	st := &n.sh[e.shard]
 	st.stats.TotalFrames++
 	st.stats.TotalBytes += uint64(f.TotalSize())
+	if m := n.metrics; m != nil {
+		m.txFrames.AddLane(e.shard, 1)
+		m.txBytes.AddLane(e.shard, int64(f.TotalSize()))
+	}
 	for e.id >= len(st.txByNode) {
 		st.txByNode = append(st.txByNode, 0)
 		st.txByNodeKind = append(st.txByNodeKind, nil)
@@ -847,15 +893,22 @@ func (n *Network) deliver(rxs []*Endpoint, f *Frame, lossWord uint64, lossBits [
 	shard := rxs[0].shard
 	st := &n.sh[shard]
 	tr := n.trFor(shard)
+	m := n.metrics
 	now := rxs[0].sched.Now()
 	for i, rx := range rxs {
 		if !rx.RadioOn() {
 			st.stats.DroppedRadioOff++
+			if m != nil {
+				m.dropOff.AddLane(shard, 1)
+			}
 			tr.Emit(now, evDropOff, int32(rx.id), int32(f.From), 0, int64(kind), 0)
 			continue
 		}
 		if n.blocked != nil && n.linkBlocked(f.From, rx.id) {
 			st.stats.DroppedPartition++
+			if m != nil {
+				m.dropPartition.AddLane(shard, 1)
+			}
 			tr.Emit(now, evDropPartition, int32(rx.id), int32(f.From), 0, int64(kind), 0)
 			continue
 		}
@@ -865,10 +918,16 @@ func (n *Network) deliver(rxs []*Endpoint, f *Frame, lossWord uint64, lossBits [
 		}
 		if lost {
 			st.stats.Lost++
+			if m != nil {
+				m.dropLoss.AddLane(shard, 1)
+			}
 			tr.Emit(now, evDropLoss, int32(rx.id), int32(f.From), 0, int64(kind), 0)
 			continue
 		}
 		st.stats.Delivered++
+		if m != nil {
+			m.delivered.AddLane(shard, 1)
+		}
 		if rx.listener != nil {
 			rx.listener.RadioActivity(ActivityRx, rxTime)
 		}

@@ -2,8 +2,12 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"strconv"
 	"time"
+
+	"enviromic/internal/telemetry"
 )
 
 // Shards coordinates conservative parallel execution of one simulation
@@ -45,6 +49,88 @@ type Shards struct {
 	mergeBuf []deposit
 	workers  []shardWorker
 	running  bool
+	// metrics is the optional telemetry hookup (SetMetrics). All updates
+	// happen on the coordinator goroutine, outside the deterministic event
+	// stream; workers only time their own windows.
+	metrics *shardsMetrics
+}
+
+// shardsMetrics holds the coordinator's telemetry series. It observes the
+// run — it never schedules events or draws randomness — so attaching it
+// cannot perturb a fixed-seed result.
+type shardsMetrics struct {
+	windows      *telemetry.Counter
+	barriers     *telemetry.Counter
+	globalParks  *telemetry.Counter
+	globalEvents *telemetry.Counter
+	deposits     *telemetry.Counter
+	laneDepth    *telemetry.Histogram
+	barrierWait  *telemetry.Histogram
+	shardEvents  []*telemetry.Counter
+	simTime      *telemetry.Gauge
+	progress     *telemetry.Gauge
+
+	// heartbeat state, touched only by the coordinator goroutine.
+	lastWall time.Time
+	lastSim  Time
+}
+
+// SetMetrics attaches a telemetry registry to the coordinator; call it
+// before Run. Workers begin timing their windows at the next start(), and
+// the coordinator publishes per-shard event counts, straggler skew,
+// deposit-lane depth, window/park counters and a run-progress heartbeat.
+// A nil registry leaves the coordinator untouched.
+func (sh *Shards) SetMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	m := &shardsMetrics{
+		windows: reg.Counter("enviromic_sim_windows_total",
+			"Lookahead windows executed by the shard coordinator."),
+		barriers: reg.Counter("enviromic_sim_barriers_total",
+			"Window barriers (deposit merge plus hooks) run."),
+		globalParks: reg.Counter("enviromic_sim_global_parks_total",
+			"Exclusive global-lane steps, every shard parked."),
+		globalEvents: reg.Counter("enviromic_sim_global_events_total",
+			"Events executed on the exclusive global lane."),
+		deposits: reg.Counter("enviromic_sim_deposits_merged_total",
+			"Cross-shard deposits merged into destination heaps at barriers."),
+		laneDepth: reg.Histogram("enviromic_sim_deposit_lane_depth",
+			"Cross-shard deposits merged per non-empty barrier.",
+			telemetry.ExpBuckets(1, 2, 12)),
+		barrierWait: reg.Histogram("enviromic_sim_barrier_wait_seconds",
+			"Straggler skew per window: slowest minus fastest shard wall time.",
+			telemetry.ExpBuckets(1e-6, 4, 10)),
+		simTime: reg.Gauge("enviromic_sim_time_seconds",
+			"Simulated time reached by the run."),
+		progress: reg.Gauge("enviromic_sim_progress",
+			"Simulated seconds advanced per wall-clock second, sampled at barriers."),
+	}
+	m.shardEvents = make([]*telemetry.Counter, len(sh.shards))
+	for i := range sh.shards {
+		m.shardEvents[i] = reg.Counter("enviromic_sim_shard_events_total",
+			"Events executed per shard.", telemetry.L("shard", strconv.Itoa(i)))
+	}
+	sh.metrics = m
+}
+
+// heartbeat refreshes the run-progress gauges at most every 250ms of wall
+// time: simulated time reached, and simulated seconds advanced per wall
+// second since the previous beat.
+func (m *shardsMetrics) heartbeat(now Time) {
+	wall := time.Now()
+	if m.lastWall.IsZero() {
+		m.lastWall, m.lastSim = wall, now
+		m.simTime.Set(now.Seconds())
+		return
+	}
+	dt := wall.Sub(m.lastWall)
+	if dt < 250*time.Millisecond {
+		return
+	}
+	m.simTime.Set(now.Seconds())
+	m.progress.Set(now.Sub(m.lastSim).Seconds() / dt.Seconds())
+	m.lastWall, m.lastSim = wall, now
 }
 
 // deposit is a cross-shard event awaiting injection into its destination
@@ -62,7 +148,14 @@ type deposit struct {
 
 type shardWorker struct {
 	req  chan windowReq
-	done chan uint64
+	done chan windowResult
+}
+
+// windowResult reports one shard's window: events executed and, when the
+// coordinator has metrics attached, wall nanoseconds spent.
+type windowResult struct {
+	n  uint64
+	ns int64
 }
 
 type windowReq struct {
@@ -141,6 +234,7 @@ func (sh *Shards) Deposit(src, dst int, at, sentAt Time, sender int, txSeq uint6
 // seq numbers handed out by the destination scheduler — is identical for
 // every shard count.
 func (sh *Shards) merge() {
+	var merged int64
 	for dst := range sh.shards {
 		buf := sh.mergeBuf[:0]
 		for src := range sh.lanes {
@@ -158,6 +252,7 @@ func (sh *Shards) merge() {
 		if len(buf) == 0 {
 			continue
 		}
+		merged += int64(len(buf))
 		sort.Slice(buf, func(i, j int) bool {
 			a, b := &buf[i], &buf[j]
 			if a.at != b.at {
@@ -179,6 +274,10 @@ func (sh *Shards) merge() {
 		}
 		sh.mergeBuf = buf[:0]
 	}
+	if m := sh.metrics; m != nil && merged > 0 {
+		m.deposits.Add(merged)
+		m.laneDepth.Observe(float64(merged))
+	}
 }
 
 // barrier runs the merge and all registered hooks.
@@ -186,6 +285,10 @@ func (sh *Shards) barrier() {
 	sh.merge()
 	for _, h := range sh.hooks {
 		h()
+	}
+	if m := sh.metrics; m != nil {
+		m.barriers.Inc()
+		m.heartbeat(sh.global.Now())
 	}
 }
 
@@ -211,13 +314,20 @@ func (sh *Shards) start() {
 		return
 	}
 	sh.workers = make([]shardWorker, len(sh.shards))
+	timed := sh.metrics != nil
 	for i := range sh.shards {
-		w := shardWorker{req: make(chan windowReq), done: make(chan uint64)}
+		w := shardWorker{req: make(chan windowReq), done: make(chan windowResult)}
 		sh.workers[i] = w
 		s := sh.shards[i]
 		go func() {
 			for r := range w.req {
-				w.done <- s.runBounded(r.end, r.tieSched, r.clock)
+				if timed {
+					start := time.Now()
+					n := s.runBounded(r.end, r.tieSched, r.clock)
+					w.done <- windowResult{n: n, ns: time.Since(start).Nanoseconds()}
+					continue
+				}
+				w.done <- windowResult{n: s.runBounded(r.end, r.tieSched, r.clock)}
 			}
 		}()
 	}
@@ -241,15 +351,34 @@ func (sh *Shards) stopWorkers() {
 // edge that lets the coordinator (and the next window's owners) observe
 // everything a shard wrote. With one shard the window runs inline.
 func (sh *Shards) runShards(r windowReq) uint64 {
+	m := sh.metrics
 	if len(sh.shards) == 1 {
-		return sh.shards[0].runBounded(r.end, r.tieSched, r.clock)
+		n := sh.shards[0].runBounded(r.end, r.tieSched, r.clock)
+		if m != nil {
+			m.shardEvents[0].Add(int64(n))
+		}
+		return n
 	}
 	for _, w := range sh.workers {
 		w.req <- r
 	}
 	var n uint64
-	for _, w := range sh.workers {
-		n += <-w.done
+	var minNS, maxNS int64 = math.MaxInt64, 0
+	for i, w := range sh.workers {
+		res := <-w.done
+		n += res.n
+		if m != nil {
+			m.shardEvents[i].Add(int64(res.n))
+			if res.ns < minNS {
+				minNS = res.ns
+			}
+			if res.ns > maxNS {
+				maxNS = res.ns
+			}
+		}
+	}
+	if m != nil && maxNS > minNS {
+		m.barrierWait.Observe(float64(maxNS-minNS) / 1e9)
 	}
 	return n
 }
@@ -280,7 +409,12 @@ func (sh *Shards) Run(until Time) uint64 {
 			// resumes.
 			n += sh.runShards(windowReq{end: w, tieSched: gSched, clock: w})
 			sh.barrier()
-			n += sh.global.runBounded(w, gSched+1, w)
+			g := sh.global.runBounded(w, gSched+1, w)
+			n += g
+			if m := sh.metrics; m != nil {
+				m.globalParks.Inc()
+				m.globalEvents.Add(int64(g))
+			}
 			continue
 		}
 		wend := w.Add(sh.look)
@@ -297,6 +431,9 @@ func (sh *Shards) Run(until Time) uint64 {
 		}
 		n += sh.runShards(windowReq{end: wend, tieSched: 0, clock: clock})
 		sh.global.advanceTo(clock)
+		if m := sh.metrics; m != nil {
+			m.windows.Inc()
+		}
 	}
 	// Park every clock at until (covers the no-events-at-all case).
 	for _, s := range sh.shards {

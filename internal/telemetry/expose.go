@@ -1,0 +1,326 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, each with
+// one HELP/TYPE header, series in registration order. Safe to call
+// concurrently with metric updates — counters and histogram buckets are
+// read atomically, so a scrape mid-update sees a slightly torn but
+// monotonic view, which is the normal Prometheus contract.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		// Copy the entry slice so rendering (which calls user GaugeFuncs)
+		// runs outside the registry lock: a GaugeFunc that registers a
+		// metric must not deadlock.
+		f := r.families[name]
+		cp := &family{name: f.name, help: f.help, typ: f.typ,
+			entries: append([]entry(nil), f.entries...)}
+		fams = append(fams, cp)
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, e := range f.entries {
+			e.m.write(&b, renderSeries(e.name, e.labels))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Handler serves the registry as text/plain for a Prometheus scraper.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// renderSeries renders `name` or `name{k="v",...}`.
+func renderSeries(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(escapeLabel(l.Value)))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	// strconv.Quote handles \ and "; strip raw newlines the format forbids.
+	return strings.ReplaceAll(s, "\n", " ")
+}
+
+// writeFloat appends a float in exposition form: integers render without
+// a decimal point, everything else via the shortest round-trip form.
+func writeFloat(b *strings.Builder, v float64) {
+	b.WriteString(formatFloat(v))
+}
+
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Sample is one parsed exposition line — the client-side half used by
+// the load harness to cross-check server-side histograms and by the
+// format tests to round-trip what WritePrometheus emits.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns one label's value ("" when absent).
+func (s Sample) Label(key string) string { return s.Labels[key] }
+
+// ParseText parses Prometheus text exposition lines (comments skipped)
+// into samples. It rejects lines that do not scan, which is what the
+// smoke script and the load harness rely on to call an exposition valid.
+func ParseText(r io.Reader) ([]Sample, error) {
+	var out []Sample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: line %d: %w", lineNo, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseLine(line string) (Sample, error) {
+	s := Sample{}
+	rest := line
+	// Metric name: up to '{' or whitespace.
+	end := strings.IndexAny(rest, "{ \t")
+	if end <= 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = rest[:end]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("bad metric name %q", s.Name)
+	}
+	rest = rest[end:]
+	if rest[0] == '{' {
+		close := labelBlockEnd(rest)
+		if close < 0 {
+			return s, fmt.Errorf("unterminated labels in %q", line)
+		}
+		labels, err := parseLabels(rest[1:close])
+		if err != nil {
+			return s, fmt.Errorf("%w in %q", err, line)
+		}
+		s.Labels = labels
+		rest = rest[close+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	// A timestamp may follow the value; we only emit value-only lines but
+	// accept a trailing timestamp for generality.
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("malformed value in %q", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q", fields[0])
+	}
+	s.Value = v
+	return s, nil
+}
+
+// labelBlockEnd returns the index of the '}' closing the label block that
+// opens at rest[0], skipping any '}' inside a quoted label value (route
+// patterns like endpoint="/files/{id}" carry literal braces). -1 if the
+// block never closes.
+func labelBlockEnd(rest string) int {
+	inQuote := false
+	for i := 1; i < len(rest); i++ {
+		c := rest[i]
+		if inQuote {
+			if c == '\\' {
+				i++
+				continue
+			}
+			if c == '"' {
+				inQuote = false
+			}
+			continue
+		}
+		switch c {
+		case '"':
+			inQuote = true
+		case '}':
+			return i
+		}
+	}
+	return -1
+}
+
+func parseLabels(inner string) (map[string]string, error) {
+	labels := make(map[string]string)
+	for len(inner) > 0 {
+		eq := strings.IndexByte(inner, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("malformed label pair")
+		}
+		key := strings.TrimSpace(inner[:eq])
+		rest := inner[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return nil, fmt.Errorf("unquoted label value")
+		}
+		// Walk the quoted value respecting escapes.
+		i := 1
+		for i < len(rest) {
+			if rest[i] == '\\' {
+				i += 2
+				continue
+			}
+			if rest[i] == '"' {
+				break
+			}
+			i++
+		}
+		if i >= len(rest) {
+			return nil, fmt.Errorf("unterminated label value")
+		}
+		val, err := strconv.Unquote(rest[:i+1])
+		if err != nil {
+			return nil, fmt.Errorf("bad label value %s", rest[:i+1])
+		}
+		labels[key] = val
+		inner = strings.TrimPrefix(strings.TrimSpace(rest[i+1:]), ",")
+		inner = strings.TrimSpace(inner)
+	}
+	return labels, nil
+}
+
+func validMetricName(s string) bool {
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// HistogramQuantile estimates quantile q (in [0,1]) from parsed _bucket
+// samples of one histogram family — cumulative counts keyed by the "le"
+// label, in any order. It returns the upper bound of the bucket holding
+// the quantile (linearly interpolated inside the bucket, the same
+// estimate Prometheus's histogram_quantile gives), and false when the
+// histogram is empty. Samples from several series (different endpoints)
+// may be mixed; their buckets are merged, so the answer is the quantile
+// of the union.
+func HistogramQuantile(q float64, buckets []Sample) (float64, bool) {
+	merged := make(map[float64]float64)
+	for _, s := range buckets {
+		le := s.Label("le")
+		if le == "" {
+			continue
+		}
+		var bound float64
+		if le == "+Inf" {
+			bound = math.Inf(1)
+		} else {
+			v, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				continue
+			}
+			bound = v
+		}
+		merged[bound] += s.Value
+	}
+	if len(merged) == 0 {
+		return 0, false
+	}
+	bounds := make([]float64, 0, len(merged))
+	for b := range merged {
+		bounds = append(bounds, b)
+	}
+	sort.Float64s(bounds)
+	total := merged[bounds[len(bounds)-1]]
+	if total == 0 {
+		return 0, false
+	}
+	rank := q * total
+	var prevBound, prevCum float64
+	for i, b := range bounds {
+		cum := merged[b]
+		if cum >= rank {
+			if i == len(bounds)-1 {
+				// The quantile lives in the +Inf bucket: the best bound we
+				// have is the last finite one.
+				if len(bounds) >= 2 {
+					return bounds[len(bounds)-2], true
+				}
+				return 0, true
+			}
+			if cum == prevCum {
+				return b, true
+			}
+			if i == 0 {
+				prevBound = 0
+			}
+			return prevBound + (b-prevBound)*(rank-prevCum)/(cum-prevCum), true
+		}
+		prevBound, prevCum = b, cum
+	}
+	return bounds[len(bounds)-1], true
+}

@@ -1,0 +1,163 @@
+package telemetry
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Middleware wraps an HTTP handler with per-endpoint metrics:
+//
+//	enviromic_http_request_seconds{endpoint}        latency histogram
+//	enviromic_http_requests_total{endpoint,code}    status-code counters
+//	enviromic_http_response_bytes_total{endpoint}   body bytes written
+//	enviromic_http_in_flight                        gauge
+//
+// endpointOf maps a request to its route pattern ("/files/{id}/wav", not
+// the concrete path) so series stay low-cardinality; nil uses the raw
+// URL path. With a nil registry the handler is returned unwrapped —
+// telemetry off costs nothing per request.
+func Middleware(reg *Registry, endpointOf func(*http.Request) string, next http.Handler) http.Handler {
+	if reg == nil {
+		return next
+	}
+	if endpointOf == nil {
+		endpointOf = func(r *http.Request) string { return r.URL.Path }
+	}
+	mw := &httpMetrics{
+		reg:       reg,
+		inFlight:  reg.Gauge("enviromic_http_in_flight", "HTTP requests currently being served."),
+		endpoints: make(map[string]*endpointMetrics),
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ep := mw.endpoint(endpointOf(r))
+		mw.inFlight.Add(1)
+		rec := statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(&rec, r)
+		elapsed := time.Since(start)
+		mw.inFlight.Add(-1)
+		ep.latency.ObserveDuration(elapsed)
+		ep.bytes.Add(rec.bytes)
+		ep.code(mw.reg, rec.status).Inc()
+	})
+}
+
+type httpMetrics struct {
+	reg      *Registry
+	inFlight *Gauge
+
+	mu        sync.RWMutex
+	endpoints map[string]*endpointMetrics
+}
+
+type endpointMetrics struct {
+	name    string
+	latency *Histogram
+	bytes   *Counter
+
+	mu    sync.RWMutex
+	codes map[int]*Counter
+}
+
+// endpoint interns the per-endpoint series, so the per-request cost
+// after the first hit is one read-locked map lookup.
+func (m *httpMetrics) endpoint(name string) *endpointMetrics {
+	m.mu.RLock()
+	ep := m.endpoints[name]
+	m.mu.RUnlock()
+	if ep != nil {
+		return ep
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ep = m.endpoints[name]; ep != nil {
+		return ep
+	}
+	ep = &endpointMetrics{
+		name: name,
+		latency: m.reg.Histogram("enviromic_http_request_seconds",
+			"HTTP request handling latency by endpoint.", DurationBuckets(), L("endpoint", name)),
+		bytes: m.reg.Counter("enviromic_http_response_bytes_total",
+			"HTTP response body bytes by endpoint.", L("endpoint", name)),
+		codes: make(map[int]*Counter),
+	}
+	m.endpoints[name] = ep
+	return ep
+}
+
+// code interns the per-status counter for this endpoint.
+func (ep *endpointMetrics) code(reg *Registry, status int) *Counter {
+	ep.mu.RLock()
+	c := ep.codes[status]
+	ep.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if c = ep.codes[status]; c != nil {
+		return c
+	}
+	c = reg.Counter("enviromic_http_requests_total", "HTTP requests by endpoint and status code.",
+		L("endpoint", ep.name), L("code", strconv.Itoa(status)))
+	ep.codes[status] = c
+	return c
+}
+
+// statusRecorder captures the status code and body bytes of a response.
+// It deliberately implements only http.ResponseWriter plus Flush: the
+// archive's endpoints stream JSON and WAV bodies, neither of which needs
+// hijacking or server push.
+type statusRecorder struct {
+	http.ResponseWriter
+	status      int
+	bytes       int64
+	wroteHeader bool
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if !r.wroteHeader {
+		r.status = code
+		r.wroteHeader = true
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	r.wroteHeader = true
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// AccessLog wraps a handler with one structured log line per request —
+// method, path, status, response bytes, latency — via log/slog. Used by
+// enviromic-archive's -access-log flag; a nil logger returns the handler
+// unwrapped.
+func AccessLog(logger *slog.Logger, next http.Handler) http.Handler {
+	if logger == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(&rec, r)
+		logger.Info("request",
+			"method", r.Method,
+			"path", r.URL.RequestURI(),
+			"status", rec.status,
+			"bytes", rec.bytes,
+			"duration_ms", float64(time.Since(start).Microseconds())/1000.0,
+			"remote", r.RemoteAddr,
+		)
+	})
+}

@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMiddlewareMetrics(t *testing.T) {
+	reg := NewRegistry()
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/missing" {
+			http.Error(w, "no", http.StatusNotFound)
+			return
+		}
+		w.Write([]byte("hello"))
+	})
+	endpointOf := func(r *http.Request) string {
+		if strings.HasPrefix(r.URL.Path, "/missing") {
+			return "/missing"
+		}
+		return "/hello"
+	}
+	h := Middleware(reg, endpointOf, inner)
+
+	for i := 0; i < 3; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/hello", nil))
+		if rec.Code != 200 || rec.Body.String() != "hello" {
+			t.Fatalf("unexpected response %d %q", rec.Code, rec.Body.String())
+		}
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/missing", nil))
+	if rec.Code != 404 {
+		t.Fatalf("status = %d, want 404", rec.Code)
+	}
+
+	if got := reg.Counter("enviromic_http_requests_total", "", L("endpoint", "/hello"), L("code", "200")).Value(); got != 3 {
+		t.Fatalf("requests{/hello,200} = %d, want 3", got)
+	}
+	if got := reg.Counter("enviromic_http_requests_total", "", L("endpoint", "/missing"), L("code", "404")).Value(); got != 1 {
+		t.Fatalf("requests{/missing,404} = %d, want 1", got)
+	}
+	if got := reg.Counter("enviromic_http_response_bytes_total", "", L("endpoint", "/hello")).Value(); got != 15 {
+		t.Fatalf("bytes{/hello} = %d, want 15", got)
+	}
+	hist := reg.Histogram("enviromic_http_request_seconds", "", DurationBuckets(), L("endpoint", "/hello"))
+	if hist.Count() != 3 {
+		t.Fatalf("latency count = %d, want 3", hist.Count())
+	}
+	if got := reg.Gauge("enviromic_http_in_flight", "").Value(); got != 0 {
+		t.Fatalf("in-flight after quiesce = %v, want 0", got)
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`enviromic_http_requests_total{code="200",endpoint="/hello"} 3`,
+		`enviromic_http_request_seconds_count{endpoint="/hello"} 3`,
+		"enviromic_http_in_flight 0",
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("exposition missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestMiddlewareNilRegistryPassesThrough(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { w.Write([]byte("ok")) })
+	h := Middleware(nil, nil, inner)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+	if rec.Body.String() != "ok" {
+		t.Fatalf("pass-through broke the handler")
+	}
+}
+
+func TestAccessLog(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusCreated)
+	})
+	h := AccessLog(logger, inner)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/ingest?x=1", nil))
+
+	var line map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("access log is not one JSON line: %v (%q)", err, buf.String())
+	}
+	if line["method"] != "POST" || line["path"] != "/ingest?x=1" || line["status"] != float64(201) {
+		t.Fatalf("access log fields wrong: %v", line)
+	}
+	if _, ok := line["duration_ms"]; !ok {
+		t.Fatalf("access log missing duration_ms: %v", line)
+	}
+}

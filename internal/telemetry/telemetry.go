@@ -1,0 +1,428 @@
+// Package telemetry is the runtime metrics layer: a registry of named
+// counters, gauges, and fixed-boundary histograms exposed in the
+// Prometheus text format (expose.go) and fed by the PDES core, the
+// radio, the archive pipeline, and the HTTP middleware (http.go).
+//
+// Two disciplines govern the design, both inherited from the tracer in
+// internal/obs:
+//
+//   - Zero cost when disabled. Every metric method is defined on a
+//     possibly-nil receiver and returns immediately when the receiver is
+//     nil — a single branch, zero allocations (guarded by
+//     BenchmarkTelemetryDisabled at the repo root). A nil *Registry
+//     hands out nil metrics, so "telemetry off" is just "never build a
+//     registry": instrumented modules hold nil pointers and pay one
+//     predictable branch per site.
+//
+//   - Pure observation. Metrics draw no randomness, schedule no
+//     simulation events, and are only ever written from goroutines that
+//     already exist — so a run with telemetry enabled is byte-identical
+//     to one without (regression-tested in internal/core).
+//
+// Counters are sharded: a counter created with lanes > 1 keeps one
+// cache-line-padded atomic per lane so writers that already own a shard
+// identity (radio endpoints, PDES shard workers) never contend; lanes
+// are summed only at scrape time. Histograms have fixed boundaries set
+// at registration (ExpBuckets builds log-scale ladders), so Observe is
+// a linear scan over a handful of floats plus one atomic add.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one name=value pair attached to a metric series. Series with
+// the same name and different labels belong to one family and share a
+// single HELP/TYPE header in the exposition.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// metric is what every concrete type provides to the exposition writer.
+type metric interface {
+	// write appends the series' exposition lines for the given
+	// name+label prefix.
+	write(b *strings.Builder, series string)
+}
+
+// entry is one registered series.
+type entry struct {
+	name   string
+	labels []Label
+	m      metric
+}
+
+// family groups every series sharing a metric name.
+type family struct {
+	name, help, typ string
+	entries         []entry
+}
+
+// Registry holds named metrics and renders them as Prometheus text. A
+// nil *Registry is valid and means "telemetry disabled": every
+// constructor returns nil and every metric method on nil is a no-op.
+// Registration is idempotent — asking for an existing (name, labels)
+// series returns the same metric, which is what lets the HTTP middleware
+// intern per-endpoint series lazily — and panics if the same series is
+// re-registered as a different type or a histogram with different
+// boundaries.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	byKey    map[string]entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		families: make(map[string]*family),
+		byKey:    make(map[string]entry),
+	}
+}
+
+// seriesKey renders the identity of one series: name plus sorted labels.
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte(0)
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// register interns one series, creating it with mk on first sight.
+func (r *Registry) register(name, help, typ string, labels []Label, mk func() metric) metric {
+	if len(labels) > 1 {
+		labels = append([]Label(nil), labels...)
+		sort.Slice(labels, func(i, j int) bool { return labels[i].Key < labels[j].Key })
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.byKey[key]; ok {
+		fam := r.families[name]
+		if fam.typ != typ {
+			panic(fmt.Sprintf("telemetry: %s re-registered as %s (was %s)", name, typ, fam.typ))
+		}
+		return e.m
+	}
+	fam := r.families[name]
+	if fam == nil {
+		fam = &family{name: name, help: help, typ: typ}
+		r.families[name] = fam
+	} else if fam.typ != typ {
+		panic(fmt.Sprintf("telemetry: %s re-registered as %s (was %s)", name, typ, fam.typ))
+	}
+	e := entry{name: name, labels: labels, m: mk()}
+	fam.entries = append(fam.entries, e)
+	r.byKey[key] = e
+	return e.m
+}
+
+// Counter returns the named single-lane counter, registering it on first
+// use. Returns nil on a nil registry.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.CounterN(name, help, 1, labels...)
+}
+
+// CounterN returns the named counter with `lanes` cache-line-padded
+// atomic lanes. Callers that own a stable shard identity should use
+// AddLane to write contention-free; Value sums the lanes. Returns nil on
+// a nil registry.
+func (r *Registry) CounterN(name, help string, lanes int, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	if lanes < 1 {
+		lanes = 1
+	}
+	m := r.register(name, help, "counter", labels, func() metric {
+		return &Counter{lanes: make([]lane, lanes)}
+	})
+	return m.(*Counter)
+}
+
+// Gauge returns the named gauge, registering it on first use. Returns
+// nil on a nil registry.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	m := r.register(name, help, "gauge", labels, func() metric { return &Gauge{} })
+	return m.(*Gauge)
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at scrape
+// time. fn must be safe to call from the scrape goroutine at any moment.
+// No-op on a nil registry. If the series already exists the existing
+// function is kept.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.register(name, help, "gauge", labels, func() metric { return gaugeFunc(fn) })
+}
+
+// Histogram returns the named histogram with the given ascending bucket
+// upper bounds (a final +Inf bucket is implicit), registering it on
+// first use. Returns nil on a nil registry.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: %s bucket bounds not ascending at %d", name, i))
+		}
+	}
+	m := r.register(name, help, "histogram", labels, func() metric {
+		return &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]atomic.Uint64, len(bounds)+1),
+		}
+	})
+	h := m.(*Histogram)
+	if len(h.bounds) != len(bounds) {
+		panic(fmt.Sprintf("telemetry: %s re-registered with different bucket count", name))
+	}
+	for i, b := range bounds {
+		if h.bounds[i] != b {
+			panic(fmt.Sprintf("telemetry: %s re-registered with different bucket bounds", name))
+		}
+	}
+	return h
+}
+
+// ExpBuckets builds n log-scale bucket upper bounds starting at start
+// and multiplying by factor: start, start*factor, ... — the fixed
+// boundary ladders used for latencies and batch sizes.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("telemetry: ExpBuckets wants start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// DurationBuckets is the standard latency ladder: 50µs to ~26s in
+// doublings — wide enough for fsyncs at the bottom and a saturated
+// 1000-client query storm at the top.
+func DurationBuckets() []float64 { return ExpBuckets(50e-6, 2, 20) }
+
+// lane is one cache-line-padded counter lane. The padding keeps lanes
+// written by different shard goroutines off shared cache lines, the same
+// idiom as radio.shardState and obs.shardBuf.
+type lane struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Counter is a monotonically increasing value, optionally striped across
+// lanes. All methods are safe on a nil receiver (no-ops).
+type Counter struct {
+	lanes []lane
+}
+
+// Inc adds 1 to lane 0.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.lanes[0].v.Add(1)
+}
+
+// Add adds n to lane 0.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.lanes[0].v.Add(n)
+}
+
+// AddLane adds n to the given lane (mod lane count) — contention-free
+// when each writer owns its lane.
+func (c *Counter) AddLane(laneIdx int, n int64) {
+	if c == nil {
+		return
+	}
+	c.lanes[laneIdx%len(c.lanes)].v.Add(n)
+}
+
+// Value sums all lanes.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	var t int64
+	for i := range c.lanes {
+		t += c.lanes[i].v.Load()
+	}
+	return t
+}
+
+func (c *Counter) write(b *strings.Builder, series string) {
+	b.WriteString(series)
+	b.WriteByte(' ')
+	writeFloat(b, float64(c.Value()))
+	b.WriteByte('\n')
+}
+
+// Gauge is a value that can go up and down, stored as float64 bits. All
+// methods are safe on a nil receiver (no-ops).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// SetInt stores an integer value.
+func (g *Gauge) SetInt(v int64) { g.Set(float64(v)) }
+
+// Add adds d (CAS loop; gauges are low-rate).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+func (g *Gauge) write(b *strings.Builder, series string) {
+	b.WriteString(series)
+	b.WriteByte(' ')
+	writeFloat(b, g.Value())
+	b.WriteByte('\n')
+}
+
+// gaugeFunc is a gauge computed at scrape time.
+type gaugeFunc func() float64
+
+func (f gaugeFunc) write(b *strings.Builder, series string) {
+	b.WriteString(series)
+	b.WriteByte(' ')
+	writeFloat(b, f())
+	b.WriteByte('\n')
+}
+
+// Histogram is a fixed-boundary histogram: per-bucket atomic counts plus
+// a float sum. Observe is lock-free. All methods are safe on a nil
+// receiver (no-ops).
+type Histogram struct {
+	bounds  []float64       // ascending upper bounds; +Inf implicit
+	counts  []atomic.Uint64 // len(bounds)+1
+	sumBits atomic.Uint64   // float64 bits, CAS-accumulated
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.Observe(d.Seconds())
+}
+
+// Count returns total observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var t uint64
+	for i := range h.counts {
+		t += h.counts[i].Load()
+	}
+	return t
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+func (h *Histogram) write(b *strings.Builder, series string) {
+	// series is `name{labels}` or bare `name`; bucket lines splice the
+	// cumulative le label into the label set, sum/count suffix the name.
+	name, inner, suffix := series, "", ""
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		name = series[:i]
+		inner = series[i+1 : len(series)-1]
+		suffix = "{" + inner + "}"
+		inner += ","
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatFloat(h.bounds[i])
+		}
+		fmt.Fprintf(b, "%s_bucket{%sle=%q} %d\n", name, inner, le, cum)
+	}
+	b.WriteString(name)
+	b.WriteString("_sum")
+	b.WriteString(suffix)
+	b.WriteByte(' ')
+	writeFloat(b, h.Sum())
+	b.WriteByte('\n')
+	fmt.Fprintf(b, "%s_count%s %d\n", name, suffix, cum)
+}

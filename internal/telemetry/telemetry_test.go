@@ -1,0 +1,324 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryAndMetricsAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", ExpBuckets(1, 2, 4))
+	r.GaugeFunc("f", "", func() float64 { return 1 })
+	if c != nil || g != nil || h != nil {
+		t.Fatalf("nil registry handed out non-nil metrics")
+	}
+	c.Inc()
+	c.Add(5)
+	c.AddLane(3, 7)
+	g.Set(1)
+	g.SetInt(2)
+	g.Add(3)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("nil metrics reported non-zero values")
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil registry wrote %q, err %v", sb.String(), err)
+	}
+}
+
+func TestRegistryInterning(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help", L("k", "v"))
+	b := r.Counter("x_total", "other help ignored", L("k", "v"))
+	if a != b {
+		t.Fatalf("same (name, labels) returned distinct counters")
+	}
+	c := r.Counter("x_total", "", L("k", "w"))
+	if c == a {
+		t.Fatalf("different label value returned the same counter")
+	}
+	// Label order must not matter.
+	g1 := r.Gauge("y", "", L("a", "1"), L("b", "2"))
+	g2 := r.Gauge("y", "", L("b", "2"), L("a", "1"))
+	if g1 != g2 {
+		t.Fatalf("label order changed series identity")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+func TestHistogramRejectsChangedBounds(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("h", "", []float64{1, 2, 4})
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("re-registering with different bounds did not panic")
+		}
+	}()
+	r.Histogram("h", "", []float64{1, 2, 8})
+}
+
+func TestCounterLanes(t *testing.T) {
+	r := NewRegistry()
+	c := r.CounterN("lanes_total", "", 4)
+	c.AddLane(0, 1)
+	c.AddLane(1, 10)
+	c.AddLane(3, 100)
+	c.AddLane(5, 1000) // wraps to lane 1
+	c.Inc()            // lane 0
+	if got := c.Value(); got != 1112 {
+		t.Fatalf("Value = %d, want 1112", got)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1, 2, 4})
+	// A value equal to an upper bound belongs to that bucket (le is
+	// inclusive); the first strictly greater bound otherwise.
+	for _, v := range []float64{0.5, 1.0} {
+		h.Observe(v) // bucket le=1
+	}
+	h.Observe(1.5) // le=2
+	h.Observe(2.0) // le=2
+	h.Observe(4.0) // le=4
+	h.Observe(4.1) // +Inf
+	h.Observe(99)  // +Inf
+	want := []uint64{2, 2, 1, 2}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 7 {
+		t.Fatalf("Count = %d, want 7", h.Count())
+	}
+	if math.Abs(h.Sum()-112.1) > 1e-9 {
+		t.Fatalf("Sum = %v, want 112.1", h.Sum())
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 5)
+	want := []float64{1, 2, 4, 8, 16}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+	db := DurationBuckets()
+	if db[0] != 50e-6 || len(db) != 20 {
+		t.Fatalf("DurationBuckets = %v", db)
+	}
+}
+
+// TestConcurrentUpdates exercises every metric type from many goroutines
+// at once; run under -race (make check does) it is the registry's
+// thread-safety proof.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Interning races: every worker asks for the same series.
+			c := r.CounterN("conc_total", "", 4)
+			g := r.Gauge("conc_gauge", "")
+			h := r.Histogram("conc_seconds", "", ExpBuckets(0.001, 4, 6))
+			lbl := r.Counter("conc_labeled_total", "", L("w", "shared"))
+			for i := 0; i < perWorker; i++ {
+				c.AddLane(w, 1)
+				g.Add(1)
+				h.Observe(float64(i%7) * 0.01)
+				lbl.Inc()
+				if i%500 == 0 {
+					var sb strings.Builder
+					r.WritePrometheus(&sb) // scrape concurrently with writes
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("conc_total", "").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Counter("conc_labeled_total", "", L("w", "shared")).Value(); got != workers*perWorker {
+		t.Fatalf("labeled counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("conc_gauge", "").Value(); got != workers*perWorker {
+		t.Fatalf("gauge = %v, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("conc_seconds", "", ExpBuckets(0.001, 4, 6)).Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "bees").Add(3)
+	r.Counter("a_total", "ants", L("kind", "fire")).Add(2)
+	r.Counter("a_total", "ants", L("kind", "army")).Add(5)
+	r.Gauge("g_ratio", "a ratio").Set(0.25)
+	r.GaugeFunc("f_now", "computed", func() float64 { return 42 })
+	h := r.Histogram("h_seconds", "latency", []float64{0.1, 1}, L("endpoint", "/files"))
+	// Exact binary fractions, so the _sum line renders without float fuzz.
+	h.Observe(0.0625)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+
+	// Families are name-sorted, with one TYPE header each.
+	wantLines := []string{
+		"# HELP a_total ants",
+		"# TYPE a_total counter",
+		`a_total{kind="fire"} 2`,
+		`a_total{kind="army"} 5`,
+		"# TYPE b_total counter",
+		"b_total 3",
+		"# TYPE f_now gauge",
+		"f_now 42",
+		"# TYPE g_ratio gauge",
+		"g_ratio 0.25",
+		"# TYPE h_seconds histogram",
+		`h_seconds_bucket{endpoint="/files",le="0.1"} 1`,
+		`h_seconds_bucket{endpoint="/files",le="1"} 2`,
+		`h_seconds_bucket{endpoint="/files",le="+Inf"} 3`,
+		`h_seconds_sum{endpoint="/files"} 5.5625`,
+		`h_seconds_count{endpoint="/files"} 3`,
+	}
+	pos := 0
+	for _, want := range wantLines {
+		i := strings.Index(text[pos:], want+"\n")
+		if i < 0 {
+			t.Fatalf("exposition missing (or out of order) %q\nfull text:\n%s", want, text)
+		}
+		pos += i + len(want)
+	}
+	if strings.Count(text, "# TYPE a_total counter") != 1 {
+		t.Fatalf("family header emitted more than once:\n%s", text)
+	}
+
+	// Round-trip: the text we emit must parse as a valid exposition.
+	samples, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("our own exposition does not parse: %v", err)
+	}
+	byName := map[string]float64{}
+	for _, s := range samples {
+		if len(s.Labels) == 0 {
+			byName[s.Name] = s.Value
+		}
+	}
+	if byName["b_total"] != 3 || byName["g_ratio"] != 0.25 || byName["f_now"] != 42 {
+		t.Fatalf("round-trip lost values: %v", byName)
+	}
+	var inf float64
+	for _, s := range samples {
+		if s.Name == "h_seconds_bucket" && s.Label("le") == "+Inf" {
+			inf = s.Value
+		}
+	}
+	if inf != 3 {
+		t.Fatalf("+Inf bucket = %v, want 3", inf)
+	}
+}
+
+func TestParseTextRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"no_value_here",
+		"1leading_digit 3",
+		`unterminated{a="b 1`,
+		"name notanumber",
+	} {
+		if _, err := ParseText(strings.NewReader(bad)); err == nil {
+			t.Fatalf("ParseText accepted %q", bad)
+		}
+	}
+}
+
+// TestParseTextBracesInLabelValue pins that a '}' inside a quoted label
+// value (route patterns like /files/{id}) does not terminate the label
+// block early — the load harness scrapes exactly such series.
+func TestParseTextBracesInLabelValue(t *testing.T) {
+	line := `enviromic_http_request_seconds_bucket{endpoint="/files/{id}",le="5e-05"} 15`
+	samples, err := ParseText(strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 1 {
+		t.Fatalf("got %d samples, want 1", len(samples))
+	}
+	s := samples[0]
+	if s.Label("endpoint") != "/files/{id}" || s.Label("le") != "5e-05" || s.Value != 15 {
+		t.Fatalf("parsed %+v", s)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	// 100 observations: 50 in (0,1], 40 in (1,2], 10 in (2,+Inf).
+	buckets := []Sample{
+		{Name: "x_bucket", Labels: map[string]string{"le": "1"}, Value: 50},
+		{Name: "x_bucket", Labels: map[string]string{"le": "2"}, Value: 90},
+		{Name: "x_bucket", Labels: map[string]string{"le": "+Inf"}, Value: 100},
+	}
+	p50, ok := HistogramQuantile(0.5, buckets)
+	if !ok || p50 > 1.0001 {
+		t.Fatalf("p50 = %v ok=%v, want <= 1", p50, ok)
+	}
+	p95, ok := HistogramQuantile(0.95, buckets)
+	if !ok || p95 < 1 || p95 > 2 {
+		t.Fatalf("p95 = %v ok=%v, want in (1,2]", p95, ok)
+	}
+	p999, ok := HistogramQuantile(0.999, buckets)
+	if !ok || p999 != 2 {
+		t.Fatalf("p99.9 = %v ok=%v, want last finite bound 2", p999, ok)
+	}
+	if _, ok := HistogramQuantile(0.5, nil); ok {
+		t.Fatalf("empty buckets reported a quantile")
+	}
+	// Merging two endpoints' buckets gives the union's quantile.
+	both := append(append([]Sample{}, buckets...),
+		Sample{Labels: map[string]string{"le": "1"}, Value: 100},
+		Sample{Labels: map[string]string{"le": "2"}, Value: 100},
+		Sample{Labels: map[string]string{"le": "+Inf"}, Value: 100},
+	)
+	p50u, ok := HistogramQuantile(0.5, both)
+	if !ok || p50u > 1 {
+		t.Fatalf("union p50 = %v, want <= 1", p50u)
+	}
+}
+
+func TestDisabledPathAllocsFree(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	if avg := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(2)
+		c.AddLane(1, 3)
+		g.Set(1.5)
+		h.Observe(0.01)
+		h.ObserveDuration(time.Millisecond)
+	}); avg != 0 {
+		t.Fatalf("disabled metric ops allocate %v/op, want 0", avg)
+	}
+}

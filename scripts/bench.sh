@@ -1,32 +1,33 @@
 #!/bin/sh
 # Regenerates the benchmark baselines recorded with each PR that touches
 # a hot path:
-#   BENCH_trace.json — message-plane micro-benches, the radio hot path,
-#     the full-figure runs, and the nil-tracer guard, re-run with the
-#     observability layer in the tree (tracing disabled). The pre-trace
-#     numbers from BENCH_msgplane.json are embedded as "baseline" for
+#   BENCH_obs.json — message-plane micro-benches, the radio hot path,
+#     the full-figure runs, and the disabled-path guards for both
+#     observability layers (nil tracer, nil telemetry), re-run with the
+#     metrics registry in the tree (telemetry off). The pre-telemetry
+#     numbers from BENCH_trace.json are embedded as "baseline" for
 #     before/after deltas.
 # After writing the file, the script diffs BenchmarkIndoorFigureSerial
 # against the recorded baseline and FAILS if ns/op or allocs/op
-# regressed by more than 2% — the tracer's disabled path must stay free.
+# regressed by more than 2% — the telemetry-off path must stay free,
+# exactly as the tracer's disabled path had to before it.
 # Usage: scripts/bench.sh [output-file]
-# Supersedes the old scripts/bench_radio.sh.
 set -e
-out="${1:-BENCH_trace.json}"
+out="${1:-BENCH_obs.json}"
 cd "$(dirname "$0")/.."
 
-raw=$(go test -run '^$' -bench 'StackDispatch|ChunkSplit|RadioSend|IndoorFigure|Fig06Sweep|TracerDisabled' -benchmem -benchtime 0.5s . 2>&1)
+raw=$(go test -run '^$' -bench 'StackDispatch|ChunkSplit|RadioSend|IndoorFigure|Fig06Sweep|TracerDisabled|TelemetryDisabled' -benchmem -benchtime 0.5s . 2>&1)
 
-# The previous PR's BENCH_msgplane.json is the "before" reference;
-# inline its benchmark rows so one file carries the comparison.
+# The previous PR's BENCH_trace.json is the "before" reference; inline
+# its benchmark rows so one file carries the comparison.
 baseline="[]"
-if [ -f BENCH_msgplane.json ]; then
-    baseline=$(sed -n '/"benchmarks": \[/,/^  \]/p' BENCH_msgplane.json | sed '1s/.*/[/; $s/.*/]/')
+if [ -f BENCH_trace.json ]; then
+    baseline=$(sed -n '/"benchmarks": \[/,/^  \]/p' BENCH_trace.json | sed '1s/.*/[/; $s/.*/]/')
 fi
 
 {
     printf '{\n  "host": "%s",\n' "$(uname -sm)"
-    printf '  "baseline_source": "BENCH_msgplane.json (pre-trace)",\n'
+    printf '  "baseline_source": "BENCH_trace.json (pre-telemetry)",\n'
     printf '  "baseline": %s,\n' "$baseline"
     echo "$raw" | grep -E '^Benchmark' | awk '
 BEGIN { printf "  \"benchmarks\": [\n"; first=1 }
@@ -50,12 +51,12 @@ END { print "\n  ]\n}" }
 echo "wrote $out"
 
 # ---- benchmark-diff gate ---------------------------------------------
-# BenchmarkIndoorFigureSerial is the acceptance benchmark: with tracing
-# disabled it must stay within 2% of the pre-trace baseline in both
-# ns/op and allocs/op.
-if [ -f BENCH_msgplane.json ]; then
+# BenchmarkIndoorFigureSerial is the acceptance benchmark: with
+# telemetry disabled it must stay within 2% of the pre-telemetry
+# baseline in both ns/op and allocs/op.
+if [ -f BENCH_trace.json ]; then
     row() { sed -n '/"benchmarks": \[/,$p' "$1" | grep '"BenchmarkIndoorFigureSerial"' | head -1; }
-    base_row=$(row BENCH_msgplane.json)
+    base_row=$(row BENCH_trace.json)
     new_row=$(row "$out")
     base_ns=$(printf '%s' "$base_row" | sed 's/.*"ns_per_op": \([0-9]*\).*/\1/')
     base_allocs=$(printf '%s' "$base_row" | sed 's/.*"allocs_per_op": \([0-9]*\).*/\1/')

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-archive bench-city figures profile trace-smoke chaos-smoke archive-smoke shard-smoke metrics-smoke archive-load
+.PHONY: build test check bench bench-archive bench-city figures profile trace-smoke chaos-smoke archive-smoke shard-smoke metrics-smoke archive-load survivability
 
 build:
 	$(GO) build ./...
@@ -11,9 +11,12 @@ test:
 # check is the pre-merge tier: vet, gofmt, build, and the full test
 # suite under the race detector (exercises the parallel experiment
 # pool), including the kind-registry guard test at the repo root. The
-# extra -run Chaos pass repeats the fault-injection suites (crash soak,
-# determinism regressions) under the race detector by name, so a rename
-# that orphans them from the main run still fails loudly here.
+# extra -run Chaos / -run 'Erasure|Disperse' passes repeat the
+# fault-injection and dispersal suites (crash soak, disperse soak,
+# determinism regressions, RS property tests) under the race detector
+# by name, so a rename that orphans them from the main run still fails
+# loudly here. The survivability smoke gates the migration-vs-dispersal
+# matrix end to end through the figures binary.
 check:
 	$(GO) vet ./...
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
@@ -21,16 +24,24 @@ check:
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(GO) test -run Chaos -race ./...
+	$(GO) test -run 'Erasure|Disperse|Survivability' -race ./internal/erasure/ ./internal/storage/ ./internal/core/ ./internal/retrieval/ ./internal/experiments/
 	$(GO) test -run ArchiveSoak -race -count=1 ./internal/archive/
 	sh scripts/shard_smoke.sh
 	sh scripts/metrics_smoke.sh
+	sh scripts/survivability.sh
 
-# bench regenerates BENCH_trace.json (message-plane micro-benchmarks,
-# the full-figure runs, and the nil-tracer guard) and fails if the
-# serial indoor figure regressed >2% vs the BENCH_msgplane.json
-# baseline.
+# bench regenerates BENCH_erasure.json (erasure encode/decode benches,
+# message-plane micro-benchmarks, the full-figure runs, and the
+# disabled-path guards) and fails if the serial indoor figure regressed
+# >2% beyond machine drift vs the BENCH_obs.json baseline.
 bench:
 	sh scripts/bench.sh
+
+# survivability runs the migration-vs-dispersal head-to-head matrix
+# (also part of `check`): 3 chaos scenarios x 2 storage modes; dispersal
+# must keep strictly more data retrievable than migration under crashes.
+survivability:
+	sh scripts/survivability.sh
 
 # trace-smoke runs a short traced indoor scenario end to end: JSONL
 # schema validation, the enviromic-trace summary, and a Perfetto export.

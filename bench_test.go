@@ -16,6 +16,7 @@ import (
 
 	"enviromic/internal/acoustics"
 	"enviromic/internal/core"
+	"enviromic/internal/erasure"
 	"enviromic/internal/experiments"
 	"enviromic/internal/flash"
 	"enviromic/internal/geometry"
@@ -680,4 +681,87 @@ func BenchmarkAblationOverhearing(b *testing.B) {
 	}
 	b.ReportMetric(with, "redundancy-with-reject")
 	b.ReportMetric(without, "redundancy-ablated")
+}
+
+// ---------------------------------------------------------------------
+// Erasure-coding micro-benchmarks (BENCH_erasure.json): the dispersal
+// mode's encode hot path (one recorded group -> parity fragment blobs)
+// and the retrieval decode path (reconstructing erased data chunks from
+// surviving fragments).
+// ---------------------------------------------------------------------
+
+func benchErasureGroup(n, k, count int) (erasure.Group, []*flash.Chunk) {
+	g := erasure.Group{File: 3, Origin: 7, FirstSeq: 0, Count: uint32(count),
+		Start: sim.At(0), End: sim.At(time.Duration(count) * time.Second), N: n, K: k}
+	chunks := make([]*flash.Chunk, count)
+	for i := range chunks {
+		c := flash.NewChunk()
+		c.File, c.Origin = g.File, g.Origin
+		c.Seq = uint32(i)
+		c.Start = sim.At(time.Duration(i) * time.Second)
+		c.End = c.Start + sim.Time(time.Second)
+		c.Data = c.Data[:0]
+		for j := 0; j < flash.PayloadSize; j++ {
+			c.Data = append(c.Data, byte(i*31+j))
+		}
+		chunks[i] = c
+	}
+	return g, chunks
+}
+
+// BenchmarkErasureEncode64 erasure-codes a 64-chunk recording into the
+// default (6,4) geometry's parity blobs — the per-recording cost the
+// dispersal mode adds on the recorder.
+func BenchmarkErasureEncode64(b *testing.B) {
+	g, chunks := benchErasureGroup(6, 4, 64)
+	code, err := erasure.Cached(g.N, g.K)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := erasure.EncodeParity(code, g, chunks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkErasureReconstruct64 rebuilds the maximum tolerable erasure
+// (n-k data chunks missing) of a 64-chunk (6,4) group from its parity
+// fragments — the retrieval-side decode cost.
+func BenchmarkErasureReconstruct64(b *testing.B) {
+	g, chunks := benchErasureGroup(6, 4, 64)
+	code, err := erasure.Cached(g.N, g.K)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blobs, err := erasure.EncodeParity(code, g, chunks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var carriers []*flash.Chunk
+	for j, blob := range blobs {
+		carriers = append(carriers, erasure.Carriers(g, g.K+j, blob)...)
+	}
+	byGroup, stats := erasure.CollectFragments(carriers)
+	if stats.BadCarriers != 0 || stats.BadFragments != 0 || stats.Incomplete != 0 {
+		b.Fatalf("clean carriers produced stats %+v", stats)
+	}
+	frags := byGroup[g.Key()]
+	present := make(map[uint32]*flash.Chunk, len(chunks))
+	for _, c := range chunks {
+		if int(c.Seq)%g.K < g.K-(g.N-g.K) {
+			present[c.Seq] = c // drop n-k chunks per stripe
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, err := erasure.ReconstructGroup(g, present, frags)
+		if err != nil {
+			b.Fatal(err)
+		}
+		flash.FreeChunks(rec)
+	}
 }

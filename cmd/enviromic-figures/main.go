@@ -21,6 +21,7 @@ import (
 	"enviromic/internal/obs"
 	"enviromic/internal/render"
 	"enviromic/internal/sim"
+	"enviromic/internal/storage"
 )
 
 func main() {
@@ -28,6 +29,8 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced-scale run (minutes of virtual time instead of hours)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	ablations := flag.Bool("ablations", false, "run the design-choice ablations instead of figures")
+	surv := flag.Bool("survivability", false, "run the migration-vs-dispersal survivability matrix instead of figures (exit 1 if dispersal does not win)")
+	rs := flag.String("rs", "6,4", "Reed-Solomon n,k for the -survivability dispersal cells")
 	parallel := flag.Int("parallel", experiments.DefaultParallel(),
 		"worker goroutines for independent simulation runs (1 = serial; results are identical either way)")
 	shards := flag.Int("shards", 1, "execution shards per simulation for the indoor/forest runs (1 = serial; >= 2 sharded, bit-identical figures)")
@@ -60,6 +63,11 @@ func main() {
 				fmt.Fprintln(os.Stderr, "trace: only the indoor (10-14) and forest (16-18) figures emit events")
 			}
 		}()
+	}
+
+	if *surv {
+		survivability(*seed, *quick, *rs)
+		return
 	}
 
 	if *ablations {
@@ -104,6 +112,59 @@ func main() {
 
 func header(out *strings.Builder, title string) {
 	fmt.Fprintf(out, "\n======== %s ========\n", title)
+}
+
+// survivability runs the migration-vs-dispersal matrix and gates on it:
+// dispersal must keep strictly more data retrievable than migration in
+// every crash scenario, with zero protocol-invariant violations in
+// either mode. Exit 1 on any miss, so CI can call this directly.
+func survivability(seed int64, quick bool, rs string) {
+	dcfg, err := storage.ParseRS(rs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "survivability: %v\n", err)
+		os.Exit(2)
+	}
+	opts := experiments.DefaultIndoorOpts()
+	if quick {
+		opts = experiments.QuickIndoorOpts()
+	}
+	opts.Seed = seed
+	res, err := experiments.Survivability(opts, dcfg, experiments.SurvivabilityScenarios())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "survivability: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(experiments.FormatSurvivability(res))
+
+	wins, total, fail := 0, 0, false
+	byScenario := map[string]map[storage.Mode]experiments.SurvivabilityCell{}
+	for _, c := range res.Cells {
+		if c.OtherViolations != 0 {
+			fmt.Printf("survivability gate: %s/%s broke %d protocol invariant(s)\n",
+				c.Scenario, c.Mode, c.OtherViolations)
+			fail = true
+		}
+		if byScenario[c.Scenario] == nil {
+			byScenario[c.Scenario] = map[storage.Mode]experiments.SurvivabilityCell{}
+		}
+		byScenario[c.Scenario][c.Mode] = c
+	}
+	for name, cells := range byScenario {
+		total++
+		mig, disp := cells[storage.ModeMigrate], cells[storage.ModeDisperse]
+		if disp.Completeness > mig.Completeness {
+			wins++
+		} else {
+			fmt.Printf("survivability gate: %s: dispersal %.4f does not beat migration %.4f\n",
+				name, disp.Completeness, mig.Completeness)
+		}
+	}
+	if fail || wins != total {
+		fmt.Printf("survivability gate: FAIL (dispersal wins %d/%d crash scenarios)\n", wins, total)
+		os.Exit(1)
+	}
+	fmt.Printf("survivability gate: PASS (dispersal wins %d/%d crash scenarios, advantage %+.4f)\n",
+		wins, total, res.CrashAdvantage())
 }
 
 func fig3(out *strings.Builder, seed int64) {

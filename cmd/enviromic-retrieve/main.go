@@ -33,6 +33,7 @@ import (
 	"enviromic/internal/mote"
 	"enviromic/internal/retrieval"
 	"enviromic/internal/sim"
+	"enviromic/internal/storage"
 	"enviromic/internal/trace"
 	"enviromic/internal/wav"
 	"enviromic/internal/workload"
@@ -48,13 +49,33 @@ func main() {
 			"gap tolerance for the mule's follow-up gap re-query (MissingFiles)")
 		archiveDir = flag.String("archive", "",
 			"flush mule collections into this archive directory (creating it), one ingest per tour")
+		storMode = flag.String("storage-mode", "migrate",
+			"storage plane during the recording phase: migrate | disperse (erasure-coded fragment dispersal; grid only)")
+		rsGeom = flag.String("rs", "6,4", "erasure geometry \"n,k\" for -storage-mode disperse")
 	)
 	flag.Parse()
 
+	smode, err := storage.ParseMode(*storMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var dcfg storage.DisperseConfig
+	if smode == storage.ModeDisperse {
+		if dcfg, err = storage.ParseRS(*rsGeom); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
 	switch *scenario {
 	case "grid":
-		runGrid(*duration, *seed, *wavPath, *requeryTol, *archiveDir)
+		runGrid(*duration, *seed, *wavPath, *requeryTol, *archiveDir, smode, dcfg)
 	case "city":
+		if smode == storage.ModeDisperse {
+			fmt.Fprintln(os.Stderr, "enviromic-retrieve: -storage-mode disperse supports the grid scenario only")
+			os.Exit(2)
+		}
 		runCity(*duration, *seed, *requeryTol, *archiveDir)
 	default:
 		fmt.Fprintf(os.Stderr, "enviromic-retrieve: unknown -scenario %q (want grid or city)\n", *scenario)
@@ -62,7 +83,8 @@ func main() {
 	}
 }
 
-func runGrid(duration time.Duration, seed int64, wavPath string, requeryTol time.Duration, archiveDir string) {
+func runGrid(duration time.Duration, seed int64, wavPath string, requeryTol time.Duration, archiveDir string,
+	smode storage.Mode, dcfg storage.DisperseConfig) {
 	// A small grid with a couple of bird-song events, audio synthesis on
 	// so a WAV export is meaningful.
 	grid := geometry.Grid{Cols: 5, Rows: 4, Pitch: 2}
@@ -79,13 +101,26 @@ func runGrid(duration time.Duration, seed int64, wavPath string, requeryTol time
 		LossProb:        0.05,
 		FlashBlocks:     1024,
 		SynthesizeAudio: true,
+		StorageMode:     smode,
+		Disperse:        dcfg,
 	}, field, grid)
 	fmt.Printf("recording for %v over %d motes...\n", duration, len(net.Nodes))
 	net.Run(sim.At(duration))
 
-	// 1. Physical collection: read every mote's flash.
-	files := retrieval.Reassemble(net.Holdings(), retrieval.Query{All: true})
-	fmt.Printf("\n[1] physical collection : %v\n", retrieval.Summarize(files, 500*time.Millisecond))
+	// 1. Physical collection: read every mote's flash. Dispersal runs
+	// decode the parity carriers too, so the summary reflects what a
+	// k-of-n reassembly recovers rather than listing carrier files.
+	var files map[flash.FileID]*retrieval.File
+	if smode == storage.ModeDisperse {
+		var drep retrieval.DecodeReport
+		files, drep = retrieval.ReassembleErasure(net.Holdings(), retrieval.Query{All: true})
+		fmt.Printf("\n[1] physical collection : %v\n", retrieval.Summarize(files, 500*time.Millisecond))
+		fmt.Printf("    erasure decode      : rs=%d,%d groups=%d recovered=%d missing=%d\n",
+			dcfg.N, dcfg.K, drep.Groups, drep.RecoveredChunks, drep.MissingChunks)
+	} else {
+		files = retrieval.Reassemble(net.Holdings(), retrieval.Query{All: true})
+		fmt.Printf("\n[1] physical collection : %v\n", retrieval.Summarize(files, 500*time.Millisecond))
+	}
 	ids := make([]flash.FileID, 0, len(files))
 	for id := range files {
 		ids = append(ids, id)
@@ -112,6 +147,12 @@ func runGrid(duration time.Duration, seed int64, wavPath string, requeryTol time
 	fmt.Printf("[3] spanning-tree flood : %d chunks collected\n", len(mule2.Collected))
 
 	if gaps := mule2.MissingFiles(requeryTol); len(gaps.Files) > 0 {
+		if smode == storage.ModeDisperse {
+			// Fragment-aware re-query: also ask for each gapped file's
+			// parity siblings, so decoding can fill holes no surviving data
+			// copy covers.
+			gaps = retrieval.WithParity(gaps)
+		}
 		fmt.Printf("    follow-up query (tolerance %v): files=%v\n", requeryTol, keys(gaps.Files))
 		mule2.Flood(gaps, 2)
 		net.Sched.Run(net.Sched.Now().Add(time.Minute))

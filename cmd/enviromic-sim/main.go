@@ -40,6 +40,7 @@ import (
 	"enviromic/internal/obs"
 	"enviromic/internal/retrieval"
 	"enviromic/internal/sim"
+	"enviromic/internal/storage"
 	"enviromic/internal/telemetry"
 	"enviromic/internal/workload"
 )
@@ -69,8 +70,23 @@ func main() {
 		httpAddr   = flag.String("http", "", "serve debug HTTP (pprof, expvar counters, /trace/tail ring) on this address; pair with -realtime to watch a live run")
 		chaosFile  = flag.String("chaos", "", "inject faults from this scenario JSON file (schema: DESIGN.md §12); deterministic for a fixed seed")
 		invariants = flag.Bool("invariants", false, "check protocol invariants against the trace stream and exit 1 on violation (note: -trace-filter also filters what the checker sees)")
+		storMode   = flag.String("storage-mode", "migrate", "storage plane after recording (full mode): migrate | disperse (erasure-coded fragment dispersal, DESIGN.md §17)")
+		rsGeom     = flag.String("rs", "6,4", "erasure geometry \"n,k\" for -storage-mode disperse (any k of n fragments reconstruct)")
 	)
 	flag.Parse()
+
+	smode, err := storage.ParseMode(*storMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var dcfg storage.DisperseConfig
+	if smode == storage.ModeDisperse {
+		if dcfg, err = storage.ParseRS(*rsGeom); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 
 	var chaosScenario *chaos.Scenario
 	if *chaosFile != "" {
@@ -188,6 +204,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
 			os.Exit(2)
 		}
+		if checker != nil {
+			inj.SetInvariants(checker)
+		}
 		if *runs == 1 {
 			// Only the single-run path prints the fault log; sweep workers
 			// run concurrently and must not share the variable.
@@ -208,6 +227,8 @@ func main() {
 			DutyCycle:   *duty,
 			Tracer:      tracer,
 			Telemetry:   registry,
+			StorageMode: smode,
+			Disperse:    dcfg,
 		}
 		if *timesync {
 			cfg.MaxClockDriftPPM = 50
@@ -286,8 +307,17 @@ func main() {
 	fmt.Printf("migrations           : %d batches\n", len(net.Collector.Migrations))
 	fmt.Printf("frames by kind       : %v\n", st.TxByKind)
 
-	files := retrieval.Reassemble(net.Holdings(), retrieval.Query{All: true})
-	fmt.Printf("retrieval            : %v\n", retrieval.Summarize(files, 500*time.Millisecond))
+	if smode == storage.ModeDisperse {
+		// Parity carrier files would distort the plain summary; decode them
+		// instead, recovering whatever the surviving k-of-n sets restore.
+		files, drep := retrieval.ReassembleErasure(net.Holdings(), retrieval.Query{All: true})
+		fmt.Printf("retrieval            : %v\n", retrieval.Summarize(files, 500*time.Millisecond))
+		fmt.Printf("erasure decode       : rs=%d,%d groups=%d recovered=%d missing=%d\n",
+			dcfg.N, dcfg.K, drep.Groups, drep.RecoveredChunks, drep.MissingChunks)
+	} else {
+		files := retrieval.Reassemble(net.Holdings(), retrieval.Query{All: true})
+		fmt.Printf("retrieval            : %v\n", retrieval.Summarize(files, 500*time.Millisecond))
+	}
 
 	if len(net.Nodes) <= 64 {
 		fmt.Printf("\n-- per-node flash occupancy (bytes) --\n")
@@ -326,6 +356,10 @@ func main() {
 		// End-of-run completeness check: reassembled retrieval output must
 		// equal the union of surviving chunks (tolerance = one task period).
 		checker.CheckHoldings(net.Sched.Now(), net.Holdings(), time.Second)
+		// k-of-n fragment survivability (vacuous under migration).
+		checker.CheckSurvivability(net.Sched.Now(), func(id int) bool {
+			return net.Nodes[id].Mote.Endpoint.Alive()
+		})
 		fmt.Printf("\n%s", checker.Report())
 	}
 

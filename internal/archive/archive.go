@@ -34,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"enviromic/internal/erasure"
 	"enviromic/internal/flash"
 	"enviromic/internal/retrieval"
 	"enviromic/internal/sim"
@@ -164,16 +165,19 @@ type IngestReport struct {
 }
 
 // Requery returns the gap re-query a mule should flood on its next tour:
-// the IDs of every touched file that still has gaps. It mirrors
-// Mule.MissingFiles so the in-field and back-end gap paths agree.
+// the IDs of every touched file that still has gaps, widened to their
+// parity siblings (retrieval.WithParity) so a dispersal-mode network
+// also surrenders the fragments that can reconstruct the gap. It
+// mirrors Mule.MissingFiles so the in-field and back-end gap paths
+// agree.
 func (r IngestReport) Requery() retrieval.Query {
 	ids := make(map[flash.FileID]bool)
 	for _, d := range r.Files {
-		if d.GapsAfter > 0 {
+		if d.GapsAfter > 0 && d.File&erasure.ParityFileBit == 0 {
 			ids[d.File] = true
 		}
 	}
-	return retrieval.Query{Files: ids}
+	return retrieval.WithParity(retrieval.Query{Files: ids})
 }
 
 // CacheStats snapshots the reassembly cache.
@@ -638,6 +642,32 @@ func (s *Store) File(id flash.FileID) (*retrieval.File, error) {
 		}
 		return f, err
 	}
+}
+
+// FileErasure is File plus erasure decoding: when the archive also
+// holds parity fragments of the file's dispersal groups (the sibling
+// file id|erasure.ParityFileBit, collected by fragment-aware
+// re-queries), any data chunk that fewer than n−k fragment losses took
+// out is reconstructed and merged in. Without archived parity it
+// degrades to exactly File.
+func (s *Store) FileErasure(id flash.FileID) (*retrieval.File, retrieval.DecodeReport, error) {
+	f, err := s.File(id)
+	if err != nil {
+		return nil, retrieval.DecodeReport{}, err
+	}
+	if id&erasure.ParityFileBit != 0 {
+		return f, retrieval.DecodeReport{}, nil
+	}
+	pf, perr := s.File(id | erasure.ParityFileBit)
+	if perr != nil {
+		return f, retrieval.DecodeReport{}, nil // no parity archived
+	}
+	holdings := map[int][]*flash.Chunk{0: f.Chunks, 1: pf.Chunks}
+	files, rep := retrieval.ReassembleErasure(holdings, retrieval.Query{Files: map[flash.FileID]bool{id: true}})
+	if df := files[id]; df != nil {
+		return df, rep, nil
+	}
+	return f, rep, nil
 }
 
 // reassemble reads the file's chunks and rebuilds it, caching the result.

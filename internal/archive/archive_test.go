@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"enviromic/internal/erasure"
 	"enviromic/internal/flash"
 	"enviromic/internal/sim"
 )
@@ -157,8 +158,8 @@ func TestIngestGapDeltasAndRequery(t *testing.T) {
 		t.Fatalf("gap span = %v, want 1s", d.GapSpanAfter)
 	}
 	rq := rep.Requery()
-	if !rq.Files[1] || len(rq.Files) != 1 {
-		t.Fatalf("requery = %v, want file 1", rq.Files)
+	if !rq.Files[1] || !rq.Files[1|erasure.ParityFileBit] || len(rq.Files) != 2 {
+		t.Fatalf("requery = %v, want file 1 plus its parity sibling", rq.Files)
 	}
 
 	gaps, err := s.Gaps(1, 0)
@@ -471,5 +472,65 @@ func TestSyncWritesCommittedSizes(t *testing.T) {
 	}
 	if len(m.Committed) != 2 || m.Committed[0]+m.Committed[1] == 0 {
 		t.Fatalf("committed = %v", m.Committed)
+	}
+}
+
+// TestFileErasureDecodesGaps archives a dispersal group minus one data
+// chunk, plus the group's parity carriers, and verifies FileErasure
+// reconstructs the hole while plain File still shows it.
+func TestFileErasureDecodesGaps(t *testing.T) {
+	s := openTest(t, t.TempDir(), Options{Shards: 2})
+	defer s.Close()
+
+	g := erasure.Group{File: 5, Origin: 9, FirstSeq: 0, Count: 4,
+		Start: sim.At(0), End: sim.At(4 * time.Second), N: 4, K: 2}
+	var group []*flash.Chunk
+	for i := 0; i < 4; i++ {
+		group = append(group, mkChunk(5, 9, uint32(i), float64(i), float64(i+1)))
+	}
+	code, err := erasure.Cached(g.N, g.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blobs, err := erasure.EncodeParity(code, g, group)
+	if err != nil {
+		t.Fatalf("EncodeParity: %v", err)
+	}
+	var carriers []*flash.Chunk
+	for j, blob := range blobs {
+		carriers = append(carriers, erasure.Carriers(g, g.K+j, blob)...)
+	}
+
+	// Tour 1: data minus seq 1 (a crashed holder), plus all parity.
+	mustIngest(t, s, append([]*flash.Chunk{group[0], group[2], group[3]}, carriers...))
+
+	f, err := s.File(5)
+	if err != nil || len(f.Chunks) != 3 {
+		t.Fatalf("File(5) = %v chunks, %v; want 3 (hole present)", f, err)
+	}
+	df, rep, err := s.FileErasure(5)
+	if err != nil {
+		t.Fatalf("FileErasure: %v", err)
+	}
+	if rep.Groups != 1 || rep.RecoveredChunks != 1 || rep.MissingChunks != 0 {
+		t.Fatalf("decode report = %+v, want 1 group 1 recovered", rep)
+	}
+	if len(df.Chunks) != 4 {
+		t.Fatalf("decoded file has %d chunks, want 4", len(df.Chunks))
+	}
+	rec := df.Chunks[1]
+	want := group[1]
+	if rec.Seq != want.Seq || rec.Start != want.Start || rec.End != want.End ||
+		string(rec.Data) != string(want.Data) {
+		t.Fatalf("reconstructed chunk %+v differs from original %+v", rec, want)
+	}
+	if len(df.Gaps(0)) != 0 {
+		t.Fatalf("decoded file still has gaps: %v", df.Gaps(0))
+	}
+	// A file with no archived parity degrades to File.
+	mustIngest(t, s, []*flash.Chunk{mkChunk(8, 1, 0, 50, 51)})
+	pf, rep2, err := s.FileErasure(8)
+	if err != nil || rep2.Groups != 0 || len(pf.Chunks) != 1 {
+		t.Fatalf("no-parity FileErasure = %v, %+v, %v", pf, rep2, err)
 	}
 }

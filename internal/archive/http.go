@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"enviromic/internal/erasure"
 	"enviromic/internal/flash"
 	"enviromic/internal/mote"
 	"enviromic/internal/retrieval"
@@ -219,12 +220,12 @@ func (h *handler) gaps(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	// The re-query a mule would flood to fill what's still missing —
-	// the same shape Mule.MissingFiles produces in the field.
-	var requery []flash.FileID
+	// the same shape Mule.MissingFiles produces in the field. The parity
+	// sibling rides along so dispersal-mode fragments that can decode
+	// the gap are collected too.
+	requery := []flash.FileID{}
 	if len(gaps) > 0 {
-		requery = []flash.FileID{id}
-	} else {
-		requery = []flash.FileID{}
+		requery = []flash.FileID{id, id | erasure.ParityFileBit}
 	}
 	writeJSON(w, struct {
 		File         flash.FileID   `json:"file"`
@@ -249,7 +250,9 @@ func (h *handler) wav(w http.ResponseWriter, r *http.Request) {
 		}
 		rate = v
 	}
-	f, err := h.store.File(id)
+	// Erasure-aware read: gaps coverable by archived parity fragments
+	// are reconstructed before stitching.
+	f, _, err := h.store.FileErasure(id)
 	if errors.Is(err, ErrNotFound) {
 		httpError(w, http.StatusNotFound, "file %d not found", id)
 		return

@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"testing"
 
+	"enviromic/internal/erasure"
 	"enviromic/internal/flash"
 	"enviromic/internal/wav"
 )
@@ -94,8 +95,9 @@ func TestHTTPGapsAndTolerance(t *testing.T) {
 	if len(out.Gaps) != 1 || out.Gaps[0].StartSec != 2 || out.Gaps[0].EndSec != 3 {
 		t.Fatalf("gaps = %+v", out.Gaps)
 	}
-	if len(out.RequeryFiles) != 1 || out.RequeryFiles[0] != 1 {
-		t.Fatalf("requery = %v", out.RequeryFiles)
+	if len(out.RequeryFiles) != 2 || out.RequeryFiles[0] != 1 ||
+		out.RequeryFiles[1] != 1|erasure.ParityFileBit {
+		t.Fatalf("requery = %v, want file 1 plus its parity sibling", out.RequeryFiles)
 	}
 	// A tolerance wider than the hole reports no gaps.
 	getJSON(t, srv.URL+"/files/1/gaps?tolerance=2s", &out)

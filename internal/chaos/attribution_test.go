@@ -1,0 +1,204 @@
+package chaos_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"enviromic/internal/chaos"
+	"enviromic/internal/erasure"
+	"enviromic/internal/experiments"
+	"enviromic/internal/flash"
+	"enviromic/internal/obs"
+	"enviromic/internal/sim"
+)
+
+// disperseEvents replays a synthetic storage.disperse.* stream into a
+// fresh checker: one (n=4, k=2) group recorded by node 1, fragment 1
+// dispersed to node 5, parity fragment 2 to node 6, fragment 0 still at
+// the recorder and parity fragment 3 never dispersed.
+func disperseChecker(t *testing.T) *chaos.Invariants {
+	t.Helper()
+	inv := chaos.NewInvariants(chaos.InvariantsConfig{})
+	start := obs.RegisterEvent("storage.disperse.start")
+	out := obs.RegisterEvent("storage.disperse.out")
+	const file, firstSeq, count, n, k = 2, 8, 4, 4, 2
+	inv.Emit(obs.Event{At: sim.At(time.Second), Kind: start, Node: 1, Peer: obs.NoPeer,
+		File: file, V1: firstSeq, V2: count<<16 | n<<8 | k})
+	inv.Emit(obs.Event{At: sim.At(2 * time.Second), Kind: out, Node: 1, Peer: 5,
+		File: file, V1: firstSeq, V2: 1})
+	inv.Emit(obs.Event{At: sim.At(3 * time.Second), Kind: out, Node: 1, Peer: 6,
+		File: file, V1: firstSeq, V2: 2})
+	return inv
+}
+
+func alwaysAlive(int) bool { return true }
+
+// TestSurvivabilityCleanWhileKFragmentsLive: with holders {1, 5, 6} all
+// up, the k-of-n rule must stay silent, and it must keep staying silent
+// while at most n−k fragments are unreachable.
+func TestSurvivabilityCleanWhileKFragmentsLive(t *testing.T) {
+	inv := disperseChecker(t)
+	inv.CheckSurvivability(sim.At(time.Minute), alwaysAlive)
+	if vs := inv.Violations(); len(vs) != 0 {
+		t.Fatalf("healthy group flagged: %v", vs)
+	}
+
+	// One crashed holder still leaves k=2 fragments (nodes 1 and 6).
+	inv = disperseChecker(t)
+	inv.NoteCrash(sim.At(30*time.Second), 5, nil)
+	inv.CheckSurvivability(sim.At(time.Minute), func(id int) bool { return id != 5 })
+	if vs := inv.Violations(); len(vs) != 0 {
+		t.Fatalf("n-k tolerable loss flagged: %v", vs)
+	}
+}
+
+// TestSurvivabilityAttributesCrashes: losing both dispersed holders
+// drops the group below k; the violation must name both crash events in
+// fire order.
+func TestSurvivabilityAttributesCrashes(t *testing.T) {
+	inv := disperseChecker(t)
+	if ev := inv.NoteCrash(sim.At(20*time.Second), 5, nil); ev != 1 {
+		t.Fatalf("first chaos event id = %d, want 1", ev)
+	}
+	if ev := inv.NoteCrash(sim.At(40*time.Second), 6, nil); ev != 2 {
+		t.Fatalf("second chaos event id = %d, want 2", ev)
+	}
+	dead := map[int]bool{5: true, 6: true}
+	inv.CheckSurvivability(sim.At(time.Minute), func(id int) bool { return !dead[id] })
+	vs := inv.Violations()
+	if len(vs) != 1 {
+		t.Fatalf("violations = %v, want exactly one", vs)
+	}
+	v := vs[0]
+	if v.Rule != chaos.RuleSurvivability || v.Node != 1 || v.File != 2 {
+		t.Fatalf("violation misidentifies the group: %+v", v)
+	}
+	for _, want := range []string{"crash#1(node 5)", "crash#2(node 6)", "1/4 fragment(s) live", "need k=2"} {
+		if !strings.Contains(v.Detail, want) {
+			t.Fatalf("violation detail misses %q: %s", want, v.Detail)
+		}
+	}
+}
+
+// TestSurvivabilityAttributesPartitions: holders stranded behind an
+// active partition are unreachable; the violation names the partition
+// event, and healing the partition clears the stranding.
+func TestSurvivabilityAttributesPartitions(t *testing.T) {
+	inv := disperseChecker(t)
+	ev := inv.NotePartition(sim.At(10*time.Second), []int{1, 5})
+	inv.CheckSurvivability(sim.At(time.Minute), alwaysAlive)
+	vs := inv.Violations()
+	if len(vs) != 1 {
+		t.Fatalf("violations = %v, want exactly one", vs)
+	}
+	want := "partition#1(node 1), partition#1(node 5)"
+	if ev != 1 || !strings.Contains(vs[0].Detail, want) {
+		t.Fatalf("partition attribution (event %d) missing %q: %s", ev, want, vs[0].Detail)
+	}
+
+	healed := disperseChecker(t)
+	healed.NotePartitionHealed(healed.NotePartition(sim.At(10*time.Second), []int{1, 5}))
+	healed.CheckSurvivability(sim.At(time.Minute), alwaysAlive)
+	if vs := healed.Violations(); len(vs) != 0 {
+		t.Fatalf("healed partition still strands holders: %v", vs)
+	}
+}
+
+// TestNoteCrashAttributesLosses: checkpoint-window chunks handed to
+// NoteCrash become per-file Loss records carrying the event id, sorted
+// by file within the event, and surface in the report without turning
+// into violations.
+func TestNoteCrashAttributesLosses(t *testing.T) {
+	inv := chaos.NewInvariants(chaos.InvariantsConfig{})
+	lost := []*flash.Chunk{
+		{File: 3, Origin: 7, Seq: 0},
+		{File: 1, Origin: 7, Seq: 4},
+		{File: 3, Origin: 7, Seq: 1},
+		{File: 1 | erasure.ParityFileBit, Origin: 7, Seq: 300},
+	}
+	ev := inv.NoteCrash(sim.At(90*time.Second), 7, lost)
+	losses := inv.Losses()
+	if len(losses) != 3 {
+		t.Fatalf("losses = %v, want 3 per-file records", losses)
+	}
+	wantFiles := []flash.FileID{1, 3, 1 | erasure.ParityFileBit}
+	wantChunks := []int{1, 2, 1}
+	for i, l := range losses {
+		if l.Event != ev || l.Kind != chaos.KindCrash || l.Node != 7 ||
+			l.File != wantFiles[i] || l.Chunks != wantChunks[i] {
+			t.Fatalf("loss %d = %+v, want event=%d file=%#x chunks=%d",
+				i, l, ev, wantFiles[i], wantChunks[i])
+		}
+	}
+	if vs := inv.Violations(); len(vs) != 0 {
+		t.Fatalf("checkpoint-window loss is modeled hardware behavior, not a violation: %v", vs)
+	}
+	rep := inv.Report()
+	for _, want := range []string{"invariants: OK", "chaos losses: 3 attributed record(s)", "crash#1 node=7 file=0x3: 2 chunk(s) lost"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report misses %q:\n%s", want, rep)
+		}
+	}
+}
+
+// TestRevivedHolderCountsLiveAgain: a crash followed by a reboot
+// restores the holder (flash survives power loss), so the group regains
+// its fragment.
+func TestRevivedHolderCountsLiveAgain(t *testing.T) {
+	inv := disperseChecker(t)
+	inv.NoteCrash(sim.At(20*time.Second), 5, nil)
+	inv.NoteCrash(sim.At(30*time.Second), 6, nil)
+	inv.NoteRevive(5)
+	inv.CheckSurvivability(sim.At(time.Minute), func(id int) bool { return id != 6 })
+	if vs := inv.Violations(); len(vs) != 0 {
+		t.Fatalf("revived holder not counted live: %v", vs)
+	}
+}
+
+// TestInjectorAttributesCrashLosses runs a real crash scenario and
+// checks the injector-side wiring: every flash chunk the power loss
+// dropped shows up as a Loss attributed to a crash event, matching the
+// victim named in the fault log.
+func TestInjectorAttributesCrashLosses(t *testing.T) {
+	sc := &chaos.Scenario{
+		Name: "loss-attribution",
+		Seed: 7,
+		Faults: []chaos.Fault{
+			{Kind: chaos.KindCrash, At: 45 * time.Second, Node: -1, Target: chaos.TargetLeader},
+			{Kind: chaos.KindCrash, At: 2 * time.Minute, Node: -1, Target: chaos.TargetLeader},
+		},
+	}
+	opts := experiments.QuickIndoorOpts()
+	res, err := experiments.RunIndoorChaos(lbSetting, opts, sc, chaos.InvariantsConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := res.Checker.Violations(); len(vs) != 0 {
+		t.Fatalf("crash scenario broke invariants:\n%s", res.Checker.Report())
+	}
+	var victims []int
+	for _, node := range res.Net.Nodes {
+		if !node.Mote.Alive() {
+			victims = append(victims, node.ID)
+		}
+	}
+	if len(victims) == 0 {
+		t.Fatal("no crash landed; scenario is vacuous")
+	}
+	allowed := make(map[int32]bool)
+	for _, id := range victims {
+		allowed[int32(id)] = true
+	}
+	for _, l := range res.Checker.Losses() {
+		if l.Kind != chaos.KindCrash || l.Event < 1 || l.Event > len(victims) {
+			t.Fatalf("loss with bad attribution: %+v", l)
+		}
+		if !allowed[l.Node] {
+			t.Fatalf("loss attributed to node %d, which never crashed (victims %v)", l.Node, victims)
+		}
+		if l.Chunks <= 0 {
+			t.Fatalf("empty loss record: %+v", l)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"enviromic/internal/core"
+	"enviromic/internal/flash"
 	"enviromic/internal/sim"
 )
 
@@ -24,7 +25,22 @@ type Injector struct {
 	rng      *rand.Rand
 	baseLoss float64
 	log      []string
+	// inv, when set, receives fault attributions (NoteCrash,
+	// NotePartition, ...) as faults fire. Nil leaves faults unattributed.
+	inv *Invariants
+	// partEvents remembers each partition fault's chaos event ID so the
+	// healing boundary can clear the stranding it caused.
+	partEvents map[*Fault]int
 }
+
+// SetInvariants attaches the invariant checker for fault attribution:
+// crashes report their flash-loss diff and mark the victim dead,
+// reboots revive it, and partition windows strand side A — so the
+// end-of-run checks (CheckSurvivability, Losses) can name the chaos
+// event responsible for each loss. Call right after Install, before the
+// run starts. The checker is only notified, never consulted: attribution
+// changes no fault behavior and keeps runs byte-identical.
+func (inj *Injector) SetInvariants(v *Invariants) { inj.inv = v }
 
 // Install validates the scenario against the deployment and schedules
 // every fault. The returned Injector is only for reporting (Log); the
@@ -59,10 +75,11 @@ func Install(net *core.Network, sc *Scenario) (*Injector, error) {
 		}
 	}
 	inj := &Injector{
-		net:      net,
-		sc:       sc,
-		rng:      rand.New(rand.NewSource(sc.Seed ^ 0x63686173)), // "chas"
-		baseLoss: net.Radio.Config().LossProb,
+		net:        net,
+		sc:         sc,
+		rng:        rand.New(rand.NewSource(sc.Seed ^ 0x63686173)), // "chas"
+		baseLoss:   net.Radio.Config().LossProb,
+		partEvents: make(map[*Fault]int),
 	}
 	for i := range sc.Faults {
 		inj.schedule(&sc.Faults[i])
@@ -141,6 +158,12 @@ func (inj *Injector) crash(f *Fault) {
 		inj.logf("crash node=%d: already dead, skipped", id)
 		return
 	}
+	// Snapshot the holdings before the power loss so the attribution diff
+	// can name exactly which chunks the checkpoint window dropped.
+	var before []*flash.Chunk
+	if inj.inv != nil {
+		before = node.Mote.Store.Chunks()
+	}
 	inj.net.Kill(id)
 	node.Mote.Store.Crash()
 	recovered, err := node.Mote.Store.Recover()
@@ -148,6 +171,19 @@ func (inj *Injector) crash(f *Fault) {
 		// NewStore checkpoints at construction, so this cannot happen.
 		inj.logf("crash node=%d: flash recover failed: %v", id, err)
 		return
+	}
+	if inj.inv != nil {
+		kept := make(map[*flash.Chunk]bool, recovered)
+		for _, c := range node.Mote.Store.Chunks() {
+			kept[c] = true
+		}
+		var lost []*flash.Chunk
+		for _, c := range before {
+			if !kept[c] {
+				lost = append(lost, c)
+			}
+		}
+		inj.inv.NoteCrash(inj.net.Sched.Now(), id, lost)
 	}
 	inj.logf("crash: node=%d flash_recovered=%d", id, recovered)
 }
@@ -159,6 +195,9 @@ func (inj *Injector) reboot(id int) {
 		return
 	}
 	inj.net.Reboot(id)
+	if inj.inv != nil {
+		inj.inv.NoteRevive(id)
+	}
 	inj.logf("reboot: node=%d", id)
 }
 
@@ -192,6 +231,14 @@ func (inj *Injector) setPartition(f *Fault, on bool) {
 			if !f.OneWay {
 				inj.net.Radio.SetLinkBlocked(bb, a, on)
 			}
+		}
+	}
+	if inj.inv != nil {
+		if on {
+			inj.partEvents[f] = inj.inv.NotePartition(inj.net.Sched.Now(), f.A)
+		} else if ev, ok := inj.partEvents[f]; ok {
+			inj.inv.NotePartitionHealed(ev)
+			delete(inj.partEvents, f)
 		}
 	}
 	verb := "partition"

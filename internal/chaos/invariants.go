@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -39,7 +40,44 @@ const (
 	// union of surviving stored chunks — nothing lost, nothing invented,
 	// and declared gaps really are uncovered (§II-C).
 	RuleRetrievalComplete = "retrieval-complete"
+	// RuleSurvivability: every dispersal group announced by a
+	// storage.disperse.start event (storage.ModeDisperse) must keep at
+	// least k of its n erasure fragments on holders that are alive and
+	// not stranded behind an active partition — k is the decode
+	// threshold, so fewer means the group is unrecoverable over the
+	// radio. Checked on demand by CheckSurvivability; the violation
+	// names the chaos events (crash/partition) responsible for the
+	// missing holders.
+	RuleSurvivability = "k-of-n-survivability"
 )
+
+// Loss is data destroyed or stranded by a chaos fault, attributed to the
+// sequential chaos event that caused it. Crash losses are the chunks the
+// victim's flash dropped on power loss (written after the last EEPROM
+// checkpoint); they are recorded as attributed losses rather than
+// violations because losing that window is the modeled hardware
+// behavior, not a protocol bug.
+type Loss struct {
+	At sim.Time
+	// Event is the sequential chaos event ID assigned in fire order
+	// (shared across fault kinds, starting at 1).
+	Event int
+	// Kind is the fault kind (KindCrash, KindPartition).
+	Kind string
+	// Node is the fault's victim (the crashed holder).
+	Node int32
+	// File is the affected file; parity carrier files keep their
+	// erasure.ParityFileBit so fragment losses are distinguishable.
+	File flash.FileID
+	// Chunks is how many of the file's chunks this event destroyed.
+	Chunks int
+}
+
+// String implements fmt.Stringer.
+func (l Loss) String() string {
+	return fmt.Sprintf("%v %s#%d node=%d file=%#x: %d chunk(s) lost",
+		l.At, l.Kind, l.Event, l.Node, l.File, l.Chunks)
+}
 
 // Violation is one detected invariant breach.
 type Violation struct {
@@ -96,12 +134,46 @@ type Invariants struct {
 	pending map[int32]uint32
 	// sessions holds, per sender, the open migration session.
 	sessions map[int32]*migSession
+	// groups tracks dispersal groups from storage.disperse.* events:
+	// which node currently holds each of a group's n fragments.
+	groups map[disperseKey]*disperseGroup
+	// deadBy maps a node ID to the chaos crash event that killed it
+	// (cleared by NoteRevive).
+	deadBy map[int]int
+	// strandedBy maps a node ID to the active partition event isolating
+	// it (cleared by NotePartitionHealed).
+	strandedBy map[int]int
+	// losses are the attributed chaos losses, in fire order.
+	losses []Loss
+	// nextEvent is the sequential chaos event counter.
+	nextEvent int
 
 	// Interned event IDs, resolved once at construction (registration is
 	// idempotent, so these match the emitting modules' IDs).
 	idConfirm, idRecStart, idRecEnd          obs.EventID
 	idBackoff, idWon, idLost                 obs.EventID
 	idMigStart, idMigOut, idMigFail, idMigIn obs.EventID
+	idDispStart, idDispOut                   obs.EventID
+}
+
+// disperseKey identifies one dispersal group network-wide: groups are
+// unique per (recorder, file, first sequence number).
+type disperseKey struct {
+	node     int32
+	file     uint32
+	firstSeq uint32
+}
+
+// disperseGroup is the tracked fragment-holder state of one group.
+// holders[i] is the node currently holding fragment i, or -1 for a
+// parity fragment that was never dispersed (it exists nowhere: parity is
+// materialized only for the wire). Data fragments [0,k) start at the
+// recorder and move to their target on disperse.out; a disperse.fail
+// leaves them at the recorder, which keeps the originals.
+type disperseGroup struct {
+	count   uint32
+	n, k    int
+	holders []int
 }
 
 type confirmSpan struct {
@@ -135,21 +207,26 @@ func NewInvariants(cfg InvariantsConfig) *Invariants {
 		cfg.MaxViolations = 256
 	}
 	return &Invariants{
-		cfg:        cfg,
-		confirmed:  make(map[uint32][]confirmSpan),
-		recording:  make(map[int32]recordSpan),
-		pending:    make(map[int32]uint32),
-		sessions:   make(map[int32]*migSession),
-		idConfirm:  obs.RegisterEvent("task.confirm"),
-		idRecStart: obs.RegisterEvent("task.record.start"),
-		idRecEnd:   obs.RegisterEvent("task.record.end"),
-		idBackoff:  obs.RegisterEvent("group.elect.backoff"),
-		idWon:      obs.RegisterEvent("group.elect.won"),
-		idLost:     obs.RegisterEvent("group.elect.lost"),
-		idMigStart: obs.RegisterEvent("storage.migrate.start"),
-		idMigOut:   obs.RegisterEvent("storage.migrate.out"),
-		idMigFail:  obs.RegisterEvent("storage.migrate.fail"),
-		idMigIn:    obs.RegisterEvent("storage.migrate.in"),
+		cfg:         cfg,
+		confirmed:   make(map[uint32][]confirmSpan),
+		recording:   make(map[int32]recordSpan),
+		pending:     make(map[int32]uint32),
+		sessions:    make(map[int32]*migSession),
+		groups:      make(map[disperseKey]*disperseGroup),
+		deadBy:      make(map[int]int),
+		strandedBy:  make(map[int]int),
+		idConfirm:   obs.RegisterEvent("task.confirm"),
+		idRecStart:  obs.RegisterEvent("task.record.start"),
+		idRecEnd:    obs.RegisterEvent("task.record.end"),
+		idBackoff:   obs.RegisterEvent("group.elect.backoff"),
+		idWon:       obs.RegisterEvent("group.elect.won"),
+		idLost:      obs.RegisterEvent("group.elect.lost"),
+		idMigStart:  obs.RegisterEvent("storage.migrate.start"),
+		idMigOut:    obs.RegisterEvent("storage.migrate.out"),
+		idMigFail:   obs.RegisterEvent("storage.migrate.fail"),
+		idMigIn:     obs.RegisterEvent("storage.migrate.in"),
+		idDispStart: obs.RegisterEvent("storage.disperse.start"),
+		idDispOut:   obs.RegisterEvent("storage.disperse.out"),
 	}
 }
 
@@ -205,7 +282,39 @@ func (v *Invariants) Emit(e obs.Event) {
 			}
 			delete(v.sessions, e.Node)
 		}
+	case v.idDispStart:
+		v.onDisperseStart(e)
+	case v.idDispOut:
+		// A full-fragment ack moved fragment V2 to the target; the sender
+		// dropped its originals (data) or never kept any (parity).
+		if g := v.groups[disperseKey{e.Node, e.File, uint32(e.V1)}]; g != nil {
+			if idx := int(e.V2); idx >= 0 && idx < len(g.holders) {
+				g.holders[idx] = int(e.Peer)
+			}
+		}
+		// disperse.fail needs no handling: data fragments stay at the
+		// recorder (the start default) and parity stays nowhere.
 	}
+}
+
+// onDisperseStart registers a dispersal group. V1 carries the first
+// sequence number; V2 packs count<<16 | n<<8 | k (the storage package's
+// wire encoding for the start event).
+func (v *Invariants) onDisperseStart(e obs.Event) {
+	n := int(e.V2>>8) & 0xff
+	k := int(e.V2) & 0xff
+	if n <= 0 || k <= 0 || k > n {
+		return
+	}
+	g := &disperseGroup{count: uint32(e.V2 >> 16), n: n, k: k, holders: make([]int, n)}
+	for i := range g.holders {
+		if i < k {
+			g.holders[i] = int(e.Node)
+		} else {
+			g.holders[i] = -1
+		}
+	}
+	v.groups[disperseKey{e.Node, e.File, uint32(e.V1)}] = g
 }
 
 // onConfirm checks recorder exclusivity (§II-A.2): a leader structures
@@ -286,6 +395,148 @@ func (v *Invariants) onMigrateOut(e obs.Event) {
 
 // Close implements obs.Sink (no buffered state).
 func (v *Invariants) Close() error { return nil }
+
+// NoteCrash records a chaos crash: the node counts as dead for the
+// survivability check until NoteRevive, and the chunks its flash dropped
+// in the power-loss window (the pre-crash/post-recover holdings diff)
+// become losses attributed to this event. Returns the sequential chaos
+// event ID. The Injector calls this when wired via SetInvariants.
+func (v *Invariants) NoteCrash(at sim.Time, node int, lost []*flash.Chunk) int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.nextEvent++
+	id := v.nextEvent
+	v.deadBy[node] = id
+	perFile := make(map[flash.FileID]int)
+	for _, c := range lost {
+		if c != nil {
+			perFile[c.File]++
+		}
+	}
+	files := make([]flash.FileID, 0, len(perFile))
+	for f := range perFile {
+		files = append(files, f)
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i] < files[j] })
+	for _, f := range files {
+		v.losses = append(v.losses, Loss{
+			At: at, Event: id, Kind: KindCrash, Node: int32(node), File: f, Chunks: perFile[f],
+		})
+	}
+	return id
+}
+
+// NoteRevive clears a node's crash attribution after a chaos reboot: its
+// surviving fragments count as live again. Losses already attributed
+// stay — the checkpoint-window chunks are gone for good.
+func (v *Invariants) NoteRevive(node int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	delete(v.deadBy, node)
+}
+
+// NotePartition records an active partition stranding the nodes of side
+// A (by scenario convention the isolated minority — the side listed
+// explicitly in the fault). While the partition is active their
+// fragments count as unreachable for the survivability check. Returns
+// the sequential chaos event ID; pass it to NotePartitionHealed when the
+// window closes. A node already stranded keeps its first attribution.
+func (v *Invariants) NotePartition(at sim.Time, a []int) int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.nextEvent++
+	id := v.nextEvent
+	for _, n := range a {
+		if _, ok := v.strandedBy[n]; !ok {
+			v.strandedBy[n] = id
+		}
+	}
+	return id
+}
+
+// NotePartitionHealed clears the stranding of every node attributed to
+// the given partition event.
+func (v *Invariants) NotePartitionHealed(event int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for n, e := range v.strandedBy {
+		if e == event {
+			delete(v.strandedBy, n)
+		}
+	}
+}
+
+// CheckSurvivability runs the end-of-run k-of-n dispersal check: every
+// group announced by storage.disperse.start must still have at least k
+// of its n fragments on holders that are alive and not stranded behind
+// an active partition — fewer and the group's un-archived chunks cannot
+// be decoded over the radio. alive reports radio liveness (e.g. the
+// network's Endpoint.Alive per node); the crash/partition notes supply
+// the attribution named in the violation. Call once after the run,
+// before Report. In migration mode no disperse events exist, so the
+// check is vacuously clean.
+func (v *Invariants) CheckSurvivability(at sim.Time, alive func(node int) bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	keys := make([]disperseKey, 0, len(v.groups))
+	for k := range v.groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.node != b.node {
+			return a.node < b.node
+		}
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		return a.firstSeq < b.firstSeq
+	})
+	for _, gk := range keys {
+		g := v.groups[gk]
+		live := 0
+		var why []string
+		seen := make(map[string]bool)
+		blame := func(tag string) {
+			if !seen[tag] {
+				seen[tag] = true
+				why = append(why, tag)
+			}
+		}
+		for _, h := range g.holders {
+			if h < 0 {
+				continue // parity never dispersed: nothing to lose
+			}
+			if !alive(h) {
+				if ev, ok := v.deadBy[h]; ok {
+					blame(fmt.Sprintf("crash#%d(node %d)", ev, h))
+				} else {
+					blame(fmt.Sprintf("node %d dead (unattributed)", h))
+				}
+				continue
+			}
+			if ev, ok := v.strandedBy[h]; ok {
+				blame(fmt.Sprintf("partition#%d(node %d)", ev, h))
+				continue
+			}
+			live++
+		}
+		if live < g.k {
+			v.violate(at, RuleSurvivability, gk.node, gk.file,
+				"dispersal group seq[%d,+%d): %d/%d fragment(s) live, need k=%d; lost to %s",
+				gk.firstSeq, g.count, live, g.n, g.k, strings.Join(why, ", "))
+		}
+	}
+}
+
+// Losses returns the attributed chaos losses in fire order.
+func (v *Invariants) Losses() []Loss {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]Loss, len(v.losses))
+	copy(out, v.losses)
+	return out
+}
 
 // chunkKey is the network-wide chunk identity: retrieval dedups on it.
 type chunkKey struct {
@@ -396,14 +647,20 @@ func (v *Invariants) Report() string {
 	var b strings.Builder
 	if len(v.violations) == 0 {
 		fmt.Fprintf(&b, "invariants: OK (%d events checked)\n", v.events)
-		return b.String()
+	} else {
+		fmt.Fprintf(&b, "invariants: %d violation(s) in %d events\n", len(v.violations)+v.dropped, v.events)
+		for _, viol := range v.violations {
+			fmt.Fprintf(&b, "  %s\n", viol.String())
+		}
+		if v.dropped > 0 {
+			fmt.Fprintf(&b, "  ... and %d more (cap %d)\n", v.dropped, v.cfg.MaxViolations)
+		}
 	}
-	fmt.Fprintf(&b, "invariants: %d violation(s) in %d events\n", len(v.violations)+v.dropped, v.events)
-	for _, viol := range v.violations {
-		fmt.Fprintf(&b, "  %s\n", viol.String())
-	}
-	if v.dropped > 0 {
-		fmt.Fprintf(&b, "  ... and %d more (cap %d)\n", v.dropped, v.cfg.MaxViolations)
+	if len(v.losses) > 0 {
+		fmt.Fprintf(&b, "chaos losses: %d attributed record(s)\n", len(v.losses))
+		for _, l := range v.losses {
+			fmt.Fprintf(&b, "  %s\n", l.String())
+		}
 	}
 	return b.String()
 }

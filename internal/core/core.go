@@ -96,6 +96,14 @@ type Config struct {
 	Group   *group.Config
 	Task    *task.Config
 	Storage *storage.Config
+	// StorageMode selects migration (the zero value, the paper's
+	// balancer) or Reed-Solomon dispersal for ModeFull networks. It
+	// overrides Storage.Mode when set, so `-storage-mode disperse`
+	// composes with a custom Storage config.
+	StorageMode storage.Mode
+	// Disperse sets the dispersal geometry (zero value = (6,4)); only
+	// read in ModeDisperse.
+	Disperse storage.DisperseConfig
 	// MaxClockDriftPPM draws each mote's oscillator drift uniformly from
 	// [−max, +max]; 0 disables drift.
 	MaxClockDriftPPM float64
@@ -186,6 +194,7 @@ type Node struct {
 	Tasks     *task.Service
 	Group     *group.Manager
 	Balancer  *storage.Balancer
+	Disperser *storage.Disperser
 	Responder *retrieval.Responder
 
 	indep *independentRecorder
@@ -385,8 +394,19 @@ func (n *Network) buildNode(id int, pos geometry.Point) *Node {
 	if cfg.Task != nil {
 		tcfg = *cfg.Task
 	}
+	disperse := cfg.Mode == ModeFull &&
+		(cfg.StorageMode == storage.ModeDisperse ||
+			(cfg.Storage != nil && cfg.Storage.Mode == storage.ModeDisperse))
+	// In dispersal mode the recorder's device is wrapped so every batch of
+	// freshly stored chunks flows into the disperser (which is built a few
+	// lines below; the wrapper tolerates the window). Migrate mode passes
+	// the mote through untouched — the fixed-seed byte-identity contract.
+	var dev task.Device = m
+	if disperse {
+		dev = &disperseDevice{m: m, node: node}
+	}
 	userTP := cfg.TaskProbe
-	node.Tasks = task.NewService(id, node.Stack, sched, m, ts, tcfg, task.Probe{
+	node.Tasks = task.NewService(id, node.Stack, sched, dev, ts, tcfg, task.Probe{
 		OnAssign:      userTP.OnAssign,
 		OnReject:      userTP.OnReject,
 		OnRecordStart: userTP.OnRecordStart,
@@ -413,6 +433,9 @@ func (n *Network) buildNode(id int, pos geometry.Point) *Node {
 		if cfg.Storage != nil {
 			scfg = *cfg.Storage
 		}
+		if disperse {
+			scfg.Mode = storage.ModeDisperse
+		}
 		node.Balancer = storage.NewBalancer(id, node.Stack, node.Bulk, sched, m.Store, m.Energy, scfg, storage.Probe{
 			OnMigrateOut: func(from, to, chunks int, at sim.Time) {
 				n.addMigration(metrics.Migration{From: from, To: to, Chunks: chunks, At: at})
@@ -421,6 +444,14 @@ func (n *Network) buildNode(id int, pos geometry.Point) *Node {
 		})
 		node.Balancer.SetTracer(tr)
 		ttlSrc = node.Balancer
+		if disperse {
+			d, err := storage.NewDisperser(id, node.Bulk, sched, m.Store, node.Balancer, cfg.Disperse)
+			if err != nil {
+				panic(fmt.Sprintf("core: dispersal geometry: %v", err))
+			}
+			d.SetTracer(tr)
+			node.Disperser = d
+		}
 	}
 	// Retrieval responder: answers mule queries and relays spanning-tree
 	// convergecasts on the retrieval traffic class (the balancer keeps
@@ -576,6 +607,21 @@ func (n *Network) Holdings() map[int][]*flash.Chunk {
 	return out
 }
 
+// LiveHoldings returns flash contents of nodes whose radio is alive —
+// what a mule tour could actually collect right now. The survivability
+// harness compares reassembly over this against reassembly over
+// Holdings (which includes dead nodes' flash, recoverable only by
+// physically collecting the corpse).
+func (n *Network) LiveHoldings() map[int][]*flash.Chunk {
+	out := make(map[int][]*flash.Chunk, len(n.Nodes))
+	for _, node := range n.Nodes {
+		if node.Mote.Endpoint.Alive() {
+			out[node.ID] = node.Mote.Store.Chunks()
+		}
+	}
+	return out
+}
+
 // TotalStoredBytes sums flash occupancy across the network.
 func (n *Network) TotalStoredBytes() int {
 	t := 0
@@ -602,6 +648,9 @@ func (n *Network) Kill(id int) {
 	}
 	if node.Balancer != nil {
 		node.Balancer.Stop()
+	}
+	if node.Disperser != nil {
+		node.Disperser.Stop()
 	}
 	if node.Sync != nil {
 		node.Sync.Stop()
@@ -639,6 +688,29 @@ func (n *Network) Reboot(id int) {
 
 // Config returns the network configuration (after defaulting).
 func (n *Network) Config() Config { return n.cfg }
+
+// disperseDevice wraps the mote's task.Device so that every batch of
+// chunks a recording stores also reaches the disperser, which
+// erasure-codes and scatters it. Only the stored prefix is handed over —
+// chunks rejected by a full flash are recycled by the task layer and
+// must not be encoded. Group prelude buffers bypass the task device and
+// are therefore not dispersed (they stay purely local, like today).
+type disperseDevice struct {
+	m    *mote.Mote
+	node *Node
+}
+
+func (d *disperseDevice) CaptureSamples(start, end sim.Time) []byte {
+	return d.m.CaptureSamples(start, end)
+}
+
+func (d *disperseDevice) StoreChunks(chunks []*flash.Chunk) int {
+	stored := d.m.StoreChunks(chunks)
+	if stored > 0 && d.node.Disperser != nil {
+		d.node.Disperser.OnRecorded(chunks[:stored])
+	}
+	return stored
+}
 
 // perfectTime is the TimeSource used when FTSP is disabled.
 type perfectTime struct{ s *sim.Scheduler }

@@ -1,0 +1,133 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"enviromic/internal/chaos"
+	"enviromic/internal/core"
+	"enviromic/internal/erasure"
+	"enviromic/internal/experiments"
+	"enviromic/internal/flash"
+	"enviromic/internal/retrieval"
+	"enviromic/internal/storage"
+)
+
+// TestDisperseSoakQuarterDead is the dispersal-mode counterpart of
+// TestChaosSoakQuarterDead: 25% of the grid crashes mid-run while a loss
+// burst degrades the bulk plane and a partition temporarily strands one
+// edge of the testbed. The run uses a (16,4) code so the scripted 12
+// deaths stay strictly inside the k-of-n tolerance (deaths < n-k+1 = 13
+// per neighborhood — the dense indoor grid is one audible neighborhood),
+// and therefore must finish with ZERO invariant violations, including
+// the survivability rule: every dispersal group keeps at least k live
+// fragments no matter which quarter of the network died.
+func TestDisperseSoakQuarterDead(t *testing.T) {
+	opts := experiments.QuickIndoorOpts()
+	opts.StorageMode = storage.ModeDisperse
+	opts.Disperse = storage.DisperseConfig{N: 16, K: 4}
+
+	sc := &chaos.Scenario{Name: "disperse-quarter-dead", Seed: 5}
+	// 12 of the 48 grid nodes die, staggered through the middle of the
+	// run; spacing them avoids modeling a single correlated blackout.
+	deadSet := map[int]bool{}
+	for i := 0; i < 12; i++ {
+		id := i * 4
+		deadSet[id] = true
+		sc.Faults = append(sc.Faults, chaos.Fault{
+			Kind: chaos.KindCrash,
+			At:   3*time.Minute + time.Duration(i)*5*time.Second,
+			Node: id,
+		})
+	}
+	sc.Faults = append(sc.Faults,
+		chaos.Fault{Kind: chaos.KindLoss, From: 3 * time.Minute, To: 6 * time.Minute, Prob: 0.15, Node: -1},
+		chaos.Fault{Kind: chaos.KindPartition, From: 90 * time.Second, To: 4 * time.Minute, Node: -1,
+			A: []int{1, 2, 3, 5, 6, 7}},
+	)
+
+	res, err := experiments.RunIndoorChaos(
+		experiments.IndoorSetting{Name: "lb-beta2", Mode: core.ModeFull, BetaMax: 2},
+		opts, sc, chaos.InvariantsConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := res.Net
+
+	// Deaths < n-k+1 per neighborhood, so every invariant — protocol and
+	// k-of-n survivability alike — must hold.
+	if vs := res.Checker.Violations(); len(vs) != 0 {
+		t.Fatalf("invariants broke under quarter-death with n-k=12 slack:\n%s", res.Checker.Report())
+	}
+	if res.Checker.Events() == 0 {
+		t.Fatal("checker saw no events; the soak is vacuous")
+	}
+
+	// The soak is only meaningful if dispersal actually ran.
+	var groups, frags uint64
+	for _, node := range net.Nodes {
+		if node.Disperser != nil {
+			groups += node.Disperser.Groups
+			frags += node.Disperser.DispersedFragments
+		}
+	}
+	if groups == 0 || frags == 0 {
+		t.Fatalf("no dispersal activity (groups=%d fragments=%d); the soak is vacuous", groups, frags)
+	}
+
+	// Exactly the scripted nodes are down.
+	for _, node := range net.Nodes {
+		if deadSet[node.ID] == node.Mote.Alive() {
+			t.Errorf("node %d alive=%v, scripted dead=%v", node.ID, node.Mote.Alive(), deadSet[node.ID])
+		}
+	}
+
+	// Tier-1 soak properties, post-chaos.
+	for _, node := range net.Nodes {
+		if spread := node.Mote.Store.WearSpread(); spread > 1 {
+			t.Errorf("node %d wear spread %d", node.ID, spread)
+		}
+		if rem := node.Mote.Energy.Remaining(net.Sched.Now()); rem < 0 {
+			t.Errorf("node %d negative energy %v", node.ID, rem)
+		}
+	}
+
+	// Erasure-aware retrieval over the survivors recovers every data
+	// chunk that still sits on live flash (fragment carriers decode back
+	// to data; collection skips dead motes without losing replicated or
+	// reconstructable chunks).
+	type key struct {
+		f flash.FileID
+		o int32
+		s uint32
+	}
+	live := map[int][]*flash.Chunk{}
+	liveData := map[key]bool{}
+	for id, chunks := range net.Holdings() {
+		if deadSet[id] {
+			continue
+		}
+		live[id] = chunks
+		for _, c := range chunks {
+			if erasure.IsParity(c) {
+				continue // fragment carriers are transport, not payload
+			}
+			liveData[key{c.File, c.Origin, c.Seq}] = true
+		}
+	}
+	if len(liveData) == 0 {
+		t.Fatal("survivors hold no data; the scenario starved the network")
+	}
+	files, _ := retrieval.ReassembleErasure(live, retrieval.Query{All: true})
+	recovered := map[key]bool{}
+	for _, f := range files {
+		for _, c := range f.Chunks {
+			recovered[key{c.File, c.Origin, c.Seq}] = true
+		}
+	}
+	for k := range liveData {
+		if !recovered[k] {
+			t.Errorf("chunk %+v survives on live flash but is missing from survivor retrieval", k)
+		}
+	}
+}

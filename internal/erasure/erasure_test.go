@@ -1,0 +1,441 @@
+package erasure
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"enviromic/internal/flash"
+	"enviromic/internal/sim"
+)
+
+// makeChunks builds count pooled chunks for one group with the given
+// payload sizes (sizes[i] < 0 means a random size).
+func makeChunks(t testing.TB, g Group, sizes []int, rng *rand.Rand) []*flash.Chunk {
+	t.Helper()
+	chunks := make([]*flash.Chunk, g.Count)
+	span := (g.End - g.Start) / sim.Time(g.Count)
+	for i := range chunks {
+		c := flash.NewChunk()
+		c.File = g.File
+		c.Origin = g.Origin
+		c.Seq = g.FirstSeq + uint32(i)
+		c.Start = g.Start + sim.Time(i)*span
+		c.End = c.Start + span
+		size := sizes[i]
+		if size < 0 {
+			size = rng.Intn(flash.PayloadSize + 1)
+		}
+		c.Data = c.Data[:0]
+		for j := 0; j < size; j++ {
+			c.Data = append(c.Data, byte(rng.Intn(256)))
+		}
+		chunks[i] = c
+	}
+	return chunks
+}
+
+// encodeGroup runs the full dispersal encode pipeline: parity blobs,
+// carrier packetization, carrier collection, fragment parse.
+func encodeGroup(t testing.TB, g Group, chunks []*flash.Chunk) []*Fragment {
+	t.Helper()
+	code, err := Cached(g.N, g.K)
+	if err != nil {
+		t.Fatalf("Cached(%d,%d): %v", g.N, g.K, err)
+	}
+	blobs, err := EncodeParity(code, g, chunks)
+	if err != nil {
+		t.Fatalf("EncodeParity: %v", err)
+	}
+	var carriers []*flash.Chunk
+	for j, blob := range blobs {
+		carriers = append(carriers, Carriers(g, g.K+j, blob)...)
+	}
+	seen := make(map[uint32]bool)
+	for _, c := range carriers {
+		if !IsParity(c) || BaseFile(c.File) != g.File {
+			t.Fatalf("carrier file %#x does not mark parity of %#x", c.File, g.File)
+		}
+		if seen[c.Seq] {
+			t.Fatalf("carrier seq %d repeats within the group", c.Seq)
+		}
+		seen[c.Seq] = true
+	}
+	byGroup, stats := CollectFragments(carriers)
+	if stats.BadCarriers != 0 || stats.BadFragments != 0 || stats.Incomplete != 0 {
+		t.Fatalf("clean carriers produced stats %+v", stats)
+	}
+	frags := byGroup[g.Key()]
+	if len(frags) != g.N-g.K {
+		t.Fatalf("collected %d fragments, want %d", len(frags), g.N-g.K)
+	}
+	for _, f := range frags {
+		if f.Group != g {
+			t.Fatalf("fragment %d carries group %+v, want %+v", f.Index, f.Group, g)
+		}
+	}
+	return frags
+}
+
+// checkRecovery drops every shard outside keep (data column indices and
+// fragment indices), reconstructs, and verifies the recovered chunks
+// match the originals byte-for-byte (block image compare, so metadata
+// equality is included).
+func checkRecovery(t testing.TB, g Group, chunks []*flash.Chunk, frags []*Fragment, keep map[int]bool) {
+	t.Helper()
+	present := make(map[uint32]*flash.Chunk)
+	for i, c := range chunks {
+		if keep[i%g.K] {
+			present[g.FirstSeq+uint32(i)] = c
+		}
+	}
+	var live []*Fragment
+	for _, f := range frags {
+		if keep[f.Index] {
+			live = append(live, f)
+		}
+	}
+	recovered, err := ReconstructGroup(g, present, live)
+	if err != nil {
+		t.Fatalf("ReconstructGroup(keep=%v): %v", keep, err)
+	}
+	defer flash.FreeChunks(recovered)
+	bySeq := make(map[uint32]*flash.Chunk, len(recovered))
+	for _, c := range recovered {
+		bySeq[c.Seq] = c
+	}
+	for i, want := range chunks {
+		if present[want.Seq] != nil {
+			continue
+		}
+		got := bySeq[want.Seq]
+		if got == nil {
+			t.Fatalf("chunk %d (seq %d) not recovered with keep=%v", i, want.Seq, keep)
+		}
+		wantImg, err1 := want.Marshal()
+		gotImg, err2 := got.Marshal()
+		if err1 != nil || err2 != nil {
+			t.Fatalf("marshal: %v / %v", err1, err2)
+		}
+		if !bytes.Equal(wantImg, gotImg) {
+			t.Fatalf("chunk seq %d round-trips differently (keep=%v)", want.Seq, keep)
+		}
+	}
+}
+
+// TestRoundTripQuick is the dispersal round-trip property: encode a
+// random group, drop any n−k fragments (keeping an arbitrary k-subset of
+// data columns and parity fragments), and the decode must return the
+// original chunks exactly. Geometry, chunk count, and payload sizes are
+// all drawn per trial.
+func TestRoundTripQuick(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(9)   // 2..10
+		k := 1 + rng.Intn(n-1) // 1..n-1
+		count := uint32(1 + rng.Intn(3*k+2))
+		g := Group{
+			File:     flash.FileID(1 + rng.Intn(1<<20)),
+			Origin:   int32(rng.Intn(500)),
+			FirstSeq: uint32(rng.Intn(1 << 16)),
+			Count:    count,
+			Start:    sim.Time(rng.Int63n(int64(sim.Time(1) * 1e12))),
+			N:        n,
+			K:        k,
+		}
+		g.End = g.Start + sim.Time(int64(count)*1e9)
+		sizes := make([]int, count)
+		for i := range sizes {
+			sizes[i] = -1
+		}
+		chunks := makeChunks(t, g, sizes, rng)
+		defer flash.FreeChunks(chunks)
+		frags := encodeGroup(t, g, chunks)
+		// Keep a random k-subset of the n shard indices.
+		perm := rng.Perm(n)
+		keep := make(map[int]bool, k)
+		for _, i := range perm[:k] {
+			keep[i] = true
+		}
+		checkRecovery(t, g, chunks, frags, keep)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRoundTripSweep pins the corner geometries and payload sizes the
+// quick test may miss: (n,k) sweep including the shipped default (6,4),
+// zero-length payloads, and max-chunk payloads, each dropping every
+// possible single shard and the full worst case of n−k shards.
+func TestRoundTripSweep(t *testing.T) {
+	geoms := [][2]int{{2, 1}, {3, 2}, {4, 2}, {6, 4}, {9, 5}, {16, 12}}
+	for _, geom := range geoms {
+		n, k := geom[0], geom[1]
+		for _, size := range []int{0, 1, flash.PayloadSize} {
+			t.Run(fmt.Sprintf("n%d_k%d_size%d", n, k, size), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(int64(n*1000 + k*10 + size)))
+				count := uint32(2*k + 1) // odd tail stripe on purpose
+				g := Group{
+					File: 7, Origin: 3, FirstSeq: 100, Count: count,
+					Start: 5e9, End: 9e9, N: n, K: k,
+				}
+				sizes := make([]int, count)
+				for i := range sizes {
+					sizes[i] = size
+				}
+				chunks := makeChunks(t, g, sizes, rng)
+				defer flash.FreeChunks(chunks)
+				frags := encodeGroup(t, g, chunks)
+				// Drop each single shard in turn.
+				for drop := 0; drop < n; drop++ {
+					keep := make(map[int]bool)
+					for i := 0; i < n; i++ {
+						if i != drop {
+							keep[i] = true
+						}
+					}
+					checkRecovery(t, g, chunks, frags, keep)
+				}
+				// Worst case: only the last k shards survive.
+				keep := make(map[int]bool)
+				for i := n - k; i < n; i++ {
+					keep[i] = true
+				}
+				checkRecovery(t, g, chunks, frags, keep)
+			})
+		}
+	}
+}
+
+// TestSystematic asserts the code really is systematic: encoding never
+// touches the data chunks, so the k data fragments ARE the originals.
+func TestSystematic(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := Group{File: 1, Origin: 2, FirstSeq: 0, Count: 8, Start: 0, End: 8e9, N: 6, K: 4}
+	sizes := make([]int, g.Count)
+	for i := range sizes {
+		sizes[i] = -1
+	}
+	chunks := makeChunks(t, g, sizes, rng)
+	defer flash.FreeChunks(chunks)
+	before := make([][]byte, len(chunks))
+	for i, c := range chunks {
+		img, err := c.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[i] = img
+	}
+	encodeGroup(t, g, chunks)
+	for i, c := range chunks {
+		img, err := c.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(before[i], img) {
+			t.Fatalf("encoding modified data chunk %d", i)
+		}
+	}
+}
+
+// TestCorruptedFragment flips parity bytes and checks both halves of the
+// contract: the CRC rejects the corrupted fragment, and decode still
+// succeeds from k clean shards that exclude it.
+func TestCorruptedFragment(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := Group{File: 9, Origin: 4, FirstSeq: 50, Count: 9, Start: 1e9, End: 10e9, N: 6, K: 4}
+	sizes := make([]int, g.Count)
+	for i := range sizes {
+		sizes[i] = -1
+	}
+	chunks := makeChunks(t, g, sizes, rng)
+	defer flash.FreeChunks(chunks)
+	code, err := Cached(g.N, g.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blobs, err := EncodeParity(code, g, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt fragment k (index 4) in its parity area.
+	bad := append([]byte(nil), blobs[0]...)
+	bad[fragHeaderSize+13] ^= 0xa5
+	if _, err := ParseFragment(bad); err == nil {
+		t.Fatal("ParseFragment accepted a fragment with corrupted parity bytes")
+	}
+	// A header flip must be rejected too (structural validation).
+	badHdr := append([]byte(nil), blobs[0]...)
+	badHdr[18] ^= 0xff // count field
+	if _, err := ParseFragment(badHdr); err == nil {
+		t.Fatal("ParseFragment accepted a fragment with a corrupted count")
+	}
+	// The corrupted fragment also dies inside CollectFragments.
+	carriers := Carriers(g, g.K, bad)
+	for j := 1; j < len(blobs); j++ {
+		carriers = append(carriers, Carriers(g, g.K+j, blobs[j])...)
+	}
+	byGroup, stats := CollectFragments(carriers)
+	if stats.BadFragments != 1 {
+		t.Fatalf("stats %+v, want exactly one bad fragment", stats)
+	}
+	frags := byGroup[g.Key()]
+	if len(frags) != g.N-g.K-1 {
+		t.Fatalf("collected %d fragments, want %d clean ones", len(frags), g.N-g.K-1)
+	}
+	// Decode still succeeds with k clean shards avoiding the bad index:
+	// keep data columns 0,1 and parity fragments 5 (clean) + col 2.
+	keep := map[int]bool{0: true, 1: true, 2: true, 5: true}
+	checkRecovery(t, g, chunks, frags, keep)
+}
+
+// TestReconstructShortShards verifies the failure mode: with fewer than
+// k live shards for a stripe, the stripe's chunks stay missing and no
+// error is invented.
+func TestReconstructShortShards(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := Group{File: 2, Origin: 1, FirstSeq: 0, Count: 4, Start: 0, End: 4e9, N: 6, K: 4}
+	sizes := []int{-1, -1, -1, -1}
+	chunks := makeChunks(t, g, sizes, rng)
+	defer flash.FreeChunks(chunks)
+	frags := encodeGroup(t, g, chunks)
+	// Only 3 shards survive (< k=4): columns 0,1 + one parity fragment.
+	present := map[uint32]*flash.Chunk{0: chunks[0], 1: chunks[1]}
+	recovered, err := ReconstructGroup(g, present, frags[:1])
+	if err != nil {
+		t.Fatalf("ReconstructGroup: %v", err)
+	}
+	if len(recovered) != 0 {
+		t.Fatalf("recovered %d chunks from fewer than k shards", len(recovered))
+	}
+}
+
+// TestCarrierRoundTrip pins the carrier codec against hand-checked
+// fields, including the duplicate-carrier (retransmission) path.
+func TestCarrierRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := Group{File: 3, Origin: 8, FirstSeq: 77, Count: 6, Start: 2e9, End: 8e9, N: 6, K: 4}
+	sizes := make([]int, g.Count)
+	for i := range sizes {
+		sizes[i] = flash.PayloadSize
+	}
+	chunks := makeChunks(t, g, sizes, rng)
+	defer flash.FreeChunks(chunks)
+	code, _ := Cached(g.N, g.K)
+	blobs, err := EncodeParity(code, g, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	carriers := Carriers(g, g.K, blobs[0])
+	var rebuilt []byte
+	for i, c := range carriers {
+		car, err := DecodeCarrier(c.Data)
+		if err != nil {
+			t.Fatalf("carrier %d: %v", i, err)
+		}
+		if car.FragIndex != g.K || car.GroupFirstSeq != g.FirstSeq ||
+			car.Index != i || car.Count != len(carriers) {
+			t.Fatalf("carrier %d decoded as %+v", i, car)
+		}
+		if c.Start != g.Start || c.End != g.End {
+			t.Fatalf("carrier %d spans [%v,%v], want group span", i, c.Start, c.End)
+		}
+		rebuilt = append(rebuilt, car.Slice...)
+	}
+	if !bytes.Equal(rebuilt, blobs[0]) {
+		t.Fatal("carrier slices do not reassemble the blob")
+	}
+	// Duplicate carriers (bulk-plane retransmissions) must be idempotent.
+	dup := append(append([]*flash.Chunk(nil), carriers...), carriers...)
+	for j := 1; j < len(blobs); j++ {
+		dup = append(dup, Carriers(g, g.K+j, blobs[j])...)
+	}
+	byGroup, stats := CollectFragments(dup)
+	if stats.BadCarriers != 0 || stats.BadFragments != 0 || stats.Incomplete != 0 {
+		t.Fatalf("duplicate carriers produced stats %+v", stats)
+	}
+	if got := len(byGroup[g.Key()]); got != g.N-g.K {
+		t.Fatalf("collected %d fragments with duplicates present, want %d", got, g.N-g.K)
+	}
+	// A missing carrier leaves the fragment incomplete, not corrupt.
+	byGroup, stats = CollectFragments(carriers[1:])
+	if stats.Incomplete != 1 || len(byGroup[g.Key()]) != 0 {
+		t.Fatalf("truncated carrier set: stats %+v, groups %d", stats, len(byGroup))
+	}
+}
+
+// TestCodeQuick is the shard-level property: encode random equal-length
+// shards, null out any n−k of them, reconstruct, compare data bytes.
+func TestCodeQuick(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(14)
+		k := 1 + rng.Intn(n-1)
+		size := rng.Intn(300) // includes zero-length shards
+		code, err := New(n, k)
+		if err != nil {
+			t.Fatalf("New(%d,%d): %v", n, k, err)
+		}
+		data := make([][]byte, k)
+		for i := range data {
+			data[i] = make([]byte, size)
+			rng.Read(data[i])
+		}
+		parity, err := code.EncodeParity(data)
+		if err != nil {
+			t.Fatalf("EncodeParity: %v", err)
+		}
+		shards := make([][]byte, n)
+		for i := 0; i < k; i++ {
+			shards[i] = data[i]
+		}
+		copy(shards[k:], parity)
+		for _, i := range rng.Perm(n)[:n-k] {
+			shards[i] = nil
+		}
+		if err := code.ReconstructData(shards); err != nil {
+			t.Fatalf("ReconstructData: %v", err)
+		}
+		for i := 0; i < k; i++ {
+			if !bytes.Equal(shards[i], data[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNewRejectsBadGeometry pins the constructor's validation.
+func TestNewRejectsBadGeometry(t *testing.T) {
+	for _, geom := range [][2]int{{1, 1}, {4, 0}, {3, 3}, {2, 5}, {256, 4}} {
+		if _, err := New(geom[0], geom[1]); err == nil {
+			t.Errorf("New(%d,%d) accepted invalid geometry", geom[0], geom[1])
+		}
+	}
+	if _, err := New(MaxShards, MaxShards-1); err != nil {
+		t.Errorf("New at the shard limit: %v", err)
+	}
+}
+
+// TestParseFragmentLengthGate pins the over-allocation guard: a header
+// declaring a huge count must be rejected by comparing the derived blob
+// length against the actual one, without allocating stripe slices.
+func TestParseFragmentLengthGate(t *testing.T) {
+	blob := make([]byte, fragHeaderSize+flash.BlockSize)
+	writeFragHeader(blob, Group{File: 1, Origin: 1, FirstSeq: 0, Count: 1, N: 3, K: 2}, 2)
+	if _, err := ParseFragment(blob); err != nil {
+		t.Fatalf("valid one-stripe fragment rejected: %v", err)
+	}
+	binary.BigEndian.PutUint32(blob[18:], 1<<31) // count → 2 billion
+	if _, err := ParseFragment(blob); err == nil {
+		t.Fatal("fragment declaring 2^31 chunks accepted")
+	}
+}

@@ -1,0 +1,486 @@
+package erasure
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"enviromic/internal/flash"
+	"enviromic/internal/sim"
+)
+
+// ParityFileBit marks a chunk as a parity-fragment carrier: its File is
+// the data file's ID with this bit set, so parity rides the existing
+// storage/retrieval machinery as an ordinary (distinct) file and never
+// collides with data chunk identities. BaseFile strips the bit.
+const ParityFileBit flash.FileID = 1 << 31
+
+// IsParity reports whether the chunk carries parity-fragment bytes.
+func IsParity(c *flash.Chunk) bool { return c.File&ParityFileBit != 0 }
+
+// BaseFile returns the data file a (possibly parity) file ID refers to.
+func BaseFile(id flash.FileID) flash.FileID { return id &^ ParityFileBit }
+
+// Group identifies one dispersal unit: the chunks one recorder stored for
+// one recording task (a contiguous Seq run of one file). The recorder
+// erasure-codes the group into N fragments of which any K reconstruct it.
+type Group struct {
+	File     flash.FileID // data file ID (ParityFileBit clear)
+	Origin   int32        // recording node
+	FirstSeq uint32       // first data chunk sequence number
+	Count    uint32       // number of data chunks (seqs FirstSeq..FirstSeq+Count-1)
+	Start    sim.Time     // covered recording span (for time-range queries)
+	End      sim.Time
+	N, K     int
+}
+
+// Key returns the group's network-wide identity.
+func (g Group) Key() GroupKey { return GroupKey{g.File, g.Origin, g.FirstSeq} }
+
+// Stripes returns the stripe count: each stripe erasure-codes K
+// consecutive data chunks (the last stripe zero-pads).
+func (g Group) Stripes() int { return int((g.Count + uint32(g.K) - 1) / uint32(g.K)) }
+
+// GroupKey is the map key for dispersal groups.
+type GroupKey struct {
+	File     flash.FileID
+	Origin   int32
+	FirstSeq uint32
+}
+
+// Fragment wire format. A parity fragment is a self-describing blob:
+//
+//	offset size
+//	0      2   magic "EF"
+//	2      1   version (1)
+//	3      1   n
+//	4      1   k
+//	5      1   fragment index (k..n-1)
+//	6      4   file ID (ParityFileBit clear)
+//	10     4   origin node
+//	14     4   first data seq
+//	18     4   data chunk count
+//	22     8   group start time (ns)
+//	30     8   group end time (ns)
+//	38     2   stripe record length (flash.BlockSize)
+//	40     4   CRC-32 (IEEE) of the parity bytes
+//	44     S×L parity records, S = ceil(count/k), L = stripe record length
+//
+// Record s is the fragment's Reed-Solomon share of stripe s: the coded
+// combination of the 256-byte Marshal block images of data chunks
+// [FirstSeq+s·k, FirstSeq+(s+1)·k) (absent tail cells count as zero
+// blocks). Coding whole block images — not just payloads — is what makes
+// reconstruction recover a missing chunk verbatim, metadata included.
+//
+// Blobs travel packetized into carrier chunks (File = file|ParityFileBit)
+// whose payloads are:
+//
+//	offset size
+//	0      2   magic "EC"
+//	2      1   version (1)
+//	3      1   fragment index
+//	4      4   group first seq
+//	8      2   carrier index
+//	10     2   carrier count
+//	12     2   slice length
+//	14     …   blob slice (≤ CarrierCapacity bytes)
+const (
+	fragVersion       = 1
+	fragHeaderSize    = 44
+	carrierVersion    = 1
+	carrierHeaderSize = 14
+	// CarrierCapacity is the blob bytes one carrier chunk holds.
+	CarrierCapacity = flash.PayloadSize - carrierHeaderSize
+)
+
+var zeroBlock [flash.BlockSize]byte
+
+// EncodeParity builds the N−K parity fragment blobs for one group.
+// chunks must be the group's data chunks in ascending Seq order: exactly
+// Count of them, contiguous from FirstSeq. Payload contents are
+// arbitrary (zero-length through PayloadSize).
+func EncodeParity(code *Code, g Group, chunks []*flash.Chunk) ([][]byte, error) {
+	if code.N() != g.N || code.K() != g.K {
+		return nil, fmt.Errorf("erasure: code is (%d,%d), group wants (%d,%d)", code.N(), code.K(), g.N, g.K)
+	}
+	if uint32(len(chunks)) != g.Count || g.Count == 0 {
+		return nil, fmt.Errorf("erasure: group has %d chunks, Count says %d", len(chunks), g.Count)
+	}
+	for i, c := range chunks {
+		if c.Seq != g.FirstSeq+uint32(i) {
+			return nil, fmt.Errorf("erasure: chunk %d has seq %d, want %d", i, c.Seq, g.FirstSeq+uint32(i))
+		}
+		if c.File != g.File || c.Origin != g.Origin {
+			return nil, fmt.Errorf("erasure: chunk seq %d belongs to file %#x origin %d, group is file %#x origin %d",
+				c.Seq, c.File, c.Origin, g.File, g.Origin)
+		}
+	}
+	stripes := g.Stripes()
+	parityLen := stripes * flash.BlockSize
+	blobs := make([][]byte, g.N-g.K)
+	for j := range blobs {
+		blobs[j] = make([]byte, fragHeaderSize+parityLen)
+	}
+	data := make([][]byte, g.K)
+	for s := 0; s < stripes; s++ {
+		for col := 0; col < g.K; col++ {
+			i := s*g.K + col
+			if i < len(chunks) {
+				img, err := chunks[i].Marshal()
+				if err != nil {
+					return nil, err
+				}
+				data[col] = img
+			} else {
+				data[col] = zeroBlock[:]
+			}
+		}
+		parity, err := code.EncodeParity(data)
+		if err != nil {
+			return nil, err
+		}
+		for j := range blobs {
+			copy(blobs[j][fragHeaderSize+s*flash.BlockSize:], parity[j])
+		}
+	}
+	for j := range blobs {
+		writeFragHeader(blobs[j], g, g.K+j)
+	}
+	return blobs, nil
+}
+
+func writeFragHeader(blob []byte, g Group, index int) {
+	blob[0], blob[1], blob[2] = 'E', 'F', fragVersion
+	blob[3], blob[4], blob[5] = byte(g.N), byte(g.K), byte(index)
+	binary.BigEndian.PutUint32(blob[6:], uint32(g.File))
+	binary.BigEndian.PutUint32(blob[10:], uint32(g.Origin))
+	binary.BigEndian.PutUint32(blob[14:], g.FirstSeq)
+	binary.BigEndian.PutUint32(blob[18:], g.Count)
+	binary.BigEndian.PutUint64(blob[22:], uint64(g.Start))
+	binary.BigEndian.PutUint64(blob[30:], uint64(g.End))
+	binary.BigEndian.PutUint16(blob[38:], flash.BlockSize)
+	binary.BigEndian.PutUint32(blob[40:], crc32.ChecksumIEEE(blob[fragHeaderSize:]))
+}
+
+// Fragment is one parsed parity fragment.
+type Fragment struct {
+	Group Group
+	Index int // k..n-1
+	// Stripes[s] is the fragment's share of stripe s (views into the
+	// blob, flash.BlockSize bytes each).
+	Stripes [][]byte
+}
+
+// ParseFragment validates and parses a reassembled fragment blob. Every
+// declared size is checked against the actual blob length before any
+// dependent allocation, and the parity bytes must match the stored CRC.
+func ParseFragment(blob []byte) (*Fragment, error) {
+	if len(blob) < fragHeaderSize {
+		return nil, fmt.Errorf("erasure: fragment blob is %d bytes, header needs %d", len(blob), fragHeaderSize)
+	}
+	if blob[0] != 'E' || blob[1] != 'F' {
+		return nil, fmt.Errorf("erasure: bad fragment magic %#x%#x", blob[0], blob[1])
+	}
+	if blob[2] != fragVersion {
+		return nil, fmt.Errorf("erasure: fragment version %d, want %d", blob[2], fragVersion)
+	}
+	n, k, index := int(blob[3]), int(blob[4]), int(blob[5])
+	if k < 1 || n <= k {
+		return nil, fmt.Errorf("erasure: fragment geometry (%d,%d) invalid", n, k)
+	}
+	if index < k || index >= n {
+		return nil, fmt.Errorf("erasure: parity index %d outside [%d,%d)", index, k, n)
+	}
+	g := Group{
+		File:     flash.FileID(binary.BigEndian.Uint32(blob[6:])),
+		Origin:   int32(binary.BigEndian.Uint32(blob[10:])),
+		FirstSeq: binary.BigEndian.Uint32(blob[14:]),
+		Count:    binary.BigEndian.Uint32(blob[18:]),
+		Start:    sim.Time(binary.BigEndian.Uint64(blob[22:])),
+		End:      sim.Time(binary.BigEndian.Uint64(blob[30:])),
+		N:        n,
+		K:        k,
+	}
+	if g.File&ParityFileBit != 0 {
+		return nil, fmt.Errorf("erasure: fragment file %#x has the parity bit set", g.File)
+	}
+	if g.Count == 0 {
+		return nil, fmt.Errorf("erasure: fragment declares an empty group")
+	}
+	if l := binary.BigEndian.Uint16(blob[38:]); l != flash.BlockSize {
+		return nil, fmt.Errorf("erasure: stripe record length %d, want %d", l, flash.BlockSize)
+	}
+	stripes := int64(g.Stripes())
+	if want := int64(fragHeaderSize) + stripes*flash.BlockSize; int64(len(blob)) != want {
+		return nil, fmt.Errorf("erasure: fragment blob is %d bytes, %d chunks need %d", len(blob), g.Count, want)
+	}
+	if crc := crc32.ChecksumIEEE(blob[fragHeaderSize:]); crc != binary.BigEndian.Uint32(blob[40:]) {
+		return nil, fmt.Errorf("erasure: fragment CRC mismatch (got %#x, stored %#x)",
+			crc, binary.BigEndian.Uint32(blob[40:]))
+	}
+	f := &Fragment{Group: g, Index: index, Stripes: make([][]byte, stripes)}
+	for s := range f.Stripes {
+		f.Stripes[s] = blob[fragHeaderSize+s*flash.BlockSize : fragHeaderSize+(s+1)*flash.BlockSize]
+	}
+	return f, nil
+}
+
+// Carriers packetizes one parity fragment blob into carrier chunks ready
+// for the bulk-transfer plane. Carrier sequence numbers are derived from
+// the group (FirstSeq·256 plus the fragment's carrier offsets), which
+// keeps (file|ParityFileBit, origin, seq) unique across a recorder's
+// groups without any per-node counter — groups advance FirstSeq by at
+// least one chunk, and a group never emits 256·Count carriers. Carrier
+// Start/End spans the whole group so time-range queries fetch the parity
+// alongside the data it protects.
+func Carriers(g Group, fragIndex int, blob []byte) []*flash.Chunk {
+	count := (len(blob) + CarrierCapacity - 1) / CarrierCapacity
+	out := make([]*flash.Chunk, 0, count)
+	for i := 0; i < count; i++ {
+		lo := i * CarrierCapacity
+		hi := lo + CarrierCapacity
+		if hi > len(blob) {
+			hi = len(blob)
+		}
+		c := flash.NewChunk()
+		c.File = g.File | ParityFileBit
+		c.Origin = g.Origin
+		c.Seq = g.FirstSeq*256 + uint32((fragIndex-g.K)*count+i)
+		c.Start = g.Start
+		c.End = g.End
+		var hdr [carrierHeaderSize]byte
+		hdr[0], hdr[1], hdr[2], hdr[3] = 'E', 'C', carrierVersion, byte(fragIndex)
+		binary.BigEndian.PutUint32(hdr[4:], g.FirstSeq)
+		binary.BigEndian.PutUint16(hdr[8:], uint16(i))
+		binary.BigEndian.PutUint16(hdr[10:], uint16(count))
+		binary.BigEndian.PutUint16(hdr[12:], uint16(hi-lo))
+		c.Data = append(c.Data[:0], hdr[:]...)
+		c.Data = append(c.Data, blob[lo:hi]...)
+		out = append(out, c)
+	}
+	return out
+}
+
+// Carrier is one parsed carrier chunk payload.
+type Carrier struct {
+	FragIndex     int
+	GroupFirstSeq uint32
+	Index, Count  int
+	Slice         []byte // view into the payload
+}
+
+// DecodeCarrier parses a carrier chunk payload. Malformed headers —
+// wrong magic or version, size fields disagreeing with the actual
+// payload length, an index outside the declared count — are errors;
+// nothing is allocated from declared sizes.
+func DecodeCarrier(payload []byte) (Carrier, error) {
+	if len(payload) < carrierHeaderSize {
+		return Carrier{}, fmt.Errorf("erasure: carrier payload is %d bytes, header needs %d", len(payload), carrierHeaderSize)
+	}
+	if payload[0] != 'E' || payload[1] != 'C' {
+		return Carrier{}, fmt.Errorf("erasure: bad carrier magic %#x%#x", payload[0], payload[1])
+	}
+	if payload[2] != carrierVersion {
+		return Carrier{}, fmt.Errorf("erasure: carrier version %d, want %d", payload[2], carrierVersion)
+	}
+	c := Carrier{
+		FragIndex:     int(payload[3]),
+		GroupFirstSeq: binary.BigEndian.Uint32(payload[4:]),
+		Index:         int(binary.BigEndian.Uint16(payload[8:])),
+		Count:         int(binary.BigEndian.Uint16(payload[10:])),
+	}
+	sliceLen := int(binary.BigEndian.Uint16(payload[12:]))
+	if c.Count < 1 || c.Index >= c.Count {
+		return Carrier{}, fmt.Errorf("erasure: carrier index %d outside count %d", c.Index, c.Count)
+	}
+	if sliceLen == 0 || sliceLen != len(payload)-carrierHeaderSize {
+		return Carrier{}, fmt.Errorf("erasure: carrier declares %d slice bytes, payload carries %d",
+			sliceLen, len(payload)-carrierHeaderSize)
+	}
+	c.Slice = payload[carrierHeaderSize:]
+	return c, nil
+}
+
+// CollectStats counts what CollectFragments saw and dropped.
+type CollectStats struct {
+	Carriers     int // parity carrier chunks examined
+	BadCarriers  int // malformed or inconsistent carrier payloads
+	Fragments    int // fragments successfully reassembled and parsed
+	BadFragments int // complete carrier sets whose blob failed validation
+	Incomplete   int // fragments missing at least one carrier
+}
+
+// fragAsm accumulates one fragment's carriers.
+type fragAsm struct {
+	count  int
+	slices [][]byte
+	have   int
+	bad    bool
+}
+
+// CollectFragments reassembles parity fragments from a pile of chunks
+// (non-parity chunks are ignored). Carriers with malformed headers,
+// inconsistent counts, or duplicate indices are dropped (first copy
+// wins, so pass chunks in a deterministic order); fragments whose blob
+// fails ParseFragment — bad CRC included — are dropped whole. The
+// returned fragments are grouped by dispersal group and sorted by
+// fragment index.
+func CollectFragments(chunks []*flash.Chunk) (map[GroupKey][]*Fragment, CollectStats) {
+	var stats CollectStats
+	type asmKey struct {
+		key  GroupKey
+		frag int
+	}
+	asm := make(map[asmKey]*fragAsm)
+	order := make([]asmKey, 0)
+	for _, c := range chunks {
+		if c == nil || !IsParity(c) {
+			continue
+		}
+		stats.Carriers++
+		car, err := DecodeCarrier(c.Data)
+		if err != nil {
+			stats.BadCarriers++
+			continue
+		}
+		k := asmKey{GroupKey{BaseFile(c.File), c.Origin, car.GroupFirstSeq}, car.FragIndex}
+		a := asm[k]
+		if a == nil {
+			a = &fragAsm{count: car.Count, slices: make([][]byte, car.Count)}
+			asm[k] = a
+			order = append(order, k)
+		}
+		if a.bad {
+			continue
+		}
+		if car.Count != a.count {
+			// Carriers of one fragment disagree on the carrier count:
+			// something corrupted the set; drop the fragment.
+			stats.BadCarriers++
+			a.bad = true
+			continue
+		}
+		if a.slices[car.Index] != nil {
+			continue // duplicate carrier (ACK-loss retransmission); first wins
+		}
+		a.slices[car.Index] = car.Slice
+		a.have++
+	}
+	out := make(map[GroupKey][]*Fragment)
+	for _, k := range order {
+		a := asm[k]
+		if a.bad {
+			continue
+		}
+		if a.have != a.count {
+			stats.Incomplete++
+			continue
+		}
+		blob := make([]byte, 0, a.count*CarrierCapacity)
+		for _, s := range a.slices {
+			blob = append(blob, s...)
+		}
+		f, err := ParseFragment(blob)
+		if err != nil {
+			stats.BadFragments++
+			continue
+		}
+		if f.Group.Key() != k.key || f.Index != k.frag {
+			// Blob contents disagree with the carrier envelope.
+			stats.BadFragments++
+			continue
+		}
+		stats.Fragments++
+		out[k.key] = append(out[k.key], f)
+	}
+	// Carrier order already yields ascending insertion per group; sort by
+	// index for a deterministic decode matrix regardless.
+	for _, frags := range out {
+		for i := 1; i < len(frags); i++ {
+			for j := i; j > 0 && frags[j].Index < frags[j-1].Index; j-- {
+				frags[j], frags[j-1] = frags[j-1], frags[j]
+			}
+		}
+	}
+	return out, stats
+}
+
+// ReconstructGroup recovers a group's missing data chunks from the
+// chunks present (keyed by Seq) and any parity fragments. Stripes whose
+// data is complete cost nothing; a stripe decodes when its live shares —
+// present data cells plus fragment records — reach K. Recovered chunks
+// are drawn from the chunk pool and validated against the group before
+// being returned; stripes short of K shares are skipped (their missing
+// seqs are simply not in the result).
+func ReconstructGroup(g Group, present map[uint32]*flash.Chunk, frags []*Fragment) ([]*flash.Chunk, error) {
+	if g.Count == 0 {
+		return nil, nil
+	}
+	code, err := Cached(g.N, g.K)
+	if err != nil {
+		return nil, err
+	}
+	var recovered []*flash.Chunk
+	stripes := g.Stripes()
+	for s := 0; s < stripes; s++ {
+		var missing []int
+		for col := 0; col < g.K; col++ {
+			i := uint32(s*g.K + col)
+			if i >= g.Count {
+				break
+			}
+			if present[g.FirstSeq+i] == nil {
+				missing = append(missing, col)
+			}
+		}
+		if len(missing) == 0 {
+			continue
+		}
+		shards := make([][]byte, g.N)
+		for col := 0; col < g.K; col++ {
+			i := uint32(s*g.K + col)
+			if i >= g.Count {
+				shards[col] = zeroBlock[:] // structural zero cell
+				continue
+			}
+			if c := present[g.FirstSeq+i]; c != nil {
+				img, err := c.Marshal()
+				if err != nil {
+					return recovered, err
+				}
+				shards[col] = img
+			}
+		}
+		for _, f := range frags {
+			if f.Group == g && s < len(f.Stripes) {
+				shards[f.Index] = f.Stripes[s]
+			}
+		}
+		liveShares := 0
+		for _, sh := range shards {
+			if sh != nil {
+				liveShares++
+			}
+		}
+		if liveShares < g.K {
+			continue // stripe unrecoverable with what we have
+		}
+		if err := code.ReconstructData(shards); err != nil {
+			return recovered, err
+		}
+		for _, col := range missing {
+			seq := g.FirstSeq + uint32(s*g.K+col)
+			c, err := flash.UnmarshalChunk(shards[col])
+			if err != nil {
+				return recovered, fmt.Errorf("erasure: stripe %d column %d decoded to a corrupt chunk: %w", s, col, err)
+			}
+			if c.File != g.File || c.Origin != g.Origin || c.Seq != seq {
+				flash.FreeChunk(c)
+				return recovered, fmt.Errorf("erasure: stripe %d column %d decoded to chunk (file %#x origin %d seq %d), want (file %#x origin %d seq %d)",
+					s, col, c.File, c.Origin, c.Seq, g.File, g.Origin, seq)
+			}
+			recovered = append(recovered, c)
+		}
+	}
+	return recovered, nil
+}

@@ -1,0 +1,78 @@
+package erasure
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"enviromic/internal/flash"
+)
+
+// fuzzSeedBlob builds a small valid fragment blob for the corpus.
+func fuzzSeedBlob() []byte {
+	g := Group{File: 7, Origin: 3, FirstSeq: 10, Count: 3, Start: 1e9, End: 4e9, N: 4, K: 2}
+	blob := make([]byte, fragHeaderSize+2*flash.BlockSize)
+	for i := range blob[fragHeaderSize:] {
+		blob[fragHeaderSize+i] = byte(i)
+	}
+	writeFragHeader(blob, g, 3)
+	return blob
+}
+
+// FuzzFragmentDecode asserts the fragment wire codec's contract under
+// arbitrary input (mirroring chaos.FuzzParseScenario): neither
+// ParseFragment nor DecodeCarrier may panic or allocate from declared
+// sizes the actual input length does not back, and anything accepted
+// must be internally consistent.
+func FuzzFragmentDecode(f *testing.F) {
+	blob := fuzzSeedBlob()
+	f.Add(blob)
+	f.Add(blob[:fragHeaderSize])
+	f.Add(blob[:7])
+	truncCRC := append([]byte(nil), blob...)
+	truncCRC[fragHeaderSize] ^= 0xff
+	f.Add(truncCRC)
+	hugeCount := append([]byte(nil), blob...)
+	binary.BigEndian.PutUint32(hugeCount[18:], 0xffffffff)
+	f.Add(hugeCount)
+	badGeom := append([]byte(nil), blob...)
+	badGeom[3], badGeom[4] = 2, 5 // n < k
+	f.Add(badGeom)
+	g := Group{File: 7, Origin: 3, FirstSeq: 10, Count: 3, Start: 1e9, End: 4e9, N: 4, K: 2}
+	for _, c := range Carriers(g, 2, blob) {
+		f.Add(append([]byte(nil), c.Data...))
+		flash.FreeChunk(c)
+	}
+	f.Add([]byte("EC"))
+	f.Add([]byte("EF"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if frag, err := ParseFragment(data); err == nil {
+			if frag == nil {
+				t.Fatal("nil fragment with nil error")
+			}
+			gg := frag.Group
+			if gg.K < 1 || gg.N <= gg.K || frag.Index < gg.K || frag.Index >= gg.N {
+				t.Fatalf("accepted fragment with invalid geometry %+v index %d", gg, frag.Index)
+			}
+			if gg.Count == 0 || gg.File&ParityFileBit != 0 {
+				t.Fatalf("accepted fragment with invalid group %+v", gg)
+			}
+			if len(frag.Stripes) != gg.Stripes() {
+				t.Fatalf("fragment has %d stripes, group needs %d", len(frag.Stripes), gg.Stripes())
+			}
+			for _, s := range frag.Stripes {
+				if len(s) != flash.BlockSize {
+					t.Fatalf("stripe record of %d bytes", len(s))
+				}
+			}
+		}
+		if car, err := DecodeCarrier(data); err == nil {
+			if car.Count < 1 || car.Index < 0 || car.Index >= car.Count {
+				t.Fatalf("accepted carrier with index %d of %d", car.Index, car.Count)
+			}
+			if len(car.Slice) == 0 || len(car.Slice) != len(data)-carrierHeaderSize {
+				t.Fatalf("accepted carrier whose slice (%d bytes) mismatches the payload", len(car.Slice))
+			}
+		}
+	})
+}

@@ -1,0 +1,150 @@
+// Package erasure implements the Reed-Solomon dispersal mode named in
+// the ROADMAP: a systematic (n,k) code over GF(2^8) applied to
+// flash.Chunk block images, so a recorder can scatter n fragments of a
+// recording across its neighborhood and any k of them reconstruct the
+// original chunks verbatim — metadata included. The construction follows
+// the classic Vandermonde derivation (the same family of codes the
+// zipa-testbed pipeline wraps); the fragment wire format that rides the
+// bulk-transfer plane is defined in fragment.go.
+package erasure
+
+// GF(2^8) arithmetic with the primitive polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11d), the field conventionally used by
+// Reed-Solomon codes. Multiplication goes through log/exp tables built
+// once at init; the exp table is doubled so products of two logs index it
+// without a modulo.
+
+var (
+	gfExp [510]byte
+	gfLog [256]int16
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfLog[x] = int16(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= 0x11d
+		}
+	}
+	for i := 255; i < 510; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+func gfDiv(a, b byte) byte {
+	if b == 0 {
+		panic("erasure: division by zero in GF(2^8)")
+	}
+	if a == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])-int(gfLog[b])+255]
+}
+
+// mulAddSlice folds c·src into dst (dst[i] ^= c*src[i]): the inner loop
+// of both encoding and reconstruction. Slices must be equal length.
+func mulAddSlice(c byte, src, dst []byte) {
+	switch c {
+	case 0:
+		return
+	case 1:
+		for i, s := range src {
+			dst[i] ^= s
+		}
+		return
+	}
+	lc := int(gfLog[c])
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= gfExp[lc+int(gfLog[s])]
+		}
+	}
+}
+
+// identityMatrix returns the k×k identity.
+func identityMatrix(k int) [][]byte {
+	m := make([][]byte, k)
+	for i := range m {
+		m[i] = make([]byte, k)
+		m[i][i] = 1
+	}
+	return m
+}
+
+// invertMatrix returns the inverse of the square row-major matrix m (not
+// modified), or false if m is singular. Plain Gauss-Jordan over GF(2^8);
+// the matrices here are at most n×n for n ≤ 255 and tiny in practice.
+func invertMatrix(m [][]byte) ([][]byte, bool) {
+	k := len(m)
+	work := make([][]byte, k)
+	for i, row := range m {
+		if len(row) != k {
+			panic("erasure: invertMatrix on non-square matrix")
+		}
+		work[i] = append([]byte(nil), row...)
+	}
+	inv := identityMatrix(k)
+	for col := 0; col < k; col++ {
+		// Find a pivot row.
+		pivot := -1
+		for r := col; r < k; r++ {
+			if work[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, false
+		}
+		work[col], work[pivot] = work[pivot], work[col]
+		inv[col], inv[pivot] = inv[pivot], inv[col]
+		// Scale the pivot row to 1.
+		if p := work[col][col]; p != 1 {
+			for j := 0; j < k; j++ {
+				work[col][j] = gfDiv(work[col][j], p)
+				inv[col][j] = gfDiv(inv[col][j], p)
+			}
+		}
+		// Eliminate the column everywhere else.
+		for r := 0; r < k; r++ {
+			if r == col || work[r][col] == 0 {
+				continue
+			}
+			f := work[r][col]
+			for j := 0; j < k; j++ {
+				work[r][j] ^= gfMul(f, work[col][j])
+				inv[r][j] ^= gfMul(f, inv[col][j])
+			}
+		}
+	}
+	return inv, true
+}
+
+// matMul returns a·b for row-major matrices (len(a[0]) must equal
+// len(b)).
+func matMul(a, b [][]byte) [][]byte {
+	rows, inner, cols := len(a), len(b), len(b[0])
+	out := make([][]byte, rows)
+	for r := 0; r < rows; r++ {
+		row := make([]byte, cols)
+		for i := 0; i < inner; i++ {
+			if f := a[r][i]; f != 0 {
+				for j := 0; j < cols; j++ {
+					row[j] ^= gfMul(f, b[i][j])
+				}
+			}
+		}
+		out[r] = row
+	}
+	return out
+}

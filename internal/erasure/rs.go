@@ -1,0 +1,176 @@
+package erasure
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Code is a systematic (n,k) Reed-Solomon erasure code over GF(2^8):
+// k data shards plus n−k parity shards, and any k of the n shards
+// reconstruct the data exactly. Systematic means the first k shards ARE
+// the data — encoding leaves them untouched, which is what lets the
+// dispersal mode ship original flash chunks as data fragments.
+type Code struct {
+	n, k int
+	// parity holds the bottom n−k rows of the systematic generator
+	// matrix (the top k rows are the identity by construction).
+	parity [][]byte
+}
+
+// MaxShards bounds n: GF(2^8) Vandermonde points must be distinct field
+// elements.
+const MaxShards = 255
+
+// New builds an (n,k) code. The generator is an n×k Vandermonde matrix
+// (rows [x⁰ … x^(k−1)] for distinct points x) right-multiplied by the
+// inverse of its own top k×k block, which makes the top k rows the
+// identity while preserving the Vandermonde property that every k-row
+// subset is invertible.
+func New(n, k int) (*Code, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("erasure: k=%d, need at least 1 data shard", k)
+	}
+	if n <= k {
+		return nil, fmt.Errorf("erasure: n=%d must exceed k=%d", n, k)
+	}
+	if n > MaxShards {
+		return nil, fmt.Errorf("erasure: n=%d exceeds GF(2^8) limit %d", n, MaxShards)
+	}
+	v := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		row := make([]byte, k)
+		e := byte(1)
+		for j := 0; j < k; j++ {
+			row[j] = e
+			e = gfMul(e, byte(i))
+		}
+		v[i] = row
+	}
+	topInv, ok := invertMatrix(v[:k])
+	if !ok {
+		// Distinct Vandermonde points guarantee invertibility.
+		panic("erasure: Vandermonde top block singular")
+	}
+	gen := matMul(v, topInv)
+	return &Code{n: n, k: k, parity: gen[k:]}, nil
+}
+
+// N returns the total shard count.
+func (c *Code) N() int { return c.n }
+
+// K returns the data shard count.
+func (c *Code) K() int { return c.k }
+
+// EncodeParity computes the n−k parity shards for k equal-length data
+// shards. The data shards are not modified (the code is systematic).
+func (c *Code) EncodeParity(data [][]byte) ([][]byte, error) {
+	if len(data) != c.k {
+		return nil, fmt.Errorf("erasure: %d data shards, code wants k=%d", len(data), c.k)
+	}
+	size := len(data[0])
+	for i, d := range data {
+		if len(d) != size {
+			return nil, fmt.Errorf("erasure: shard %d is %d bytes, shard 0 is %d", i, len(d), size)
+		}
+	}
+	out := make([][]byte, c.n-c.k)
+	for r := range out {
+		out[r] = make([]byte, size)
+		for j := 0; j < c.k; j++ {
+			mulAddSlice(c.parity[r][j], data[j], out[r])
+		}
+	}
+	return out, nil
+}
+
+// genRow returns row i of the systematic generator matrix.
+func (c *Code) genRow(i int) []byte {
+	if i < c.k {
+		row := make([]byte, c.k)
+		row[i] = 1
+		return row
+	}
+	return c.parity[i-c.k]
+}
+
+// ReconstructData fills the nil data shards of shards (length n: indices
+// [0,k) data, [k,n) parity) from any k present shards. Present shards
+// must share one length; missing parity shards are left nil (the
+// dispersal decoder only needs the data back). It returns an error when
+// fewer than k shards are present.
+func (c *Code) ReconstructData(shards [][]byte) error {
+	if len(shards) != c.n {
+		return fmt.Errorf("erasure: %d shards passed, code has n=%d", len(shards), c.n)
+	}
+	missing := 0
+	for i := 0; i < c.k; i++ {
+		if shards[i] == nil {
+			missing++
+		}
+	}
+	if missing == 0 {
+		return nil
+	}
+	// Pick k present shards, data shards first (their generator rows are
+	// identity rows, keeping the matrix nearly diagonal).
+	pick := make([]int, 0, c.k)
+	for i := 0; i < c.n && len(pick) < c.k; i++ {
+		if shards[i] != nil {
+			pick = append(pick, i)
+		}
+	}
+	if len(pick) < c.k {
+		return fmt.Errorf("erasure: only %d of %d shards present, need k=%d", len(pick), c.n, c.k)
+	}
+	size := len(shards[pick[0]])
+	for _, i := range pick {
+		if len(shards[i]) != size {
+			return fmt.Errorf("erasure: shard %d is %d bytes, shard %d is %d", i, len(shards[i]), pick[0], size)
+		}
+	}
+	sub := make([][]byte, c.k)
+	for r, i := range pick {
+		sub[r] = c.genRow(i)
+	}
+	inv, ok := invertMatrix(sub)
+	if !ok {
+		// Cannot happen for a Vandermonde-derived generator.
+		panic("erasure: singular decode submatrix")
+	}
+	for j := 0; j < c.k; j++ {
+		if shards[j] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		for r, i := range pick {
+			mulAddSlice(inv[j][r], shards[i], out)
+		}
+		shards[j] = out
+	}
+	return nil
+}
+
+// codeCache interns Codes by geometry: the dispersal path builds one per
+// (n,k) per process, and the decode path asks once per group.
+var codeCache struct {
+	mu sync.Mutex
+	m  map[[2]int]*Code
+}
+
+// Cached returns the interned (n,k) code, building it on first use.
+func Cached(n, k int) (*Code, error) {
+	codeCache.mu.Lock()
+	defer codeCache.mu.Unlock()
+	if c, ok := codeCache.m[[2]int{n, k}]; ok {
+		return c, nil
+	}
+	c, err := New(n, k)
+	if err != nil {
+		return nil, err
+	}
+	if codeCache.m == nil {
+		codeCache.m = make(map[[2]int]*Code)
+	}
+	codeCache.m[[2]int{n, k}] = c
+	return c, nil
+}

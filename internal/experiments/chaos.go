@@ -39,11 +39,17 @@ func RunIndoorChaos(setting IndoorSetting, opts IndoorOpts, sc *chaos.Scenario, 
 		if err != nil {
 			return ChaosIndoorResult{}, err
 		}
+		inj.SetInvariants(checker)
 		res.Injector = inj
 	}
 	net.Run(sim.At(opts.Duration))
 	// Gap tolerance of one task period: chunk timestamps within a file
 	// abut at Trc granularity, so anything larger is a real hole.
 	checker.CheckHoldings(net.Sched.Now(), net.Holdings(), time.Second)
+	// k-of-n fragment survivability (vacuous under migration: the rule
+	// only sees storage.disperse.* events).
+	checker.CheckSurvivability(net.Sched.Now(), func(id int) bool {
+		return net.Nodes[id].Mote.Endpoint.Alive()
+	})
 	return res, nil
 }

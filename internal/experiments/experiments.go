@@ -18,6 +18,7 @@ import (
 	"enviromic/internal/mote"
 	"enviromic/internal/obs"
 	"enviromic/internal/sim"
+	"enviromic/internal/storage"
 	"enviromic/internal/task"
 	"enviromic/internal/telemetry"
 	"enviromic/internal/workload"
@@ -295,6 +296,14 @@ type IndoorOpts struct {
 	// internal/telemetry). Like the tracer it is a pure observer and does
 	// not perturb fixed-seed results.
 	Telemetry *telemetry.Registry
+	// StorageMode selects the storage plane's post-recording behavior for
+	// ModeFull settings: the default migration balancer, or erasure-coded
+	// dispersal (storage.ModeDisperse). The zero value keeps migration,
+	// byte-identical to builds predating the dispersal mode.
+	StorageMode storage.Mode
+	// Disperse tunes the (n,k) erasure geometry when StorageMode is
+	// ModeDisperse; zero values take storage.DefaultDisperseConfig.
+	Disperse storage.DisperseConfig
 }
 
 // DefaultIndoorOpts mirrors §IV-B: 4400 s, ~220 events, 4 hearers each.
@@ -332,6 +341,8 @@ func BuildIndoor(setting IndoorSetting, opts IndoorOpts) *core.Network {
 		SamplePeriod: opts.Duration / time.Duration(opts.SamplePoints*2),
 		Tracer:       opts.Tracer,
 		Telemetry:    opts.Telemetry,
+		StorageMode:  opts.StorageMode,
+		Disperse:     opts.Disperse,
 	}, field, grid)
 }
 

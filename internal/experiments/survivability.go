@@ -1,0 +1,177 @@
+// The survivability matrix: migration vs. erasure-coded dispersal under
+// the chaos harness's crash/partition/loss scenarios. Each cell runs the
+// same §IV-B indoor workload with the same faults and measures retrieval
+// completeness — the fraction of every stored data chunk that a mule
+// restricted to live, reachable nodes can still reassemble (after
+// erasure decoding). Dispersal spends n/k storage overhead to keep that
+// fraction high when nodes die; migration concentrates data and loses
+// whatever the dead node held.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"enviromic/internal/chaos"
+	"enviromic/internal/core"
+	"enviromic/internal/flash"
+	"enviromic/internal/retrieval"
+	"enviromic/internal/storage"
+)
+
+// SurvivabilityCell is one (scenario, storage mode) run of the matrix.
+type SurvivabilityCell struct {
+	Scenario string
+	Mode     storage.Mode
+	// LiveChunks counts distinct data chunks reassembled (erasure-decoded)
+	// from live nodes only; TotalChunks from every node's flash including
+	// dead ones (the physical-collection ground truth). Completeness is
+	// their ratio (1.0 when nothing was stored).
+	LiveChunks, TotalChunks int
+	Completeness            float64
+	// LostGroups counts k-of-n survivability violations: dispersal groups
+	// with fewer than k live fragments, each attributed to the chaos
+	// events that took its holders (always 0 under migration — the rule
+	// sees no disperse events).
+	LostGroups int
+	// OtherViolations counts every non-survivability invariant breach
+	// (must be 0: faults may cost data, never protocol correctness).
+	OtherViolations int
+	// Losses counts attributed chaos loss records (crash checkpoint
+	// windows).
+	Losses int
+}
+
+// SurvivabilityResult is the full matrix.
+type SurvivabilityResult struct {
+	Opts     IndoorOpts
+	Disperse storage.DisperseConfig
+	// Cells are scenario-major: for each scenario, migrate then disperse.
+	Cells []SurvivabilityCell
+}
+
+// SurvivabilityScenarios returns the matrix's fault scripts — the chaos
+// harness's staple crash/partition/loss mix, scaled to the quick indoor
+// run. Each script mixes an early leader-targeted crash (hits a recorder
+// mid-file, exercising the checkpoint-window attribution) with late
+// fixed-node crashes: by then load balancing has spread chunks across
+// the grid, so every late victim dies holding data and the comparison
+// measures data survival rather than luck of the draw.
+func SurvivabilityScenarios() []*chaos.Scenario {
+	return []*chaos.Scenario{
+		{Name: "crashes", Seed: 7, Faults: []chaos.Fault{
+			{Kind: chaos.KindCrash, At: 45 * time.Second, Node: -1, Target: chaos.TargetLeader},
+			{Kind: chaos.KindCrash, At: 4 * time.Minute, Node: -1, Target: chaos.TargetLeader},
+			{Kind: chaos.KindCrash, At: 6 * time.Minute, Node: 10},
+			{Kind: chaos.KindCrash, At: 6*time.Minute + 30*time.Second, Node: 33},
+		}},
+		{Name: "crash-loss-burst", Seed: 7, Faults: []chaos.Fault{
+			{Kind: chaos.KindCrash, At: 45 * time.Second, Node: -1, Target: chaos.TargetLeader},
+			{Kind: chaos.KindLoss, From: time.Minute, To: 3 * time.Minute, Prob: 0.15, Node: -1},
+			{Kind: chaos.KindCrash, At: 5 * time.Minute, Node: 21},
+			{Kind: chaos.KindCrash, At: 6 * time.Minute, Node: 40},
+		}},
+		{Name: "crash-partition", Seed: 7, Faults: []chaos.Fault{
+			{Kind: chaos.KindCrash, At: 45 * time.Second, Node: -1, Target: chaos.TargetLeader},
+			{Kind: chaos.KindPartition, From: 2 * time.Minute, To: 5 * time.Minute, Node: -1,
+				A: []int{0, 1, 2, 3, 4, 5, 6, 7}},
+			{Kind: chaos.KindCrash, At: 5*time.Minute + 30*time.Second, Node: 17},
+			{Kind: chaos.KindCrash, At: 6*time.Minute + 15*time.Second, Node: 38},
+		}},
+	}
+}
+
+// Survivability runs the matrix: every scenario under both storage
+// modes, one full chaos-checked indoor run per cell.
+func Survivability(opts IndoorOpts, dcfg storage.DisperseConfig, scenarios []*chaos.Scenario) (SurvivabilityResult, error) {
+	setting := IndoorSetting{Name: "lb-beta2", Mode: core.ModeFull, BetaMax: 2}
+	res := SurvivabilityResult{Opts: opts, Disperse: dcfg}
+	for _, sc := range scenarios {
+		for _, mode := range []storage.Mode{storage.ModeMigrate, storage.ModeDisperse} {
+			o := opts
+			o.StorageMode = mode
+			if mode == storage.ModeDisperse {
+				o.Disperse = dcfg
+			}
+			run, err := RunIndoorChaos(setting, o, sc, chaos.InvariantsConfig{})
+			if err != nil {
+				return res, fmt.Errorf("survivability %s/%s: %w", sc.Name, mode, err)
+			}
+			cell := SurvivabilityCell{Scenario: sc.Name, Mode: mode}
+			cell.LiveChunks = distinctDataChunks(run.Net.LiveHoldings())
+			cell.TotalChunks = distinctDataChunks(run.Net.Holdings())
+			cell.Completeness = 1
+			if cell.TotalChunks > 0 {
+				cell.Completeness = float64(cell.LiveChunks) / float64(cell.TotalChunks)
+			}
+			for _, v := range run.Checker.Violations() {
+				if v.Rule == chaos.RuleSurvivability {
+					cell.LostGroups++
+				} else {
+					cell.OtherViolations++
+				}
+			}
+			cell.Losses = len(run.Checker.Losses())
+			res.Cells = append(res.Cells, cell)
+		}
+	}
+	return res, nil
+}
+
+// distinctDataChunks erasure-decodes the holdings and counts distinct
+// data-chunk identities. The same decode path serves both modes — under
+// migration there is no parity, so it degrades to plain reassembly and
+// the comparison stays fair.
+func distinctDataChunks(holdings map[int][]*flash.Chunk) int {
+	files, _ := retrieval.ReassembleErasure(holdings, retrieval.Query{All: true})
+	type key struct {
+		file   flash.FileID
+		origin int32
+		seq    uint32
+	}
+	seen := make(map[key]bool)
+	for _, f := range files {
+		for _, c := range f.Chunks {
+			seen[key{c.File, c.Origin, c.Seq}] = true
+		}
+	}
+	// Most decoded chunks are the stores' own (still referenced by the
+	// simulated flash), so none may go back to the pool; the few
+	// parity-recovered ones are left to the garbage collector.
+	return len(seen)
+}
+
+// CrashAdvantage returns dispersal completeness minus migration
+// completeness, summed over the crash-bearing scenarios — the matrix's
+// headline number (positive means dispersal survives crashes better).
+func (r SurvivabilityResult) CrashAdvantage() float64 {
+	byMode := map[string]map[storage.Mode]float64{}
+	for _, c := range r.Cells {
+		if byMode[c.Scenario] == nil {
+			byMode[c.Scenario] = map[storage.Mode]float64{}
+		}
+		byMode[c.Scenario][c.Mode] = c.Completeness
+	}
+	var adv float64
+	for _, m := range byMode {
+		adv += m[storage.ModeDisperse] - m[storage.ModeMigrate]
+	}
+	return adv
+}
+
+// FormatSurvivability renders the matrix as the fixed-width table the
+// survivability smoke script greps. Deterministic for fixed inputs.
+func FormatSurvivability(r SurvivabilityResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "survivability matrix rs=%d,%d duration=%v seed=%d\n",
+		r.Disperse.N, r.Disperse.K, r.Opts.Duration, r.Opts.Seed)
+	fmt.Fprintf(&b, "%-22s %-9s %7s %7s %13s %11s %7s %11s\n",
+		"scenario", "mode", "live", "total", "completeness", "lost-groups", "losses", "violations")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "%-22s %-9s %7d %7d %13.4f %11d %7d %11d\n",
+			c.Scenario, c.Mode, c.LiveChunks, c.TotalChunks, c.Completeness,
+			c.LostGroups, c.Losses, c.OtherViolations)
+	}
+	return b.String()
+}

@@ -1,0 +1,70 @@
+package experiments_test
+
+import (
+	"strings"
+	"testing"
+
+	"enviromic/internal/experiments"
+	"enviromic/internal/storage"
+)
+
+// TestSurvivabilityMatrix is the head-to-head acceptance run: under
+// every crash-bearing chaos scenario, erasure-coded dispersal must keep
+// strictly more data retrievable from live nodes than migration, with no
+// protocol invariant broken in either mode.
+func TestSurvivabilityMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("six chaos-checked indoor runs; skipped in -short")
+	}
+	opts := experiments.QuickIndoorOpts()
+	res, err := experiments.Survivability(opts, storage.DefaultDisperseConfig(), experiments.SurvivabilityScenarios())
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := experiments.FormatSurvivability(res)
+	t.Logf("\n%s", table)
+	if len(res.Cells) != 6 {
+		t.Fatalf("matrix has %d cells, want 6 (3 scenarios x 2 modes)", len(res.Cells))
+	}
+	byScenario := map[string]map[storage.Mode]experiments.SurvivabilityCell{}
+	for _, c := range res.Cells {
+		if c.OtherViolations != 0 {
+			t.Errorf("%s/%s: %d non-survivability invariant violations (faults may cost data, never correctness)",
+				c.Scenario, c.Mode, c.OtherViolations)
+		}
+		if c.TotalChunks == 0 {
+			t.Errorf("%s/%s: no data stored; the cell is vacuous", c.Scenario, c.Mode)
+		}
+		if c.Mode == storage.ModeMigrate && c.LostGroups != 0 {
+			t.Errorf("%s/migrate: %d lost groups; the k-of-n rule must be vacuous without dispersal",
+				c.Scenario, c.LostGroups)
+		}
+		if byScenario[c.Scenario] == nil {
+			byScenario[c.Scenario] = map[storage.Mode]experiments.SurvivabilityCell{}
+		}
+		byScenario[c.Scenario][c.Mode] = c
+	}
+	totalLosses := 0
+	for _, c := range res.Cells {
+		totalLosses += c.Losses
+	}
+	if totalLosses == 0 {
+		// Any single crash can legitimately land on an empty checkpoint
+		// window (CheckpointEvery=16), but across 6 cells x 3+ crashes at
+		// least one window must have been dirty.
+		t.Error("no attributed chaos losses recorded anywhere in the matrix")
+	}
+	for name, cells := range byScenario {
+		mig, disp := cells[storage.ModeMigrate], cells[storage.ModeDisperse]
+		if disp.Completeness <= mig.Completeness {
+			t.Errorf("%s: dispersal completeness %.4f not strictly above migration %.4f",
+				name, disp.Completeness, mig.Completeness)
+		}
+	}
+	if adv := res.CrashAdvantage(); adv <= 0 {
+		t.Errorf("aggregate crash advantage %.4f, want > 0", adv)
+	}
+	if !strings.Contains(table, "survivability matrix rs=6,4") {
+		t.Errorf("table header malformed:\n%s", table)
+	}
+}

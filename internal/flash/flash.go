@@ -389,6 +389,46 @@ func (s *Store) Recover() (int, error) {
 	return s.count, nil
 }
 
+// Remove deletes every stored chunk for which match returns true and
+// returns the removed chunks in queue order (callers typically recycle
+// them). Survivors are compacted into a dense queue ENDING at the
+// current tail, so tail keeps advancing monotonically mod N across
+// removals and the circular log's wear-leveling guarantee (spread <= 1)
+// survives; removal only rewrites the RAM block map and the EEPROM
+// checkpoint, never the flash blocks, so no wear is charged. The
+// dispersal mode uses it to drop a fragment's originals once a neighbor
+// has acknowledged the whole fragment.
+func (s *Store) Remove(match func(*Chunk) bool) []*Chunk {
+	if s.count == 0 {
+		return nil
+	}
+	var removed, kept []*Chunk
+	for i := 0; i < s.count; i++ {
+		c := s.blocks[(s.head+i)%len(s.blocks)]
+		if c != nil && match(c) {
+			removed = append(removed, c)
+		} else if c != nil {
+			kept = append(kept, c)
+		}
+	}
+	if len(removed) == 0 {
+		return nil
+	}
+	for i := range s.blocks {
+		s.blocks[i] = nil
+	}
+	n := len(s.blocks)
+	s.count = len(kept)
+	s.head = ((s.tail-s.count)%n + n) % n
+	pos := s.head
+	for _, c := range kept {
+		s.blocks[pos] = c
+		pos = (pos + 1) % n
+	}
+	s.saveCheckpoint()
+	return removed
+}
+
 // SplitSamples segments a recorded sample stream into chunk payloads of at
 // most PayloadSize bytes, assigning sequence numbers from firstSeq and
 // proportional timestamp ranges across [start, end). It is the bridge

@@ -1,0 +1,169 @@
+// Fragment-aware reassembly for the storage dispersal mode
+// (storage.ModeDisperse). Dispersed recordings leave two kinds of
+// chunks in the network: the original data chunks (scattered one
+// erasure fragment per neighbor) and parity carrier chunks whose file
+// ID has erasure.ParityFileBit set. ReassembleErasure reassembles both,
+// reconstructs any data chunks that fewer than n−k fragment losses took
+// out, and returns plain data files — parity never surfaces to the
+// caller. Runs with no parity present degrade to exactly Reassemble.
+package retrieval
+
+import (
+	"sort"
+
+	"enviromic/internal/erasure"
+	"enviromic/internal/flash"
+)
+
+// WithParity widens a query so that the parity siblings of every
+// requested file match too. Time-range and origin restrictions already
+// cover parity naturally (carriers inherit the recorder origin and the
+// group's time span); only explicit file lists need the widening. Gap
+// re-queries use this so a mule's second pass collects the parity that
+// can fill the gap.
+func WithParity(q Query) Query {
+	if q.All || len(q.Files) == 0 {
+		return q
+	}
+	files := make(map[flash.FileID]bool, 2*len(q.Files))
+	for f := range q.Files {
+		files[f] = true
+		files[f|erasure.ParityFileBit] = true
+	}
+	q.Files = files
+	return q
+}
+
+// DecodeReport summarizes what the erasure decode pass did.
+type DecodeReport struct {
+	// Groups is the number of dispersal groups with at least one
+	// complete, valid parity fragment among the holdings.
+	Groups int
+	// RecoveredChunks counts data chunks reconstructed from parity.
+	RecoveredChunks int
+	// MissingChunks counts group cells still absent after decoding —
+	// more than n−k fragments of their group are gone.
+	MissingChunks int
+	// Errors counts groups whose decode failed partway (corrupt
+	// reconstruction output; should be zero).
+	Errors int
+	// Stats is the carrier/fragment collection census.
+	Stats erasure.CollectStats
+}
+
+// ReassembleErasure is Reassemble plus erasure decoding: it reassembles
+// the query's data files and their parity fragments, reconstructs
+// whatever data chunks the surviving k-of-n fragment sets can restore,
+// and merges them in. Reconstruction uses every data chunk in holdings
+// as a potential shard (not just query-matched ones), but only chunks
+// matching the query appear in the result. Recovered chunks come from
+// the chunk pool and are owned by the returned files, like any other
+// reassembled chunk.
+func ReassembleErasure(holdings map[int][]*flash.Chunk, q Query) (map[flash.FileID]*File, DecodeReport) {
+	var rep DecodeReport
+	all := Reassemble(holdings, WithParity(q))
+	ids := make([]flash.FileID, 0, len(all))
+	for id := range all {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make(map[flash.FileID]*File, len(all))
+	var parityChunks []*flash.Chunk
+	for _, id := range ids {
+		if id&erasure.ParityFileBit != 0 {
+			parityChunks = append(parityChunks, all[id].Chunks...)
+		} else {
+			out[id] = all[id]
+		}
+	}
+	if len(parityChunks) == 0 {
+		return out, rep
+	}
+	groups, stats := erasure.CollectFragments(parityChunks)
+	rep.Stats = stats
+	if len(groups) == 0 {
+		return out, rep
+	}
+	// Index every data chunk in holdings as a decode shard, first copy
+	// wins in ascending node order (the Reassemble determinism rule).
+	type originKey struct {
+		file   flash.FileID
+		origin int32
+	}
+	nodeIDs := make([]int, 0, len(holdings))
+	for id := range holdings {
+		nodeIDs = append(nodeIDs, id)
+	}
+	sort.Ints(nodeIDs)
+	shards := make(map[originKey]map[uint32]*flash.Chunk)
+	for _, nid := range nodeIDs {
+		for _, c := range holdings[nid] {
+			if c == nil || c.File&erasure.ParityFileBit != 0 {
+				continue
+			}
+			k := originKey{c.File, c.Origin}
+			m := shards[k]
+			if m == nil {
+				m = make(map[uint32]*flash.Chunk)
+				shards[k] = m
+			}
+			if m[c.Seq] == nil {
+				m[c.Seq] = c
+			}
+		}
+	}
+	keys := make([]erasure.GroupKey, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Origin != b.Origin {
+			return a.Origin < b.Origin
+		}
+		return a.FirstSeq < b.FirstSeq
+	})
+	resort := make(map[flash.FileID]bool)
+	for _, gk := range keys {
+		frags := groups[gk]
+		g := frags[0].Group
+		rep.Groups++
+		cells := shards[originKey{gk.File, gk.Origin}]
+		if cells == nil {
+			cells = make(map[uint32]*flash.Chunk)
+		}
+		recovered, err := erasure.ReconstructGroup(g, cells, frags)
+		if err != nil {
+			rep.Errors++
+		}
+		recoveredSeqs := make(map[uint32]bool, len(recovered))
+		for _, c := range recovered {
+			recoveredSeqs[c.Seq] = true
+			if !q.Matches(c) {
+				flash.FreeChunk(c)
+				continue
+			}
+			f := out[g.File]
+			if f == nil {
+				f = &File{ID: g.File}
+				out[g.File] = f
+			}
+			f.Chunks = append(f.Chunks, c)
+			resort[g.File] = true
+			rep.RecoveredChunks++
+		}
+		for i := uint32(0); i < g.Count; i++ {
+			seq := g.FirstSeq + i
+			if cells[seq] == nil && !recoveredSeqs[seq] {
+				rep.MissingChunks++
+			}
+		}
+	}
+	for id := range resort {
+		sortChunks(out[id].Chunks)
+	}
+	return out, rep
+}

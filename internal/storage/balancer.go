@@ -15,8 +15,12 @@ package storage
 import (
 	"fmt"
 	"math"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 
+	"enviromic/internal/erasure"
 	"enviromic/internal/flash"
 	"enviromic/internal/netstack"
 	"enviromic/internal/obs"
@@ -80,6 +84,61 @@ type Probe struct {
 	OnOverflow func(node int, at sim.Time)
 }
 
+// Mode selects the redundancy strategy layered on the bulk plane.
+type Mode int
+
+const (
+	// ModeMigrate is the paper's balancer: whole chunks migrate to the
+	// richest neighbor when the TTL imbalance crosses βi.
+	ModeMigrate Mode = iota
+	// ModeDisperse replaces migration with Reed-Solomon dispersal: the
+	// recorder erasure-codes each finished recording into n fragments
+	// and scatters them across its least-loaded audible neighbors (see
+	// disperse.go). TTL advertisements keep flowing — they are how the
+	// disperser ranks targets — but the βi migration check never runs.
+	ModeDisperse
+)
+
+// String implements flag.Value-style printing for the CLIs.
+func (m Mode) String() string {
+	switch m {
+	case ModeMigrate:
+		return "migrate"
+	case ModeDisperse:
+		return "disperse"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// ParseMode parses a -storage-mode flag value.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "migrate":
+		return ModeMigrate, nil
+	case "disperse":
+		return ModeDisperse, nil
+	}
+	return 0, fmt.Errorf("storage: unknown mode %q (want migrate or disperse)", s)
+}
+
+// ParseRS parses an "n,k" erasure-geometry flag value ("6,4") into a
+// DisperseConfig, validating it against the GF(2^8) code limits.
+func ParseRS(s string) (DisperseConfig, error) {
+	n, k, ok := 0, 0, false
+	if i := strings.IndexByte(s, ','); i > 0 {
+		a, errA := strconv.Atoi(strings.TrimSpace(s[:i]))
+		b, errB := strconv.Atoi(strings.TrimSpace(s[i+1:]))
+		n, k, ok = a, b, errA == nil && errB == nil
+	}
+	if !ok {
+		return DisperseConfig{}, fmt.Errorf("storage: bad -rs geometry %q (want \"n,k\", e.g. \"6,4\")", s)
+	}
+	if _, err := erasure.New(n, k); err != nil {
+		return DisperseConfig{}, err
+	}
+	return DisperseConfig{N: n, K: k}, nil
+}
+
 // Config holds balancer parameters.
 type Config struct {
 	// Alpha is the EWMA weight for the acquisition-rate estimate (§II-B).
@@ -103,6 +162,9 @@ type Config struct {
 	// InitialRate seeds R(0); the paper notes it can be zero or
 	// Exp(R_event)/N and matters little in the long run.
 	InitialRate float64
+	// Mode selects migration (the zero value, the paper's behavior) or
+	// Reed-Solomon dispersal.
+	Mode Mode
 }
 
 // DefaultConfig mirrors the paper's indoor evaluation scale.
@@ -206,7 +268,9 @@ func (b *Balancer) Start() {
 	b.started = true
 	b.lastUpdateAt = b.sched.Now()
 	b.updateTicker = sim.NewTicker(b.sched, b.cfg.UpdatePeriod, fmt.Sprintf("storage.update.%d", b.id), b.update)
-	b.checkTicker = sim.NewTicker(b.sched, b.cfg.CheckPeriod, fmt.Sprintf("storage.check.%d", b.id), b.check)
+	if b.cfg.Mode != ModeDisperse {
+		b.checkTicker = sim.NewTicker(b.sched, b.cfg.CheckPeriod, fmt.Sprintf("storage.check.%d", b.id), b.check)
+	}
 }
 
 // Stop halts the balancer. An outgoing migration session in flight is
@@ -300,6 +364,38 @@ func (b *Balancer) ttlAdvert(now sim.Time) uint32 {
 		secs = MaxTTLSeconds
 	}
 	return uint32(secs)
+}
+
+// RankedNeighbors returns up to max live neighbor IDs ordered from most
+// to least storage headroom (advertised TTL descending, node ID
+// ascending for determinism). The dispersal mode uses it to pick the n
+// least-loaded audible neighbors as fragment targets.
+func (b *Balancer) RankedNeighbors(now sim.Time, max int) []int {
+	type cand struct {
+		id  int
+		ttl uint32
+	}
+	cands := make([]cand, 0, len(b.neighbors))
+	for id, n := range b.neighbors {
+		if now.Sub(n.lastSeen) > b.cfg.NeighborTimeout {
+			continue
+		}
+		cands = append(cands, cand{id, n.seconds})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].ttl != cands[j].ttl {
+			return cands[i].ttl > cands[j].ttl
+		}
+		return cands[i].id < cands[j].id
+	})
+	if len(cands) > max {
+		cands = cands[:max]
+	}
+	out := make([]int, len(cands))
+	for i, c := range cands {
+		out[i] = c.id
+	}
+	return out
 }
 
 func (b *Balancer) handleTTL(from, to int, p radio.Payload) {

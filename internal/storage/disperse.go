@@ -1,0 +1,252 @@
+// Dispersal mode (storage.ModeDisperse): instead of migrating whole
+// chunks toward the richest neighbor, a recorder erasure-codes each
+// finished recording — one dispersal group — into n fragments (any k
+// reconstruct it, see internal/erasure) and pushes one fragment to each
+// of its n least-loaded audible neighbors over the same bulk-transfer
+// plane migration uses. The k data fragments are the recording's own
+// chunks (the code is systematic), sent as store-resident originals and
+// removed from local flash only once the receiving neighbor has
+// acknowledged the whole fragment; the n−k parity fragments are
+// packetized into carrier chunks (erasure.Carriers) materialized at
+// send time. A node death then costs at most the fragments that node
+// held, and retrieval reconstructs the group from any k survivors —
+// the persistent-storage-node dispersal line of Aly et al.
+package storage
+
+import (
+	"enviromic/internal/erasure"
+	"enviromic/internal/flash"
+	"enviromic/internal/netstack"
+	"enviromic/internal/obs"
+	"enviromic/internal/sim"
+)
+
+// Trace event kinds for dispersal. disperse.start fires once per group
+// when the recorder finishes encoding (File = data file, V1 = first
+// sequence number, V2 = count<<16 | n<<8 | k); disperse.out fires when a
+// fragment is fully acknowledged by its target (Peer = target, V1 =
+// first seq, V2 = fragment index); disperse.fail when a fragment's
+// session ends short of a full ack (same shape). The chaos k-of-n
+// survivability invariant replays exactly these events to track where
+// every fragment lives.
+var (
+	evDisperseStart = obs.RegisterEvent("storage.disperse.start")
+	evDisperseOut   = obs.RegisterEvent("storage.disperse.out")
+	evDisperseFail  = obs.RegisterEvent("storage.disperse.fail")
+)
+
+// DisperseConfig parameterizes the erasure geometry.
+type DisperseConfig struct {
+	// N is the fragment count per group, K the number needed to
+	// reconstruct. The zero value means the shipped default (6,4).
+	N, K int
+}
+
+// DefaultDisperseConfig is the geometry the survivability matrix ships:
+// tolerate any two fragment losses at 50% storage overhead.
+func DefaultDisperseConfig() DisperseConfig { return DisperseConfig{N: 6, K: 4} }
+
+// withDefaults resolves the zero value.
+func (c DisperseConfig) withDefaults() DisperseConfig {
+	if c.N == 0 && c.K == 0 {
+		return DefaultDisperseConfig()
+	}
+	return c
+}
+
+// fragJob is one queued fragment send.
+type fragJob struct {
+	g      erasure.Group
+	index  int
+	target int
+	gen    uint64
+	cells  []*flash.Chunk // data fragment: store-resident originals
+	blob   []byte         // parity fragment: encoded blob, packetized at send time
+}
+
+// Disperser is one node's dispersal module. It shares the balancer's
+// bulk plane and neighbor TTL table; fragments go out sequentially (one
+// bulk session at a time, like migration batches).
+type Disperser struct {
+	id    int
+	bulk  *netstack.Bulk
+	sched *sim.Scheduler
+	store *flash.Store
+	bal   *Balancer
+	code  *erasure.Code
+	tr    *obs.Tracer
+
+	queue []fragJob
+	busy  bool
+	// gen orphans in-flight session completions across Stop, exactly
+	// like Balancer.gen: a callback from before a node death must not
+	// touch the store. Parity carriers it holds are recycled; data
+	// originals are left to crash recovery (the store owns them).
+	gen uint64
+
+	// Counters for metrics.
+	Groups, DispersedFragments, FailedFragments uint64
+}
+
+// NewDisperser wires a disperser next to an existing (ModeDisperse)
+// balancer. The geometry is validated eagerly — a bad (n,k) is a
+// configuration error, not a runtime one.
+func NewDisperser(id int, bulk *netstack.Bulk, sched *sim.Scheduler, store *flash.Store, bal *Balancer, cfg DisperseConfig) (*Disperser, error) {
+	cfg = cfg.withDefaults()
+	code, err := erasure.Cached(cfg.N, cfg.K)
+	if err != nil {
+		return nil, err
+	}
+	return &Disperser{
+		id:    id,
+		bulk:  bulk,
+		sched: sched,
+		store: store,
+		bal:   bal,
+		code:  code,
+	}, nil
+}
+
+// SetTracer installs the protocol tracer (nil disables tracing).
+func (d *Disperser) SetTracer(tr *obs.Tracer) { d.tr = tr }
+
+// N and K expose the geometry.
+func (d *Disperser) N() int { return d.code.N() }
+func (d *Disperser) K() int { return d.code.K() }
+
+// Stop orphans in-flight and queued fragment sends (node death). Queued
+// parity blobs are plain memory; queued data cells stay store-owned, so
+// dropping the queue leaks nothing.
+func (d *Disperser) Stop() {
+	d.gen++
+	d.busy = false
+	d.queue = nil
+}
+
+// OnRecorded disperses one finished recording. chunks must be the
+// store-resident chunks the recording just enqueued, in sequence order —
+// the core's device wrapper hands them over right after StoreChunks.
+// Parity is encoded immediately (while every original is guaranteed
+// present); the fragment sends then drain sequentially. With no audible
+// neighbor the group simply stays whole on the recorder: its k data
+// fragments are the local chunks, and the survivability invariant
+// accounts for them exactly that way.
+func (d *Disperser) OnRecorded(chunks []*flash.Chunk) {
+	if len(chunks) == 0 {
+		return
+	}
+	now := d.sched.Now()
+	first, last := chunks[0], chunks[len(chunks)-1]
+	g := erasure.Group{
+		File:     first.File,
+		Origin:   first.Origin,
+		FirstSeq: first.Seq,
+		Count:    uint32(len(chunks)),
+		Start:    first.Start,
+		End:      last.End,
+		N:        d.code.N(),
+		K:        d.code.K(),
+	}
+	blobs, err := erasure.EncodeParity(d.code, g, chunks)
+	if err != nil {
+		// Only reachable if the device handed over a non-contiguous or
+		// foreign batch; refuse to disperse rather than corrupt a group.
+		return
+	}
+	d.Groups++
+	d.tr.Emit(now, evDisperseStart, int32(d.id), 0, uint32(g.File),
+		int64(g.FirstSeq), int64(g.Count)<<16|int64(g.N)<<8|int64(g.K))
+	targets := d.bal.RankedNeighbors(now, g.N)
+	if len(targets) == 0 {
+		return
+	}
+	gen := d.gen
+	for j := 0; j < g.N; j++ {
+		job := fragJob{g: g, index: j, target: targets[j%len(targets)], gen: gen}
+		if j < g.K {
+			for s := 0; s*g.K+j < len(chunks); s++ {
+				job.cells = append(job.cells, chunks[s*g.K+j])
+			}
+		} else {
+			job.blob = blobs[j-g.K]
+		}
+		d.queue = append(d.queue, job)
+	}
+	d.sendNext()
+}
+
+// sendNext starts the next queued fragment session if none is in
+// flight.
+func (d *Disperser) sendNext() {
+	if d.busy || len(d.queue) == 0 {
+		return
+	}
+	job := d.queue[0]
+	d.queue = d.queue[1:]
+	d.busy = true
+	if job.blob != nil {
+		d.sendParity(job)
+	} else {
+		d.sendData(job)
+	}
+}
+
+// sendData ships a data fragment: the originals stay in local flash
+// until the target acknowledges every cell, then they are removed (no
+// wear cost — Remove is a pointer-table rebuild) and recycled. A short
+// ack leaves everything local: the fragment has no remote holder, which
+// disperse.fail records, but the data itself is still safe at home.
+func (d *Disperser) sendData(job fragJob) {
+	cells := job.cells
+	d.bulk.SendChunks(job.target, cells, func(acked int, failed []*flash.Chunk) {
+		if job.gen != d.gen {
+			return // node died mid-session; crash recovery owns the cells
+		}
+		d.busy = false
+		now := d.sched.Now()
+		if acked == len(cells) {
+			d.DispersedFragments++
+			d.tr.Emit(now, evDisperseOut, int32(d.id), int32(job.target), uint32(job.g.File),
+				int64(job.g.FirstSeq), int64(job.index))
+			set := make(map[*flash.Chunk]bool, len(cells))
+			for _, c := range cells {
+				set[c] = true
+			}
+			removed := d.store.Remove(func(c *flash.Chunk) bool { return set[c] })
+			flash.FreeChunks(removed)
+		} else {
+			d.FailedFragments++
+			d.tr.Emit(now, evDisperseFail, int32(d.id), int32(job.target), uint32(job.g.File),
+				int64(job.g.FirstSeq), int64(job.index))
+		}
+		d.sendNext()
+	})
+}
+
+// sendParity ships a parity fragment, materializing its carrier chunks
+// only now — queued jobs hold just the blob bytes, so a Stop between
+// enqueue and send leaks nothing from the chunk pool. The carriers are
+// ours alone (acked ones traveled as wire clones) and recycle when the
+// session ends, whatever its outcome.
+func (d *Disperser) sendParity(job fragJob) {
+	carriers := erasure.Carriers(job.g, job.index, job.blob)
+	d.bulk.SendChunks(job.target, carriers, func(acked int, failed []*flash.Chunk) {
+		if job.gen != d.gen {
+			flash.FreeChunks(carriers)
+			return
+		}
+		d.busy = false
+		now := d.sched.Now()
+		if acked == len(carriers) {
+			d.DispersedFragments++
+			d.tr.Emit(now, evDisperseOut, int32(d.id), int32(job.target), uint32(job.g.File),
+				int64(job.g.FirstSeq), int64(job.index))
+		} else {
+			d.FailedFragments++
+			d.tr.Emit(now, evDisperseFail, int32(d.id), int32(job.target), uint32(job.g.File),
+				int64(job.g.FirstSeq), int64(job.index))
+		}
+		flash.FreeChunks(carriers)
+		d.sendNext()
+	})
+}

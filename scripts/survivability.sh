@@ -1,0 +1,49 @@
+#!/bin/sh
+# Survivability gate: migration vs erasure-coded dispersal under the
+# chaos harness's crash/loss/partition scenarios.
+#   1. run the head-to-head matrix (3 scenarios x 2 storage modes, quick
+#      indoor scale) and require the PASS gate: dispersal keeps strictly
+#      more data retrievable from live nodes than migration in every
+#      crash scenario, with zero protocol-invariant violations,
+#   2. re-run the identical matrix and require byte-identical output
+#      (determinism contract: fixed seed => same matrix),
+#   3. run a dispersal-mode simulation end-to-end and require a clean
+#      erasure decode summary plus zero invariant violations,
+#   4. feed a malformed -rs geometry and require a clean usage failure.
+# Exits non-zero on the first failure. Usage: scripts/survivability.sh
+set -e
+cd "$(dirname "$0")/.."
+
+tmp="${TMPDIR:-/tmp}/enviromic-survivability.$$"
+mkdir -p "$tmp"
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+echo "== 1. survivability matrix: dispersal must beat migration under crashes"
+go run ./cmd/enviromic-figures -survivability -quick -seed 42 > "$tmp/matrix1.out"
+grep -q 'survivability matrix rs=6,4' "$tmp/matrix1.out" || {
+    echo "FAIL: matrix header missing"; exit 1; }
+grep -q 'survivability gate: PASS (dispersal wins 3/3 crash scenarios' "$tmp/matrix1.out" || {
+    echo "FAIL: dispersal did not win every crash scenario"; cat "$tmp/matrix1.out"; exit 1; }
+
+echo "== 2. same seed twice => byte-identical matrix"
+go run ./cmd/enviromic-figures -survivability -quick -seed 42 > "$tmp/matrix2.out"
+diff "$tmp/matrix1.out" "$tmp/matrix2.out" > /dev/null || {
+    echo "FAIL: two identical matrix runs diverged"; exit 1; }
+
+echo "== 3. dispersal-mode simulation decodes cleanly with invariants on"
+go run ./cmd/enviromic-sim -duration 4m -seed 5 \
+    -storage-mode disperse -rs 6,4 -invariants > "$tmp/sim.out"
+grep -q 'erasure decode       : rs=6,4' "$tmp/sim.out" || {
+    echo "FAIL: dispersal run printed no erasure decode summary"; exit 1; }
+grep -q 'invariants: OK ([1-9][0-9]* events checked)' "$tmp/sim.out" || {
+    echo "FAIL: dispersal run broke invariants"; cat "$tmp/sim.out"; exit 1; }
+
+echo "== 4. malformed -rs fails cleanly"
+if go run ./cmd/enviromic-sim -duration 1m -storage-mode disperse -rs 2,4 \
+    > /dev/null 2> "$tmp/bad.err"; then
+    echo "FAIL: rs=2,4 (n < k) was accepted"; exit 1
+fi
+grep -qi 'rs\|erasure' "$tmp/bad.err" || {
+    echo "FAIL: malformed -rs produced no diagnostic"; exit 1; }
+
+echo "survivability: OK"

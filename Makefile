@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-archive bench-city figures profile trace-smoke chaos-smoke archive-smoke shard-smoke metrics-smoke archive-load survivability
+.PHONY: build test check bench bench-archive bench-city figures profile trace-smoke chaos-smoke archive-smoke shard-smoke metrics-smoke archive-load survivability federation-smoke
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,7 @@ check:
 	sh scripts/shard_smoke.sh
 	sh scripts/metrics_smoke.sh
 	sh scripts/survivability.sh
+	sh scripts/federation_smoke.sh
 
 # bench regenerates BENCH_erasure.json (erasure encode/decode benches,
 # message-plane micro-benchmarks, the full-figure runs, and the
@@ -86,6 +87,13 @@ bench-city:
 # rebuild on open).
 bench-archive:
 	sh scripts/bench_archive.sh
+
+# federation-smoke boots a 3-station federated cluster (also part of
+# `check`): split city tours vs a single-station reference, byte-for-
+# byte federated read diffs, one station killed and rejoined (cursor
+# catch-up), and the federated query storm into BENCH_federation.json.
+federation-smoke:
+	sh scripts/federation_smoke.sh
 
 # archive-load regenerates BENCH_archive_http.json: the 1M-chunk open
 # bench (snapshot vs rescan) and HTTP ingest/query load at >= 1000

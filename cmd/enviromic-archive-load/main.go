@@ -11,6 +11,8 @@
 //	enviromic-archive-load -open-bench 1000000 -load=false
 //	                                              # only build a 1M-chunk archive and time open
 //	                                              # with a warm snapshot vs full rescan
+//	enviromic-archive-load -urls localhost:8081,localhost:8082,localhost:8083 -out BENCH_federation.json
+//	                                              # federated query storm across running stations
 //
 // With both -open-bench and the (default) load phases enabled, one run
 // produces the complete BENCH_archive_http.json.
@@ -33,6 +35,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -66,6 +69,28 @@ type result struct {
 	QueryErrors int64   `json:"query_errors"`
 
 	OpenBench *openBench `json:"open_1m,omitempty"`
+
+	Federation *fedBench `json:"federation,omitempty"`
+}
+
+// fedBench is the federated query storm's report: clients round-robin
+// the federated read endpoints across every station, so each request
+// fans out to the other stations behind the scenes. Recorded in
+// BENCH_federation.json.
+type fedBench struct {
+	Stations int     `json:"stations"`
+	Clients  int     `json:"clients"`
+	Requests int     `json:"requests"`
+	Seconds  float64 `json:"seconds"`
+	QPS      float64 `json:"qps"`
+	P50Ms    float64 `json:"p50_ms"`
+	P95Ms    float64 `json:"p95_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	Errors   int64   `json:"errors"`
+	// PartialResponses sums enviromic_federation_partial_total across
+	// stations after the storm — nonzero means some answers were served
+	// degraded while a peer was unreachable.
+	PartialResponses float64 `json:"partial_responses"`
 }
 
 type openBench struct {
@@ -77,6 +102,7 @@ type openBench struct {
 
 func main() {
 	var (
+		urls      = flag.String("urls", "", "federated query storm: comma-separated station URLs (skips the ingest phase)")
 		url       = flag.String("url", "", "target an existing archive server instead of self-hosting")
 		dir       = flag.String("dir", "", "archive directory for self-hosting (default: a temp dir)")
 		shards    = flag.Int("shards", 8, "shard count for a self-hosted archive")
@@ -107,6 +133,15 @@ func main() {
 			fail(err)
 		}
 		res.OpenBench = ob
+	}
+	if *urls != "" {
+		fb, err := runFederationStorm(*urls, *clients, *reqs)
+		if err != nil {
+			fail(err)
+		}
+		res.Federation = fb
+		emit(res, *out)
+		return
 	}
 	if *load {
 		if err := runLoadPhases(&res, *url, *dir, *shards, *ingesters, *batches, *perBatch, *clients, *reqs); err != nil {
@@ -200,6 +235,119 @@ func crossCheckServerLatency(client *http.Client, base string, res *result) erro
 	fmt.Fprintf(os.Stderr, "latency cross-check: client p99 %.2fms vs server p99 %.2fms over %d requests\n",
 		res.QueryP99Ms, res.ServerP99Ms, int(count))
 	return nil
+}
+
+// runFederationStorm aims a query storm at a running federation: every
+// client round-robins the federated read endpoints across all stations,
+// so the latencies below include the cross-station fan-out. No ingest
+// phase — the stations are expected to be loaded already (the smoke
+// script loads them with a split city tour).
+func runFederationStorm(spec string, clients, reqs int) (*fedBench, error) {
+	var stations []string
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if !strings.Contains(part, "://") {
+			part = "http://" + part
+		}
+		stations = append(stations, strings.TrimRight(part, "/"))
+	}
+	if len(stations) == 0 {
+		return nil, fmt.Errorf("-urls %q names no stations", spec)
+	}
+	tr := &http.Transport{MaxIdleConns: clients, MaxIdleConnsPerHost: clients}
+	defer tr.CloseIdleConnections()
+	client := &http.Client{Transport: tr}
+
+	// Pick a real file ID off the first station so the storm exercises
+	// the per-file fan-out paths too, not just listings.
+	paths := []string{"/query", "/files", "/query?from=0s&to=60s", "/federation"}
+	var listing []struct {
+		ID uint32 `json:"id"`
+	}
+	if resp, err := client.Get(stations[0] + "/files"); err == nil {
+		json.NewDecoder(resp.Body).Decode(&listing)
+		resp.Body.Close()
+	}
+	if len(listing) > 0 {
+		paths = append(paths,
+			fmt.Sprintf("/files/%d", listing[0].ID),
+			fmt.Sprintf("/files/%d/gaps", listing[0].ID))
+	}
+
+	latencies := make([][]time.Duration, clients)
+	var errCount atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lat := make([]time.Duration, 0, reqs)
+			for i := 0; i < reqs; i++ {
+				base := stations[(c+i)%len(stations)]
+				t0 := time.Now()
+				resp, err := client.Get(base + paths[(c+i)%len(paths)])
+				if err != nil {
+					errCount.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					errCount.Add(1)
+					continue
+				}
+				lat = append(lat, time.Since(t0))
+			}
+			latencies[c] = lat
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, lat := range latencies {
+		all = append(all, lat...)
+	}
+	if len(all) == 0 {
+		return nil, fmt.Errorf("federation storm: every request failed (%d errors)", errCount.Load())
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) float64 {
+		return float64(all[int(p*float64(len(all)-1))]) / float64(time.Millisecond)
+	}
+	fb := &fedBench{
+		Stations: len(stations),
+		Clients:  clients,
+		Requests: len(all),
+		Seconds:  elapsed.Seconds(),
+		QPS:      float64(len(all)) / elapsed.Seconds(),
+		P50Ms:    pct(0.50),
+		P95Ms:    pct(0.95),
+		P99Ms:    pct(0.99),
+		Errors:   errCount.Load(),
+	}
+	// Degradation tally: sum each station's partial-response counter.
+	for _, base := range stations {
+		resp, err := client.Get(base + "/metrics")
+		if err != nil {
+			continue
+		}
+		samples, err := telemetry.ParseText(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			continue
+		}
+		for _, smp := range samples {
+			if smp.Name == "enviromic_federation_partial_total" {
+				fb.PartialResponses += smp.Value
+			}
+		}
+	}
+	return fb, nil
 }
 
 func fail(err error) {

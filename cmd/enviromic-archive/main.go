@@ -7,6 +7,7 @@
 //
 //	enviromic-archive -dir /data/arch -ls
 //	enviromic-archive -dir /data/arch -http localhost:8080
+//	enviromic-archive -dir /data/a1 -http :8081 -station s1 -peers s2=localhost:8082,s3=localhost:8083
 //	curl 'http://localhost:8080/query?from=10s&to=60s&origins=3,4'
 //	curl 'http://localhost:8080/files/1/gaps?tolerance=250ms'
 //	curl -o file1.wav 'http://localhost:8080/files/1/wav'
@@ -25,9 +26,11 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"path/filepath"
 	"time"
 
 	"enviromic/internal/archive"
+	"enviromic/internal/federation"
 	"enviromic/internal/telemetry"
 )
 
@@ -44,6 +47,14 @@ func main() {
 		ckptMB   = flag.Int64("checkpoint-mb", 8, "bytes appended between index snapshot checkpoints, in MiB (negative disables)")
 		autoMB   = flag.Int64("auto-compact-mb", 64, "per-shard superseded bytes triggering auto compaction, in MiB (negative disables)")
 		accLog   = flag.Bool("access-log", false, "log one structured line per HTTP request (slog, stderr)")
+
+		peersSpec = flag.String("peers", "",
+			"federate with these stations: comma-separated [name=]host:port list; requires -http")
+		station = flag.String("station", "", "this station's name in the federation (default: the -http listen address)")
+		replF   = flag.Int("replication", 0, "replication factor R: each stripe lives on R stations (0 = full mesh)")
+		replInt = flag.Duration("repl-interval", 2*time.Second, "anti-entropy pull interval when caught up")
+		probeI  = flag.Duration("probe-interval", time.Second, "peer health probe interval")
+		fanoutT = flag.Duration("fanout-timeout", 2*time.Second, "per-peer timeout for federated fan-out and probes")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -117,14 +128,52 @@ func main() {
 	if *accLog {
 		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
-	api := telemetry.Middleware(reg, archive.EndpointOf, archive.NewHandler(store))
-	http.Handle("/", telemetry.AccessLog(logger, api))
-	http.Handle("/metrics", telemetry.Handler(reg))
 	ln, err := net.Listen("tcp", *httpAddr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "enviromic-archive: %v\n", err)
 		os.Exit(1)
 	}
+	var api http.Handler
+	endpointOf := archive.EndpointOf
+	if *peersSpec != "" {
+		// Federated: this station answers reads from the whole
+		// federation, replicates from its ring sources, and keeps serving
+		// local writes (/ingest) and replication reads (/repl/*).
+		peers, err := federation.ParsePeers(*peersSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "enviromic-archive: %v\n", err)
+			os.Exit(1)
+		}
+		self := *station
+		if self == "" {
+			self = ln.Addr().String()
+		}
+		fed, err := federation.New(store, federation.Config{
+			Self:              self,
+			Peers:             peers,
+			ReplicationFactor: *replF,
+			ReplInterval:      *replInt,
+			ProbeInterval:     *probeI,
+			FanoutTimeout:     *fanoutT,
+			CursorPath:        filepath.Join(*dir, "federation-cursors.json"),
+			Telemetry:         reg,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "enviromic-archive: %v\n", err)
+			os.Exit(1)
+		}
+		fed.Start()
+		defer fed.Close()
+		api = fed.Handler()
+		endpointOf = federation.EndpointOf
+		fmt.Printf("federation: station %q, %d peers, sources %v\n",
+			self, len(peers), fed.ReplicationSources())
+	} else {
+		api = archive.NewHandler(store)
+	}
+	api = telemetry.Middleware(reg, endpointOf, api)
+	http.Handle("/", telemetry.AccessLog(logger, api))
+	http.Handle("/metrics", telemetry.Handler(reg))
 	fmt.Printf("serving on http://%s (endpoints: /files /query /stats /metrics /debug/pprof)\n", ln.Addr())
 	if err := http.Serve(ln, nil); err != nil {
 		fmt.Fprintf(os.Stderr, "enviromic-archive: %v\n", err)

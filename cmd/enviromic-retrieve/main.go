@@ -8,6 +8,7 @@
 //
 //	enviromic-retrieve -duration 2m -wav out.wav
 //	enviromic-retrieve -scenario city -archive /tmp/city-archive
+//	enviromic-retrieve -scenario city -archive localhost:8081,localhost:8082,localhost:8083
 //
 // The city scenario runs the ~200-mote quick city (the scaled-down
 // sibling of the 10k-mote benchmark scenario), sends a mule tour down
@@ -25,7 +26,6 @@ import (
 	"time"
 
 	"enviromic/internal/acoustics"
-	"enviromic/internal/archive"
 	"enviromic/internal/core"
 	"enviromic/internal/experiments"
 	"enviromic/internal/flash"
@@ -48,7 +48,8 @@ func main() {
 		requeryTol = flag.Duration("requery-tolerance", 500*time.Millisecond,
 			"gap tolerance for the mule's follow-up gap re-query (MissingFiles)")
 		archiveDir = flag.String("archive", "",
-			"flush mule collections into this archive directory (creating it), one ingest per tour")
+			"flush mule collections into this archive: a local directory (created), or\n"+
+				"comma-separated station URLs (host:port[,host:port...]) — tours round-robin across stations")
 		storMode = flag.String("storage-mode", "migrate",
 			"storage plane during the recording phase: migrate | disperse (erasure-coded fragment dispersal; grid only)")
 		rsGeom = flag.String("rs", "6,4", "erasure geometry \"n,k\" for -storage-mode disperse")
@@ -162,7 +163,7 @@ func runGrid(duration time.Duration, seed int64, wavPath string, requeryTol time
 	}
 
 	if archiveDir != "" {
-		arch, err := archive.Open(archiveDir, archive.Options{GapTolerance: requeryTol})
+		sink, err := openSink(archiveDir, requeryTol)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -175,24 +176,23 @@ func runGrid(duration time.Duration, seed int64, wavPath string, requeryTol time
 			{"one-hop mule", mule.Collected},
 			{"spanning-tree mule", mule2.Collected},
 		} {
-			rep, err := arch.Ingest(tour.chunks)
+			rep, err := sink.flush(i, tour.chunks)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-			fmt.Printf("    tour %d (%s): %d added, %d duplicates\n",
-				i+1, tour.name, rep.Added, rep.Duplicates)
+			fmt.Printf("    tour %d (%s) -> %s: %d added, %d duplicates\n",
+				i+1, tour.name, sink.target(i), rep.Added, rep.Duplicates)
 			for _, d := range rep.Files {
 				fmt.Printf("      file %d: +%d chunks (%d dup), gaps %d -> %d\n",
 					d.File, d.Added, d.Duplicates, d.GapsBefore, d.GapsAfter)
 			}
-			if rq := rep.Requery(); len(rq.Files) > 0 {
-				fmt.Printf("      next-tour re-query: files=%v tolerance=%v\n", keys(rq.Files), requeryTol)
+			if len(rep.Requery) > 0 {
+				fmt.Printf("      next-tour re-query: files=%v tolerance=%v\n", rep.Requery, requeryTol)
 			}
 		}
-		st := arch.Stats()
-		fmt.Printf("    archive now: %d files, %d chunks, %d bytes\n", st.Files, st.Chunks, st.Bytes)
-		if err := arch.Close(); err != nil {
+		sink.summary()
+		if err := sink.close(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -264,20 +264,20 @@ func runCity(duration time.Duration, seed int64, requeryTol time.Duration, archi
 		fmt.Println("no -archive directory; tours not flushed")
 		return
 	}
-	arch, err := archive.Open(archiveDir, archive.Options{GapTolerance: requeryTol})
+	sink, err := openSink(archiveDir, requeryTol)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	fmt.Printf("\narchive flush -> %s (%d tours, concurrent)\n", archiveDir, len(mules))
-	reports := make([]archive.IngestReport, len(mules))
+	reports := make([]flushReport, len(mules))
 	errs := make([]error, len(mules))
 	var wg sync.WaitGroup
 	for i, m := range mules {
 		wg.Add(1)
 		go func(i int, chunks []*flash.Chunk) {
 			defer wg.Done()
-			reports[i], errs[i] = arch.Ingest(chunks)
+			reports[i], errs[i] = sink.flush(i, chunks)
 		}(i, m.Collected)
 	}
 	wg.Wait()
@@ -288,16 +288,14 @@ func runCity(duration time.Duration, seed int64, requeryTol time.Duration, archi
 		}
 		// Flushed counts can exceed the tour's own tally: replies still in
 		// flight when a tour ends land while later tours run the scheduler.
-		fmt.Printf("    tour %d: %d chunks -> %d added, %d duplicates, %d superseded\n",
-			i+1, len(mules[i].Collected), rep.Added, rep.Duplicates, rep.Superseded)
-		if rq := rep.Requery(); len(rq.Files) > 0 {
-			fmt.Printf("      next-tour re-query: files=%v tolerance=%v\n", keys(rq.Files), requeryTol)
+		fmt.Printf("    tour %d -> %s: %d chunks -> %d added, %d duplicates, %d superseded\n",
+			i+1, sink.target(i), len(mules[i].Collected), rep.Added, rep.Duplicates, rep.Superseded)
+		if len(rep.Requery) > 0 {
+			fmt.Printf("      next-tour re-query: files=%v tolerance=%v\n", rep.Requery, requeryTol)
 		}
 	}
-	st := arch.Stats()
-	fmt.Printf("    archive now: %d files, %d chunks, %d bytes (superseded on disk: %d)\n",
-		st.Files, st.Chunks, st.Bytes, st.SupersededBytes)
-	if err := arch.Close(); err != nil {
+	sink.summary()
+	if err := sink.close(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -637,11 +637,48 @@ func (s *Store) File(id flash.FileID) (*retrieval.File, error) {
 		} else {
 			s.cFlightWin.Inc()
 		}
-		if errors.Is(err, errEpochChanged) && attempt < 8 {
-			continue // a compaction swapped the segment mid-read; refetch offsets
+		if errors.Is(err, errEpochChanged) {
+			if attempt < 4 {
+				continue // a compaction swapped the segment mid-read; refetch offsets
+			}
+			// Compactions keep invalidating the optimistic read. Fall back
+			// to running it on the shard's writer goroutine: compaction
+			// runs there too, so the offsets cannot be swapped between the
+			// metadata fetch and the payload read. The result is validated
+			// the same way (readChunks re-checks the epoch under the read
+			// lock) — errEpochChanged never escapes to callers.
+			return s.fileSerialized(sh, id)
 		}
 		return f, err
 	}
+}
+
+// fileSerialized reassembles a file on the shard's writer goroutine,
+// where no compaction can run concurrently. Slow path for reads racing
+// a compaction storm.
+func (s *Store) fileSerialized(sh *shard, id flash.FileID) (*retrieval.File, error) {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return nil, errClosed
+	}
+	var f *retrieval.File
+	var err error
+	sh.runCtl(func() {
+		metas, version, epoch, ok := sh.fileChunks(id)
+		if !ok {
+			err = ErrNotFound
+			return
+		}
+		if cached, v, hit := s.cache.get(id); hit && v == version {
+			s.cCacheHit.Inc()
+			f = cached
+			return
+		}
+		s.cReads.Inc()
+		f, err = s.reassemble(sh, id, version, metas, epoch)
+	})
+	return f, err
 }
 
 // FileErasure is File plus erasure decoding: when the archive also

@@ -28,6 +28,10 @@ import (
 //	POST /ingest                      framed chunk records (EncodeFrames)
 //	POST /compact                     reclaim superseded segment bytes
 //	GET  /stats                       store totals, cache, op counters
+//	GET  /repl/status                 per-shard generation + size (replication source state)
+//	GET  /repl/delta?cursor=&max=     next replication batch (segment frames)
+//	GET  /repl/manifest?files=        chunk-key metadata for federated merges
+//	GET  /repl/file/{id}              one file's chunks in wire framing
 //
 // Times in query parameters are Go durations since simulation start
 // ("90s", "1m30s") or bare seconds ("90", "90.5"). The handler is safe
@@ -44,6 +48,10 @@ func NewHandler(s *Store) http.Handler {
 	mux.HandleFunc("POST /ingest", h.ingest)
 	mux.HandleFunc("POST /compact", h.compact)
 	mux.HandleFunc("GET /stats", h.stats)
+	mux.HandleFunc("GET /repl/status", h.replStatus)
+	mux.HandleFunc("GET /repl/delta", h.replDelta)
+	mux.HandleFunc("GET /repl/manifest", h.replManifest)
+	mux.HandleFunc("GET /repl/file/{id}", h.replFile)
 	return mux
 }
 
@@ -68,6 +76,13 @@ func EndpointOf(r *http.Request) string {
 		default:
 			return "/files/{id}"
 		}
+	case strings.HasPrefix(p, "/repl/"):
+		switch {
+		case p == "/repl/status", p == "/repl/delta", p == "/repl/manifest":
+			return p
+		default:
+			return "/repl/file/{id}"
+		}
 	case p == "/query", p == "/ingest", p == "/compact", p == "/stats", p == "/metrics":
 		return p
 	default:
@@ -75,9 +90,9 @@ func EndpointOf(r *http.Request) string {
 	}
 }
 
-// fileInfoJSON is FileInfo in response form: times both as raw
+// FileInfoJSON is FileInfo in response form: times both as raw
 // nanoseconds (machine use) and seconds (human use).
-type fileInfoJSON struct {
+type FileInfoJSON struct {
 	ID       flash.FileID `json:"id"`
 	Start    int64        `json:"start_ns"`
 	End      int64        `json:"end_ns"`
@@ -89,12 +104,12 @@ type fileInfoJSON struct {
 	Gaps     int          `json:"gaps"`
 }
 
-func infoJSON(fi FileInfo) fileInfoJSON {
+func InfoJSON(fi FileInfo) FileInfoJSON {
 	origins := fi.Origins
 	if origins == nil {
 		origins = []int32{}
 	}
-	return fileInfoJSON{
+	return FileInfoJSON{
 		ID: fi.ID, Start: int64(fi.Start), End: int64(fi.End),
 		StartSec: fi.Start.Seconds(), EndSec: fi.End.Seconds(),
 		Chunks: fi.Chunks, Bytes: fi.Bytes, Origins: origins, Gaps: fi.Gaps,
@@ -107,7 +122,7 @@ type gapJSON struct {
 	Seconds  float64 `json:"seconds"`
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+func WriteJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -120,9 +135,9 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-// parseTime accepts a Go duration ("90s") or bare seconds ("90.5") since
+// ParseTime accepts a Go duration ("90s") or bare seconds ("90.5") since
 // simulation start.
-func parseTime(s string) (sim.Time, error) {
+func ParseTime(s string) (sim.Time, error) {
 	if s == "" {
 		return 0, nil
 	}
@@ -146,11 +161,11 @@ func (h *handler) fileID(r *http.Request) (flash.FileID, error) {
 
 func (h *handler) files(w http.ResponseWriter, r *http.Request) {
 	infos := h.store.Files()
-	out := make([]fileInfoJSON, 0, len(infos))
+	out := make([]FileInfoJSON, 0, len(infos))
 	for _, fi := range infos {
-		out = append(out, infoJSON(fi))
+		out = append(out, InfoJSON(fi))
 	}
-	writeJSON(w, out)
+	WriteJSON(w, out)
 }
 
 func (h *handler) file(w http.ResponseWriter, r *http.Request) {
@@ -184,11 +199,11 @@ func (h *handler) file(w http.ResponseWriter, r *http.Request) {
 			Bytes: len(c.Data),
 		})
 	}
-	writeJSON(w, struct {
-		fileInfoJSON
+	WriteJSON(w, struct {
+		FileInfoJSON
 		DurationSec float64     `json:"duration_s"`
 		ChunkList   []chunkJSON `json:"chunk_list"`
-	}{infoJSON(fi), f.Duration().Seconds(), chunks})
+	}{InfoJSON(fi), f.Duration().Seconds(), chunks})
 }
 
 func (h *handler) gaps(w http.ResponseWriter, r *http.Request) {
@@ -227,7 +242,7 @@ func (h *handler) gaps(w http.ResponseWriter, r *http.Request) {
 	if len(gaps) > 0 {
 		requery = []flash.FileID{id, id | erasure.ParityFileBit}
 	}
-	writeJSON(w, struct {
+	WriteJSON(w, struct {
 		File         flash.FileID   `json:"file"`
 		ToleranceSec float64        `json:"tolerance_s"`
 		Gaps         []gapJSON      `json:"gaps"`
@@ -278,12 +293,12 @@ func (h *handler) wav(w http.ResponseWriter, r *http.Request) {
 
 func (h *handler) query(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	from, err := parseTime(q.Get("from"))
+	from, err := ParseTime(q.Get("from"))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "from: %v", err)
 		return
 	}
-	to, err := parseTime(q.Get("to"))
+	to, err := ParseTime(q.Get("to"))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "to: %v", err)
 		return
@@ -305,11 +320,11 @@ func (h *handler) query(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	infos := h.store.Query(from, to, origins)
-	out := make([]fileInfoJSON, 0, len(infos))
+	out := make([]FileInfoJSON, 0, len(infos))
 	for _, fi := range infos {
-		out = append(out, infoJSON(fi))
+		out = append(out, InfoJSON(fi))
 	}
-	writeJSON(w, out)
+	WriteJSON(w, out)
 }
 
 func (h *handler) ingest(w http.ResponseWriter, r *http.Request) {
@@ -323,7 +338,7 @@ func (h *handler) ingest(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	writeJSON(w, ingestReportJSON(rep))
+	WriteJSON(w, ingestReportJSON(rep))
 }
 
 // ingestReportJSON shapes an IngestReport for the wire, including the
@@ -379,9 +394,101 @@ func (h *handler) compact(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	writeJSON(w, rep)
+	WriteJSON(w, rep)
 }
 
 func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, h.store.Stats())
+	WriteJSON(w, h.store.Stats())
+}
+
+// Replication delta response headers: the advanced cursor to resume
+// from, and the byte lag still unshipped (0 = caught up).
+const (
+	ReplCursorHeader = "X-Repl-Cursor"
+	ReplLagHeader    = "X-Repl-Lag"
+)
+
+func (h *handler) replStatus(w http.ResponseWriter, r *http.Request) {
+	WriteJSON(w, h.store.ReplStatus())
+}
+
+func (h *handler) replDelta(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	cur, err := ParseReplCursor(q.Get("cursor"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "cursor: %v", err)
+		return
+	}
+	var maxBytes int64
+	if s := q.Get("max"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil || v <= 0 {
+			httpError(w, http.StatusBadRequest, "bad max %q", s)
+			return
+		}
+		maxBytes = v
+	}
+	frames, next, lag, err := h.store.Delta(cur, maxBytes)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(ReplCursorHeader, next.String())
+	w.Header().Set(ReplLagHeader, strconv.FormatInt(lag, 10))
+	w.Write(frames)
+}
+
+func (h *handler) replManifest(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	from, err := ParseTime(q.Get("from"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "from: %v", err)
+		return
+	}
+	to, err := ParseTime(q.Get("to"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "to: %v", err)
+		return
+	}
+	var files map[flash.FileID]bool
+	if s := q.Get("files"); s != "" {
+		files = make(map[flash.FileID]bool)
+		for _, part := range strings.Split(s, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			v, err := strconv.ParseUint(part, 10, 32)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "bad file id %q", part)
+				return
+			}
+			files[flash.FileID(v)] = true
+		}
+	}
+	ms := h.store.Manifest(from, to, nil, files)
+	if ms == nil {
+		ms = []FileManifest{}
+	}
+	WriteJSON(w, ms)
+}
+
+func (h *handler) replFile(w http.ResponseWriter, r *http.Request) {
+	id, err := h.fileID(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	frames, err := h.store.FileFrames(id)
+	if errors.Is(err, ErrNotFound) {
+		httpError(w, http.StatusNotFound, "file %d not found", id)
+		return
+	}
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(frames)
 }

@@ -50,7 +50,7 @@ func getJSON(t *testing.T, url string, into any) *http.Response {
 func TestHTTPFilesAndFile(t *testing.T) {
 	_, srv := newTestServer(t)
 
-	var files []fileInfoJSON
+	var files []FileInfoJSON
 	if resp := getJSON(t, srv.URL+"/files", &files); resp.StatusCode != 200 {
 		t.Fatalf("/files status %d", resp.StatusCode)
 	}
@@ -62,7 +62,7 @@ func TestHTTPFilesAndFile(t *testing.T) {
 	}
 
 	var one struct {
-		fileInfoJSON
+		FileInfoJSON
 		DurationSec float64 `json:"duration_s"`
 		ChunkList   []struct {
 			Origin int32  `json:"origin"`
@@ -137,7 +137,7 @@ func TestHTTPWav(t *testing.T) {
 
 func TestHTTPQuery(t *testing.T) {
 	_, srv := newTestServer(t)
-	var files []fileInfoJSON
+	var files []FileInfoJSON
 	getJSON(t, srv.URL+"/query?from=9s&to=30s", &files)
 	if len(files) != 1 || files[0].ID != 2 {
 		t.Fatalf("time query = %+v", files)

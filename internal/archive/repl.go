@@ -1,0 +1,312 @@
+package archive
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"enviromic/internal/flash"
+	"enviromic/internal/sim"
+)
+
+// Replication export. A peer station replicates this archive by pulling
+// deltas: the segment logs already store chunks in the exact wire
+// framing POST /ingest accepts (EncodeFrames), so a delta is raw segment
+// bytes copied from a per-shard (generation, offset) cursor, cut at a
+// frame boundary. The puller ingests the frames through its normal
+// dedup path — (origin, seq) duplicates are dropped, strictly longer
+// copies supersede — which makes re-pulling any byte range idempotent
+// and lets a cursor reset cheaply: when compaction bumps a shard's
+// generation the cursor restarts that shard from zero and the receiver
+// absorbs the re-sent frames as duplicates.
+
+// ShardCursor is one shard's replication position: the segment
+// generation the offset is valid for, and the byte offset of the next
+// frame to ship.
+type ShardCursor struct {
+	Gen uint64
+	Off int64
+}
+
+// ReplCursor is a full replication cursor, one entry per shard. A nil
+// or short cursor reads missing shards from offset zero.
+type ReplCursor []ShardCursor
+
+// String renders the cursor as "gen:off,gen:off,...", the /repl/delta
+// query-parameter form.
+func (c ReplCursor) String() string {
+	parts := make([]string, len(c))
+	for i, sc := range c {
+		parts[i] = strconv.FormatUint(sc.Gen, 10) + ":" + strconv.FormatInt(sc.Off, 10)
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseReplCursor parses the String form. An empty string is the zero
+// cursor (replicate everything).
+func ParseReplCursor(s string) (ReplCursor, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	cur := make(ReplCursor, len(parts))
+	for i, p := range parts {
+		gen, off, ok := strings.Cut(p, ":")
+		if !ok {
+			return nil, fmt.Errorf("archive: bad cursor part %q (want gen:off)", p)
+		}
+		g, err := strconv.ParseUint(gen, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("archive: bad cursor generation %q", gen)
+		}
+		o, err := strconv.ParseInt(off, 10, 64)
+		if err != nil || o < 0 {
+			return nil, fmt.Errorf("archive: bad cursor offset %q", off)
+		}
+		cur[i] = ShardCursor{Gen: g, Off: o}
+	}
+	return cur, nil
+}
+
+// DefaultDeltaBytes is the delta batch budget when the caller passes
+// maxBytes <= 0.
+const DefaultDeltaBytes = 1 << 20
+
+// Delta returns the next batch of replication frames after cur, cut at
+// a frame boundary, along with the advanced cursor and the byte lag
+// still unshipped after this batch (lag > 0 means call again). The
+// frames are segment-log bytes — exactly what POST /ingest and
+// DecodeFrames accept. A shard whose generation no longer matches the
+// cursor (compaction ran) restarts from offset zero. Each call makes
+// progress: at least one frame per behind shard is returned even when
+// maxBytes is smaller than a frame.
+func (s *Store) Delta(cur ReplCursor, maxBytes int64) (frames []byte, next ReplCursor, lag int64, err error) {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return nil, nil, 0, errClosed
+	}
+	if maxBytes <= 0 {
+		maxBytes = DefaultDeltaBytes
+	}
+	// A frame is at most header + max record; reading this much always
+	// yields at least one whole frame of progress.
+	minRead := int64(frameHeaderSize + flash.MaxRecordSize)
+	next = make(ReplCursor, len(s.shards))
+	budget := maxBytes
+	for i, sh := range s.shards {
+		sh.mu.RLock()
+		gen, size, f := sh.gen, sh.size, sh.f
+		from := int64(0)
+		if i < len(cur) && cur[i].Gen == gen {
+			from = cur[i].Off
+			if from > size {
+				// A cursor past the end of a same-generation segment can
+				// only come from a corrupted cursor store; restart the
+				// shard rather than trust it.
+				from = 0
+			}
+		}
+		want := size - from
+		if want <= 0 || f == nil {
+			sh.mu.RUnlock()
+			next[i] = ShardCursor{Gen: gen, Off: from}
+			continue
+		}
+		if budget <= 0 {
+			sh.mu.RUnlock()
+			next[i] = ShardCursor{Gen: gen, Off: from}
+			lag += want
+			continue
+		}
+		readLen := want
+		if readLen > budget {
+			readLen = budget
+			if readLen < minRead {
+				readLen = minRead
+				if readLen > want {
+					readLen = want
+				}
+			}
+		}
+		buf := make([]byte, readLen)
+		n, rerr := f.ReadAt(buf, from)
+		sh.mu.RUnlock()
+		if rerr != nil && int64(n) < readLen {
+			return nil, nil, 0, fmt.Errorf("archive: reading delta of shard %d at %d: %w", i, from, rerr)
+		}
+		valid := framePrefix(buf[:n])
+		frames = append(frames, buf[:valid]...)
+		next[i] = ShardCursor{Gen: gen, Off: from + int64(valid)}
+		budget -= int64(valid)
+		lag += want - int64(valid)
+	}
+	return frames, next, lag, nil
+}
+
+// framePrefix walks frame headers from the start of b and returns the
+// length of the longest prefix made of whole frames. b must begin at a
+// frame boundary (cursors only ever advance by whole frames). CRC
+// validation is left to the receiver's DecodeFrames.
+func framePrefix(b []byte) int {
+	off := 0
+	for off+frameHeaderSize <= len(b) {
+		n := int(binary.BigEndian.Uint32(b[off:]))
+		if n < flash.MinRecordSize || n > flash.MaxRecordSize {
+			break // torn or corrupt header: stop at the last good frame
+		}
+		if off+frameHeaderSize+n > len(b) {
+			break
+		}
+		off += frameHeaderSize + n
+	}
+	return off
+}
+
+// ReplShardStatus is one shard's replication source state.
+type ReplShardStatus struct {
+	Gen  uint64 `json:"gen"`
+	Size int64  `json:"size"`
+}
+
+// ReplStatus is the /repl/status snapshot a puller uses to size its lag
+// against this station.
+type ReplStatus struct {
+	Shards []ReplShardStatus `json:"shards"`
+	Files  int               `json:"files"`
+	Chunks int               `json:"chunks"`
+}
+
+// ReplStatus reports each shard's current generation and segment size —
+// the end-of-log cursor — plus index totals.
+func (s *Store) ReplStatus() ReplStatus {
+	st := ReplStatus{Shards: make([]ReplShardStatus, len(s.shards))}
+	for i, sh := range s.shards {
+		sh.mu.RLock()
+		st.Shards[i] = ReplShardStatus{Gen: sh.gen, Size: sh.size}
+		for _, fm := range sh.files {
+			st.Files++
+			st.Chunks += len(fm.chunks)
+		}
+		sh.mu.RUnlock()
+	}
+	return st
+}
+
+// Lag returns how many segment bytes cur still has to pull to catch up
+// with status: the sum over shards of size − offset, counting the whole
+// shard when the generations disagree.
+func (st ReplStatus) Lag(cur ReplCursor) int64 {
+	var lag int64
+	for i, ss := range st.Shards {
+		off := int64(0)
+		if i < len(cur) && cur[i].Gen == ss.Gen {
+			off = cur[i].Off
+		}
+		if ss.Size > off {
+			lag += ss.Size - off
+		}
+	}
+	return lag
+}
+
+// ChunkKey is one archived chunk's identity and span — the metadata a
+// federated coordinator needs to merge holdings across stations without
+// moving payload bytes. Bytes is the chunk's audio payload length, the
+// supersession tiebreak (longer copy wins).
+type ChunkKey struct {
+	Origin int32  `json:"origin"`
+	Seq    uint32 `json:"seq"`
+	Start  int64  `json:"start_ns"`
+	End    int64  `json:"end_ns"`
+	Bytes  int64  `json:"bytes"`
+}
+
+// FileManifest is one file's chunk-key listing.
+type FileManifest struct {
+	ID     flash.FileID `json:"id"`
+	Chunks []ChunkKey   `json:"chunks"`
+}
+
+// Manifest lists chunk keys per file from index metadata alone (no
+// segment reads). A non-empty files set restricts to those IDs;
+// otherwise every file is listed. Files are sorted by ID, chunks by
+// (origin, seq). The from/to/origins filters mirror Query semantics:
+// a file whose span overlaps [from,to) (both zero = unbounded) and
+// whose origin set intersects origins (empty = any) is listed whole.
+func (s *Store) Manifest(from, to sim.Time, origins map[int32]bool, files map[flash.FileID]bool) []FileManifest {
+	var out []FileManifest
+	bounded := from != 0 || to != 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for id, fm := range sh.files {
+			if len(files) > 0 && !files[id] {
+				continue
+			}
+			if bounded && (fm.end <= from || (to != 0 && fm.start >= to)) {
+				continue
+			}
+			if len(origins) > 0 && !intersects(fm.origins, origins) {
+				continue
+			}
+			m := FileManifest{ID: id, Chunks: make([]ChunkKey, 0, len(fm.chunks))}
+			for _, c := range fm.chunks {
+				m.Chunks = append(m.Chunks, ChunkKey{
+					Origin: c.origin, Seq: c.seq,
+					Start: int64(c.start), End: int64(c.end),
+					Bytes: c.payloadBytes(),
+				})
+			}
+			out = append(out, m)
+		}
+		sh.mu.RUnlock()
+	}
+	for _, m := range out {
+		sortChunkKeys(m.Chunks)
+	}
+	sortManifests(out)
+	return out
+}
+
+func sortChunkKeys(cs []ChunkKey) {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].Origin != cs[j].Origin {
+			return cs[i].Origin < cs[j].Origin
+		}
+		return cs[i].Seq < cs[j].Seq
+	})
+}
+
+func sortManifests(ms []FileManifest) {
+	sort.Slice(ms, func(i, j int) bool { return ms[i].ID < ms[j].ID })
+}
+
+// GapsInSpans computes coverage gaps over a merged set of chunk keys at
+// the given tolerance, with exactly the semantics of a single station's
+// gap listing (time-major sort with (start, origin, seq) tiebreak,
+// cursor sweep). The federation coordinator uses it so a merged view
+// reports the same gaps a fully-replicated station would.
+func GapsInSpans(spans []ChunkKey, tolerance time.Duration) []Gap {
+	metas := make([]chunkMeta, len(spans))
+	for i, s := range spans {
+		metas[i] = chunkMeta{
+			start: sim.Time(s.Start), end: sim.Time(s.End),
+			origin: s.Origin, seq: s.Seq,
+		}
+	}
+	return gapsIn(metas, tolerance)
+}
+
+// FileFrames re-encodes one archived file's chunks (parity siblings
+// included if id has the parity bit) in wire framing — what
+// GET /repl/file/{id} serves a federated /wav merge.
+func (s *Store) FileFrames(id flash.FileID) ([]byte, error) {
+	f, err := s.File(id)
+	if err != nil {
+		return nil, err
+	}
+	return EncodeFrames(f.Chunks)
+}

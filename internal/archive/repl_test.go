@@ -1,0 +1,253 @@
+package archive
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"enviromic/internal/flash"
+)
+
+// pullAll replicates src into dst by pulling deltas of at most maxBytes
+// until the lag reaches zero, returning how many pulls it took.
+func pullAll(t *testing.T, src, dst *Store, cur ReplCursor, maxBytes int64) (ReplCursor, int) {
+	t.Helper()
+	pulls := 0
+	for {
+		frames, next, lag, err := src.Delta(cur, maxBytes)
+		if err != nil {
+			t.Fatalf("Delta: %v", err)
+		}
+		pulls++
+		if len(frames) > 0 {
+			chunks, err := DecodeFrames(bytes.NewReader(frames))
+			if err != nil {
+				t.Fatalf("DecodeFrames: %v", err)
+			}
+			if _, err := dst.Ingest(chunks); err != nil {
+				t.Fatalf("Ingest: %v", err)
+			}
+		}
+		cur = next
+		if lag == 0 {
+			return cur, pulls
+		}
+		if pulls > 10_000 {
+			t.Fatalf("replication did not converge: lag %d after %d pulls", lag, pulls)
+		}
+	}
+}
+
+// assertSameHoldings fails unless both stores list identical files and
+// chunk manifests.
+func assertSameHoldings(t *testing.T, a, b *Store) {
+	t.Helper()
+	am := a.Manifest(0, 0, nil, nil)
+	bm := b.Manifest(0, 0, nil, nil)
+	if !reflect.DeepEqual(am, bm) {
+		t.Fatalf("holdings differ:\n a=%+v\n b=%+v", am, bm)
+	}
+}
+
+func TestDeltaReplicatesEverything(t *testing.T) {
+	src := openTest(t, t.TempDir(), Options{Shards: 4})
+	defer src.Close()
+	dst := openTest(t, t.TempDir(), Options{Shards: 2}) // shard counts need not match
+	defer dst.Close()
+
+	var batch []*flash.Chunk
+	for f := flash.FileID(1); f <= 5; f++ {
+		for seq := uint32(0); seq < 20; seq++ {
+			batch = append(batch, mkChunk(f, int32(f*10), seq, float64(seq), float64(seq+1)))
+		}
+	}
+	mustIngest(t, src, batch)
+
+	cur, _ := pullAll(t, src, dst, nil, 0)
+	assertSameHoldings(t, src, dst)
+
+	// Caught-up cursor matches the source's end-of-log status.
+	if lag := src.ReplStatus().Lag(cur); lag != 0 {
+		t.Fatalf("lag after catch-up = %d, want 0", lag)
+	}
+
+	// New ingest at the source: the delta resumes from the cursor and
+	// ships only the new frames.
+	mustIngest(t, src, []*flash.Chunk{mkChunk(9, 9, 0, 100, 101)})
+	frames, next, lag, err := src.Delta(cur, 0)
+	if err != nil {
+		t.Fatalf("Delta: %v", err)
+	}
+	if lag != 0 {
+		t.Fatalf("lag = %d, want 0", lag)
+	}
+	chunks, err := DecodeFrames(bytes.NewReader(frames))
+	if err != nil {
+		t.Fatalf("DecodeFrames: %v", err)
+	}
+	if len(chunks) != 1 || chunks[0].File != 9 {
+		t.Fatalf("incremental delta = %v chunks, want the one new chunk", len(chunks))
+	}
+	mustIngest(t, dst, chunks)
+	assertSameHoldings(t, src, dst)
+	_ = next
+}
+
+func TestDeltaSmallBudgetStillProgresses(t *testing.T) {
+	src := openTest(t, t.TempDir(), Options{Shards: 3})
+	defer src.Close()
+	dst := openTest(t, t.TempDir(), Options{Shards: 3})
+	defer dst.Close()
+
+	var batch []*flash.Chunk
+	for seq := uint32(0); seq < 64; seq++ {
+		batch = append(batch, mkChunk(flash.FileID(seq%7+1), 3, seq, float64(seq), float64(seq)+1))
+	}
+	mustIngest(t, src, batch)
+
+	// A 1-byte budget is smaller than any frame; every pull must still
+	// ship at least one frame per behind shard.
+	_, pulls := pullAll(t, src, dst, nil, 1)
+	if pulls < 2 {
+		t.Fatalf("expected multiple pulls under a tiny budget, got %d", pulls)
+	}
+	assertSameHoldings(t, src, dst)
+}
+
+func TestDeltaCursorResetsAfterCompaction(t *testing.T) {
+	src := openTest(t, t.TempDir(), Options{Shards: 1})
+	defer src.Close()
+	dst := openTest(t, t.TempDir(), Options{Shards: 1})
+	defer dst.Close()
+
+	short := mkChunk(1, 2, 7, 0, 1)
+	mustIngest(t, src, []*flash.Chunk{short, mkChunk(1, 2, 8, 1, 2)})
+	cur, _ := pullAll(t, src, dst, nil, 0)
+
+	// Supersede one chunk with a longer copy, then compact: the shard's
+	// generation bumps and the old cursor's offsets are meaningless.
+	long := mkChunk(1, 2, 7, 0, 1)
+	long.Data = append(long.Data, make([]byte, 64)...)
+	mustIngest(t, src, []*flash.Chunk{long})
+	if _, err := src.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	st := src.ReplStatus()
+	if st.Shards[0].Gen == 0 {
+		t.Fatalf("compaction did not bump the generation")
+	}
+	if lag := st.Lag(cur); lag != st.Shards[0].Size {
+		t.Fatalf("stale-generation lag = %d, want the whole shard (%d)", lag, st.Shards[0].Size)
+	}
+
+	// Pulling from the stale cursor restarts the shard from zero; the
+	// receiver's dedup absorbs the re-sent frames.
+	cur, _ = pullAll(t, src, dst, cur, 0)
+	assertSameHoldings(t, src, dst)
+	f, err := dst.File(1)
+	if err != nil {
+		t.Fatalf("File: %v", err)
+	}
+	for _, c := range f.Chunks {
+		if c.Seq == 7 && len(c.Data) != len(long.Data) {
+			t.Fatalf("superseding copy did not replicate: seq 7 has %d bytes, want %d", len(c.Data), len(long.Data))
+		}
+	}
+	if lag := src.ReplStatus().Lag(cur); lag != 0 {
+		t.Fatalf("lag after re-pull = %d, want 0", lag)
+	}
+}
+
+func TestReplCursorStringRoundtrip(t *testing.T) {
+	cur := ReplCursor{{Gen: 0, Off: 0}, {Gen: 3, Off: 4096}, {Gen: 1, Off: 7}}
+	parsed, err := ParseReplCursor(cur.String())
+	if err != nil {
+		t.Fatalf("ParseReplCursor(%q): %v", cur.String(), err)
+	}
+	if !reflect.DeepEqual(parsed, cur) {
+		t.Fatalf("roundtrip = %v, want %v", parsed, cur)
+	}
+	if c, err := ParseReplCursor(""); err != nil || c != nil {
+		t.Fatalf("empty cursor = %v, %v; want nil, nil", c, err)
+	}
+	for _, bad := range []string{"x", "1:", ":2", "1:2:3", "1:-5", "a:b"} {
+		if _, err := ParseReplCursor(bad); err == nil {
+			t.Fatalf("ParseReplCursor(%q) accepted garbage", bad)
+		}
+	}
+}
+
+func TestManifestFilters(t *testing.T) {
+	s := openTest(t, t.TempDir(), Options{Shards: 2})
+	defer s.Close()
+	mustIngest(t, s, []*flash.Chunk{
+		mkChunk(1, 10, 0, 0, 1),
+		mkChunk(1, 10, 1, 1, 2),
+		mkChunk(2, 20, 0, 5, 6),
+		mkChunk(3, 30, 0, 50, 51),
+	})
+
+	all := s.Manifest(0, 0, nil, nil)
+	if len(all) != 3 || all[0].ID != 1 || len(all[0].Chunks) != 2 {
+		t.Fatalf("full manifest wrong: %+v", all)
+	}
+
+	only2 := s.Manifest(0, 0, nil, map[flash.FileID]bool{2: true})
+	if len(only2) != 1 || only2[0].ID != 2 {
+		t.Fatalf("files filter wrong: %+v", only2)
+	}
+
+	// Window [4s, 10s) should keep only file 2.
+	win := s.Manifest(4e9, 10e9, nil, nil)
+	if len(win) != 1 || win[0].ID != 2 {
+		t.Fatalf("window filter wrong: %+v", win)
+	}
+
+	// Origin filter.
+	byOrigin := s.Manifest(0, 0, map[int32]bool{30: true}, nil)
+	if len(byOrigin) != 1 || byOrigin[0].ID != 3 {
+		t.Fatalf("origin filter wrong: %+v", byOrigin)
+	}
+}
+
+func TestGapsInSpansMatchesStoreGaps(t *testing.T) {
+	s := openTest(t, t.TempDir(), Options{Shards: 1})
+	defer s.Close()
+	mustIngest(t, s, []*flash.Chunk{
+		mkChunk(1, 2, 0, 0, 1),
+		mkChunk(1, 2, 1, 1, 2),
+		mkChunk(1, 3, 5, 4, 5), // gap (2,4)
+		mkChunk(1, 3, 6, 5, 6),
+	})
+	tol := 500 * time.Millisecond
+	want, err := s.Gaps(1, tol)
+	if err != nil {
+		t.Fatalf("Gaps: %v", err)
+	}
+	m := s.Manifest(0, 0, nil, map[flash.FileID]bool{1: true})
+	got := GapsInSpans(m[0].Chunks, tol)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("GapsInSpans = %v, want %v", got, want)
+	}
+}
+
+func TestFileFrames(t *testing.T) {
+	s := openTest(t, t.TempDir(), Options{Shards: 1})
+	defer s.Close()
+	mustIngest(t, s, []*flash.Chunk{mkChunk(4, 2, 0, 0, 1), mkChunk(4, 2, 1, 1, 2)})
+	frames, err := s.FileFrames(4)
+	if err != nil {
+		t.Fatalf("FileFrames: %v", err)
+	}
+	chunks, err := DecodeFrames(bytes.NewReader(frames))
+	if err != nil {
+		t.Fatalf("DecodeFrames: %v", err)
+	}
+	if len(chunks) != 2 || chunks[0].File != 4 {
+		t.Fatalf("frames decode to %d chunks, want 2", len(chunks))
+	}
+	if _, err := s.FileFrames(99); err != ErrNotFound {
+		t.Fatalf("FileFrames(unknown) err = %v, want ErrNotFound", err)
+	}
+}

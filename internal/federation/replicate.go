@@ -1,0 +1,249 @@
+package federation
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"enviromic/internal/archive"
+)
+
+// pullTimeout bounds one delta pull (request + body). Generous next to
+// FanoutTimeout: a pull moves up to MaxDeltaBytes of payload, a fan-out
+// moves metadata.
+const pullTimeout = 15 * time.Second
+
+// replicator runs pull-based anti-entropy against this station's
+// replication sources. Cursors advance only after the pulled frames are
+// durably ingested, so a crash between pull and ingest merely re-pulls
+// a range the dedup path absorbs.
+type replicator struct {
+	st      *Station
+	sources []*peerState
+
+	mu      sync.Mutex
+	cursors map[string]archive.ReplCursor // by peer name
+}
+
+func newReplicator(st *Station) (*replicator, error) {
+	r := &replicator{
+		st:      st,
+		sources: replicationSources(st.cfg.Self, st.peers, st.cfg.ReplicationFactor),
+		cursors: make(map[string]archive.ReplCursor),
+	}
+	if err := r.load(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// replicationSources picks which peers this station pulls from. Factor
+// R means every station's stripe ends up on R stations: all names
+// (self included) are sorted into a ring, and each station pulls from
+// its R−1 immediate ring predecessors — so a station's own data is
+// held by itself and its R−1 successors. R <= 0 or R > station count
+// pulls from everyone (full mesh); R == 1 pulls from no one.
+func replicationSources(self string, peers []*peerState, factor int) []*peerState {
+	n := len(peers) + 1
+	if factor <= 0 || factor >= n {
+		return peers
+	}
+	if factor == 1 {
+		return nil
+	}
+	ring := make([]string, 0, n)
+	ring = append(ring, self)
+	byName := make(map[string]*peerState, len(peers))
+	for _, p := range peers {
+		ring = append(ring, p.Name)
+		byName[p.Name] = p
+	}
+	sort.Strings(ring)
+	selfIdx := sort.SearchStrings(ring, self)
+	out := make([]*peerState, 0, factor-1)
+	for k := 1; k < factor; k++ {
+		name := ring[((selfIdx-k)%n+n)%n]
+		out = append(out, byName[name])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func (r *replicator) cursor(peer string) archive.ReplCursor {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cursors[peer]
+}
+
+func (r *replicator) setCursor(peer string, cur archive.ReplCursor) {
+	r.mu.Lock()
+	r.cursors[peer] = cur
+	r.mu.Unlock()
+}
+
+// cursorFile is the persisted cursor store.
+type cursorFile struct {
+	Cursors map[string]string `json:"cursors"`
+}
+
+func (r *replicator) load() error {
+	path := r.st.cfg.CursorPath
+	if path == "" {
+		return nil
+	}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var cf cursorFile
+	if err := json.Unmarshal(data, &cf); err != nil {
+		return fmt.Errorf("federation: corrupt cursor store %s: %w", path, err)
+	}
+	for peer, s := range cf.Cursors {
+		cur, err := archive.ParseReplCursor(s)
+		if err != nil {
+			// A bad cursor only costs a re-pull from zero; don't refuse
+			// to start over it.
+			continue
+		}
+		r.cursors[peer] = cur
+	}
+	return nil
+}
+
+// save persists the cursors atomically (temp + rename). Errors are
+// dropped: a stale cursor store only means extra idempotent re-pulls.
+func (r *replicator) save() {
+	path := r.st.cfg.CursorPath
+	if path == "" {
+		return
+	}
+	r.mu.Lock()
+	cf := cursorFile{Cursors: make(map[string]string, len(r.cursors))}
+	for peer, cur := range r.cursors {
+		cf.Cursors[peer] = cur.String()
+	}
+	r.mu.Unlock()
+	data, err := json.MarshalIndent(cf, "", "  ")
+	if err != nil {
+		return
+	}
+	tmp := path + ".tmp"
+	if os.WriteFile(tmp, append(data, '\n'), 0o644) == nil {
+		os.Rename(tmp, path)
+	}
+}
+
+// pullOnce pulls one delta batch from p and ingests it. Returns how
+// many chunks the batch carried and the lag still behind p after it.
+func (r *replicator) pullOnce(ctx context.Context, p *peerState) (chunks int, lag int64, err error) {
+	ctx, cancel := context.WithTimeout(ctx, pullTimeout)
+	defer cancel()
+	cur := r.cursor(p.Name)
+	u := p.URL + "/repl/delta?cursor=" + url.QueryEscape(cur.String()) +
+		"&max=" + strconv.FormatInt(r.st.cfg.MaxDeltaBytes, 10)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	resp, err := r.st.client.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return 0, 0, fmt.Errorf("federation: delta from %s: HTTP %d: %s", p.Name, resp.StatusCode, bytes.TrimSpace(body))
+	}
+	next, err := archive.ParseReplCursor(resp.Header.Get(archive.ReplCursorHeader))
+	if err != nil {
+		return 0, 0, fmt.Errorf("federation: delta from %s: %w", p.Name, err)
+	}
+	lag, _ = strconv.ParseInt(resp.Header.Get(archive.ReplLagHeader), 10, 64)
+	// Any decode error drops the whole batch without advancing the
+	// cursor: the next pull re-fetches the same range and the dedup
+	// path absorbs whatever half already landed.
+	batch, err := archive.DecodeFrames(resp.Body)
+	if err != nil {
+		return 0, lag, fmt.Errorf("federation: delta from %s: %w", p.Name, err)
+	}
+	if len(batch) > 0 {
+		if _, err := r.st.store.Ingest(batch); err != nil {
+			return 0, lag, err
+		}
+	}
+	r.setCursor(p.Name, next)
+	r.save()
+	p.cPulls.Inc()
+	p.cPullChunks.Add(int64(len(batch)))
+	p.gLag.SetInt(lag)
+	return len(batch), lag, nil
+}
+
+// run is the per-source anti-entropy loop: pull until caught up, sleep
+// ReplInterval, repeat; back off exponentially on errors.
+func (r *replicator) run(ctx context.Context, p *peerState) {
+	const (
+		backoffBase = 250 * time.Millisecond
+		backoffMax  = 30 * time.Second
+	)
+	backoff := backoffBase
+	for ctx.Err() == nil {
+		_, lag, err := r.pullOnce(ctx, p)
+		switch {
+		case ctx.Err() != nil:
+			return
+		case err != nil:
+			p.cPullErrs.Inc()
+			sleep(ctx, backoff)
+			if backoff *= 2; backoff > backoffMax {
+				backoff = backoffMax
+			}
+		case lag > 0:
+			backoff = backoffBase // keep draining immediately
+		default:
+			backoff = backoffBase
+			sleep(ctx, r.st.cfg.ReplInterval)
+		}
+	}
+}
+
+// ReplicateOnce synchronously drains every replication source until
+// its lag reaches zero. Deterministic test seam for the pull loops.
+func (st *Station) ReplicateOnce(ctx context.Context) error {
+	for _, p := range st.repl.sources {
+		for {
+			_, lag, err := st.repl.pullOnce(ctx, p)
+			if err != nil {
+				return err
+			}
+			if lag == 0 {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// ReplicationSources lists the peer names this station pulls from —
+// the replication-factor ring made inspectable for /federation and
+// tests.
+func (st *Station) ReplicationSources() []string {
+	out := make([]string, len(st.repl.sources))
+	for i, p := range st.repl.sources {
+		out[i] = p.Name
+	}
+	return out
+}

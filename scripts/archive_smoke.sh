@@ -32,7 +32,7 @@ echo "== 1. fixed-seed retrieval flushed into a fresh archive"
 "$tmp/retrieve" -duration 2m -seed 7 -archive "$tmp/store" > "$tmp/run1.out"
 grep -q '\[4\] archive flush' "$tmp/run1.out" || {
     echo "FAIL: archive flush section missing"; exit 1; }
-grep -Eq 'tour 1 \(one-hop mule\): [1-9][0-9]* added' "$tmp/run1.out" || {
+grep -Eq 'tour 1 \(one-hop mule\) -> .*: [1-9][0-9]* added' "$tmp/run1.out" || {
     echo "FAIL: first tour archived no chunks"; exit 1; }
 grep -Eq 'archive now: [1-9][0-9]* files, [1-9][0-9]* chunks' "$tmp/run1.out" || {
     echo "FAIL: archive summary missing"; exit 1; }
